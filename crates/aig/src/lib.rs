@@ -1,0 +1,499 @@
+//! And-inverter graphs (AIGs) with structural hashing, plus SAT-based
+//! combinational equivalence checking (CEC).
+//!
+//! The ALS flow needs trustworthy verification in two flavours: the
+//! BDD-based *exact error rate* (`als-bdd`) and, for BDD-hostile circuits,
+//! a yes/no *equivalence* certificate. This crate provides the latter: it
+//! compiles networks into structurally-hashed AIGs, builds a miter, encodes
+//! it into the workspace's CDCL solver and asks for a distinguishing input
+//! — `UNSAT` proves equivalence, a model is a counterexample vector.
+//!
+//! # Example
+//!
+//! ```
+//! use als_aig::{cec, CecResult};
+//! use als_circuits::adders::{carry_lookahead_adder, ripple_carry_adder};
+//!
+//! // Two structurally different adders are functionally identical.
+//! let rca = ripple_carry_adder(6);
+//! let cla = carry_lookahead_adder(6);
+//! assert_eq!(cec(&rca, &cla), CecResult::Equivalent);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use als_logic::Expr;
+use als_network::{Network, NodeKind};
+use als_sat::{Lit as SatLit, SatResult, Solver, Var};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An AIG literal: an AIG node with an optional complement.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AigLit(u32);
+
+impl AigLit {
+    /// The constant-false literal.
+    pub const FALSE: AigLit = AigLit(0);
+    /// The constant-true literal.
+    pub const TRUE: AigLit = AigLit(1);
+
+    fn new(node: u32, complement: bool) -> AigLit {
+        AigLit(node << 1 | u32::from(complement))
+    }
+
+    /// The underlying node index.
+    pub fn node(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is complemented.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+}
+
+impl std::ops::Not for AigLit {
+    type Output = AigLit;
+    fn not(self) -> AigLit {
+        AigLit(self.0 ^ 1)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum AigNode {
+    Const, // node 0
+    Pi(usize),
+    And(AigLit, AigLit),
+}
+
+/// An and-inverter graph with structural hashing (two-input ANDs with
+/// complemented edges; constant and PI leaves).
+#[derive(Debug)]
+pub struct Aig {
+    nodes: Vec<AigNode>,
+    strash: HashMap<(u32, u32), u32>,
+    num_pis: usize,
+    pos: Vec<AigLit>,
+}
+
+impl Aig {
+    /// An empty AIG with `num_pis` primary inputs.
+    pub fn new(num_pis: usize) -> Aig {
+        let mut nodes = vec![AigNode::Const];
+        for i in 0..num_pis {
+            nodes.push(AigNode::Pi(i));
+        }
+        Aig {
+            nodes,
+            strash: HashMap::new(),
+            num_pis,
+            pos: Vec::new(),
+        }
+    }
+
+    /// The literal of PI `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_pis`.
+    pub fn pi(&self, i: usize) -> AigLit {
+        assert!(i < self.num_pis, "pi index out of range");
+        AigLit::new(1 + i as u32, false)
+    }
+
+    /// Number of primary inputs.
+    pub fn num_pis(&self) -> usize {
+        self.num_pis
+    }
+
+    /// Number of AND nodes (the AIG size metric).
+    pub fn num_ands(&self) -> usize {
+        self.nodes.len() - 1 - self.num_pis
+    }
+
+    /// The registered primary outputs.
+    pub fn pos(&self) -> &[AigLit] {
+        &self.pos
+    }
+
+    /// Registers a primary output.
+    pub fn add_po(&mut self, lit: AigLit) {
+        self.pos.push(lit);
+    }
+
+    /// Builds `a AND b`, applying constant folding, unit rules and
+    /// structural hashing (commutative-normalized).
+    pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        // Constant and trivial rules.
+        if a == AigLit::FALSE || b == AigLit::FALSE || a == !b {
+            return AigLit::FALSE;
+        }
+        if a == AigLit::TRUE {
+            return b;
+        }
+        if b == AigLit::TRUE || a == b {
+            return a;
+        }
+        let (x, y) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        if let Some(&n) = self.strash.get(&(x, y)) {
+            return AigLit::new(n, false);
+        }
+        let n = self.nodes.len() as u32;
+        self.nodes.push(AigNode::And(AigLit(x), AigLit(y)));
+        self.strash.insert((x, y), n);
+        AigLit::new(n, false)
+    }
+
+    /// Builds `a OR b` (De Morgan).
+    pub fn or(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.and(!a, !b)
+    }
+
+    /// Builds `a XOR b` (three ANDs after hashing).
+    pub fn xor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let t1 = self.and(a, !b);
+        let t2 = self.and(!a, b);
+        self.or(t1, t2)
+    }
+
+    /// Builds `s ? hi : lo`.
+    pub fn mux(&mut self, s: AigLit, lo: AigLit, hi: AigLit) -> AigLit {
+        let t = self.and(s, hi);
+        let e = self.and(!s, lo);
+        self.or(t, e)
+    }
+
+    /// Evaluates a literal under a PI assignment (bit `i` = PI `i`).
+    pub fn eval(&self, lit: AigLit, assignment: u64) -> bool {
+        let mut memo: HashMap<u32, bool> = HashMap::new();
+        self.eval_rec(lit.node(), assignment, &mut memo) ^ lit.is_complemented()
+    }
+
+    fn eval_rec(&self, node: u32, assignment: u64, memo: &mut HashMap<u32, bool>) -> bool {
+        if let Some(&v) = memo.get(&node) {
+            return v;
+        }
+        let v = match self.nodes[node as usize] {
+            AigNode::Const => false,
+            AigNode::Pi(i) => assignment >> i & 1 == 1,
+            AigNode::And(a, b) => {
+                let va = self.eval_rec(a.node(), assignment, memo) ^ a.is_complemented();
+                let vb = self.eval_rec(b.node(), assignment, memo) ^ b.is_complemented();
+                va && vb
+            }
+        };
+        memo.insert(node, v);
+        v
+    }
+
+    /// Compiles a factored expression over `inputs` into the AIG.
+    pub fn build_expr(&mut self, expr: &Expr, inputs: &[AigLit]) -> AigLit {
+        match expr {
+            Expr::Const(false) => AigLit::FALSE,
+            Expr::Const(true) => AigLit::TRUE,
+            Expr::Lit { var, phase } => {
+                let l = inputs[*var];
+                if *phase {
+                    l
+                } else {
+                    !l
+                }
+            }
+            Expr::And(children) => {
+                let mut acc = AigLit::TRUE;
+                for c in children {
+                    let l = self.build_expr(c, inputs);
+                    acc = self.and(acc, l);
+                }
+                acc
+            }
+            Expr::Or(children) => {
+                let mut acc = AigLit::FALSE;
+                for c in children {
+                    let l = self.build_expr(c, inputs);
+                    acc = self.or(acc, l);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Compiles a whole network (factored forms node by node, POs
+    /// registered in order).
+    pub fn from_network(net: &Network) -> Aig {
+        let mut aig = Aig::new(net.num_pis());
+        let mut of_node: HashMap<als_network::NodeId, AigLit> = HashMap::new();
+        for (i, &pi) in net.pis().iter().enumerate() {
+            of_node.insert(pi, aig.pi(i));
+        }
+        for id in net.topo_order() {
+            let node = net.node(id);
+            if node.kind() != NodeKind::Internal {
+                continue;
+            }
+            let inputs: Vec<AigLit> = node.fanins().iter().map(|f| of_node[f]).collect();
+            let lit = aig.build_expr(node.expr(), &inputs);
+            of_node.insert(id, lit);
+        }
+        for (_, d) in net.pos() {
+            let lit = of_node[d];
+            aig.add_po(lit);
+        }
+        aig
+    }
+
+    /// Tseitin-encodes the cone of every PO into `solver`; returns the SAT
+    /// literal of each PO and the PI variables.
+    pub fn encode_cnf(&self, solver: &mut Solver) -> (Vec<Var>, Vec<SatLit>) {
+        let mut pi_vars = Vec::with_capacity(self.num_pis);
+        let mut node_var: Vec<Option<Var>> = vec![None; self.nodes.len()];
+        // Constant node: a variable forced to 0.
+        let const_var = solver.new_var();
+        solver.add_clause(&[SatLit::neg(const_var)]);
+        node_var[0] = Some(const_var);
+        for i in 0..self.num_pis {
+            let v = solver.new_var();
+            pi_vars.push(v);
+            node_var[1 + i] = Some(v);
+        }
+        // Encode ANDs bottom-up (nodes are created in topological order).
+        for (n, node) in self.nodes.iter().enumerate() {
+            if let AigNode::And(a, b) = node {
+                let va = node_var[a.node() as usize].expect("topological order");
+                let vb = node_var[b.node() as usize].expect("topological order");
+                let la = SatLit::with_sign(va, !a.is_complemented());
+                let lb = SatLit::with_sign(vb, !b.is_complemented());
+                let v = solver.new_var();
+                let lv = SatLit::pos(v);
+                // v ↔ la ∧ lb
+                solver.add_clause(&[!lv, la]);
+                solver.add_clause(&[!lv, lb]);
+                solver.add_clause(&[!la, !lb, lv]);
+                node_var[n] = Some(v);
+            }
+        }
+        let po_lits = self
+            .pos
+            .iter()
+            .map(|l| {
+                let v = node_var[l.node() as usize].expect("all nodes encoded");
+                SatLit::with_sign(v, !l.is_complemented())
+            })
+            .collect();
+        (pi_vars, po_lits)
+    }
+}
+
+/// The outcome of a combinational equivalence check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CecResult {
+    /// The networks are functionally identical.
+    Equivalent,
+    /// A distinguishing PI assignment (in PI declaration order).
+    Counterexample(Vec<bool>),
+    /// The interfaces differ (PI/PO counts).
+    InterfaceMismatch,
+}
+
+impl fmt::Display for CecResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CecResult::Equivalent => write!(f, "equivalent"),
+            CecResult::Counterexample(v) => {
+                write!(f, "not equivalent; witness ")?;
+                for &b in v.iter().rev() {
+                    write!(f, "{}", u8::from(b))?;
+                }
+                Ok(())
+            }
+            CecResult::InterfaceMismatch => write!(f, "interface mismatch"),
+        }
+    }
+}
+
+/// SAT-based combinational equivalence check: builds both AIGs over shared
+/// PIs, miters every PO pair, and asks the CDCL solver for a distinguishing
+/// input.
+pub fn cec(golden: &Network, candidate: &Network) -> CecResult {
+    if golden.num_pis() != candidate.num_pis() || golden.num_pos() != candidate.num_pos() {
+        return CecResult::InterfaceMismatch;
+    }
+    // Build one AIG holding both networks (shared PIs maximize structural
+    // sharing in the miter).
+    let mut aig = Aig::new(golden.num_pis());
+    let build = |net: &Network, aig: &mut Aig| -> Vec<AigLit> {
+        let mut of_node: HashMap<als_network::NodeId, AigLit> = HashMap::new();
+        for (i, &pi) in net.pis().iter().enumerate() {
+            of_node.insert(pi, aig.pi(i));
+        }
+        for id in net.topo_order() {
+            let node = net.node(id);
+            if node.kind() != NodeKind::Internal {
+                continue;
+            }
+            let inputs: Vec<AigLit> = node.fanins().iter().map(|f| of_node[f]).collect();
+            let lit = aig.build_expr(node.expr(), &inputs);
+            of_node.insert(id, lit);
+        }
+        net.pos().iter().map(|(_, d)| of_node[d]).collect()
+    };
+    let g = build(golden, &mut aig);
+    let c = build(candidate, &mut aig);
+    let mut miter = AigLit::FALSE;
+    for (x, y) in g.iter().zip(&c) {
+        // Structural hashing often proves equality outright here.
+        let d = aig.xor(*x, *y);
+        miter = aig.or(miter, d);
+    }
+    if miter == AigLit::FALSE {
+        return CecResult::Equivalent;
+    }
+    aig.add_po(miter);
+
+    let mut solver = Solver::new();
+    let (pi_vars, po_lits) = aig.encode_cnf(&mut solver);
+    let miter_lit = *po_lits.last().expect("miter was registered");
+    solver.add_clause(&[miter_lit]);
+    match solver.solve() {
+        SatResult::Unsat => CecResult::Equivalent,
+        SatResult::Sat => CecResult::Counterexample(
+            pi_vars
+                .iter()
+                .map(|&v| solver.value(v).unwrap_or(false))
+                .collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_circuits::adders::{carry_lookahead_adder, kogge_stone_adder, ripple_carry_adder};
+    use als_logic::{Cover, Cube};
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits).unwrap()
+    }
+
+    #[test]
+    fn literal_algebra() {
+        let mut aig = Aig::new(2);
+        let a = aig.pi(0);
+        let b = aig.pi(1);
+        assert_eq!(aig.and(a, AigLit::FALSE), AigLit::FALSE);
+        assert_eq!(aig.and(a, AigLit::TRUE), a);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, !a), AigLit::FALSE);
+        let ab1 = aig.and(a, b);
+        let ab2 = aig.and(b, a);
+        assert_eq!(ab1, ab2, "strashing must normalize commutativity");
+        assert_eq!(aig.num_ands(), 1);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut aig = Aig::new(3);
+        let a = aig.pi(0);
+        let b = aig.pi(1);
+        let c = aig.pi(2);
+        let f = {
+            let ab = aig.xor(a, b);
+            aig.mux(c, ab, a)
+        };
+        for m in 0..8u64 {
+            let (va, vb, vc) = (m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1);
+            let expect = if vc { va } else { va ^ vb };
+            assert_eq!(aig.eval(f, m), expect, "m={m:03b}");
+        }
+    }
+
+    #[test]
+    fn from_network_equivalence() {
+        let net = ripple_carry_adder(4);
+        let aig = Aig::from_network(&net);
+        assert_eq!(aig.num_pis(), 8);
+        assert_eq!(aig.pos().len(), 5);
+        for m in (0..256u64).step_by(11) {
+            let pis: Vec<bool> = (0..8).map(|i| m >> i & 1 == 1).collect();
+            let expect = net.eval(&pis);
+            for (po, e) in aig.pos().iter().zip(&expect) {
+                assert_eq!(aig.eval(*po, m), *e, "vector {m:08b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cec_proves_adder_equivalence() {
+        let rca = ripple_carry_adder(8);
+        let cla = carry_lookahead_adder(8);
+        let ksa = kogge_stone_adder(8);
+        assert_eq!(cec(&rca, &cla), CecResult::Equivalent);
+        assert_eq!(cec(&rca, &ksa), CecResult::Equivalent);
+    }
+
+    #[test]
+    fn cec_finds_counterexamples() {
+        let golden = ripple_carry_adder(6);
+        let mut broken = golden.clone();
+        let victim = broken.internal_ids().nth(5).unwrap();
+        broken.replace_with_constant(victim, false);
+        match cec(&golden, &broken) {
+            CecResult::Counterexample(pis) => {
+                // The witness must actually distinguish the networks.
+                assert_ne!(golden.eval(&pis), broken.eval(&pis));
+            }
+            other => panic!("expected a counterexample, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cec_detects_interface_mismatch() {
+        let a = ripple_carry_adder(4);
+        let b = ripple_carry_adder(5);
+        assert_eq!(cec(&a, &b), CecResult::InterfaceMismatch);
+    }
+
+    #[test]
+    fn structural_hashing_proves_identical_copies_without_sat() {
+        // Identical networks share every node: the miter reduces to FALSE
+        // structurally (covered by the early return).
+        let net = ripple_carry_adder(16);
+        assert_eq!(cec(&net, &net.clone()), CecResult::Equivalent);
+    }
+
+    #[test]
+    fn cec_on_small_rewrites() {
+        // y = ab + a'c vs the mux form: equivalent.
+        let mut n1 = Network::new("sop");
+        let a = n1.add_pi("a");
+        let b = n1.add_pi("b");
+        let c = n1.add_pi("c");
+        let y = n1.add_node(
+            "y",
+            vec![a, b, c],
+            Cover::from_cubes(
+                3,
+                [cube(&[(0, true), (1, true)]), cube(&[(0, false), (2, true)])],
+            ),
+        );
+        n1.add_po("y", y);
+
+        let mut n2 = Network::new("mux");
+        let a2 = n2.add_pi("a");
+        let b2 = n2.add_pi("b");
+        let c2 = n2.add_pi("c");
+        // mux(a, c, b): fanins (s=a, lo=c, hi=b).
+        let y2 = n2.add_node(
+            "y",
+            vec![a2, c2, b2],
+            Cover::from_cubes(
+                3,
+                [cube(&[(0, false), (1, true)]), cube(&[(0, true), (2, true)])],
+            ),
+        );
+        n2.add_po("y", y2);
+        assert_eq!(cec(&n1, &n2), CecResult::Equivalent);
+    }
+}

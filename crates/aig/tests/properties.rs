@@ -1,0 +1,114 @@
+//! Property-based tests: AIG compilation must preserve network semantics,
+//! and CEC must agree with exhaustive comparison on random network pairs.
+
+use als_aig::{cec, Aig, CecResult};
+use als_logic::{Cover, Cube};
+use als_network::{Network, NodeId};
+use proptest::prelude::*;
+
+const NUM_PIS: usize = 4;
+
+fn build_network(recipe: &[(u8, u8, u8)]) -> Network {
+    let mut net = Network::new("random");
+    let mut signals: Vec<NodeId> = (0..NUM_PIS)
+        .map(|i| net.add_pi(format!("x{i}")))
+        .collect();
+    for (idx, &(sel_a, sel_b, kind)) in recipe.iter().enumerate() {
+        let a = signals[sel_a as usize % signals.len()];
+        let mut b = signals[sel_b as usize % signals.len()];
+        if a == b {
+            b = signals[(sel_b as usize + 1) % signals.len()];
+        }
+        if a == b {
+            continue;
+        }
+        let cover = match kind % 4 {
+            0 => Cover::from_cubes(2, [Cube::from_literals(&[(0, true), (1, true)]).unwrap()]),
+            1 => Cover::from_cubes(
+                2,
+                [
+                    Cube::from_literals(&[(0, true)]).unwrap(),
+                    Cube::from_literals(&[(1, true)]).unwrap(),
+                ],
+            ),
+            2 => Cover::from_cubes(
+                2,
+                [
+                    Cube::from_literals(&[(0, true), (1, false)]).unwrap(),
+                    Cube::from_literals(&[(0, false), (1, true)]).unwrap(),
+                ],
+            ),
+            _ => Cover::from_cubes(2, [Cube::from_literals(&[(0, false), (1, false)]).unwrap()]),
+        };
+        let id = net.add_node(format!("g{idx}"), vec![a, b], cover);
+        signals.push(id);
+    }
+    let driver = *signals.last().expect("at least the PIs exist");
+    net.add_po("y", driver);
+    net
+}
+
+fn arb_recipe() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aig_compilation_preserves_semantics(recipe in arb_recipe()) {
+        let net = build_network(&recipe);
+        prop_assume!(net.num_internal() > 0);
+        let aig = Aig::from_network(&net);
+        for m in 0..(1u64 << NUM_PIS) {
+            let pis: Vec<bool> = (0..NUM_PIS).map(|i| m >> i & 1 == 1).collect();
+            let expect = net.eval(&pis);
+            for (po, e) in aig.pos().iter().zip(&expect) {
+                prop_assert_eq!(aig.eval(*po, m), *e, "minterm {}", m);
+            }
+        }
+    }
+
+    #[test]
+    fn cec_agrees_with_exhaustive_comparison(ra in arb_recipe(), rb in arb_recipe()) {
+        let a = build_network(&ra);
+        let b = build_network(&rb);
+        let exhaustively_equal = (0..(1u64 << NUM_PIS)).all(|m| {
+            let pis: Vec<bool> = (0..NUM_PIS).map(|i| m >> i & 1 == 1).collect();
+            a.eval(&pis) == b.eval(&pis)
+        });
+        match cec(&a, &b) {
+            CecResult::Equivalent => prop_assert!(exhaustively_equal),
+            CecResult::Counterexample(pis) => {
+                prop_assert!(!exhaustively_equal);
+                prop_assert_ne!(a.eval(&pis), b.eval(&pis), "witness must distinguish");
+            }
+            CecResult::InterfaceMismatch => prop_assert!(false, "same interface"),
+        }
+    }
+
+    #[test]
+    fn strashing_is_canonical_for_commuted_builds(sel in any::<u8>()) {
+        // Build the same function twice with commuted operand orders: the
+        // AIG node counts must match exactly.
+        let mut aig1 = Aig::new(3);
+        let mut aig2 = Aig::new(3);
+        let i = (sel % 3) as usize;
+        let j = ((sel / 3) % 3) as usize;
+        prop_assume!(i != j);
+        let (a1, b1) = (aig1.pi(i), aig1.pi(j));
+        let (a2, b2) = (aig2.pi(j), aig2.pi(i));
+        let f1 = {
+            let x = aig1.and(a1, b1);
+            aig1.xor(x, a1)
+        };
+        let f2 = {
+            let x = aig2.and(b2, a2);
+            aig2.xor(x, b2)
+        };
+        prop_assert_eq!(aig1.num_ands(), aig2.num_ands());
+        for m in 0..8u64 {
+            prop_assert_eq!(aig1.eval(f1, m), aig2.eval(f2, m));
+        }
+    }
+}

@@ -1,0 +1,598 @@
+//! Reduced ordered binary decision diagrams (ROBDDs) for **exact** error
+//! analysis of approximate circuits.
+//!
+//! The paper measures error rates by random simulation (10 000 vectors).
+//! This crate provides the complementary exact path: build BDDs for the
+//! golden and approximate networks over a shared variable order, form the
+//! miter `∨ᵢ (fᵢ ⊕ f'ᵢ)`, and read the **exact** error rate off the BDD's
+//! on-set density — no sampling noise, for any PI count the BDD can absorb.
+//!
+//! * [`BddManager`] — hash-consed node store with an ITE cache and a
+//!   configurable node limit (graceful [`BddError::NodeLimit`] instead of
+//!   memory blow-up on BDD-hostile structures like multipliers);
+//! * [`network_bdds`] — compiles a Boolean network into one BDD per PO;
+//! * [`exact_error_rate`] — the end-to-end miter construction.
+//!
+//! # Example
+//!
+//! ```
+//! use als_bdd::{exact_error_rate, BddManager};
+//! use als_circuits::adders::ripple_carry_adder;
+//!
+//! let golden = ripple_carry_adder(8);
+//! let mut approx = golden.clone();
+//! let victim = approx.internal_ids().next().expect("non-empty");
+//! approx.replace_with_constant(victim, false);
+//!
+//! let rate = exact_error_rate(&golden, &approx, 1 << 20)?;
+//! assert!(rate > 0.0 && rate < 1.0);
+//! # Ok::<(), als_bdd::BddError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use als_network::{Network, NodeKind};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A handle to a BDD node inside a [`BddManager`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Bdd(u32);
+
+/// Errors from BDD construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BddError {
+    /// The node limit was exceeded; the structure is BDD-hostile under the
+    /// natural PI order.
+    NodeLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// The two networks disagree in PI or PO count.
+    InterfaceMismatch,
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::NodeLimit { limit } => {
+                write!(f, "bdd node limit of {limit} exceeded")
+            }
+            BddError::InterfaceMismatch => write!(f, "networks have mismatched interfaces"),
+        }
+    }
+}
+
+impl Error for BddError {}
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    var: u32, // u32::MAX for terminals
+    lo: u32,
+    hi: u32,
+}
+
+/// A hash-consed ROBDD manager with the natural variable order
+/// `x0 < x1 < …`.
+#[derive(Debug)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    ite_cache: HashMap<(u32, u32, u32), u32>,
+    num_vars: usize,
+    node_limit: usize,
+}
+
+const TERMINAL: u32 = u32::MAX;
+
+impl BddManager {
+    /// Creates a manager for `num_vars` variables with a node-count limit.
+    pub fn new(num_vars: usize, node_limit: usize) -> Self {
+        BddManager {
+            nodes: vec![
+                Node { var: TERMINAL, lo: 0, hi: 0 }, // 0 = false
+                Node { var: TERMINAL, lo: 1, hi: 1 }, // 1 = true
+            ],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            num_vars,
+            node_limit,
+        }
+    }
+
+    /// The constant-false BDD.
+    pub fn zero(&self) -> Bdd {
+        Bdd(0)
+    }
+
+    /// The constant-true BDD.
+    pub fn one(&self) -> Bdd {
+        Bdd(1)
+    }
+
+    /// The number of allocated nodes (terminals and dead intermediates
+    /// included — the manager does no garbage collection).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The number of nodes reachable from `f` (the size of that one BDD).
+    pub fn reachable_count(&self, f: Bdd) -> usize {
+        let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut stack = vec![f.0];
+        while let Some(x) = stack.pop() {
+            if !seen.insert(x) || self.is_terminal(x) {
+                continue;
+            }
+            let n = self.node(x);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        seen.len()
+    }
+
+    /// The projection BDD of variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_vars`.
+    pub fn var(&mut self, i: usize) -> Result<Bdd, BddError> {
+        assert!(i < self.num_vars, "variable out of range");
+        let id = self.mk(i as u32, 0, 1)?;
+        Ok(Bdd(id))
+    }
+
+    fn mk(&mut self, var: u32, lo: u32, hi: u32) -> Result<u32, BddError> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        if let Some(&id) = self.unique.get(&(var, lo, hi)) {
+            return Ok(id);
+        }
+        if self.nodes.len() >= self.node_limit {
+            return Err(BddError::NodeLimit {
+                limit: self.node_limit,
+            });
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), id);
+        Ok(id)
+    }
+
+    fn node(&self, id: u32) -> Node {
+        self.nodes[id as usize]
+    }
+
+    fn is_terminal(&self, id: u32) -> bool {
+        id <= 1
+    }
+
+    /// If-then-else: `ite(f, g, h) = f·g + f'·h` — the universal connective.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd, BddError> {
+        Ok(Bdd(self.ite_rec(f.0, g.0, h.0)?))
+    }
+
+    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> Result<u32, BddError> {
+        // Terminal shortcuts.
+        if f == 1 {
+            return Ok(g);
+        }
+        if f == 0 {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == 1 && h == 0 {
+            return Ok(f);
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return Ok(r);
+        }
+        // Split on the top variable.
+        let top = [f, g, h]
+            .iter()
+            .filter(|&&x| !self.is_terminal(x))
+            .map(|&x| self.node(x).var)
+            .min()
+            .expect("f is non-terminal here");
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let lo = self.ite_rec(f0, g0, h0)?;
+        let hi = self.ite_rec(f1, g1, h1)?;
+        let r = self.mk(top, lo, hi)?;
+        self.ite_cache.insert((f, g, h), r);
+        Ok(r)
+    }
+
+    fn cofactors(&self, x: u32, var: u32) -> (u32, u32) {
+        if self.is_terminal(x) {
+            return (x, x);
+        }
+        let n = self.node(x);
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (x, x)
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: Bdd, b: Bdd) -> Result<Bdd, BddError> {
+        self.ite(a, b, self.zero())
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: Bdd, b: Bdd) -> Result<Bdd, BddError> {
+        let one = self.one();
+        self.ite(a, one, b)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, a: Bdd) -> Result<Bdd, BddError> {
+        let (zero, one) = (self.zero(), self.one());
+        self.ite(a, zero, one)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: Bdd, b: Bdd) -> Result<Bdd, BddError> {
+        let nb = self.not(b)?;
+        self.ite(a, nb, b)
+    }
+
+    /// Evaluates a BDD under a PI assignment (bit `i` = variable `i`).
+    pub fn eval(&self, f: Bdd, assignment: u64) -> bool {
+        let mut x = f.0;
+        while !self.is_terminal(x) {
+            let n = self.node(x);
+            x = if assignment >> n.var & 1 == 1 { n.hi } else { n.lo };
+        }
+        x == 1
+    }
+
+    /// The on-set density of `f`: the fraction of the `2^num_vars` input
+    /// space mapped to 1. Exact up to `f64` precision (52 bits — beyond any
+    /// simulation-based estimate).
+    pub fn density(&self, f: Bdd) -> f64 {
+        let mut memo: HashMap<u32, f64> = HashMap::new();
+        self.density_rec(f.0, &mut memo)
+    }
+
+    fn density_rec(&self, x: u32, memo: &mut HashMap<u32, f64>) -> f64 {
+        if x == 0 {
+            return 0.0;
+        }
+        if x == 1 {
+            return 1.0;
+        }
+        if let Some(&d) = memo.get(&x) {
+            return d;
+        }
+        let n = self.node(x);
+        let d = 0.5 * self.density_rec(n.lo, memo) + 0.5 * self.density_rec(n.hi, memo);
+        memo.insert(x, d);
+        d
+    }
+
+    /// The number of on-set minterms (exact for `num_vars ≤ 127`).
+    pub fn sat_count(&self, f: Bdd) -> u128 {
+        assert!(self.num_vars <= 127, "sat_count limited to 127 variables");
+        let mut memo: HashMap<u32, u128> = HashMap::new();
+        // count(x) = number of on-assignments of ALL variables below x's
+        // level; normalize at the root.
+        let total_bits = self.num_vars as u32;
+        
+        self.count_rec(f.0, 0, total_bits, &mut memo)
+    }
+
+    fn count_rec(
+        &self,
+        x: u32,
+        level: u32,
+        total: u32,
+        memo: &mut HashMap<u32, u128>,
+    ) -> u128 {
+        // Returns the count over variables level..total assuming x's top var
+        // is ≥ level.
+        if x == 0 {
+            return 0;
+        }
+        if x == 1 {
+            return 1u128 << (total - level);
+        }
+        let n = self.node(x);
+        let key = x;
+        let below = if let Some(&c) = memo.get(&key) {
+            c
+        } else {
+            let c = self.count_rec(n.lo, n.var + 1, total, memo)
+                + self.count_rec(n.hi, n.var + 1, total, memo);
+            memo.insert(key, c);
+            c
+        };
+        // Free variables between `level` and the node's variable double the
+        // count.
+        below << (n.var - level)
+    }
+}
+
+/// A variable order for the network's PIs: `order[i]` is the BDD level of
+/// PI `i`. Computed by a depth-first traversal from the primary outputs, so
+/// structurally related inputs (e.g. the `a_i`/`b_i` pairs of an adder) end
+/// up adjacent — the order under which adder/comparator BDDs stay linear,
+/// where the naive declaration order is exponential.
+pub fn structural_pi_order(net: &Network) -> Vec<usize> {
+    let pi_index: HashMap<als_network::NodeId, usize> =
+        net.pis().iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let mut order = vec![usize::MAX; net.num_pis()];
+    let mut next_level = 0usize;
+    let mut seen = vec![false; net.node_ids().map(|n| n.index()).max().map_or(0, |m| m + 1)];
+    let mut stack: Vec<als_network::NodeId> = net.pos().iter().rev().map(|(_, d)| *d).collect();
+    while let Some(n) = stack.pop() {
+        if std::mem::replace(&mut seen[n.index()], true) {
+            continue;
+        }
+        if let Some(&i) = pi_index.get(&n) {
+            order[i] = next_level;
+            next_level += 1;
+            continue;
+        }
+        // Push fanins in reverse so the first fanin is visited first.
+        for &f in net.node(n).fanins().iter().rev() {
+            if !seen[f.index()] {
+                stack.push(f);
+            }
+        }
+    }
+    // Unreachable PIs get the remaining levels.
+    for slot in &mut order {
+        if *slot == usize::MAX {
+            *slot = next_level;
+            next_level += 1;
+        }
+    }
+    order
+}
+
+/// Compiles a network into one BDD per primary output. `pi_order[i]` gives
+/// the BDD level of PI `i` (see [`structural_pi_order`]); pass
+/// `(0..n).collect()` for the declaration order.
+///
+/// # Errors
+///
+/// Returns [`BddError::NodeLimit`] if construction exceeds the manager's
+/// limit.
+///
+/// # Panics
+///
+/// Panics if `pi_order` is not a permutation of `0..num_pis`.
+pub fn network_bdds(
+    net: &Network,
+    mgr: &mut BddManager,
+    pi_order: &[usize],
+) -> Result<Vec<Bdd>, BddError> {
+    assert_eq!(pi_order.len(), net.num_pis(), "order must cover every PI");
+    let mut of_node: HashMap<als_network::NodeId, Bdd> = HashMap::new();
+    for (i, &pi) in net.pis().iter().enumerate() {
+        of_node.insert(pi, mgr.var(pi_order[i])?);
+    }
+    for id in net.topo_order() {
+        let node = net.node(id);
+        if node.kind() != NodeKind::Internal {
+            continue;
+        }
+        let mut acc = mgr.zero();
+        for cube in node.cover().cubes() {
+            let mut term = mgr.one();
+            for (var, phase) in cube.literals() {
+                let fanin = of_node[&node.fanins()[var]];
+                let lit = if phase { fanin } else { mgr.not(fanin)? };
+                term = mgr.and(term, lit)?;
+            }
+            acc = mgr.or(acc, term)?;
+        }
+        of_node.insert(id, acc);
+    }
+    Ok(net.pos().iter().map(|(_, d)| of_node[d]).collect())
+}
+
+/// The **exact** error rate between two networks: the density of the miter
+/// `∨ᵢ (fᵢ ⊕ f'ᵢ)` over all `2^num_pis` input vectors.
+///
+/// # Errors
+///
+/// Returns [`BddError::InterfaceMismatch`] when the interfaces differ, or
+/// [`BddError::NodeLimit`] when either network's BDD exceeds `node_limit`.
+pub fn exact_error_rate(
+    golden: &Network,
+    approx: &Network,
+    node_limit: usize,
+) -> Result<f64, BddError> {
+    if golden.num_pis() != approx.num_pis() || golden.num_pos() != approx.num_pos() {
+        return Err(BddError::InterfaceMismatch);
+    }
+    let mut mgr = BddManager::new(golden.num_pis(), node_limit);
+    let order = structural_pi_order(golden);
+    let g = network_bdds(golden, &mut mgr, &order)?;
+    let a = network_bdds(approx, &mut mgr, &order)?;
+    let mut miter = mgr.zero();
+    for (x, y) in g.iter().zip(&a) {
+        let d = mgr.xor(*x, *y)?;
+        miter = mgr.or(miter, d)?;
+    }
+    Ok(mgr.density(miter))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_circuits::adders::ripple_carry_adder;
+    use als_logic::{Cover, Cube};
+
+    #[test]
+    fn basic_algebra() {
+        let mut m = BddManager::new(3, 10_000);
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let ab = m.and(a, b).unwrap();
+        let a_or_b = m.or(a, b).unwrap();
+        let axb = m.xor(a, b).unwrap();
+        for v in 0..8u64 {
+            let (va, vb) = (v & 1 == 1, v >> 1 & 1 == 1);
+            assert_eq!(m.eval(ab, v), va && vb);
+            assert_eq!(m.eval(a_or_b, v), va || vb);
+            assert_eq!(m.eval(axb, v), va ^ vb);
+        }
+        // Hash-consing: rebuilding the same function yields the same handle.
+        let ab2 = m.and(a, b).unwrap();
+        assert_eq!(ab, ab2);
+        // De Morgan.
+        let na = m.not(a).unwrap();
+        let nb = m.not(b).unwrap();
+        let lhs = m.not(ab).unwrap();
+        let rhs = m.or(na, nb).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn density_and_sat_count() {
+        let mut m = BddManager::new(4, 10_000);
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let ab = m.and(a, b).unwrap();
+        assert!((m.density(ab) - 0.25).abs() < 1e-15);
+        assert_eq!(m.sat_count(ab), 4); // 4 of 16 minterms
+        assert_eq!(m.sat_count(m.one()), 16);
+        assert_eq!(m.sat_count(m.zero()), 0);
+        // A lone variable high in the order still counts correctly.
+        let d = m.var(3).unwrap();
+        assert_eq!(m.sat_count(d), 8);
+    }
+
+    #[test]
+    fn node_limit_is_graceful() {
+        let mut m = BddManager::new(8, 6);
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let c = m.var(2).unwrap();
+        let ab = m.and(a, b);
+        let result = ab.and_then(|ab| m.and(ab, c));
+        assert!(matches!(
+            result,
+            Err(BddError::NodeLimit { .. }) | Ok(_)
+        ));
+        // With so few nodes allowed, an 8-variable chain must fail somewhere.
+        let mut failed = false;
+        let mut acc = m.one();
+        for i in 0..8 {
+            match m.var(i).and_then(|v| m.and(acc, v)) {
+                Ok(x) => acc = x,
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        assert!(failed, "limit of 6 nodes cannot hold an 8-var conjunction");
+    }
+
+    #[test]
+    fn network_bdds_match_eval() {
+        let net = ripple_carry_adder(4);
+        let mut m = BddManager::new(net.num_pis(), 1 << 20);
+        let order: Vec<usize> = (0..net.num_pis()).collect();
+        let pos = network_bdds(&net, &mut m, &order).unwrap();
+        for v in (0..256u64).step_by(7) {
+            let pis: Vec<bool> = (0..8).map(|i| v >> i & 1 == 1).collect();
+            let expect = net.eval(&pis);
+            for (bdd, e) in pos.iter().zip(&expect) {
+                assert_eq!(m.eval(*bdd, v), *e, "vector {v:08b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_error_rate_matches_exhaustive_simulation() {
+        use als_sim::{error_rate, PatternSet};
+        let golden = ripple_carry_adder(4);
+        let mut approx = golden.clone();
+        let victim = approx.internal_ids().nth(3).unwrap();
+        approx.replace_with_constant(victim, true);
+        let exact = exact_error_rate(&golden, &approx, 1 << 20).unwrap();
+        let patterns = PatternSet::exhaustive(8).unwrap();
+        let sampled = error_rate(&golden, &approx, &patterns);
+        assert!(
+            (exact - sampled).abs() < 1e-12,
+            "exact {exact} vs exhaustive {sampled}"
+        );
+    }
+
+    #[test]
+    fn structural_order_keeps_adders_linear() {
+        // Declaration order (a0..a31 b0..b31) is exponential for the carry;
+        // the structural order interleaves and must stay small.
+        let net = ripple_carry_adder(32);
+        let order = structural_pi_order(&net);
+        let mut m = BddManager::new(64, 1 << 20);
+        let pos = network_bdds(&net, &mut m, &order).unwrap();
+        let worst = pos.iter().map(|&f| m.reachable_count(f)).max().unwrap();
+        assert!(worst < 1000, "adder BDD should be linear, got {worst}");
+        // Exact density of the carry-out of a uniform 32-bit add.
+        let cout = pos[32];
+        let d = m.density(cout);
+        assert!((0.4..0.6).contains(&d), "cout density {d}");
+    }
+
+    #[test]
+    fn identical_networks_have_zero_exact_error() {
+        let net = ripple_carry_adder(6);
+        assert_eq!(exact_error_rate(&net, &net.clone(), 1 << 20).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn interface_mismatch_detected() {
+        let a = ripple_carry_adder(4);
+        let b = ripple_carry_adder(5);
+        assert_eq!(
+            exact_error_rate(&a, &b, 1 << 20),
+            Err(BddError::InterfaceMismatch)
+        );
+    }
+
+    #[test]
+    fn xor_tree_bdd_is_linear() {
+        // XOR chains are the BDD-friendly case: size linear in variables.
+        let mut net = als_network::Network::new("x");
+        let pis: Vec<_> = (0..16).map(|i| net.add_pi(format!("x{i}"))).collect();
+        let mut acc = pis[0];
+        for (i, &p) in pis.iter().enumerate().skip(1) {
+            acc = net.add_node(
+                format!("t{i}"),
+                vec![acc, p],
+                Cover::from_cubes(
+                    2,
+                    [
+                        Cube::from_literals(&[(0, true), (1, false)]).unwrap(),
+                        Cube::from_literals(&[(0, false), (1, true)]).unwrap(),
+                    ],
+                ),
+            );
+        }
+        net.add_po("p", acc);
+        let mut m = BddManager::new(16, 10_000);
+        let order: Vec<usize> = (0..16).collect();
+        let pos = network_bdds(&net, &mut m, &order).unwrap();
+        // The parity function's BDD is linear in the variable count.
+        assert!(
+            m.reachable_count(pos[0]) <= 2 * 16 + 2,
+            "parity BDD must be linear, got {}",
+            m.reachable_count(pos[0])
+        );
+        assert!((m.density(pos[0]) - 0.5).abs() < 1e-15);
+    }
+}

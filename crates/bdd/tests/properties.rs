@@ -1,0 +1,114 @@
+//! Property-based tests: BDD operations against truth tables, density vs.
+//! sat-count consistency, and canonical hash-consing.
+
+use als_bdd::{Bdd, BddManager};
+use als_logic::TruthTable;
+use proptest::prelude::*;
+
+const NUM_VARS: usize = 5;
+
+/// A tiny expression language for building the same function both as a BDD
+/// and as a truth table.
+#[derive(Clone, Debug)]
+enum Op {
+    Var(u8),
+    And(Box<Op>, Box<Op>),
+    Or(Box<Op>, Box<Op>),
+    Xor(Box<Op>, Box<Op>),
+    Not(Box<Op>),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let leaf = any::<u8>().prop_map(Op::Var);
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Op::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Op::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Op::Xor(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Op::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn build_bdd(op: &Op, mgr: &mut BddManager) -> Bdd {
+    match op {
+        Op::Var(v) => mgr.var(*v as usize % NUM_VARS).expect("in range"),
+        Op::And(a, b) => {
+            let (x, y) = (build_bdd(a, mgr), build_bdd(b, mgr));
+            mgr.and(x, y).expect("limit generous")
+        }
+        Op::Or(a, b) => {
+            let (x, y) = (build_bdd(a, mgr), build_bdd(b, mgr));
+            mgr.or(x, y).expect("limit generous")
+        }
+        Op::Xor(a, b) => {
+            let (x, y) = (build_bdd(a, mgr), build_bdd(b, mgr));
+            mgr.xor(x, y).expect("limit generous")
+        }
+        Op::Not(a) => {
+            let x = build_bdd(a, mgr);
+            mgr.not(x).expect("limit generous")
+        }
+    }
+}
+
+fn build_tt(op: &Op) -> TruthTable {
+    match op {
+        Op::Var(v) => TruthTable::var(NUM_VARS, *v as usize % NUM_VARS).expect("in range"),
+        Op::And(a, b) => &build_tt(a) & &build_tt(b),
+        Op::Or(a, b) => &build_tt(a) | &build_tt(b),
+        Op::Xor(a, b) => &build_tt(a) ^ &build_tt(b),
+        Op::Not(a) => !&build_tt(a),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bdd_matches_truth_table(op in arb_op()) {
+        let mut mgr = BddManager::new(NUM_VARS, 1 << 16);
+        let f = build_bdd(&op, &mut mgr);
+        let tt = build_tt(&op);
+        for m in 0..(1u64 << NUM_VARS) {
+            prop_assert_eq!(mgr.eval(f, m), tt.get(m), "minterm {}", m);
+        }
+    }
+
+    #[test]
+    fn density_equals_satcount_fraction(op in arb_op()) {
+        let mut mgr = BddManager::new(NUM_VARS, 1 << 16);
+        let f = build_bdd(&op, &mut mgr);
+        let tt = build_tt(&op);
+        let count = mgr.sat_count(f);
+        prop_assert_eq!(count, tt.count_ones() as u128);
+        let density = mgr.density(f);
+        let expect = count as f64 / (1u64 << NUM_VARS) as f64;
+        prop_assert!((density - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hash_consing_is_canonical(op in arb_op()) {
+        // Building the same function twice yields the identical handle —
+        // the ROBDD canonicity property.
+        let mut mgr = BddManager::new(NUM_VARS, 1 << 16);
+        let f1 = build_bdd(&op, &mut mgr);
+        let f2 = build_bdd(&op, &mut mgr);
+        prop_assert_eq!(f1, f2);
+        // And the double complement returns the original handle.
+        let n = mgr.not(f1).expect("limit generous");
+        let nn = mgr.not(n).expect("limit generous");
+        prop_assert_eq!(nn, f1);
+    }
+
+    #[test]
+    fn xor_with_self_is_zero(op in arb_op()) {
+        let mut mgr = BddManager::new(NUM_VARS, 1 << 16);
+        let f = build_bdd(&op, &mut mgr);
+        let z = mgr.xor(f, f).expect("limit generous");
+        prop_assert_eq!(z, mgr.zero());
+    }
+}

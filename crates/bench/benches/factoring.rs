@@ -1,0 +1,70 @@
+//! Microbench: the logic substrate — algebraic factoring, ISOP
+//! minimization and kernel extraction on randomized covers.
+
+use als_logic::factor::factor_cover;
+use als_logic::isop::isop_exact;
+use als_logic::kernel::kernels;
+use als_logic::{Cover, Cube, TruthTable};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn random_covers(count: usize, num_vars: usize, cubes: usize, seed: u64) -> Vec<Cover> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    (0..count)
+        .map(|_| {
+            let mut cover = Cover::new(num_vars);
+            for _ in 0..cubes {
+                let r = next();
+                let mut lits = Vec::new();
+                for v in 0..num_vars {
+                    match r >> (2 * v) & 3 {
+                        0 => lits.push((v, true)),
+                        1 => lits.push((v, false)),
+                        _ => {}
+                    }
+                }
+                if let Ok(c) = Cube::from_literals(&lits) {
+                    cover.push(c);
+                }
+            }
+            cover
+        })
+        .collect()
+}
+
+fn bench_factoring(c: &mut Criterion) {
+    let covers = random_covers(64, 8, 6, 7);
+    let mut group = c.benchmark_group("logic");
+    group.bench_function("factor_cover/8var_6cube_x64", |b| {
+        b.iter(|| {
+            for cover in &covers {
+                black_box(factor_cover(black_box(cover)));
+            }
+        });
+    });
+    group.bench_function("kernels/8var_6cube_x64", |b| {
+        b.iter(|| {
+            for cover in &covers {
+                black_box(kernels(black_box(cover)));
+            }
+        });
+    });
+    let tables: Vec<TruthTable> = covers.iter().map(Cover::to_truth_table).collect();
+    group.bench_function("isop/8var_x64", |b| {
+        b.iter(|| {
+            for tt in &tables {
+                black_box(isop_exact(black_box(tt)));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_factoring);
+criterion_main!(benches);

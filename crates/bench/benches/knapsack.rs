@@ -1,0 +1,47 @@
+//! Microbench: the multi-state knapsack DP, with and without dominance
+//! pruning (the design-choice ablation called out in DESIGN.md §4.2).
+
+use als_core::knapsack::{solve, KnapsackItem, KnapsackState};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn instance(num_items: usize, states_per_item: usize, seed: u64) -> Vec<KnapsackItem> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    (0..num_items)
+        .map(|_| KnapsackItem {
+            states: (0..states_per_item)
+                .map(|_| KnapsackState {
+                    weight: next() % 50 + 1,
+                    value: next() % 20 + 1,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn bench_knapsack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knapsack");
+    for &n in &[50usize, 200, 800] {
+        let items = instance(n, 8, 42);
+        group.bench_with_input(BenchmarkId::new("with_dominance", n), &items, |b, items| {
+            b.iter(|| solve(black_box(items), 500, true));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("without_dominance", n),
+            &items,
+            |b, items| {
+                b.iter(|| solve(black_box(items), 500, false));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knapsack);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Microbench: bit-parallel simulation throughput and error-rate
+//! measurement on the Table 3 circuit classes.
+
+use als_circuits::{array_multiplier, kogge_stone_adder, ripple_carry_adder};
+use als_sim::{error_rate, simulate, PatternSet, DEFAULT_NUM_PATTERNS};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    let circuits = [
+        ("RCA32", ripple_carry_adder(32)),
+        ("KSA32", kogge_stone_adder(32)),
+        ("MUL8", array_multiplier(8)),
+    ];
+    for (name, net) in &circuits {
+        let patterns = PatternSet::random(net.num_pis(), DEFAULT_NUM_PATTERNS, 1);
+        group.bench_function(format!("simulate_10k/{name}"), |b| {
+            b.iter(|| simulate(black_box(net), black_box(&patterns)));
+        });
+    }
+    // Error-rate measurement: golden vs. a slightly perturbed copy.
+    let golden = ripple_carry_adder(32);
+    let mut approx = golden.clone();
+    let victim = approx.internal_ids().nth(20).expect("rca32 has many nodes");
+    approx.replace_with_constant(victim, false);
+    let patterns = PatternSet::random(golden.num_pis(), DEFAULT_NUM_PATTERNS, 1);
+    group.bench_function("error_rate_10k/RCA32", |b| {
+        b.iter(|| error_rate(black_box(&golden), black_box(&approx), black_box(&patterns)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! One binary per experiment (see `src/bin/`):
+//!
+//! * `table3` — benchmark information (I/O, nodes, mapped area/delay);
+//! * `figure2` — area saving of the single-selection algorithm vs. the
+//!   error-rate threshold;
+//! * `table4` — area-ratio & runtime comparison of SASIMI vs. single- vs.
+//!   multi-selection over the seven thresholds;
+//! * `knapsack_example` — the worked multi-state-knapsack example of
+//!   Tables 1 and 2;
+//! * `ablation` — the design-choice study of DESIGN.md §4 (don't-cares,
+//!   window size, engine, preprocess);
+//! * `scaling` — runtime vs. circuit size, backing the §6 complexity claim.
+//!
+//! Criterion microbenches live under `benches/`.
+
+#![warn(missing_docs)]
+
+use als_core::{multi_selection, single_selection, AlsConfig, AlsOutcome};
+use als_mapper::{map_network, Library};
+use als_network::Network;
+use als_sasimi::sasimi;
+use serde::Serialize;
+
+/// The seven error-rate thresholds of the paper's evaluation (§6).
+pub const PAPER_THRESHOLDS: [f64; 7] = [0.001, 0.003, 0.005, 0.008, 0.01, 0.03, 0.05];
+
+/// Reduced setup for `--quick` runs: three thresholds, fewer patterns.
+pub const QUICK_THRESHOLDS: [f64; 3] = [0.005, 0.01, 0.05];
+
+/// The three compared algorithms.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Algorithm {
+    /// The SASIMI baseline.
+    Sasimi,
+    /// Paper Algorithm 1.
+    SingleSelection,
+    /// Paper Algorithm 2.
+    MultiSelection,
+}
+
+impl Algorithm {
+    /// Display name as used in the paper's Table 4 header.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Sasimi => "SASIMI",
+            Algorithm::SingleSelection => "single-selection",
+            Algorithm::MultiSelection => "multi-selection",
+        }
+    }
+
+    /// All three, in Table 4 column order.
+    pub const ALL: [Algorithm; 3] = [
+        Algorithm::Sasimi,
+        Algorithm::SingleSelection,
+        Algorithm::MultiSelection,
+    ];
+}
+
+/// One experiment record (circuit × algorithm × threshold).
+#[derive(Clone, Debug, Serialize)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub circuit: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Error-rate threshold.
+    pub threshold: f64,
+    /// Technology-independent literal ratio (approx / original).
+    pub literal_ratio: f64,
+    /// Mapped-area ratio (approx / original) on the MCNC-like library.
+    pub area_ratio: f64,
+    /// Mapped delay ratio (approx / original).
+    pub delay_ratio: f64,
+    /// Measured error rate of the result.
+    pub error_rate: f64,
+    /// Wall-clock runtime in seconds.
+    pub runtime_s: f64,
+}
+
+/// Runs one algorithm on one circuit at one threshold, reporting mapped
+/// ratios against the unmodified circuit.
+pub fn run_one(
+    circuit_name: &str,
+    golden: &Network,
+    algorithm: Algorithm,
+    threshold: f64,
+    quick: bool,
+) -> RunResult {
+    let mut config = AlsConfig::with_threshold(threshold);
+    if quick {
+        config.num_patterns = 2048;
+        config.dont_care.method = als_dontcare::DontCareMethod::Enumerate;
+    }
+    let outcome: AlsOutcome = match algorithm {
+        Algorithm::Sasimi => sasimi(golden, &config),
+        Algorithm::SingleSelection => single_selection(golden, &config),
+        Algorithm::MultiSelection => multi_selection(golden, &config),
+    };
+    let lib = Library::mcnc_like();
+    let golden_mapped = map_network(golden, &lib);
+    let approx_mapped = map_network(&outcome.network, &lib);
+    RunResult {
+        circuit: circuit_name.to_string(),
+        algorithm: algorithm.name().to_string(),
+        threshold,
+        literal_ratio: outcome.literal_ratio(),
+        area_ratio: approx_mapped.area() / golden_mapped.area(),
+        delay_ratio: approx_mapped.delay() / golden_mapped.delay(),
+        error_rate: outcome.measured_error_rate,
+        runtime_s: outcome.runtime.as_secs_f64(),
+    }
+}
+
+/// Geometric mean (for the Table 4 summary row).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of an empty set");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Parses the common CLI flags of the bench binaries: `--quick`, and an
+/// optional `--circuit <name>` filter. Returns `(quick, circuit_filter)`.
+pub fn parse_common_args() -> (bool, Option<String>) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let circuit = args
+        .iter()
+        .position(|a| a == "--circuit")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    (quick, circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_circuits::adders::ripple_carry_adder;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geometric_mean(&[4.0, 9.0]) - 6.0).abs() < 1e-12);
+        assert!((geometric_mean(&[7.0]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn run_one_produces_consistent_ratios() {
+        let net = ripple_carry_adder(4);
+        let r = run_one("RCA4", &net, Algorithm::MultiSelection, 0.05, true);
+        assert!(r.literal_ratio <= 1.0);
+        assert!(r.area_ratio <= 1.05);
+        assert!(r.error_rate <= 0.05 + 1e-12);
+        assert!(r.runtime_s >= 0.0);
+    }
+
+    #[test]
+    fn paper_thresholds_match_section_6() {
+        assert_eq!(PAPER_THRESHOLDS.len(), 7);
+        assert_eq!(PAPER_THRESHOLDS[0], 0.001);
+        assert_eq!(PAPER_THRESHOLDS[6], 0.05);
+    }
+}

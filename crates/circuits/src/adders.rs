@@ -1,0 +1,244 @@
+//! Adder generators: ripple-carry, carry-lookahead and Kogge–Stone.
+//!
+//! All three take two `n`-bit little-endian operands on PIs
+//! `a0..a(n-1), b0..b(n-1)` and expose `n` sum bits plus the carry-out
+//! (`n + 1` POs), so they are drop-in replacements for each other — exactly
+//! the RCA32 / CLA32 / KSA32 trio of the paper's Table 3.
+
+use crate::Builder;
+use als_network::{Network, NodeId};
+
+fn operand_pis(b: &mut Builder, n: usize) -> (Vec<NodeId>, Vec<NodeId>) {
+    let a: Vec<NodeId> = (0..n).map(|i| b.pi(format!("a{i}"))).collect();
+    let bb: Vec<NodeId> = (0..n).map(|i| b.pi(format!("b{i}"))).collect();
+    (a, bb)
+}
+
+fn sum_pos(b: &mut Builder, sums: &[NodeId], cout: NodeId) {
+    for (i, &s) in sums.iter().enumerate() {
+        b.po(format!("s{i}"), s);
+    }
+    b.po("cout", cout);
+}
+
+/// An `n`-bit ripple-carry adder (the paper's RCA32 at `n = 32`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ripple_carry_adder(n: usize) -> Network {
+    assert!(n > 0, "adder width must be positive");
+    let mut b = Builder::new(format!("RCA{n}"));
+    let (a, bb) = operand_pis(&mut b, n);
+    let mut sums = Vec::with_capacity(n);
+    let (s0, mut carry) = b.half_adder(a[0], bb[0]);
+    sums.push(s0);
+    for i in 1..n {
+        let (s, c) = b.full_adder(a[i], bb[i], carry);
+        sums.push(s);
+        carry = c;
+    }
+    sum_pos(&mut b, &sums, carry);
+    b.finish()
+}
+
+/// An `n`-bit carry-lookahead adder with 4-bit lookahead groups rippled
+/// together (the paper's CLA32 at `n = 32`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn carry_lookahead_adder(n: usize) -> Network {
+    assert!(n > 0, "adder width must be positive");
+    let mut b = Builder::new(format!("CLA{n}"));
+    let (a, bb) = operand_pis(&mut b, n);
+
+    // Bit-level propagate/generate.
+    let p: Vec<NodeId> = (0..n).map(|i| b.xor2(a[i], bb[i])).collect();
+    let g: Vec<NodeId> = (0..n).map(|i| b.and(&[a[i], bb[i]])).collect();
+
+    let mut carries: Vec<NodeId> = Vec::with_capacity(n + 1);
+    let c0 = b.constant(false);
+    carries.push(c0);
+    // 4-bit groups with full lookahead inside the group:
+    // c[i+1] = g[i] + p[i]g[i-1] + ... + p[i..j]·c_group_in
+    let mut group_start = 0;
+    while group_start < n {
+        let group_end = (group_start + 4).min(n);
+        let cin = carries[group_start];
+        for i in group_start..group_end {
+            // c[i+1] = OR over k in group_start..=i of (g[k] · p[k+1..=i]) OR (cin · p[group_start..=i])
+            let mut terms: Vec<NodeId> = Vec::new();
+            for k in group_start..=i {
+                let mut factors = vec![g[k]];
+                factors.extend_from_slice(&p[k + 1..=i]);
+                terms.push(b.and(&factors));
+            }
+            let mut cin_factors = vec![cin];
+            cin_factors.extend_from_slice(&p[group_start..=i]);
+            terms.push(b.and(&cin_factors));
+            carries.push(b.or(&terms));
+        }
+        group_start = group_end;
+    }
+
+    let sums: Vec<NodeId> = (0..n).map(|i| b.xor2(p[i], carries[i])).collect();
+    let cout = carries[n];
+    sum_pos(&mut b, &sums, cout);
+    let mut net = b.finish();
+    net.propagate_constants();
+    net
+}
+
+/// An `n`-bit Kogge–Stone parallel-prefix adder (the paper's KSA32 at
+/// `n = 32`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn kogge_stone_adder(n: usize) -> Network {
+    assert!(n > 0, "adder width must be positive");
+    let mut b = Builder::new(format!("KSA{n}"));
+    let (a, bb) = operand_pis(&mut b, n);
+
+    let p0: Vec<NodeId> = (0..n).map(|i| b.xor2(a[i], bb[i])).collect();
+    let g0: Vec<NodeId> = (0..n).map(|i| b.and(&[a[i], bb[i]])).collect();
+
+    // Prefix tree: (G, P) ∘ (G', P') = (G ∨ P·G', P·P').
+    let mut g = g0.clone();
+    let mut p = p0.clone();
+    let mut dist = 1;
+    while dist < n {
+        let mut ng = g.clone();
+        let mut np = p.clone();
+        for i in dist..n {
+            let pg = b.and(&[p[i], g[i - dist]]);
+            ng[i] = b.or(&[g[i], pg]);
+            np[i] = b.and(&[p[i], p[i - dist]]);
+        }
+        g = ng;
+        p = np;
+        dist *= 2;
+    }
+
+    // carries[i] = group-generate of bits 0..=i-1; c[0] = 0.
+    let mut sums = Vec::with_capacity(n);
+    sums.push(p0[0]);
+    for i in 1..n {
+        sums.push(b.xor2(p0[i], g[i - 1]));
+    }
+    let cout = g[n - 1];
+    sum_pos(&mut b, &sums, cout);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::eval_binary;
+
+    fn check_adder(net: &Network, n: usize) {
+        assert_eq!(net.num_pis(), 2 * n);
+        assert_eq!(net.num_pos(), n + 1);
+        net.check().unwrap();
+        // Exhaustive for small widths, corner + pseudo-random for wide ones.
+        if n <= 4 {
+            for a in 0..(1u64 << n) {
+                for b in 0..(1u64 << n) {
+                    let got = eval_binary(net, a, n, b, n);
+                    assert_eq!(got, a + b, "{a} + {b} (n={n})");
+                }
+            }
+        } else {
+            let mask = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+            let mut cases = vec![(0, 0), (mask, 1), (mask, mask), (1, mask)];
+            let mut state = 0x9e3779b97f4a7c15u64;
+            for _ in 0..50 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                cases.push((state & mask, state.rotate_left(17) & mask));
+            }
+            for (a, b) in cases {
+                let got = eval_binary(net, a, n, b, n);
+                let expect = (a as u128 + b as u128) as u64 & ((mask as u128) << 1 | 1) as u64;
+                assert_eq!(got, expect, "{a} + {b} (n={n})");
+            }
+        }
+    }
+
+    #[test]
+    fn rca_small_widths_exhaustive() {
+        for n in [1, 2, 3, 4] {
+            check_adder(&ripple_carry_adder(n), n);
+        }
+    }
+
+    #[test]
+    fn rca32_corner_cases() {
+        check_adder(&ripple_carry_adder(32), 32);
+    }
+
+    #[test]
+    fn cla_small_widths_exhaustive() {
+        for n in [1, 2, 3, 4] {
+            check_adder(&carry_lookahead_adder(n), n);
+        }
+    }
+
+    #[test]
+    fn cla_group_boundaries() {
+        // Widths straddling the 4-bit groups.
+        for n in [5, 7, 8, 9] {
+            let net = carry_lookahead_adder(n);
+            let mask = (1u64 << n) - 1;
+            for (a, b) in [(mask, 1), (0b10101 & mask, 0b01011 & mask), (mask, mask)] {
+                assert_eq!(eval_binary(&net, a, n, b, n), a + b, "n={n} {a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cla32_corner_cases() {
+        check_adder(&carry_lookahead_adder(32), 32);
+    }
+
+    #[test]
+    fn ksa_small_widths_exhaustive() {
+        for n in [1, 2, 3, 4] {
+            check_adder(&kogge_stone_adder(n), n);
+        }
+    }
+
+    #[test]
+    fn ksa32_corner_cases() {
+        check_adder(&kogge_stone_adder(32), 32);
+    }
+
+    #[test]
+    fn ksa_is_shallower_than_rca() {
+        let rca = ripple_carry_adder(32);
+        let ksa = kogge_stone_adder(32);
+        assert!(
+            ksa.depth() < rca.depth(),
+            "prefix adder must be shallower: {} vs {}",
+            ksa.depth(),
+            rca.depth()
+        );
+    }
+
+    #[test]
+    fn all_three_agree() {
+        let nets = [
+            ripple_carry_adder(8),
+            carry_lookahead_adder(8),
+            kogge_stone_adder(8),
+        ];
+        let mut state = 123u64;
+        for _ in 0..100 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = state & 0xFF;
+            let b = (state >> 8) & 0xFF;
+            let results: Vec<u64> = nets.iter().map(|n| eval_binary(n, a, 8, b, 8)).collect();
+            assert!(results.windows(2).all(|w| w[0] == w[1]), "{a}+{b}: {results:?}");
+        }
+    }
+}

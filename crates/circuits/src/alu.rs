@@ -1,0 +1,437 @@
+//! ALU and datapath generators standing in for the paper's MCNC/ISCAS
+//! benchmarks (Table 3): c880/c3540-class 8-bit ALUs, a c5315-class 9-bit
+//! ALU, a c2670-class 12-bit ALU-with-controller, a c7552-class 32-bit
+//! adder/comparator, and a 74181-style 4-bit ALU for the `alu4` slot.
+
+use crate::Builder;
+use als_network::{Network, NodeId};
+
+fn word_pis(b: &mut Builder, prefix: &str, n: usize) -> Vec<NodeId> {
+    (0..n).map(|i| b.pi(format!("{prefix}{i}"))).collect()
+}
+
+fn word_pos(b: &mut Builder, prefix: &str, bits: &[NodeId]) {
+    for (i, &bit) in bits.iter().enumerate() {
+        b.po(format!("{prefix}{i}"), bit);
+    }
+}
+
+/// Builds an adder/subtractor slice: returns `(sum_bits, carry_out)` for
+/// `a + (b ⊕ sub) + sub`.
+fn add_sub(b: &mut Builder, a: &[NodeId], bb: &[NodeId], sub: NodeId) -> (Vec<NodeId>, NodeId) {
+    let n = a.len();
+    let mut sums = Vec::with_capacity(n);
+    let mut carry = sub; // carry-in = 1 for subtraction (two's complement)
+    for i in 0..n {
+        let bx = b.xor2(bb[i], sub);
+        let (s, c) = b.full_adder(a[i], bx, carry);
+        sums.push(s);
+        carry = c;
+    }
+    (sums, carry)
+}
+
+/// An `n`-bit ALU with ops selected by 3 opcode bits:
+/// `000 ADD, 001 SUB, 010 AND, 011 OR, 100 XOR, 101 NOT a, 110 pass a,
+/// 111 pass b`. Outputs: `n` result bits, carry-out, and a zero flag.
+///
+/// At `n = 8` this is the stand-in for the c880 benchmark ("8-bit ALU").
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn alu(n: usize) -> Network {
+    assert!(n > 0, "alu width must be positive");
+    let mut b = Builder::new(format!("ALU{n}"));
+    let a = word_pis(&mut b, "a", n);
+    let bb = word_pis(&mut b, "b", n);
+    let op = word_pis(&mut b, "op", 3);
+
+    let sub = op[0]; // for the arithmetic group, op0 distinguishes add/sub
+    let (arith, carry) = add_sub(&mut b, &a, &bb, sub);
+    let and_bits: Vec<NodeId> = (0..n).map(|i| b.and(&[a[i], bb[i]])).collect();
+    let or_bits: Vec<NodeId> = (0..n).map(|i| b.or(&[a[i], bb[i]])).collect();
+    let xor_bits: Vec<NodeId> = (0..n).map(|i| b.xor2(a[i], bb[i])).collect();
+    let not_bits: Vec<NodeId> = (0..n).map(|i| b.not(a[i])).collect();
+
+    // Two mux levels: op1 selects within pairs, op2 selects between groups.
+    let mut result = Vec::with_capacity(n);
+    for i in 0..n {
+        // Group 0 (op2 = 0): op1 ? logic(and/or) : arith(add/sub)
+        //   op1=0 → arith (op0 chooses add/sub)
+        //   op1=1 → op0 ? or : and
+        let logic01 = b.mux(op[0], and_bits[i], or_bits[i]);
+        let group0 = b.mux(op[1], arith[i], logic01);
+        // Group 1 (op2 = 1): op1=0 → op0 ? not : xor; op1=1 → op0 ? b : a
+        let xornot = b.mux(op[0], xor_bits[i], not_bits[i]);
+        let passes = b.mux(op[0], a[i], bb[i]);
+        let group1 = b.mux(op[1], xornot, passes);
+        result.push(b.mux(op[2], group0, group1));
+    }
+
+    let zero = {
+        let any = b.or(&result);
+        b.not(any)
+    };
+    word_pos(&mut b, "f", &result);
+    b.po("cout", carry);
+    b.po("zero", zero);
+    b.finish()
+}
+
+/// An `n`-bit ALU-with-controller: the ALU above plus a small combinational
+/// control block that decodes a 4-bit instruction field into the ALU opcode
+/// and a result mask, in the spirit of the c2670 benchmark
+/// ("12-bit ALU and controller") at `n = 12`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn alu_with_controller(n: usize) -> Network {
+    assert!(n > 0, "alu width must be positive");
+    let mut b = Builder::new(format!("ALUC{n}"));
+    let a = word_pis(&mut b, "a", n);
+    let bb = word_pis(&mut b, "b", n);
+    let instr = word_pis(&mut b, "ir", 4);
+    let enable = b.pi("en");
+
+    // Controller: decode instr into op bits, a force-zero control and a
+    // condition flag tree.
+    let ni: Vec<NodeId> = instr.iter().map(|&i| b.not(i)).collect();
+    let op0 = b.xor2(instr[0], instr[3]);
+    let op1 = b.and(&[instr[1], ni[3]]);
+    let op2 = b.or(&[instr[2], instr[3]]);
+    let force_zero = b.and(&[instr[3], instr[2], instr[1], instr[0]]); // ir=1111
+
+    let sub = op0;
+    let (arith, carry) = add_sub(&mut b, &a, &bb, sub);
+    let and_bits: Vec<NodeId> = (0..n).map(|i| b.and(&[a[i], bb[i]])).collect();
+    let or_bits: Vec<NodeId> = (0..n).map(|i| b.or(&[a[i], bb[i]])).collect();
+    let xor_bits: Vec<NodeId> = (0..n).map(|i| b.xor2(a[i], bb[i])).collect();
+
+    let mut result = Vec::with_capacity(n);
+    for i in 0..n {
+        let logic01 = b.mux(op0, and_bits[i], or_bits[i]);
+        let group0 = b.mux(op1, arith[i], logic01);
+        let group1 = b.mux(op1, xor_bits[i], a[i]);
+        let selected = b.mux(op2, group0, group1);
+        // Gate by enable and the force-zero control.
+        let gated = b.and_not(selected, force_zero);
+        result.push(b.and(&[gated, enable]));
+    }
+
+    // Status outputs from the controller.
+    let zero = {
+        let any = b.or(&result);
+        b.not(any)
+    };
+    let parity = b.xor(&result);
+    word_pos(&mut b, "f", &result);
+    b.po("cout", carry);
+    b.po("zero", zero);
+    b.po("parity", parity);
+    b.finish()
+}
+
+/// A 32-bit adder/comparator in the spirit of c7552: a ripple-carry adder
+/// plus equality and less-than comparisons of the two operands.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn adder_comparator(n: usize) -> Network {
+    assert!(n > 0, "width must be positive");
+    let mut b = Builder::new(format!("ADDCMP{n}"));
+    let a = word_pis(&mut b, "a", n);
+    let bb = word_pis(&mut b, "b", n);
+
+    // Adder.
+    let mut sums = Vec::with_capacity(n);
+    let (s0, mut carry) = b.half_adder(a[0], bb[0]);
+    sums.push(s0);
+    for i in 1..n {
+        let (s, c) = b.full_adder(a[i], bb[i], carry);
+        sums.push(s);
+        carry = c;
+    }
+
+    // Equality: AND of per-bit XNORs.
+    let eq_bits: Vec<NodeId> = (0..n).map(|i| b.xnor2(a[i], bb[i])).collect();
+    let equal = b.and(&eq_bits);
+
+    // Less-than (a < b), scanned from the MSB: at the first differing bit,
+    // b must be 1. `eq_prefix` tracks equality of all bits above `i`.
+    let mut lt = b.and_not(bb[n - 1], a[n - 1]);
+    let mut eq_prefix = eq_bits[n - 1];
+    for i in (0..n - 1).rev() {
+        let b_gt_a = b.and_not(bb[i], a[i]);
+        let here = b.and(&[eq_prefix, b_gt_a]);
+        lt = b.or(&[lt, here]);
+        if i > 0 {
+            eq_prefix = b.and(&[eq_prefix, eq_bits[i]]);
+        }
+    }
+    word_pos(&mut b, "s", &sums);
+    b.po("cout", carry);
+    b.po("eq", equal);
+    b.po("lt", lt);
+    b.finish()
+}
+
+/// A 74181-style 4-bit ALU slice for the `alu4` slot: inputs
+/// `a0..3, b0..3, s0..3 (function select), m (mode), cin` — 14 PIs; outputs
+/// `f0..3, cout, p (propagate), g (generate), aeqb` — 8 POs.
+///
+/// The select encodings follow this generate/propagate construction rather
+/// than the exact datasheet table (e.g. `s = 1001, m = 0` is *A plus B*,
+/// and the same select with `m = 1` is *A xor B*); the circuit class and
+/// I/O shape match the MCNC `alu4` slot.
+pub fn alu_74181() -> Network {
+    let mut b = Builder::new("ALU74181");
+    let a = word_pis(&mut b, "a", 4);
+    let bb = word_pis(&mut b, "b", 4);
+    let s = word_pis(&mut b, "s", 4);
+    let m = b.pi("m");
+    let cin = b.pi("cin");
+
+    // Per the 74181 structure: internal terms
+    //   x_i = NOT(a_i + s0·b_i + s1·b_i')
+    //   y_i = NOT(a_i·s3·b_i + a_i·s2·b_i')
+    let nb: Vec<NodeId> = bb.iter().map(|&x| b.not(x)).collect();
+    let mut xs = Vec::with_capacity(4);
+    let mut ys = Vec::with_capacity(4);
+    for i in 0..4 {
+        let t1 = b.and(&[s[0], bb[i]]);
+        let t2 = b.and(&[s[1], nb[i]]);
+        let x = b.nor(&[a[i], t1, t2]);
+        xs.push(x);
+        let t3 = b.and(&[a[i], s[3], bb[i]]);
+        let t4 = b.and(&[a[i], s[2], nb[i]]);
+        let y = b.nor(&[t3, t4]);
+        ys.push(y);
+    }
+
+    // Carry chain (active-low internals; mode m suppresses carries).
+    let not_m = b.not(m);
+    let mut carries = Vec::with_capacity(4); // carry INTO each bit (true form)
+    let mut carry = cin;
+    for i in 0..4 {
+        carries.push(carry);
+        // c_{i+1} = y_i · (x_i ∨ c_i)  — generate/propagate form:
+        // the 74181's y is "not generate", x is "not propagate"; in true
+        // form: gen_i = NOT y_i, prop_i = NOT x_i.
+        let gen = b.not(ys[i]);
+        let prop = b.not(xs[i]);
+        let pc = b.and(&[prop, carry]);
+        carry = b.or(&[gen, pc]);
+    }
+    let cout = carry;
+
+    // f_i = (x_i ⊕ y_i) ⊕ (NOT m · c_i)  with the 74181's sum form
+    // f_i = prop_i ⊕ gen_i' ... we use the equivalent true-logic form:
+    // logic result r_i = x_i ⊕ y_i; arithmetic adds the carry.
+    let mut f = Vec::with_capacity(4);
+    for i in 0..4 {
+        let r = b.xor2(xs[i], ys[i]);
+        let gated_c = b.and(&[not_m, carries[i]]);
+        f.push(b.xor2(r, gated_c));
+    }
+
+    let p = b.and(&xs);
+    let g = {
+        // Group generate: any stage generating with all later propagating.
+        let mut terms = Vec::new();
+        for i in 0..4 {
+            let mut factors = vec![b.not(ys[i])];
+            for x in &xs[i + 1..] {
+                let prop = b.not(*x);
+                factors.push(prop);
+            }
+            terms.push(b.and(&factors));
+        }
+        b.or(&terms)
+    };
+    let aeqb = b.and(&f);
+
+    word_pos(&mut b, "f", &f);
+    b.po("cout", cout);
+    b.po("p", p);
+    b.po("g", g);
+    b.po("aeqb", aeqb);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(net: &Network, pis: &[bool]) -> Vec<bool> {
+        net.eval(pis)
+    }
+
+    fn bits(v: u64, n: usize) -> Vec<bool> {
+        (0..n).map(|i| v >> i & 1 == 1).collect()
+    }
+
+    fn word(v: &[bool]) -> u64 {
+        v.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &x)| acc | (u64::from(x) << i))
+    }
+
+    #[test]
+    fn alu8_all_ops_random_operands() {
+        let net = alu(8);
+        assert_eq!(net.num_pis(), 19);
+        assert_eq!(net.num_pos(), 10);
+        net.check().unwrap();
+        let mut state = 42u64;
+        for _ in 0..40 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = state & 0xFF;
+            let bb = (state >> 11) & 0xFF;
+            for op in 0..8u64 {
+                let mut pis = bits(a, 8);
+                pis.extend(bits(bb, 8));
+                pis.extend(bits(op, 3));
+                let out = eval(&net, &pis);
+                let f = word(&out[..8]);
+                let expect = match op {
+                    0 => (a + bb) & 0xFF,
+                    1 => a.wrapping_sub(bb) & 0xFF,
+                    2 => a & bb,
+                    3 => a | bb,
+                    4 => a ^ bb,
+                    5 => !a & 0xFF,
+                    6 => a,
+                    _ => bb,
+                };
+                assert_eq!(f, expect, "op {op}: a={a} b={bb}");
+                assert_eq!(out[9], f == 0, "zero flag, op {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn alu_carry_out_add() {
+        let net = alu(4);
+        // 0xF + 0x1 = 0x10: carry out set.
+        let mut pis = bits(0xF, 4);
+        pis.extend(bits(0x1, 4));
+        pis.extend(bits(0, 3)); // ADD
+        let out = eval(&net, &pis);
+        assert_eq!(word(&out[..4]), 0);
+        assert!(out[4], "carry out");
+    }
+
+    #[test]
+    fn alu_with_controller_basics() {
+        let net = alu_with_controller(12);
+        assert_eq!(net.num_pis(), 12 + 12 + 4 + 1);
+        assert_eq!(net.num_pos(), 12 + 3);
+        net.check().unwrap();
+        // enable = 0 forces the result bus (and parity) to 0, zero flag to 1.
+        let mut pis = bits(0xABC, 12);
+        pis.extend(bits(0x123, 12));
+        pis.extend(bits(0b0000, 4));
+        pis.push(false);
+        let out = eval(&net, &pis);
+        assert_eq!(word(&out[..12]), 0);
+        assert!(out[13], "zero flag with bus disabled");
+        assert!(!out[14], "parity of zero bus");
+        // ir=1111 forces zero even when enabled.
+        let mut pis = bits(0xFFF, 12);
+        pis.extend(bits(0xFFF, 12));
+        pis.extend(bits(0b1111, 4));
+        pis.push(true);
+        let out = eval(&net, &pis);
+        assert_eq!(word(&out[..12]), 0);
+    }
+
+    #[test]
+    fn alu_with_controller_add_path() {
+        let net = alu_with_controller(12);
+        // ir = 0000 → op=(0,0,0) → arithmetic add, enabled.
+        let mut state = 99u64;
+        for _ in 0..30 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = state & 0xFFF;
+            let bb = (state >> 17) & 0xFFF;
+            let mut pis = bits(a, 12);
+            pis.extend(bits(bb, 12));
+            pis.extend(bits(0, 4));
+            pis.push(true);
+            let out = eval(&net, &pis);
+            assert_eq!(word(&out[..12]), (a + bb) & 0xFFF, "{a}+{bb}");
+        }
+    }
+
+    #[test]
+    fn adder_comparator_matches_integers() {
+        let net = adder_comparator(32);
+        assert_eq!(net.num_pis(), 64);
+        assert_eq!(net.num_pos(), 35);
+        net.check().unwrap();
+        let mut state = 5u64;
+        let mut cases = vec![(0u64, 0u64), (u32::MAX as u64, 1), (7, 7), (3, 9), (9, 3)];
+        for _ in 0..40 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            cases.push((state & 0xFFFF_FFFF, (state >> 29) & 0xFFFF_FFFF));
+        }
+        for (a, bb) in cases {
+            let mut pis = bits(a, 32);
+            pis.extend(bits(bb, 32));
+            let out = eval(&net, &pis);
+            assert_eq!(word(&out[..32]), (a + bb) & 0xFFFF_FFFF, "sum {a}+{bb}");
+            assert_eq!(out[32], a + bb > u32::MAX as u64, "cout {a}+{bb}");
+            assert_eq!(out[33], a == bb, "eq {a},{bb}");
+            assert_eq!(out[34], a < bb, "lt {a},{bb}");
+        }
+    }
+
+    #[test]
+    fn alu74181_add_mode() {
+        // With s = 1001 and m = 0, the 74181 computes F = A plus B (plus cin).
+        let net = alu_74181();
+        assert_eq!(net.num_pis(), 14);
+        assert_eq!(net.num_pos(), 8);
+        net.check().unwrap();
+        for a in 0..16u64 {
+            for bv in 0..16u64 {
+                for cin in [false, true] {
+                    let mut pis = bits(a, 4);
+                    pis.extend(bits(bv, 4));
+                    pis.extend(bits(0b1001, 4));
+                    pis.push(false); // m = 0: arithmetic
+                    pis.push(cin);
+                    let out = eval(&net, &pis);
+                    let total = a + bv + u64::from(cin);
+                    assert_eq!(word(&out[..4]), total & 0xF, "a={a} b={bv} cin={cin}");
+                    assert_eq!(out[4], total > 0xF, "cout a={a} b={bv} cin={cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alu74181_logic_xor_mode() {
+        // In this generate/propagate construction, the add select
+        // (s0=1, s3=1) with m = 1 suppresses the carry chain and leaves the
+        // per-bit sum — F = A XOR B.
+        let net = alu_74181();
+        for a in 0..16u64 {
+            for bv in 0..16u64 {
+                let mut pis = bits(a, 4);
+                pis.extend(bits(bv, 4));
+                pis.extend(bits(0b1001, 4));
+                pis.push(true); // m = 1: logic
+                pis.push(false);
+                let out = eval(&net, &pis);
+                assert_eq!(word(&out[..4]), a ^ bv, "a={a} b={bv}");
+                // aeqb is the AND of the F bits: F = a⊕b is all-ones
+                // exactly when a = NOT b.
+                assert_eq!(out[7], a ^ bv == 0xF, "aeqb a={a} b={bv}");
+            }
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! A gate-level construction helper over [`Network`].
+
+use als_logic::{Cover, Cube};
+use als_network::{Network, NodeId};
+
+/// Builds networks gate by gate. Every call adds one node whose SOP is the
+/// gate function; algebraic factoring gives the factored form. Names are
+/// generated from a per-builder counter, prefixed by the gate kind.
+///
+/// # Example
+///
+/// ```
+/// use als_circuits::Builder;
+///
+/// let mut b = Builder::new("mux");
+/// let s = b.pi("s");
+/// let x = b.pi("x");
+/// let y = b.pi("y");
+/// let m = b.mux(s, x, y);
+/// b.po("m", m);
+/// let net = b.finish();
+/// assert_eq!(net.eval(&[false, true, false]), vec![true]); // s=0 → x
+/// assert_eq!(net.eval(&[true, true, false]), vec![false]); // s=1 → y
+/// ```
+#[derive(Debug)]
+pub struct Builder {
+    net: Network,
+    counter: usize,
+}
+
+impl Builder {
+    /// Starts a new network.
+    pub fn new(name: impl Into<String>) -> Self {
+        Builder {
+            net: Network::new(name),
+            counter: 0,
+        }
+    }
+
+    fn fresh(&mut self, kind: &str) -> String {
+        self.counter += 1;
+        format!("{kind}_{}", self.counter)
+    }
+
+    /// Adds a primary input.
+    pub fn pi(&mut self, name: impl Into<String>) -> NodeId {
+        self.net.add_pi(name)
+    }
+
+    /// Declares a primary output.
+    pub fn po(&mut self, name: impl Into<String>, driver: NodeId) {
+        self.net.add_po(name, driver);
+    }
+
+    /// Finishes construction, returning the network.
+    pub fn finish(self) -> Network {
+        self.net
+    }
+
+    /// Direct access to the network under construction.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The widest gate emitted as a single node; wider requests become
+    /// balanced trees. Keeps node fanins small, as in an optimized network
+    /// (the paper notes factored forms usually stay under 5 literals).
+    pub const MAX_ARITY: usize = 6;
+
+    /// An n-ary AND gate (balanced tree of ≤ [`Builder::MAX_ARITY`]-input
+    /// nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn and(&mut self, inputs: &[NodeId]) -> NodeId {
+        assert!(!inputs.is_empty(), "and() needs at least one input");
+        if inputs.len() == 1 {
+            return inputs[0];
+        }
+        if inputs.len() > Self::MAX_ARITY {
+            let mut layer: Vec<NodeId> = Vec::new();
+            for chunk in inputs.chunks(Self::MAX_ARITY) {
+                layer.push(self.and(chunk));
+            }
+            return self.and(&layer);
+        }
+        let name = self.fresh("and");
+        let lits: Vec<(usize, bool)> = (0..inputs.len()).map(|i| (i, true)).collect();
+        let cover = Cover::from_cubes(
+            inputs.len(),
+            [Cube::from_literals(&lits).expect("distinct vars")],
+        );
+        self.net.add_node(name, inputs.to_vec(), cover)
+    }
+
+    /// An n-ary OR gate (balanced tree of ≤ [`Builder::MAX_ARITY`]-input
+    /// nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn or(&mut self, inputs: &[NodeId]) -> NodeId {
+        assert!(!inputs.is_empty(), "or() needs at least one input");
+        if inputs.len() == 1 {
+            return inputs[0];
+        }
+        if inputs.len() > Self::MAX_ARITY {
+            let mut layer: Vec<NodeId> = Vec::new();
+            for chunk in inputs.chunks(Self::MAX_ARITY) {
+                layer.push(self.or(chunk));
+            }
+            return self.or(&layer);
+        }
+        let name = self.fresh("or");
+        let mut cover = Cover::new(inputs.len());
+        for i in 0..inputs.len() {
+            cover.push(Cube::from_literals(&[(i, true)]).expect("single literal"));
+        }
+        self.net.add_node(name, inputs.to_vec(), cover)
+    }
+
+    /// An inverter.
+    pub fn not(&mut self, input: NodeId) -> NodeId {
+        let name = self.fresh("inv");
+        let cover = Cover::from_cubes(1, [Cube::from_literals(&[(0, false)]).expect("literal")]);
+        self.net.add_node(name, vec![input], cover)
+    }
+
+    /// A 2-input XOR gate.
+    pub fn xor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let name = self.fresh("xor");
+        let cover = Cover::from_cubes(
+            2,
+            [
+                Cube::from_literals(&[(0, true), (1, false)]).expect("cube"),
+                Cube::from_literals(&[(0, false), (1, true)]).expect("cube"),
+            ],
+        );
+        self.net.add_node(name, vec![a, b], cover)
+    }
+
+    /// A 2-input XNOR gate.
+    pub fn xnor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let name = self.fresh("xnor");
+        let cover = Cover::from_cubes(
+            2,
+            [
+                Cube::from_literals(&[(0, true), (1, true)]).expect("cube"),
+                Cube::from_literals(&[(0, false), (1, false)]).expect("cube"),
+            ],
+        );
+        self.net.add_node(name, vec![a, b], cover)
+    }
+
+    /// A balanced XOR tree over any number of inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn xor(&mut self, inputs: &[NodeId]) -> NodeId {
+        assert!(!inputs.is_empty(), "xor() needs at least one input");
+        let mut layer = inputs.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    self.xor2(pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// A 2-input AND with one inverted input (`a AND NOT b`).
+    pub fn and_not(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let name = self.fresh("andn");
+        let cover = Cover::from_cubes(
+            2,
+            [Cube::from_literals(&[(0, true), (1, false)]).expect("cube")],
+        );
+        self.net.add_node(name, vec![a, b], cover)
+    }
+
+    /// A NOR gate.
+    pub fn nor(&mut self, inputs: &[NodeId]) -> NodeId {
+        let o = self.or(inputs);
+        self.not(o)
+    }
+
+    /// A NAND gate.
+    pub fn nand(&mut self, inputs: &[NodeId]) -> NodeId {
+        let a = self.and(inputs);
+        self.not(a)
+    }
+
+    /// A 3-input majority gate (full-adder carry).
+    pub fn maj3(&mut self, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
+        let name = self.fresh("maj");
+        let cover = Cover::from_cubes(
+            3,
+            [
+                Cube::from_literals(&[(0, true), (1, true)]).expect("cube"),
+                Cube::from_literals(&[(0, true), (2, true)]).expect("cube"),
+                Cube::from_literals(&[(1, true), (2, true)]).expect("cube"),
+            ],
+        );
+        self.net.add_node(name, vec![a, b, c], cover)
+    }
+
+    /// A 2:1 multiplexer: `s ? hi : lo`.
+    pub fn mux(&mut self, s: NodeId, lo: NodeId, hi: NodeId) -> NodeId {
+        let name = self.fresh("mux");
+        let cover = Cover::from_cubes(
+            3,
+            [
+                Cube::from_literals(&[(0, false), (1, true)]).expect("cube"),
+                Cube::from_literals(&[(0, true), (2, true)]).expect("cube"),
+            ],
+        );
+        self.net.add_node(name, vec![s, lo, hi], cover)
+    }
+
+    /// A full adder; returns `(sum, carry)`.
+    pub fn full_adder(&mut self, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId, NodeId) {
+        let s1 = self.xor2(a, b);
+        let sum = self.xor2(s1, cin);
+        let carry = self.maj3(a, b, cin);
+        (sum, carry)
+    }
+
+    /// A half adder; returns `(sum, carry)`.
+    pub fn half_adder(&mut self, a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        let sum = self.xor2(a, b);
+        let carry = self.and(&[a, b]);
+        (sum, carry)
+    }
+
+    /// A constant node.
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        let name = self.fresh("const");
+        self.net.add_constant(name, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval1(b: Builder, pis: &[bool]) -> bool {
+        b.finish().eval(pis)[0]
+    }
+
+    #[test]
+    fn basic_gates() {
+        for (m, expect) in [(0b00u32, [false, false, false, true]),
+                            (0b01, [false, true, true, true]),
+                            (0b10, [false, true, true, true]),
+                            (0b11, [true, true, false, false])] {
+            let mut b = Builder::new("g");
+            let x = b.pi("x");
+            let y = b.pi("y");
+            let and = b.and(&[x, y]);
+            let or = b.or(&[x, y]);
+            let xor = b.xor2(x, y);
+            let nand = b.nand(&[x, y]);
+            b.po("and", and);
+            b.po("or", or);
+            b.po("xor", xor);
+            b.po("nand", nand);
+            let v = b.finish().eval(&[m & 1 == 1, m >> 1 & 1 == 1]);
+            assert_eq!(v, expect, "inputs {m:02b}");
+        }
+    }
+
+    #[test]
+    fn xor_tree_parity() {
+        for n in 1..=7 {
+            for m in 0..(1u32 << n) {
+                let mut b = Builder::new("p");
+                let pis: Vec<NodeId> = (0..n).map(|i| b.pi(format!("x{i}"))).collect();
+                let p = b.xor(&pis);
+                b.po("p", p);
+                let bits: Vec<bool> = (0..n).map(|i| m >> i & 1 == 1).collect();
+                assert_eq!(
+                    eval1(b, &bits),
+                    m.count_ones() % 2 == 1,
+                    "n={n} m={m:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        for m in 0..8u32 {
+            let mut b = Builder::new("fa");
+            let x = b.pi("x");
+            let y = b.pi("y");
+            let c = b.pi("c");
+            let (s, co) = b.full_adder(x, y, c);
+            b.po("s", s);
+            b.po("co", co);
+            let bits = [m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1];
+            let total = m.count_ones();
+            let v = b.finish().eval(&bits);
+            assert_eq!(v[0], total % 2 == 1);
+            assert_eq!(v[1], total >= 2);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        for m in 0..8u32 {
+            let mut b = Builder::new("m");
+            let s = b.pi("s");
+            let lo = b.pi("lo");
+            let hi = b.pi("hi");
+            let o = b.mux(s, lo, hi);
+            b.po("o", o);
+            let bits = [m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1];
+            let expect = if bits[0] { bits[2] } else { bits[1] };
+            assert_eq!(eval1(b, &bits), expect, "m={m:03b}");
+        }
+    }
+
+    #[test]
+    fn single_input_collapse() {
+        let mut b = Builder::new("c");
+        let x = b.pi("x");
+        assert_eq!(b.and(&[x]), x);
+        assert_eq!(b.or(&[x]), x);
+        assert_eq!(b.xor(&[x]), x);
+    }
+}

@@ -1,0 +1,63 @@
+//! Benchmark-circuit generators for the ALS evaluation.
+//!
+//! The paper evaluates on MCNC/ISCAS-85 circuits and on arithmetic circuits
+//! (Table 3). The original netlists are not redistributable, so this crate
+//! *generates* functionally-equivalent circuit classes from scratch:
+//!
+//! * the arithmetic circuits exactly as named — [`ripple_carry_adder`],
+//!   [`carry_lookahead_adder`], [`kogge_stone_adder`], [`array_multiplier`],
+//!   [`wallace_tree_multiplier`];
+//! * stand-ins for the MCNC/ISCAS circuits matching their documented
+//!   function class — 8/9/12-bit ALUs, a 16-bit SEC/DED circuit, a 32-bit
+//!   adder/comparator, and a 74181-style 4-bit ALU (see [`registry`]).
+//!
+//! Every generator is verified against integer arithmetic in its tests, so
+//! the ALS algorithms approximate *correct* circuits.
+//!
+//! # Example
+//!
+//! ```
+//! use als_circuits::adders::ripple_carry_adder;
+//!
+//! let net = ripple_carry_adder(8);
+//! assert_eq!(net.num_pis(), 16);
+//! assert_eq!(net.num_pos(), 9); // 8 sum bits + carry out
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adders;
+pub mod alu;
+pub mod builder;
+pub mod misc;
+pub mod multipliers;
+pub mod registry;
+pub mod secded;
+
+pub use adders::{carry_lookahead_adder, kogge_stone_adder, ripple_carry_adder};
+pub use builder::Builder;
+pub use multipliers::{array_multiplier, wallace_tree_multiplier};
+pub use registry::{all_benchmarks, Benchmark};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use als_network::Network;
+
+    /// Drives the first `a_bits + b_bits` PIs with the little-endian bits of
+    /// `a` and `b` and returns the PO values as a little-endian integer.
+    pub fn eval_binary(net: &Network, a: u64, a_bits: usize, b: u64, b_bits: usize) -> u64 {
+        let mut pis = Vec::with_capacity(net.num_pis());
+        for i in 0..a_bits {
+            pis.push(a >> i & 1 == 1);
+        }
+        for i in 0..b_bits {
+            pis.push(b >> i & 1 == 1);
+        }
+        assert_eq!(pis.len(), net.num_pis(), "PI width mismatch");
+        let pos = net.eval(&pis);
+        pos.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &v)| acc | (u64::from(v) << i))
+    }
+}

@@ -1,0 +1,216 @@
+//! Additional circuit generators beyond the paper's Table 3 — useful for
+//! wider testing and as extra ALS workloads (decoders and encoders are
+//! classic error-tolerant structures).
+
+use crate::Builder;
+use als_network::{Network, NodeId};
+
+/// An `n`-to-`2^n` one-hot decoder with an enable input: output `j` is high
+/// iff the `n` select bits encode `j` and `en` is high.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 16`.
+pub fn decoder(n: usize) -> Network {
+    assert!(n > 0 && n <= 16, "decoder width out of range");
+    let mut b = Builder::new(format!("DEC{n}"));
+    let sel: Vec<NodeId> = (0..n).map(|i| b.pi(format!("s{i}"))).collect();
+    let en = b.pi("en");
+    let nsel: Vec<NodeId> = sel.iter().map(|&s| b.not(s)).collect();
+    for j in 0..(1usize << n) {
+        let mut terms: Vec<NodeId> = (0..n)
+            .map(|i| if j >> i & 1 == 1 { sel[i] } else { nsel[i] })
+            .collect();
+        terms.push(en);
+        let out = b.and(&terms);
+        b.po(format!("o{j}"), out);
+    }
+    b.finish()
+}
+
+/// A `2^n`-input priority encoder: outputs the index of the highest-priority
+/// (highest-numbered) asserted input, plus a `valid` flag.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 5`.
+pub fn priority_encoder(n: usize) -> Network {
+    assert!(n > 0 && n <= 5, "priority encoder width out of range");
+    let num_inputs = 1usize << n;
+    let mut b = Builder::new(format!("PRIENC{num_inputs}"));
+    let req: Vec<NodeId> = (0..num_inputs).map(|i| b.pi(format!("r{i}"))).collect();
+
+    // higher[i] = OR of requests with index > i.
+    let mut higher: Vec<Option<NodeId>> = vec![None; num_inputs];
+    let mut acc: Option<NodeId> = None;
+    for i in (0..num_inputs).rev() {
+        higher[i] = acc;
+        acc = Some(match acc {
+            None => req[i],
+            Some(h) => b.or(&[h, req[i]]),
+        });
+    }
+    let valid = acc.expect("at least one input");
+
+    // grant[i] = req[i] AND no higher request.
+    let grants: Vec<NodeId> = (0..num_inputs)
+        .map(|i| match higher[i] {
+            None => req[i],
+            Some(h) => b.and_not(req[i], h),
+        })
+        .collect();
+
+    // Encode the one-hot grants.
+    for bit in 0..n {
+        let contributing: Vec<NodeId> = (0..num_inputs)
+            .filter(|i| i >> bit & 1 == 1)
+            .map(|i| grants[i])
+            .collect();
+        let o = b.or(&contributing);
+        b.po(format!("idx{bit}"), o);
+    }
+    b.po("valid", valid);
+    b.finish()
+}
+
+/// An `n`-input odd-parity checker (a balanced XOR tree) — the
+/// hardest-to-approximate circuit class: every input flip is observable.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn parity_checker(n: usize) -> Network {
+    assert!(n > 0, "parity width must be positive");
+    let mut b = Builder::new(format!("PARITY{n}"));
+    let pis: Vec<NodeId> = (0..n).map(|i| b.pi(format!("x{i}"))).collect();
+    let p = b.xor(&pis);
+    b.po("parity", p);
+    b.finish()
+}
+
+/// A binary-to-Gray-code converter for `n` bits.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn binary_to_gray(n: usize) -> Network {
+    assert!(n > 0, "width must be positive");
+    let mut b = Builder::new(format!("B2G{n}"));
+    let pis: Vec<NodeId> = (0..n).map(|i| b.pi(format!("b{i}"))).collect();
+    for i in 0..n {
+        let g = if i + 1 < n {
+            b.xor2(pis[i], pis[i + 1])
+        } else {
+            pis[i]
+        };
+        b.po(format!("g{i}"), g);
+    }
+    b.finish()
+}
+
+/// A triple-modular-redundancy majority voter over three `n`-bit words.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn tmr_voter(n: usize) -> Network {
+    assert!(n > 0, "width must be positive");
+    let mut b = Builder::new(format!("TMR{n}"));
+    let a: Vec<NodeId> = (0..n).map(|i| b.pi(format!("a{i}"))).collect();
+    let c: Vec<NodeId> = (0..n).map(|i| b.pi(format!("b{i}"))).collect();
+    let d: Vec<NodeId> = (0..n).map(|i| b.pi(format!("c{i}"))).collect();
+    for i in 0..n {
+        let m = b.maj3(a[i], c[i], d[i]);
+        b.po(format!("o{i}"), m);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let net = decoder(3);
+        assert_eq!(net.num_pis(), 4);
+        assert_eq!(net.num_pos(), 8);
+        for sel in 0..8usize {
+            for en in [false, true] {
+                let mut pis: Vec<bool> = (0..3).map(|i| sel >> i & 1 == 1).collect();
+                pis.push(en);
+                let out = net.eval(&pis);
+                for (j, &o) in out.iter().enumerate() {
+                    assert_eq!(o, en && j == sel, "sel={sel} en={en} out{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn priority_encoder_picks_highest() {
+        let net = priority_encoder(3);
+        assert_eq!(net.num_pis(), 8);
+        assert_eq!(net.num_pos(), 4);
+        for mask in 0..256u32 {
+            let pis: Vec<bool> = (0..8).map(|i| mask >> i & 1 == 1).collect();
+            let out = net.eval(&pis);
+            let idx = out[0] as usize | (out[1] as usize) << 1 | (out[2] as usize) << 2;
+            let valid = out[3];
+            if mask == 0 {
+                assert!(!valid, "no request, no valid");
+            } else {
+                let expect = 31 - mask.leading_zeros() as usize;
+                assert!(valid);
+                assert_eq!(idx, expect, "mask {mask:08b}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_matches_popcount() {
+        let net = parity_checker(6);
+        for m in 0..64u32 {
+            let pis: Vec<bool> = (0..6).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(net.eval(&pis), vec![m.count_ones() % 2 == 1]);
+        }
+    }
+
+    #[test]
+    fn gray_code_roundtrip() {
+        let net = binary_to_gray(4);
+        for v in 0..16u32 {
+            let pis: Vec<bool> = (0..4).map(|i| v >> i & 1 == 1).collect();
+            let out = net.eval(&pis);
+            let gray = out
+                .iter()
+                .enumerate()
+                .fold(0u32, |acc, (i, &b)| acc | (u32::from(b) << i));
+            assert_eq!(gray, v ^ (v >> 1), "v={v}");
+        }
+    }
+
+    #[test]
+    fn tmr_votes_out_single_faults() {
+        let net = tmr_voter(4);
+        let word = 0b1010u32;
+        for victim in 0..3 {
+            for flip in 0..4 {
+                let mut words = [word, word, word];
+                words[victim] ^= 1 << flip;
+                let mut pis = Vec::new();
+                for w in words {
+                    for i in 0..4 {
+                        pis.push(w >> i & 1 == 1);
+                    }
+                }
+                let out = net.eval(&pis);
+                let voted = out
+                    .iter()
+                    .enumerate()
+                    .fold(0u32, |acc, (i, &b)| acc | (u32::from(b) << i));
+                assert_eq!(voted, word, "victim {victim} flip {flip}");
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The benchmark registry: the twelve circuits of the paper's Table 3, with
+//! generator functions and the paper's reported reference numbers.
+
+use crate::adders::{carry_lookahead_adder, kogge_stone_adder, ripple_carry_adder};
+use crate::alu::{adder_comparator, alu, alu_74181, alu_with_controller};
+use crate::multipliers::{array_multiplier, wallace_tree_multiplier};
+use crate::secded::sec_ded_16;
+use als_network::Network;
+
+/// The paper's Table 3 reference data for one benchmark (reported for the
+/// original MCNC/ISCAS netlists; our generated stand-ins differ in absolute
+/// size — the comparison target is the *relative* behaviour).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PaperInfo {
+    /// Inputs/outputs as listed in Table 3.
+    pub io: (usize, usize),
+    /// Node count in Table 3.
+    pub nodes: usize,
+    /// Mapped area in Table 3.
+    pub area: f64,
+    /// Mapped delay in Table 3.
+    pub delay: f64,
+}
+
+/// One benchmark circuit: its name, function description, generator and the
+/// paper's reference numbers.
+#[derive(Clone)]
+pub struct Benchmark {
+    /// The paper's circuit name (e.g. `c880`, `RCA32`).
+    pub name: &'static str,
+    /// The function description from Table 3.
+    pub function: &'static str,
+    /// Whether our circuit is a generated *stand-in* for an unavailable
+    /// netlist (true for the MCNC/ISCAS rows) or the named circuit itself
+    /// (false for the arithmetic rows).
+    pub stand_in: bool,
+    /// Builds the circuit.
+    pub build: fn() -> Network,
+    /// The paper's Table 3 row.
+    pub paper: PaperInfo,
+}
+
+impl std::fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("name", &self.name)
+            .field("function", &self.function)
+            .field("stand_in", &self.stand_in)
+            .field("paper", &self.paper)
+            .finish()
+    }
+}
+
+/// All twelve benchmarks of Table 3, in the paper's order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "c880",
+            function: "8-bit ALU",
+            stand_in: true,
+            build: || alu(8),
+            paper: PaperInfo { io: (60, 26), nodes: 357, area: 599.0, delay: 40.4 },
+        },
+        Benchmark {
+            name: "c1908",
+            function: "16-bit SEC/DED circuit",
+            stand_in: true,
+            build: sec_ded_16,
+            paper: PaperInfo { io: (33, 25), nodes: 880, area: 1013.0, delay: 60.6 },
+        },
+        Benchmark {
+            name: "c2670",
+            function: "12-bit ALU and controller",
+            stand_in: true,
+            build: || alu_with_controller(12),
+            paper: PaperInfo { io: (233, 140), nodes: 1153, area: 1434.0, delay: 67.3 },
+        },
+        Benchmark {
+            name: "c3540",
+            function: "8-bit ALU",
+            stand_in: true,
+            build: || alu_with_controller(8),
+            paper: PaperInfo { io: (50, 22), nodes: 629, area: 1615.0, delay: 84.5 },
+        },
+        Benchmark {
+            name: "c5315",
+            function: "9-bit ALU",
+            stand_in: true,
+            build: || alu(9),
+            paper: PaperInfo { io: (178, 123), nodes: 893, area: 2432.0, delay: 75.3 },
+        },
+        Benchmark {
+            name: "c7552",
+            function: "32-bit adder/comparator",
+            stand_in: true,
+            build: || adder_comparator(32),
+            paper: PaperInfo { io: (207, 108), nodes: 1087, area: 2759.0, delay: 159.8 },
+        },
+        Benchmark {
+            name: "alu4",
+            function: "ALU",
+            stand_in: true,
+            build: alu_74181,
+            paper: PaperInfo { io: (14, 8), nodes: 730, area: 2740.0, delay: 51.5 },
+        },
+        Benchmark {
+            name: "RCA32",
+            function: "32-bit ripple-carry adder",
+            stand_in: false,
+            build: || ripple_carry_adder(32),
+            paper: PaperInfo { io: (64, 33), nodes: 202, area: 691.0, delay: 42.8 },
+        },
+        Benchmark {
+            name: "CLA32",
+            function: "32-bit carry-lookahead adder",
+            stand_in: false,
+            build: || carry_lookahead_adder(32),
+            paper: PaperInfo { io: (64, 33), nodes: 303, area: 1063.0, delay: 45.8 },
+        },
+        Benchmark {
+            name: "KSA32",
+            function: "32-bit kogge-stone adder",
+            stand_in: false,
+            build: || kogge_stone_adder(32),
+            paper: PaperInfo { io: (64, 33), nodes: 345, area: 1128.0, delay: 27.0 },
+        },
+        Benchmark {
+            name: "MUL8",
+            function: "8-bit array multiplier",
+            stand_in: false,
+            build: || array_multiplier(8),
+            paper: PaperInfo { io: (16, 16), nodes: 436, area: 1276.0, delay: 67.9 },
+        },
+        Benchmark {
+            name: "WTM8",
+            function: "8-bit wallace tree multiplier",
+            stand_in: false,
+            build: || wallace_tree_multiplier(8),
+            paper: PaperInfo { io: (16, 16), nodes: 382, area: 1104.0, delay: 69.6 },
+        },
+    ]
+}
+
+/// Looks up a benchmark by its Table 3 name (case-insensitive).
+pub fn find_benchmark(name: &str) -> Option<Benchmark> {
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_benchmarks_in_paper_order() {
+        let b = all_benchmarks();
+        assert_eq!(b.len(), 12);
+        assert_eq!(b[0].name, "c880");
+        assert_eq!(b[11].name, "WTM8");
+    }
+
+    #[test]
+    fn every_benchmark_builds_and_checks() {
+        for bench in all_benchmarks() {
+            let net = (bench.build)();
+            net.check()
+                .unwrap_or_else(|e| panic!("{} failed check: {e}", bench.name));
+            assert!(net.num_internal() > 0, "{} is empty", bench.name);
+            assert!(net.literal_count() > 0, "{} has no literals", bench.name);
+        }
+    }
+
+    #[test]
+    fn arithmetic_benchmarks_match_paper_io() {
+        for bench in all_benchmarks().iter().filter(|b| !b.stand_in) {
+            let net = (bench.build)();
+            assert_eq!(
+                (net.num_pis(), net.num_pos()),
+                bench.paper.io,
+                "{} I/O mismatch",
+                bench.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(find_benchmark("rca32").is_some());
+        assert!(find_benchmark("C880").is_some());
+        assert!(find_benchmark("nope").is_none());
+    }
+}

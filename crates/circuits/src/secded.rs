@@ -1,0 +1,206 @@
+//! A single-error-correcting, double-error-detecting (SEC/DED) circuit for
+//! 16-bit data — the stand-in for the c1908 benchmark ("16-bit SEC/DED
+//! circuit").
+//!
+//! The circuit receives a (22, 16) extended-Hamming codeword — 16 data bits
+//! `d0..d15`, 5 Hamming check bits `c0..c4` and one overall parity bit `p` —
+//! recomputes the syndrome, corrects a single flipped data bit, and flags
+//! uncorrectable double errors: 22 PIs, 18 POs (16 corrected data bits,
+//! `single_err`, `double_err`).
+
+use crate::Builder;
+use als_network::{Network, NodeId};
+
+/// Codeword position of data bit `d`: data bits occupy the
+/// non-power-of-two positions 3, 5, 6, 7, 9, … (check bit `k` owns position
+/// `2^k`, so a power-of-two syndrome means a check-bit error and is never
+/// decoded as a data correction).
+fn data_position(d: usize) -> usize {
+    let mut pos = 2usize;
+    let mut remaining = d + 1;
+    loop {
+        pos += 1;
+        if !pos.is_power_of_two() {
+            remaining -= 1;
+            if remaining == 0 {
+                return pos;
+            }
+        }
+    }
+}
+
+/// Whether Hamming check bit `k` covers data bit `d`.
+fn check_covers(k: usize, d: usize) -> bool {
+    data_position(d) >> k & 1 == 1
+}
+
+/// Builds the 16-bit SEC/DED corrector.
+pub fn sec_ded_16() -> Network {
+    let n = 16usize;
+    let checks = 5usize;
+    let mut b = Builder::new("SECDED16");
+    let data: Vec<NodeId> = (0..n).map(|i| b.pi(format!("d{i}"))).collect();
+    let check: Vec<NodeId> = (0..checks).map(|i| b.pi(format!("c{i}"))).collect();
+    let parity = b.pi("p");
+
+    // Syndrome: s_k = c_k ⊕ parity of covered data bits.
+    let mut syndrome = Vec::with_capacity(checks);
+    #[allow(clippy::needless_range_loop)] // the index is semantic here
+    for k in 0..checks {
+        let mut covered: Vec<NodeId> = (0..n)
+            .filter(|&d| check_covers(k, d))
+            .map(|d| data[d])
+            .collect();
+        covered.push(check[k]);
+        syndrome.push(b.xor(&covered));
+    }
+
+    // Overall parity of the received word (data + checks + parity bit).
+    let mut all: Vec<NodeId> = data.clone();
+    all.extend_from_slice(&check);
+    all.push(parity);
+    let overall = b.xor(&all);
+
+    // Decode: data bit d is flipped iff the syndrome equals its position.
+    let any_syndrome = b.or(&syndrome);
+    let mut corrected = Vec::with_capacity(n);
+    #[allow(clippy::needless_range_loop)] // the index is semantic here
+    for d in 0..n {
+        let pattern = data_position(d);
+        let match_bits: Vec<NodeId> = (0..checks)
+            .map(|k| {
+                if pattern >> k & 1 == 1 {
+                    syndrome[k]
+                } else {
+                    b.not(syndrome[k])
+                }
+            })
+            .collect();
+        let is_this = b.and(&match_bits);
+        // Only correct when the overall parity also fired (single error).
+        let flip = b.and(&[is_this, overall]);
+        corrected.push(b.xor2(data[d], flip));
+    }
+
+    // single error: overall parity odd (any single flip, incl. check bits);
+    // double error: syndrome non-zero but overall parity even.
+    let single_err = overall;
+    let double_err = b.and_not(any_syndrome, overall);
+
+    for (i, &c) in corrected.iter().enumerate() {
+        b.po(format!("o{i}"), c);
+    }
+    b.po("single_err", single_err);
+    b.po("double_err", double_err);
+    b.finish()
+}
+
+/// Encodes 16 data bits into the (22, 16) codeword used by [`sec_ded_16`]:
+/// returns `(check_bits, parity)` as plain booleans — a software reference
+/// encoder for tests and workload generation.
+pub fn encode_reference(data: u16) -> ([bool; 5], bool) {
+    let mut check = [false; 5];
+    for (k, c) in check.iter_mut().enumerate() {
+        let mut acc = false;
+        for d in 0..16 {
+            if check_covers(k, d) && data >> d & 1 == 1 {
+                acc = !acc;
+            }
+        }
+        *c = acc;
+    }
+    let mut parity = data.count_ones() % 2 == 1;
+    for &c in &check {
+        if c {
+            parity = !parity;
+        }
+    }
+    (check, parity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(net: &Network, data: u16, check: [bool; 5], parity: bool) -> (u16, bool, bool) {
+        let mut pis: Vec<bool> = (0..16).map(|i| data >> i & 1 == 1).collect();
+        pis.extend_from_slice(&check);
+        pis.push(parity);
+        let out = net.eval(&pis);
+        let corrected = out[..16]
+            .iter()
+            .enumerate()
+            .fold(0u16, |acc, (i, &v)| acc | (u16::from(v) << i));
+        (corrected, out[16], out[17])
+    }
+
+    #[test]
+    fn clean_codewords_pass_through() {
+        let net = sec_ded_16();
+        assert_eq!(net.num_pis(), 22);
+        assert_eq!(net.num_pos(), 18);
+        net.check().unwrap();
+        let mut state = 1u64;
+        for _ in 0..50 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let data = state as u16;
+            let (check, parity) = encode_reference(data);
+            let (corrected, single, double) = run(&net, data, check, parity);
+            assert_eq!(corrected, data, "clean word {data:#06x}");
+            assert!(!single, "no single-error flag on clean word");
+            assert!(!double, "no double-error flag on clean word");
+        }
+    }
+
+    #[test]
+    fn single_data_bit_errors_corrected() {
+        let net = sec_ded_16();
+        let mut state = 99u64;
+        for _ in 0..20 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let data = state as u16;
+            let (check, parity) = encode_reference(data);
+            for flip in 0..16 {
+                let received = data ^ (1 << flip);
+                let (corrected, single, double) = run(&net, received, check, parity);
+                assert_eq!(corrected, data, "flip d{flip} of {data:#06x}");
+                assert!(single, "single-error flag");
+                assert!(!double, "no double-error flag");
+            }
+        }
+    }
+
+    #[test]
+    fn check_bit_errors_flagged_without_corrupting_data() {
+        let net = sec_ded_16();
+        let data = 0xBEEF;
+        let (check, parity) = encode_reference(data);
+        for flip in 0..5 {
+            let mut c = check;
+            c[flip] = !c[flip];
+            let (corrected, single, _double) = run(&net, data, c, parity);
+            assert_eq!(corrected, data, "check-bit flip {flip}");
+            assert!(single);
+        }
+        // Parity-bit flip: detected, data untouched.
+        let (corrected, single, double) = run(&net, data, check, !parity);
+        assert_eq!(corrected, data);
+        assert!(single);
+        assert!(!double);
+    }
+
+    #[test]
+    fn double_errors_detected_not_miscorrected() {
+        let net = sec_ded_16();
+        let data = 0x1234;
+        let (check, parity) = encode_reference(data);
+        // Flip two data bits.
+        for (f1, f2) in [(0, 5), (3, 11), (7, 15)] {
+            let received = data ^ (1 << f1) ^ (1 << f2);
+            let (corrected, _single, double) = run(&net, received, check, parity);
+            assert!(double, "double-error flag for flips {f1},{f2}");
+            // With even overall parity no correction is applied.
+            assert_eq!(corrected, received, "no (mis)correction on double error");
+        }
+    }
+}

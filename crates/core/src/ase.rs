@@ -1,0 +1,230 @@
+use als_logic::{Expr, TruthTable};
+
+/// How an ASE relates to the original expression.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AseKind {
+    /// Literals were deleted but some remain.
+    Shrunk,
+    /// All literals were deleted and the node becomes constant 0.
+    ConstZero,
+    /// All literals were deleted and the node becomes constant 1.
+    ConstOne,
+}
+
+/// An *approximate simplified expression* for a node (paper §3.1): the
+/// original factored form with one or more literals deleted, together with
+/// the data the selection algorithms need.
+#[derive(Clone, Debug)]
+pub struct Ase {
+    /// The replacement expression (a constant for
+    /// [`AseKind::ConstZero`]/[`AseKind::ConstOne`]).
+    pub expr: Expr,
+    /// The relation to the original expression.
+    pub kind: AseKind,
+    /// Number of literals removed — the paper's `l`, the value used both in
+    /// the score `l/e` and as the knapsack value.
+    pub literals_saved: usize,
+    /// The erroneous local input patterns (ELIPs, §3.2): the on-set of
+    /// `original ⊕ ase` over the node's fanin variables.
+    pub elips: TruthTable,
+}
+
+impl Ase {
+    /// Whether the ASE changes the node function at all. ASEs with no ELIPs
+    /// remove redundant literals — free savings the single-selection
+    /// algorithm scores as +∞.
+    pub fn is_exact(&self) -> bool {
+        self.elips.is_zero()
+    }
+}
+
+/// Generates the candidate ASEs of a node whose factored form is `expr` over
+/// `num_fanins` local variables.
+///
+/// Per the paper (§3.1 and §4):
+///
+/// * every non-empty subset of literals may be deleted, giving `2^N − 1`
+///   shrunk candidates plus the two constants when all `N` are deleted;
+/// * when `N ≥ max_enum_literals` (the paper uses 5), only subsets of fewer
+///   than `max_enum_literals` literals are enumerated, plus the constant-0
+///   and constant-1 ASEs;
+/// * candidates that simplify to the same expression are deduplicated,
+///   keeping the variant that removes the fewest literals (identical
+///   function, identical saving claim would overstate area).
+///
+/// Nodes that are already constant yield no ASEs.
+///
+/// # Panics
+///
+/// Panics if `expr` mentions a variable `>= num_fanins`.
+pub fn generate_ases(expr: &Expr, num_fanins: usize, max_enum_literals: usize) -> Vec<Ase> {
+    let n = expr.literal_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let orig_tt = expr.to_truth_table(num_fanins);
+    let mut out: Vec<Ase> = Vec::new();
+    let mut seen: Vec<Expr> = Vec::new();
+
+    let full_enumeration = n < max_enum_literals;
+    let max_remove = if full_enumeration {
+        n
+    } else {
+        max_enum_literals - 1
+    };
+
+    if n <= 20 {
+        // Subset enumeration over literal indices.
+        for mask in 1u32..(1u32 << n) {
+            let removed = mask.count_ones() as usize;
+            if removed > max_remove {
+                continue;
+            }
+            let indices: Vec<usize> = (0..n).filter(|i| mask >> i & 1 == 1).collect();
+            let Some(ase_expr) = expr.remove_literals(&indices) else {
+                // All literals gone — handled by the explicit constants below.
+                continue;
+            };
+            if seen.contains(&ase_expr) {
+                continue;
+            }
+            seen.push(ase_expr.clone());
+            let tt = ase_expr.to_truth_table(num_fanins);
+            out.push(Ase {
+                elips: &tt ^ &orig_tt,
+                expr: ase_expr,
+                kind: AseKind::Shrunk,
+                literals_saved: removed,
+            });
+        }
+    }
+
+    // The two all-literals-removed specials (§3.1), always generated.
+    let zero_tt = TruthTable::zero(num_fanins).expect("fanin count validated upstream");
+    out.push(Ase {
+        elips: &zero_tt ^ &orig_tt,
+        expr: Expr::FALSE,
+        kind: AseKind::ConstZero,
+        literals_saved: n,
+    });
+    let one_tt = TruthTable::one(num_fanins).expect("fanin count validated upstream");
+    out.push(Ase {
+        elips: &one_tt ^ &orig_tt,
+        expr: Expr::TRUE,
+        kind: AseKind::ConstOne,
+        literals_saved: n,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (a + b)(c + d)
+    fn paper_expr() -> Expr {
+        Expr::and(vec![
+            Expr::or(vec![Expr::lit(0, true), Expr::lit(1, true)]),
+            Expr::or(vec![Expr::lit(2, true), Expr::lit(3, true)]),
+        ])
+    }
+
+    #[test]
+    fn single_literal_removals_match_paper() {
+        let ases = generate_ases(&paper_expr(), 4, 5);
+        let one_removed: Vec<&Ase> = ases
+            .iter()
+            .filter(|a| a.literals_saved == 1 && a.kind == AseKind::Shrunk)
+            .collect();
+        // Paper §3.1: four choices when removing one literal.
+        assert_eq!(one_removed.len(), 4);
+        let strings: Vec<String> = one_removed.iter().map(|a| a.expr.to_string()).collect();
+        for expect in ["x1(x2 + x3)", "x0(x2 + x3)", "(x0 + x1)x3", "(x0 + x1)x2"] {
+            assert!(strings.contains(&expect.to_string()), "{strings:?}");
+        }
+    }
+
+    #[test]
+    fn constants_always_present() {
+        let ases = generate_ases(&paper_expr(), 4, 5);
+        let zeros: Vec<&Ase> = ases.iter().filter(|a| a.kind == AseKind::ConstZero).collect();
+        let ones: Vec<&Ase> = ases.iter().filter(|a| a.kind == AseKind::ConstOne).collect();
+        assert_eq!(zeros.len(), 1);
+        assert_eq!(ones.len(), 1);
+        assert_eq!(zeros[0].literals_saved, 4);
+        assert_eq!(ones[0].literals_saved, 4);
+        // ELIPs of const-0: the on-set of the function.
+        let f = paper_expr().to_truth_table(4);
+        assert_eq!(zeros[0].elips, f);
+        assert_eq!(ones[0].elips, !&f);
+    }
+
+    #[test]
+    fn elips_are_xor_of_functions() {
+        let e = paper_expr();
+        for ase in generate_ases(&e, 4, 5) {
+            let expect = &ase.expr.to_truth_table(4) ^ &e.to_truth_table(4);
+            assert_eq!(ase.elips, expect);
+        }
+    }
+
+    #[test]
+    fn constant_node_has_no_ases() {
+        assert!(generate_ases(&Expr::TRUE, 0, 5).is_empty());
+        assert!(generate_ases(&Expr::FALSE, 3, 5).is_empty());
+    }
+
+    #[test]
+    fn large_expressions_are_capped() {
+        // 6 literals: a b c d e f as one AND.
+        let e = Expr::and((0..6).map(|v| Expr::lit(v, true)).collect());
+        let ases = generate_ases(&e, 6, 5);
+        // No shrunk ASE removes 5 or 6 literals...
+        assert!(ases
+            .iter()
+            .filter(|a| a.kind == AseKind::Shrunk)
+            .all(|a| a.literals_saved < 5));
+        // ...but both constants (removing all 6) exist.
+        assert!(ases.iter().any(|a| a.kind == AseKind::ConstZero && a.literals_saved == 6));
+        assert!(ases.iter().any(|a| a.kind == AseKind::ConstOne && a.literals_saved == 6));
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        // a + a·b: removing `a·b`'s a or the whole cube can collide; ensure
+        // distinct expressions only.
+        let e = Expr::or(vec![
+            Expr::lit(0, true),
+            Expr::and(vec![Expr::lit(0, true), Expr::lit(1, true)]),
+        ]);
+        let ases = generate_ases(&e, 2, 5);
+        let mut exprs: Vec<String> = ases.iter().map(|a| a.expr.to_string()).collect();
+        let before = exprs.len();
+        exprs.sort();
+        exprs.dedup();
+        assert_eq!(exprs.len(), before, "duplicate ASEs survived");
+    }
+
+    #[test]
+    fn exact_ase_detected_for_redundant_literal() {
+        // a + a·b ≡ a: removing the redundant cube's literals never changes
+        // the function.
+        let e = Expr::or(vec![
+            Expr::lit(0, true),
+            Expr::and(vec![Expr::lit(0, true), Expr::lit(1, true)]),
+        ]);
+        let ases = generate_ases(&e, 2, 5);
+        assert!(
+            ases.iter().any(|a| a.is_exact() && a.literals_saved == 2),
+            "removing the whole redundant cube is a free saving"
+        );
+    }
+
+    #[test]
+    fn single_literal_node_offers_constants_only() {
+        let e = Expr::lit(0, true);
+        let ases = generate_ases(&e, 1, 5);
+        assert_eq!(ases.len(), 2);
+        assert!(ases.iter().all(|a| a.kind != AseKind::Shrunk));
+    }
+}

@@ -1,0 +1,118 @@
+use als_dontcare::DontCareConfig;
+use als_sim::DEFAULT_NUM_PATTERNS;
+
+/// An optional constraint on the numeric **error magnitude** — the paper's
+/// named future-work extension (§7). The POs are interpreted little-endian
+/// (PO `i` weighs `2^i`, the convention of the arithmetic benchmark
+/// generators); a candidate change is rejected if the worst absolute
+/// deviation over the simulation patterns exceeds `max_abs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MagnitudeConstraint {
+    /// The largest tolerated absolute deviation.
+    pub max_abs: u128,
+}
+
+/// Configuration shared by both selection algorithms.
+#[derive(Clone, Copy, Debug)]
+pub struct AlsConfig {
+    /// The error rate threshold `T` (fraction of PI vectors allowed to
+    /// produce a wrong output).
+    pub threshold: f64,
+    /// Number of random simulation vectors per run (paper: 10 000).
+    pub num_patterns: usize,
+    /// Seed for the random stimulus (results are deterministic per seed).
+    pub seed: u64,
+    /// Windowing/engine settings for SDC/ODC computation.
+    pub dont_care: DontCareConfig,
+    /// Whether the single-selection estimate discards don't-care ELIPs
+    /// (§3.3). Disabling this is the ablation that degrades the estimate to
+    /// the apparent error rate.
+    pub use_dont_cares: bool,
+    /// Use the exact BDD-based don't-care engine instead of the paper's
+    /// windowed one (falls back to windowed when the BDD exceeds
+    /// `exact_dc_node_limit`). An upper-bound-tightening extension.
+    pub exact_dont_cares: bool,
+    /// Node budget for the exact BDD engine.
+    pub exact_dc_node_limit: usize,
+    /// The paper enumerates all `2^N` ASEs only when `N <` this bound
+    /// (paper: 5); larger nodes get removals of fewer literals plus the two
+    /// constants.
+    pub max_enum_literals: usize,
+    /// Nodes with more fanins than this are skipped (local-pattern tables
+    /// grow as `2^k`).
+    pub max_fanins: usize,
+    /// Hard cap on iterations (safety net; the algorithms terminate on their
+    /// own when no feasible change remains).
+    pub max_iterations: usize,
+    /// Multi-selection only: when a committed batch overshoots the measured
+    /// threshold, retry the iteration with the knapsack capacity halved
+    /// (instead of terminating). Off by default to match the paper.
+    pub retry_on_overshoot: bool,
+    /// Run the same-support/same-signature redundancy-removal pre-process
+    /// (§6) before the main loop.
+    pub preprocess: bool,
+    /// Optional error-magnitude constraint enforced *in addition to* the
+    /// error-rate threshold (the §7 future-work extension).
+    pub magnitude: Option<MagnitudeConstraint>,
+}
+
+impl AlsConfig {
+    /// A configuration with the given error-rate threshold and paper-default
+    /// settings everywhere else.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ threshold < 1`.
+    pub fn with_threshold(threshold: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&threshold),
+            "threshold must be a rate in [0, 1)"
+        );
+        AlsConfig {
+            threshold,
+            num_patterns: DEFAULT_NUM_PATTERNS,
+            seed: 0xA15_5EED,
+            dont_care: DontCareConfig::default(),
+            use_dont_cares: true,
+            exact_dont_cares: false,
+            exact_dc_node_limit: 1 << 18,
+            max_enum_literals: 5,
+            max_fanins: 10,
+            max_iterations: 10_000,
+            retry_on_overshoot: false,
+            preprocess: true,
+            magnitude: None,
+        }
+    }
+}
+
+impl Default for AlsConfig {
+    /// The paper's most common operating point: a 5 % error-rate budget.
+    fn default() -> Self {
+        AlsConfig::with_threshold(0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let c = AlsConfig::default();
+        assert_eq!(c.threshold, 0.05);
+        assert_eq!(c.num_patterns, 10_048);
+        assert_eq!(c.max_enum_literals, 5);
+        assert_eq!(c.dont_care.levels_in, 2);
+        assert_eq!(c.dont_care.levels_out, 2);
+        assert!(c.use_dont_cares);
+        assert!(!c.retry_on_overshoot);
+        assert!(c.magnitude.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_bad_threshold() {
+        let _ = AlsConfig::with_threshold(1.5);
+    }
+}

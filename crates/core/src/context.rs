@@ -1,0 +1,101 @@
+use crate::AlsConfig;
+use als_network::Network;
+use als_sim::{
+    error_rate_vs_reference, magnitude_stats_vs_reference, po_words, simulate, MagnitudeStats,
+    PatternSet, SimResult,
+};
+
+/// Shared plumbing for both algorithms: the frozen reference (golden PO
+/// signatures of the *original* network) and the stimulus, so every
+/// iteration measures the error rate against the unmodified input circuit.
+#[derive(Debug)]
+pub struct AlsContext {
+    patterns: PatternSet,
+    reference_po_words: Vec<Vec<u64>>,
+}
+
+impl AlsContext {
+    /// Simulates the original network once and freezes its PO signatures as
+    /// the golden reference, drawing uniform random stimulus from the config
+    /// (the paper's setting).
+    pub fn new(original: &Network, config: &AlsConfig) -> Self {
+        let patterns = PatternSet::random(original.num_pis(), config.num_patterns, config.seed);
+        Self::with_patterns(original, patterns)
+    }
+
+    /// Like [`AlsContext::new`] but with caller-supplied stimulus — the
+    /// workload-aware mode: all error rates (hence the whole synthesis
+    /// budget) are then measured under the application's input
+    /// distribution.
+    pub fn with_patterns(original: &Network, patterns: PatternSet) -> Self {
+        let sim = simulate(original, &patterns);
+        let reference_po_words = po_words(original, &sim);
+        AlsContext {
+            patterns,
+            reference_po_words,
+        }
+    }
+
+    /// The stimulus all measurements share.
+    pub fn patterns(&self) -> &PatternSet {
+        &self.patterns
+    }
+
+    /// Measures the error rate of `candidate` against the golden reference.
+    pub fn measure(&self, candidate: &Network) -> f64 {
+        error_rate_vs_reference(&self.reference_po_words, candidate, &self.patterns)
+    }
+
+    /// Simulates `candidate` (fresh signatures for its current structure).
+    pub fn simulate(&self, candidate: &Network) -> SimResult {
+        simulate(candidate, &self.patterns)
+    }
+
+    /// Measures numeric deviation statistics of `candidate` against the
+    /// golden reference (POs weighted `2^i`); used when a
+    /// [`MagnitudeConstraint`](crate::MagnitudeConstraint) is configured.
+    pub fn measure_magnitude(&self, candidate: &Network) -> MagnitudeStats {
+        magnitude_stats_vs_reference(&self.reference_po_words, candidate, &self.patterns)
+    }
+
+    /// Whether `candidate` satisfies both the error-rate threshold and (if
+    /// configured) the magnitude constraint; returns the measured rate on
+    /// success.
+    pub fn accepts(&self, candidate: &Network, config: &crate::AlsConfig) -> Option<f64> {
+        let rate = self.measure(candidate);
+        if rate > config.threshold {
+            return None;
+        }
+        if let Some(mc) = config.magnitude {
+            if self.measure_magnitude(candidate).max_abs > mc.max_abs {
+                return None;
+            }
+        }
+        Some(rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_logic::{Cover, Cube};
+
+    #[test]
+    fn measure_is_zero_for_unchanged_network() {
+        let mut net = Network::new("t");
+        let a = net.add_pi("a");
+        let y = net.add_node(
+            "y",
+            vec![a],
+            Cover::from_cubes(1, [Cube::from_literals(&[(0, false)]).unwrap()]),
+        );
+        net.add_po("y", y);
+        let ctx = AlsContext::new(&net, &AlsConfig::default());
+        assert_eq!(ctx.measure(&net), 0.0);
+        // Breaking the network is detected.
+        let mut broken = net.clone();
+        let d = broken.pos()[0].1;
+        broken.replace_with_constant(d, true);
+        assert!(ctx.measure(&broken) > 0.4); // y = a' is wrong half the time
+    }
+}

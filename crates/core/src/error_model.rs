@@ -1,0 +1,168 @@
+use crate::Ase;
+use als_dontcare::DontCares;
+
+/// Everything the selection algorithms need to know about one node's error
+/// behaviour: the occurrence probability of each local input pattern (from
+/// one global simulation run, §3.2) and the node's don't-care classification
+/// (§3.3).
+#[derive(Clone, Debug)]
+pub struct NodeErrorAnalysis {
+    /// `probs[v]` is the probability that the node's fanins take pattern `v`.
+    pub pattern_probs: Vec<f64>,
+    /// SDC/ODC classification of the patterns.
+    pub dont_cares: DontCares,
+}
+
+impl NodeErrorAnalysis {
+    /// An analysis that uses pattern probabilities only (no don't-cares) —
+    /// the configuration used by the multi-selection algorithm's apparent
+    /// error rates, and the ablation switch for the single-selection one.
+    pub fn without_dont_cares(pattern_probs: Vec<f64>) -> Self {
+        let k = pattern_probs.len().trailing_zeros() as usize;
+        NodeErrorAnalysis {
+            pattern_probs,
+            dont_cares: DontCares::none(k),
+        }
+    }
+}
+
+/// The **apparent error rate** of an ASE (§3.2): the total probability of
+/// its erroneous local input patterns.
+///
+/// # Panics
+///
+/// Panics if the probability vector is smaller than the ELIP table.
+pub fn apparent_error_rate(ase: &Ase, pattern_probs: &[f64]) -> f64 {
+    ase.elips
+        .minterms()
+        .map(|m| pattern_probs[m as usize])
+        .sum()
+}
+
+/// The **estimated real error rate** of an ASE (§3.3): the total probability
+/// of its *non-don't-care* ELIPs. This is a close upper bound on the true
+/// real error rate, because (a) only a subset of SDCs/ODCs is known, and
+/// (b) a non-don't-care ELIP may still fail to propagate under some PI
+/// patterns.
+///
+/// # Panics
+///
+/// Panics if the probability vector is smaller than the ELIP table.
+pub fn estimated_real_error_rate(
+    ase: &Ase,
+    pattern_probs: &[f64],
+    dont_cares: &DontCares,
+) -> f64 {
+    ase.elips
+        .minterms()
+        .filter(|&m| !dont_cares.is_dont_care(m as usize))
+        .map(|m| pattern_probs[m as usize])
+        .sum()
+}
+
+/// The paper's ASE score: `literals saved / estimated real error rate`,
+/// with exact (zero-error) ASEs scoring +∞ so redundancy removal is always
+/// preferred.
+pub fn score(literals_saved: usize, error_estimate: f64) -> f64 {
+    if error_estimate <= 0.0 {
+        f64::INFINITY
+    } else {
+        literals_saved as f64 / error_estimate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_ases;
+    use als_logic::Expr;
+
+    fn and2_ases() -> Vec<Ase> {
+        // n = a·b over 2 fanins.
+        let e = Expr::and(vec![Expr::lit(0, true), Expr::lit(1, true)]);
+        generate_ases(&e, 2, 5)
+    }
+
+    #[test]
+    fn apparent_rate_sums_elip_probs() {
+        // Uniform pattern probabilities.
+        let probs = vec![0.25; 4];
+        for ase in and2_ases() {
+            let expect = ase.elips.count_ones() as f64 * 0.25;
+            assert!((apparent_error_rate(&ase, &probs) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_example_of_section_3_2() {
+        // "Suppose the ELIPs of an ASE are 1001, 1010, and 1011 with
+        // probabilities 0.03, 0.01, 0.02 → apparent error rate 0.06."
+        use als_logic::TruthTable;
+        let mut elips = TruthTable::zero(4).unwrap();
+        for m in [0b1001u64, 0b1010, 0b1011] {
+            elips.set(m, true);
+        }
+        let ase = Ase {
+            expr: Expr::FALSE,
+            kind: crate::AseKind::ConstZero,
+            literals_saved: 1,
+            elips,
+        };
+        let mut probs = vec![0.0; 16];
+        probs[0b1001] = 0.03;
+        probs[0b1010] = 0.01;
+        probs[0b1011] = 0.02;
+        assert!((apparent_error_rate(&ase, &probs) - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dont_cares_reduce_the_estimate() {
+        use als_dontcare::{compute_dont_cares, DontCareConfig};
+        use als_logic::{Cover, Cube};
+        use als_network::Network;
+
+        // n = a·b feeding y = n + a: patterns with a=1 are ODCs of n.
+        let mut net = Network::new("t");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let n = net.add_node(
+            "n",
+            vec![a, b],
+            Cover::from_cubes(2, [Cube::from_literals(&[(0, true), (1, true)]).unwrap()]),
+        );
+        let y = net.add_node(
+            "y",
+            vec![n, a],
+            Cover::from_cubes(
+                2,
+                [
+                    Cube::from_literals(&[(0, true)]).unwrap(),
+                    Cube::from_literals(&[(1, true)]).unwrap(),
+                ],
+            ),
+        );
+        net.add_po("y", y);
+        let dc = compute_dont_cares(&net, n, &DontCareConfig::default());
+        let probs = vec![0.25; 4];
+        for ase in and2_ases() {
+            let apparent = apparent_error_rate(&ase, &probs);
+            let estimated = estimated_real_error_rate(&ase, &probs, &dc);
+            assert!(estimated <= apparent + 1e-12);
+        }
+        // The const-1 ASE errs on patterns 00,01,10; of these 01 (a=1,b=0)
+        // is an ODC, so the estimate drops from 0.75 to 0.50.
+        let const1 = and2_ases()
+            .into_iter()
+            .find(|a| a.kind == crate::AseKind::ConstOne)
+            .unwrap();
+        assert!((apparent_error_rate(&const1, &probs) - 0.75).abs() < 1e-12);
+        assert!((estimated_real_error_rate(&const1, &probs, &dc) - 0.50).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_is_infinite_for_free_savings() {
+        assert_eq!(score(2, 0.0), f64::INFINITY);
+        assert!((score(3, 0.01) - 300.0).abs() < 1e-9);
+        assert!(score(1, 0.5) < score(2, 0.5));
+    }
+}

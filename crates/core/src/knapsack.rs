@@ -1,0 +1,374 @@
+//! The 0/1 **multi-state knapsack** problem and its dynamic-programming
+//! solution (paper §5.2).
+//!
+//! Each candidate item has several *states* (weight/value pairs); at most one
+//! state of each item may be put in the knapsack, and the total weight must
+//! not exceed the capacity. In the multi-selection algorithm, items are
+//! nodes, states are their feasible ASEs, weights are (integer-scaled)
+//! apparent error rates and values are saved literals.
+//!
+//! The solver first filters states heavier than the capacity (dropping items
+//! left with no state) and removes *dominated* states (`s1` dominates `s2`
+//! iff `w1 ≤ w2` and `v1 ≥ v2`), then fills the classical DP table
+//! `m[i][j]` — the best value achievable with the first `i` items within
+//! weight `j` — extended to consider every remaining state of item `i`, and
+//! finally backtracks to recover the chosen items and states.
+
+use std::fmt;
+
+/// One state of a candidate item: an (integer) weight/value pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct KnapsackState {
+    /// The state's weight (scaled apparent error rate).
+    pub weight: u64,
+    /// The state's value (saved literals).
+    pub value: u64,
+}
+
+/// A candidate item with its alternative states.
+#[derive(Clone, Debug, Default)]
+pub struct KnapsackItem {
+    /// The item's states; may be empty (the item is then never selected).
+    pub states: Vec<KnapsackState>,
+}
+
+/// The solver's answer: for each input item, the index of the chosen state
+/// (into the item's *original* state list) or `None` if the item was not
+/// selected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KnapsackSolution {
+    /// Per-item chosen state index.
+    pub choices: Vec<Option<usize>>,
+    /// The total value of the selection.
+    pub total_value: u64,
+    /// The total weight of the selection.
+    pub total_weight: u64,
+}
+
+impl fmt::Display for KnapsackSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "value {} at weight {} ({} items)",
+            self.total_value,
+            self.total_weight,
+            self.choices.iter().flatten().count()
+        )
+    }
+}
+
+/// Solves the 0/1 multi-state knapsack problem exactly.
+///
+/// Runs in `O(num_states × capacity)` time and `O(num_items × capacity)`
+/// space. With `filter_dominated = false` the dominance-pruning pass is
+/// skipped (provided for the ablation benchmark; the answer is identical).
+///
+/// # Example
+///
+/// The worked example of the paper's Tables 1 and 2:
+///
+/// ```
+/// use als_core::knapsack::{solve, KnapsackItem, KnapsackState};
+///
+/// let items = vec![
+///     KnapsackItem { states: vec![
+///         KnapsackState { weight: 2, value: 1 },
+///         KnapsackState { weight: 3, value: 2 },
+///     ]},
+///     KnapsackItem { states: vec![
+///         KnapsackState { weight: 4, value: 2 },
+///         KnapsackState { weight: 6, value: 4 },
+///     ]},
+///     KnapsackItem { states: vec![
+///         KnapsackState { weight: 2, value: 1 },
+///     ]},
+/// ];
+/// let solution = solve(&items, 9, true);
+/// assert_eq!(solution.total_value, 6);
+/// // c1 in state s12 and c2 in state s22.
+/// assert_eq!(solution.choices, vec![Some(1), Some(1), None]);
+/// ```
+pub fn solve(items: &[KnapsackItem], capacity: u64, filter_dominated: bool) -> KnapsackSolution {
+    let cap = usize::try_from(capacity).expect("capacity fits in memory");
+
+    // Filtering: drop states over capacity; optionally drop dominated states.
+    // Remember original indices for the backtrack report.
+    let mut filtered: Vec<Vec<(usize, KnapsackState)>> = Vec::with_capacity(items.len());
+    for item in items {
+        let mut states: Vec<(usize, KnapsackState)> = item
+            .states
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, s)| s.weight <= capacity)
+            .collect();
+        if filter_dominated {
+            states = remove_dominated(states);
+        }
+        filtered.push(states);
+    }
+
+    // DP table m[i][j], i in 0..=n. Row 0 is all zeros.
+    let n = filtered.len();
+    let width = cap + 1;
+    let mut m = vec![0u64; (n + 1) * width];
+    for i in 1..=n {
+        for j in 0..width {
+            let mut best = m[(i - 1) * width + j]; // skip item i
+            for &(_, s) in &filtered[i - 1] {
+                let w = s.weight as usize;
+                if w <= j {
+                    best = best.max(m[(i - 1) * width + (j - w)] + s.value);
+                }
+            }
+            m[i * width + j] = best;
+        }
+    }
+
+    // Backtrack from m[n][cap].
+    let mut choices = vec![None; n];
+    let mut j = cap;
+    let mut total_weight = 0u64;
+    for i in (1..=n).rev() {
+        let here = m[i * width + j];
+        if here == m[(i - 1) * width + j] {
+            continue; // item not needed (prefer skipping, matching the paper)
+        }
+        let (orig_idx, s) = filtered[i - 1]
+            .iter()
+            .find(|(_, s)| {
+                let w = s.weight as usize;
+                w <= j && m[(i - 1) * width + (j - w)] + s.value == here
+            })
+            .expect("DP cell must be explained by some state");
+        choices[i - 1] = Some(*orig_idx);
+        total_weight += s.weight;
+        j -= s.weight as usize;
+    }
+
+    KnapsackSolution {
+        total_value: m[n * width + cap],
+        total_weight,
+        choices,
+    }
+}
+
+/// Removes dominated states: state `a` dominates `b` iff
+/// `a.weight ≤ b.weight` and `a.value ≥ b.value` (keeping one of equal
+/// states).
+fn remove_dominated(
+    mut states: Vec<(usize, KnapsackState)>,
+) -> Vec<(usize, KnapsackState)> {
+    // Sort by weight ascending, value descending; then keep a strictly
+    // increasing value frontier.
+    states.sort_by(|a, b| {
+        a.1.weight
+            .cmp(&b.1.weight)
+            .then(b.1.value.cmp(&a.1.value))
+    });
+    let mut kept: Vec<(usize, KnapsackState)> = Vec::with_capacity(states.len());
+    let mut best_value: Option<u64> = None;
+    for (idx, s) in states {
+        if best_value.is_none_or(|v| s.value > v) {
+            best_value = Some(s.value);
+            kept.push((idx, s));
+        }
+    }
+    kept
+}
+
+/// The scaling rule of §5.2: error rates (which are real numbers) are turned
+/// into integer knapsack weights by multiplying with 10 000 when the
+/// threshold is below 1 % and with 1 000 otherwise, then rounding.
+///
+/// (The paper's text reads "multiplied by 1000. Otherwise ... 1000" — an
+/// evident typo; the finer grid for tight thresholds is the stated intent.)
+pub fn error_rate_scale(threshold: f64) -> f64 {
+    if threshold < 0.01 {
+        10_000.0
+    } else {
+        1_000.0
+    }
+}
+
+/// Scales a real-valued error rate to an integer knapsack weight.
+pub fn scale_weight(error_rate: f64, scale: f64) -> u64 {
+    (error_rate * scale).round() as u64
+}
+
+/// Exhaustive reference solver for testing (exponential; keep inputs tiny).
+#[cfg(test)]
+fn brute_force(items: &[KnapsackItem], capacity: u64) -> u64 {
+    fn rec(items: &[KnapsackItem], i: usize, cap_left: u64) -> u64 {
+        if i == items.len() {
+            return 0;
+        }
+        let mut best = rec(items, i + 1, cap_left);
+        for s in &items[i].states {
+            if s.weight <= cap_left {
+                best = best.max(s.value + rec(items, i + 1, cap_left - s.weight));
+            }
+        }
+        best
+    }
+    rec(items, 0, capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table 1.
+    fn paper_items() -> Vec<KnapsackItem> {
+        vec![
+            KnapsackItem {
+                states: vec![
+                    KnapsackState { weight: 2, value: 1 }, // s11
+                    KnapsackState { weight: 3, value: 2 }, // s12
+                ],
+            },
+            KnapsackItem {
+                states: vec![
+                    KnapsackState { weight: 4, value: 2 }, // s21
+                    KnapsackState { weight: 6, value: 4 }, // s22
+                ],
+            },
+            KnapsackItem {
+                states: vec![KnapsackState { weight: 2, value: 1 }], // s31
+            },
+        ]
+    }
+
+    #[test]
+    fn paper_table_2_dp_rows() {
+        // Reproduce the DP table of Table 2 row by row.
+        let items = paper_items();
+        let expect_rows: [[u64; 10]; 3] = [
+            [0, 0, 1, 2, 2, 2, 2, 2, 2, 2],
+            [0, 0, 1, 2, 2, 2, 4, 4, 5, 6],
+            [0, 0, 1, 2, 2, 3, 4, 4, 5, 6],
+        ];
+        for (upto, row) in expect_rows.iter().enumerate() {
+            for (j, &cell) in row.iter().enumerate() {
+                let sub = solve(&items[..=upto], j as u64, true);
+                assert_eq!(
+                    sub.total_value, cell,
+                    "m[{}, {}] mismatch",
+                    upto + 1,
+                    j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_table_2_example_walkthrough() {
+        // §5.2: m[2,8] — considering both states of c2: best is 5 via s22.
+        let items = paper_items();
+        assert_eq!(solve(&items[..2], 8, true).total_value, 5);
+        // Final optimum: 6, with c1@s12 and c2@s22.
+        let sol = solve(&items, 9, true);
+        assert_eq!(sol.total_value, 6);
+        assert_eq!(sol.choices, vec![Some(1), Some(1), None]);
+        assert_eq!(sol.total_weight, 9);
+    }
+
+    #[test]
+    fn dominance_filter_preserves_optimum() {
+        let items = paper_items();
+        for cap in 0..=12 {
+            let a = solve(&items, cap, true);
+            let b = solve(&items, cap, false);
+            assert_eq!(a.total_value, b.total_value, "capacity {cap}");
+        }
+    }
+
+    #[test]
+    fn dominated_states_are_never_chosen() {
+        // State (5, 1) is dominated by (2, 3).
+        let items = vec![KnapsackItem {
+            states: vec![
+                KnapsackState { weight: 5, value: 1 },
+                KnapsackState { weight: 2, value: 3 },
+            ],
+        }];
+        let sol = solve(&items, 10, true);
+        assert_eq!(sol.choices, vec![Some(1)]);
+        assert_eq!(sol.total_value, 3);
+    }
+
+    #[test]
+    fn zero_capacity_selects_only_weightless() {
+        let items = vec![
+            KnapsackItem {
+                states: vec![KnapsackState { weight: 0, value: 7 }],
+            },
+            KnapsackItem {
+                states: vec![KnapsackState { weight: 1, value: 100 }],
+            },
+        ];
+        let sol = solve(&items, 0, true);
+        assert_eq!(sol.total_value, 7);
+        assert_eq!(sol.choices, vec![Some(0), None]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let sol = solve(&[], 5, true);
+        assert_eq!(sol.total_value, 0);
+        assert!(sol.choices.is_empty());
+        let sol = solve(&[KnapsackItem { states: vec![] }], 5, true);
+        assert_eq!(sol.choices, vec![None]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut state = 0xfeed_beefu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for round in 0..100 {
+            let n_items = 1 + (next() % 5) as usize;
+            let items: Vec<KnapsackItem> = (0..n_items)
+                .map(|_| KnapsackItem {
+                    states: (0..(next() % 4))
+                        .map(|_| KnapsackState {
+                            weight: next() % 12,
+                            value: next() % 9,
+                        })
+                        .collect(),
+                })
+                .collect();
+            let cap = next() % 25;
+            let expect = brute_force(&items, cap);
+            for filt in [true, false] {
+                let sol = solve(&items, cap, filt);
+                assert_eq!(sol.total_value, expect, "round {round} filt {filt}");
+                // The reported selection must be consistent and feasible.
+                let mut w = 0u64;
+                let mut v = 0u64;
+                for (item, choice) in items.iter().zip(&sol.choices) {
+                    if let Some(c) = choice {
+                        w += item.states[*c].weight;
+                        v += item.states[*c].value;
+                    }
+                }
+                assert_eq!(v, sol.total_value);
+                assert_eq!(w, sol.total_weight);
+                assert!(w <= cap);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_rule() {
+        assert_eq!(error_rate_scale(0.005), 10_000.0);
+        assert_eq!(error_rate_scale(0.01), 1_000.0);
+        assert_eq!(error_rate_scale(0.05), 1_000.0);
+        assert_eq!(scale_weight(0.0031, 10_000.0), 31);
+        assert_eq!(scale_weight(0.03, 1_000.0), 30);
+    }
+}

@@ -1,0 +1,70 @@
+//! Multi-level approximate logic synthesis under an error rate constraint.
+//!
+//! This crate implements the contribution of Wu & Qian, *"An Efficient Method
+//! for Multi-level Approximate Logic Synthesis under Error Rate Constraint"*
+//! (DAC 2016): shrinking nodes of a Boolean network by replacing their
+//! factored-form expressions with **approximate simplified expressions**
+//! (ASEs) obtained by deleting literals, while keeping the network's error
+//! rate (fraction of PI vectors producing any wrong PO value) below a
+//! threshold.
+//!
+//! Two algorithms are provided:
+//!
+//! * [`single_selection`] (paper Algorithm 1) — per iteration, picks the one
+//!   node/ASE with the best score `saved literals / estimated real error
+//!   rate`, where the estimate discards erroneous local input patterns that
+//!   are SDCs or ODCs of the node (§3.3);
+//! * [`multi_selection`] (paper Algorithm 2) — per iteration, selects a
+//!   *set* of nodes and ASEs by solving a **multi-state 0/1 knapsack**
+//!   ([`knapsack`]) whose weights are apparent error rates (sound by the
+//!   paper's Theorem 1) and whose values are saved literals.
+//!
+//! The same-support/same-signature redundancy-removal pre-process of §6 is
+//! available as [`preprocess::remove_redundancies`].
+//!
+//! # Example
+//!
+//! ```
+//! use als_core::{single_selection, AlsConfig};
+//! use als_network::blif;
+//!
+//! let net = blif::parse("\
+//! .model toy
+//! .inputs a b c
+//! .outputs y
+//! .names a b t
+//! 11 1
+//! .names t c y
+//! 1- 1
+//! -1 1
+//! .end
+//! ")?;
+//! let config = AlsConfig::with_threshold(0.10);
+//! let outcome = single_selection(&net, &config);
+//! assert!(outcome.measured_error_rate <= 0.10);
+//! assert!(outcome.network.literal_count() <= net.literal_count());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ase;
+mod config;
+mod context;
+mod error_model;
+mod multi;
+mod report;
+mod single;
+
+pub mod classical;
+pub mod knapsack;
+pub mod preprocess;
+
+pub use ase::{generate_ases, Ase, AseKind};
+pub use config::{AlsConfig, MagnitudeConstraint};
+pub use context::AlsContext;
+pub use error_model::{apparent_error_rate, estimated_real_error_rate, score, NodeErrorAnalysis};
+pub use multi::{multi_selection, multi_selection_under};
+pub use report::{AlsOutcome, IterationRecord, SelectedChange};
+pub use single::{single_selection, single_selection_under};

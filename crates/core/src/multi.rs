@@ -1,0 +1,278 @@
+//! The multi-selection algorithm (paper Algorithm 2).
+
+use crate::ase::{generate_ases, Ase};
+use crate::error_model::apparent_error_rate;
+use crate::knapsack::{self, error_rate_scale, scale_weight, KnapsackItem, KnapsackState};
+use crate::report::{AlsOutcome, IterationRecord, SelectedChange};
+use crate::single::apply_ase;
+use crate::{preprocess, AlsConfig, AlsContext};
+use als_network::{Network, NodeId};
+use als_sim::local_pattern_probabilities;
+use std::time::Instant;
+
+/// Runs the multi-selection algorithm: per iteration, every node's ASEs
+/// become the states of a knapsack item (weight = scaled **apparent** error
+/// rate, value = saved literals, capacity = scaled error-rate margin); the
+/// multi-state knapsack DP of [`knapsack::solve`] picks an optimal set of
+/// simultaneous changes, justified by the paper's Theorem 1 (the sum of
+/// apparent error rates bounds the combined error-rate increase).
+///
+/// The measured error rate is re-checked after every batch; an overshooting
+/// batch is rolled back (and optionally retried with half the capacity when
+/// [`AlsConfig::retry_on_overshoot`] is set).
+///
+/// # Panics
+///
+/// Panics if the input network fails its consistency check.
+pub fn multi_selection(original: &Network, config: &AlsConfig) -> AlsOutcome {
+    let ctx = AlsContext::new(original, config);
+    multi_selection_with_context(original, config, ctx)
+}
+
+/// Workload-aware variant of [`multi_selection`]: the error-rate budget is
+/// measured under the supplied stimulus instead of uniform random vectors.
+///
+/// # Panics
+///
+/// Panics if the input network fails its consistency check or the pattern
+/// set drives a different PI count.
+pub fn multi_selection_under(
+    original: &Network,
+    config: &AlsConfig,
+    patterns: als_sim::PatternSet,
+) -> AlsOutcome {
+    let ctx = AlsContext::with_patterns(original, patterns);
+    multi_selection_with_context(original, config, ctx)
+}
+
+fn multi_selection_with_context(
+    original: &Network,
+    config: &AlsConfig,
+    ctx: AlsContext,
+) -> AlsOutcome {
+    let start = Instant::now();
+    original.check().expect("input network must be consistent");
+    let initial_literals = original.literal_count();
+
+    let mut current = original.clone();
+    if config.preprocess {
+        preprocess::remove_redundancies(&mut current, ctx.patterns());
+    }
+
+    let scale = error_rate_scale(config.threshold);
+    let mut error_rate = ctx.measure(&current);
+    let mut margin = config.threshold - error_rate;
+    let mut iterations: Vec<IterationRecord> = Vec::new();
+
+    'outer: for iteration in 1..=config.max_iterations {
+        if margin < 0.0 {
+            break;
+        }
+        // Collect the candidate items: every eligible node with its ASEs.
+        let sim = ctx.simulate(&current);
+        let ids: Vec<NodeId> = current.internal_ids().collect();
+        let mut nodes: Vec<NodeId> = Vec::new();
+        let mut ase_store: Vec<Vec<Ase>> = Vec::new();
+        let mut rate_store: Vec<Vec<f64>> = Vec::new();
+        let mut items: Vec<KnapsackItem> = Vec::new();
+        for id in ids {
+            let node = current.node(id);
+            let k = node.fanins().len();
+            if k > config.max_fanins || node.is_constant() {
+                continue;
+            }
+            let ases = generate_ases(node.expr(), k, config.max_enum_literals);
+            if ases.is_empty() {
+                continue;
+            }
+            let probs = local_pattern_probabilities(&current, &sim, id);
+            let rates: Vec<f64> = ases
+                .iter()
+                .map(|ase| apparent_error_rate(ase, &probs))
+                .collect();
+            let states: Vec<KnapsackState> = ases
+                .iter()
+                .zip(&rates)
+                .map(|(ase, &r)| KnapsackState {
+                    weight: scale_weight(r, scale),
+                    value: ase.literals_saved as u64,
+                })
+                .collect();
+            nodes.push(id);
+            ase_store.push(ases);
+            rate_store.push(rates);
+            items.push(KnapsackItem { states });
+        }
+        if items.is_empty() {
+            break;
+        }
+
+        let mut capacity = scale_weight(margin.max(0.0), scale);
+        loop {
+            let solution = knapsack::solve(&items, capacity, true);
+            if solution.choices.iter().all(Option::is_none) {
+                break 'outer;
+            }
+
+            // Apply the batch.
+            let snapshot = current.clone();
+            let mut changes: Vec<SelectedChange> = Vec::new();
+            for ((idx, choice), id) in solution.choices.iter().enumerate().zip(&nodes) {
+                let Some(state) = choice else { continue };
+                let ase = &ase_store[idx][*state];
+                changes.push(SelectedChange {
+                    node_name: current.node(*id).name().to_string(),
+                    ase: ase.expr.to_string(),
+                    literals_saved: ase.literals_saved,
+                    error_estimate: rate_store[idx][*state],
+                });
+                apply_ase(&mut current, *id, ase);
+            }
+            current.propagate_constants();
+
+            let Some(new_error_rate) = ctx.accepts(&current, config) else {
+                current = snapshot;
+                // Rate overshoot or magnitude violation: retrying with a
+                // halved capacity shrinks the batch until it fits (always on
+                // when a magnitude constraint is set, since the knapsack
+                // weights do not model magnitudes).
+                if (config.retry_on_overshoot || config.magnitude.is_some()) && capacity > 0 {
+                    capacity /= 2;
+                    continue;
+                }
+                break 'outer;
+            };
+            error_rate = new_error_rate;
+            margin = config.threshold - error_rate;
+            iterations.push(IterationRecord {
+                iteration,
+                changes,
+                literals_after: current.literal_count(),
+                error_rate_after: error_rate,
+            });
+            break;
+        }
+    }
+
+    debug_assert!(current.check().is_ok());
+    AlsOutcome {
+        final_literals: current.literal_count(),
+        measured_error_rate: error_rate,
+        network: current,
+        iterations,
+        initial_literals,
+        runtime: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_logic::{Cover, Cube};
+    use als_sim::{error_rate, PatternSet};
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits).unwrap()
+    }
+
+    /// Several independent rarely-true product terms feeding separate
+    /// outputs — ideal for simultaneous multi-node shrinking.
+    fn parallel_net() -> Network {
+        let mut net = Network::new("parallel");
+        let pis: Vec<_> = (0..12).map(|i| net.add_pi(format!("x{i}"))).collect();
+        for o in 0..3 {
+            let base = o * 4;
+            let g = net.add_node(
+                format!("g{o}"),
+                pis[base..base + 4].to_vec(),
+                Cover::from_cubes(
+                    4,
+                    [cube(&[(0, true), (1, true), (2, true), (3, true)])],
+                ),
+            );
+            net.add_po(format!("y{o}"), g);
+        }
+        net
+    }
+
+    #[test]
+    fn selects_multiple_nodes_in_one_iteration() {
+        let net = parallel_net();
+        // Each constant-0 ASE has apparent rate 1/16 ≈ 0.0625; a 25% budget
+        // affords all three at once.
+        let out = multi_selection(&net, &AlsConfig::with_threshold(0.25));
+        assert!(out.measured_error_rate <= 0.25 + 1e-12);
+        assert!(!out.iterations.is_empty());
+        assert!(
+            out.iterations[0].changes.len() >= 2,
+            "knapsack should batch several changes, got {:?}",
+            out.iterations[0].changes.len()
+        );
+        assert!(out.final_literals < out.initial_literals);
+    }
+
+    #[test]
+    fn respects_threshold_on_true_function() {
+        let net = parallel_net();
+        let out = multi_selection(&net, &AlsConfig::with_threshold(0.10));
+        let p = PatternSet::exhaustive(12).unwrap();
+        let true_er = error_rate(&net, &out.network, &p);
+        assert!(true_er <= 0.13, "true error rate {true_er} too far over budget");
+    }
+
+    #[test]
+    fn zero_threshold_changes_nothing_without_redundancy() {
+        let net = parallel_net();
+        let out = multi_selection(&net, &AlsConfig::with_threshold(0.0));
+        assert_eq!(out.measured_error_rate, 0.0);
+        assert_eq!(out.final_literals, out.initial_literals);
+    }
+
+    #[test]
+    fn fewer_iterations_than_single_selection() {
+        use crate::single_selection;
+        let net = parallel_net();
+        let config = AlsConfig::with_threshold(0.25);
+        let single = single_selection(&net, &config);
+        let multi = multi_selection(&net, &config);
+        assert!(
+            multi.iterations.len() <= single.iterations.len(),
+            "multi ({}) must not take more iterations than single ({})",
+            multi.iterations.len(),
+            single.iterations.len()
+        );
+    }
+
+    #[test]
+    fn magnitude_constraint_limits_deviation() {
+        use crate::MagnitudeConstraint;
+        use als_sim::magnitude_stats;
+        // A 3-bit adder: with a generous rate budget but max_abs = 1, only
+        // LSB-scale deviations may survive.
+        let golden = als_circuits::ripple_carry_adder(3);
+        let mut config = AlsConfig::with_threshold(0.40);
+        config.num_patterns = 4096;
+        config.magnitude = Some(MagnitudeConstraint { max_abs: 1 });
+        let out = multi_selection(&golden, &config);
+        let p = PatternSet::exhaustive(6).unwrap();
+        let stats = magnitude_stats(&golden, &out.network, &p);
+        assert!(stats.max_abs <= 1, "deviation {} exceeds bound", stats.max_abs);
+        // Without the constraint the same budget allows larger deviations.
+        config.magnitude = None;
+        let free = multi_selection(&golden, &config);
+        let free_stats = magnitude_stats(&golden, &free.network, &p);
+        assert!(
+            free_stats.max_abs >= stats.max_abs,
+            "unconstrained run should deviate at least as much"
+        );
+    }
+
+    #[test]
+    fn retry_on_overshoot_still_terminates() {
+        let net = parallel_net();
+        let mut config = AlsConfig::with_threshold(0.10);
+        config.retry_on_overshoot = true;
+        let out = multi_selection(&net, &config);
+        assert!(out.measured_error_rate <= 0.10 + 1e-12);
+    }
+}

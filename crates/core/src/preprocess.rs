@@ -1,0 +1,208 @@
+//! Redundancy-removal pre-process (paper §6).
+//!
+//! Some benchmark circuits contain pairs of nodes computing the *same global
+//! function*, which node-local synthesis cannot discover. The paper's
+//! pre-process finds them cheaply: two identical signals must share their PI
+//! support, so nodes are keyed by support and compared by simulation
+//! signature; confirmed pairs are merged, keeping the node whose survival
+//! saves more literals.
+
+use als_network::{Network, NodeId};
+use als_sim::{simulate, PatternSet};
+use std::collections::HashMap;
+
+/// Merges internal nodes with identical PI supports and identical simulation
+/// signatures, then sweeps. Returns the number of nodes removed.
+///
+/// Signature equality over a finite pattern set is necessary but not
+/// sufficient for functional equality; with the paper's 10 000 random
+/// vectors collisions are considered negligible (the original does the
+/// same). Exhaustive patterns make the merge exact.
+pub fn remove_redundancies(net: &mut Network, patterns: &PatternSet) -> usize {
+    let sim = simulate(net, patterns);
+    let order: Vec<NodeId> = net
+        .topo_order()
+        .into_iter()
+        .filter(|&id| !net.node(id).is_pi())
+        .collect();
+
+    // Bucket by (PI support, signature hash); representative is the earliest
+    // node in topological order.
+    let mut reps: HashMap<(Vec<bool>, u64), NodeId> = HashMap::new();
+    let mut removed = 0usize;
+    for id in order {
+        if !net.is_live(id) {
+            continue;
+        }
+        let key = (net.pi_support(id), sim.signature_hash(id));
+        match reps.get(&key) {
+            None => {
+                reps.insert(key, id);
+            }
+            Some(&rep) if net.is_live(rep) && sim.signatures_equal(rep, id) => {
+                // Merge: prefer to delete the node carrying more literals.
+                // Deleting `rep` is only legal if `id` is not downstream of
+                // it (no cycle); `id` being later in topological order means
+                // `rep` is never downstream of `id`.
+                let rep_lits = net.node(rep).literal_count();
+                let id_lits = net.node(id).literal_count();
+                if rep_lits > id_lits && !net.tfo_mask(rep)[id.index()] {
+                    net.substitute(rep, id);
+                    reps.insert(key, id);
+                } else {
+                    net.substitute(id, rep);
+                }
+                removed += 1;
+            }
+            Some(_) => {
+                // Hash collision with a dead or differing node: replace the
+                // stale representative.
+                reps.insert(key, id);
+            }
+        }
+    }
+    net.sweep();
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_logic::{Cover, Cube};
+    use als_sim::PatternSet;
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits).unwrap()
+    }
+
+    #[test]
+    fn merges_structural_duplicates() {
+        let mut net = Network::new("dup");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        // Two AND gates with permuted fanin lists — same function.
+        let g1 = net.add_node(
+            "g1",
+            vec![a, b],
+            Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+        );
+        let g2 = net.add_node(
+            "g2",
+            vec![b, a],
+            Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+        );
+        let y = net.add_node(
+            "y",
+            vec![g1, g2],
+            Cover::from_cubes(2, [cube(&[(0, true)]), cube(&[(1, true)])]),
+        );
+        net.add_po("y", y);
+        let before: Vec<bool> = (0..4)
+            .map(|m| net.eval(&[m & 1 == 1, m >> 1 & 1 == 1])[0])
+            .collect();
+        let patterns = PatternSet::exhaustive(2).unwrap();
+        let removed = remove_redundancies(&mut net, &patterns);
+        // g2 merges into g1; y then degenerates to a buffer of g1 with an
+        // identical signature and merges as well.
+        assert_eq!(removed, 2);
+        net.check().unwrap();
+        let after: Vec<bool> = (0..4)
+            .map(|m| net.eval(&[m & 1 == 1, m >> 1 & 1 == 1])[0])
+            .collect();
+        assert_eq!(before, after, "function must be preserved");
+    }
+
+    #[test]
+    fn keeps_cheaper_node() {
+        let mut net = Network::new("cheap");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        // g1 = ab + ab' + a'b  (messy, 6 literals) vs g2 = a + b (2 literals);
+        // same function.
+        let g1 = net.add_node(
+            "g1",
+            vec![a, b],
+            Cover::from_cubes(
+                2,
+                [
+                    cube(&[(0, true), (1, true)]),
+                    cube(&[(0, true), (1, false)]),
+                    cube(&[(0, false), (1, true)]),
+                ],
+            ),
+        );
+        let g2 = net.add_node(
+            "g2",
+            vec![a, b],
+            Cover::from_cubes(2, [cube(&[(0, true)]), cube(&[(1, true)])]),
+        );
+        let y = net.add_node(
+            "y",
+            vec![g1, g2],
+            Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+        );
+        net.add_po("y", y);
+        let lits_before = net.literal_count();
+        let patterns = PatternSet::exhaustive(2).unwrap();
+        remove_redundancies(&mut net, &patterns);
+        net.check().unwrap();
+        // The expensive g1 must be the one that disappeared.
+        assert!(net.is_live(g2));
+        assert!(!net.is_live(g1));
+        assert!(net.literal_count() < lits_before);
+    }
+
+    #[test]
+    fn different_functions_untouched() {
+        let mut net = Network::new("diff");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let g1 = net.add_node(
+            "g1",
+            vec![a, b],
+            Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+        );
+        let g2 = net.add_node(
+            "g2",
+            vec![a, b],
+            Cover::from_cubes(2, [cube(&[(0, true)]), cube(&[(1, true)])]),
+        );
+        net.add_po("g1", g1);
+        net.add_po("g2", g2);
+        let patterns = PatternSet::exhaustive(2).unwrap();
+        assert_eq!(remove_redundancies(&mut net, &patterns), 0);
+        assert!(net.is_live(g1) && net.is_live(g2));
+    }
+
+    #[test]
+    fn chain_of_duplicates_collapses() {
+        let mut net = Network::new("chain");
+        let a = net.add_pi("a");
+        let mut drivers = Vec::new();
+        for i in 0..4 {
+            let g = net.add_node(
+                format!("inv{i}"),
+                vec![a],
+                Cover::from_cubes(1, [cube(&[(0, false)])]),
+            );
+            drivers.push(g);
+        }
+        let y = net.add_node(
+            "y",
+            drivers.clone(),
+            Cover::from_cubes(
+                4,
+                [cube(&[(0, true), (1, true), (2, true), (3, true)])],
+            ),
+        );
+        net.add_po("y", y);
+        let patterns = PatternSet::exhaustive(1).unwrap();
+        let removed = remove_redundancies(&mut net, &patterns);
+        // The three duplicate inverters merge, then y (now a buffer of the
+        // survivor) merges too.
+        assert_eq!(removed, 4);
+        net.check().unwrap();
+        assert_eq!(net.eval(&[false]), vec![true]);
+        assert_eq!(net.eval(&[true]), vec![false]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the multi-state knapsack solver.
+
+use als_core::knapsack::{solve, KnapsackItem, KnapsackState};
+use proptest::prelude::*;
+
+fn brute_force(items: &[KnapsackItem], capacity: u64) -> u64 {
+    fn rec(items: &[KnapsackItem], i: usize, cap_left: u64) -> u64 {
+        if i == items.len() {
+            return 0;
+        }
+        let mut best = rec(items, i + 1, cap_left);
+        for s in &items[i].states {
+            if s.weight <= cap_left {
+                best = best.max(s.value + rec(items, i + 1, cap_left - s.weight));
+            }
+        }
+        best
+    }
+    rec(items, 0, capacity)
+}
+
+fn arb_items() -> impl Strategy<Value = Vec<KnapsackItem>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u64..15, 0u64..10), 0..4).prop_map(|states| KnapsackItem {
+            states: states
+                .into_iter()
+                .map(|(weight, value)| KnapsackState { weight, value })
+                .collect(),
+        }),
+        0..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dp_matches_brute_force(items in arb_items(), capacity in 0u64..40) {
+        let expect = brute_force(&items, capacity);
+        for filter in [true, false] {
+            let sol = solve(&items, capacity, filter);
+            prop_assert_eq!(sol.total_value, expect, "filter={}", filter);
+            // Selection is consistent and feasible.
+            let mut w = 0u64;
+            let mut v = 0u64;
+            for (item, choice) in items.iter().zip(&sol.choices) {
+                if let Some(c) = choice {
+                    w += item.states[*c].weight;
+                    v += item.states[*c].value;
+                }
+            }
+            prop_assert_eq!(v, sol.total_value);
+            prop_assert_eq!(w, sol.total_weight);
+            prop_assert!(w <= capacity);
+        }
+    }
+
+    #[test]
+    fn value_monotone_in_capacity(items in arb_items(), capacity in 0u64..30) {
+        let a = solve(&items, capacity, true).total_value;
+        let b = solve(&items, capacity + 1, true).total_value;
+        prop_assert!(b >= a, "more capacity can never hurt");
+    }
+
+    #[test]
+    fn adding_an_item_never_hurts(items in arb_items(), extra in
+        proptest::collection::vec((0u64..15, 0u64..10), 0..4), capacity in 0u64..30)
+    {
+        let base = solve(&items, capacity, true).total_value;
+        let mut bigger = items.clone();
+        bigger.push(KnapsackItem {
+            states: extra
+                .into_iter()
+                .map(|(weight, value)| KnapsackState { weight, value })
+                .collect(),
+        });
+        let with_extra = solve(&bigger, capacity, true).total_value;
+        prop_assert!(with_extra >= base, "an extra candidate can never hurt");
+    }
+}

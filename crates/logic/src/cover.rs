@@ -1,0 +1,410 @@
+use crate::{Cube, LogicError, TruthTable, MAX_VARS};
+use std::fmt;
+
+/// A sum-of-products (SOP) cover: a disjunction of [`Cube`]s over a fixed
+/// number of local variables.
+///
+/// This is the two-level node representation of MIS/SIS-style Boolean
+/// networks. The empty cover is the constant-0 function; a cover containing
+/// the universal cube is the constant-1 function.
+///
+/// # Example
+///
+/// ```
+/// use als_logic::{Cover, Cube};
+///
+/// // f = x0·x1 + x2'
+/// let mut f = Cover::new(3);
+/// f.push(Cube::from_literals(&[(0, true), (1, true)])?);
+/// f.push(Cube::from_literals(&[(2, false)])?);
+/// assert!(f.eval(0b011)); // x0=x1=1
+/// assert!(f.eval(0b000)); // x2=0
+/// assert!(!f.eval(0b100)); // only x2=1
+/// assert_eq!(f.literal_count(), 3);
+/// # Ok::<(), als_logic::LogicError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Cover {
+    num_vars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// Creates an empty (constant-0) cover over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > MAX_VARS`; use [`Cover::try_new`] to handle the
+    /// error instead.
+    pub fn new(num_vars: usize) -> Self {
+        Self::try_new(num_vars).expect("num_vars exceeds MAX_VARS")
+    }
+
+    /// Creates an empty (constant-0) cover over `num_vars` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TooManyVars`] if `num_vars > MAX_VARS`.
+    pub fn try_new(num_vars: usize) -> Result<Self, LogicError> {
+        if num_vars > MAX_VARS {
+            return Err(LogicError::TooManyVars {
+                requested: num_vars,
+            });
+        }
+        Ok(Cover {
+            num_vars,
+            cubes: Vec::new(),
+        })
+    }
+
+    /// The constant-0 cover (no cubes).
+    pub fn constant_zero(num_vars: usize) -> Self {
+        Self::new(num_vars)
+    }
+
+    /// The constant-1 cover (single universal cube).
+    pub fn constant_one(num_vars: usize) -> Self {
+        let mut c = Self::new(num_vars);
+        c.push(Cube::UNIVERSE);
+        c
+    }
+
+    /// A cover consisting of the single literal `var` with the given phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn literal(num_vars: usize, var: usize, phase: bool) -> Self {
+        assert!(var < num_vars, "literal variable out of range");
+        let mut c = Self::new(num_vars);
+        c.push(Cube::from_literals(&[(var, phase)]).expect("single literal is never contradictory"));
+        c
+    }
+
+    /// Builds a cover from an iterator of cubes.
+    pub fn from_cubes<I: IntoIterator<Item = Cube>>(num_vars: usize, cubes: I) -> Self {
+        let mut c = Self::new(num_vars);
+        c.extend(cubes);
+        c
+    }
+
+    /// The number of local variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The cubes of the cover.
+    #[inline]
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// The number of cubes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Whether the cover has no cubes (constant 0).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Appends a cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube mentions a variable `>= num_vars`.
+    pub fn push(&mut self, cube: Cube) {
+        let limit = if self.num_vars >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.num_vars) - 1
+        };
+        assert!(
+            cube.support_mask() & !limit == 0,
+            "cube mentions variable outside cover support"
+        );
+        self.cubes.push(cube);
+    }
+
+    /// The total number of literals over all cubes (SOP literal count).
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// The union of cube supports.
+    pub fn support_mask(&self) -> u64 {
+        self.cubes
+            .iter()
+            .fold(0, |acc, c| acc | c.support_mask())
+    }
+
+    /// Evaluates the cover on a minterm.
+    pub fn eval(&self, assignment: u64) -> bool {
+        self.cubes.iter().any(|c| c.eval(assignment))
+    }
+
+    /// Whether the cover contains the universal cube (syntactic constant-1
+    /// check; for a semantic check use [`TruthTable::is_one`]).
+    pub fn has_universe_cube(&self) -> bool {
+        self.cubes.iter().any(Cube::is_universe)
+    }
+
+    /// The truth table of the cover.
+    pub fn to_truth_table(&self) -> TruthTable {
+        TruthTable::from_cover(self)
+    }
+
+    /// Removes cubes that are single-cube-contained by another cube of the
+    /// cover, and duplicate cubes. Preserves the function.
+    pub fn remove_contained_cubes(&mut self) {
+        let mut keep = vec![true; self.cubes.len()];
+        for i in 0..self.cubes.len() {
+            if !keep[i] {
+                continue;
+            }
+            #[allow(clippy::needless_range_loop)] // the index is semantic here
+            for j in 0..self.cubes.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                // Drop j if i contains j; ties broken by index to keep one copy.
+                if self.cubes[i].contains(&self.cubes[j])
+                    && (self.cubes[i] != self.cubes[j] || i < j)
+                {
+                    keep[j] = false;
+                }
+            }
+        }
+        let mut idx = 0;
+        self.cubes.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+
+    /// The Shannon cofactor of the cover with respect to a literal.
+    ///
+    /// Cubes contradicting the literal are dropped; the variable is removed
+    /// from the remaining cubes. The variable numbering is preserved.
+    pub fn cofactor(&self, var: usize, phase: bool) -> Cover {
+        Cover {
+            num_vars: self.num_vars,
+            cubes: self
+                .cubes
+                .iter()
+                .filter_map(|c| c.cofactor(var, phase))
+                .collect(),
+        }
+    }
+
+    /// Algebraic-model literal occurrence counts: for each variable, how many
+    /// cubes contain its positive / negative literal.
+    pub fn literal_occurrences(&self) -> Vec<(usize, usize)> {
+        let mut counts = vec![(0usize, 0usize); self.num_vars];
+        for cube in &self.cubes {
+            for (var, phase) in cube.literals() {
+                if phase {
+                    counts[var].0 += 1;
+                } else {
+                    counts[var].1 += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Whether the cover is *cube-free*: no single literal divides every cube.
+    ///
+    /// A cover with at most one cube is not cube-free unless it is the
+    /// universal cube alone (by the standard algebraic-division convention a
+    /// single non-trivial cube always has a cube factor: itself).
+    pub fn is_cube_free(&self) -> bool {
+        if self.cubes.is_empty() {
+            return false;
+        }
+        let common_pos = self.cubes.iter().fold(u64::MAX, |a, c| a & c.pos_mask());
+        let common_neg = self.cubes.iter().fold(u64::MAX, |a, c| a & c.neg_mask());
+        if self.cubes.len() == 1 {
+            return self.cubes[0].is_universe();
+        }
+        common_pos == 0 && common_neg == 0
+    }
+
+    /// The largest cube dividing every cube of the cover (the common cube),
+    /// and the cover made cube-free by dividing it out.
+    pub fn make_cube_free(&self) -> (Cube, Cover) {
+        if self.cubes.is_empty() {
+            return (Cube::UNIVERSE, self.clone());
+        }
+        let common_pos = self.cubes.iter().fold(u64::MAX, |a, c| a & c.pos_mask());
+        let common_neg = self.cubes.iter().fold(u64::MAX, |a, c| a & c.neg_mask());
+        let common =
+            Cube::from_masks(common_pos, common_neg).expect("intersection of valid cubes is valid");
+        let quotient = Cover {
+            num_vars: self.num_vars,
+            cubes: self
+                .cubes
+                .iter()
+                .map(|c| c.divide(&common).expect("common cube divides every cube"))
+                .collect(),
+        };
+        (common, quotient)
+    }
+
+    /// Returns a cover for the same function sorted canonically (useful for
+    /// comparisons in tests).
+    pub fn sorted(&self) -> Cover {
+        let mut c = self.clone();
+        c.cubes.sort();
+        c.cubes.dedup();
+        c
+    }
+}
+
+impl Extend<Cube> for Cover {
+    fn extend<I: IntoIterator<Item = Cube>>(&mut self, iter: I) {
+        for cube in iter {
+            self.push(cube);
+        }
+    }
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cover[{} vars](", self.num_vars)?;
+        fmt::Display::fmt(self, f)?;
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, cube) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{cube}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits).unwrap()
+    }
+
+    #[test]
+    fn constants_eval() {
+        let z = Cover::constant_zero(3);
+        let o = Cover::constant_one(3);
+        for m in 0..8 {
+            assert!(!z.eval(m));
+            assert!(o.eval(m));
+        }
+        assert!(z.is_empty());
+        assert!(o.has_universe_cube());
+    }
+
+    #[test]
+    fn literal_cover() {
+        let l = Cover::literal(3, 1, false);
+        for m in 0..8u64 {
+            assert_eq!(l.eval(m), m >> 1 & 1 == 0);
+        }
+        assert_eq!(l.literal_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside cover support")]
+    fn push_rejects_foreign_vars() {
+        let mut c = Cover::new(2);
+        c.push(cube(&[(5, true)]));
+    }
+
+    #[test]
+    fn contained_cube_removal() {
+        let mut c = Cover::new(3);
+        c.push(cube(&[(0, true)]));
+        c.push(cube(&[(0, true), (1, true)])); // contained
+        c.push(cube(&[(2, false)]));
+        c.push(cube(&[(0, true)])); // duplicate
+        let before = c.to_truth_table();
+        c.remove_contained_cubes();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.to_truth_table(), before);
+    }
+
+    #[test]
+    fn cofactor_semantics() {
+        // f = x0 x1 + x0' x2
+        let f = Cover::from_cubes(
+            3,
+            [cube(&[(0, true), (1, true)]), cube(&[(0, false), (2, true)])],
+        );
+        let f1 = f.cofactor(0, true);
+        let tt = f1.to_truth_table();
+        let x1 = TruthTable::var(3, 1).unwrap();
+        assert_eq!(tt, x1);
+        let f0 = f.cofactor(0, false);
+        let x2 = TruthTable::var(3, 2).unwrap();
+        assert_eq!(f0.to_truth_table(), x2);
+    }
+
+    #[test]
+    fn cube_free_detection() {
+        // x0 x1 + x0 x2 has common literal x0 — not cube-free.
+        let f = Cover::from_cubes(
+            3,
+            [cube(&[(0, true), (1, true)]), cube(&[(0, true), (2, true)])],
+        );
+        assert!(!f.is_cube_free());
+        let (common, quot) = f.make_cube_free();
+        assert_eq!(common, cube(&[(0, true)]));
+        assert!(quot.is_cube_free());
+        assert_eq!(quot.sorted().cubes(), &[cube(&[(1, true)]), cube(&[(2, true)])]);
+    }
+
+    #[test]
+    fn single_cube_is_not_cube_free() {
+        let f = Cover::from_cubes(3, [cube(&[(0, true), (1, true)])]);
+        assert!(!f.is_cube_free());
+        let (common, quot) = f.make_cube_free();
+        assert_eq!(common, cube(&[(0, true), (1, true)]));
+        assert!(quot.cubes()[0].is_universe());
+    }
+
+    #[test]
+    fn literal_occurrences() {
+        let f = Cover::from_cubes(
+            3,
+            [
+                cube(&[(0, true), (1, false)]),
+                cube(&[(0, true), (2, true)]),
+                cube(&[(1, false)]),
+            ],
+        );
+        let occ = f.literal_occurrences();
+        assert_eq!(occ[0], (2, 0));
+        assert_eq!(occ[1], (0, 2));
+        assert_eq!(occ[2], (1, 0));
+    }
+
+    #[test]
+    fn display() {
+        let f = Cover::from_cubes(3, [cube(&[(0, true)]), cube(&[(1, false), (2, true)])]);
+        assert_eq!(f.to_string(), "x0 + x1'·x2");
+        assert_eq!(Cover::constant_zero(2).to_string(), "0");
+    }
+}

@@ -1,0 +1,347 @@
+use crate::{LogicError, MAX_VARS};
+use std::fmt;
+
+/// A product term (cube) over at most [`MAX_VARS`] local variables.
+///
+/// A cube is a conjunction of literals. Variable `v` appears as a positive
+/// literal when bit `v` of `pos` is set, and as a negative literal when bit
+/// `v` of `neg` is set. The two masks are disjoint by construction.
+///
+/// The number of variables in scope is carried by the enclosing [`Cover`];
+/// a `Cube` by itself only knows which literals it mentions.
+///
+/// # Example
+///
+/// ```
+/// use als_logic::Cube;
+///
+/// // a·b'·c  over vars a=0, b=1, c=2
+/// let cube = Cube::from_literals(&[(0, true), (1, false), (2, true)])?;
+/// assert_eq!(cube.literal_count(), 3);
+/// assert!(cube.eval(0b101)); // a=1, b=0, c=1
+/// assert!(!cube.eval(0b111)); // b=1 contradicts b'
+/// # Ok::<(), als_logic::LogicError>(())
+/// ```
+///
+/// [`Cover`]: crate::Cover
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Cube {
+    pos: u64,
+    neg: u64,
+}
+
+impl Cube {
+    /// The universal cube (no literals; the constant-1 product term).
+    pub const UNIVERSE: Cube = Cube { pos: 0, neg: 0 };
+
+    /// Creates a cube from raw positive/negative literal masks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::ContradictoryCube`] if a variable appears in both
+    /// masks.
+    pub fn from_masks(pos: u64, neg: u64) -> Result<Self, LogicError> {
+        if pos & neg != 0 {
+            let var = (pos & neg).trailing_zeros() as usize;
+            return Err(LogicError::ContradictoryCube { var });
+        }
+        Ok(Cube { pos, neg })
+    }
+
+    /// Creates a cube from `(variable, phase)` pairs, where `phase == true`
+    /// denotes the positive literal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::VarOutOfRange`] if a variable index is at least
+    /// [`MAX_VARS`], or [`LogicError::ContradictoryCube`] if the same variable
+    /// appears with both phases.
+    pub fn from_literals(literals: &[(usize, bool)]) -> Result<Self, LogicError> {
+        let mut pos = 0u64;
+        let mut neg = 0u64;
+        for &(var, phase) in literals {
+            if var >= MAX_VARS {
+                return Err(LogicError::VarOutOfRange {
+                    var,
+                    num_vars: MAX_VARS,
+                });
+            }
+            let bit = 1u64 << var;
+            if phase {
+                pos |= bit;
+            } else {
+                neg |= bit;
+            }
+        }
+        Self::from_masks(pos, neg)
+    }
+
+    /// The mask of variables appearing as positive literals.
+    #[inline]
+    pub fn pos_mask(&self) -> u64 {
+        self.pos
+    }
+
+    /// The mask of variables appearing as negative literals.
+    #[inline]
+    pub fn neg_mask(&self) -> u64 {
+        self.neg
+    }
+
+    /// The mask of variables appearing in this cube (either phase).
+    #[inline]
+    pub fn support_mask(&self) -> u64 {
+        self.pos | self.neg
+    }
+
+    /// The number of literals in this cube.
+    #[inline]
+    pub fn literal_count(&self) -> usize {
+        (self.pos.count_ones() + self.neg.count_ones()) as usize
+    }
+
+    /// Whether this is the universal (empty-product) cube.
+    #[inline]
+    pub fn is_universe(&self) -> bool {
+        self.pos == 0 && self.neg == 0
+    }
+
+    /// Returns the phase of `var` in this cube, or `None` if `var` is absent.
+    pub fn phase(&self, var: usize) -> Option<bool> {
+        let bit = 1u64 << var;
+        if self.pos & bit != 0 {
+            Some(true)
+        } else if self.neg & bit != 0 {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over the `(variable, phase)` literals of the cube in
+    /// ascending variable order.
+    pub fn literals(&self) -> impl Iterator<Item = (usize, bool)> + '_ {
+        let mut mask = self.support_mask();
+        let pos = self.pos;
+        std::iter::from_fn(move || {
+            if mask == 0 {
+                return None;
+            }
+            let var = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some((var, pos >> var & 1 == 1))
+        })
+    }
+
+    /// Evaluates the cube on a minterm given as a bit-vector (bit `v` is the
+    /// value of variable `v`).
+    #[inline]
+    pub fn eval(&self, assignment: u64) -> bool {
+        (assignment & self.pos) == self.pos && (assignment & self.neg) == 0
+    }
+
+    /// Returns whether `self` contains `other` as a product term
+    /// (i.e. `other ⇒ self`: every minterm of `other` is a minterm of `self`).
+    #[inline]
+    pub fn contains(&self, other: &Cube) -> bool {
+        (self.pos & other.pos) == self.pos && (self.neg & other.neg) == self.neg
+    }
+
+    /// Intersects two cubes, returning `None` if they are disjoint
+    /// (some variable appears with opposite phases).
+    pub fn intersect(&self, other: &Cube) -> Option<Cube> {
+        let pos = self.pos | other.pos;
+        let neg = self.neg | other.neg;
+        if pos & neg != 0 {
+            None
+        } else {
+            Some(Cube { pos, neg })
+        }
+    }
+
+    /// The number of variables in which the two cubes have opposite phases.
+    ///
+    /// Distance 0 means the cubes intersect; distance 1 means they can be
+    /// merged by the consensus rule.
+    pub fn distance(&self, other: &Cube) -> usize {
+        ((self.pos & other.neg) | (self.neg & other.pos)).count_ones() as usize
+    }
+
+    /// The smallest cube containing both inputs (bitwise literal
+    /// intersection).
+    pub fn supercube(&self, other: &Cube) -> Cube {
+        Cube {
+            pos: self.pos & other.pos,
+            neg: self.neg & other.neg,
+        }
+    }
+
+    /// Removes variable `var` from the cube (both phases), widening it.
+    pub fn without_var(&self, var: usize) -> Cube {
+        let bit = !(1u64 << var);
+        Cube {
+            pos: self.pos & bit,
+            neg: self.neg & bit,
+        }
+    }
+
+    /// The positive cofactor with respect to `var` if the cube does not
+    /// contain `var'`; `None` (empty) otherwise.
+    pub fn cofactor(&self, var: usize, phase: bool) -> Option<Cube> {
+        let bit = 1u64 << var;
+        let blocked = if phase { self.neg } else { self.pos };
+        if blocked & bit != 0 {
+            None
+        } else {
+            Some(self.without_var(var))
+        }
+    }
+
+    /// Algebraic cube division `self / divisor`: if `divisor`'s literals are a
+    /// subset of `self`'s, returns the quotient cube with them removed.
+    pub fn divide(&self, divisor: &Cube) -> Option<Cube> {
+        if (self.pos & divisor.pos) == divisor.pos && (self.neg & divisor.neg) == divisor.neg {
+            Some(Cube {
+                pos: self.pos & !divisor.pos,
+                neg: self.neg & !divisor.neg,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cube(")?;
+        fmt::Display::fmt(self, f)?;
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_universe() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (var, phase) in self.literals() {
+            if !first {
+                write!(f, "·")?;
+            }
+            first = false;
+            write!(f, "x{var}{}", if phase { "" } else { "'" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits).unwrap()
+    }
+
+    #[test]
+    fn universe_cube_accepts_everything() {
+        let u = Cube::UNIVERSE;
+        assert!(u.is_universe());
+        assert_eq!(u.literal_count(), 0);
+        for a in 0..16u64 {
+            assert!(u.eval(a));
+        }
+    }
+
+    #[test]
+    fn contradictory_cube_rejected() {
+        let err = Cube::from_literals(&[(1, true), (1, false)]).unwrap_err();
+        assert_eq!(err, LogicError::ContradictoryCube { var: 1 });
+    }
+
+    #[test]
+    fn var_out_of_range_rejected() {
+        assert!(Cube::from_literals(&[(64, true)]).is_err());
+        assert!(Cube::from_literals(&[(MAX_VARS, true)]).is_err());
+    }
+
+    #[test]
+    fn eval_matches_literal_semantics() {
+        let c = cube(&[(0, true), (2, false)]); // x0 · x2'
+        assert!(c.eval(0b001));
+        assert!(c.eval(0b011));
+        assert!(!c.eval(0b101)); // x2 = 1
+        assert!(!c.eval(0b000)); // x0 = 0
+    }
+
+    #[test]
+    fn containment() {
+        let wide = cube(&[(0, true)]);
+        let narrow = cube(&[(0, true), (1, false)]);
+        assert!(wide.contains(&narrow));
+        assert!(!narrow.contains(&wide));
+        assert!(wide.contains(&wide));
+        assert!(Cube::UNIVERSE.contains(&narrow));
+    }
+
+    #[test]
+    fn intersect_disjoint_and_overlapping() {
+        let a = cube(&[(0, true)]);
+        let b = cube(&[(0, false)]);
+        assert_eq!(a.intersect(&b), None);
+        let c = cube(&[(1, true)]);
+        let i = a.intersect(&c).unwrap();
+        assert_eq!(i, cube(&[(0, true), (1, true)]));
+    }
+
+    #[test]
+    fn distance_counts_phase_conflicts() {
+        let a = cube(&[(0, true), (1, true)]);
+        let b = cube(&[(0, false), (1, false)]);
+        assert_eq!(a.distance(&b), 2);
+        assert_eq!(a.distance(&a), 0);
+        let c = cube(&[(0, false), (1, true)]);
+        assert_eq!(a.distance(&c), 1);
+    }
+
+    #[test]
+    fn supercube_is_smallest_common_container() {
+        let a = cube(&[(0, true), (1, true)]);
+        let b = cube(&[(0, true), (1, false)]);
+        let s = a.supercube(&b);
+        assert_eq!(s, cube(&[(0, true)]));
+        assert!(s.contains(&a));
+        assert!(s.contains(&b));
+    }
+
+    #[test]
+    fn cube_division() {
+        let c = cube(&[(0, true), (1, false), (2, true)]);
+        let d = cube(&[(0, true), (2, true)]);
+        assert_eq!(c.divide(&d), Some(cube(&[(1, false)])));
+        let e = cube(&[(3, true)]);
+        assert_eq!(c.divide(&e), None);
+    }
+
+    #[test]
+    fn cofactor_drops_or_kills() {
+        let c = cube(&[(0, true), (1, false)]);
+        assert_eq!(c.cofactor(0, true), Some(cube(&[(1, false)])));
+        assert_eq!(c.cofactor(0, false), None);
+        assert_eq!(c.cofactor(2, true), Some(c));
+    }
+
+    #[test]
+    fn literal_iteration_in_order() {
+        let c = cube(&[(3, false), (1, true), (5, true)]);
+        let lits: Vec<_> = c.literals().collect();
+        assert_eq!(lits, vec![(1, true), (3, false), (5, true)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cube::UNIVERSE.to_string(), "1");
+        assert_eq!(cube(&[(0, true), (1, false)]).to_string(), "x0·x1'");
+    }
+}

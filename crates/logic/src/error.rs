@@ -1,0 +1,80 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// A variable index exceeded [`crate::MAX_VARS`] or the declared support.
+    VarOutOfRange {
+        /// The offending variable index.
+        var: usize,
+        /// The number of variables in scope.
+        num_vars: usize,
+    },
+    /// A cube contained both polarities of the same variable.
+    ContradictoryCube {
+        /// The variable appearing in both polarities.
+        var: usize,
+    },
+    /// An operation combined objects over different variable counts.
+    SupportMismatch {
+        /// Left-hand-side variable count.
+        lhs: usize,
+        /// Right-hand-side variable count.
+        rhs: usize,
+    },
+    /// The requested number of variables is too large to enumerate.
+    TooManyVars {
+        /// The requested variable count.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::VarOutOfRange { var, num_vars } => {
+                write!(f, "variable {var} out of range for {num_vars} variables")
+            }
+            LogicError::ContradictoryCube { var } => {
+                write!(f, "cube contains variable {var} in both polarities")
+            }
+            LogicError::SupportMismatch { lhs, rhs } => {
+                write!(f, "support mismatch: {lhs} vs {rhs} variables")
+            }
+            LogicError::TooManyVars { requested } => {
+                write!(
+                    f,
+                    "{requested} variables exceeds the enumerable maximum of {}",
+                    crate::MAX_VARS
+                )
+            }
+        }
+    }
+}
+
+impl Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LogicError::VarOutOfRange { var: 9, num_vars: 4 };
+        assert_eq!(e.to_string(), "variable 9 out of range for 4 variables");
+        let e = LogicError::ContradictoryCube { var: 2 };
+        assert!(e.to_string().contains("both polarities"));
+        let e = LogicError::SupportMismatch { lhs: 3, rhs: 5 };
+        assert!(e.to_string().contains("3 vs 5"));
+        let e = LogicError::TooManyVars { requested: 99 };
+        assert!(e.to_string().contains("99"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LogicError>();
+    }
+}

@@ -1,0 +1,535 @@
+use crate::{Cover, LogicError, TruthTable};
+use std::fmt;
+
+/// A factored-form expression tree over local variables.
+///
+/// This is the representation the DAC'16 algorithms shrink: an *approximate
+/// simplified expression* (ASE) is obtained by deleting literal leaves from
+/// this tree (see [`Expr::remove_literals`]).
+///
+/// Invariants maintained by the simplifying constructors [`Expr::and`] and [`Expr::or`]:
+/// `And`/`Or` nodes have at least two children and contain no constant
+/// children (except transiently during construction).
+///
+/// # Example
+///
+/// ```
+/// use als_logic::Expr;
+///
+/// // (a + b)(c + d) with a=0, b=1, c=2, d=3
+/// let e = Expr::and(vec![
+///     Expr::or(vec![Expr::lit(0, true), Expr::lit(1, true)]),
+///     Expr::or(vec![Expr::lit(2, true), Expr::lit(3, true)]),
+/// ]);
+/// assert_eq!(e.literal_count(), 4);
+/// // Removing literal index 0 (the leaf `a`) yields b(c + d).
+/// let ase = e.remove_literals(&[0]).expect("literals remain");
+/// assert_eq!(ase.literal_count(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Expr {
+    /// A constant function.
+    Const(bool),
+    /// A literal leaf: variable index and phase (`true` = positive).
+    Lit {
+        /// The local variable index.
+        var: usize,
+        /// The phase; `true` for the positive literal.
+        phase: bool,
+    },
+    /// A conjunction of sub-expressions.
+    And(Vec<Expr>),
+    /// A disjunction of sub-expressions.
+    Or(Vec<Expr>),
+}
+
+/// A stable reference to a literal leaf inside an [`Expr`], produced by
+/// [`Expr::literal_refs`]. The `index` is the leaf's position in DFS
+/// (left-to-right) order; removal APIs address leaves by this index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LiteralRef {
+    /// DFS index of the leaf within the expression.
+    pub index: usize,
+    /// The leaf's variable.
+    pub var: usize,
+    /// The leaf's phase.
+    pub phase: bool,
+}
+
+impl Expr {
+    /// The constant-0 expression.
+    pub const FALSE: Expr = Expr::Const(false);
+    /// The constant-1 expression.
+    pub const TRUE: Expr = Expr::Const(true);
+
+    /// A literal leaf.
+    pub fn lit(var: usize, phase: bool) -> Expr {
+        Expr::Lit { var, phase }
+    }
+
+    /// A conjunction, simplified (constants folded, single child unwrapped,
+    /// nested `And`s flattened).
+    pub fn and(children: Vec<Expr>) -> Expr {
+        let mut flat = Vec::with_capacity(children.len());
+        for c in children {
+            match c {
+                Expr::Const(true) => {}
+                Expr::Const(false) => return Expr::FALSE,
+                Expr::And(gs) => flat.extend(gs),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Expr::TRUE,
+            1 => flat.pop().expect("len checked"),
+            _ => Expr::And(flat),
+        }
+    }
+
+    /// A disjunction, simplified (constants folded, single child unwrapped,
+    /// nested `Or`s flattened).
+    pub fn or(children: Vec<Expr>) -> Expr {
+        let mut flat = Vec::with_capacity(children.len());
+        for c in children {
+            match c {
+                Expr::Const(false) => {}
+                Expr::Const(true) => return Expr::TRUE,
+                Expr::Or(gs) => flat.extend(gs),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Expr::FALSE,
+            1 => flat.pop().expect("len checked"),
+            _ => Expr::Or(flat),
+        }
+    }
+
+    /// Builds the (flat, two-level) expression of an SOP cover.
+    pub fn from_cover(cover: &Cover) -> Expr {
+        if cover.is_empty() {
+            return Expr::FALSE;
+        }
+        Expr::or(
+            cover
+                .cubes()
+                .iter()
+                .map(|cube| {
+                    Expr::and(
+                        cube.literals()
+                            .map(|(var, phase)| Expr::lit(var, phase))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Returns `Some(value)` for constant expressions.
+    pub fn as_constant(&self) -> Option<bool> {
+        match self {
+            Expr::Const(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number of literal leaves — the factored-form literal count, which
+    /// the paper uses as the area estimate of a node.
+    pub fn literal_count(&self) -> usize {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Lit { .. } => 1,
+            Expr::And(gs) | Expr::Or(gs) => gs.iter().map(Expr::literal_count).sum(),
+        }
+    }
+
+    /// Enumerates the literal leaves in DFS order with their removal indices.
+    pub fn literal_refs(&self) -> Vec<LiteralRef> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs(&self, out: &mut Vec<LiteralRef>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Lit { var, phase } => out.push(LiteralRef {
+                index: out.len(),
+                var: *var,
+                phase: *phase,
+            }),
+            Expr::And(gs) | Expr::Or(gs) => {
+                for g in gs {
+                    g.collect_refs(out);
+                }
+            }
+        }
+    }
+
+    /// The mask of variables mentioned in the expression.
+    pub fn support_mask(&self) -> u64 {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Lit { var, .. } => 1 << var,
+            Expr::And(gs) | Expr::Or(gs) => gs.iter().fold(0, |a, g| a | g.support_mask()),
+        }
+    }
+
+    /// Removes the literal leaves with the given DFS indices, producing the
+    /// simplified remainder.
+    ///
+    /// Removal semantics follow the paper: deleting a child from an `And`
+    /// keeps the remaining conjuncts, deleting a child from an `Or` keeps the
+    /// remaining disjuncts, and a group whose children are all removed
+    /// disappears from its parent — removing `{a, b}` from `(a+b)(c+d)`
+    /// yields `(c+d)`.
+    ///
+    /// Indices not referring to a literal leaf are ignored.
+    ///
+    /// Returns `None` when *every* literal of the expression was removed: the
+    /// paper treats that case specially (§3.1), generating both the constant-0
+    /// and the constant-1 ASE, so the caller must decide which constant(s) to
+    /// emit.
+    pub fn remove_literals(&self, indices: &[usize]) -> Option<Expr> {
+        let mut sorted: Vec<usize> = indices.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut counter = 0usize;
+        self.remove_rec(&sorted, &mut counter)
+    }
+
+    /// `None` signals "this subtree was removed entirely": a group whose
+    /// children are all removed disappears from its parent rather than
+    /// becoming a constant, so removing `{a, b}` from `(a+b)(c+d)` yields
+    /// `(c+d)`.
+    fn remove_rec(&self, sorted: &[usize], counter: &mut usize) -> Option<Expr> {
+        match self {
+            Expr::Const(b) => Some(Expr::Const(*b)),
+            Expr::Lit { var, phase } => {
+                let idx = *counter;
+                *counter += 1;
+                if sorted.binary_search(&idx).is_ok() {
+                    None
+                } else {
+                    Some(Expr::lit(*var, *phase))
+                }
+            }
+            Expr::And(gs) => {
+                let kept: Vec<Expr> = gs
+                    .iter()
+                    .filter_map(|g| g.remove_rec(sorted, counter))
+                    .collect();
+                if kept.is_empty() {
+                    None
+                } else {
+                    Some(Expr::and(kept))
+                }
+            }
+            Expr::Or(gs) => {
+                let kept: Vec<Expr> = gs
+                    .iter()
+                    .filter_map(|g| g.remove_rec(sorted, counter))
+                    .collect();
+                if kept.is_empty() {
+                    None
+                } else {
+                    Some(Expr::or(kept))
+                }
+            }
+        }
+    }
+
+    /// Evaluates the expression on a minterm (bit `v` = value of variable `v`).
+    pub fn eval(&self, assignment: u64) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Lit { var, phase } => (assignment >> var & 1 == 1) == *phase,
+            Expr::And(gs) => gs.iter().all(|g| g.eval(assignment)),
+            Expr::Or(gs) => gs.iter().any(|g| g.eval(assignment)),
+        }
+    }
+
+    /// The truth table of the expression over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression mentions a variable `>= num_vars` or
+    /// `num_vars` exceeds [`crate::MAX_VARS`].
+    pub fn to_truth_table(&self, num_vars: usize) -> TruthTable {
+        self.try_to_truth_table(num_vars)
+            .expect("expression support exceeds requested variable count")
+    }
+
+    /// Fallible version of [`Expr::to_truth_table`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `num_vars` exceeds [`crate::MAX_VARS`] or the
+    /// expression mentions a variable `>= num_vars`.
+    pub fn try_to_truth_table(&self, num_vars: usize) -> Result<TruthTable, LogicError> {
+        if num_vars < 64 && self.support_mask() >> num_vars != 0 {
+            let var = (self.support_mask() >> num_vars).trailing_zeros() as usize + num_vars;
+            return Err(LogicError::VarOutOfRange { var, num_vars });
+        }
+        match self {
+            Expr::Const(b) => TruthTable::constant(num_vars, *b),
+            Expr::Lit { var, phase } => {
+                let t = TruthTable::var(num_vars, *var)?;
+                Ok(if *phase { t } else { !&t })
+            }
+            Expr::And(gs) => {
+                let mut acc = TruthTable::one(num_vars)?;
+                for g in gs {
+                    acc = &acc & &g.try_to_truth_table(num_vars)?;
+                }
+                Ok(acc)
+            }
+            Expr::Or(gs) => {
+                let mut acc = TruthTable::zero(num_vars)?;
+                for g in gs {
+                    acc = &acc | &g.try_to_truth_table(num_vars)?;
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    /// Flattens the expression to an SOP cover over `num_vars` variables by
+    /// algebraic multiplication (no Boolean simplification beyond
+    /// single-cube containment removal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression mentions a variable `>= num_vars`.
+    pub fn to_cover(&self, num_vars: usize) -> Cover {
+        let mut cover = match self {
+            Expr::Const(false) => Cover::constant_zero(num_vars),
+            Expr::Const(true) => Cover::constant_one(num_vars),
+            Expr::Lit { var, phase } => Cover::literal(num_vars, *var, *phase),
+            Expr::Or(gs) => {
+                let mut acc = Cover::new(num_vars);
+                for g in gs {
+                    acc.extend(g.to_cover(num_vars).cubes().iter().copied());
+                }
+                acc
+            }
+            Expr::And(gs) => {
+                let mut acc = Cover::constant_one(num_vars);
+                for g in gs {
+                    let rhs = g.to_cover(num_vars);
+                    let mut next = Cover::new(num_vars);
+                    for a in acc.cubes() {
+                        for b in rhs.cubes() {
+                            if let Some(c) = a.intersect(b) {
+                                next.push(c);
+                            }
+                        }
+                    }
+                    acc = next;
+                }
+                acc
+            }
+        };
+        cover.remove_contained_cubes();
+        cover
+    }
+
+    /// Structural depth of the tree (constants and literals have depth 0).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Lit { .. } => 0,
+            Expr::And(gs) | Expr::Or(gs) => {
+                1 + gs.iter().map(Expr::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Renumbers variables through `map` (old variable `v` becomes
+    /// `map[v]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mentioned variable has no entry in `map`.
+    pub fn remap(&self, map: &[usize]) -> Expr {
+        match self {
+            Expr::Const(b) => Expr::Const(*b),
+            Expr::Lit { var, phase } => Expr::lit(map[*var], *phase),
+            Expr::And(gs) => Expr::And(gs.iter().map(|g| g.remap(map)).collect()),
+            Expr::Or(gs) => Expr::Or(gs.iter().map(|g| g.remap(map)).collect()),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(b) => write!(f, "{}", u8::from(*b)),
+            Expr::Lit { var, phase } => write!(f, "x{var}{}", if *phase { "" } else { "'" }),
+            Expr::And(gs) => {
+                for g in gs {
+                    match g {
+                        Expr::Or(_) => write!(f, "({g})")?,
+                        _ => write!(f, "{g}")?,
+                    }
+                }
+                Ok(())
+            }
+            Expr::Or(gs) => {
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cube;
+
+    /// (a + b)(c + d)
+    fn paper_example() -> Expr {
+        Expr::and(vec![
+            Expr::or(vec![Expr::lit(0, true), Expr::lit(1, true)]),
+            Expr::or(vec![Expr::lit(2, true), Expr::lit(3, true)]),
+        ])
+    }
+
+    #[test]
+    fn constructors_simplify() {
+        assert_eq!(Expr::and(vec![]), Expr::TRUE);
+        assert_eq!(Expr::or(vec![]), Expr::FALSE);
+        assert_eq!(Expr::and(vec![Expr::lit(0, true)]), Expr::lit(0, true));
+        assert_eq!(
+            Expr::and(vec![Expr::TRUE, Expr::lit(0, true)]),
+            Expr::lit(0, true)
+        );
+        assert_eq!(Expr::and(vec![Expr::FALSE, Expr::lit(0, true)]), Expr::FALSE);
+        assert_eq!(Expr::or(vec![Expr::TRUE, Expr::lit(0, true)]), Expr::TRUE);
+        // Nested flattening.
+        let e = Expr::and(vec![
+            Expr::and(vec![Expr::lit(0, true), Expr::lit(1, true)]),
+            Expr::lit(2, true),
+        ]);
+        assert_eq!(e.literal_count(), 3);
+        assert!(matches!(e, Expr::And(ref gs) if gs.len() == 3));
+    }
+
+    #[test]
+    fn literal_count_and_refs() {
+        let e = paper_example();
+        assert_eq!(e.literal_count(), 4);
+        let refs = e.literal_refs();
+        assert_eq!(refs.len(), 4);
+        assert_eq!(
+            refs.iter().map(|r| (r.var, r.phase)).collect::<Vec<_>>(),
+            vec![(0, true), (1, true), (2, true), (3, true)]
+        );
+        assert_eq!(refs[2].index, 2);
+    }
+
+    #[test]
+    fn removing_single_literals_matches_paper() {
+        // Paper §3.1: n = (a+b)(c+d); removing a → b(c+d), etc.
+        let e = paper_example();
+        let cases = [
+            (0usize, "x1(x2 + x3)"),
+            (1, "x0(x2 + x3)"),
+            (2, "(x0 + x1)x3"),
+            (3, "(x0 + x1)x2"),
+        ];
+        for (idx, expect) in cases {
+            let ase = e.remove_literals(&[idx]).unwrap();
+            assert_eq!(ase.to_string(), expect);
+            assert_eq!(ase.literal_count(), 3);
+        }
+    }
+
+    #[test]
+    fn removing_all_literals_returns_none() {
+        let e = paper_example();
+        // Removing every literal: the caller (ASE layer) must emit the
+        // constant-0/constant-1 pair of §3.1.
+        assert_eq!(e.remove_literals(&[0, 1, 2, 3]), None);
+        let o = Expr::or(vec![Expr::lit(0, true), Expr::lit(1, true)]);
+        assert_eq!(o.remove_literals(&[0, 1]), None);
+        assert_eq!(Expr::lit(0, true).remove_literals(&[0]), None);
+    }
+
+    #[test]
+    fn removing_one_side_of_and() {
+        let e = paper_example();
+        // Remove both a and b: (a+b) disappears → (c + d).
+        let ase = e.remove_literals(&[0, 1]).unwrap();
+        assert_eq!(ase.to_string(), "x2 + x3");
+    }
+
+    #[test]
+    fn removal_ignores_out_of_range_indices() {
+        let e = paper_example();
+        assert_eq!(e.remove_literals(&[99]), Some(e.clone()));
+    }
+
+    #[test]
+    fn eval_and_truth_table_agree() {
+        let e = paper_example();
+        let t = e.to_truth_table(4);
+        for m in 0..16u64 {
+            assert_eq!(e.eval(m), t.get(m), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn to_cover_is_function_preserving() {
+        let e = paper_example();
+        let c = e.to_cover(4);
+        assert_eq!(c.to_truth_table(), e.to_truth_table(4));
+        assert_eq!(c.len(), 4); // ac + ad + bc + bd
+    }
+
+    #[test]
+    fn from_cover_roundtrip() {
+        let mut c = Cover::new(3);
+        c.push(Cube::from_literals(&[(0, true), (1, false)]).unwrap());
+        c.push(Cube::from_literals(&[(2, true)]).unwrap());
+        let e = Expr::from_cover(&c);
+        assert_eq!(e.to_truth_table(3), c.to_truth_table());
+        assert_eq!(e.literal_count(), 3);
+    }
+
+    #[test]
+    fn depth_measures_alternation() {
+        assert_eq!(Expr::lit(0, true).depth(), 0);
+        assert_eq!(paper_example().depth(), 2);
+    }
+
+    #[test]
+    fn remap_renames_support() {
+        let e = Expr::and(vec![Expr::lit(0, true), Expr::lit(1, false)]);
+        let r = e.remap(&[5, 3]);
+        assert_eq!(r.support_mask(), (1 << 5) | (1 << 3));
+        let t = r.to_truth_table(6);
+        for m in 0..64u64 {
+            assert_eq!(t.get(m), (m >> 5 & 1 == 1) && (m >> 3 & 1 == 0));
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(paper_example().to_string(), "(x0 + x1)(x2 + x3)");
+        assert_eq!(Expr::TRUE.to_string(), "1");
+        assert_eq!(Expr::FALSE.to_string(), "0");
+        assert_eq!(Expr::lit(2, false).to_string(), "x2'");
+    }
+
+    #[test]
+    fn truth_table_rejects_small_support() {
+        let e = Expr::lit(5, true);
+        assert!(e.try_to_truth_table(3).is_err());
+    }
+}

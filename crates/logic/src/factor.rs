@@ -1,0 +1,237 @@
+//! Algebraic factoring: turning an SOP cover into a compact factored form.
+//!
+//! Follows the MIS `quick_factor` lineage: pick a divisor (a level-0 kernel
+//! if one exists, else the best single literal), divide, and recurse on
+//! quotient, divisor and remainder. The result is an [`Expr`] whose literal
+//! count is the *factored-form literal count* — the area estimate the DAC'16
+//! paper optimizes.
+
+use crate::division::{divide, divide_by_literal};
+use crate::kernel::one_level0_kernel;
+use crate::{Cover, Cube, Expr};
+
+/// Factors an SOP cover into a factored-form expression.
+///
+/// The transformation is purely algebraic, so the result is functionally
+/// identical to the input cover, and never has more literals than the flat
+/// SOP.
+///
+/// # Example
+///
+/// ```
+/// use als_logic::{Cover, Cube, factor::factor_cover};
+///
+/// // ab + ac → a(b + c)
+/// let f = Cover::from_cubes(3, [
+///     Cube::from_literals(&[(0, true), (1, true)])?,
+///     Cube::from_literals(&[(0, true), (2, true)])?,
+/// ]);
+/// let e = factor_cover(&f);
+/// assert_eq!(e.literal_count(), 3);
+/// assert_eq!(e.to_string(), "x0(x1 + x2)");
+/// # Ok::<(), als_logic::LogicError>(())
+/// ```
+pub fn factor_cover(f: &Cover) -> Expr {
+    let mut deduped = f.clone();
+    deduped.remove_contained_cubes();
+    let expr = factor_rec(&deduped);
+    debug_assert_eq!(
+        expr.to_truth_table(f.num_vars()),
+        f.to_truth_table(),
+        "factoring must preserve the function"
+    );
+    expr
+}
+
+fn factor_rec(f: &Cover) -> Expr {
+    if f.is_empty() {
+        return Expr::FALSE;
+    }
+    if f.has_universe_cube() {
+        return Expr::TRUE;
+    }
+    if f.len() == 1 {
+        return cube_to_expr(&f.cubes()[0]);
+    }
+    // Pull out the common cube first: F = C · F'.
+    let (common, cube_free) = f.make_cube_free();
+    if !common.is_universe() {
+        let inner = factor_rec(&cube_free);
+        return Expr::and(vec![cube_to_expr(&common), inner]);
+    }
+    // Choose a divisor: a level-0 kernel when available, else the most
+    // frequent literal.
+    if let Some(divisor) = one_level0_kernel(f) {
+        if divisor.len() >= 2 && divisor.sorted() != f.sorted() {
+            let division = divide(f, &divisor);
+            if !division.quotient.is_empty() {
+                let q = factor_rec(&division.quotient);
+                let d = factor_rec(&divisor);
+                let r = factor_rec(&division.remainder);
+                return Expr::or(vec![Expr::and(vec![q, d]), r]);
+            }
+        }
+    }
+    if let Some((var, phase)) = best_literal(f) {
+        let division = divide_by_literal(f, var, phase);
+        if !division.quotient.is_empty() && division.quotient.len() < f.len() {
+            let q = factor_rec(&division.quotient);
+            let r = factor_rec(&division.remainder);
+            return Expr::or(vec![Expr::and(vec![Expr::lit(var, phase), q]), r]);
+        }
+    }
+    // No sharing to exploit: emit the flat OR-of-cubes.
+    Expr::or(f.cubes().iter().map(cube_to_expr).collect())
+}
+
+/// The literal occurring in the most cubes (ties to the lowest variable,
+/// positive phase first); `None` if no literal occurs at least twice.
+fn best_literal(f: &Cover) -> Option<(usize, bool)> {
+    let occ = f.literal_occurrences();
+    let mut best: Option<(usize, bool, usize)> = None;
+    for (var, &(p, n)) in occ.iter().enumerate() {
+        for (phase, count) in [(true, p), (false, n)] {
+            if count >= 2 && best.is_none_or(|(_, _, c)| count > c) {
+                best = Some((var, phase, count));
+            }
+        }
+    }
+    best.map(|(v, p, _)| (v, p))
+}
+
+fn cube_to_expr(cube: &Cube) -> Expr {
+    Expr::and(
+        cube.literals()
+            .map(|(var, phase)| Expr::lit(var, phase))
+            .collect(),
+    )
+}
+
+/// Factors a cover and returns both the expression and the literal saving
+/// relative to the flat SOP form.
+pub fn factor_with_stats(f: &Cover) -> (Expr, usize) {
+    let expr = factor_cover(f);
+    let saving = f.literal_count().saturating_sub(expr.literal_count());
+    (expr, saving)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TruthTable;
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits).unwrap()
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(factor_cover(&Cover::constant_zero(2)), Expr::FALSE);
+        assert_eq!(factor_cover(&Cover::constant_one(2)), Expr::TRUE);
+    }
+
+    #[test]
+    fn single_cube() {
+        let f = Cover::from_cubes(3, [cube(&[(0, true), (2, false)])]);
+        let e = factor_cover(&f);
+        assert_eq!(e.to_string(), "x0x2'");
+        assert_eq!(e.literal_count(), 2);
+    }
+
+    #[test]
+    fn distributive_example() {
+        // ac + ad + bc + bd → (a + b)(c + d): 4 literals from 8.
+        let f = Cover::from_cubes(
+            4,
+            [
+                cube(&[(0, true), (2, true)]),
+                cube(&[(0, true), (3, true)]),
+                cube(&[(1, true), (2, true)]),
+                cube(&[(1, true), (3, true)]),
+            ],
+        );
+        let (e, saving) = factor_with_stats(&f);
+        assert_eq!(e.literal_count(), 4);
+        assert_eq!(saving, 4);
+        assert_eq!(e.to_truth_table(4), f.to_truth_table());
+    }
+
+    #[test]
+    fn common_cube_extraction() {
+        // abc + abd → ab(c + d)
+        let f = Cover::from_cubes(
+            4,
+            [
+                cube(&[(0, true), (1, true), (2, true)]),
+                cube(&[(0, true), (1, true), (3, true)]),
+            ],
+        );
+        let e = factor_cover(&f);
+        assert_eq!(e.literal_count(), 4);
+    }
+
+    #[test]
+    fn xor_cannot_factor() {
+        let f = Cover::from_cubes(
+            2,
+            [
+                cube(&[(0, true), (1, false)]),
+                cube(&[(0, false), (1, true)]),
+            ],
+        );
+        let e = factor_cover(&f);
+        assert_eq!(e.literal_count(), 4);
+        assert_eq!(e.to_truth_table(2), f.to_truth_table());
+    }
+
+    #[test]
+    fn factoring_never_increases_literals() {
+        let mut state = 0x0bad_cafeu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for _ in 0..60 {
+            let nv = 5;
+            let mut f = Cover::new(nv);
+            for _ in 0..(1 + next() % 7) {
+                let r = next();
+                let mut lits = Vec::new();
+                for v in 0..nv {
+                    match r >> (3 * v) & 7 {
+                        0 | 1 => lits.push((v, true)),
+                        2 | 3 => lits.push((v, false)),
+                        _ => {}
+                    }
+                }
+                if let Ok(c) = Cube::from_literals(&lits) {
+                    f.push(c);
+                }
+            }
+            let mut dedup = f.clone();
+            dedup.remove_contained_cubes();
+            let e = factor_cover(&f);
+            assert!(
+                e.literal_count() <= dedup.literal_count(),
+                "factored {} > sop {} for {}",
+                e.literal_count(),
+                dedup.literal_count(),
+                f
+            );
+            assert_eq!(e.to_truth_table(nv), f.to_truth_table());
+        }
+    }
+
+    #[test]
+    fn factor_preserves_function_on_all_3var_functions() {
+        use crate::isop::isop_exact;
+        for bits in 0..256u64 {
+            let tt = TruthTable::from_fn(3, |m| bits >> m & 1 == 1).unwrap();
+            let cover = isop_exact(&tt);
+            let e = factor_cover(&cover);
+            assert_eq!(e.to_truth_table(3), tt, "function {bits:#x}");
+        }
+    }
+}

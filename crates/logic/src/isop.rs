@@ -1,0 +1,203 @@
+//! Minato–Morreale irredundant sum-of-products (ISOP) generation.
+//!
+//! Given an incompletely specified function as a pair of truth tables —
+//! a lower bound `on` (must be covered) and an upper bound `upper`
+//! (may be covered; `upper = on ∪ dc`) — [`isop`] produces an irredundant
+//! cover `C` with `on ⊆ C ⊆ upper`.
+//!
+//! This plays the role ESPRESSO plays in the paper's classical flow: it is
+//! the two-level minimizer invoked when (re-)expressing node functions.
+
+use crate::{Cover, Cube, TruthTable};
+
+/// Computes an irredundant SOP cover `C` with `on ⊆ C ⊆ upper` using the
+/// Minato–Morreale recursion.
+///
+/// # Panics
+///
+/// Panics if the two tables have different variable counts or if
+/// `on ⊄ upper` (the interval is empty).
+///
+/// # Example
+///
+/// ```
+/// use als_logic::{isop, TruthTable};
+///
+/// // f = majority(x0, x1, x2), fully specified.
+/// let f = TruthTable::from_fn(3, |m| (m.count_ones() >= 2))?;
+/// let cover = isop(&f, &f);
+/// assert_eq!(cover.to_truth_table(), f);
+/// assert_eq!(cover.len(), 3); // x0x1 + x0x2 + x1x2
+/// # Ok::<(), als_logic::LogicError>(())
+/// ```
+pub fn isop(on: &TruthTable, upper: &TruthTable) -> Cover {
+    assert_eq!(
+        on.num_vars(),
+        upper.num_vars(),
+        "isop bounds must share a support"
+    );
+    assert!(on.implies(upper), "isop interval is empty (on ⊄ upper)");
+    let mut cover = Cover::new(on.num_vars());
+    let cov = isop_rec(on, upper, on.num_vars(), &mut cover);
+    debug_assert!(on.implies(&cov), "ISOP must cover the on-set");
+    debug_assert!(cov.implies(upper), "ISOP must stay inside the upper bound");
+    cover
+}
+
+/// Recursive core: appends cubes to `cover` and returns the truth table of
+/// the cubes appended by this call.
+fn isop_rec(on: &TruthTable, upper: &TruthTable, num_vars: usize, cover: &mut Cover) -> TruthTable {
+    if on.is_zero() {
+        return TruthTable::zero(num_vars).expect("support already validated");
+    }
+    if upper.is_one() {
+        cover.push(Cube::UNIVERSE);
+        return TruthTable::one(num_vars).expect("support already validated");
+    }
+    // Split on the top-most variable both bounds depend on.
+    let var = (0..num_vars)
+        .rev()
+        .find(|&v| on.depends_on(v) || upper.depends_on(v))
+        .expect("non-constant interval must depend on some variable");
+
+    let on0 = on.cofactor(var, false);
+    let on1 = on.cofactor(var, true);
+    let up0 = upper.cofactor(var, false);
+    let up1 = upper.cofactor(var, true);
+
+    // Cubes that must contain the literal x' (cannot extend to x side).
+    let on0_only = &on0 & &!&up1;
+    let mark = cover.len();
+    let c0 = isop_rec(&on0_only, &up0, num_vars, cover);
+    add_literal_to_new_cubes(cover, mark, var, false);
+
+    // Cubes that must contain the literal x.
+    let on1_only = &on1 & &!&up0;
+    let mark = cover.len();
+    let c1 = isop_rec(&on1_only, &up1, num_vars, cover);
+    add_literal_to_new_cubes(cover, mark, var, true);
+
+    // Remainder: minterms of the on-set not yet covered, which may be covered
+    // by cubes independent of `var`.
+    let rem_on = &(&on0 & &!&c0) | &(&on1 & &!&c1);
+    let rem_up = &up0 & &up1;
+    let cr = isop_rec(&rem_on, &rem_up, num_vars, cover);
+
+    let x = TruthTable::var(num_vars, var).expect("var in range");
+    let c0x = &c0 & &!&x;
+    let c1x = &c1 & &x;
+    &(&c0x | &c1x) | &cr
+}
+
+fn add_literal_to_new_cubes(cover: &mut Cover, from: usize, var: usize, phase: bool) {
+    let cubes: Vec<Cube> = cover.cubes()[from..]
+        .iter()
+        .map(|c| {
+            c.intersect(
+                &Cube::from_literals(&[(var, phase)]).expect("single literal cube is valid"),
+            )
+            .expect("recursion guarantees the literal is free in sub-cubes")
+        })
+        .collect();
+    let num_vars = cover.num_vars();
+    let mut head = Cover::from_cubes(num_vars, cover.cubes()[..from].iter().copied());
+    head.extend(cubes);
+    *cover = head;
+}
+
+/// Convenience wrapper: minimizes a completely specified function.
+pub fn isop_exact(f: &TruthTable) -> Cover {
+    isop(f, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tt(num_vars: usize, f: impl FnMut(u64) -> bool) -> TruthTable {
+        TruthTable::from_fn(num_vars, f).unwrap()
+    }
+
+    #[test]
+    fn constant_functions() {
+        let z = TruthTable::zero(3).unwrap();
+        let o = TruthTable::one(3).unwrap();
+        assert!(isop(&z, &z).is_empty());
+        let c = isop(&o, &o);
+        assert_eq!(c.len(), 1);
+        assert!(c.has_universe_cube());
+    }
+
+    #[test]
+    fn exact_cover_roundtrip_exhaustive_3vars() {
+        // All 256 functions of 3 variables round-trip exactly.
+        for bits in 0..256u64 {
+            let f = tt(3, |m| bits >> m & 1 == 1);
+            let c = isop_exact(&f);
+            assert_eq!(c.to_truth_table(), f, "function {bits:#x}");
+        }
+    }
+
+    #[test]
+    fn dont_cares_reduce_literal_count() {
+        // on = x0·x1, dc = x0·x1' → may expand to x0 (1 literal).
+        let on = tt(2, |m| m == 0b11);
+        let upper = tt(2, |m| m & 1 == 1);
+        let c = isop(&on, &upper);
+        assert!(on.implies(&c.to_truth_table()));
+        assert!(c.to_truth_table().implies(&upper));
+        assert_eq!(c.literal_count(), 1);
+    }
+
+    #[test]
+    fn xor_needs_full_cubes() {
+        let f = tt(2, |m| (m & 1) ^ (m >> 1 & 1) == 1);
+        let c = isop_exact(&f);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.literal_count(), 4);
+        assert_eq!(c.to_truth_table(), f);
+    }
+
+    #[test]
+    fn majority_is_three_cubes() {
+        let f = tt(3, |m| m.count_ones() >= 2);
+        let c = isop_exact(&f);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.literal_count(), 6);
+    }
+
+    #[test]
+    fn result_is_irredundant_on_random_functions() {
+        // Removing any cube of the ISOP must uncover part of the on-set.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..50 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let bits = state;
+            let f = tt(4, |m| bits >> (m % 64) & 1 == 1);
+            let c = isop_exact(&f);
+            assert_eq!(c.to_truth_table(), f);
+            for skip in 0..c.len() {
+                let reduced = Cover::from_cubes(
+                    4,
+                    c.cubes()
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != skip)
+                        .map(|(_, cu)| *cu),
+                );
+                assert!(
+                    !f.implies(&reduced.to_truth_table()),
+                    "cube {skip} was redundant"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interval is empty")]
+    fn empty_interval_panics() {
+        let on = TruthTable::one(2).unwrap();
+        let upper = TruthTable::zero(2).unwrap();
+        let _ = isop(&on, &upper);
+    }
+}

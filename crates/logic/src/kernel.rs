@@ -1,0 +1,245 @@
+//! Kernel and co-kernel extraction for algebraic factoring.
+//!
+//! A *kernel* of a cover `F` is a cube-free quotient of `F` by a cube (its
+//! *co-kernel*). Kernels are the canonical source of good algebraic divisors
+//! (Brayton & McMullen): every multiple-cube common divisor of two
+//! expressions contains a kernel intersection.
+
+use crate::division::divide;
+use crate::{Cover, Cube};
+
+/// A kernel together with the co-kernel cube that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Kernel {
+    /// The cube-free quotient.
+    pub kernel: Cover,
+    /// The dividing cube.
+    pub cokernel: Cube,
+}
+
+impl Kernel {
+    /// A kernel is *level-0* if it contains no kernels other than itself
+    /// (equivalently: no literal appears in two or more of its cubes).
+    pub fn is_level0(&self) -> bool {
+        is_level0_cover(&self.kernel)
+    }
+}
+
+/// Whether no literal of `cover` appears in more than one cube.
+pub fn is_level0_cover(cover: &Cover) -> bool {
+    let occ = cover.literal_occurrences();
+    occ.iter().all(|&(p, n)| p <= 1 && n <= 1)
+}
+
+/// Computes all kernels of `f` (including, per convention, `f` itself when it
+/// is cube-free), with their co-kernels.
+///
+/// Duplicate kernels reached through different literal orders are pruned.
+///
+/// # Example
+///
+/// ```
+/// use als_logic::{Cover, Cube};
+/// use als_logic::kernel::kernels;
+///
+/// // f = ac + ad + bc + bd: kernels include (a + b) and (c + d).
+/// let f = Cover::from_cubes(4, [
+///     Cube::from_literals(&[(0, true), (2, true)])?,
+///     Cube::from_literals(&[(0, true), (3, true)])?,
+///     Cube::from_literals(&[(1, true), (2, true)])?,
+///     Cube::from_literals(&[(1, true), (3, true)])?,
+/// ]);
+/// let ks = kernels(&f);
+/// assert!(ks.iter().any(|k| k.kernel.len() == 2));
+/// # Ok::<(), als_logic::LogicError>(())
+/// ```
+pub fn kernels(f: &Cover) -> Vec<Kernel> {
+    let mut out: Vec<Kernel> = Vec::new();
+    let (common, cube_free) = f.make_cube_free();
+    if cube_free.len() >= 2 {
+        out.push(Kernel {
+            kernel: cube_free.clone(),
+            cokernel: common,
+        });
+    }
+    kernels_rec(&cube_free, common, 0, &mut out);
+    // Deduplicate by kernel cover (sorted form).
+    let mut seen: Vec<Cover> = Vec::new();
+    out.retain(|k| {
+        let s = k.kernel.sorted();
+        if seen.contains(&s) {
+            false
+        } else {
+            seen.push(s);
+            true
+        }
+    });
+    out
+}
+
+fn kernels_rec(f: &Cover, cokernel_so_far: Cube, min_var: usize, out: &mut Vec<Kernel>) {
+    let occ = f.literal_occurrences();
+    #[allow(clippy::needless_range_loop)] // the index is semantic here
+    for var in min_var..f.num_vars() {
+        for (phase, count) in [(true, occ[var].0), (false, occ[var].1)] {
+            if count < 2 {
+                continue;
+            }
+            let lit = Cover::literal(f.num_vars(), var, phase);
+            let q = divide(f, &lit).quotient;
+            if q.len() < 2 {
+                continue;
+            }
+            let (common, cube_free) = q.make_cube_free();
+            let lit_cube =
+                Cube::from_literals(&[(var, phase)]).expect("single literal is valid");
+            let new_cokernel = cokernel_so_far
+                .intersect(&lit_cube)
+                .and_then(|c| c.intersect(&common));
+            let Some(new_cokernel) = new_cokernel else {
+                continue;
+            };
+            // Standard pruning: if the common cube touches a variable below
+            // `var`, this kernel was (or will be) found from that variable.
+            if !common.is_universe()
+                && (common.support_mask().trailing_zeros() as usize) < var
+            {
+                continue;
+            }
+            out.push(Kernel {
+                kernel: cube_free.clone(),
+                cokernel: new_cokernel,
+            });
+            kernels_rec(&cube_free, new_cokernel, var + 1, out);
+        }
+    }
+}
+
+/// Returns one level-0 kernel of `f`, or `None` if `f` has no kernel with at
+/// least two cubes (e.g. a single cube or a level-0 cover itself without
+/// multi-cube quotients).
+///
+/// This is the `quick_divisor` of MIS-style quick factoring: cheap to find
+/// and good enough as a divisor.
+pub fn one_level0_kernel(f: &Cover) -> Option<Cover> {
+    let (_, cube_free) = f.make_cube_free();
+    if cube_free.len() < 2 {
+        return None;
+    }
+    one_level0_rec(&cube_free)
+}
+
+fn one_level0_rec(f: &Cover) -> Option<Cover> {
+    if is_level0_cover(f) {
+        return if f.len() >= 2 { Some(f.clone()) } else { None };
+    }
+    let occ = f.literal_occurrences();
+    #[allow(clippy::needless_range_loop)] // the index is semantic here
+    for var in 0..f.num_vars() {
+        for (phase, count) in [(true, occ[var].0), (false, occ[var].1)] {
+            if count < 2 {
+                continue;
+            }
+            let q = divide(&f.clone(), &Cover::literal(f.num_vars(), var, phase)).quotient;
+            if q.len() < 2 {
+                continue;
+            }
+            let (_, cube_free) = q.make_cube_free();
+            if cube_free.len() >= 2 {
+                if let Some(k) = one_level0_rec(&cube_free) {
+                    return Some(k);
+                }
+            }
+        }
+    }
+    // f is not level-0 but has no multi-cube quotient: f itself is its only
+    // kernel at this point.
+    Some(f.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits).unwrap()
+    }
+
+    fn classic() -> Cover {
+        // f = ac + ad + bc + bd
+        Cover::from_cubes(
+            4,
+            [
+                cube(&[(0, true), (2, true)]),
+                cube(&[(0, true), (3, true)]),
+                cube(&[(1, true), (2, true)]),
+                cube(&[(1, true), (3, true)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn kernels_of_classic_example() {
+        let ks = kernels(&classic());
+        let kernel_strings: Vec<String> = ks.iter().map(|k| k.kernel.sorted().to_string()).collect();
+        // (c + d) from cokernels a and b; (a + b) from cokernels c and d;
+        // the whole cover is cube-free hence also a kernel.
+        assert!(kernel_strings.iter().any(|s| s == "x2 + x3"), "{kernel_strings:?}");
+        assert!(kernel_strings.iter().any(|s| s == "x0 + x1"), "{kernel_strings:?}");
+        assert!(ks.iter().any(|k| k.kernel.len() == 4));
+    }
+
+    #[test]
+    fn kernel_covers_are_cube_free() {
+        for k in kernels(&classic()) {
+            assert!(
+                k.kernel.is_cube_free() || k.kernel.len() >= 2,
+                "kernel must be cube-free: {}",
+                k.kernel
+            );
+        }
+    }
+
+    #[test]
+    fn single_cube_has_no_kernels() {
+        let f = Cover::from_cubes(3, [cube(&[(0, true), (1, true)])]);
+        assert!(kernels(&f).is_empty());
+        assert!(one_level0_kernel(&f).is_none());
+    }
+
+    #[test]
+    fn level0_detection() {
+        // a + b is level-0; ac + ad is not (a appears twice).
+        let l0 = Cover::from_cubes(2, [cube(&[(0, true)]), cube(&[(1, true)])]);
+        assert!(is_level0_cover(&l0));
+        let not = Cover::from_cubes(
+            3,
+            [cube(&[(0, true), (1, true)]), cube(&[(0, true), (2, true)])],
+        );
+        assert!(!is_level0_cover(&not));
+    }
+
+    #[test]
+    fn quick_divisor_is_level0_multicube() {
+        let k = one_level0_kernel(&classic()).unwrap();
+        assert!(k.len() >= 2);
+        assert!(is_level0_cover(&k));
+    }
+
+    #[test]
+    fn kernels_with_negative_literals() {
+        // f = a'c + a'd → kernel (c + d), cokernel a'.
+        let f = Cover::from_cubes(
+            4,
+            [
+                cube(&[(0, false), (2, true)]),
+                cube(&[(0, false), (3, true)]),
+            ],
+        );
+        let ks = kernels(&f);
+        assert!(ks
+            .iter()
+            .any(|k| k.kernel.sorted().to_string() == "x2 + x3"
+                && k.cokernel == cube(&[(0, false)])));
+    }
+}

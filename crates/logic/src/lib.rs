@@ -1,0 +1,65 @@
+//! Boolean-function substrate for the ALS (approximate logic synthesis) stack.
+//!
+//! This crate provides the technology-independent function representations used
+//! by every other crate in the workspace:
+//!
+//! * [`Cube`] / [`Cover`] — two-level sum-of-products (SOP) form, the per-node
+//!   representation used by MIS/SIS-style multi-level networks.
+//! * [`TruthTable`] — complete function representation for small supports
+//!   (node local functions and window functions), with bitwise operations.
+//! * [`mod@isop`] — the Minato–Morreale irredundant SOP generator, which doubles as
+//!   our two-level minimizer for incompletely specified functions (the role
+//!   ESPRESSO plays in the paper's flow).
+//! * [`Expr`] — factored-form expression trees, the representation the DAC'16
+//!   algorithms manipulate directly when generating *approximate simplified
+//!   expressions* (ASEs).
+//! * [`factor`] — algebraic factoring (kernels, algebraic division,
+//!   quick-factor) that turns an SOP into a compact factored form, following
+//!   the MIS lineage.
+//!
+//! # Example
+//!
+//! ```
+//! use als_logic::{Cover, Cube, TruthTable, factor::factor_cover};
+//!
+//! // f = ac + ad + bc + bd  over vars a=0, b=1, c=2, d=3
+//! let mut cover = Cover::new(4);
+//! for (x, y) in [(0, 2), (0, 3), (1, 2), (1, 3)] {
+//!     cover.push(Cube::from_literals(&[(x, true), (y, true)]).unwrap());
+//! }
+//! let expr = factor_cover(&cover);
+//! // Factored form is (a + b)(c + d): 4 literals instead of 8.
+//! assert_eq!(expr.literal_count(), 4);
+//! assert_eq!(expr.to_truth_table(4), TruthTable::from_cover(&cover));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cube;
+mod cover;
+mod error;
+mod expr;
+mod truth;
+
+pub mod division;
+pub mod factor;
+pub mod isop;
+pub mod kernel;
+pub mod minimize;
+pub mod urp;
+
+pub use cube::Cube;
+pub use cover::Cover;
+pub use error::LogicError;
+pub use expr::{Expr, LiteralRef};
+pub use isop::isop;
+pub use truth::TruthTable;
+
+/// Maximum number of local variables supported by [`Cube`], [`Cover`] and
+/// [`TruthTable`] operations that enumerate assignments.
+///
+/// Node local functions in a well-optimized multi-level network have small
+/// supports (the paper notes factored forms usually have fewer than 5
+/// literals), so this bound is generous.
+pub const MAX_VARS: usize = 24;

@@ -1,0 +1,318 @@
+//! Two-level minimization of node functions.
+//!
+//! The paper's classical baseline flow calls ESPRESSO per node. We provide
+//! the same service with two engines:
+//!
+//! * [`minimize_exactish`] — Minato–Morreale ISOP over truth tables
+//!   (irredundant by construction; exact for the supports that occur at
+//!   network nodes), optionally honouring a don't-care set.
+//! * [`espresso_lite`] — a cube-based EXPAND / IRREDUNDANT loop in the
+//!   ESPRESSO style that works directly on covers, used when a caller wants
+//!   to improve an existing cover in place without rebuilding it.
+
+use crate::isop::isop;
+use crate::{Cover, Cube, TruthTable};
+
+/// Minimizes `f` under the don't-care set `dc` (may be empty), returning an
+/// irredundant cover `C` with `f \ dc ⊆ C ⊆ f ∪ dc`.
+///
+/// # Panics
+///
+/// Panics if the supports differ.
+pub fn minimize_exactish(f: &TruthTable, dc: &TruthTable) -> Cover {
+    let on = f & &!dc;
+    let upper = f | dc;
+    isop(&on, &upper)
+}
+
+/// Minimizes a cover with no external don't-cares; a drop-in "simplify"
+/// for node functions.
+pub fn minimize_cover(cover: &Cover) -> Cover {
+    let tt = cover.to_truth_table();
+    let dc = TruthTable::zero(cover.num_vars()).expect("cover support validated");
+    let out = minimize_exactish(&tt, &dc);
+    // Keep whichever form is cheaper; ISOP is irredundant but not always
+    // minimum-literal.
+    if out.literal_count() < cover.literal_count() {
+        out
+    } else {
+        let mut kept = cover.clone();
+        kept.remove_contained_cubes();
+        kept
+    }
+}
+
+/// ESPRESSO-style EXPAND + IRREDUNDANT passes over a cover, honouring a
+/// don't-care set. Each cube is expanded literal-by-literal against the
+/// off-set, then redundant cubes are removed.
+///
+/// Unlike full ESPRESSO there is no REDUCE/iterate loop; one pass is enough
+/// for the small node functions of a multi-level network.
+///
+/// # Panics
+///
+/// Panics if `dc` has a different support than the cover.
+pub fn espresso_lite(cover: &Cover, dc: &TruthTable) -> Cover {
+    assert_eq!(cover.num_vars(), dc.num_vars(), "dc support mismatch");
+    let on = cover.to_truth_table();
+    let care_off = &!&on & &!dc;
+    let upper = &on | dc;
+
+    // EXPAND: for each cube, greedily drop literals while staying inside
+    // on ∪ dc (equivalently: not intersecting the care off-set).
+    let mut expanded: Vec<Cube> = Vec::with_capacity(cover.len());
+    for &cube in cover.cubes() {
+        let mut current = cube;
+        let lits: Vec<(usize, bool)> = cube.literals().collect();
+        for (var, _) in lits {
+            let candidate = current.without_var(var);
+            if !cube_intersects(&candidate, &care_off) {
+                current = candidate;
+            }
+        }
+        expanded.push(current);
+    }
+
+    // IRREDUNDANT: greedily keep cubes that still cover new on-set minterms.
+    let nv = cover.num_vars();
+    expanded.sort_by_key(|c| c.literal_count());
+    let mut covered = TruthTable::zero(nv).expect("support validated");
+    let mut kept: Vec<Cube> = Vec::new();
+    for cube in expanded {
+        let ct = cube_truth_table(&cube, nv);
+        let new_on = &(&ct & &on) & &!&covered;
+        if !new_on.is_zero() {
+            covered = &covered | &ct;
+            kept.push(cube);
+        }
+        if on.implies(&covered) {
+            break;
+        }
+    }
+    let result = Cover::from_cubes(nv, kept);
+    debug_assert!(on.implies(&result.to_truth_table()));
+    debug_assert!(result.to_truth_table().implies(&upper));
+    result
+}
+
+/// The full ESPRESSO loop: EXPAND → IRREDUNDANT → REDUCE, iterated until the
+/// literal count stops improving (or `max_rounds` passes). REDUCE shrinks
+/// each cube to the smallest cube still covering the on-set minterms no
+/// other cube covers, opening new expansion directions for the next round.
+///
+/// # Panics
+///
+/// Panics if `dc` has a different support than the cover.
+pub fn espresso(cover: &Cover, dc: &TruthTable, max_rounds: usize) -> Cover {
+    let mut best = espresso_lite(cover, dc);
+    let on = cover.to_truth_table();
+    for _ in 0..max_rounds {
+        let reduced = reduce(&best, &on);
+        let candidate = espresso_lite(&reduced, dc);
+        if candidate.literal_count() < best.literal_count() {
+            best = candidate;
+        } else {
+            break;
+        }
+    }
+    debug_assert!({
+        let upper = &on | dc;
+        let bt = best.to_truth_table();
+        on.implies(&bt) && bt.implies(&upper)
+    });
+    best
+}
+
+/// The REDUCE step, in the classical *sequential* discipline: cube `i` is
+/// replaced by the smallest cube containing the on-set minterms it covers
+/// that are covered neither by the already-reduced cubes before it nor by
+/// the original cubes after it. This keeps the running cover an exact cover
+/// of `on` at every step (shared minterms stay with the first cube that
+/// claims them); cubes reduced to nothing are dropped as redundant.
+fn reduce(cover: &Cover, on: &TruthTable) -> Cover {
+    let nv = cover.num_vars();
+    let mut kept: Vec<Cube> = Vec::with_capacity(cover.len());
+    for (i, &cube) in cover.cubes().iter().enumerate() {
+        let mut essential: Option<Cube> = None;
+        'minterms: for m in on.minterms() {
+            if !cube.eval(m) {
+                continue;
+            }
+            // Covered by an already-reduced predecessor?
+            if kept.iter().any(|k| k.eval(m)) {
+                continue 'minterms;
+            }
+            // Covered by an original successor?
+            if cover.cubes()[i + 1..].iter().any(|c| c.eval(m)) {
+                continue 'minterms;
+            }
+            let point = Cube::from_literals(
+                &(0..nv).map(|v| (v, m >> v & 1 == 1)).collect::<Vec<_>>(),
+            )
+            .expect("minterm cube is contradiction-free");
+            essential = Some(match essential {
+                None => point,
+                Some(e) => e.supercube(&point),
+            });
+        }
+        if let Some(e) = essential {
+            kept.push(e);
+        }
+    }
+    Cover::from_cubes(nv, kept)
+}
+
+fn cube_truth_table(cube: &Cube, num_vars: usize) -> TruthTable {
+    TruthTable::from_fn(num_vars, |m| cube.eval(m)).expect("support validated")
+}
+
+fn cube_intersects(cube: &Cube, set: &TruthTable) -> bool {
+    set.minterms().any(|m| cube.eval(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits).unwrap()
+    }
+
+    #[test]
+    fn minimize_removes_redundancy() {
+        // ab + ab' + a'b = a + b
+        let f = Cover::from_cubes(
+            2,
+            [
+                cube(&[(0, true), (1, true)]),
+                cube(&[(0, true), (1, false)]),
+                cube(&[(0, false), (1, true)]),
+            ],
+        );
+        let m = minimize_cover(&f);
+        assert_eq!(m.to_truth_table(), f.to_truth_table());
+        assert_eq!(m.literal_count(), 2);
+    }
+
+    #[test]
+    fn minimize_with_dont_cares_expands() {
+        // on = ab, dc = ab' → can become just a.
+        let on = TruthTable::from_fn(2, |m| m == 3).unwrap();
+        let dc = TruthTable::from_fn(2, |m| m == 1).unwrap();
+        let m = minimize_exactish(&on, &dc);
+        assert_eq!(m.literal_count(), 1);
+    }
+
+    #[test]
+    fn espresso_lite_expand_drops_literals() {
+        let f = Cover::from_cubes(
+            2,
+            [
+                cube(&[(0, true), (1, true)]),
+                cube(&[(0, true), (1, false)]),
+            ],
+        );
+        let dc = TruthTable::zero(2).unwrap();
+        let m = espresso_lite(&f, &dc);
+        assert_eq!(m.to_truth_table(), f.to_truth_table());
+        assert_eq!(m.literal_count(), 1); // just x0
+    }
+
+    #[test]
+    fn espresso_lite_respects_dc_bound() {
+        let f = Cover::from_cubes(3, [cube(&[(0, true), (1, true), (2, true)])]);
+        let dc = TruthTable::from_fn(3, |m| m == 0b011).unwrap();
+        let m = espresso_lite(&f, &dc);
+        let on = f.to_truth_table();
+        let upper = &on | &dc;
+        assert!(on.implies(&m.to_truth_table()));
+        assert!(m.to_truth_table().implies(&upper));
+    }
+
+    #[test]
+    fn espresso_loop_preserves_function_on_random_covers() {
+        let mut state = 0x5eed_5eedu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for _ in 0..60 {
+            let nv = 4;
+            let mut f = Cover::new(nv);
+            for _ in 0..(1 + next() % 6) {
+                let r = next();
+                let mut lits = Vec::new();
+                for v in 0..nv {
+                    match r >> (2 * v) & 3 {
+                        0 => lits.push((v, true)),
+                        1 => lits.push((v, false)),
+                        _ => {}
+                    }
+                }
+                if let Ok(c) = Cube::from_literals(&lits) {
+                    f.push(c);
+                }
+            }
+            let dc = TruthTable::zero(nv).unwrap();
+            let m = espresso(&f, &dc, 4);
+            assert_eq!(m.to_truth_table(), f.to_truth_table(), "cover {f}");
+            assert!(m.literal_count() <= f.literal_count() || f.is_empty());
+        }
+    }
+
+    #[test]
+    fn reduce_round_escapes_a_local_minimum() {
+        // The classic motivation: a cover where one round of expand alone
+        // stalls, but reduce + re-expand finds a cheaper cover. At minimum,
+        // the looped result is never worse than one pass.
+        let f = Cover::from_cubes(
+            3,
+            [
+                cube(&[(0, true), (1, true)]),
+                cube(&[(1, true), (2, true)]),
+                cube(&[(0, true), (2, false)]),
+                cube(&[(0, false), (1, false), (2, false)]),
+            ],
+        );
+        let dc = TruthTable::zero(3).unwrap();
+        let one_pass = espresso_lite(&f, &dc);
+        let looped = espresso(&f, &dc, 4);
+        assert!(looped.literal_count() <= one_pass.literal_count());
+        assert_eq!(looped.to_truth_table(), f.to_truth_table());
+    }
+
+    #[test]
+    fn espresso_respects_dont_cares() {
+        let f = Cover::from_cubes(
+            3,
+            [cube(&[(0, true), (1, true), (2, true)]), cube(&[(0, true), (1, true), (2, false)])],
+        );
+        let dc = TruthTable::from_fn(3, |m| m == 0b001 || m == 0b101).unwrap();
+        let m = espresso(&f, &dc, 4);
+        let on = f.to_truth_table();
+        let upper = &on | &dc;
+        assert!(on.implies(&m.to_truth_table()));
+        assert!(m.to_truth_table().implies(&upper));
+        // With those don't-cares, f = ab(c + c') + dc → can expand to a.
+        assert!(m.literal_count() <= 2, "got {m}");
+    }
+
+    #[test]
+    fn minimizers_agree_on_random_functions() {
+        let mut state = 0x600d_f00du64;
+        for _ in 0..40 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let bits = state;
+            let tt = TruthTable::from_fn(4, |m| bits >> (m % 64) & 1 == 1).unwrap();
+            let dc = TruthTable::zero(4).unwrap();
+            let a = minimize_exactish(&tt, &dc);
+            assert_eq!(a.to_truth_table(), tt);
+            let b = espresso_lite(&a, &dc);
+            assert_eq!(b.to_truth_table(), tt);
+        }
+    }
+}

@@ -1,0 +1,625 @@
+use crate::{Cover, LogicError, MAX_VARS};
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+const WORD_BITS: usize = 64;
+
+/// Bit patterns of the first six variables within a 64-bit word.
+const VAR_WORDS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// A complete truth table over `num_vars ≤ MAX_VARS` variables.
+///
+/// Minterm `m` (where bit `v` of `m` is the value of variable `v`) is stored
+/// at bit `m % 64` of word `m / 64`. Unused high bits of the last word are
+/// kept zero so that equality and popcount are meaningful.
+///
+/// # Example
+///
+/// ```
+/// use als_logic::TruthTable;
+///
+/// let a = TruthTable::var(3, 0)?;
+/// let b = TruthTable::var(3, 1)?;
+/// let f = &a & &b; // a AND b
+/// assert_eq!(f.count_ones(), 2); // minterms 011 and 111
+/// # Ok::<(), als_logic::LogicError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    num_vars: usize,
+    words: Vec<u64>,
+}
+
+impl TruthTable {
+    fn word_count(num_vars: usize) -> usize {
+        if num_vars >= 6 {
+            1 << (num_vars - 6)
+        } else {
+            1
+        }
+    }
+
+    /// Mask of the valid bits in the (single) word of a small table.
+    fn tail_mask(num_vars: usize) -> u64 {
+        if num_vars >= 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1usize << num_vars)) - 1
+        }
+    }
+
+    fn check_vars(num_vars: usize) -> Result<(), LogicError> {
+        if num_vars > MAX_VARS {
+            Err(LogicError::TooManyVars {
+                requested: num_vars,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The constant-0 function over `num_vars` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TooManyVars`] if `num_vars > MAX_VARS`.
+    pub fn zero(num_vars: usize) -> Result<Self, LogicError> {
+        Self::check_vars(num_vars)?;
+        Ok(TruthTable {
+            num_vars,
+            words: vec![0; Self::word_count(num_vars)],
+        })
+    }
+
+    /// The constant-1 function over `num_vars` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TooManyVars`] if `num_vars > MAX_VARS`.
+    pub fn one(num_vars: usize) -> Result<Self, LogicError> {
+        let mut t = Self::zero(num_vars)?;
+        for w in &mut t.words {
+            *w = u64::MAX;
+        }
+        t.mask_tail();
+        Ok(t)
+    }
+
+    /// The constant function with the given value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TooManyVars`] if `num_vars > MAX_VARS`.
+    pub fn constant(num_vars: usize, value: bool) -> Result<Self, LogicError> {
+        if value {
+            Self::one(num_vars)
+        } else {
+            Self::zero(num_vars)
+        }
+    }
+
+    /// The projection function of variable `var` over `num_vars` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::VarOutOfRange`] if `var >= num_vars`, or
+    /// [`LogicError::TooManyVars`] if `num_vars > MAX_VARS`.
+    pub fn var(num_vars: usize, var: usize) -> Result<Self, LogicError> {
+        Self::check_vars(num_vars)?;
+        if var >= num_vars {
+            return Err(LogicError::VarOutOfRange { var, num_vars });
+        }
+        let mut t = Self::zero(num_vars)?;
+        if var < 6 {
+            for w in &mut t.words {
+                *w = VAR_WORDS[var];
+            }
+        } else {
+            // Variable lives in the word index: blocks of 2^(var-6) words
+            // alternate 0-run / 1-run.
+            let block = 1usize << (var - 6);
+            for (i, w) in t.words.iter_mut().enumerate() {
+                if (i / block) % 2 == 1 {
+                    *w = u64::MAX;
+                }
+            }
+        }
+        t.mask_tail();
+        Ok(t)
+    }
+
+    /// Builds a truth table from a function of the minterm index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TooManyVars`] if `num_vars > MAX_VARS`.
+    pub fn from_fn<F: FnMut(u64) -> bool>(num_vars: usize, mut f: F) -> Result<Self, LogicError> {
+        let mut t = Self::zero(num_vars)?;
+        for m in 0..(1u64 << num_vars) {
+            if f(m) {
+                t.set(m, true);
+            }
+        }
+        Ok(t)
+    }
+
+    /// Builds the truth table of a [`Cover`] interpreted over the cover's
+    /// variable count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cover has more than [`MAX_VARS`] variables (covers are
+    /// validated at construction, so this cannot happen for covers built
+    /// through the public API).
+    pub fn from_cover(cover: &Cover) -> Self {
+        let mut t =
+            Self::zero(cover.num_vars()).expect("cover variable count validated at construction");
+        for cube in cover.cubes() {
+            for m in 0..(1u64 << cover.num_vars()) {
+                if cube.eval(m) {
+                    t.set(m, true);
+                }
+            }
+        }
+        t
+    }
+
+    fn mask_tail(&mut self) {
+        if self.num_vars < 6 {
+            self.words[0] &= Self::tail_mask(self.num_vars);
+        }
+    }
+
+    /// The number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The number of minterms (`2^num_vars`).
+    #[inline]
+    pub fn num_minterms(&self) -> u64 {
+        1u64 << self.num_vars
+    }
+
+    /// The raw 64-bit words backing the table.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The value of the function at minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= 2^num_vars`.
+    #[inline]
+    pub fn get(&self, m: u64) -> bool {
+        assert!(m < self.num_minterms(), "minterm {m} out of range");
+        self.words[(m as usize) / WORD_BITS] >> (m as usize % WORD_BITS) & 1 == 1
+    }
+
+    /// Sets the value of the function at minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= 2^num_vars`.
+    #[inline]
+    pub fn set(&mut self, m: u64, value: bool) {
+        assert!(m < self.num_minterms(), "minterm {m} out of range");
+        let bit = 1u64 << (m as usize % WORD_BITS);
+        let w = &mut self.words[(m as usize) / WORD_BITS];
+        if value {
+            *w |= bit;
+        } else {
+            *w &= !bit;
+        }
+    }
+
+    /// The number of on-set minterms.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Whether the function is constant 0.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether the function is constant 1.
+    pub fn is_one(&self) -> bool {
+        self.count_ones() == self.num_minterms()
+    }
+
+    /// Returns `Some(value)` if the function is constant.
+    pub fn as_constant(&self) -> Option<bool> {
+        if self.is_zero() {
+            Some(false)
+        } else if self.is_one() {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `self ⇒ other` (the on-set of `self` is contained in the
+    /// on-set of `other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn implies(&self, other: &TruthTable) -> bool {
+        self.assert_same_vars(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    fn assert_same_vars(&self, other: &TruthTable) {
+        assert_eq!(
+            self.num_vars, other.num_vars,
+            "truth-table operation on mismatched supports"
+        );
+    }
+
+    /// The cofactor of the function with `var` fixed to `phase`.
+    ///
+    /// The result still ranges over the same `num_vars` variables (the fixed
+    /// variable becomes irrelevant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn cofactor(&self, var: usize, phase: bool) -> TruthTable {
+        assert!(var < self.num_vars, "cofactor variable out of range");
+        let mut out = self.clone();
+        if var < 6 {
+            let mask = VAR_WORDS[var];
+            let shift = 1usize << var;
+            for w in &mut out.words {
+                if phase {
+                    let hi = *w & mask;
+                    *w = hi | (hi >> shift);
+                } else {
+                    let lo = *w & !mask;
+                    *w = lo | (lo << shift);
+                }
+            }
+        } else {
+            let block = 1usize << (var - 6);
+            let n = out.words.len();
+            let mut i = 0;
+            while i < n {
+                // Words [i, i+block) are var=0; [i+block, i+2*block) are var=1.
+                for k in 0..block {
+                    if phase {
+                        out.words[i + k] = out.words[i + block + k];
+                    } else {
+                        out.words[i + block + k] = out.words[i + k];
+                    }
+                }
+                i += 2 * block;
+            }
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// Whether the function depends on `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        self.cofactor(var, false) != self.cofactor(var, true)
+    }
+
+    /// The mask of variables the function actually depends on.
+    pub fn support_mask(&self) -> u64 {
+        let mut mask = 0u64;
+        for v in 0..self.num_vars {
+            if self.depends_on(v) {
+                mask |= 1 << v;
+            }
+        }
+        mask
+    }
+
+    /// Re-expresses the function over a wider variable set, mapping old
+    /// variable `i` to new variable `map[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `new_num_vars > MAX_VARS` or a mapped index is out
+    /// of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map.len() != self.num_vars()` or `map` repeats a target
+    /// (repeats are legal in [`TruthTable::remap_merge`]).
+    pub fn remap(&self, new_num_vars: usize, map: &[usize]) -> Result<TruthTable, LogicError> {
+        for (i, &m) in map.iter().enumerate() {
+            if map[..i].contains(&m) {
+                panic!("remap target {m} repeated");
+            }
+        }
+        self.remap_merge(new_num_vars, map)
+    }
+
+    /// Like [`TruthTable::remap`] but allows several old variables to map to
+    /// the *same* new variable — the corresponding inputs are tied together.
+    /// Used when node substitution makes two fanins identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `new_num_vars > MAX_VARS` or a mapped index is out
+    /// of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map.len() != self.num_vars()`.
+    pub fn remap_merge(
+        &self,
+        new_num_vars: usize,
+        map: &[usize],
+    ) -> Result<TruthTable, LogicError> {
+        assert_eq!(map.len(), self.num_vars, "remap must cover every variable");
+        Self::check_vars(new_num_vars)?;
+        for &m in map {
+            if m >= new_num_vars {
+                return Err(LogicError::VarOutOfRange {
+                    var: m,
+                    num_vars: new_num_vars,
+                });
+            }
+        }
+        let mut out = TruthTable::zero(new_num_vars)?;
+        for nm in 0..(1u64 << new_num_vars) {
+            let mut old = 0u64;
+            for (i, &m) in map.iter().enumerate() {
+                if nm >> m & 1 == 1 {
+                    old |= 1 << i;
+                }
+            }
+            if self.get(old) {
+                out.set(nm, true);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Iterates over the on-set minterms in ascending order.
+    pub fn minterms(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.num_minterms()).filter(move |&m| self.get(m))
+    }
+}
+
+impl BitAnd for &TruthTable {
+    type Output = TruthTable;
+    fn bitand(self, rhs: &TruthTable) -> TruthTable {
+        self.assert_same_vars(rhs);
+        TruthTable {
+            num_vars: self.num_vars,
+            words: self
+                .words
+                .iter()
+                .zip(&rhs.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+}
+
+impl BitOr for &TruthTable {
+    type Output = TruthTable;
+    fn bitor(self, rhs: &TruthTable) -> TruthTable {
+        self.assert_same_vars(rhs);
+        TruthTable {
+            num_vars: self.num_vars,
+            words: self
+                .words
+                .iter()
+                .zip(&rhs.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+}
+
+impl BitXor for &TruthTable {
+    type Output = TruthTable;
+    fn bitxor(self, rhs: &TruthTable) -> TruthTable {
+        self.assert_same_vars(rhs);
+        TruthTable {
+            num_vars: self.num_vars,
+            words: self
+                .words
+                .iter()
+                .zip(&rhs.words)
+                .map(|(a, b)| a ^ b)
+                .collect(),
+        }
+    }
+}
+
+impl Not for &TruthTable {
+    type Output = TruthTable;
+    fn not(self) -> TruthTable {
+        let mut t = TruthTable {
+            num_vars: self.num_vars,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
+        t.mask_tail();
+        t
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({} vars; ", self.num_vars)?;
+        if self.num_vars <= 6 {
+            let bits = 1usize << self.num_vars;
+            for m in (0..bits as u64).rev() {
+                write!(f, "{}", u8::from(self.get(m)))?;
+            }
+        } else {
+            write!(f, "{} ones", self.count_ones())?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cube;
+
+    #[test]
+    fn constants() {
+        let z = TruthTable::zero(3).unwrap();
+        let o = TruthTable::one(3).unwrap();
+        assert!(z.is_zero() && !z.is_one());
+        assert!(o.is_one() && !o.is_zero());
+        assert_eq!(z.as_constant(), Some(false));
+        assert_eq!(o.as_constant(), Some(true));
+        assert_eq!(o.count_ones(), 8);
+    }
+
+    #[test]
+    fn var_projection_small_and_large() {
+        for nv in [1, 3, 6, 8] {
+            for v in 0..nv {
+                let t = TruthTable::var(nv, v).unwrap();
+                for m in 0..(1u64 << nv) {
+                    assert_eq!(t.get(m), m >> v & 1 == 1, "nv={nv} v={v} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn var_out_of_range() {
+        assert!(TruthTable::var(3, 3).is_err());
+        assert!(TruthTable::zero(MAX_VARS + 1).is_err());
+    }
+
+    #[test]
+    fn bit_ops_match_semantics() {
+        let a = TruthTable::var(4, 0).unwrap();
+        let b = TruthTable::var(4, 3).unwrap();
+        let and = &a & &b;
+        let or = &a | &b;
+        let xor = &a ^ &b;
+        let na = !&a;
+        for m in 0..16u64 {
+            let (va, vb) = (m & 1 == 1, m >> 3 & 1 == 1);
+            assert_eq!(and.get(m), va && vb);
+            assert_eq!(or.get(m), va || vb);
+            assert_eq!(xor.get(m), va ^ vb);
+            assert_eq!(na.get(m), !va);
+        }
+    }
+
+    #[test]
+    fn not_keeps_tail_clean() {
+        let z = TruthTable::zero(2).unwrap();
+        let o = !&z;
+        assert!(o.is_one());
+        assert_eq!(o.words()[0], 0b1111);
+    }
+
+    #[test]
+    fn cofactor_small_var() {
+        // f = x0 x1 + x2
+        let x0 = TruthTable::var(3, 0).unwrap();
+        let x1 = TruthTable::var(3, 1).unwrap();
+        let x2 = TruthTable::var(3, 2).unwrap();
+        let f = &(&x0 & &x1) | &x2;
+        let f_x0 = f.cofactor(0, true); // x1 + x2
+        let expect = &x1 | &x2;
+        assert_eq!(f_x0, expect);
+        let f_nx0 = f.cofactor(0, false); // x2
+        assert_eq!(f_nx0, x2);
+    }
+
+    #[test]
+    fn cofactor_word_level_var() {
+        // 8 vars: var 7 spans words.
+        let x7 = TruthTable::var(8, 7).unwrap();
+        let x0 = TruthTable::var(8, 0).unwrap();
+        let f = &x7 & &x0;
+        assert_eq!(f.cofactor(7, true), x0);
+        assert!(f.cofactor(7, false).is_zero());
+        assert!(!f.cofactor(7, true).depends_on(7));
+    }
+
+    #[test]
+    fn depends_and_support() {
+        let x1 = TruthTable::var(4, 1).unwrap();
+        let x3 = TruthTable::var(4, 3).unwrap();
+        let f = &x1 ^ &x3;
+        assert!(f.depends_on(1));
+        assert!(f.depends_on(3));
+        assert!(!f.depends_on(0));
+        assert_eq!(f.support_mask(), 0b1010);
+    }
+
+    #[test]
+    fn implies_checks_containment() {
+        let x0 = TruthTable::var(2, 0).unwrap();
+        let x1 = TruthTable::var(2, 1).unwrap();
+        let and = &x0 & &x1;
+        let or = &x0 | &x1;
+        assert!(and.implies(&or));
+        assert!(!or.implies(&and));
+        assert!(and.implies(&and));
+    }
+
+    #[test]
+    fn from_cover_matches_cube_eval() {
+        let mut c = Cover::new(3);
+        c.push(Cube::from_literals(&[(0, true), (1, false)]).unwrap());
+        c.push(Cube::from_literals(&[(2, true)]).unwrap());
+        let t = TruthTable::from_cover(&c);
+        for m in 0..8u64 {
+            let expect = (m & 1 == 1 && m >> 1 & 1 == 0) || m >> 2 & 1 == 1;
+            assert_eq!(t.get(m), expect);
+        }
+    }
+
+    #[test]
+    fn remap_widens_support() {
+        let x0 = TruthTable::var(2, 0).unwrap();
+        let x1 = TruthTable::var(2, 1).unwrap();
+        let f = &x0 & &x1;
+        // Place old var0 at 2 and old var1 at 0, inside 3 vars.
+        let g = f.remap(3, &[2, 0]).unwrap();
+        for m in 0..8u64 {
+            let expect = (m >> 2 & 1 == 1) && (m & 1 == 1);
+            assert_eq!(g.get(m), expect);
+        }
+    }
+
+    #[test]
+    fn minterm_iteration() {
+        let x0 = TruthTable::var(2, 0).unwrap();
+        let ms: Vec<u64> = x0.minterms().collect();
+        assert_eq!(ms, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched supports")]
+    fn mismatched_ops_panic() {
+        let a = TruthTable::zero(2).unwrap();
+        let b = TruthTable::zero(3).unwrap();
+        let _ = &a & &b;
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the Boolean-function substrate.
+
+use als_logic::division::divide;
+use als_logic::factor::factor_cover;
+use als_logic::isop::isop_exact;
+use als_logic::minimize::{espresso_lite, minimize_exactish};
+use als_logic::{Cover, Cube, Expr, TruthTable};
+use proptest::prelude::*;
+
+const NUM_VARS: usize = 5;
+
+/// Strategy producing an arbitrary cube over `NUM_VARS` variables.
+fn arb_cube() -> impl Strategy<Value = Cube> {
+    proptest::collection::vec(0u8..3, NUM_VARS).prop_map(|codes| {
+        let lits: Vec<(usize, bool)> = codes
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &c)| match c {
+                0 => Some((v, true)),
+                1 => Some((v, false)),
+                _ => None,
+            })
+            .collect();
+        Cube::from_literals(&lits).expect("phases are unique per variable")
+    })
+}
+
+fn arb_cover() -> impl Strategy<Value = Cover> {
+    proptest::collection::vec(arb_cube(), 0..8)
+        .prop_map(|cubes| Cover::from_cubes(NUM_VARS, cubes))
+}
+
+fn arb_truth_table() -> impl Strategy<Value = TruthTable> {
+    proptest::collection::vec(any::<bool>(), 1 << NUM_VARS).prop_map(|bits| {
+        TruthTable::from_fn(NUM_VARS, |m| bits[m as usize]).expect("support in range")
+    })
+}
+
+proptest! {
+    #[test]
+    fn cover_eval_matches_truth_table(cover in arb_cover()) {
+        let tt = cover.to_truth_table();
+        for m in 0..(1u64 << NUM_VARS) {
+            prop_assert_eq!(cover.eval(m), tt.get(m));
+        }
+    }
+
+    #[test]
+    fn contained_cube_removal_preserves_function(cover in arb_cover()) {
+        let before = cover.to_truth_table();
+        let mut c = cover.clone();
+        c.remove_contained_cubes();
+        prop_assert_eq!(c.to_truth_table(), before);
+        // And is idempotent.
+        let n = c.len();
+        c.remove_contained_cubes();
+        prop_assert_eq!(c.len(), n);
+    }
+
+    #[test]
+    fn isop_is_exact_and_within_bounds(tt in arb_truth_table()) {
+        let c = isop_exact(&tt);
+        prop_assert_eq!(c.to_truth_table(), tt);
+    }
+
+    #[test]
+    fn isop_respects_dont_care_interval(on in arb_truth_table(), dc in arb_truth_table()) {
+        let on = &on & &!&dc; // make bounds consistent
+        let upper = &on | &dc;
+        let c = als_logic::isop(&on, &upper);
+        let ct = c.to_truth_table();
+        prop_assert!(on.implies(&ct));
+        prop_assert!(ct.implies(&upper));
+    }
+
+    #[test]
+    fn factoring_preserves_function_and_never_grows(cover in arb_cover()) {
+        let e = factor_cover(&cover);
+        prop_assert_eq!(e.to_truth_table(NUM_VARS), cover.to_truth_table());
+        let mut dedup = cover.clone();
+        dedup.remove_contained_cubes();
+        prop_assert!(e.literal_count() <= dedup.literal_count());
+    }
+
+    #[test]
+    fn division_identity(f in arb_cover(), idx in 0usize..8) {
+        prop_assume!(!f.is_empty());
+        let d = Cover::from_cubes(NUM_VARS, [f.cubes()[idx % f.len()]]);
+        let div = divide(&f, &d);
+        // Q·D + R == F as Boolean functions.
+        let mut whole = Cover::new(NUM_VARS);
+        for q in div.quotient.cubes() {
+            for dc in d.cubes() {
+                if let Some(c) = q.intersect(dc) {
+                    whole.push(c);
+                }
+            }
+        }
+        whole.extend(div.remainder.cubes().iter().copied());
+        prop_assert_eq!(whole.to_truth_table(), f.to_truth_table());
+    }
+
+    #[test]
+    fn expr_removal_monotone_in_literal_count(cover in arb_cover(), mask in any::<u16>()) {
+        let e = factor_cover(&cover);
+        let n = e.literal_count();
+        prop_assume!(n > 0);
+        let indices: Vec<usize> = (0..n).filter(|i| mask >> (i % 16) & 1 == 1).collect();
+        prop_assume!(indices.len() < n);
+        if let Some(ase) = e.remove_literals(&indices) {
+            prop_assert_eq!(ase.literal_count(), n - indices.len());
+        }
+    }
+
+    #[test]
+    fn minimizers_preserve_function(tt in arb_truth_table()) {
+        let zero = TruthTable::zero(NUM_VARS).expect("in range");
+        let a = minimize_exactish(&tt, &zero);
+        prop_assert_eq!(a.to_truth_table(), tt.clone());
+        let b = espresso_lite(&a, &zero);
+        prop_assert_eq!(b.to_truth_table(), tt);
+    }
+
+    #[test]
+    fn cofactor_shannon_expansion(tt in arb_truth_table(), var in 0usize..NUM_VARS) {
+        let x = TruthTable::var(NUM_VARS, var).expect("in range");
+        let f1 = tt.cofactor(var, true);
+        let f0 = tt.cofactor(var, false);
+        let rebuilt = &(&x & &f1) | &(&!&x & &f0);
+        prop_assert_eq!(rebuilt, tt);
+    }
+
+    #[test]
+    fn expr_cover_roundtrip(cover in arb_cover()) {
+        let e = Expr::from_cover(&cover);
+        prop_assert_eq!(e.to_truth_table(NUM_VARS), cover.to_truth_table());
+        let back = e.to_cover(NUM_VARS);
+        prop_assert_eq!(back.to_truth_table(), cover.to_truth_table());
+    }
+
+    #[test]
+    fn supercube_contains_both(a in arb_cube(), b in arb_cube()) {
+        let s = a.supercube(&b);
+        prop_assert!(s.contains(&a));
+        prop_assert!(s.contains(&b));
+    }
+
+    #[test]
+    fn distance_zero_iff_intersecting(a in arb_cube(), b in arb_cube()) {
+        prop_assert_eq!(a.distance(&b) == 0, a.intersect(&b).is_some());
+    }
+}

@@ -1,0 +1,39 @@
+//! Technology mapping onto an MCNC-like generic standard-cell library.
+//!
+//! The paper reports mapped area and delay from SIS with the MCNC generic
+//! library (Table 3) and confirms that the approximate circuits' delays do
+//! not degrade. This crate stands in for that step:
+//!
+//! * [`Library`] — a generic cell library in the MCNC spirit (inverter,
+//!   AND/OR/NAND/NOR gates of 2–4 inputs, XOR/XNOR, MUX, MAJ, AOI/OAI);
+//! * [`map_network`] — maps a Boolean network to a [`MappedNetlist`]:
+//!   each node is Boolean-matched against the library (input permutations
+//!   and output phase), falling back to a factored-form decomposition into
+//!   tree cells with shared inverters;
+//! * [`MappedNetlist::area`] / [`MappedNetlist::delay`] — cell-area totals
+//!   and critical-path delay; the netlist can also be simulated to verify
+//!   the mapping preserved the function.
+//!
+//! # Example
+//!
+//! ```
+//! use als_circuits::adders::ripple_carry_adder;
+//! use als_mapper::{map_network, Library};
+//!
+//! let net = ripple_carry_adder(4);
+//! let lib = Library::mcnc_like();
+//! let mapped = map_network(&net, &lib);
+//! assert!(mapped.area() > 0.0);
+//! assert!(mapped.delay() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod library;
+mod map;
+mod verilog;
+
+pub use library::{Cell, Library};
+pub use map::{map_network, MappedGate, MappedNetlist, Signal};
+pub use verilog::write_verilog;

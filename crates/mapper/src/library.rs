@@ -1,0 +1,112 @@
+use als_logic::TruthTable;
+
+/// One cell of the library: a named single-output function with area and
+/// pin-to-output delay.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Cell name (e.g. `nand2`).
+    pub name: &'static str,
+    /// Number of inputs.
+    pub arity: usize,
+    /// The cell function over its `arity` inputs.
+    pub function: TruthTable,
+    /// Cell area (arbitrary units consistent within the library).
+    pub area: f64,
+    /// Worst pin-to-output delay.
+    pub delay: f64,
+}
+
+/// A generic standard-cell library.
+#[derive(Clone, Debug)]
+pub struct Library {
+    cells: Vec<Cell>,
+}
+
+impl Library {
+    /// An MCNC-generic-style library: the usual simple-gate repertoire with
+    /// NAND/NOR cheaper than AND/OR and XOR/MUX as larger compound cells.
+    /// Absolute units are arbitrary; relative costs follow the classic
+    /// `mcnc.genlib` ordering.
+    pub fn mcnc_like() -> Library {
+        fn tt(arity: usize, f: impl Fn(u64) -> bool) -> TruthTable {
+            TruthTable::from_fn(arity, f).expect("library arity is small")
+        }
+        let ones = |m: u64| m.count_ones();
+        let cells = vec![
+            Cell { name: "inv", arity: 1, function: tt(1, |m| m == 0), area: 1.0, delay: 1.0 },
+            Cell { name: "buf", arity: 1, function: tt(1, |m| m == 1), area: 1.0, delay: 1.0 },
+            Cell { name: "nand2", arity: 2, function: tt(2, |m| m != 3), area: 2.0, delay: 1.0 },
+            Cell { name: "nor2", arity: 2, function: tt(2, |m| m == 0), area: 2.0, delay: 1.0 },
+            Cell { name: "and2", arity: 2, function: tt(2, |m| m == 3), area: 3.0, delay: 1.4 },
+            Cell { name: "or2", arity: 2, function: tt(2, |m| m != 0), area: 3.0, delay: 1.4 },
+            Cell { name: "nand3", arity: 3, function: tt(3, |m| m != 7), area: 3.0, delay: 1.4 },
+            Cell { name: "nor3", arity: 3, function: tt(3, |m| m == 0), area: 3.0, delay: 1.4 },
+            Cell { name: "and3", arity: 3, function: tt(3, |m| m == 7), area: 4.0, delay: 1.8 },
+            Cell { name: "or3", arity: 3, function: tt(3, |m| m != 0), area: 4.0, delay: 1.8 },
+            Cell { name: "nand4", arity: 4, function: tt(4, |m| m != 15), area: 4.0, delay: 1.8 },
+            Cell { name: "nor4", arity: 4, function: tt(4, |m| m == 0), area: 4.0, delay: 1.8 },
+            Cell { name: "and4", arity: 4, function: tt(4, |m| m == 15), area: 5.0, delay: 2.2 },
+            Cell { name: "or4", arity: 4, function: tt(4, |m| m != 0), area: 5.0, delay: 2.2 },
+            // AOI21: !(a·b + c); OAI21: !((a+b)·c)
+            Cell { name: "aoi21", arity: 3, function: tt(3, |m| !((m & 1 == 1 && m >> 1 & 1 == 1) || m >> 2 & 1 == 1)), area: 3.0, delay: 1.6 },
+            Cell { name: "oai21", arity: 3, function: tt(3, |m| !((m & 1 == 1 || m >> 1 & 1 == 1) && m >> 2 & 1 == 1)), area: 3.0, delay: 1.6 },
+            Cell { name: "xor2", arity: 2, function: tt(2, |m| ones(m) == 1), area: 5.0, delay: 1.9 },
+            Cell { name: "xnor2", arity: 2, function: tt(2, |m| ones(m) != 1), area: 5.0, delay: 1.9 },
+            // mux21: s ? c : b with inputs (s, b, c)
+            Cell { name: "mux21", arity: 3, function: tt(3, |m| if m & 1 == 1 { m >> 2 & 1 == 1 } else { m >> 1 & 1 == 1 }), area: 6.0, delay: 2.0 },
+            Cell { name: "maj3", arity: 3, function: tt(3, |m| ones(m) >= 2), area: 6.0, delay: 2.0 },
+        ];
+        Library { cells }
+    }
+
+    /// The library's cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Looks up a cell by name.
+    pub fn cell(&self, name: &str) -> Option<&Cell> {
+        self.cells.iter().find(|c| c.name == name)
+    }
+
+    /// Cells of a given arity.
+    pub fn cells_of_arity(&self, arity: usize) -> impl Iterator<Item = &Cell> {
+        self.cells.iter().filter(move |c| c.arity == arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_has_the_essentials() {
+        let lib = Library::mcnc_like();
+        for name in ["inv", "nand2", "nor2", "xor2", "mux21", "aoi21"] {
+            assert!(lib.cell(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn cell_functions_are_correct() {
+        let lib = Library::mcnc_like();
+        let nand2 = lib.cell("nand2").unwrap();
+        assert!(nand2.function.get(0) && nand2.function.get(1) && nand2.function.get(2));
+        assert!(!nand2.function.get(3));
+        let xor2 = lib.cell("xor2").unwrap();
+        assert!(!xor2.function.get(0) && xor2.function.get(1));
+        let mux = lib.cell("mux21").unwrap();
+        // s=1 (bit0) selects input c (bit2).
+        assert!(mux.function.get(0b101));
+        assert!(!mux.function.get(0b011));
+        // s=0 selects input b (bit1).
+        assert!(mux.function.get(0b010));
+        assert!(!mux.function.get(0b100));
+    }
+
+    #[test]
+    fn nand_is_cheaper_than_and() {
+        let lib = Library::mcnc_like();
+        assert!(lib.cell("nand2").unwrap().area < lib.cell("and2").unwrap().area);
+    }
+}

@@ -1,0 +1,474 @@
+use crate::{Cell, Library};
+use als_logic::{Expr, TruthTable};
+use als_network::{Network, NodeId};
+use std::collections::HashMap;
+
+/// A signal in the mapped netlist.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Signal {
+    /// The `i`-th primary input of the source network.
+    Pi(usize),
+    /// The output of mapped gate `i`.
+    Gate(usize),
+    /// A constant.
+    Const(bool),
+}
+
+/// One instantiated cell.
+#[derive(Clone, Debug)]
+pub struct MappedGate {
+    /// Index into the library's cell list.
+    pub cell_index: usize,
+    /// Input signals, in cell pin order.
+    pub inputs: Vec<Signal>,
+}
+
+/// A gate-level netlist produced by [`map_network`].
+#[derive(Clone, Debug)]
+pub struct MappedNetlist {
+    cells: Vec<Cell>,
+    gates: Vec<MappedGate>,
+    outputs: Vec<Signal>,
+    num_pis: usize,
+}
+
+impl MappedNetlist {
+    /// Total cell area.
+    pub fn area(&self) -> f64 {
+        self.gates
+            .iter()
+            .map(|g| self.cells[g.cell_index].area)
+            .sum()
+    }
+
+    /// Critical-path delay (cell delays only, no wire load).
+    pub fn delay(&self) -> f64 {
+        let arrivals = self.arrival_times();
+        self.outputs
+            .iter()
+            .map(|s| self.signal_arrival(s, &arrivals))
+            .fold(0.0, f64::max)
+    }
+
+    fn signal_arrival(&self, s: &Signal, arrivals: &[f64]) -> f64 {
+        match s {
+            Signal::Gate(i) => arrivals[*i],
+            _ => 0.0,
+        }
+    }
+
+    fn arrival_times(&self) -> Vec<f64> {
+        // Gates are created in topological order by construction.
+        let mut arrivals = vec![0.0f64; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            let worst_in = g
+                .inputs
+                .iter()
+                .map(|s| self.signal_arrival(s, &arrivals))
+                .fold(0.0, f64::max);
+            arrivals[i] = worst_in + self.cells[g.cell_index].delay;
+        }
+        arrivals
+    }
+
+    /// Number of gate instances.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of primary inputs of the source network.
+    pub fn num_pis(&self) -> usize {
+        self.num_pis
+    }
+
+    /// The gates in topological order.
+    pub fn gates(&self) -> &[MappedGate] {
+        &self.gates
+    }
+
+    /// The library name of a gate's cell.
+    pub fn cell_name(&self, gate: &MappedGate) -> &'static str {
+        self.cells[gate.cell_index].name
+    }
+
+    /// The output signals, in PO order.
+    pub fn outputs(&self) -> &[Signal] {
+        &self.outputs
+    }
+
+    /// Per-cell usage counts, by cell name.
+    pub fn cell_histogram(&self) -> HashMap<&'static str, usize> {
+        let mut h = HashMap::new();
+        for g in &self.gates {
+            *h.entry(self.cells[g.cell_index].name).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Evaluates the mapped netlist on one PI assignment (for verifying the
+    /// mapping against the source network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_values.len()` differs from the source PI count.
+    pub fn eval(&self, pi_values: &[bool]) -> Vec<bool> {
+        assert_eq!(pi_values.len(), self.num_pis, "pi count mismatch");
+        let mut gate_values = vec![false; self.gates.len()];
+        let value = |s: &Signal, gate_values: &[bool]| match s {
+            Signal::Pi(i) => pi_values[*i],
+            Signal::Gate(i) => gate_values[*i],
+            Signal::Const(b) => *b,
+        };
+        for (i, g) in self.gates.iter().enumerate() {
+            let mut minterm = 0u64;
+            for (pin, s) in g.inputs.iter().enumerate() {
+                if value(s, &gate_values) {
+                    minterm |= 1 << pin;
+                }
+            }
+            gate_values[i] = self.cells[g.cell_index].function.get(minterm);
+        }
+        self.outputs
+            .iter()
+            .map(|s| value(s, &gate_values))
+            .collect()
+    }
+}
+
+struct Mapper<'a> {
+    lib: &'a Library,
+    gates: Vec<MappedGate>,
+    /// Shared inverters: source signal → inverted signal.
+    inverters: HashMap<Signal, Signal>,
+    inv_index: usize,
+}
+
+impl<'a> Mapper<'a> {
+    fn new(lib: &'a Library) -> Self {
+        let inv_index = lib
+            .cells()
+            .iter()
+            .position(|c| c.name == "inv")
+            .expect("library must provide an inverter");
+        Mapper {
+            lib,
+            gates: Vec::new(),
+            inverters: HashMap::new(),
+            inv_index,
+        }
+    }
+
+    fn emit(&mut self, cell_index: usize, inputs: Vec<Signal>) -> Signal {
+        self.gates.push(MappedGate { cell_index, inputs });
+        Signal::Gate(self.gates.len() - 1)
+    }
+
+    fn invert(&mut self, s: Signal) -> Signal {
+        if let Signal::Const(b) = s {
+            return Signal::Const(!b);
+        }
+        if let Some(&inv) = self.inverters.get(&s) {
+            return inv;
+        }
+        let inv = self.emit(self.inv_index, vec![s]);
+        self.inverters.insert(s, inv);
+        self.inverters.insert(inv, s);
+        inv
+    }
+
+    /// Boolean-matches `tt` (over `fanins.len()` inputs) against same-arity
+    /// library cells under input permutation and output phase; returns the
+    /// cheapest match.
+    fn direct_match(&mut self, tt: &TruthTable, fanins: &[Signal]) -> Option<Signal> {
+        let k = fanins.len();
+        if k == 0 || k > 4 {
+            return None;
+        }
+        let mut best: Option<(usize, Vec<usize>, bool, f64)> = None; // cell, perm, invert_out, cost
+        let perms = permutations(k);
+        let ntt = !tt;
+        for (ci, cell) in self.lib.cells().iter().enumerate() {
+            if cell.arity != k {
+                continue;
+            }
+            for perm in &perms {
+                let permuted = tt.remap(k, perm).expect("arity bounded by 4");
+                let (matches, inv_out) = if permuted == cell.function {
+                    (true, false)
+                } else if ntt.remap(k, perm).expect("arity bounded by 4") == cell.function {
+                    (true, true)
+                } else {
+                    (false, false)
+                };
+                if !matches {
+                    continue;
+                }
+                let inv_cell = &self.lib.cells()[self.inv_index];
+                let cost = cell.area + if inv_out { inv_cell.area } else { 0.0 };
+                if best.as_ref().is_none_or(|b| cost < b.3) {
+                    best = Some((ci, perm.clone(), inv_out, cost));
+                }
+            }
+        }
+        let (ci, perm, inv_out, _) = best?;
+        // perm maps node variable i → cell pin perm[i]; pin j takes fanin
+        // with perm[i] == j.
+        let mut inputs = vec![Signal::Const(false); k];
+        for (i, &pin) in perm.iter().enumerate() {
+            inputs[pin] = fanins[i];
+        }
+        let out = self.emit(ci, inputs);
+        Some(if inv_out { self.invert(out) } else { out })
+    }
+
+    /// Decomposes a factored expression into tree cells.
+    fn decompose(&mut self, expr: &Expr, fanins: &[Signal]) -> Signal {
+        match expr {
+            Expr::Const(b) => Signal::Const(*b),
+            Expr::Lit { var, phase } => {
+                let s = fanins[*var];
+                if *phase {
+                    s
+                } else {
+                    self.invert(s)
+                }
+            }
+            Expr::And(children) => {
+                let sigs: Vec<Signal> = children
+                    .iter()
+                    .map(|c| self.decompose(c, fanins))
+                    .collect();
+                self.reduce(sigs, true)
+            }
+            Expr::Or(children) => {
+                let sigs: Vec<Signal> = children
+                    .iter()
+                    .map(|c| self.decompose(c, fanins))
+                    .collect();
+                self.reduce(sigs, false)
+            }
+        }
+    }
+
+    /// Combines signals with a balanced tree of AND (or OR) cells, using the
+    /// widest available gate per level.
+    fn reduce(&mut self, mut sigs: Vec<Signal>, is_and: bool) -> Signal {
+        let names: [&str; 3] = if is_and {
+            ["and2", "and3", "and4"]
+        } else {
+            ["or2", "or3", "or4"]
+        };
+        let cell_of = |lib: &Library, name: &str| {
+            lib.cells()
+                .iter()
+                .position(|c| c.name == name)
+                .expect("library provides and/or gates up to arity 4")
+        };
+        while sigs.len() > 1 {
+            let take = sigs.len().min(4);
+            let cell = cell_of(self.lib, names[take - 2]);
+            let chunk: Vec<Signal> = sigs.drain(..take).collect();
+            let g = self.emit(cell, chunk);
+            sigs.push(g);
+        }
+        sigs.pop().expect("non-empty group")
+    }
+}
+
+fn permutations(k: usize) -> Vec<Vec<usize>> {
+    fn rec(remaining: &mut Vec<usize>, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if remaining.is_empty() {
+            out.push(current.clone());
+            return;
+        }
+        for i in 0..remaining.len() {
+            let v = remaining.remove(i);
+            current.push(v);
+            rec(remaining, current, out);
+            current.pop();
+            remaining.insert(i, v);
+        }
+    }
+    let mut out = Vec::new();
+    rec(&mut (0..k).collect(), &mut Vec::new(), &mut out);
+    out
+}
+
+/// Maps a Boolean network onto the library. Each node is Boolean-matched
+/// against the library (inputs permuted, output phase free); nodes with no
+/// single-cell implementation are decomposed along their factored form into
+/// AND/OR trees with shared inverters.
+///
+/// The result preserves the network's function (verified in this module's
+/// tests by co-simulation).
+///
+/// # Panics
+///
+/// Panics if the library lacks an inverter or the basic AND/OR gates.
+pub fn map_network(net: &Network, lib: &Library) -> MappedNetlist {
+    let mut mapper = Mapper::new(lib);
+    let pi_index: HashMap<NodeId, usize> =
+        net.pis().iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let mut signal_of: HashMap<NodeId, Signal> = HashMap::new();
+
+    for id in net.topo_order() {
+        let node = net.node(id);
+        if node.is_pi() {
+            signal_of.insert(id, Signal::Pi(pi_index[&id]));
+            continue;
+        }
+        let fanins: Vec<Signal> = node.fanins().iter().map(|f| signal_of[f]).collect();
+        let sig = if let Some(c) = node.expr().as_constant() {
+            Signal::Const(c)
+        } else {
+            let tt = node.cover().to_truth_table();
+            match mapper.direct_match(&tt, &fanins) {
+                Some(s) => s,
+                None => mapper.decompose(node.expr(), &fanins),
+            }
+        };
+        signal_of.insert(id, sig);
+    }
+
+    let outputs: Vec<Signal> = net.pos().iter().map(|(_, d)| signal_of[d]).collect();
+    MappedNetlist {
+        cells: lib.cells().to_vec(),
+        gates: mapper.gates,
+        outputs,
+        num_pis: net.num_pis(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_circuits::adders::ripple_carry_adder;
+    use als_circuits::multipliers::wallace_tree_multiplier;
+    use als_logic::{Cover, Cube};
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits).unwrap()
+    }
+
+    fn co_simulate(net: &Network, mapped: &MappedNetlist, rounds: usize) {
+        let mut state = 0x51u64;
+        for _ in 0..rounds {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pis: Vec<bool> = (0..net.num_pis()).map(|i| state >> (i % 60) & 1 == 1).collect();
+            assert_eq!(net.eval(&pis), mapped.eval(&pis), "pis {pis:?}");
+        }
+    }
+
+    #[test]
+    fn xor_maps_to_single_cell() {
+        let mut net = Network::new("x");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let y = net.add_node(
+            "y",
+            vec![a, b],
+            Cover::from_cubes(
+                2,
+                [cube(&[(0, true), (1, false)]), cube(&[(0, false), (1, true)])],
+            ),
+        );
+        net.add_po("y", y);
+        let lib = Library::mcnc_like();
+        let mapped = map_network(&net, &lib);
+        assert_eq!(mapped.num_gates(), 1);
+        assert_eq!(mapped.cell_histogram()["xor2"], 1);
+        co_simulate(&net, &mapped, 8);
+    }
+
+    #[test]
+    fn nand_phase_match_uses_cheap_cell() {
+        // y = (a·b)' should map to one nand2, not and2 + inv.
+        let mut net = Network::new("n");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let y = net.add_node(
+            "y",
+            vec![a, b],
+            Cover::from_cubes(2, [cube(&[(0, false)]), cube(&[(1, false)])]),
+        );
+        net.add_po("y", y);
+        let mapped = map_network(&net, &Library::mcnc_like());
+        assert_eq!(mapped.cell_histogram()["nand2"], 1);
+        assert_eq!(mapped.num_gates(), 1);
+        co_simulate(&net, &mapped, 8);
+    }
+
+    #[test]
+    fn inverters_are_shared() {
+        // Two nodes both needing a' must share one inverter.
+        let mut net = Network::new("s");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let c = net.add_pi("c");
+        // Use 3-fanin nodes with no single-cell match to force decomposition.
+        let f1 = net.add_node(
+            "f1",
+            vec![a, b, c],
+            Cover::from_cubes(
+                3,
+                [cube(&[(0, false), (1, true)]), cube(&[(1, true), (2, true)]), cube(&[(0, false), (2, false)])],
+            ),
+        );
+        let f2 = net.add_node(
+            "f2",
+            vec![a, b, c],
+            Cover::from_cubes(
+                3,
+                [cube(&[(0, false), (2, true)]), cube(&[(1, false), (2, false)]), cube(&[(0, false), (1, false)])],
+            ),
+        );
+        net.add_po("f1", f1);
+        net.add_po("f2", f2);
+        let mapped = map_network(&net, &Library::mcnc_like());
+        let inv_count = mapped.cell_histogram().get("inv").copied().unwrap_or(0);
+        assert!(inv_count <= 3, "a', b', c' should be shared: {inv_count}");
+        co_simulate(&net, &mapped, 16);
+    }
+
+    #[test]
+    fn rca_maps_and_cosimulates() {
+        let net = ripple_carry_adder(8);
+        let lib = Library::mcnc_like();
+        let mapped = map_network(&net, &lib);
+        assert!(mapped.area() > 0.0);
+        assert!(mapped.delay() > 0.0);
+        co_simulate(&net, &mapped, 60);
+        // Full adders are xor/maj cells: expect plenty of both.
+        let h = mapped.cell_histogram();
+        assert!(h.get("xor2").copied().unwrap_or(0) >= 8, "{h:?}");
+        assert!(h.get("maj3").copied().unwrap_or(0) >= 7, "{h:?}");
+    }
+
+    #[test]
+    fn multiplier_maps_and_cosimulates() {
+        let net = wallace_tree_multiplier(4);
+        let mapped = map_network(&net, &Library::mcnc_like());
+        co_simulate(&net, &mapped, 60);
+    }
+
+    #[test]
+    fn delay_reflects_logic_depth() {
+        let deep = ripple_carry_adder(16);
+        let shallow = ripple_carry_adder(2);
+        let lib = Library::mcnc_like();
+        assert!(
+            map_network(&deep, &lib).delay() > map_network(&shallow, &lib).delay()
+        );
+    }
+
+    #[test]
+    fn constants_map_without_gates() {
+        let mut net = Network::new("k");
+        let _a = net.add_pi("a");
+        let k = net.add_constant("k", true);
+        net.add_po("k", k);
+        let mapped = map_network(&net, &Library::mcnc_like());
+        assert_eq!(mapped.num_gates(), 0);
+        assert_eq!(mapped.eval(&[false]), vec![true]);
+    }
+}

@@ -1,0 +1,469 @@
+//! BLIF (Berkeley Logic Interchange Format) import and export.
+//!
+//! The supported subset is the combinational core used by SIS/MVSIS/ABC:
+//! `.model`, `.inputs`, `.outputs`, `.names` (single-output covers with
+//! `0/1/-` input plane and `0`/`1` output plane) and `.end`. Latches and
+//! subcircuits are rejected.
+
+use crate::{Network, NetworkError, NodeId};
+use als_logic::{Cover, Cube};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Parses a network from BLIF text.
+///
+/// `.names` blocks whose output plane is `0` define the complement: the
+/// parsed cover is complemented before insertion, as SIS does.
+///
+/// # Errors
+///
+/// Returns [`NetworkError::ParseBlif`] on malformed input and
+/// [`NetworkError::UndefinedSignal`] if a referenced signal has no driver.
+///
+/// # Example
+///
+/// ```
+/// use als_network::blif;
+///
+/// let text = "\
+/// .model and2
+/// .inputs a b
+/// .outputs y
+/// .names a b y
+/// 11 1
+/// .end
+/// ";
+/// let net = blif::parse(text)?;
+/// assert_eq!(net.eval(&[true, true]), vec![true]);
+/// assert_eq!(net.eval(&[true, false]), vec![false]);
+/// # Ok::<(), als_network::NetworkError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Network, NetworkError> {
+    // First pass: join continuation lines and strip comments.
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    for (ln, raw) in text.lines().enumerate() {
+        let no_comment = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        let trimmed = no_comment.trim_end();
+        if pending.is_empty() {
+            pending_line = ln + 1;
+        }
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+            continue;
+        }
+        pending.push_str(trimmed);
+        let line = std::mem::take(&mut pending);
+        if !line.trim().is_empty() {
+            lines.push((pending_line, line));
+        }
+    }
+
+    let mut model_name = String::from("unnamed");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    // (line, output name, input names, cube lines)
+    struct NamesBlock {
+        line: usize,
+        output: String,
+        inputs: Vec<String>,
+        cubes: Vec<String>,
+    }
+    let mut blocks: Vec<NamesBlock> = Vec::new();
+
+    let mut i = 0;
+    while i < lines.len() {
+        let (ln, line) = &lines[i];
+        let mut toks = line.split_whitespace();
+        let head = toks.next().expect("blank lines were filtered");
+        match head {
+            ".model" => {
+                if let Some(n) = toks.next() {
+                    model_name = n.to_string();
+                }
+            }
+            ".inputs" => inputs.extend(toks.map(str::to_string)),
+            ".outputs" => outputs.extend(toks.map(str::to_string)),
+            ".names" => {
+                let mut names: Vec<String> = toks.map(str::to_string).collect();
+                let output = names.pop().ok_or_else(|| NetworkError::ParseBlif {
+                    line: *ln,
+                    message: ".names needs at least an output".into(),
+                })?;
+                let mut cubes = Vec::new();
+                while i + 1 < lines.len() && !lines[i + 1].1.trim_start().starts_with('.') {
+                    i += 1;
+                    cubes.push(lines[i].1.trim().to_string());
+                }
+                blocks.push(NamesBlock {
+                    line: *ln,
+                    output,
+                    inputs: names,
+                    cubes,
+                });
+            }
+            ".end" => break,
+            ".latch" | ".subckt" | ".gate" => {
+                return Err(NetworkError::ParseBlif {
+                    line: *ln,
+                    message: format!("unsupported construct `{head}` (combinational BLIF only)"),
+                })
+            }
+            other => {
+                return Err(NetworkError::ParseBlif {
+                    line: *ln,
+                    message: format!("unknown directive `{other}`"),
+                })
+            }
+        }
+        i += 1;
+    }
+
+    let mut net = Network::new(model_name);
+    let mut by_name: HashMap<String, NodeId> = HashMap::new();
+    for name in &inputs {
+        let id = net.add_pi(name.clone());
+        by_name.insert(name.clone(), id);
+    }
+
+    // Insert blocks in dependency order (repeatedly adding ready blocks).
+    let mut remaining: Vec<NamesBlock> = blocks;
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        let mut next_round = Vec::new();
+        for block in remaining {
+            if block.inputs.iter().all(|n| by_name.contains_key(n)) {
+                let id = insert_block(
+                    &mut net,
+                    &by_name,
+                    block.line,
+                    &block.output,
+                    &block.inputs,
+                    &block.cubes,
+                )?;
+                by_name.insert(block.output.clone(), id);
+            } else {
+                next_round.push(block);
+            }
+        }
+        remaining = next_round;
+        if remaining.len() == before {
+            let name = remaining[0]
+                .inputs
+                .iter()
+                .find(|n| !by_name.contains_key(*n))
+                .expect("a missing input exists")
+                .clone();
+            return Err(NetworkError::UndefinedSignal { name });
+        }
+    }
+
+    for out in &outputs {
+        let id = *by_name
+            .get(out)
+            .ok_or_else(|| NetworkError::UndefinedSignal { name: out.clone() })?;
+        net.add_po(out.clone(), id);
+    }
+    Ok(net)
+}
+
+fn insert_block(
+    net: &mut Network,
+    by_name: &HashMap<String, NodeId>,
+    line: usize,
+    output: &str,
+    input_names: &[String],
+    cube_lines: &[String],
+) -> Result<NodeId, NetworkError> {
+    let fanins: Vec<NodeId> = input_names.iter().map(|n| by_name[n]).collect();
+    let nv = fanins.len();
+    let mut on = Cover::new(nv);
+    let mut off = Cover::new(nv);
+    for cl in cube_lines {
+        let parts: Vec<&str> = cl.split_whitespace().collect();
+        let (plane, value) = match (nv, parts.len()) {
+            (0, 1) => ("", parts[0]),
+            (_, 2) => (parts[0], parts[1]),
+            _ => {
+                return Err(NetworkError::ParseBlif {
+                    line,
+                    message: format!("malformed cube line `{cl}`"),
+                })
+            }
+        };
+        if plane.len() != nv {
+            return Err(NetworkError::ParseBlif {
+                line,
+                message: format!("cube `{plane}` has wrong width (expected {nv})"),
+            });
+        }
+        let mut lits = Vec::new();
+        for (v, ch) in plane.chars().enumerate() {
+            match ch {
+                '1' => lits.push((v, true)),
+                '0' => lits.push((v, false)),
+                '-' => {}
+                other => {
+                    return Err(NetworkError::ParseBlif {
+                        line,
+                        message: format!("bad cube character `{other}`"),
+                    })
+                }
+            }
+        }
+        let cube = Cube::from_literals(&lits).expect("one phase per column");
+        match value {
+            "1" => on.push(cube),
+            "0" => off.push(cube),
+            other => {
+                return Err(NetworkError::ParseBlif {
+                    line,
+                    message: format!("bad output value `{other}`"),
+                })
+            }
+        }
+    }
+    if !on.is_empty() && !off.is_empty() {
+        return Err(NetworkError::ParseBlif {
+            line,
+            message: "mixed on-set and off-set cubes in one .names block".into(),
+        });
+    }
+    let cover = if !off.is_empty() {
+        // Off-set specification: complement.
+        als_logic::isop::isop_exact(&!&off.to_truth_table())
+    } else {
+        on
+    };
+    Ok(net.add_node(output.to_string(), fanins, cover))
+}
+
+/// Serializes a network to BLIF text. Constants are emitted as `.names`
+/// blocks with no inputs.
+pub fn write(net: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", net.name());
+    let _ = write!(out, ".inputs");
+    for &pi in net.pis() {
+        let _ = write!(out, " {}", net.node(pi).name());
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, ".outputs");
+    for (name, _) in net.pos() {
+        let _ = write!(out, " {name}");
+    }
+    let _ = writeln!(out);
+    for id in net.topo_order() {
+        let node = net.node(id);
+        if node.is_pi() {
+            continue;
+        }
+        let _ = write!(out, ".names");
+        for &f in node.fanins() {
+            let _ = write!(out, " {}", net.node(f).name());
+        }
+        let _ = writeln!(out, " {}", node.name());
+        let nv = node.fanins().len();
+        if node.cover().is_empty() {
+            // Constant 0: no cube lines at all.
+            continue;
+        }
+        for cube in node.cover().cubes() {
+            let mut plane = String::with_capacity(nv);
+            for v in 0..nv {
+                plane.push(match cube.phase(v) {
+                    Some(true) => '1',
+                    Some(false) => '0',
+                    None => '-',
+                });
+            }
+            if nv == 0 {
+                let _ = writeln!(out, "1");
+            } else {
+                let _ = writeln!(out, "{plane} 1");
+            }
+        }
+    }
+    // PO aliases: if a PO name differs from its driver's name, emit a buffer.
+    for (name, driver) in net.pos() {
+        if net.node(*driver).name() != name {
+            let _ = writeln!(out, ".names {} {}", net.node(*driver).name(), name);
+            let _ = writeln!(out, "1 1");
+        }
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_logic::{Cover, Cube};
+
+    const FULL_ADDER: &str = "\
+.model fa
+.inputs a b cin
+.outputs s cout
+.names a b cin s
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+";
+
+    #[test]
+    fn parse_full_adder() {
+        let net = parse(FULL_ADDER).unwrap();
+        assert_eq!(net.num_pis(), 3);
+        assert_eq!(net.num_pos(), 2);
+        for m in 0..8u32 {
+            let a = m & 1 == 1;
+            let b = m >> 1 & 1 == 1;
+            let c = m >> 2 & 1 == 1;
+            let v = net.eval(&[a, b, c]);
+            let total = u32::from(a) + u32::from(b) + u32::from(c);
+            assert_eq!(v[0], total & 1 == 1, "sum at {m}");
+            assert_eq!(v[1], total >= 2, "cout at {m}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let net = parse(FULL_ADDER).unwrap();
+        let text = write(&net);
+        let net2 = parse(&text).unwrap();
+        for m in 0..8u32 {
+            let pis: Vec<bool> = (0..3).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(net.eval(&pis), net2.eval(&pis));
+        }
+    }
+
+    #[test]
+    fn offset_block_complements() {
+        // y = NOT(a AND b) given via off-set.
+        let text = "\
+.model nand
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+";
+        let net = parse(text).unwrap();
+        assert_eq!(net.eval(&[true, true]), vec![false]);
+        assert_eq!(net.eval(&[true, false]), vec![true]);
+    }
+
+    #[test]
+    fn out_of_order_blocks() {
+        let text = "\
+.model ooo
+.inputs a
+.outputs y
+.names t y
+1 1
+.names a t
+0 1
+.end
+";
+        let net = parse(text).unwrap();
+        assert_eq!(net.eval(&[false]), vec![true]);
+        assert_eq!(net.eval(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn constant_block() {
+        let text = "\
+.model k
+.inputs a
+.outputs y
+.names y
+1
+.end
+";
+        let net = parse(text).unwrap();
+        assert_eq!(net.eval(&[false]), vec![true]);
+    }
+
+    #[test]
+    fn comments_and_continuations() {
+        let text = ".model c # a comment\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let net = parse(text).unwrap();
+        assert_eq!(net.num_pis(), 2);
+        assert_eq!(net.eval(&[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn constant_zero_roundtrip() {
+        // A node with no cubes is constant 0; write emits an empty .names
+        // block and parse must restore it.
+        let mut net = crate::Network::new("k0");
+        let _a = net.add_pi("a");
+        let k = net.add_constant("k", false);
+        net.add_po("y", k);
+        let text = write(&net);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.eval(&[false]), vec![false]);
+        assert_eq!(back.eval(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn duplicate_po_names_with_distinct_drivers() {
+        // Two POs may share a driver; aliases are emitted as buffers.
+        let mut net = crate::Network::new("alias");
+        let a = net.add_pi("a");
+        let g = net.add_node("g", vec![a], Cover::from_cubes(1, [Cube::from_literals(&[(0, false)]).unwrap()]));
+        net.add_po("y1", g);
+        net.add_po("y2", g);
+        let text = write(&net);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.num_pos(), 2);
+        assert_eq!(back.eval(&[true]), vec![false, false]);
+        assert_eq!(back.eval(&[false]), vec![true, true]);
+    }
+
+    #[test]
+    fn po_fed_directly_by_pi() {
+        let mut net = crate::Network::new("wire");
+        let a = net.add_pi("a");
+        let b = net.add_node("buf", vec![a], Cover::from_cubes(1, [Cube::from_literals(&[(0, true)]).unwrap()]));
+        net.add_po("y", b);
+        let text = write(&net);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.eval(&[true]), vec![true]);
+    }
+
+    #[test]
+    fn rejects_latch() {
+        let text = ".model l\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n";
+        assert!(matches!(
+            parse(text),
+            Err(NetworkError::ParseBlif { .. })
+        ));
+    }
+
+    #[test]
+    fn undefined_signal_detected() {
+        let text = ".model u\n.inputs a\n.outputs y\n.names ghost y\n1 1\n.end\n";
+        assert!(matches!(
+            parse(text),
+            Err(NetworkError::UndefinedSignal { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_cube_width_reported() {
+        let text = ".model w\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n";
+        assert!(matches!(parse(text), Err(NetworkError::ParseBlif { .. })));
+    }
+}

@@ -1,0 +1,106 @@
+//! Graphviz DOT export for visual debugging of small networks.
+
+use crate::{Network, NodeKind};
+use std::fmt::Write as _;
+
+/// Renders the network as a Graphviz digraph: PIs as boxes, internal nodes
+/// as ellipses labelled with their factored forms, POs as double circles.
+///
+/// # Example
+///
+/// ```
+/// use als_network::{dot, Network};
+/// use als_logic::{Cover, Cube};
+///
+/// let mut net = Network::new("tiny");
+/// let a = net.add_pi("a");
+/// let y = net.add_node("y", vec![a],
+///     Cover::from_cubes(1, [Cube::from_literals(&[(0, false)])?]));
+/// net.add_po("out", y);
+/// let text = dot::write_dot(&net);
+/// assert!(text.contains("digraph tiny"));
+/// assert!(text.contains("a -> y"));
+/// # Ok::<(), als_logic::LogicError>(())
+/// ```
+pub fn write_dot(net: &Network) -> String {
+    let sanitize = |name: &str| -> String {
+        name.chars()
+            .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+            .collect()
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(net.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    for id in net.node_ids() {
+        let node = net.node(id);
+        let name = sanitize(node.name());
+        match node.kind() {
+            NodeKind::Pi => {
+                let _ = writeln!(out, "  {name} [shape=box];");
+            }
+            NodeKind::Internal => {
+                let _ = writeln!(
+                    out,
+                    "  {name} [shape=ellipse, label=\"{}\\n{}\"];",
+                    node.name(),
+                    node.expr()
+                );
+            }
+        }
+    }
+    for id in net.node_ids() {
+        let node = net.node(id);
+        let to = sanitize(node.name());
+        for &f in node.fanins() {
+            let _ = writeln!(out, "  {} -> {to};", sanitize(net.node(f).name()));
+        }
+    }
+    for (po_name, driver) in net.pos() {
+        let pn = format!("po_{}", sanitize(po_name));
+        let _ = writeln!(out, "  {pn} [shape=doublecircle, label=\"{po_name}\"];");
+        let _ = writeln!(out, "  {} -> {pn};", sanitize(net.node(*driver).name()));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_logic::{Cover, Cube};
+
+    #[test]
+    fn dot_structure() {
+        let mut net = Network::new("t");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let y = net.add_node(
+            "y",
+            vec![a, b],
+            Cover::from_cubes(
+                2,
+                [Cube::from_literals(&[(0, true), (1, true)]).unwrap()],
+            ),
+        );
+        net.add_po("f", y);
+        let text = write_dot(&net);
+        assert!(text.starts_with("digraph t {"));
+        assert!(text.contains("a [shape=box];"));
+        assert!(text.contains("a -> y;"));
+        assert!(text.contains("b -> y;"));
+        assert!(text.contains("po_f [shape=doublecircle"));
+        assert!(text.contains("y -> po_f;"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn odd_characters_sanitized() {
+        let mut net = Network::new("a-b.c");
+        let a = net.add_pi("in[0]");
+        net.add_po("out.x", a);
+        let text = write_dot(&net);
+        assert!(text.contains("digraph a_b_c"));
+        assert!(text.contains("in_0_ [shape=box];"));
+        assert!(text.contains("po_out_x"));
+    }
+}

@@ -1,0 +1,76 @@
+use crate::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for network construction and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// A node id referred to a removed or never-created node.
+    InvalidNode {
+        /// The offending id.
+        node: NodeId,
+    },
+    /// Adding an edge would create a combinational cycle.
+    WouldCycle {
+        /// The node whose fanin list would close the cycle.
+        node: NodeId,
+    },
+    /// A BLIF construct could not be parsed.
+    ParseBlif {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A referenced signal name was never defined.
+    UndefinedSignal {
+        /// The missing name.
+        name: String,
+    },
+    /// A structural consistency check failed.
+    Inconsistent {
+        /// Description of the violated invariant.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::InvalidNode { node } => write!(f, "invalid node id {node}"),
+            NetworkError::WouldCycle { node } => {
+                write!(f, "edge into {node} would create a combinational cycle")
+            }
+            NetworkError::ParseBlif { line, message } => {
+                write!(f, "blif parse error at line {line}: {message}")
+            }
+            NetworkError::UndefinedSignal { name } => {
+                write!(f, "undefined signal `{name}`")
+            }
+            NetworkError::Inconsistent { message } => {
+                write!(f, "network inconsistency: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetworkError::UndefinedSignal {
+            name: "foo".into(),
+        };
+        assert!(e.to_string().contains("foo"));
+        let e = NetworkError::ParseBlif {
+            line: 7,
+            message: "bad cube".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Multi-level Boolean-network substrate for the ALS stack.
+//!
+//! A [`Network`] is a DAG of nodes in the MIS/SIS style: every internal node
+//! carries its local function both as an SOP [`Cover`](als_logic::Cover) and
+//! as a factored-form [`Expr`](als_logic::Expr) over its immediate fanins.
+//! The factored-form literal count is the technology-independent area
+//! estimate the DAC'16 paper optimizes.
+//!
+//! The crate provides:
+//!
+//! * node/arena management with fanin/fanout bookkeeping ([`Network`]);
+//! * topological traversal, transitive fanin/fanout cones, logic levels;
+//! * functional evaluation (for tests; bulk simulation lives in `als-sim`);
+//! * structural clean-up: [`Network::sweep`], constant propagation,
+//!   node substitution;
+//! * BLIF import/export ([`blif`]);
+//! * consistency checking ([`Network::check`]).
+//!
+//! # Example
+//!
+//! ```
+//! use als_network::Network;
+//! use als_logic::{Cover, Cube};
+//!
+//! let mut net = Network::new("half_adder");
+//! let a = net.add_pi("a");
+//! let b = net.add_pi("b");
+//! // sum = a ⊕ b
+//! let sum = net.add_node(
+//!     "sum",
+//!     vec![a, b],
+//!     Cover::from_cubes(2, [
+//!         Cube::from_literals(&[(0, true), (1, false)])?,
+//!         Cube::from_literals(&[(0, false), (1, true)])?,
+//!     ]),
+//! );
+//! // carry = a·b
+//! let carry = net.add_node(
+//!     "carry",
+//!     vec![a, b],
+//!     Cover::from_cubes(2, [Cube::from_literals(&[(0, true), (1, true)])?]),
+//! );
+//! net.add_po("sum", sum);
+//! net.add_po("carry", carry);
+//! assert_eq!(net.eval(&[true, true]), vec![false, true]);
+//! assert_eq!(net.literal_count(), 6);
+//! # Ok::<(), als_logic::LogicError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod network;
+mod node;
+mod ops;
+
+pub mod blif;
+pub mod dot;
+
+pub use error::NetworkError;
+pub use network::{Network, NetworkStats};
+pub use node::{Node, NodeId, NodeKind};

@@ -1,0 +1,111 @@
+use als_logic::{Cover, Expr};
+use std::fmt;
+
+/// A handle to a node inside a [`Network`](crate::Network).
+///
+/// Ids are stable for the lifetime of the node; removed nodes leave
+/// tombstones, so ids are never reused within one network.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of the node in the network's arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The role of a node within the network.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NodeKind {
+    /// A primary input; has no local function.
+    Pi,
+    /// An internal logic node with a local function over its fanins.
+    Internal,
+}
+
+/// A node of a multi-level Boolean network.
+///
+/// Internal nodes carry their local function twice, exactly as in MIS/SIS:
+/// as an SOP [`Cover`] and as a factored-form [`Expr`], both over the node's
+/// fanin list (local variable `i` is `fanins[i]`). The two representations
+/// are kept functionally consistent by [`Network`](crate::Network) update
+/// methods.
+#[derive(Clone, Debug)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) kind: NodeKind,
+    pub(crate) fanins: Vec<NodeId>,
+    pub(crate) cover: Cover,
+    pub(crate) expr: Expr,
+}
+
+impl Node {
+    /// The node's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's kind.
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// Whether this node is a primary input.
+    pub fn is_pi(&self) -> bool {
+        self.kind == NodeKind::Pi
+    }
+
+    /// The immediate fanins; local variable `i` of the node function refers
+    /// to `fanins()[i]`.
+    pub fn fanins(&self) -> &[NodeId] {
+        &self.fanins
+    }
+
+    /// The SOP form of the local function (over the fanin variables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a primary input.
+    pub fn cover(&self) -> &Cover {
+        assert!(!self.is_pi(), "primary inputs have no local function");
+        &self.cover
+    }
+
+    /// The factored form of the local function (over the fanin variables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a primary input.
+    pub fn expr(&self) -> &Expr {
+        assert!(!self.is_pi(), "primary inputs have no local function");
+        &self.expr
+    }
+
+    /// The factored-form literal count — the area estimate of this node.
+    /// Zero for primary inputs and constants.
+    pub fn literal_count(&self) -> usize {
+        match self.kind {
+            NodeKind::Pi => 0,
+            NodeKind::Internal => self.expr.literal_count(),
+        }
+    }
+
+    /// Whether the node computes a constant function.
+    pub fn is_constant(&self) -> bool {
+        self.kind == NodeKind::Internal && self.expr.as_constant().is_some()
+    }
+}

@@ -1,0 +1,248 @@
+//! Classical structural operations in the SIS tradition: node collapsing
+//! and the `eliminate` pass.
+
+use crate::{Network, NodeId, NodeKind};
+use als_logic::factor::factor_cover;
+use als_logic::isop::isop_exact;
+use als_logic::{TruthTable, MAX_VARS};
+
+impl Network {
+    /// Collapses node `n` into one fanout `user`: `user`'s function is
+    /// re-expressed over `(user.fanins \ {n}) ∪ n.fanins` with `n`
+    /// substituted by its local function. `n` itself is left in place (it
+    /// may have other fanouts); run [`Network::sweep`] afterwards.
+    ///
+    /// Returns `false` (leaving the network untouched) when the merged
+    /// support would exceed [`MAX_VARS`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not an internal node, or `user` is not a fanout of
+    /// `n`.
+    pub fn collapse_into(&mut self, n: NodeId, user: NodeId) -> bool {
+        assert_eq!(self.node(n).kind(), NodeKind::Internal, "cannot collapse a PI");
+        let user_node = self.node(user);
+        let var_of_n = user_node
+            .fanins()
+            .iter()
+            .position(|&f| f == n)
+            .expect("user must be a fanout of n");
+
+        let n_fanins = self.node(n).fanins().to_vec();
+        let user_fanins = user_node.fanins().to_vec();
+        // Merged fanin list: user's (minus n) first, then n's new ones.
+        let mut merged: Vec<NodeId> = user_fanins
+            .iter()
+            .copied()
+            .filter(|&f| f != n)
+            .collect();
+        for &f in &n_fanins {
+            if !merged.contains(&f) {
+                merged.push(f);
+            }
+        }
+        if merged.len() > MAX_VARS {
+            return false;
+        }
+
+        let n_cover = self.node(n).cover().clone();
+        let user_cover = self.node(user).cover().clone();
+        let position = |f: NodeId| merged.iter().position(|&g| g == f).expect("merged");
+
+        let tt = TruthTable::from_fn(merged.len(), |m| {
+            let n_val = {
+                let mut local = 0u64;
+                for (i, &f) in n_fanins.iter().enumerate() {
+                    if m >> position(f) & 1 == 1 {
+                        local |= 1 << i;
+                    }
+                }
+                n_cover.eval(local)
+            };
+            let mut local = 0u64;
+            for (i, &f) in user_fanins.iter().enumerate() {
+                let bit = if i == var_of_n {
+                    n_val
+                } else {
+                    m >> position(f) & 1 == 1
+                };
+                if bit {
+                    local |= 1 << i;
+                }
+            }
+            user_cover.eval(local)
+        })
+        .expect("merged support bounded by MAX_VARS");
+
+        let cover = isop_exact(&tt);
+        let expr = factor_cover(&cover);
+        let node = self.node_mut(user);
+        node.fanins = merged;
+        node.cover = cover;
+        node.expr = expr;
+        // Normalize: drop fanins the minimized function does not mention.
+        let packed = self.node(user).expr.clone();
+        self.replace_expr(user, packed);
+        true
+    }
+
+    /// The SIS `eliminate` pass: collapses every internal node whose
+    /// *value* — the literal cost its existence saves,
+    /// `lits·fanouts − lits − fanouts` — is below `threshold`, then sweeps.
+    /// Nodes driving primary outputs are kept. Returns the number of nodes
+    /// eliminated.
+    ///
+    /// `eliminate(-1)` removes only nodes whose sharing is free to undo
+    /// (single-fanout buffers and the like); larger thresholds collapse more
+    /// aggressively.
+    pub fn eliminate(&mut self, threshold: i64) -> usize {
+        let mut eliminated = 0usize;
+        loop {
+            let po_drivers: Vec<NodeId> = self.pos().iter().map(|(_, d)| *d).collect();
+            let fanouts = self.fanouts();
+            let candidate = self.internal_ids().find(|&id| {
+                if po_drivers.contains(&id) || self.node(id).is_constant() {
+                    return false;
+                }
+                let users = &fanouts[id.index()];
+                if users.is_empty() {
+                    return false;
+                }
+                let lits = self.node(id).literal_count() as i64;
+                let n_out = users.len() as i64;
+                let value = lits * n_out - lits - n_out;
+                value < threshold
+            });
+            let Some(id) = candidate else { break };
+            let users = fanouts[id.index()].clone();
+            let mut all_ok = true;
+            for user in users {
+                if !self.collapse_into(id, user) {
+                    all_ok = false;
+                }
+            }
+            if !all_ok {
+                // Support cap hit: leave the remaining structure as is and
+                // stop trying this node (it still has fanouts, so sweep
+                // keeps it).
+                break;
+            }
+            self.sweep();
+            eliminated += 1;
+        }
+        eliminated
+    }
+
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut crate::Node {
+        self.nodes_mut(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_logic::{Cover, Cube};
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits).unwrap()
+    }
+
+    fn buffer_chain() -> (Network, Vec<NodeId>) {
+        // a → inv → inv → po (double inverter: collapses to a buffer).
+        let mut net = Network::new("chain");
+        let a = net.add_pi("a");
+        let i1 = net.add_node("i1", vec![a], Cover::from_cubes(1, [cube(&[(0, false)])]));
+        let i2 = net.add_node("i2", vec![i1], Cover::from_cubes(1, [cube(&[(0, false)])]));
+        net.add_po("y", i2);
+        (net, vec![a, i1, i2])
+    }
+
+    #[test]
+    fn collapse_double_inverter() {
+        let (mut net, ids) = buffer_chain();
+        assert!(net.collapse_into(ids[1], ids[2]));
+        net.sweep();
+        net.check().unwrap();
+        assert_eq!(net.eval(&[true]), vec![true]);
+        assert_eq!(net.eval(&[false]), vec![false]);
+        assert!(!net.is_live(ids[1]), "collapsed node swept");
+    }
+
+    #[test]
+    fn eliminate_removes_cheap_nodes() {
+        let (mut net, _) = buffer_chain();
+        let before = net.eval(&[true]);
+        let removed = net.eliminate(0);
+        assert!(removed >= 1);
+        net.check().unwrap();
+        assert_eq!(net.eval(&[true]), before);
+    }
+
+    #[test]
+    fn eliminate_preserves_function_on_structured_logic() {
+        // f = (a·b)·(c·d) built with intermediate 2-AND nodes.
+        let mut net = Network::new("t");
+        let pis: Vec<NodeId> = (0..4).map(|i| net.add_pi(format!("x{i}"))).collect();
+        let g1 = net.add_node(
+            "g1",
+            vec![pis[0], pis[1]],
+            Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+        );
+        let g2 = net.add_node(
+            "g2",
+            vec![pis[2], pis[3]],
+            Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+        );
+        let top = net.add_node(
+            "top",
+            vec![g1, g2],
+            Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+        );
+        net.add_po("f", top);
+        let reference: Vec<Vec<bool>> = (0..16u32)
+            .map(|m| net.eval(&(0..4).map(|i| m >> i & 1 == 1).collect::<Vec<_>>()))
+            .collect();
+        net.eliminate(10); // aggressive: collapse everything into `top`
+        net.check().unwrap();
+        for (m, expect) in reference.iter().enumerate() {
+            let pis: Vec<bool> = (0..4).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(&net.eval(&pis), expect, "minterm {m}");
+        }
+        assert_eq!(net.num_internal(), 1, "all logic folded into the root");
+    }
+
+    #[test]
+    fn po_drivers_are_never_eliminated() {
+        let (mut net, ids) = buffer_chain();
+        net.eliminate(1000);
+        assert!(net.is_live(ids[2]), "PO driver must survive");
+        net.check().unwrap();
+    }
+
+    #[test]
+    fn collapse_with_shared_fanins() {
+        // user = n OR b where n = a AND b: shared fanin b must merge.
+        let mut net = Network::new("s");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let n = net.add_node(
+            "n",
+            vec![a, b],
+            Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+        );
+        let user = net.add_node(
+            "user",
+            vec![n, b],
+            Cover::from_cubes(2, [cube(&[(0, true)]), cube(&[(1, true)])]),
+        );
+        net.add_po("y", user);
+        assert!(net.collapse_into(n, user));
+        net.sweep();
+        net.check().unwrap();
+        // y = ab + b = b.
+        for m in 0..4u32 {
+            let pis = [m & 1 == 1, m >> 1 & 1 == 1];
+            assert_eq!(net.eval(&pis), vec![pis[1]], "{m:02b}");
+        }
+    }
+}

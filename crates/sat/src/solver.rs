@@ -1,0 +1,624 @@
+use std::fmt;
+
+/// A propositional variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(u32);
+
+impl Var {
+    /// The variable's 0-based index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    #[inline]
+    pub fn pos(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    #[inline]
+    pub fn neg(var: Var) -> Lit {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// A literal of `var` with the given sign (`true` = positive).
+    #[inline]
+    pub fn with_sign(var: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The literal's variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is positive.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    #[inline]
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}v{}", if self.is_positive() { "" } else { "¬" }, self.0 >> 1)
+    }
+}
+
+/// The outcome of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// A satisfying assignment was found; read it with [`Solver::value`].
+    Sat,
+    /// The instance (under the given assumptions, if any) is unsatisfiable.
+    Unsat,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+type ClauseRef = usize;
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    clause: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is already
+    /// true the clause needs no work.
+    blocker: Lit,
+}
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>, // indexed by literal code
+    assign: Vec<LBool>,         // indexed by var
+    phase: Vec<bool>,           // saved phases
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>, // decision-level boundaries
+    qhead: usize,
+    ok: bool, // false once a top-level conflict is found
+    conflicts: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            var_inc: 1.0,
+            ok: true,
+            ..Default::default()
+        }
+    }
+
+    /// Introduces a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(u32::try_from(self.assign.len()).expect("variable overflow"));
+        self.assign.push(LBool::Undef);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// The number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// The number of clauses added (original plus learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a clause. Returns `false` if the solver is already in an
+    /// unsatisfiable state after the addition (e.g. conflicting unit
+    /// clauses); further solving will report [`SatResult::Unsat`].
+    ///
+    /// Duplicate literals are removed and tautological clauses (containing
+    /// `l` and `¬l`) are silently accepted as no-ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal refers to a variable not created by this solver.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.backtrack_to(0);
+        let mut c: Vec<Lit> = lits.to_vec();
+        for l in &c {
+            assert!(l.var().index() < self.num_vars(), "unknown variable {:?}", l.var());
+        }
+        c.sort();
+        c.dedup();
+        // Tautology?
+        if c.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return true;
+        }
+        // Remove literals already false at level 0; detect satisfied clauses.
+        c.retain(|&l| self.lit_value(l) != LBool::False || self.level[l.var().index()] != 0);
+        if c.iter().any(|&l| self.lit_value(l) == LBool::True) {
+            return true;
+        }
+        match c.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                if self.lit_value(c[0]) == LBool::Undef {
+                    self.enqueue(c[0], None);
+                    self.ok = self.propagate().is_none();
+                }
+                self.ok
+            }
+            _ => {
+                let cr = self.clauses.len();
+                self.watch(c[0], c[1], cr);
+                self.watch(c[1], c[0], cr);
+                self.clauses.push(Clause { lits: c });
+                true
+            }
+        }
+    }
+
+    fn watch(&mut self, lit: Lit, blocker: Lit, clause: ClauseRef) {
+        self.watches[(!lit).code()].push(Watcher { clause, blocker });
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        match self.assign[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if l.is_positive() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    /// The model value of `var` after a [`SatResult::Sat`] outcome; `None`
+    /// before solving or after an unsatisfiable result.
+    pub fn value(&self, var: Var) -> Option<bool> {
+        match self.assign[var.index()] {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        let v = l.var().index();
+        debug_assert_eq!(self.assign[v], LBool::Undef);
+        self.assign[v] = if l.is_positive() {
+            LBool::True
+        } else {
+            LBool::False
+        };
+        self.phase[v] = l.is_positive();
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            // Watchers keyed by the literal that became FALSE: ¬p.
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let w = ws[i];
+                if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cr = w.clause;
+                // Normalize: watched literals are lits[0] and lits[1]; put the
+                // false one (¬p) at position 1.
+                let false_lit = !p;
+                {
+                    let clause = &mut self.clauses[cr];
+                    if clause.lits[0] == false_lit {
+                        clause.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(clause.lits[1], false_lit);
+                }
+                let first = self.clauses[cr].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[i] = Watcher {
+                        clause: cr,
+                        blocker: first,
+                    };
+                    i += 1;
+                    continue;
+                }
+                // Find a new literal to watch.
+                let mut found = None;
+                for k in 2..self.clauses[cr].lits.len() {
+                    if self.lit_value(self.clauses[cr].lits[k]) != LBool::False {
+                        found = Some(k);
+                        break;
+                    }
+                }
+                if let Some(k) = found {
+                    let lk = self.clauses[cr].lits[k];
+                    self.clauses[cr].lits.swap(1, k);
+                    self.watches[(!lk).code()].push(Watcher {
+                        clause: cr,
+                        blocker: first,
+                    });
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(first) == LBool::False {
+                    // Conflict: restore remaining watchers and report.
+                    self.watches[p.code()].extend_from_slice(&ws[i..]);
+                    ws.truncate(i);
+                    self.watches[p.code()].extend_from_slice(&ws);
+                    self.qhead = self.trail.len();
+                    return Some(cr);
+                }
+                self.enqueue(first, Some(cr));
+                i += 1;
+            }
+            self.watches[p.code()].extend_from_slice(&ws);
+        }
+        None
+    }
+
+    fn bump(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis; returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut idx = self.trail.len();
+
+        loop {
+            let start = usize::from(p.is_some());
+            let lits = self.clauses[confl].lits.clone();
+            for &q in &lits[start..] {
+                let v = q.var().index();
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump(v);
+                    if self.level[v] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail back to the next seen literal at this level.
+            loop {
+                idx -= 1;
+                if seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[idx];
+            let v = lit.var().index();
+            seen[v] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(lit);
+                break;
+            }
+            confl = self.reason[v].expect("non-decision literal has a reason");
+            p = Some(lit);
+        }
+        let uip = !p.expect("loop sets p before breaking");
+        let mut clause = vec![uip];
+        clause.extend_from_slice(&learnt);
+        // Backjump level: second-highest level in the clause.
+        let bj = clause[1..]
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .max()
+            .unwrap_or(0);
+        // Put a literal of the backjump level at index 1 (watch invariant).
+        if clause.len() > 2 {
+            let pos = clause[1..]
+                .iter()
+                .position(|l| self.level[l.var().index()] == bj)
+                .expect("max exists")
+                + 1;
+            clause.swap(1, pos);
+        }
+        (clause, bj)
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().expect("level > 0");
+            for &l in &self.trail[lim..] {
+                let v = l.var().index();
+                self.assign[v] = LBool::Undef;
+                self.reason[v] = None;
+            }
+            self.trail.truncate(lim);
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<usize> = None;
+        for v in 0..self.num_vars() {
+            if self.assign[v] == LBool::Undef
+                && best.is_none_or(|b| self.activity[v] > self.activity[b])
+            {
+                best = Some(v);
+            }
+        }
+        best.map(|v| Lit::with_sign(Var(v as u32), self.phase[v]))
+    }
+
+    /// Solves the current formula.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under temporary assumptions (forced first decisions). The
+    /// assumptions do not persist: subsequent calls start fresh.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat;
+        }
+
+        let mut luby_index = 0u32;
+        let mut conflict_budget = 100u64 * luby(luby_index);
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                // Never learn below the assumption levels: if the conflict is
+                // at or below them, the assumptions are jointly infeasible.
+                if (self.decision_level() as usize) <= assumptions.len() {
+                    return SatResult::Unsat;
+                }
+                let (clause, mut bj) = self.analyze(confl);
+                if (bj as usize) < assumptions.len() {
+                    bj = assumptions.len() as u32;
+                }
+                self.backtrack_to(bj);
+                if clause.len() == 1 {
+                    if self.lit_value(clause[0]) == LBool::False {
+                        return SatResult::Unsat;
+                    }
+                    if self.lit_value(clause[0]) == LBool::Undef {
+                        self.enqueue(clause[0], None);
+                    }
+                } else {
+                    let cr = self.clauses.len();
+                    self.watch(clause[0], clause[1], cr);
+                    self.watch(clause[1], clause[0], cr);
+                    let asserting = clause[0];
+                    self.clauses.push(Clause { lits: clause });
+                    if self.lit_value(asserting) == LBool::Undef {
+                        self.enqueue(asserting, Some(cr));
+                    }
+                }
+                self.var_inc /= 0.95;
+                if self.conflicts >= conflict_budget {
+                    // Restart (keep assumption levels).
+                    luby_index += 1;
+                    conflict_budget = self.conflicts + 100 * luby(luby_index);
+                    self.backtrack_to(assumptions.len() as u32);
+                }
+            } else {
+                // Place pending assumptions.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already implied; open an empty decision level
+                            // to keep level bookkeeping aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => return SatResult::Unsat,
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.decide() {
+                    None => return SatResult::Sat,
+                    Some(l) => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (0-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+fn luby(i: u32) -> u64 {
+    let mut i = u64::from(i) + 1;
+    loop {
+        let k = 64 - i.leading_zeros() as u64; // ⌊log2 i⌋ + 1
+        if i == (1u64 << k) - 1 {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(p.var(), v);
+        assert_eq!(Lit::with_sign(v, true), p);
+        assert_eq!(Lit::with_sign(v, false), n);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(a)]));
+        assert!(s.add_clause(&[Lit::neg(a), Lit::pos(b)]));
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn conflicting_units_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        let ok = s.add_clause(&[Lit::neg(a)]);
+        assert!(!ok);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_is_noop() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(a), Lit::neg(a)]));
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn duplicate_literals_deduped() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // x0 ⊕ x1 = 1, x1 ⊕ x2 = 1, x2 ⊕ x3 = 1 encoded as CNF.
+        let mut s = Solver::new();
+        let v: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        for w in v.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+            s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        }
+        assert_eq!(s.solve(), SatResult::Sat);
+        let m: Vec<bool> = v.iter().map(|&x| s.value(x).unwrap()).collect();
+        assert!(m[0] != m[1] && m[1] != m[2] && m[2] != m[3]);
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+}

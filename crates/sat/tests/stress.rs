@@ -1,0 +1,185 @@
+//! Stress tests for the CDCL solver: random 3-SAT near the phase
+//! transition cross-checked against brute force, structured UNSAT families,
+//! and incremental/assumption workouts.
+
+use als_sat::{Lit, SatResult, Solver, Var};
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+}
+
+fn brute_force(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
+    'outer: for m in 0..(1u64 << num_vars) {
+        for clause in clauses {
+            if !clause
+                .iter()
+                .any(|l| (m >> l.var().index() & 1 == 1) == l.is_positive())
+            {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+#[test]
+fn random_3sat_phase_transition() {
+    // n = 12 variables, m ≈ 4.26 n clauses: the hard density. 60 instances.
+    let mut rng = Lcg(0x3A7_15FA11);
+    for round in 0..60 {
+        let num_vars = 12;
+        let num_clauses = 51;
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..num_vars).map(|_| solver.new_var()).collect();
+        let mut clauses = Vec::new();
+        for _ in 0..num_clauses {
+            let mut clause = Vec::new();
+            while clause.len() < 3 {
+                let v = vars[(rng.next() % num_vars as u64) as usize];
+                let lit = Lit::with_sign(v, rng.next() & 1 == 0);
+                if !clause.contains(&lit) && !clause.contains(&!lit) {
+                    clause.push(lit);
+                }
+            }
+            clauses.push(clause);
+        }
+        for c in &clauses {
+            solver.add_clause(c);
+        }
+        let expect = brute_force(num_vars, &clauses);
+        let got = solver.solve() == SatResult::Sat;
+        assert_eq!(got, expect, "round {round}");
+        if got {
+            for clause in &clauses {
+                assert!(
+                    clause
+                        .iter()
+                        .any(|l| solver.value(l.var()) == Some(l.is_positive())),
+                    "model violates a clause in round {round}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pigeonhole_php_5_4_unsat() {
+    // 5 pigeons in 4 holes: a classically hard UNSAT family for resolution;
+    // small enough to stay fast but it genuinely exercises clause learning.
+    let (pigeons, holes) = (5usize, 4usize);
+    let mut s = Solver::new();
+    let p: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| s.new_var()).collect())
+        .collect();
+    for row in &p {
+        let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for i in 0..pigeons {
+            for j in (i + 1)..pigeons {
+                s.add_clause(&[Lit::neg(p[i][h]), Lit::neg(p[j][h])]);
+            }
+        }
+    }
+    assert_eq!(s.solve(), SatResult::Unsat);
+}
+
+#[test]
+fn graph_coloring() {
+    // C5 (odd cycle) is 3-colorable but not 2-colorable.
+    let n = 5;
+    for (colors, expect) in [(2usize, SatResult::Unsat), (3, SatResult::Sat)] {
+        let mut s = Solver::new();
+        let v: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..colors).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &v {
+            let clause: Vec<Lit> = row.iter().map(|&x| Lit::pos(x)).collect();
+            s.add_clause(&clause);
+            for i in 0..colors {
+                for j in (i + 1)..colors {
+                    s.add_clause(&[Lit::neg(row[i]), Lit::neg(row[j])]);
+                }
+            }
+        }
+        for e in 0..n {
+            let (a, b) = (e, (e + 1) % n);
+            for c in 0..colors {
+                s.add_clause(&[Lit::neg(v[a][c]), Lit::neg(v[b][c])]);
+            }
+        }
+        assert_eq!(s.solve(), expect, "{colors} colors");
+    }
+}
+
+#[test]
+fn assumption_sweep_matches_cofactors() {
+    // f = (a ∨ b)(¬a ∨ c): check sat under every assumption pair.
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    let c = s.new_var();
+    s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+    s.add_clause(&[Lit::neg(a), Lit::pos(c)]);
+    for m in 0..8u32 {
+        let assumptions = [
+            Lit::with_sign(a, m & 1 == 1),
+            Lit::with_sign(b, m >> 1 & 1 == 1),
+            Lit::with_sign(c, m >> 2 & 1 == 1),
+        ];
+        let av = m & 1 == 1;
+        let bv = m >> 1 & 1 == 1;
+        let cv = m >> 2 & 1 == 1;
+        let expect = (av || bv) && (!av || cv);
+        assert_eq!(
+            s.solve_with_assumptions(&assumptions) == SatResult::Sat,
+            expect,
+            "assignment {m:03b}"
+        );
+    }
+    // Solver still healthy afterwards.
+    assert_eq!(s.solve(), SatResult::Sat);
+}
+
+#[test]
+fn interleaved_solving_and_adding() {
+    let mut rng = Lcg(0xBEE5);
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..10).map(|_| s.new_var()).collect();
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut alive = true;
+    for _ in 0..80 {
+        let mut clause = Vec::new();
+        for _ in 0..(1 + rng.next() % 3) {
+            let v = vars[(rng.next() % 10) as usize];
+            let lit = Lit::with_sign(v, rng.next() & 1 == 0);
+            if !clause.contains(&lit) {
+                clause.push(lit);
+            }
+        }
+        clauses.push(clause.clone());
+        s.add_clause(&clause);
+        let expect = brute_force(10, &clauses);
+        let got = s.solve() == SatResult::Sat;
+        assert_eq!(got, expect, "after {} clauses", clauses.len());
+        if !expect {
+            alive = false;
+            break;
+        }
+    }
+    // Once UNSAT, always UNSAT.
+    if !alive {
+        s.add_clause(&[Lit::pos(vars[0])]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+}

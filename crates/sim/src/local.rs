@@ -1,0 +1,164 @@
+use crate::SimResult;
+use als_network::{Network, NodeId};
+
+/// Maximum fanin count for local-pattern enumeration (`2^k` counters).
+pub const MAX_LOCAL_FANINS: usize = 16;
+
+/// Counts how often each local input pattern of node `id` occurs over the
+/// simulated pattern set.
+///
+/// Local pattern `v` assigns bit `i` of `v` to fanin `i` of the node. The
+/// returned vector has `2^k` entries for a node with `k` fanins. This is the
+/// §3.2 statistic: one simulation run provides the probabilities of all the
+/// local input patterns of every node.
+///
+/// # Panics
+///
+/// Panics if the node has more than [`MAX_LOCAL_FANINS`] fanins or was not
+/// simulated.
+pub fn local_pattern_counts(net: &Network, sim: &SimResult, id: NodeId) -> Vec<u64> {
+    let node = net.node(id);
+    let k = node.fanins().len();
+    assert!(
+        k <= MAX_LOCAL_FANINS,
+        "node {id} has {k} fanins, exceeding the local-pattern limit"
+    );
+    let mut counts = vec![0u64; 1 << k];
+    if k == 0 {
+        counts[0] = sim.num_patterns() as u64;
+        return counts;
+    }
+    let fanin_words: Vec<&[u64]> = node
+        .fanins()
+        .iter()
+        .map(|&f| sim.node_words(f))
+        .collect();
+    let wps = sim.words_per_signal();
+    let tail = sim.tail_mask();
+    for w in 0..wps {
+        let valid = if w + 1 == wps { tail } else { u64::MAX };
+        if valid == 0 {
+            continue;
+        }
+        let bits = 64 - valid.leading_zeros() as usize;
+        let cols: Vec<u64> = fanin_words.iter().map(|fw| fw[w]).collect();
+        for b in 0..bits {
+            if valid >> b & 1 == 0 {
+                continue;
+            }
+            let mut v = 0usize;
+            for (i, c) in cols.iter().enumerate() {
+                if c >> b & 1 == 1 {
+                    v |= 1 << i;
+                }
+            }
+            counts[v] += 1;
+        }
+    }
+    counts
+}
+
+/// The probabilities of the local input patterns of node `id` (counts
+/// normalized by the number of simulated patterns).
+///
+/// # Panics
+///
+/// Same conditions as [`local_pattern_counts`].
+pub fn local_pattern_probabilities(net: &Network, sim: &SimResult, id: NodeId) -> Vec<f64> {
+    let n = sim.num_patterns() as f64;
+    local_pattern_counts(net, sim, id)
+        .into_iter()
+        .map(|c| c as f64 / n)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, PatternSet};
+    use als_logic::{Cover, Cube};
+    use als_network::Network;
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits).unwrap()
+    }
+
+    #[test]
+    fn exhaustive_counts_are_uniform_for_independent_fanins() {
+        let mut net = Network::new("t");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let y = net.add_node(
+            "y",
+            vec![a, b],
+            Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+        );
+        net.add_po("y", y);
+        let p = PatternSet::exhaustive(2).unwrap();
+        let sim = simulate(&net, &p);
+        let counts = local_pattern_counts(&net, &sim, y);
+        assert_eq!(counts, vec![1, 1, 1, 1]);
+        let probs = local_pattern_probabilities(&net, &sim, y);
+        assert!(probs.iter().all(|&p| (p - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn correlated_fanins_skew_counts() {
+        // y's fanins are g = a AND b, and a itself: pattern (g=1, a=0) is
+        // impossible — a satisfiability don't-care visible in the counts.
+        let mut net = Network::new("c");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let g = net.add_node(
+            "g",
+            vec![a, b],
+            Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+        );
+        let y = net.add_node(
+            "y",
+            vec![g, a],
+            Cover::from_cubes(2, [cube(&[(0, true)]), cube(&[(1, true)])]),
+        );
+        net.add_po("y", y);
+        let p = PatternSet::exhaustive(2).unwrap();
+        let sim = simulate(&net, &p);
+        let counts = local_pattern_counts(&net, &sim, y);
+        // Pattern bit 0 = g, bit 1 = a.
+        // v=0 (g=0,a=0): 2 patterns; v=1 (g=1,a=0): impossible (SDC);
+        // v=2 (g=0,a=1): a=1,b=0 → 1 pattern; v=3 (g=1,a=1): 1 pattern.
+        assert_eq!(counts, vec![2, 0, 1, 1]);
+    }
+
+    #[test]
+    fn counts_sum_to_pattern_count() {
+        let mut net = Network::new("s");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let c = net.add_pi("c");
+        let y = net.add_node(
+            "y",
+            vec![a, b, c],
+            Cover::from_cubes(3, [cube(&[(0, true), (1, true), (2, false)])]),
+        );
+        net.add_po("y", y);
+        let p = PatternSet::random(3, 1000, 5);
+        let sim = simulate(&net, &p);
+        let counts = local_pattern_counts(&net, &sim, y);
+        assert_eq!(
+            counts.iter().sum::<u64>(),
+            p.num_patterns() as u64
+        );
+    }
+
+    #[test]
+    fn constant_node_counts() {
+        let mut net = Network::new("k");
+        let _a = net.add_pi("a");
+        let k = net.add_constant("k", true);
+        net.add_po("k", k);
+        let p = PatternSet::exhaustive(1).unwrap();
+        let sim = simulate(&net, &p);
+        let counts = local_pattern_counts(&net, &sim, k);
+        assert_eq!(counts, vec![2]);
+    }
+}

@@ -1,0 +1,278 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::fmt;
+
+/// A set of primary-input stimulus patterns, stored bit-parallel: pattern
+/// `p` occupies bit `p % 64` of word `p / 64` of each PI's word vector.
+///
+/// The paper assumes all PI patterns are equiprobable and uses 10 000 random
+/// vectors per simulation run; [`PatternSet::random`] reproduces that setup
+/// deterministically from a seed.
+#[derive(Clone, Debug)]
+pub struct PatternSet {
+    num_pis: usize,
+    num_patterns: usize,
+    /// `words[i]` is the stimulus of PI `i`.
+    words: Vec<Vec<u64>>,
+}
+
+/// Error returned when an exhaustive pattern set would be too large.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExhaustiveTooLarge {
+    /// The requested PI count.
+    pub num_pis: usize,
+}
+
+impl fmt::Display for ExhaustiveTooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exhaustive pattern set over {} inputs exceeds the supported maximum of {} inputs",
+            self.num_pis,
+            PatternSet::MAX_EXHAUSTIVE_PIS
+        )
+    }
+}
+
+impl Error for ExhaustiveTooLarge {}
+
+impl PatternSet {
+    /// The largest PI count for which [`PatternSet::exhaustive`] is allowed.
+    pub const MAX_EXHAUSTIVE_PIS: usize = 22;
+
+    /// Generates `num_patterns` uniformly random patterns from `seed`.
+    ///
+    /// The count is rounded **up** to a multiple of 64 so every word is
+    /// fully populated (the paper's 10 000 becomes 10 048; see
+    /// [`crate::DEFAULT_NUM_PATTERNS`]).
+    pub fn random(num_pis: usize, num_patterns: usize, seed: u64) -> Self {
+        let words_per_pi = num_patterns.div_ceil(64).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let words = (0..num_pis)
+            .map(|_| (0..words_per_pi).map(|_| rng.gen::<u64>()).collect())
+            .collect();
+        PatternSet {
+            num_pis,
+            num_patterns: words_per_pi * 64,
+            words,
+        }
+    }
+
+    /// Generates all `2^num_pis` patterns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExhaustiveTooLarge`] when `num_pis` exceeds
+    /// [`PatternSet::MAX_EXHAUSTIVE_PIS`].
+    pub fn exhaustive(num_pis: usize) -> Result<Self, ExhaustiveTooLarge> {
+        if num_pis > Self::MAX_EXHAUSTIVE_PIS {
+            return Err(ExhaustiveTooLarge { num_pis });
+        }
+        let num_patterns = 1usize << num_pis;
+        let words_per_pi = num_patterns.div_ceil(64).max(1);
+        let mut words = vec![vec![0u64; words_per_pi]; num_pis];
+        for p in 0..num_patterns {
+            for (i, w) in words.iter_mut().enumerate() {
+                if p >> i & 1 == 1 {
+                    w[p / 64] |= 1u64 << (p % 64);
+                }
+            }
+        }
+        Ok(PatternSet {
+            num_pis,
+            num_patterns,
+            words,
+        })
+    }
+
+    /// Builds a pattern set from explicit PI vectors (bit `i` of each vector
+    /// drives PI `i`) — for application-derived, non-uniform workloads. The
+    /// paper assumes uniform inputs; real error-tolerant applications often
+    /// have skewed input distributions, and every error-rate measurement in
+    /// this crate is then taken *under that workload*.
+    ///
+    /// The last partial word is padded by repeating the final vector, so
+    /// probability mass is only slightly distorted for non-multiple-of-64
+    /// counts (pass a multiple of 64 to avoid even that).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is empty or `num_pis > 64`.
+    pub fn from_vectors(num_pis: usize, vectors: &[u64]) -> Self {
+        assert!(!vectors.is_empty(), "workload must contain vectors");
+        assert!(num_pis <= 64, "explicit vectors are limited to 64 PIs");
+        let num_patterns = vectors.len().div_ceil(64) * 64;
+        let words_per_pi = num_patterns / 64;
+        let mut words = vec![vec![0u64; words_per_pi]; num_pis];
+        let last = *vectors.last().expect("non-empty");
+        for p in 0..num_patterns {
+            let v = vectors.get(p).copied().unwrap_or(last);
+            for (i, w) in words.iter_mut().enumerate() {
+                if v >> i & 1 == 1 {
+                    w[p / 64] |= 1u64 << (p % 64);
+                }
+            }
+        }
+        PatternSet {
+            num_pis,
+            num_patterns,
+            words,
+        }
+    }
+
+    /// Number of primary inputs the set drives.
+    #[inline]
+    pub fn num_pis(&self) -> usize {
+        self.num_pis
+    }
+
+    /// Number of patterns in the set.
+    #[inline]
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// Number of 64-bit words per signal.
+    #[inline]
+    pub fn words_per_signal(&self) -> usize {
+        self.num_patterns.div_ceil(64).max(1)
+    }
+
+    /// Mask selecting the valid pattern bits of the last word.
+    #[inline]
+    pub fn tail_mask(&self) -> u64 {
+        let rem = self.num_patterns % 64;
+        if rem == 0 {
+            u64::MAX
+        } else {
+            (1u64 << rem) - 1
+        }
+    }
+
+    /// The stimulus words of PI `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_pis()`.
+    pub fn pi_words(&self, i: usize) -> &[u64] {
+        &self.words[i]
+    }
+
+    /// The value of PI `i` under pattern `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `p` is out of range.
+    pub fn pi_value(&self, i: usize, p: usize) -> bool {
+        assert!(p < self.num_patterns, "pattern index out of range");
+        self.words[i][p / 64] >> (p % 64) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = PatternSet::random(4, 256, 7);
+        let b = PatternSet::random(4, 256, 7);
+        let c = PatternSet::random(4, 256, 8);
+        assert_eq!(a.pi_words(2), b.pi_words(2));
+        assert_ne!(a.pi_words(2), c.pi_words(2));
+    }
+
+    #[test]
+    fn random_rounds_up_to_words() {
+        let p = PatternSet::random(2, 100, 1);
+        assert_eq!(p.num_patterns(), 128);
+        assert_eq!(p.words_per_signal(), 2);
+        let d = PatternSet::random(3, 10_000, 1);
+        assert_eq!(d.num_patterns(), crate::DEFAULT_NUM_PATTERNS);
+    }
+
+    #[test]
+    fn exhaustive_enumerates_all() {
+        let p = PatternSet::exhaustive(3).unwrap();
+        assert_eq!(p.num_patterns(), 8);
+        let mut seen = [false; 8];
+        for m in 0..8 {
+            let mut idx = 0usize;
+            for i in 0..3 {
+                if p.pi_value(i, m) {
+                    idx |= 1 << i;
+                }
+            }
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn exhaustive_small_counts() {
+        let p = PatternSet::exhaustive(0).unwrap();
+        assert_eq!(p.num_patterns(), 1);
+        let p = PatternSet::exhaustive(7).unwrap();
+        assert_eq!(p.num_patterns(), 128);
+        assert_eq!(p.words_per_signal(), 2);
+    }
+
+    #[test]
+    fn exhaustive_too_large_is_error() {
+        let e = PatternSet::exhaustive(23).unwrap_err();
+        assert_eq!(e.num_pis, 23);
+        assert!(e.to_string().contains("23"));
+    }
+
+    #[test]
+    fn from_vectors_replays_the_workload() {
+        let vectors: Vec<u64> = (0..64).map(|i| i * 3 % 8).collect();
+        let p = PatternSet::from_vectors(3, &vectors);
+        assert_eq!(p.num_patterns(), 64);
+        for (idx, &v) in vectors.iter().enumerate() {
+            for i in 0..3 {
+                assert_eq!(p.pi_value(i, idx), v >> i & 1 == 1, "vec {idx} pi {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_vectors_pads_with_last() {
+        let p = PatternSet::from_vectors(2, &[0b01, 0b10, 0b11]);
+        assert_eq!(p.num_patterns(), 64);
+        // Positions ≥ 3 repeat the final vector.
+        assert!(p.pi_value(0, 10) && p.pi_value(1, 10));
+    }
+
+    #[test]
+    fn skewed_workload_changes_error_rates() {
+        use crate::error_rate;
+        use als_logic::{Cover, Cube};
+        use als_network::Network;
+        // golden y = a·b, approx y = a: differs only when a=1, b=0.
+        let mut golden = Network::new("g");
+        let a = golden.add_pi("a");
+        let b = golden.add_pi("b");
+        let y = golden.add_node(
+            "y",
+            vec![a, b],
+            Cover::from_cubes(2, [Cube::from_literals(&[(0, true), (1, true)]).unwrap()]),
+        );
+        golden.add_po("y", y);
+        let mut approx = golden.clone();
+        approx.replace_expr(y, als_logic::Expr::lit(0, true));
+        // Workload A: the distinguishing vector never occurs.
+        let wl_a = PatternSet::from_vectors(2, &vec![0b11; 64]);
+        assert_eq!(error_rate(&golden, &approx, &wl_a), 0.0);
+        // Workload B: it always occurs.
+        let wl_b = PatternSet::from_vectors(2, &vec![0b01; 64]);
+        assert_eq!(error_rate(&golden, &approx, &wl_b), 1.0);
+    }
+
+    #[test]
+    fn tail_mask() {
+        assert_eq!(PatternSet::exhaustive(2).unwrap().tail_mask(), 0b1111);
+        assert_eq!(PatternSet::exhaustive(6).unwrap().tail_mask(), u64::MAX);
+    }
+}

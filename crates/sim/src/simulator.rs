@@ -1,0 +1,277 @@
+use crate::PatternSet;
+use als_network::{Network, NodeId};
+
+/// Per-node signatures produced by [`simulate`]: for every live node, the
+/// vector of 64-bit words holding the node's value under every pattern.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    num_patterns: usize,
+    words_per_signal: usize,
+    tail_mask: u64,
+    /// Indexed by arena position; tombstones hold empty vectors.
+    values: Vec<Vec<u64>>,
+}
+
+impl SimResult {
+    /// Number of simulated patterns.
+    #[inline]
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// Number of words per signal.
+    #[inline]
+    pub fn words_per_signal(&self) -> usize {
+        self.words_per_signal
+    }
+
+    /// The signature (value words) of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not live at simulation time.
+    pub fn node_words(&self, id: NodeId) -> &[u64] {
+        let w = &self.values[id.index()];
+        assert!(!w.is_empty(), "node {id} was not simulated");
+        w
+    }
+
+    /// The value of node `id` under pattern `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not simulated or `p` is out of range.
+    pub fn node_value(&self, id: NodeId, p: usize) -> bool {
+        assert!(p < self.num_patterns, "pattern index out of range");
+        self.node_words(id)[p / 64] >> (p % 64) & 1 == 1
+    }
+
+    /// How many patterns set node `id` to 1.
+    pub fn count_ones(&self, id: NodeId) -> u64 {
+        let words = self.node_words(id);
+        let mut total = 0u64;
+        for (i, w) in words.iter().enumerate() {
+            let w = if i + 1 == words.len() {
+                w & self.tail_mask
+            } else {
+                *w
+            };
+            total += u64::from(w.count_ones());
+        }
+        total
+    }
+
+    /// The signal probability of node `id` (fraction of patterns at 1).
+    pub fn probability(&self, id: NodeId) -> f64 {
+        self.count_ones(id) as f64 / self.num_patterns as f64
+    }
+
+    /// A compact hash of the node's signature (used by the redundancy
+    /// pre-process to bucket candidate-identical signals).
+    pub fn signature_hash(&self, id: NodeId) -> u64 {
+        let words = self.node_words(id);
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for (i, w) in words.iter().enumerate() {
+            let w = if i + 1 == words.len() {
+                w & self.tail_mask
+            } else {
+                *w
+            };
+            for b in w.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Whether two nodes have identical signatures over the pattern set.
+    pub fn signatures_equal(&self, a: NodeId, b: NodeId) -> bool {
+        let wa = self.node_words(a);
+        let wb = self.node_words(b);
+        let n = wa.len();
+        wa.iter().zip(wb).enumerate().all(|(i, (x, y))| {
+            if i + 1 == n {
+                (x ^ y) & self.tail_mask == 0
+            } else {
+                x == y
+            }
+        })
+    }
+
+    /// The number of patterns on which two simulated nodes differ.
+    pub fn difference_count(&self, a: NodeId, b: NodeId) -> u64 {
+        let wa = self.node_words(a);
+        let wb = self.node_words(b);
+        let n = wa.len();
+        let mut total = 0u64;
+        for (i, (x, y)) in wa.iter().zip(wb).enumerate() {
+            let d = if i + 1 == n {
+                (x ^ y) & self.tail_mask
+            } else {
+                x ^ y
+            };
+            total += u64::from(d.count_ones());
+        }
+        total
+    }
+
+    /// Mask selecting the valid bits of the final word.
+    #[inline]
+    pub fn tail_mask(&self) -> u64 {
+        self.tail_mask
+    }
+}
+
+/// Simulates the network under the pattern set, producing per-node
+/// signatures. One run serves every consumer: error-rate measurement, local
+/// pattern statistics and signature-based redundancy detection (§3.2, §6).
+///
+/// # Panics
+///
+/// Panics if `patterns.num_pis()` differs from the network's PI count.
+pub fn simulate(net: &Network, patterns: &PatternSet) -> SimResult {
+    assert_eq!(
+        patterns.num_pis(),
+        net.num_pis(),
+        "pattern set drives a different PI count"
+    );
+    let wps = patterns.words_per_signal();
+    let arena = net
+        .node_ids()
+        .map(NodeId::index)
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut values: Vec<Vec<u64>> = vec![Vec::new(); arena];
+    for (i, &pi) in net.pis().iter().enumerate() {
+        values[pi.index()] = patterns.pi_words(i).to_vec();
+    }
+    for id in net.topo_order() {
+        let node = net.node(id);
+        if node.is_pi() {
+            continue;
+        }
+        let mut acc = vec![0u64; wps];
+        for cube in node.cover().cubes() {
+            let mut term = vec![u64::MAX; wps];
+            for (var, phase) in cube.literals() {
+                let fanin_words = &values[node.fanins()[var].index()];
+                for (t, f) in term.iter_mut().zip(fanin_words) {
+                    *t &= if phase { *f } else { !*f };
+                }
+            }
+            for (a, t) in acc.iter_mut().zip(&term) {
+                *a |= t;
+            }
+        }
+        values[id.index()] = acc;
+    }
+    SimResult {
+        num_patterns: patterns.num_patterns(),
+        words_per_signal: wps,
+        tail_mask: patterns.tail_mask(),
+        values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_logic::{Cover, Cube};
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits).unwrap()
+    }
+
+    fn xor_net() -> (Network, NodeId) {
+        let mut net = Network::new("xor");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let y = net.add_node(
+            "y",
+            vec![a, b],
+            Cover::from_cubes(
+                2,
+                [cube(&[(0, true), (1, false)]), cube(&[(0, false), (1, true)])],
+            ),
+        );
+        net.add_po("y", y);
+        (net, y)
+    }
+
+    #[test]
+    fn exhaustive_simulation_matches_eval() {
+        let (net, y) = xor_net();
+        let patterns = PatternSet::exhaustive(2).unwrap();
+        let sim = simulate(&net, &patterns);
+        for p in 0..4 {
+            let pis: Vec<bool> = (0..2).map(|i| patterns.pi_value(i, p)).collect();
+            assert_eq!(sim.node_value(y, p), net.eval(&pis)[0], "pattern {p}");
+        }
+        assert_eq!(sim.count_ones(y), 2);
+        assert!((sim.probability(y) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_simulation_matches_eval_spotchecks() {
+        let (net, y) = xor_net();
+        let patterns = PatternSet::random(2, 256, 42);
+        let sim = simulate(&net, &patterns);
+        for p in (0..256).step_by(17) {
+            let pis: Vec<bool> = (0..2).map(|i| patterns.pi_value(i, p)).collect();
+            assert_eq!(sim.node_value(y, p), net.eval(&pis)[0]);
+        }
+    }
+
+    #[test]
+    fn constant_nodes_simulate() {
+        let mut net = Network::new("consts");
+        let _a = net.add_pi("a");
+        let k1 = net.add_constant("k1", true);
+        let k0 = net.add_constant("k0", false);
+        net.add_po("k1", k1);
+        net.add_po("k0", k0);
+        let patterns = PatternSet::exhaustive(1).unwrap();
+        let sim = simulate(&net, &patterns);
+        assert_eq!(sim.count_ones(k1), 2);
+        assert_eq!(sim.count_ones(k0), 0);
+    }
+
+    #[test]
+    fn signature_identity_and_hash() {
+        let mut net = Network::new("dup");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let g1 = net.add_node(
+            "g1",
+            vec![a, b],
+            Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+        );
+        let g2 = net.add_node(
+            "g2",
+            vec![b, a],
+            Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+        );
+        let g3 = net.add_node(
+            "g3",
+            vec![a, b],
+            Cover::from_cubes(2, [cube(&[(0, true)])]),
+        );
+        net.add_po("g1", g1);
+        net.add_po("g2", g2);
+        net.add_po("g3", g3);
+        let sim = simulate(&net, &PatternSet::exhaustive(2).unwrap());
+        assert!(sim.signatures_equal(g1, g2));
+        assert_eq!(sim.signature_hash(g1), sim.signature_hash(g2));
+        assert!(!sim.signatures_equal(g1, g3));
+        assert_eq!(sim.difference_count(g1, g3), 1); // a=1,b=0
+    }
+
+    #[test]
+    #[should_panic(expected = "different PI count")]
+    fn pi_count_mismatch_panics() {
+        let (net, _) = xor_net();
+        let patterns = PatternSet::exhaustive(3).unwrap();
+        let _ = simulate(&net, &patterns);
+    }
+}

@@ -1,0 +1,273 @@
+//! `als` — command-line front end for the approximate-logic-synthesis flow.
+//!
+//! ```text
+//! als stats       <in.blif>                       network statistics
+//! als gen         <benchmark> [-o out.blif]       emit a generated benchmark
+//! als approximate <in.blif> --threshold 0.05
+//!                 [--algorithm single|multi|sasimi] [-o out.blif]
+//!                 [--seed N] [--patterns N] [--no-dontcares] [--verbose]
+//! als verify      <golden.blif> <approx.blif> [--patterns N] [--seed N]
+//! als map         <in.blif>                       mapped area/delay/cells
+//! als list                                        available benchmarks
+//! ```
+
+use als::circuits::registry::find_benchmark;
+use als::circuits::all_benchmarks;
+use als::core::classical::optimize_classical;
+use als::core::{multi_selection, single_selection, AlsConfig};
+use als::mapper::{map_network, write_verilog, Library};
+use als::network::{blif, Network};
+use als::sasimi::sasimi;
+use als::sim::{error_rate, PatternSet};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("approximate") => cmd_approximate(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("map") => cmd_map(&args[1..]),
+        Some("verilog") => cmd_verilog(&args[1..]),
+        Some("cec") => cmd_cec(&args[1..]),
+        Some("simplify") => cmd_simplify(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+als — multi-level approximate logic synthesis under error rate constraint
+
+USAGE:
+  als stats       <in.blif>
+  als gen         <benchmark> [-o out.blif]
+  als approximate <in.blif> --threshold T [--algorithm single|multi|sasimi]
+                  [-o out.blif] [--seed N] [--patterns N] [--no-dontcares]
+                  [--verbose]
+  als verify      <golden.blif> <approx.blif> [--patterns N] [--seed N]
+                  [--exact]   (BDD-based, no sampling)
+  als map         <in.blif>
+  als verilog     <in.blif> [-o out.v]     technology-map and emit Verilog
+  als cec         <a.blif> <b.blif>        SAT equivalence check
+  als simplify    <in.blif> [-o out.blif]  function-preserving optimization
+  als list
+";
+
+fn read_network(path: &str) -> Result<Network, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+    let net = blif::parse(&text).map_err(|e| format!("parsing `{path}`: {e}"))?;
+    net.check().map_err(|e| format!("`{path}`: {e}"))?;
+    Ok(net)
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn write_or_print(net: &Network, args: &[String]) -> Result<(), String> {
+    let text = blif::write(net);
+    match flag_value(args, "-o").or_else(|| flag_value(args, "--output")) {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("writing `{path}`: {e}"))?;
+            eprintln!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("stats needs a BLIF file")?;
+    let net = read_network(path)?;
+    let s = net.stats();
+    println!("model:    {}", net.name());
+    println!("inputs:   {}", s.num_pis);
+    println!("outputs:  {}", s.num_pos);
+    println!("nodes:    {}", s.num_nodes);
+    println!("literals: {}", s.literals);
+    println!("depth:    {}", s.depth);
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("gen needs a benchmark name (see `als list`)")?;
+    let bench =
+        find_benchmark(name).ok_or_else(|| format!("unknown benchmark `{name}` (see `als list`)"))?;
+    let net = (bench.build)();
+    write_or_print(&net, args)
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<8} {:<32} kind", "name", "function");
+    for b in all_benchmarks() {
+        println!(
+            "{:<8} {:<32} {}",
+            b.name,
+            b.function,
+            if b.stand_in { "stand-in" } else { "exact" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_approximate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("approximate needs a BLIF file")?;
+    let net = read_network(path)?;
+    let threshold: f64 = flag_value(args, "--threshold")
+        .ok_or("approximate needs --threshold (e.g. 0.05)")?
+        .parse()
+        .map_err(|e| format!("bad --threshold: {e}"))?;
+    if !(0.0..1.0).contains(&threshold) {
+        return Err("--threshold must be in [0, 1)".into());
+    }
+    let mut config = AlsConfig::with_threshold(threshold);
+    if let Some(seed) = flag_value(args, "--seed") {
+        config.seed = seed.parse().map_err(|e| format!("bad --seed: {e}"))?;
+    }
+    if let Some(patterns) = flag_value(args, "--patterns") {
+        config.num_patterns = patterns
+            .parse()
+            .map_err(|e| format!("bad --patterns: {e}"))?;
+    }
+    if args.iter().any(|a| a == "--no-dontcares") {
+        config.use_dont_cares = false;
+    }
+    let algorithm = flag_value(args, "--algorithm").unwrap_or("multi");
+    let outcome = match algorithm {
+        "single" => single_selection(&net, &config),
+        "multi" => multi_selection(&net, &config),
+        "sasimi" => sasimi(&net, &config),
+        other => return Err(format!("unknown --algorithm `{other}`")),
+    };
+    eprintln!("{outcome}");
+    if args.iter().any(|a| a == "--verbose") {
+        for it in &outcome.iterations {
+            for ch in &it.changes {
+                eprintln!(
+                    "  iter {:>3}: {:<16} → {:<24} (-{} lits, est {:.5})",
+                    it.iteration, ch.node_name, ch.ase, ch.literals_saved, ch.error_estimate
+                );
+            }
+        }
+    }
+    write_or_print(&outcome.network, args)
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let golden_path = args.first().ok_or("verify needs <golden.blif> <approx.blif>")?;
+    let approx_path = args.get(1).ok_or("verify needs <golden.blif> <approx.blif>")?;
+    let golden = read_network(golden_path)?;
+    let approx = read_network(approx_path)?;
+    if golden.num_pis() != approx.num_pis() || golden.num_pos() != approx.num_pos() {
+        return Err(format!(
+            "interface mismatch: {}/{} vs {}/{} PIs/POs",
+            golden.num_pis(),
+            golden.num_pos(),
+            approx.num_pis(),
+            approx.num_pos()
+        ));
+    }
+    let num_patterns: usize = flag_value(args, "--patterns")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("bad --patterns: {e}"))?
+        .unwrap_or(als::sim::DEFAULT_NUM_PATTERNS);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("bad --seed: {e}"))?
+        .unwrap_or(1);
+    if args.iter().any(|a| a == "--exact") {
+        match als::bdd::exact_error_rate(&golden, &approx, 1 << 22) {
+            Ok(er) => {
+                println!("exact error rate: {er:.9} (BDD miter)");
+                return Ok(());
+            }
+            Err(e) => eprintln!("exact verification unavailable ({e}); falling back to sampling"),
+        }
+    }
+    let patterns = PatternSet::random(golden.num_pis(), num_patterns, seed);
+    let er = error_rate(&golden, &approx, &patterns);
+    println!(
+        "error rate: {er:.6} ({} patterns, seed {seed})",
+        patterns.num_patterns()
+    );
+    Ok(())
+}
+
+fn cmd_verilog(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("verilog needs a BLIF file")?;
+    let net = read_network(path)?;
+    let lib = Library::mcnc_like();
+    let mapped = map_network(&net, &lib);
+    let text = write_verilog(&net, &mapped);
+    match flag_value(args, "-o").or_else(|| flag_value(args, "--output")) {
+        Some(out) => {
+            std::fs::write(out, text).map_err(|e| format!("writing `{out}`: {e}"))?;
+            eprintln!("wrote {out} ({} gates)", mapped.num_gates());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_cec(args: &[String]) -> Result<(), String> {
+    let a_path = args.first().ok_or("cec needs <a.blif> <b.blif>")?;
+    let b_path = args.get(1).ok_or("cec needs <a.blif> <b.blif>")?;
+    let a = read_network(a_path)?;
+    let b = read_network(b_path)?;
+    let result = als::aig::cec(&a, &b);
+    println!("{result}");
+    match result {
+        als::aig::CecResult::Equivalent => Ok(()),
+        _ => Err("networks differ".into()),
+    }
+}
+
+fn cmd_simplify(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("simplify needs a BLIF file")?;
+    let mut net = read_network(path)?;
+    let before = net.literal_count();
+    let config = AlsConfig::default();
+    let saved = optimize_classical(&mut net, &config);
+    eprintln!(
+        "simplified: {before} → {} literals ({saved} saved, function preserved)",
+        net.literal_count()
+    );
+    write_or_print(&net, args)
+}
+
+fn cmd_map(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("map needs a BLIF file")?;
+    let net = read_network(path)?;
+    let lib = Library::mcnc_like();
+    let mapped = map_network(&net, &lib);
+    println!("area:  {:.1}", mapped.area());
+    println!("delay: {:.2}", mapped.delay());
+    println!("gates: {}", mapped.num_gates());
+    let mut hist: Vec<_> = mapped.cell_histogram().into_iter().collect();
+    hist.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    for (cell, count) in hist {
+        println!("  {cell:<8} {count}");
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! `als` — multi-level approximate logic synthesis under error rate
+//! constraint.
+//!
+//! A from-scratch Rust reproduction of Wu & Qian, *"An Efficient Method for
+//! Multi-level Approximate Logic Synthesis under Error Rate Constraint"*
+//! (DAC 2016), together with every substrate the paper's flow relies on.
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`logic`] | cubes, SOP covers, truth tables, ISOP minimization, factored forms, algebraic factoring |
+//! | [`network`] | MIS/SIS-style multi-level Boolean networks, BLIF I/O |
+//! | [`sim`] | bit-parallel simulation, error-rate measurement, local-pattern statistics |
+//! | [`sat`] | a CDCL SAT solver (used for don't-care computation) |
+//! | [`dontcare`] | windowed SDC/ODC classification (enumeration and SAT engines) |
+//! | [`core`] | **the paper's contribution**: ASEs, both selection algorithms, the multi-state knapsack |
+//! | [`mod@sasimi`] | the SASIMI baseline (substitute-and-simplify) |
+//! | [`circuits`] | the Table 3 benchmark generators |
+//! | [`mapper`] | technology mapping onto an MCNC-like cell library |
+//! | [`bdd`] | ROBDDs for exact (non-sampled) error-rate verification |
+//! | [`aig`] | and-inverter graphs; SAT-based equivalence checking |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use als::circuits::adders::ripple_carry_adder;
+//! use als::core::{multi_selection, AlsConfig};
+//!
+//! // Approximate an 8-bit ripple-carry adder with a 5% error-rate budget.
+//! let golden = ripple_carry_adder(8);
+//! let outcome = multi_selection(&golden, &AlsConfig::with_threshold(0.05));
+//! assert!(outcome.measured_error_rate <= 0.05);
+//! assert!(outcome.final_literals <= outcome.initial_literals);
+//! println!("{outcome}");
+//! ```
+
+pub use als_aig as aig;
+pub use als_bdd as bdd;
+pub use als_circuits as circuits;
+pub use als_core as core;
+pub use als_dontcare as dontcare;
+pub use als_logic as logic;
+pub use als_mapper as mapper;
+pub use als_network as network;
+pub use als_sasimi as sasimi;
+pub use als_sat as sat;
+pub use als_sim as sim;
+
+// Convenience re-exports of the items used in almost every program.
+pub use als_core::{multi_selection, single_selection, AlsConfig, AlsOutcome};
+pub use als_network::Network;
+pub use als_sasimi::sasimi;
