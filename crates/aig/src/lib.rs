@@ -475,7 +475,10 @@ mod tests {
             vec![a, b, c],
             Cover::from_cubes(
                 3,
-                [cube(&[(0, true), (1, true)]), cube(&[(0, false), (2, true)])],
+                [
+                    cube(&[(0, true), (1, true)]),
+                    cube(&[(0, false), (2, true)]),
+                ],
             ),
         );
         n1.add_po("y", y);
@@ -490,7 +493,10 @@ mod tests {
             vec![a2, c2, b2],
             Cover::from_cubes(
                 3,
-                [cube(&[(0, false), (1, true)]), cube(&[(0, true), (2, true)])],
+                [
+                    cube(&[(0, false), (1, true)]),
+                    cube(&[(0, true), (2, true)]),
+                ],
             ),
         );
         n2.add_po("y", y2);

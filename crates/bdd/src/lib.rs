@@ -93,8 +93,16 @@ impl BddManager {
     pub fn new(num_vars: usize, node_limit: usize) -> Self {
         BddManager {
             nodes: vec![
-                Node { var: TERMINAL, lo: 0, hi: 0 }, // 0 = false
-                Node { var: TERMINAL, lo: 1, hi: 1 }, // 1 = true
+                Node {
+                    var: TERMINAL,
+                    lo: 0,
+                    hi: 0,
+                }, // 0 = false
+                Node {
+                    var: TERMINAL,
+                    lo: 1,
+                    hi: 1,
+                }, // 1 = true
             ],
             unique: HashMap::new(),
             ite_cache: HashMap::new(),
@@ -250,7 +258,11 @@ impl BddManager {
         let mut x = f.0;
         while !self.is_terminal(x) {
             let n = self.node(x);
-            x = if assignment >> n.var & 1 == 1 { n.hi } else { n.lo };
+            x = if assignment >> n.var & 1 == 1 {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         x == 1
     }
@@ -286,17 +298,11 @@ impl BddManager {
         // count(x) = number of on-assignments of ALL variables below x's
         // level; normalize at the root.
         let total_bits = self.num_vars as u32;
-        
+
         self.count_rec(f.0, 0, total_bits, &mut memo)
     }
 
-    fn count_rec(
-        &self,
-        x: u32,
-        level: u32,
-        total: u32,
-        memo: &mut HashMap<u32, u128>,
-    ) -> u128 {
+    fn count_rec(&self, x: u32, level: u32, total: u32, memo: &mut HashMap<u32, u128>) -> u128 {
         // Returns the count over variables level..total assuming x's top var
         // is ≥ level.
         if x == 0 {
@@ -482,10 +488,7 @@ mod tests {
         let c = m.var(2).unwrap();
         let ab = m.and(a, b);
         let result = ab.and_then(|ab| m.and(ab, c));
-        assert!(matches!(
-            result,
-            Err(BddError::NodeLimit { .. }) | Ok(_)
-        ));
+        assert!(matches!(result, Err(BddError::NodeLimit { .. }) | Ok(_)));
         // With so few nodes allowed, an 8-variable chain must fail somewhere.
         let mut failed = false;
         let mut acc = m.one();

@@ -22,12 +22,9 @@ fn arb_op() -> impl Strategy<Value = Op> {
     let leaf = any::<u8>().prop_map(Op::Var);
     leaf.prop_recursive(4, 32, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Op::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Op::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Op::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Op::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Op::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Op::Xor(Box::new(a), Box::new(b))),
             inner.prop_map(|a| Op::Not(Box::new(a))),
         ]
     })

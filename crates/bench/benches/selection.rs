@@ -3,8 +3,8 @@
 //! (DESIGN.md §4.1 and §4.3). This is the runtime story of Table 4 in
 //! miniature.
 
-use als_core::{multi_selection, single_selection, AlsConfig};
 use als_circuits::ripple_carry_adder;
+use als_core::{multi_selection, single_selection, AlsConfig};
 use als_sasimi::sasimi;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;

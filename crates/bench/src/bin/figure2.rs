@@ -41,7 +41,7 @@ fn main() {
         let golden = (bench.build)();
         let mut row = Vec::new();
         for &t in &thresholds {
-            let r = run_one(bench.name, &golden, Algorithm::SingleSelection, t, quick);
+            let r = run_one(bench.name, &golden, Algorithm::SingleSelection, t, quick, 1);
             let saving = (1.0 - r.area_ratio) * 100.0;
             if csv {
                 println!("{},{},{:.2}", bench.name, t, saving);

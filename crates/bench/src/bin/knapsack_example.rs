@@ -7,18 +7,33 @@ fn paper_items() -> Vec<KnapsackItem> {
     vec![
         KnapsackItem {
             states: vec![
-                KnapsackState { weight: 2, value: 1 },
-                KnapsackState { weight: 3, value: 2 },
+                KnapsackState {
+                    weight: 2,
+                    value: 1,
+                },
+                KnapsackState {
+                    weight: 3,
+                    value: 2,
+                },
             ],
         },
         KnapsackItem {
             states: vec![
-                KnapsackState { weight: 4, value: 2 },
-                KnapsackState { weight: 6, value: 4 },
+                KnapsackState {
+                    weight: 4,
+                    value: 2,
+                },
+                KnapsackState {
+                    weight: 6,
+                    value: 4,
+                },
             ],
         },
         KnapsackItem {
-            states: vec![KnapsackState { weight: 2, value: 1 }],
+            states: vec![KnapsackState {
+                weight: 2,
+                value: 1,
+            }],
         },
     ]
 }
@@ -26,7 +41,10 @@ fn paper_items() -> Vec<KnapsackItem> {
 fn main() {
     let items = paper_items();
     println!("Table 1: candidate items and their states");
-    println!("{:<6} {:<7} {:>7} {:>6}", "item", "state", "weight", "value");
+    println!(
+        "{:<6} {:<7} {:>7} {:>6}",
+        "item", "state", "weight", "value"
+    );
     for (i, item) in items.iter().enumerate() {
         for (j, s) in item.states.iter().enumerate() {
             println!(

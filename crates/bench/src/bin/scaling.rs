@@ -3,14 +3,20 @@
 //! proposed algorithms are linear in the node count. We sweep one circuit
 //! family (the adder/comparator) across widths and report runtime vs. size.
 //!
-//! Usage: `cargo run --release -p als-bench --bin scaling [--quick]`.
+//! Usage: `cargo run --release -p als-bench --bin scaling [--quick]
+//! [--threads N]` (N = 0 uses all cores; timings change, results do not).
 
 use als_bench::{run_one, Algorithm};
 use als_circuits::alu::adder_comparator;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let widths: &[usize] = if quick { &[8, 16, 32] } else { &[8, 16, 32, 48, 64] };
+    let threads = als_bench::parse_threads();
+    let widths: &[usize] = if quick {
+        &[8, 16, 32]
+    } else {
+        &[8, 16, 32, 48, 64]
+    };
 
     println!("Runtime vs. circuit size (adder/comparator family, 5% threshold)");
     println!(
@@ -23,7 +29,7 @@ fn main() {
         let nodes = golden.num_internal() as f64;
         let mut times = [0.0f64; 3];
         for (i, &alg) in Algorithm::ALL.iter().enumerate() {
-            let r = run_one(&format!("ADDCMP{w}"), &golden, alg, 0.05, quick);
+            let r = run_one(&format!("ADDCMP{w}"), &golden, alg, 0.05, quick, threads);
             times[i] = r.runtime_s;
         }
         print!(

@@ -4,13 +4,16 @@
 //! and the headline speedups.
 //!
 //! Usage: `--quick` for a reduced run (3 thresholds, fewer patterns),
-//! `--circuit <name>` to restrict to one benchmark, `--csv` for raw records.
+//! `--circuit <name>` to restrict to one benchmark, `--csv` for raw records,
+//! `--threads N` to size the candidate-evaluation worker pool (0 = all
+//! cores; the reported results are identical for every thread count).
 
 use als_bench::{geometric_mean, run_one, Algorithm, PAPER_THRESHOLDS, QUICK_THRESHOLDS};
 use als_circuits::all_benchmarks;
 
 fn main() {
     let (quick, filter) = als_bench::parse_common_args();
+    let threads = als_bench::parse_threads();
     let csv = std::env::args().any(|a| a == "--csv");
     let thresholds: Vec<f64> = if quick {
         QUICK_THRESHOLDS.to_vec()
@@ -20,7 +23,11 @@ fn main() {
 
     let benches: Vec<_> = all_benchmarks()
         .into_iter()
-        .filter(|b| filter.as_ref().is_none_or(|f| b.name.eq_ignore_ascii_case(f)))
+        .filter(|b| {
+            filter
+                .as_ref()
+                .is_none_or(|f| b.name.eq_ignore_ascii_case(f))
+        })
         .collect();
 
     if csv {
@@ -49,7 +56,7 @@ fn main() {
             let mut time_sum = 0.0;
             let mut delay_sum = 0.0;
             for &t in &thresholds {
-                let r = run_one(bench.name, &golden, alg, t, quick);
+                let r = run_one(bench.name, &golden, alg, t, quick, threads);
                 delay_sum += r.delay_ratio;
                 if csv {
                     println!(

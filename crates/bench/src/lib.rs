@@ -17,11 +17,9 @@
 
 #![warn(missing_docs)]
 
-use als_core::{multi_selection, single_selection, AlsConfig, AlsOutcome};
+use als_core::{approximate, AlsConfig, AlsOutcome, Strategy};
 use als_mapper::{map_network, Library};
 use als_network::Network;
-use als_sasimi::sasimi;
-use serde::Serialize;
 
 /// The seven error-rate thresholds of the paper's evaluation (§6).
 pub const PAPER_THRESHOLDS: [f64; 7] = [0.001, 0.003, 0.005, 0.008, 0.01, 0.03, 0.05];
@@ -56,10 +54,19 @@ impl Algorithm {
         Algorithm::SingleSelection,
         Algorithm::MultiSelection,
     ];
+
+    /// The corresponding [`Strategy`] for [`als_core::approximate`].
+    pub fn strategy(self) -> Strategy {
+        match self {
+            Algorithm::Sasimi => Strategy::Sasimi,
+            Algorithm::SingleSelection => Strategy::Single,
+            Algorithm::MultiSelection => Strategy::Multi,
+        }
+    }
 }
 
 /// One experiment record (circuit × algorithm × threshold).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RunResult {
     /// Benchmark name.
     pub circuit: String,
@@ -81,23 +88,25 @@ pub struct RunResult {
 
 /// Runs one algorithm on one circuit at one threshold, reporting mapped
 /// ratios against the unmodified circuit.
+///
+/// `threads` sizes the candidate-evaluation engine's worker pool (`0` means
+/// "use all available cores", see [`AlsConfig::threads`]).
 pub fn run_one(
     circuit_name: &str,
     golden: &Network,
     algorithm: Algorithm,
     threshold: f64,
     quick: bool,
+    threads: usize,
 ) -> RunResult {
     let mut config = AlsConfig::with_threshold(threshold);
+    config.threads = threads;
     if quick {
         config.num_patterns = 2048;
         config.dont_care.method = als_dontcare::DontCareMethod::Enumerate;
     }
-    let outcome: AlsOutcome = match algorithm {
-        Algorithm::Sasimi => sasimi(golden, &config),
-        Algorithm::SingleSelection => single_selection(golden, &config),
-        Algorithm::MultiSelection => multi_selection(golden, &config),
-    };
+    let outcome: AlsOutcome = approximate(golden, algorithm.strategy(), &config)
+        .expect("benchmark configuration must be valid");
     let lib = Library::mcnc_like();
     let golden_mapped = map_network(golden, &lib);
     let approx_mapped = map_network(&outcome.network, &lib);
@@ -143,6 +152,21 @@ pub fn parse_common_args() -> (bool, Option<String>) {
     (quick, circuit)
 }
 
+/// Parses the `--threads N` flag shared by the bench binaries. Defaults to
+/// `1` (the deterministic baseline); `0` means "all available cores".
+///
+/// # Panics
+///
+/// Panics (with a usage message) when the flag's value is not an integer.
+pub fn parse_threads() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads expects an integer"))
+        .unwrap_or(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,7 +187,7 @@ mod tests {
     #[test]
     fn run_one_produces_consistent_ratios() {
         let net = ripple_carry_adder(4);
-        let r = run_one("RCA4", &net, Algorithm::MultiSelection, 0.05, true);
+        let r = run_one("RCA4", &net, Algorithm::MultiSelection, 0.05, true, 1);
         assert!(r.literal_ratio <= 1.0);
         assert!(r.area_ratio <= 1.05);
         assert!(r.error_rate <= 0.05 + 1e-12);

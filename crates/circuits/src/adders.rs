@@ -238,7 +238,10 @@ mod tests {
             let a = state & 0xFF;
             let b = (state >> 8) & 0xFF;
             let results: Vec<u64> = nets.iter().map(|n| eval_binary(n, a, 8, b, 8)).collect();
-            assert!(results.windows(2).all(|w| w[0] == w[1]), "{a}+{b}: {results:?}");
+            assert!(
+                results.windows(2).all(|w| w[0] == w[1]),
+                "{a}+{b}: {results:?}"
+            );
         }
     }
 }

@@ -256,10 +256,12 @@ mod tests {
 
     #[test]
     fn basic_gates() {
-        for (m, expect) in [(0b00u32, [false, false, false, true]),
-                            (0b01, [false, true, true, true]),
-                            (0b10, [false, true, true, true]),
-                            (0b11, [true, true, false, false])] {
+        for (m, expect) in [
+            (0b00u32, [false, false, false, true]),
+            (0b01, [false, true, true, true]),
+            (0b10, [false, true, true, true]),
+            (0b11, [true, true, false, false]),
+        ] {
             let mut b = Builder::new("g");
             let x = b.pi("x");
             let y = b.pi("y");
@@ -285,11 +287,7 @@ mod tests {
                 let p = b.xor(&pis);
                 b.po("p", p);
                 let bits: Vec<bool> = (0..n).map(|i| m >> i & 1 == 1).collect();
-                assert_eq!(
-                    eval1(b, &bits),
-                    m.count_ones() % 2 == 1,
-                    "n={n} m={m:b}"
-                );
+                assert_eq!(eval1(b, &bits), m.count_ones() % 2 == 1, "n={n} m={m:b}");
             }
         }
     }

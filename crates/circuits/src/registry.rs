@@ -59,84 +59,144 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
             function: "8-bit ALU",
             stand_in: true,
             build: || alu(8),
-            paper: PaperInfo { io: (60, 26), nodes: 357, area: 599.0, delay: 40.4 },
+            paper: PaperInfo {
+                io: (60, 26),
+                nodes: 357,
+                area: 599.0,
+                delay: 40.4,
+            },
         },
         Benchmark {
             name: "c1908",
             function: "16-bit SEC/DED circuit",
             stand_in: true,
             build: sec_ded_16,
-            paper: PaperInfo { io: (33, 25), nodes: 880, area: 1013.0, delay: 60.6 },
+            paper: PaperInfo {
+                io: (33, 25),
+                nodes: 880,
+                area: 1013.0,
+                delay: 60.6,
+            },
         },
         Benchmark {
             name: "c2670",
             function: "12-bit ALU and controller",
             stand_in: true,
             build: || alu_with_controller(12),
-            paper: PaperInfo { io: (233, 140), nodes: 1153, area: 1434.0, delay: 67.3 },
+            paper: PaperInfo {
+                io: (233, 140),
+                nodes: 1153,
+                area: 1434.0,
+                delay: 67.3,
+            },
         },
         Benchmark {
             name: "c3540",
             function: "8-bit ALU",
             stand_in: true,
             build: || alu_with_controller(8),
-            paper: PaperInfo { io: (50, 22), nodes: 629, area: 1615.0, delay: 84.5 },
+            paper: PaperInfo {
+                io: (50, 22),
+                nodes: 629,
+                area: 1615.0,
+                delay: 84.5,
+            },
         },
         Benchmark {
             name: "c5315",
             function: "9-bit ALU",
             stand_in: true,
             build: || alu(9),
-            paper: PaperInfo { io: (178, 123), nodes: 893, area: 2432.0, delay: 75.3 },
+            paper: PaperInfo {
+                io: (178, 123),
+                nodes: 893,
+                area: 2432.0,
+                delay: 75.3,
+            },
         },
         Benchmark {
             name: "c7552",
             function: "32-bit adder/comparator",
             stand_in: true,
             build: || adder_comparator(32),
-            paper: PaperInfo { io: (207, 108), nodes: 1087, area: 2759.0, delay: 159.8 },
+            paper: PaperInfo {
+                io: (207, 108),
+                nodes: 1087,
+                area: 2759.0,
+                delay: 159.8,
+            },
         },
         Benchmark {
             name: "alu4",
             function: "ALU",
             stand_in: true,
             build: alu_74181,
-            paper: PaperInfo { io: (14, 8), nodes: 730, area: 2740.0, delay: 51.5 },
+            paper: PaperInfo {
+                io: (14, 8),
+                nodes: 730,
+                area: 2740.0,
+                delay: 51.5,
+            },
         },
         Benchmark {
             name: "RCA32",
             function: "32-bit ripple-carry adder",
             stand_in: false,
             build: || ripple_carry_adder(32),
-            paper: PaperInfo { io: (64, 33), nodes: 202, area: 691.0, delay: 42.8 },
+            paper: PaperInfo {
+                io: (64, 33),
+                nodes: 202,
+                area: 691.0,
+                delay: 42.8,
+            },
         },
         Benchmark {
             name: "CLA32",
             function: "32-bit carry-lookahead adder",
             stand_in: false,
             build: || carry_lookahead_adder(32),
-            paper: PaperInfo { io: (64, 33), nodes: 303, area: 1063.0, delay: 45.8 },
+            paper: PaperInfo {
+                io: (64, 33),
+                nodes: 303,
+                area: 1063.0,
+                delay: 45.8,
+            },
         },
         Benchmark {
             name: "KSA32",
             function: "32-bit kogge-stone adder",
             stand_in: false,
             build: || kogge_stone_adder(32),
-            paper: PaperInfo { io: (64, 33), nodes: 345, area: 1128.0, delay: 27.0 },
+            paper: PaperInfo {
+                io: (64, 33),
+                nodes: 345,
+                area: 1128.0,
+                delay: 27.0,
+            },
         },
         Benchmark {
             name: "MUL8",
             function: "8-bit array multiplier",
             stand_in: false,
             build: || array_multiplier(8),
-            paper: PaperInfo { io: (16, 16), nodes: 436, area: 1276.0, delay: 67.9 },
+            paper: PaperInfo {
+                io: (16, 16),
+                nodes: 436,
+                area: 1276.0,
+                delay: 67.9,
+            },
         },
         Benchmark {
             name: "WTM8",
             function: "8-bit wallace tree multiplier",
             stand_in: false,
             build: || wallace_tree_multiplier(8),
-            paper: PaperInfo { io: (16, 16), nodes: 382, area: 1104.0, delay: 69.6 },
+            paper: PaperInfo {
+                io: (16, 16),
+                nodes: 382,
+                area: 1104.0,
+                delay: 69.6,
+            },
         },
     ]
 }

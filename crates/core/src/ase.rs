@@ -147,8 +147,14 @@ mod tests {
     #[test]
     fn constants_always_present() {
         let ases = generate_ases(&paper_expr(), 4, 5);
-        let zeros: Vec<&Ase> = ases.iter().filter(|a| a.kind == AseKind::ConstZero).collect();
-        let ones: Vec<&Ase> = ases.iter().filter(|a| a.kind == AseKind::ConstOne).collect();
+        let zeros: Vec<&Ase> = ases
+            .iter()
+            .filter(|a| a.kind == AseKind::ConstZero)
+            .collect();
+        let ones: Vec<&Ase> = ases
+            .iter()
+            .filter(|a| a.kind == AseKind::ConstOne)
+            .collect();
         assert_eq!(zeros.len(), 1);
         assert_eq!(ones.len(), 1);
         assert_eq!(zeros[0].literals_saved, 4);
@@ -185,8 +191,12 @@ mod tests {
             .filter(|a| a.kind == AseKind::Shrunk)
             .all(|a| a.literals_saved < 5));
         // ...but both constants (removing all 6) exist.
-        assert!(ases.iter().any(|a| a.kind == AseKind::ConstZero && a.literals_saved == 6));
-        assert!(ases.iter().any(|a| a.kind == AseKind::ConstOne && a.literals_saved == 6));
+        assert!(ases
+            .iter()
+            .any(|a| a.kind == AseKind::ConstZero && a.literals_saved == 6));
+        assert!(ases
+            .iter()
+            .any(|a| a.kind == AseKind::ConstOne && a.literals_saved == 6));
     }
 
     #[test]

@@ -123,7 +123,10 @@ mod tests {
             vec![a, b],
             Cover::from_cubes(
                 2,
-                [cube(&[(0, true), (1, false)]), cube(&[(0, false), (1, true)])],
+                [
+                    cube(&[(0, true), (1, false)]),
+                    cube(&[(0, false), (1, true)]),
+                ],
             ),
         );
         net.add_po("y", y);

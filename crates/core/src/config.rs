@@ -1,5 +1,6 @@
+use crate::AlsError;
 use als_dontcare::DontCareConfig;
-use als_sim::DEFAULT_NUM_PATTERNS;
+use als_sim::{DEFAULT_NUM_PATTERNS, MAX_LOCAL_FANINS};
 
 /// An optional constraint on the numeric **error magnitude** — the paper's
 /// named future-work extension (§7). The POs are interpreted little-endian
@@ -12,8 +13,15 @@ pub struct MagnitudeConstraint {
     pub max_abs: u128,
 }
 
-/// Configuration shared by both selection algorithms.
+/// Configuration shared by all three algorithms.
+///
+/// Build one with [`AlsConfig::builder`] (non-panicking, validated) or
+/// [`AlsConfig::with_threshold`] (paper defaults, panics on a bad
+/// threshold); individual fields stay public and can be adjusted after
+/// construction. The struct is `#[non_exhaustive]`: new knobs may appear in
+/// minor releases without breaking downstream builds.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct AlsConfig {
     /// The error rate threshold `T` (fraction of PI vectors allowed to
     /// produce a wrong output).
@@ -54,6 +62,15 @@ pub struct AlsConfig {
     /// Optional error-magnitude constraint enforced *in addition to* the
     /// error-rate threshold (the §7 future-work extension).
     pub magnitude: Option<MagnitudeConstraint>,
+    /// Worker threads for the candidate-evaluation engine: `0` uses the
+    /// machine's available parallelism, `1` (the default) keeps evaluation
+    /// on the calling thread. Results are byte-identical for every setting.
+    pub threads: usize,
+    /// Whether the engine memoizes node evaluations between iterations
+    /// (incremental cone invalidation). Disabling re-evaluates every node
+    /// every iteration — an expensive but occasionally useful cross-check,
+    /// guaranteed to produce identical results.
+    pub cache: bool,
 }
 
 impl AlsConfig {
@@ -62,7 +79,8 @@ impl AlsConfig {
     ///
     /// # Panics
     ///
-    /// Panics unless `0 ≤ threshold < 1`.
+    /// Panics unless `0 ≤ threshold < 1`; see [`AlsConfig::builder`] for the
+    /// non-panicking path.
     pub fn with_threshold(threshold: f64) -> Self {
         assert!(
             (0.0..1.0).contains(&threshold),
@@ -82,7 +100,61 @@ impl AlsConfig {
             retry_on_overshoot: false,
             preprocess: true,
             magnitude: None,
+            threads: 1,
+            cache: true,
         }
+    }
+
+    /// A validating, non-panicking builder seeded with the paper defaults
+    /// (5 % threshold).
+    ///
+    /// ```
+    /// use als_core::AlsConfig;
+    /// let config = AlsConfig::builder().threshold(0.05).threads(8).build()?;
+    /// assert_eq!(config.threads, 8);
+    /// # Ok::<(), als_core::AlsError>(())
+    /// ```
+    pub fn builder() -> AlsConfigBuilder {
+        AlsConfigBuilder {
+            config: AlsConfig::default(),
+        }
+    }
+
+    /// Checks every field against its documented constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlsError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), AlsError> {
+        if !(0.0..1.0).contains(&self.threshold) {
+            return Err(AlsError::InvalidConfig(format!(
+                "threshold must be a rate in [0, 1), got {}",
+                self.threshold
+            )));
+        }
+        if self.num_patterns == 0 {
+            return Err(AlsError::InvalidConfig(
+                "num_patterns must be positive".into(),
+            ));
+        }
+        if self.max_fanins > MAX_LOCAL_FANINS {
+            return Err(AlsError::InvalidConfig(format!(
+                "max_fanins must not exceed the local-pattern limit of {MAX_LOCAL_FANINS}, \
+                 got {}",
+                self.max_fanins
+            )));
+        }
+        if self.max_enum_literals == 0 {
+            return Err(AlsError::InvalidConfig(
+                "max_enum_literals must be positive".into(),
+            ));
+        }
+        if self.max_iterations == 0 {
+            return Err(AlsError::InvalidConfig(
+                "max_iterations must be positive".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -90,6 +162,113 @@ impl Default for AlsConfig {
     /// The paper's most common operating point: a 5 % error-rate budget.
     fn default() -> Self {
         AlsConfig::with_threshold(0.05)
+    }
+}
+
+/// Builder for [`AlsConfig`]; see [`AlsConfig::builder`]. Every setter is
+/// infallible — validation happens once, in
+/// [`build`](AlsConfigBuilder::build).
+#[derive(Clone, Debug)]
+#[must_use = "call .build() to obtain the validated AlsConfig"]
+pub struct AlsConfigBuilder {
+    config: AlsConfig,
+}
+
+impl AlsConfigBuilder {
+    /// Sets the error-rate threshold `T`.
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.config.threshold = threshold;
+        self
+    }
+
+    /// Sets the number of random simulation vectors per run.
+    pub fn num_patterns(mut self, num_patterns: usize) -> Self {
+        self.config.num_patterns = num_patterns;
+        self
+    }
+
+    /// Sets the stimulus seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the SDC/ODC windowing configuration.
+    pub fn dont_care(mut self, dont_care: DontCareConfig) -> Self {
+        self.config.dont_care = dont_care;
+        self
+    }
+
+    /// Enables or disables don't-care pricing in the single-selection
+    /// estimate (§3.3).
+    pub fn use_dont_cares(mut self, on: bool) -> Self {
+        self.config.use_dont_cares = on;
+        self
+    }
+
+    /// Enables the exact BDD-based don't-care engine.
+    pub fn exact_dont_cares(mut self, on: bool) -> Self {
+        self.config.exact_dont_cares = on;
+        self
+    }
+
+    /// Sets the ASE enumeration bound (paper: 5).
+    pub fn max_enum_literals(mut self, n: usize) -> Self {
+        self.config.max_enum_literals = n;
+        self
+    }
+
+    /// Sets the fanin-count cutoff for eligible nodes.
+    pub fn max_fanins(mut self, n: usize) -> Self {
+        self.config.max_fanins = n;
+        self
+    }
+
+    /// Sets the iteration safety cap.
+    pub fn max_iterations(mut self, n: usize) -> Self {
+        self.config.max_iterations = n;
+        self
+    }
+
+    /// Enables capacity-halving retries after a measured overshoot
+    /// (multi-selection).
+    pub fn retry_on_overshoot(mut self, on: bool) -> Self {
+        self.config.retry_on_overshoot = on;
+        self
+    }
+
+    /// Enables or disables the §6 redundancy-removal pre-process.
+    pub fn preprocess(mut self, on: bool) -> Self {
+        self.config.preprocess = on;
+        self
+    }
+
+    /// Sets an error-magnitude constraint (`None` clears it).
+    pub fn magnitude(mut self, magnitude: Option<MagnitudeConstraint>) -> Self {
+        self.config.magnitude = magnitude;
+        self
+    }
+
+    /// Sets the engine worker-thread count (`0` = available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Enables or disables the candidate cache.
+    pub fn cache(mut self, on: bool) -> Self {
+        self.config.cache = on;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlsError::InvalidConfig`] naming the first offending field.
+    pub fn build(self) -> Result<AlsConfig, AlsError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -108,11 +287,45 @@ mod tests {
         assert!(c.use_dont_cares);
         assert!(!c.retry_on_overshoot);
         assert!(c.magnitude.is_none());
+        assert_eq!(c.threads, 1);
+        assert!(c.cache);
     }
 
     #[test]
     #[should_panic(expected = "threshold")]
     fn rejects_bad_threshold() {
         let _ = AlsConfig::with_threshold(1.5);
+    }
+
+    #[test]
+    fn builder_accepts_valid_settings() {
+        let c = AlsConfig::builder()
+            .threshold(0.03)
+            .threads(8)
+            .cache(false)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(c.threshold, 0.03);
+        assert_eq!(c.threads, 8);
+        assert!(!c.cache);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn builder_rejects_without_panicking() {
+        let err = AlsConfig::builder().threshold(1.5).build().unwrap_err();
+        assert!(matches!(err, AlsError::InvalidConfig(ref m) if m.contains("threshold")));
+        let err = AlsConfig::builder().num_patterns(0).build().unwrap_err();
+        assert!(matches!(err, AlsError::InvalidConfig(ref m) if m.contains("num_patterns")));
+        let err = AlsConfig::builder().max_fanins(64).build().unwrap_err();
+        assert!(matches!(err, AlsError::InvalidConfig(ref m) if m.contains("max_fanins")));
+        let err = AlsConfig::builder()
+            .max_enum_literals(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AlsError::InvalidConfig(ref m) if m.contains("max_enum_literals")));
+        let err = AlsConfig::builder().max_iterations(0).build().unwrap_err();
+        assert!(matches!(err, AlsError::InvalidConfig(ref m) if m.contains("max_iterations")));
     }
 }

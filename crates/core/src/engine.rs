@@ -1,0 +1,585 @@
+//! The parallel, cache-aware candidate-evaluation engine.
+//!
+//! Both selection algorithms spend the bulk of their runtime on the same
+//! per-node work: enumerate the node's ASEs, gather its local-pattern
+//! probabilities from the shared simulation run (§3.2), optionally classify
+//! its don't-cares (§3.3) and price every ASE. That work is pure over the
+//! current network and one [`SimResult`](als_sim::SimResult), so the engine
+//!
+//! * **memoizes** it per node in a [`CandidateCache`], keyed by the node id
+//!   and a *local-function signature* (expression + fanin list), so a rewrite
+//!   that slips past the cone invalidation is still caught;
+//! * **fans it out** across scoped worker threads over a chunked work queue
+//!   of node ids, merging results in node-id order so every thread count
+//!   produces byte-identical outcomes;
+//! * **invalidates incrementally** after each committed change: a change at
+//!   `c` alters the signatures (hence local-pattern probabilities) of exactly
+//!   `TFO(c)`, and alters windowed don't-care classifications only inside the
+//!   window-influence cone of `c` (see
+//!   [`window_influence`](als_dontcare::window_influence)) — everything else
+//!   stays cached instead of being flushed wholesale.
+
+use crate::ase::{generate_ases, Ase};
+use crate::error_model::{apparent_error_rate, estimated_real_error_rate};
+use crate::{AlsConfig, AlsContext};
+use als_dontcare::{compute_dont_cares, window_influence, DontCares};
+use als_logic::Expr;
+use als_network::{Network, NodeId};
+use als_sim::{local_pattern_probabilities_view, SimView};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One priced candidate change at a node.
+#[derive(Clone, Debug)]
+pub struct CandidateEval {
+    /// The approximate simplified expression.
+    pub ase: Ase,
+    /// Its apparent error rate (§3.2) — the multi-selection knapsack weight.
+    pub apparent: f64,
+    /// Its estimated real error rate with don't-care ELIPs discarded (§3.3)
+    /// — the single-selection score denominator. Equals `apparent` when the
+    /// engine runs without don't-cares.
+    pub estimate: f64,
+}
+
+/// Cached evaluation of one node, valid while its local function (and the
+/// invalidation cone around it) stays untouched.
+#[derive(Clone, Debug)]
+struct NodeEntry {
+    /// Hash of the node's expression and fanin list at evaluation time.
+    signature: u64,
+    candidates: Vec<CandidateEval>,
+}
+
+/// The per-run memo of node evaluations: node id → priced candidates, keyed
+/// by the local-function signature.
+#[derive(Debug, Default)]
+pub struct CandidateCache {
+    entries: HashMap<NodeId, NodeEntry>,
+}
+
+/// Cumulative engine counters (cache effectiveness, parallel work).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Refresh calls served so far.
+    pub refreshes: usize,
+    /// Node evaluations actually computed (cache misses).
+    pub evaluated: usize,
+    /// Node evaluations served from the cache.
+    pub cache_hits: usize,
+}
+
+/// Below this many pending nodes a refresh stays single-threaded: spawning
+/// scoped workers costs more than evaluating a handful of nodes.
+const MIN_NODES_PER_WORKER: usize = 8;
+
+/// Work-queue chunk size: big enough to keep the atomic counter off the hot
+/// path, small enough to balance uneven per-node costs (SAT-based don't-care
+/// queries vary widely).
+const QUEUE_CHUNK: usize = 8;
+
+/// The candidate-evaluation engine. One instance lives for one synthesis
+/// run; the selection loops call [`refresh`](CandidateEngine::refresh) at
+/// the top of every iteration and
+/// [`invalidate_committed`](CandidateEngine::invalidate_committed) after
+/// every accepted change.
+#[derive(Debug)]
+pub struct CandidateEngine {
+    config: AlsConfig,
+    /// Whether estimates discard don't-care ELIPs (single-selection). The
+    /// multi-selection engine runs without: its knapsack weights are
+    /// *apparent* rates (Theorem 1), so don't-care windows are never built.
+    needs_dont_cares: bool,
+    threads: usize,
+    cache_enabled: bool,
+    cache: CandidateCache,
+    /// Candidates rejected for cause (e.g. a magnitude violation), keyed by
+    /// (node, local-function signature): they stay suppressed through cache
+    /// flushes and re-evaluations, which keeps cache-off runs identical to
+    /// cache-on runs.
+    banned: HashMap<(NodeId, u64), HashSet<Expr>>,
+    /// Node ids computed by the most recent refresh (diagnostics/tests).
+    last_evaluated: Vec<NodeId>,
+    stats: EngineStats,
+}
+
+impl CandidateEngine {
+    /// Creates an engine for one run. `needs_dont_cares` selects whether
+    /// estimates price don't-cares (single-selection) or collapse to the
+    /// apparent rate (multi-selection).
+    pub fn new(config: &AlsConfig, needs_dont_cares: bool) -> Self {
+        CandidateEngine {
+            config: *config,
+            needs_dont_cares,
+            threads: resolve_threads(config.threads),
+            cache_enabled: config.cache,
+            cache: CandidateCache::default(),
+            banned: HashMap::new(),
+            last_evaluated: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The resolved worker-thread count (`config.threads`, with `0` mapped
+    /// to the machine's available parallelism).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Brings the cache up to date with `net`: drops entries for dead or
+    /// rewritten nodes, then evaluates every uncached eligible node — in
+    /// parallel when the pending set is large enough.
+    pub fn refresh(&mut self, net: &Network, ctx: &AlsContext) {
+        self.stats.refreshes += 1;
+        if !self.cache_enabled {
+            self.cache.entries.clear();
+        }
+        self.cache.entries.retain(|id, _| net.is_live(*id));
+
+        let mut pending: Vec<(NodeId, u64)> = Vec::new();
+        for id in net.internal_ids() {
+            let signature = local_signature(net, id);
+            match self.cache.entries.get(&id) {
+                Some(entry) if entry.signature == signature => self.stats.cache_hits += 1,
+                _ => pending.push((id, signature)),
+            }
+        }
+        self.last_evaluated = pending.iter().map(|&(id, _)| id).collect();
+        if pending.is_empty() {
+            return;
+        }
+        self.stats.evaluated += pending.len();
+
+        let sim = ctx.simulate(net);
+        let computed = evaluate_all(
+            net,
+            sim.view(),
+            &self.config,
+            self.needs_dont_cares,
+            &pending,
+            self.threads,
+        );
+        for (id, entry) in computed {
+            self.cache.entries.insert(id, entry);
+        }
+    }
+
+    /// The priced candidates of node `id` (empty when the node is ineligible
+    /// or not yet refreshed), with banned candidates filtered out.
+    pub fn candidates(&self, id: NodeId) -> impl Iterator<Item = &CandidateEval> {
+        let entry = self.cache.entries.get(&id);
+        let bans = entry.and_then(|e| self.banned.get(&(id, e.signature)));
+        entry
+            .map(|e| e.candidates.as_slice())
+            .unwrap_or_default()
+            .iter()
+            .filter(move |c| bans.is_none_or(|set| !set.contains(&c.ase.expr)))
+    }
+
+    /// The cached node ids in ascending order — the deterministic iteration
+    /// order for candidate selection.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.cache.entries.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Permanently suppresses one candidate of `id` (e.g. after a measured
+    /// magnitude violation, which the local estimate cannot predict). The
+    /// ban is keyed on the node's *current* local function, so it expires
+    /// naturally if the node is later rewritten.
+    pub fn ban(&mut self, net: &Network, id: NodeId, expr: &Expr) {
+        let signature = local_signature(net, id);
+        self.banned
+            .entry((id, signature))
+            .or_default()
+            .insert(expr.clone());
+    }
+
+    /// Invalidates everything a committed change set may have affected.
+    ///
+    /// Call it with a network in which every id of `changed` is live. The
+    /// cone per changed node `c` is `TFO(c)` (signature / probability
+    /// changes) plus, when the engine prices don't-cares, the
+    /// window-influence ball of `c` (structural window changes).
+    ///
+    /// `TFO(c)` is identical before and after applying an ASE at `c` (only
+    /// fanin edges of `c` change), so a don't-care-free engine needs one call
+    /// on either network. The ball is *not*: replacing `c` by a constant
+    /// drops its fanin edges, and windows that contained those edges change
+    /// shape. Callers pricing don't-cares therefore invalidate twice — once
+    /// with the pre-change network and once with the post-change one — which
+    /// unions the two cones. Constant-propagation cascades stay inside
+    /// `TFO(changed)` and are additionally caught by the signature key.
+    pub fn invalidate_committed(&mut self, net: &Network, changed: &[NodeId]) {
+        if self.cache.entries.is_empty() {
+            return;
+        }
+        let mut cone: Vec<bool> = Vec::new();
+        for &c in changed {
+            let tfo = net.tfo_mask(c);
+            if cone.is_empty() {
+                cone = vec![false; tfo.len()];
+            }
+            for (slot, hit) in cone.iter_mut().zip(&tfo) {
+                *slot |= hit;
+            }
+            if self.needs_dont_cares && self.config.use_dont_cares {
+                let near = window_influence(
+                    net,
+                    c,
+                    self.config.dont_care.levels_in,
+                    self.config.dont_care.levels_out,
+                );
+                for (slot, hit) in cone.iter_mut().zip(&near) {
+                    *slot |= hit;
+                }
+            }
+        }
+        self.cache
+            .entries
+            .retain(|id, _| !cone.get(id.index()).copied().unwrap_or(false));
+    }
+
+    /// Node ids the most recent [`refresh`](CandidateEngine::refresh)
+    /// actually evaluated (i.e. cache misses), in ascending order.
+    pub fn last_evaluated(&self) -> &[NodeId] {
+        &self.last_evaluated
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+/// Resolves a configured thread count: `0` means "ask the OS".
+fn resolve_threads(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        configured
+    }
+}
+
+/// Hash of the node's local function: expression plus fanin ids. Two
+/// evaluations agree whenever this signature does (probabilities also depend
+/// on fanin *signatures*, which cone invalidation tracks).
+fn local_signature(net: &Network, id: NodeId) -> u64 {
+    let node = net.node(id);
+    let mut h = DefaultHasher::new();
+    node.expr().hash(&mut h);
+    node.fanins().hash(&mut h);
+    h.finish()
+}
+
+/// Evaluates `pending` nodes, fanning out across scoped threads when
+/// worthwhile; results come back sorted by node id so insertion order (and
+/// thus every downstream float reduction) is independent of thread count.
+fn evaluate_all(
+    net: &Network,
+    sim: SimView<'_>,
+    config: &AlsConfig,
+    needs_dont_cares: bool,
+    pending: &[(NodeId, u64)],
+    threads: usize,
+) -> Vec<(NodeId, NodeEntry)> {
+    let workers = threads
+        .min(pending.len().div_ceil(MIN_NODES_PER_WORKER))
+        .max(1);
+    let mut out: Vec<(NodeId, NodeEntry)> = if workers <= 1 {
+        pending
+            .iter()
+            .map(|&(id, sig)| {
+                (
+                    id,
+                    evaluate_node(net, sim, config, needs_dont_cares, id, sig),
+                )
+            })
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut part = Vec::new();
+                        loop {
+                            let start = next.fetch_add(QUEUE_CHUNK, Ordering::Relaxed);
+                            if start >= pending.len() {
+                                break;
+                            }
+                            let end = (start + QUEUE_CHUNK).min(pending.len());
+                            for &(id, sig) in &pending[start..end] {
+                                part.push((
+                                    id,
+                                    evaluate_node(net, sim, config, needs_dont_cares, id, sig),
+                                ));
+                            }
+                        }
+                        part
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("candidate-evaluation worker panicked"))
+                .collect()
+        })
+    };
+    out.sort_by_key(|&(id, _)| id);
+    out
+}
+
+/// The per-node work item: ASE enumeration, local-pattern statistics,
+/// optional don't-care classification, and pricing of every candidate.
+fn evaluate_node(
+    net: &Network,
+    sim: SimView<'_>,
+    config: &AlsConfig,
+    needs_dont_cares: bool,
+    id: NodeId,
+    signature: u64,
+) -> NodeEntry {
+    let node = net.node(id);
+    let k = node.fanins().len();
+    if k > config.max_fanins || node.is_constant() {
+        return NodeEntry {
+            signature,
+            candidates: Vec::new(),
+        };
+    }
+    let ases = generate_ases(node.expr(), k, config.max_enum_literals);
+    if ases.is_empty() {
+        return NodeEntry {
+            signature,
+            candidates: Vec::new(),
+        };
+    }
+    let probs = local_pattern_probabilities_view(net, sim, id);
+    let dc = if !(needs_dont_cares && config.use_dont_cares) {
+        DontCares::none(k)
+    } else if config.exact_dont_cares {
+        als_dontcare::compute_exact_dont_cares(net, id, config.exact_dc_node_limit)
+            .unwrap_or_else(|_| compute_dont_cares(net, id, &config.dont_care))
+    } else {
+        compute_dont_cares(net, id, &config.dont_care)
+    };
+    let candidates = ases
+        .into_iter()
+        .map(|ase| {
+            let apparent = apparent_error_rate(&ase, &probs);
+            let estimate = estimated_real_error_rate(&ase, &probs, &dc);
+            CandidateEval {
+                ase,
+                apparent,
+                estimate,
+            }
+        })
+        .collect();
+    NodeEntry {
+        signature,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_logic::{Cover, Cube};
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits).unwrap()
+    }
+
+    /// Two independent 4-input AND cones feeding separate POs, far enough
+    /// apart that a change in one cone cannot influence the other.
+    fn two_cones() -> (Network, Vec<NodeId>) {
+        let mut net = Network::new("cones");
+        let pis: Vec<NodeId> = (0..8).map(|i| net.add_pi(format!("x{i}"))).collect();
+        let mut mids = Vec::new();
+        for c in 0..2 {
+            let base = c * 4;
+            let g = net.add_node(
+                format!("g{c}"),
+                vec![pis[base], pis[base + 1]],
+                Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+            );
+            let h = net.add_node(
+                format!("h{c}"),
+                vec![g, pis[base + 2]],
+                Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+            );
+            let y = net.add_node(
+                format!("y{c}"),
+                vec![h, pis[base + 3]],
+                Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+            );
+            net.add_po(format!("o{c}"), y);
+            mids.extend([g, h, y]);
+        }
+        (net, mids)
+    }
+
+    fn test_config() -> AlsConfig {
+        let mut config = AlsConfig::with_threshold(0.10);
+        config.num_patterns = 256;
+        config
+    }
+
+    #[test]
+    fn refresh_evaluates_every_internal_node_once() {
+        let (net, mids) = two_cones();
+        let config = test_config();
+        let ctx = AlsContext::new(&net, &config);
+        let mut engine = CandidateEngine::new(&config, true);
+        engine.refresh(&net, &ctx);
+        assert_eq!(engine.last_evaluated().len(), mids.len());
+        // A second refresh with no changes touches nothing.
+        engine.refresh(&net, &ctx);
+        assert!(engine.last_evaluated().is_empty());
+        assert_eq!(engine.stats().evaluated, mids.len());
+        assert_eq!(engine.stats().cache_hits, mids.len());
+    }
+
+    #[test]
+    fn invalidation_reevaluates_exactly_the_cone() {
+        let (net, mids) = two_cones();
+        let config = test_config();
+        let ctx = AlsContext::new(&net, &config);
+        let mut engine = CandidateEngine::new(&config, true);
+        let mut current = net.clone();
+        engine.refresh(&current, &ctx);
+
+        // Commit a change at the first cone's middle node, following the
+        // two-call invalidation protocol (pre- and post-change cones).
+        let pivot = mids[1]; // h0
+        let cone = |net: &Network| -> Vec<bool> {
+            let tfo = net.tfo_mask(pivot);
+            let near = window_influence(
+                net,
+                pivot,
+                config.dont_care.levels_in,
+                config.dont_care.levels_out,
+            );
+            tfo.iter().zip(&near).map(|(a, b)| a | b).collect()
+        };
+        let pre = cone(&current);
+        engine.invalidate_committed(&current, &[pivot]);
+        current.replace_expr(pivot, Expr::lit(0, true));
+        let post = cone(&current);
+        engine.invalidate_committed(&current, &[pivot]);
+        let expected: Vec<NodeId> = current
+            .internal_ids()
+            .filter(|id| pre[id.index()] || post[id.index()])
+            .collect();
+        engine.refresh(&current, &ctx);
+        assert_eq!(engine.last_evaluated(), expected.as_slice());
+        // The untouched cone must not appear.
+        for &id in &mids[3..] {
+            assert!(!engine.last_evaluated().contains(&id));
+        }
+    }
+
+    #[test]
+    fn signature_check_catches_out_of_band_rewrites() {
+        let (net, mids) = two_cones();
+        let config = test_config();
+        let ctx = AlsContext::new(&net, &config);
+        let mut engine = CandidateEngine::new(&config, true);
+        let mut current = net.clone();
+        engine.refresh(&current, &ctx);
+        // Rewrite a node *without* telling the engine: the stale entry must
+        // still be replaced on the next refresh thanks to the signature key.
+        current.replace_expr(mids[0], Expr::lit(1, true));
+        engine.refresh(&current, &ctx);
+        assert!(engine.last_evaluated().contains(&mids[0]));
+    }
+
+    /// A wide network (many independent AND chains) so a 4-thread refresh
+    /// really engages several workers (see [`MIN_NODES_PER_WORKER`]).
+    fn wide_net() -> Network {
+        let mut net = Network::new("wide");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let c = net.add_pi("c");
+        for i in 0..48 {
+            let g = net.add_node(
+                format!("g{i}"),
+                vec![a, b],
+                Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+            );
+            let h = net.add_node(
+                format!("h{i}"),
+                vec![g, c],
+                Cover::from_cubes(2, [cube(&[(0, true), (1, i % 2 == 0)])]),
+            );
+            net.add_po(format!("o{i}"), h);
+        }
+        net
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let net = wide_net();
+        let mut config = test_config();
+        let ctx = AlsContext::new(&net, &config);
+        let collect = |engine: &CandidateEngine| -> Vec<(NodeId, String, f64, f64)> {
+            engine
+                .node_ids()
+                .into_iter()
+                .flat_map(|id| {
+                    engine
+                        .candidates(id)
+                        .map(|c| (id, c.ase.expr.to_string(), c.apparent, c.estimate))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        config.threads = 1;
+        let mut one = CandidateEngine::new(&config, true);
+        one.refresh(&net, &ctx);
+        config.threads = 4;
+        let mut four = CandidateEngine::new(&config, true);
+        four.refresh(&net, &ctx);
+        assert_eq!(collect(&one), collect(&four));
+    }
+
+    #[test]
+    fn cache_disabled_recomputes_everything() {
+        let (net, mids) = two_cones();
+        let mut config = test_config();
+        config.cache = false;
+        let ctx = AlsContext::new(&net, &config);
+        let mut engine = CandidateEngine::new(&config, true);
+        engine.refresh(&net, &ctx);
+        engine.refresh(&net, &ctx);
+        assert_eq!(engine.stats().evaluated, 2 * mids.len());
+        assert_eq!(engine.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn bans_survive_cache_flushes() {
+        let (net, mids) = two_cones();
+        let mut config = test_config();
+        config.cache = false;
+        let ctx = AlsContext::new(&net, &config);
+        let mut engine = CandidateEngine::new(&config, true);
+        engine.refresh(&net, &ctx);
+        let banned_expr = engine
+            .candidates(mids[0])
+            .next()
+            .expect("g0 has candidates")
+            .ase
+            .expr
+            .clone();
+        engine.ban(&net, mids[0], &banned_expr);
+        engine.refresh(&net, &ctx);
+        assert!(engine
+            .candidates(mids[0])
+            .all(|c| c.ase.expr != banned_expr));
+    }
+}

@@ -1,0 +1,39 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the [`approximate`](crate::approximate) entry point
+/// and the [`AlsConfig`](crate::AlsConfig) builder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AlsError {
+    /// A configuration field failed validation; the message names the field
+    /// and the constraint it violated.
+    InvalidConfig(String),
+    /// The input network failed its consistency check.
+    InvalidNetwork(String),
+}
+
+impl fmt::Display for AlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlsError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            AlsError::InvalidNetwork(msg) => write!(f, "invalid network: {msg}"),
+        }
+    }
+}
+
+impl Error for AlsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_category() {
+        let e = AlsError::InvalidConfig("threshold must be a rate in [0, 1)".into());
+        assert!(e.to_string().contains("invalid configuration"));
+        assert!(e.to_string().contains("threshold"));
+        let e = AlsError::InvalidNetwork("cycle".into());
+        assert!(e.to_string().contains("invalid network"));
+    }
+}

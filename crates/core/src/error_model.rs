@@ -48,11 +48,7 @@ pub fn apparent_error_rate(ase: &Ase, pattern_probs: &[f64]) -> f64 {
 /// # Panics
 ///
 /// Panics if the probability vector is smaller than the ELIP table.
-pub fn estimated_real_error_rate(
-    ase: &Ase,
-    pattern_probs: &[f64],
-    dont_cares: &DontCares,
-) -> f64 {
+pub fn estimated_real_error_rate(ase: &Ase, pattern_probs: &[f64], dont_cares: &DontCares) -> f64 {
     ase.elips
         .minterms()
         .filter(|&m| !dont_cares.is_dont_care(m as usize))

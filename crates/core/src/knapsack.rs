@@ -156,16 +156,10 @@ pub fn solve(items: &[KnapsackItem], capacity: u64, filter_dominated: bool) -> K
 /// Removes dominated states: state `a` dominates `b` iff
 /// `a.weight ≤ b.weight` and `a.value ≥ b.value` (keeping one of equal
 /// states).
-fn remove_dominated(
-    mut states: Vec<(usize, KnapsackState)>,
-) -> Vec<(usize, KnapsackState)> {
+fn remove_dominated(mut states: Vec<(usize, KnapsackState)>) -> Vec<(usize, KnapsackState)> {
     // Sort by weight ascending, value descending; then keep a strictly
     // increasing value frontier.
-    states.sort_by(|a, b| {
-        a.1.weight
-            .cmp(&b.1.weight)
-            .then(b.1.value.cmp(&a.1.value))
-    });
+    states.sort_by(|a, b| a.1.weight.cmp(&b.1.weight).then(b.1.value.cmp(&a.1.value)));
     let mut kept: Vec<(usize, KnapsackState)> = Vec::with_capacity(states.len());
     let mut best_value: Option<u64> = None;
     for (idx, s) in states {
@@ -223,18 +217,33 @@ mod tests {
         vec![
             KnapsackItem {
                 states: vec![
-                    KnapsackState { weight: 2, value: 1 }, // s11
-                    KnapsackState { weight: 3, value: 2 }, // s12
+                    KnapsackState {
+                        weight: 2,
+                        value: 1,
+                    }, // s11
+                    KnapsackState {
+                        weight: 3,
+                        value: 2,
+                    }, // s12
                 ],
             },
             KnapsackItem {
                 states: vec![
-                    KnapsackState { weight: 4, value: 2 }, // s21
-                    KnapsackState { weight: 6, value: 4 }, // s22
+                    KnapsackState {
+                        weight: 4,
+                        value: 2,
+                    }, // s21
+                    KnapsackState {
+                        weight: 6,
+                        value: 4,
+                    }, // s22
                 ],
             },
             KnapsackItem {
-                states: vec![KnapsackState { weight: 2, value: 1 }], // s31
+                states: vec![KnapsackState {
+                    weight: 2,
+                    value: 1,
+                }], // s31
             },
         ]
     }
@@ -251,12 +260,7 @@ mod tests {
         for (upto, row) in expect_rows.iter().enumerate() {
             for (j, &cell) in row.iter().enumerate() {
                 let sub = solve(&items[..=upto], j as u64, true);
-                assert_eq!(
-                    sub.total_value, cell,
-                    "m[{}, {}] mismatch",
-                    upto + 1,
-                    j
-                );
+                assert_eq!(sub.total_value, cell, "m[{}, {}] mismatch", upto + 1, j);
             }
         }
     }
@@ -288,8 +292,14 @@ mod tests {
         // State (5, 1) is dominated by (2, 3).
         let items = vec![KnapsackItem {
             states: vec![
-                KnapsackState { weight: 5, value: 1 },
-                KnapsackState { weight: 2, value: 3 },
+                KnapsackState {
+                    weight: 5,
+                    value: 1,
+                },
+                KnapsackState {
+                    weight: 2,
+                    value: 3,
+                },
             ],
         }];
         let sol = solve(&items, 10, true);
@@ -301,10 +311,16 @@ mod tests {
     fn zero_capacity_selects_only_weightless() {
         let items = vec![
             KnapsackItem {
-                states: vec![KnapsackState { weight: 0, value: 7 }],
+                states: vec![KnapsackState {
+                    weight: 0,
+                    value: 7,
+                }],
             },
             KnapsackItem {
-                states: vec![KnapsackState { weight: 1, value: 100 }],
+                states: vec![KnapsackState {
+                    weight: 1,
+                    value: 100,
+                }],
             },
         ];
         let sol = solve(&items, 0, true);

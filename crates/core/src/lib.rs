@@ -8,24 +8,29 @@
 //! rate (fraction of PI vectors producing any wrong PO value) below a
 //! threshold.
 //!
-//! Two algorithms are provided:
+//! The documented entry point is [`approximate`], which takes a [`Strategy`]:
 //!
-//! * [`single_selection`] (paper Algorithm 1) — per iteration, picks the one
+//! * [`Strategy::Single`] (paper Algorithm 1) — per iteration, picks the one
 //!   node/ASE with the best score `saved literals / estimated real error
 //!   rate`, where the estimate discards erroneous local input patterns that
 //!   are SDCs or ODCs of the node (§3.3);
-//! * [`multi_selection`] (paper Algorithm 2) — per iteration, selects a
+//! * [`Strategy::Multi`] (paper Algorithm 2) — per iteration, selects a
 //!   *set* of nodes and ASEs by solving a **multi-state 0/1 knapsack**
 //!   ([`knapsack`]) whose weights are apparent error rates (sound by the
-//!   paper's Theorem 1) and whose values are saved literals.
+//!   paper's Theorem 1) and whose values are saved literals;
+//! * [`Strategy::Sasimi`] — the signal-substitution baseline the paper
+//!   compares against.
 //!
+//! All three draw their candidates from the [`CandidateEngine`], which
+//! memoizes per-node evaluations, re-computes them in parallel (see
+//! [`AlsConfig::threads`]) and invalidates incrementally after each commit.
 //! The same-support/same-signature redundancy-removal pre-process of §6 is
 //! available as [`preprocess::remove_redundancies`].
 //!
 //! # Example
 //!
 //! ```
-//! use als_core::{single_selection, AlsConfig};
+//! use als_core::{approximate, AlsConfig, Strategy};
 //! use als_network::blif;
 //!
 //! let net = blif::parse("\
@@ -39,8 +44,8 @@
 //! -1 1
 //! .end
 //! ")?;
-//! let config = AlsConfig::with_threshold(0.10);
-//! let outcome = single_selection(&net, &config);
+//! let config = AlsConfig::builder().threshold(0.10).build()?;
+//! let outcome = approximate(&net, Strategy::Single, &config)?;
 //! assert!(outcome.measured_error_rate <= 0.10);
 //! assert!(outcome.network.literal_count() <= net.literal_count());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -49,9 +54,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod api;
 mod ase;
 mod config;
 mod context;
+mod engine;
+mod error;
 mod error_model;
 mod multi;
 mod report;
@@ -60,10 +68,14 @@ mod single;
 pub mod classical;
 pub mod knapsack;
 pub mod preprocess;
+pub mod sasimi;
 
+pub use api::{approximate, approximate_under, Strategy};
 pub use ase::{generate_ases, Ase, AseKind};
-pub use config::{AlsConfig, MagnitudeConstraint};
+pub use config::{AlsConfig, AlsConfigBuilder, MagnitudeConstraint};
 pub use context::AlsContext;
+pub use engine::{CandidateEngine, CandidateEval, EngineStats};
+pub use error::AlsError;
 pub use error_model::{apparent_error_rate, estimated_real_error_rate, score, NodeErrorAnalysis};
 pub use multi::{multi_selection, multi_selection_under};
 pub use report::{AlsOutcome, IterationRecord, SelectedChange};

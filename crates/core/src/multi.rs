@@ -1,13 +1,12 @@
 //! The multi-selection algorithm (paper Algorithm 2).
 
-use crate::ase::{generate_ases, Ase};
-use crate::error_model::apparent_error_rate;
+use crate::ase::Ase;
+use crate::engine::CandidateEngine;
 use crate::knapsack::{self, error_rate_scale, scale_weight, KnapsackItem, KnapsackState};
 use crate::report::{AlsOutcome, IterationRecord, SelectedChange};
 use crate::single::apply_ase;
 use crate::{preprocess, AlsConfig, AlsContext};
 use als_network::{Network, NodeId};
-use als_sim::local_pattern_probabilities;
 use std::time::Instant;
 
 /// Runs the multi-selection algorithm: per iteration, every node's ASEs
@@ -17,9 +16,18 @@ use std::time::Instant;
 /// simultaneous changes, justified by the paper's Theorem 1 (the sum of
 /// apparent error rates bounds the combined error-rate increase).
 ///
+/// Candidate pricing comes from the [`CandidateEngine`] (apparent rates
+/// only — don't-care windows are never built here), cached between
+/// iterations and re-evaluated only inside the transitive fanout of each
+/// committed batch.
+///
 /// The measured error rate is re-checked after every batch; an overshooting
 /// batch is rolled back (and optionally retried with half the capacity when
 /// [`AlsConfig::retry_on_overshoot`] is set).
+///
+/// Prefer [`approximate`](crate::approximate) with
+/// [`Strategy::Multi`](crate::Strategy::Multi) for the non-panicking entry
+/// point; this wrapper is kept for compatibility.
 ///
 /// # Panics
 ///
@@ -45,7 +53,7 @@ pub fn multi_selection_under(
     multi_selection_with_context(original, config, ctx)
 }
 
-fn multi_selection_with_context(
+pub(crate) fn multi_selection_with_context(
     original: &Network,
     config: &AlsConfig,
     ctx: AlsContext,
@@ -63,41 +71,34 @@ fn multi_selection_with_context(
     let mut error_rate = ctx.measure(&current);
     let mut margin = config.threshold - error_rate;
     let mut iterations: Vec<IterationRecord> = Vec::new();
+    // Apparent rates only: no don't-care windows in the engine.
+    let mut engine = CandidateEngine::new(config, false);
 
     'outer: for iteration in 1..=config.max_iterations {
         if margin < 0.0 {
             break;
         }
         // Collect the candidate items: every eligible node with its ASEs.
-        let sim = ctx.simulate(&current);
-        let ids: Vec<NodeId> = current.internal_ids().collect();
+        engine.refresh(&current, &ctx);
         let mut nodes: Vec<NodeId> = Vec::new();
         let mut ase_store: Vec<Vec<Ase>> = Vec::new();
         let mut rate_store: Vec<Vec<f64>> = Vec::new();
         let mut items: Vec<KnapsackItem> = Vec::new();
-        for id in ids {
-            let node = current.node(id);
-            let k = node.fanins().len();
-            if k > config.max_fanins || node.is_constant() {
-                continue;
+        for id in engine.node_ids() {
+            let mut ases: Vec<Ase> = Vec::new();
+            let mut rates: Vec<f64> = Vec::new();
+            let mut states: Vec<KnapsackState> = Vec::new();
+            for cand in engine.candidates(id) {
+                states.push(KnapsackState {
+                    weight: scale_weight(cand.apparent, scale),
+                    value: cand.ase.literals_saved as u64,
+                });
+                ases.push(cand.ase.clone());
+                rates.push(cand.apparent);
             }
-            let ases = generate_ases(node.expr(), k, config.max_enum_literals);
             if ases.is_empty() {
                 continue;
             }
-            let probs = local_pattern_probabilities(&current, &sim, id);
-            let rates: Vec<f64> = ases
-                .iter()
-                .map(|ase| apparent_error_rate(ase, &probs))
-                .collect();
-            let states: Vec<KnapsackState> = ases
-                .iter()
-                .zip(&rates)
-                .map(|(ase, &r)| KnapsackState {
-                    weight: scale_weight(r, scale),
-                    value: ase.literals_saved as u64,
-                })
-                .collect();
             nodes.push(id);
             ase_store.push(ases);
             rate_store.push(rates);
@@ -117,6 +118,7 @@ fn multi_selection_with_context(
             // Apply the batch.
             let snapshot = current.clone();
             let mut changes: Vec<SelectedChange> = Vec::new();
+            let mut batch: Vec<NodeId> = Vec::new();
             for ((idx, choice), id) in solution.choices.iter().enumerate().zip(&nodes) {
                 let Some(state) = choice else { continue };
                 let ase = &ase_store[idx][*state];
@@ -127,6 +129,7 @@ fn multi_selection_with_context(
                     error_estimate: rate_store[idx][*state],
                 });
                 apply_ase(&mut current, *id, ase);
+                batch.push(*id);
             }
             current.propagate_constants();
 
@@ -142,6 +145,10 @@ fn multi_selection_with_context(
                 }
                 break 'outer;
             };
+            // Invalidate on the pre-change snapshot, where every batch node
+            // is still live: constant-propagation cascades stay inside
+            // TFO(batch), whose fanout edges the snapshot already has.
+            engine.invalidate_committed(&snapshot, &batch);
             error_rate = new_error_rate;
             margin = config.threshold - error_rate;
             iterations.push(IterationRecord {
@@ -185,10 +192,7 @@ mod tests {
             let g = net.add_node(
                 format!("g{o}"),
                 pis[base..base + 4].to_vec(),
-                Cover::from_cubes(
-                    4,
-                    [cube(&[(0, true), (1, true), (2, true), (3, true)])],
-                ),
+                Cover::from_cubes(4, [cube(&[(0, true), (1, true), (2, true), (3, true)])]),
             );
             net.add_po(format!("y{o}"), g);
         }
@@ -217,7 +221,10 @@ mod tests {
         let out = multi_selection(&net, &AlsConfig::with_threshold(0.10));
         let p = PatternSet::exhaustive(12).unwrap();
         let true_er = error_rate(&net, &out.network, &p);
-        assert!(true_er <= 0.13, "true error rate {true_er} too far over budget");
+        assert!(
+            true_er <= 0.13,
+            "true error rate {true_er} too far over budget"
+        );
     }
 
     #[test]
@@ -256,7 +263,11 @@ mod tests {
         let out = multi_selection(&golden, &config);
         let p = PatternSet::exhaustive(6).unwrap();
         let stats = magnitude_stats(&golden, &out.network, &p);
-        assert!(stats.max_abs <= 1, "deviation {} exceeds bound", stats.max_abs);
+        assert!(
+            stats.max_abs <= 1,
+            "deviation {} exceeds bound",
+            stats.max_abs
+        );
         // Without the constraint the same budget allows larger deviations.
         config.magnitude = None;
         let free = multi_selection(&golden, &config);

@@ -190,10 +190,7 @@ mod tests {
         let y = net.add_node(
             "y",
             drivers.clone(),
-            Cover::from_cubes(
-                4,
-                [cube(&[(0, true), (1, true), (2, true), (3, true)])],
-            ),
+            Cover::from_cubes(4, [cube(&[(0, true), (1, true), (2, true), (3, true)])]),
         );
         net.add_po("y", y);
         let patterns = PatternSet::exhaustive(1).unwrap();

@@ -1,0 +1,226 @@
+//! SASIMI — the *substitute-and-simplify* baseline (Venkataramani et al.,
+//! DATE'13), as configured in the DAC'16 paper's comparison.
+//!
+//! SASIMI's idea: find **signal pairs** `(target, substitute)` that agree on
+//! almost all input vectors, replace the target with the substitute (possibly
+//! inverted), and let the network simplify. The DAC'16 comparison disables
+//! SASIMI's timing handling and gate downsizing so it optimizes area only;
+//! this implementation reproduces that configuration.
+//!
+//! Candidate generation compares all signal pairs — quadratic in the signal
+//! count, which is exactly why the paper's node-local algorithms are faster
+//! (their complexity is linear in the node count).
+
+use crate::report::{AlsOutcome, IterationRecord, SelectedChange};
+use crate::{AlsConfig, AlsContext};
+use als_logic::{Cover, Cube};
+use als_network::{Network, NodeId};
+use std::time::Instant;
+
+/// A candidate substitution: drive every user of `target` with `substitute`
+/// (inverted when `inverted` is set).
+#[derive(Clone, Copy, Debug)]
+struct Candidate {
+    target: NodeId,
+    substitute: Option<NodeId>, // None = constant
+    constant: bool,
+    inverted: bool,
+    difference: u64,
+    score: f64,
+}
+
+/// How many top-ranked candidates are trial-applied per iteration before
+/// SASIMI gives up (each trial costs a simulation).
+const TRIALS_PER_ITERATION: usize = 25;
+
+/// Runs SASIMI on `original` under the error-rate threshold in `config`.
+///
+/// Shared knobs (`num_patterns`, `seed`, `threshold`, `max_iterations`) are
+/// honoured; the ASE- and don't-care-related options do not apply. Prefer
+/// [`approximate`](crate::approximate) with
+/// [`Strategy::Sasimi`](crate::Strategy::Sasimi) for the non-panicking
+/// entry point.
+///
+/// # Panics
+///
+/// Panics if the input network fails its consistency check.
+pub fn sasimi(original: &Network, config: &AlsConfig) -> AlsOutcome {
+    original.check().expect("input network must be consistent");
+    let ctx = AlsContext::new(original, config);
+    sasimi_with_context(original, config, ctx)
+}
+
+pub(crate) fn sasimi_with_context(
+    original: &Network,
+    config: &AlsConfig,
+    ctx: AlsContext,
+) -> AlsOutcome {
+    let start = Instant::now();
+    original.check().expect("input network must be consistent");
+    let initial_literals = original.literal_count();
+
+    let mut current = original.clone();
+    let mut error_rate = ctx.measure(&current);
+    let mut iterations: Vec<IterationRecord> = Vec::new();
+
+    for iteration in 1..=config.max_iterations {
+        let margin = config.threshold - error_rate;
+        if margin < 0.0 {
+            break;
+        }
+        let candidates = generate_candidates(&current, &ctx, margin);
+        let mut committed = false;
+        for cand in candidates.into_iter().take(TRIALS_PER_ITERATION) {
+            let mut trial = current.clone();
+            let description = apply(&mut trial, &cand);
+            trial.propagate_constants();
+            let Some(new_error_rate) = ctx.accepts(&trial, config) else {
+                continue;
+            };
+            let saved = current
+                .literal_count()
+                .saturating_sub(trial.literal_count());
+            if saved == 0 {
+                continue;
+            }
+            error_rate = new_error_rate;
+            iterations.push(IterationRecord {
+                iteration,
+                changes: vec![SelectedChange {
+                    node_name: description,
+                    ase: String::from("substitution"),
+                    literals_saved: saved,
+                    error_estimate: cand.difference as f64 / ctx.patterns().num_patterns() as f64,
+                }],
+                literals_after: trial.literal_count(),
+                error_rate_after: error_rate,
+            });
+            current = trial;
+            committed = true;
+            break;
+        }
+        if !committed {
+            break;
+        }
+    }
+
+    debug_assert!(current.check().is_ok());
+    AlsOutcome {
+        final_literals: current.literal_count(),
+        measured_error_rate: error_rate,
+        network: current,
+        iterations,
+        initial_literals,
+        runtime: start.elapsed(),
+    }
+}
+
+/// Ranks substitution candidates by `literals-freed / error`, considering
+/// every ordered signal pair (in both phases) and the two constants.
+fn generate_candidates(net: &Network, ctx: &AlsContext, margin: f64) -> Vec<Candidate> {
+    let sim = ctx.simulate(net);
+    let num_patterns = ctx.patterns().num_patterns() as u64;
+    let allowed = (margin * num_patterns as f64).floor() as u64;
+
+    let targets: Vec<NodeId> = net
+        .internal_ids()
+        .filter(|&id| !net.node(id).is_constant())
+        .collect();
+    let mut all_signals: Vec<NodeId> = net.pis().to_vec();
+    all_signals.extend(targets.iter().copied());
+
+    let mut out: Vec<Candidate> = Vec::new();
+    for &t in &targets {
+        // Deleting t frees its literals (more after simplification; this is
+        // the ranking heuristic, the trial measures reality).
+        let freed = net.node(t).literal_count();
+        let tfo = net.tfo_mask(t);
+        // Constants: cost of t being 1 with probability ~0 or ~1.
+        let ones = sim.count_ones(t);
+        for (constant, diff) in [(false, ones), (true, num_patterns - ones)] {
+            if diff <= allowed {
+                out.push(Candidate {
+                    target: t,
+                    substitute: None,
+                    constant,
+                    inverted: false,
+                    difference: diff,
+                    score: score(freed, diff, num_patterns),
+                });
+            }
+        }
+        for &s in &all_signals {
+            if s == t || tfo[s.index()] {
+                continue; // self or would create a cycle
+            }
+            let diff = sim.difference_count(t, s);
+            // Same phase.
+            if diff <= allowed {
+                out.push(Candidate {
+                    target: t,
+                    substitute: Some(s),
+                    constant: false,
+                    inverted: false,
+                    difference: diff,
+                    score: score(freed, diff, num_patterns),
+                });
+            }
+            // Inverted phase (costs one extra inverter literal).
+            let inv_diff = num_patterns - diff;
+            if inv_diff <= allowed && freed > 1 {
+                out.push(Candidate {
+                    target: t,
+                    substitute: Some(s),
+                    constant: false,
+                    inverted: true,
+                    difference: inv_diff,
+                    score: score(freed - 1, inv_diff, num_patterns),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then(a.difference.cmp(&b.difference))
+    });
+    out
+}
+
+fn score(freed: usize, diff: u64, num_patterns: u64) -> f64 {
+    let rate = diff as f64 / num_patterns as f64;
+    if rate <= 0.0 {
+        f64::INFINITY
+    } else {
+        freed as f64 / rate
+    }
+}
+
+/// Applies a candidate to the network, returning a human-readable label.
+fn apply(net: &mut Network, cand: &Candidate) -> String {
+    let target_name = net.node(cand.target).name().to_string();
+    match cand.substitute {
+        None => {
+            net.replace_with_constant(cand.target, cand.constant);
+            format!("{target_name} ← const {}", u8::from(cand.constant))
+        }
+        Some(s) => {
+            let source_name = net.node(s).name().to_string();
+            if cand.inverted {
+                let inv = net.add_node(
+                    format!("{target_name}_inv"),
+                    vec![s],
+                    Cover::from_cubes(
+                        1,
+                        [Cube::from_literals(&[(0, false)]).expect("single negative literal")],
+                    ),
+                );
+                net.substitute(cand.target, inv);
+                format!("{target_name} ← {source_name}'")
+            } else {
+                net.substitute(cand.target, s);
+                format!("{target_name} ← {source_name}")
+            }
+        }
+    }
+}

@@ -1,13 +1,11 @@
 //! The single-selection algorithm (paper Algorithm 1).
 
-use crate::ase::{generate_ases, Ase, AseKind};
-use crate::error_model::{estimated_real_error_rate, score};
+use crate::ase::{Ase, AseKind};
+use crate::engine::CandidateEngine;
+use crate::error_model::score;
 use crate::report::{AlsOutcome, IterationRecord, SelectedChange};
 use crate::{preprocess, AlsConfig, AlsContext};
-use als_dontcare::{compute_dont_cares, DontCares};
 use als_network::{Network, NodeId};
-use als_sim::local_pattern_probabilities;
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// Runs the single-selection algorithm: per iteration, every node's feasible
@@ -16,13 +14,19 @@ use std::time::Instant;
 /// stops when no feasible change remains or the measured error rate would
 /// exceed the threshold.
 ///
-/// The node analyses (local-pattern probabilities, don't-cares, ASE
-/// estimates) are cached between iterations and re-computed only for nodes
-/// whose neighbourhood a change could have affected — the locality that
-/// distinguishes this method from SASIMI's global pairwise search.
+/// Candidate pricing is served by the [`CandidateEngine`]: node analyses
+/// (local-pattern probabilities, don't-cares, ASE estimates) are cached
+/// between iterations and re-computed — in parallel when
+/// [`AlsConfig::threads`] allows — only for nodes inside the invalidation
+/// cone of each committed change. That locality is what distinguishes this
+/// method from SASIMI's global pairwise search.
 ///
 /// The returned network always satisfies the threshold (measured on the
 /// run's stimulus against the *original* network).
+///
+/// Prefer [`approximate`](crate::approximate) with
+/// [`Strategy::Single`](crate::Strategy::Single) for the non-panicking
+/// entry point; this wrapper is kept for compatibility.
 ///
 /// # Panics
 ///
@@ -50,7 +54,7 @@ pub fn single_selection_under(
     single_selection_with_context(original, config, ctx)
 }
 
-fn single_selection_with_context(
+pub(crate) fn single_selection_with_context(
     original: &Network,
     config: &AlsConfig,
     ctx: AlsContext,
@@ -67,15 +71,14 @@ fn single_selection_with_context(
     let mut error_rate = ctx.measure(&current);
     let mut margin = config.threshold - error_rate;
     let mut iterations: Vec<IterationRecord> = Vec::new();
-    // Per-node candidate cache: every ASE with its real-error estimate.
-    let mut cache: HashMap<NodeId, Vec<(Ase, f64)>> = HashMap::new();
+    let mut engine = CandidateEngine::new(config, true);
 
     for iteration in 1..=config.max_iterations {
         if margin < 0.0 {
             break;
         }
-        refresh_cache(&current, &ctx, config, &mut cache);
-        let Some((node, ase, estimate)) = best_cached(&cache, margin) else {
+        engine.refresh(&current, &ctx);
+        let Some((node, ase, estimate)) = best_candidate(&engine, margin) else {
             break;
         };
         let snapshot = current.clone();
@@ -89,10 +92,8 @@ fn single_selection_with_context(
             current = snapshot;
             if config.magnitude.is_some() {
                 // Magnitude violations are routine (the estimate does not
-                // model them): discard this candidate and keep searching.
-                if let Some(entries) = cache.get_mut(&node) {
-                    entries.retain(|(a, _)| a.expr != ase.expr);
-                }
+                // model them): suppress this candidate and keep searching.
+                engine.ban(&current, node, &ase.expr);
                 continue;
             }
             // A pure rate violation is unreachable in practice (the estimate
@@ -100,7 +101,11 @@ fn single_selection_with_context(
             // returns the network of the last iteration.
             break;
         };
-        invalidate_neighbourhood(&current, node, config, &mut cache);
+        // Two-cone invalidation: the pre-change network covers windows that
+        // contained the edges the ASE removed, the post-change one covers the
+        // new structure (see `CandidateEngine::invalidate_committed`).
+        engine.invalidate_committed(&snapshot, &[node]);
+        engine.invalidate_committed(&current, &[node]);
         error_rate = new_error_rate;
         margin = config.threshold - error_rate;
         iterations.push(IterationRecord {
@@ -131,136 +136,29 @@ fn single_selection_with_context(
     }
 }
 
-/// (Re)computes cache entries for every eligible node that lacks one.
-fn refresh_cache(
-    net: &Network,
-    ctx: &AlsContext,
-    config: &AlsConfig,
-    cache: &mut HashMap<NodeId, Vec<(Ase, f64)>>,
-) {
-    let ids: Vec<NodeId> = net.internal_ids().collect();
-    // Drop entries for nodes that no longer exist.
-    cache.retain(|id, _| net.is_live(*id));
-    let missing: Vec<NodeId> = ids
-        .iter()
-        .copied()
-        .filter(|id| !cache.contains_key(id))
-        .collect();
-    if missing.is_empty() {
-        return;
-    }
-    let sim = ctx.simulate(net);
-    for id in missing {
-        let node = net.node(id);
-        let k = node.fanins().len();
-        if k > config.max_fanins || node.is_constant() {
-            cache.insert(id, Vec::new());
-            continue;
-        }
-        let ases = generate_ases(node.expr(), k, config.max_enum_literals);
-        if ases.is_empty() {
-            cache.insert(id, Vec::new());
-            continue;
-        }
-        let probs = local_pattern_probabilities(net, &sim, id);
-        let dc = if !config.use_dont_cares {
-            DontCares::none(k)
-        } else if config.exact_dont_cares {
-            als_dontcare::compute_exact_dont_cares(net, id, config.exact_dc_node_limit)
-                .unwrap_or_else(|_| compute_dont_cares(net, id, &config.dont_care))
-        } else {
-            compute_dont_cares(net, id, &config.dont_care)
-        };
-        let entries: Vec<(Ase, f64)> = ases
-            .into_iter()
-            .map(|ase| {
-                let est = estimated_real_error_rate(&ase, &probs, &dc);
-                (ase, est)
-            })
-            .collect();
-        cache.insert(id, entries);
-    }
-}
-
-/// Picks the highest-scoring feasible (estimate ≤ margin) cached candidate.
+/// Picks the highest-scoring feasible (estimate ≤ margin) engine candidate.
 /// Ties in score break toward more saved literals, then lower node ids.
-fn best_cached(
-    cache: &HashMap<NodeId, Vec<(Ase, f64)>>,
-    margin: f64,
-) -> Option<(NodeId, Ase, f64)> {
+fn best_candidate(engine: &CandidateEngine, margin: f64) -> Option<(NodeId, Ase, f64)> {
     let mut best: Option<(NodeId, &Ase, f64, f64)> = None;
-    let mut ids: Vec<&NodeId> = cache.keys().collect();
-    ids.sort();
-    for &id in ids {
-        for (ase, est) in &cache[&id] {
-            if *est > margin {
+    for id in engine.node_ids() {
+        for cand in engine.candidates(id) {
+            if cand.estimate > margin {
                 continue;
             }
-            let s = score(ase.literals_saved, *est);
+            let s = score(cand.ase.literals_saved, cand.estimate);
             let better = match &best {
                 None => true,
                 Some((_, b_ase, _, b_score)) => {
-                    s > *b_score || (s == *b_score && ase.literals_saved > b_ase.literals_saved)
+                    s > *b_score
+                        || (s == *b_score && cand.ase.literals_saved > b_ase.literals_saved)
                 }
             };
             if better {
-                best = Some((id, ase, *est, s));
+                best = Some((id, &cand.ase, cand.estimate, s));
             }
         }
     }
     best.map(|(id, ase, est, _)| (id, ase.clone(), est))
-}
-
-/// Invalidates every cache entry a change at `changed` could affect.
-///
-/// A change at `c` alters the *signatures* (hence local-pattern
-/// probabilities) of exactly the transitive fanout of `c` — which is
-/// fanout-closed, so any node with a fanin in `TFO(c)` is itself in
-/// `TFO(c)`. It alters windowed don't-care classifications only for nodes
-/// whose window can contain `c`, covered by an undirected ball of the
-/// window radius. Upstream (TFI) entries stay valid.
-fn invalidate_neighbourhood(
-    net: &Network,
-    changed: NodeId,
-    config: &AlsConfig,
-    cache: &mut HashMap<NodeId, Vec<(Ase, f64)>>,
-) {
-    let tfo = net.tfo_mask(changed);
-    let radius = config.dont_care.levels_in + config.dont_care.levels_out + 1;
-    let near = undirected_ball(net, changed, radius);
-    cache.retain(|id, _| {
-        let i = id.index();
-        !(tfo[i] || near[i])
-    });
-}
-
-/// Membership bitmap of nodes within `radius` undirected hops of `center`.
-fn undirected_ball(net: &Network, center: NodeId, radius: usize) -> Vec<bool> {
-    let fanouts = net.fanouts();
-    let arena = fanouts.len();
-    let mut seen = vec![false; arena];
-    let mut frontier = vec![center];
-    seen[center.index()] = true;
-    for _ in 0..radius {
-        let mut next = Vec::new();
-        for &n in &frontier {
-            let node = net.node(n);
-            for &f in node.fanins() {
-                if !seen[f.index()] {
-                    seen[f.index()] = true;
-                    next.push(f);
-                }
-            }
-            for &u in &fanouts[n.index()] {
-                if !seen[u.index()] {
-                    seen[u.index()] = true;
-                    next.push(u);
-                }
-            }
-        }
-        frontier = next;
-    }
-    seen
 }
 
 /// Applies an ASE to the network.
@@ -291,10 +189,7 @@ mod tests {
         let g = net.add_node(
             "g",
             pis[..4].to_vec(),
-            Cover::from_cubes(
-                4,
-                [cube(&[(0, true), (1, true), (2, true), (3, true)])],
-            ),
+            Cover::from_cubes(4, [cube(&[(0, true), (1, true), (2, true), (3, true)])]),
         );
         // h = x4 + x5
         let h = net.add_node(
@@ -407,15 +302,17 @@ mod tests {
         let out = single_selection(&golden, &config);
         let p = PatternSet::exhaustive(6).unwrap();
         let stats = magnitude_stats(&golden, &out.network, &p);
-        assert!(stats.max_abs <= 1, "deviation {} exceeds bound", stats.max_abs);
+        assert!(
+            stats.max_abs <= 1,
+            "deviation {} exceeds bound",
+            stats.max_abs
+        );
         assert!(out.measured_error_rate <= 0.40 + 1e-12);
     }
 
     #[test]
     fn cache_and_fresh_runs_agree() {
-        // The cached run must equal a run with caching defeated by a
-        // 1-iteration budget... instead, compare against the multi-run
-        // invariant: final function quality is deterministic per seed.
+        // Determinism per seed: two identical runs must agree exactly.
         let net = rare_term_net();
         let config = AlsConfig::with_threshold(0.10);
         let a = single_selection(&net, &config);

@@ -321,14 +321,8 @@ fn sat_classify(net: &Network, window: &Window, k: usize) -> DontCares {
     // re-encoded against the flipped values.
     let mut fvars: HashMap<NodeId, Var> = vars.clone();
     let pivot_flip = solver.new_var();
-    solver.add_clause(&[
-        Lit::pos(vars[&window.pivot()]),
-        Lit::pos(pivot_flip),
-    ]);
-    solver.add_clause(&[
-        Lit::neg(vars[&window.pivot()]),
-        Lit::neg(pivot_flip),
-    ]);
+    solver.add_clause(&[Lit::pos(vars[&window.pivot()]), Lit::pos(pivot_flip)]);
+    solver.add_clause(&[Lit::neg(vars[&window.pivot()]), Lit::neg(pivot_flip)]);
     fvars.insert(window.pivot(), pivot_flip);
     // Re-encode every internal node downstream of the pivot (in window topo
     // order, anything whose fanin cone inside the window reaches the pivot).
@@ -432,7 +426,10 @@ mod tests {
             vec![i0, n2, n1],
             Cover::from_cubes(
                 3,
-                [cube(&[(0, true), (1, true)]), cube(&[(0, false), (2, true)])],
+                [
+                    cube(&[(0, true), (1, true)]),
+                    cube(&[(0, false), (2, true)]),
+                ],
             ),
         );
         net.add_po("f", f);

@@ -131,7 +131,10 @@ mod tests {
     fn encodes_xor() {
         check_encoding(Cover::from_cubes(
             2,
-            [cube(&[(0, true), (1, false)]), cube(&[(0, false), (1, true)])],
+            [
+                cube(&[(0, true), (1, false)]),
+                cube(&[(0, false), (1, true)]),
+            ],
         ));
     }
 

@@ -154,7 +154,10 @@ mod tests {
             vec![i0, n2, n1],
             Cover::from_cubes(
                 3,
-                [cube(&[(0, true), (1, true)]), cube(&[(0, false), (2, true)])],
+                [
+                    cube(&[(0, true), (1, true)]),
+                    cube(&[(0, false), (2, true)]),
+                ],
             ),
         );
         net.add_po("f", f);

@@ -48,4 +48,4 @@ mod window;
 pub use compute::{compute_dont_cares, DontCareConfig, DontCareMethod, DontCares};
 pub use encode::encode_node_cnf;
 pub use exact::compute_exact_dont_cares;
-pub use window::Window;
+pub use window::{undirected_ball, window_influence, Window};

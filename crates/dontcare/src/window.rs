@@ -79,8 +79,7 @@ impl Window {
             .iter()
             .copied()
             .filter(|&n| {
-                po_drivers.contains(&n)
-                    || fanouts[n.index()].iter().any(|u| !inside.contains(u))
+                po_drivers.contains(&n) || fanouts[n.index()].iter().any(|u| !inside.contains(u))
             })
             .collect();
         roots.sort();
@@ -129,9 +128,8 @@ impl Window {
         leaf_values: u64,
         force_pivot: Option<bool>,
     ) -> HashMap<NodeId, bool> {
-        let mut value: HashMap<NodeId, bool> = HashMap::with_capacity(
-            self.leaves.len() + self.internals.len(),
-        );
+        let mut value: HashMap<NodeId, bool> =
+            HashMap::with_capacity(self.leaves.len() + self.internals.len());
         for (i, &l) in self.leaves.iter().enumerate() {
             value.insert(l, leaf_values >> i & 1 == 1);
         }
@@ -166,6 +164,50 @@ impl Window {
         }
         v
     }
+}
+
+/// Membership bitmap (indexed by arena position) of nodes within `radius`
+/// undirected hops of `center`, traversing fanin and fanout edges alike.
+pub fn undirected_ball(net: &Network, center: NodeId, radius: usize) -> Vec<bool> {
+    let fanouts = net.fanouts();
+    let mut seen = vec![false; fanouts.len()];
+    let mut frontier = vec![center];
+    seen[center.index()] = true;
+    for _ in 0..radius {
+        let mut next = Vec::new();
+        for &n in &frontier {
+            let node = net.node(n);
+            for &f in node.fanins() {
+                if !seen[f.index()] {
+                    seen[f.index()] = true;
+                    next.push(f);
+                }
+            }
+            for &u in &fanouts[n.index()] {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    seen
+}
+
+/// Conservative superset of the nodes whose `levels_in × levels_out` window
+/// can contain `center` — i.e. the nodes whose SDC/ODC classification a
+/// structural change at `center` may alter. Every member of a node's window
+/// lies within `levels_in + levels_out` undirected hops of its pivot, so a
+/// ball of that radius plus one hop of slack (covering edges incident to
+/// `center` that the change removes) is a sound invalidation cone.
+pub fn window_influence(
+    net: &Network,
+    center: NodeId,
+    levels_in: usize,
+    levels_out: usize,
+) -> Vec<bool> {
+    undirected_ball(net, center, levels_in + levels_out + 1)
 }
 
 #[cfg(test)]
@@ -231,13 +273,13 @@ mod tests {
         let w = Window::build(&net, g2, 1, 1);
         // leaves = [a, b]; set a=1, b=1: g1=1, g2=1, g3=!g2=0.
         let vals = w.eval(&net, 0b11, None);
-        assert_eq!(vals[&ids[2]], true);
-        assert_eq!(vals[&g2], true);
-        assert_eq!(vals[&ids[4]], false);
+        assert!(vals[&ids[2]]);
+        assert!(vals[&g2]);
+        assert!(!vals[&ids[4]]);
         // Force pivot to 0: g3 flips.
         let vals = w.eval(&net, 0b11, Some(false));
-        assert_eq!(vals[&g2], false);
-        assert_eq!(vals[&ids[4]], true);
+        assert!(!vals[&g2]);
+        assert!(vals[&ids[4]]);
     }
 
     #[test]

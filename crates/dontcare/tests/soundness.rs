@@ -2,9 +2,7 @@
 //! classification must be a subset of the exact (BDD) one, and the exact one
 //! must agree with brute force.
 
-use als_dontcare::{
-    compute_dont_cares, compute_exact_dont_cares, DontCareConfig, DontCareMethod,
-};
+use als_dontcare::{compute_dont_cares, compute_exact_dont_cares, DontCareConfig, DontCareMethod};
 use als_logic::{Cover, Cube};
 use als_network::{Network, NodeId};
 use proptest::prelude::*;
@@ -13,9 +11,7 @@ const NUM_PIS: usize = 4;
 
 fn build_network(recipe: &[(u8, u8, u8)]) -> Network {
     let mut net = Network::new("random");
-    let mut signals: Vec<NodeId> = (0..NUM_PIS)
-        .map(|i| net.add_pi(format!("x{i}")))
-        .collect();
+    let mut signals: Vec<NodeId> = (0..NUM_PIS).map(|i| net.add_pi(format!("x{i}"))).collect();
     for (idx, &(sel_a, sel_b, kind)) in recipe.iter().enumerate() {
         let a = signals[sel_a as usize % signals.len()];
         let mut b = signals[sel_b as usize % signals.len()];
@@ -97,11 +93,7 @@ fn brute_force(net: &Network, pivot: NodeId) -> (Vec<bool>, Vec<bool>) {
             }
             fvals.insert(id, node.expr().eval(a));
         }
-        if net
-            .pos()
-            .iter()
-            .any(|(_, d)| vals[d] != fvals[d])
-        {
+        if net.pos().iter().any(|(_, d)| vals[d] != fvals[d]) {
             observable[pattern] = true;
         }
     }

@@ -77,7 +77,9 @@ impl Cover {
     pub fn literal(num_vars: usize, var: usize, phase: bool) -> Self {
         assert!(var < num_vars, "literal variable out of range");
         let mut c = Self::new(num_vars);
-        c.push(Cube::from_literals(&[(var, phase)]).expect("single literal is never contradictory"));
+        c.push(
+            Cube::from_literals(&[(var, phase)]).expect("single literal is never contradictory"),
+        );
         c
     }
 
@@ -137,9 +139,7 @@ impl Cover {
 
     /// The union of cube supports.
     pub fn support_mask(&self) -> u64 {
-        self.cubes
-            .iter()
-            .fold(0, |acc, c| acc | c.support_mask())
+        self.cubes.iter().fold(0, |acc, c| acc | c.support_mask())
     }
 
     /// Evaluates the cover on a minterm.
@@ -351,7 +351,10 @@ mod tests {
         // f = x0 x1 + x0' x2
         let f = Cover::from_cubes(
             3,
-            [cube(&[(0, true), (1, true)]), cube(&[(0, false), (2, true)])],
+            [
+                cube(&[(0, true), (1, true)]),
+                cube(&[(0, false), (2, true)]),
+            ],
         );
         let f1 = f.cofactor(0, true);
         let tt = f1.to_truth_table();
@@ -373,7 +376,10 @@ mod tests {
         let (common, quot) = f.make_cube_free();
         assert_eq!(common, cube(&[(0, true)]));
         assert!(quot.is_cube_free());
-        assert_eq!(quot.sorted().cubes(), &[cube(&[(1, true)]), cube(&[(2, true)])]);
+        assert_eq!(
+            quot.sorted().cubes(),
+            &[cube(&[(1, true)]), cube(&[(2, true)])]
+        );
     }
 
     #[test]

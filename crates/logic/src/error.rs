@@ -62,7 +62,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = LogicError::VarOutOfRange { var: 9, num_vars: 4 };
+        let e = LogicError::VarOutOfRange {
+            var: 9,
+            num_vars: 4,
+        };
         assert_eq!(e.to_string(), "variable 9 out of range for 4 variables");
         let e = LogicError::ContradictoryCube { var: 2 };
         assert!(e.to_string().contains("both polarities"));

@@ -338,9 +338,7 @@ impl Expr {
     pub fn depth(&self) -> usize {
         match self {
             Expr::Const(_) | Expr::Lit { .. } => 0,
-            Expr::And(gs) | Expr::Or(gs) => {
-                1 + gs.iter().map(Expr::depth).max().unwrap_or(0)
-            }
+            Expr::And(gs) | Expr::Or(gs) => 1 + gs.iter().map(Expr::depth).max().unwrap_or(0),
         }
     }
 
@@ -409,7 +407,10 @@ mod tests {
             Expr::and(vec![Expr::TRUE, Expr::lit(0, true)]),
             Expr::lit(0, true)
         );
-        assert_eq!(Expr::and(vec![Expr::FALSE, Expr::lit(0, true)]), Expr::FALSE);
+        assert_eq!(
+            Expr::and(vec![Expr::FALSE, Expr::lit(0, true)]),
+            Expr::FALSE
+        );
         assert_eq!(Expr::or(vec![Expr::TRUE, Expr::lit(0, true)]), Expr::TRUE);
         // Nested flattening.
         let e = Expr::and(vec![

@@ -91,8 +91,7 @@ fn kernels_rec(f: &Cover, cokernel_so_far: Cube, min_var: usize, out: &mut Vec<K
                 continue;
             }
             let (common, cube_free) = q.make_cube_free();
-            let lit_cube =
-                Cube::from_literals(&[(var, phase)]).expect("single literal is valid");
+            let lit_cube = Cube::from_literals(&[(var, phase)]).expect("single literal is valid");
             let new_cokernel = cokernel_so_far
                 .intersect(&lit_cube)
                 .and_then(|c| c.intersect(&common));
@@ -101,9 +100,7 @@ fn kernels_rec(f: &Cover, cokernel_so_far: Cube, min_var: usize, out: &mut Vec<K
             };
             // Standard pruning: if the common cube touches a variable below
             // `var`, this kernel was (or will be) found from that variable.
-            if !common.is_universe()
-                && (common.support_mask().trailing_zeros() as usize) < var
-            {
+            if !common.is_universe() && (common.support_mask().trailing_zeros() as usize) < var {
                 continue;
             }
             out.push(Kernel {
@@ -181,11 +178,18 @@ mod tests {
     #[test]
     fn kernels_of_classic_example() {
         let ks = kernels(&classic());
-        let kernel_strings: Vec<String> = ks.iter().map(|k| k.kernel.sorted().to_string()).collect();
+        let kernel_strings: Vec<String> =
+            ks.iter().map(|k| k.kernel.sorted().to_string()).collect();
         // (c + d) from cokernels a and b; (a + b) from cokernels c and d;
         // the whole cover is cube-free hence also a kernel.
-        assert!(kernel_strings.iter().any(|s| s == "x2 + x3"), "{kernel_strings:?}");
-        assert!(kernel_strings.iter().any(|s| s == "x0 + x1"), "{kernel_strings:?}");
+        assert!(
+            kernel_strings.iter().any(|s| s == "x2 + x3"),
+            "{kernel_strings:?}"
+        );
+        assert!(
+            kernel_strings.iter().any(|s| s == "x0 + x1"),
+            "{kernel_strings:?}"
+        );
         assert!(ks.iter().any(|k| k.kernel.len() == 4));
     }
 
@@ -237,9 +241,8 @@ mod tests {
             ],
         );
         let ks = kernels(&f);
-        assert!(ks
-            .iter()
-            .any(|k| k.kernel.sorted().to_string() == "x2 + x3"
-                && k.cokernel == cube(&[(0, false)])));
+        assert!(ks.iter().any(
+            |k| k.kernel.sorted().to_string() == "x2 + x3" && k.cokernel == cube(&[(0, false)])
+        ));
     }
 }

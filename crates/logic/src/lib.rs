@@ -36,8 +36,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-mod cube;
 mod cover;
+mod cube;
 mod error;
 mod expr;
 mod truth;
@@ -49,8 +49,8 @@ pub mod kernel;
 pub mod minimize;
 pub mod urp;
 
-pub use cube::Cube;
 pub use cover::Cover;
+pub use cube::Cube;
 pub use error::LogicError;
 pub use expr::{Expr, LiteralRef};
 pub use isop::isop;

@@ -146,10 +146,9 @@ fn reduce(cover: &Cover, on: &TruthTable) -> Cover {
             if cover.cubes()[i + 1..].iter().any(|c| c.eval(m)) {
                 continue 'minterms;
             }
-            let point = Cube::from_literals(
-                &(0..nv).map(|v| (v, m >> v & 1 == 1)).collect::<Vec<_>>(),
-            )
-            .expect("minterm cube is contradiction-free");
+            let point =
+                Cube::from_literals(&(0..nv).map(|v| (v, m >> v & 1 == 1)).collect::<Vec<_>>())
+                    .expect("minterm cube is contradiction-free");
             essential = Some(match essential {
                 None => point,
                 Some(e) => e.supercube(&point),
@@ -287,7 +286,10 @@ mod tests {
     fn espresso_respects_dont_cares() {
         let f = Cover::from_cubes(
             3,
-            [cube(&[(0, true), (1, true), (2, true)]), cube(&[(0, true), (1, true), (2, false)])],
+            [
+                cube(&[(0, true), (1, true), (2, true)]),
+                cube(&[(0, true), (1, true), (2, false)]),
+            ],
         );
         let dc = TruthTable::from_fn(3, |m| m == 0b001 || m == 0b101).unwrap();
         let m = espresso(&f, &dc, 4);

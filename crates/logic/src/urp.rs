@@ -215,11 +215,7 @@ mod tests {
                     f.push(c);
                 }
             }
-            assert_eq!(
-                tautology(&f),
-                f.to_truth_table().is_one(),
-                "cover {f}"
-            );
+            assert_eq!(tautology(&f), f.to_truth_table().is_one(), "cover {f}");
         }
     }
 
@@ -250,11 +246,7 @@ mod tests {
                 }
             }
             let g = complement(&f);
-            assert_eq!(
-                g.to_truth_table(),
-                !&f.to_truth_table(),
-                "cover {f}"
-            );
+            assert_eq!(g.to_truth_table(), !&f.to_truth_table(), "cover {f}");
         }
     }
 
@@ -264,7 +256,10 @@ mod tests {
         let f = Cover::from_cubes(2, [cube(&[(0, true)]), cube(&[(1, true)])]);
         assert!(cover_contains_cube(&f, &cube(&[(0, true), (1, true)])));
         assert!(!cover_contains_cube(&f, &cube(&[(0, false), (1, false)])));
-        assert!(cover_contains_cube(&Cover::constant_one(2), &Cube::UNIVERSE));
+        assert!(cover_contains_cube(
+            &Cover::constant_one(2),
+            &Cube::UNIVERSE
+        ));
     }
 
     #[test]
@@ -299,10 +294,7 @@ mod tests {
 
     #[test]
     fn complement_twice_is_identity_functionally() {
-        let f = Cover::from_cubes(
-            3,
-            [cube(&[(0, true), (1, false)]), cube(&[(2, true)])],
-        );
+        let f = Cover::from_cubes(3, [cube(&[(0, true), (1, false)]), cube(&[(2, true)])]);
         let ff = complement(&complement(&f));
         assert_eq!(ff.to_truth_table(), f.to_truth_table());
     }

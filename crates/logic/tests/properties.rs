@@ -26,8 +26,7 @@ fn arb_cube() -> impl Strategy<Value = Cube> {
 }
 
 fn arb_cover() -> impl Strategy<Value = Cover> {
-    proptest::collection::vec(arb_cube(), 0..8)
-        .prop_map(|cubes| Cover::from_cubes(NUM_VARS, cubes))
+    proptest::collection::vec(arb_cube(), 0..8).prop_map(|cubes| Cover::from_cubes(NUM_VARS, cubes))
 }
 
 fn arb_truth_table() -> impl Strategy<Value = TruthTable> {

@@ -33,28 +33,154 @@ impl Library {
         }
         let ones = |m: u64| m.count_ones();
         let cells = vec![
-            Cell { name: "inv", arity: 1, function: tt(1, |m| m == 0), area: 1.0, delay: 1.0 },
-            Cell { name: "buf", arity: 1, function: tt(1, |m| m == 1), area: 1.0, delay: 1.0 },
-            Cell { name: "nand2", arity: 2, function: tt(2, |m| m != 3), area: 2.0, delay: 1.0 },
-            Cell { name: "nor2", arity: 2, function: tt(2, |m| m == 0), area: 2.0, delay: 1.0 },
-            Cell { name: "and2", arity: 2, function: tt(2, |m| m == 3), area: 3.0, delay: 1.4 },
-            Cell { name: "or2", arity: 2, function: tt(2, |m| m != 0), area: 3.0, delay: 1.4 },
-            Cell { name: "nand3", arity: 3, function: tt(3, |m| m != 7), area: 3.0, delay: 1.4 },
-            Cell { name: "nor3", arity: 3, function: tt(3, |m| m == 0), area: 3.0, delay: 1.4 },
-            Cell { name: "and3", arity: 3, function: tt(3, |m| m == 7), area: 4.0, delay: 1.8 },
-            Cell { name: "or3", arity: 3, function: tt(3, |m| m != 0), area: 4.0, delay: 1.8 },
-            Cell { name: "nand4", arity: 4, function: tt(4, |m| m != 15), area: 4.0, delay: 1.8 },
-            Cell { name: "nor4", arity: 4, function: tt(4, |m| m == 0), area: 4.0, delay: 1.8 },
-            Cell { name: "and4", arity: 4, function: tt(4, |m| m == 15), area: 5.0, delay: 2.2 },
-            Cell { name: "or4", arity: 4, function: tt(4, |m| m != 0), area: 5.0, delay: 2.2 },
+            Cell {
+                name: "inv",
+                arity: 1,
+                function: tt(1, |m| m == 0),
+                area: 1.0,
+                delay: 1.0,
+            },
+            Cell {
+                name: "buf",
+                arity: 1,
+                function: tt(1, |m| m == 1),
+                area: 1.0,
+                delay: 1.0,
+            },
+            Cell {
+                name: "nand2",
+                arity: 2,
+                function: tt(2, |m| m != 3),
+                area: 2.0,
+                delay: 1.0,
+            },
+            Cell {
+                name: "nor2",
+                arity: 2,
+                function: tt(2, |m| m == 0),
+                area: 2.0,
+                delay: 1.0,
+            },
+            Cell {
+                name: "and2",
+                arity: 2,
+                function: tt(2, |m| m == 3),
+                area: 3.0,
+                delay: 1.4,
+            },
+            Cell {
+                name: "or2",
+                arity: 2,
+                function: tt(2, |m| m != 0),
+                area: 3.0,
+                delay: 1.4,
+            },
+            Cell {
+                name: "nand3",
+                arity: 3,
+                function: tt(3, |m| m != 7),
+                area: 3.0,
+                delay: 1.4,
+            },
+            Cell {
+                name: "nor3",
+                arity: 3,
+                function: tt(3, |m| m == 0),
+                area: 3.0,
+                delay: 1.4,
+            },
+            Cell {
+                name: "and3",
+                arity: 3,
+                function: tt(3, |m| m == 7),
+                area: 4.0,
+                delay: 1.8,
+            },
+            Cell {
+                name: "or3",
+                arity: 3,
+                function: tt(3, |m| m != 0),
+                area: 4.0,
+                delay: 1.8,
+            },
+            Cell {
+                name: "nand4",
+                arity: 4,
+                function: tt(4, |m| m != 15),
+                area: 4.0,
+                delay: 1.8,
+            },
+            Cell {
+                name: "nor4",
+                arity: 4,
+                function: tt(4, |m| m == 0),
+                area: 4.0,
+                delay: 1.8,
+            },
+            Cell {
+                name: "and4",
+                arity: 4,
+                function: tt(4, |m| m == 15),
+                area: 5.0,
+                delay: 2.2,
+            },
+            Cell {
+                name: "or4",
+                arity: 4,
+                function: tt(4, |m| m != 0),
+                area: 5.0,
+                delay: 2.2,
+            },
             // AOI21: !(a·b + c); OAI21: !((a+b)·c)
-            Cell { name: "aoi21", arity: 3, function: tt(3, |m| !((m & 1 == 1 && m >> 1 & 1 == 1) || m >> 2 & 1 == 1)), area: 3.0, delay: 1.6 },
-            Cell { name: "oai21", arity: 3, function: tt(3, |m| !((m & 1 == 1 || m >> 1 & 1 == 1) && m >> 2 & 1 == 1)), area: 3.0, delay: 1.6 },
-            Cell { name: "xor2", arity: 2, function: tt(2, |m| ones(m) == 1), area: 5.0, delay: 1.9 },
-            Cell { name: "xnor2", arity: 2, function: tt(2, |m| ones(m) != 1), area: 5.0, delay: 1.9 },
+            Cell {
+                name: "aoi21",
+                arity: 3,
+                function: tt(3, |m| !((m & 1 == 1 && m >> 1 & 1 == 1) || m >> 2 & 1 == 1)),
+                area: 3.0,
+                delay: 1.6,
+            },
+            Cell {
+                name: "oai21",
+                arity: 3,
+                function: tt(3, |m| !((m & 1 == 1 || m >> 1 & 1 == 1) && m >> 2 & 1 == 1)),
+                area: 3.0,
+                delay: 1.6,
+            },
+            Cell {
+                name: "xor2",
+                arity: 2,
+                function: tt(2, |m| ones(m) == 1),
+                area: 5.0,
+                delay: 1.9,
+            },
+            Cell {
+                name: "xnor2",
+                arity: 2,
+                function: tt(2, |m| ones(m) != 1),
+                area: 5.0,
+                delay: 1.9,
+            },
             // mux21: s ? c : b with inputs (s, b, c)
-            Cell { name: "mux21", arity: 3, function: tt(3, |m| if m & 1 == 1 { m >> 2 & 1 == 1 } else { m >> 1 & 1 == 1 }), area: 6.0, delay: 2.0 },
-            Cell { name: "maj3", arity: 3, function: tt(3, |m| ones(m) >= 2), area: 6.0, delay: 2.0 },
+            Cell {
+                name: "mux21",
+                arity: 3,
+                function: tt(3, |m| {
+                    if m & 1 == 1 {
+                        m >> 2 & 1 == 1
+                    } else {
+                        m >> 1 & 1 == 1
+                    }
+                }),
+                area: 6.0,
+                delay: 2.0,
+            },
+            Cell {
+                name: "maj3",
+                arity: 3,
+                function: tt(3, |m| ones(m) >= 2),
+                area: 6.0,
+                delay: 2.0,
+            },
         ];
         Library { cells }
     }

@@ -234,17 +234,13 @@ impl<'a> Mapper<'a> {
                 }
             }
             Expr::And(children) => {
-                let sigs: Vec<Signal> = children
-                    .iter()
-                    .map(|c| self.decompose(c, fanins))
-                    .collect();
+                let sigs: Vec<Signal> =
+                    children.iter().map(|c| self.decompose(c, fanins)).collect();
                 self.reduce(sigs, true)
             }
             Expr::Or(children) => {
-                let sigs: Vec<Signal> = children
-                    .iter()
-                    .map(|c| self.decompose(c, fanins))
-                    .collect();
+                let sigs: Vec<Signal> =
+                    children.iter().map(|c| self.decompose(c, fanins)).collect();
                 self.reduce(sigs, false)
             }
         }
@@ -354,7 +350,9 @@ mod tests {
         let mut state = 0x51u64;
         for _ in 0..rounds {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let pis: Vec<bool> = (0..net.num_pis()).map(|i| state >> (i % 60) & 1 == 1).collect();
+            let pis: Vec<bool> = (0..net.num_pis())
+                .map(|i| state >> (i % 60) & 1 == 1)
+                .collect();
             assert_eq!(net.eval(&pis), mapped.eval(&pis), "pis {pis:?}");
         }
     }
@@ -369,7 +367,10 @@ mod tests {
             vec![a, b],
             Cover::from_cubes(
                 2,
-                [cube(&[(0, true), (1, false)]), cube(&[(0, false), (1, true)])],
+                [
+                    cube(&[(0, true), (1, false)]),
+                    cube(&[(0, false), (1, true)]),
+                ],
             ),
         );
         net.add_po("y", y);
@@ -411,7 +412,11 @@ mod tests {
             vec![a, b, c],
             Cover::from_cubes(
                 3,
-                [cube(&[(0, false), (1, true)]), cube(&[(1, true), (2, true)]), cube(&[(0, false), (2, false)])],
+                [
+                    cube(&[(0, false), (1, true)]),
+                    cube(&[(1, true), (2, true)]),
+                    cube(&[(0, false), (2, false)]),
+                ],
             ),
         );
         let f2 = net.add_node(
@@ -419,7 +424,11 @@ mod tests {
             vec![a, b, c],
             Cover::from_cubes(
                 3,
-                [cube(&[(0, false), (2, true)]), cube(&[(1, false), (2, false)]), cube(&[(0, false), (1, false)])],
+                [
+                    cube(&[(0, false), (2, true)]),
+                    cube(&[(1, false), (2, false)]),
+                    cube(&[(0, false), (1, false)]),
+                ],
             ),
         );
         net.add_po("f1", f1);
@@ -456,9 +465,7 @@ mod tests {
         let deep = ripple_carry_adder(16);
         let shallow = ripple_carry_adder(2);
         let lib = Library::mcnc_like();
-        assert!(
-            map_network(&deep, &lib).delay() > map_network(&shallow, &lib).delay()
-        );
+        assert!(map_network(&deep, &lib).delay() > map_network(&shallow, &lib).delay());
     }
 
     #[test]

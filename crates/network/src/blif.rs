@@ -422,7 +422,11 @@ mod tests {
         // Two POs may share a driver; aliases are emitted as buffers.
         let mut net = crate::Network::new("alias");
         let a = net.add_pi("a");
-        let g = net.add_node("g", vec![a], Cover::from_cubes(1, [Cube::from_literals(&[(0, false)]).unwrap()]));
+        let g = net.add_node(
+            "g",
+            vec![a],
+            Cover::from_cubes(1, [Cube::from_literals(&[(0, false)]).unwrap()]),
+        );
         net.add_po("y1", g);
         net.add_po("y2", g);
         let text = write(&net);
@@ -436,7 +440,11 @@ mod tests {
     fn po_fed_directly_by_pi() {
         let mut net = crate::Network::new("wire");
         let a = net.add_pi("a");
-        let b = net.add_node("buf", vec![a], Cover::from_cubes(1, [Cube::from_literals(&[(0, true)]).unwrap()]));
+        let b = net.add_node(
+            "buf",
+            vec![a],
+            Cover::from_cubes(1, [Cube::from_literals(&[(0, true)]).unwrap()]),
+        );
         net.add_po("y", b);
         let text = write(&net);
         let back = parse(&text).unwrap();
@@ -446,10 +454,7 @@ mod tests {
     #[test]
     fn rejects_latch() {
         let text = ".model l\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n";
-        assert!(matches!(
-            parse(text),
-            Err(NetworkError::ParseBlif { .. })
-        ));
+        assert!(matches!(parse(text), Err(NetworkError::ParseBlif { .. })));
     }
 
     #[test]

@@ -25,7 +25,13 @@ use std::fmt::Write as _;
 pub fn write_dot(net: &Network) -> String {
     let sanitize = |name: &str| -> String {
         name.chars()
-            .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_alphanumeric() || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect()
     };
     let mut out = String::new();
@@ -77,10 +83,7 @@ mod tests {
         let y = net.add_node(
             "y",
             vec![a, b],
-            Cover::from_cubes(
-                2,
-                [Cube::from_literals(&[(0, true), (1, true)]).unwrap()],
-            ),
+            Cover::from_cubes(2, [Cube::from_literals(&[(0, true), (1, true)]).unwrap()]),
         );
         net.add_po("f", y);
         let text = write_dot(&net);

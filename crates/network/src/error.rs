@@ -63,9 +63,7 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = NetworkError::UndefinedSignal {
-            name: "foo".into(),
-        };
+        let e = NetworkError::UndefinedSignal { name: "foo".into() };
         assert!(e.to_string().contains("foo"));
         let e = NetworkError::ParseBlif {
             line: 7,

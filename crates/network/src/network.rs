@@ -74,7 +74,12 @@ impl Network {
     ///
     /// Panics if the cover's variable count differs from the fanin count, a
     /// fanin id is invalid, or a fanin repeats.
-    pub fn add_node(&mut self, name: impl Into<String>, fanins: Vec<NodeId>, cover: Cover) -> NodeId {
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        fanins: Vec<NodeId>,
+        cover: Cover,
+    ) -> NodeId {
         let expr = factor_cover(&cover);
         self.add_node_with_expr(name, fanins, cover, expr)
     }
@@ -441,7 +446,11 @@ impl Network {
     pub fn substitute(&mut self, old: NodeId, new: NodeId) {
         assert!(self.is_live(old) && self.is_live(new), "ids must be live");
         assert!(old != new, "substituting a node with itself");
-        assert_eq!(self.node(old).kind, NodeKind::Internal, "cannot remove a PI");
+        assert_eq!(
+            self.node(old).kind,
+            NodeKind::Internal,
+            "cannot remove a PI"
+        );
         let tfo = self.tfo_mask(old);
         assert!(!tfo[new.index()], "substitution would create a cycle");
 
@@ -647,8 +656,7 @@ impl Network {
         let n = self.num_pis();
         let mut tables: Vec<Option<TruthTable>> = vec![None; self.nodes.len()];
         for (i, &pi) in self.pis.iter().enumerate() {
-            tables[pi.index()] =
-                Some(TruthTable::var(n, i).expect("PI count within MAX_VARS"));
+            tables[pi.index()] = Some(TruthTable::var(n, i).expect("PI count within MAX_VARS"));
         }
         for id in self.topo_order() {
             let node = self.node(id);
@@ -712,7 +720,10 @@ mod tests {
             vec![i0, n2, n1],
             Cover::from_cubes(
                 3,
-                [cube(&[(0, true), (1, true)]), cube(&[(0, false), (2, true)])],
+                [
+                    cube(&[(0, true), (1, true)]),
+                    cube(&[(0, false), (2, true)]),
+                ],
             ),
         );
         net.add_po("f", f);

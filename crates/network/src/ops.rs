@@ -20,7 +20,11 @@ impl Network {
     /// Panics if `n` is not an internal node, or `user` is not a fanout of
     /// `n`.
     pub fn collapse_into(&mut self, n: NodeId, user: NodeId) -> bool {
-        assert_eq!(self.node(n).kind(), NodeKind::Internal, "cannot collapse a PI");
+        assert_eq!(
+            self.node(n).kind(),
+            NodeKind::Internal,
+            "cannot collapse a PI"
+        );
         let user_node = self.node(user);
         let var_of_n = user_node
             .fanins()
@@ -31,11 +35,7 @@ impl Network {
         let n_fanins = self.node(n).fanins().to_vec();
         let user_fanins = user_node.fanins().to_vec();
         // Merged fanin list: user's (minus n) first, then n's new ones.
-        let mut merged: Vec<NodeId> = user_fanins
-            .iter()
-            .copied()
-            .filter(|&f| f != n)
-            .collect();
+        let mut merged: Vec<NodeId> = user_fanins.iter().copied().filter(|&f| f != n).collect();
         for &f in &n_fanins {
             if !merged.contains(&f) {
                 merged.push(f);

@@ -9,9 +9,7 @@ const NUM_PIS: usize = 4;
 
 fn build_network(recipe: &[(u8, u8, u8)]) -> Network {
     let mut net = Network::new("random");
-    let mut signals: Vec<NodeId> = (0..NUM_PIS)
-        .map(|i| net.add_pi(format!("x{i}")))
-        .collect();
+    let mut signals: Vec<NodeId> = (0..NUM_PIS).map(|i| net.add_pi(format!("x{i}"))).collect();
     for (idx, &(sel_a, sel_b, kind)) in recipe.iter().enumerate() {
         let a = signals[sel_a as usize % signals.len()];
         let mut b = signals[sel_b as usize % signals.len()];

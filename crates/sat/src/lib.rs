@@ -97,7 +97,9 @@ mod tests {
                 // The model must satisfy every clause.
                 for clause in &clauses {
                     assert!(
-                        clause.iter().any(|l| solver.value(l.var()) == Some(l.is_positive())),
+                        clause
+                            .iter()
+                            .any(|l| solver.value(l.var()) == Some(l.is_positive())),
                         "model violates {clause:?}"
                     );
                 }
@@ -113,10 +115,11 @@ mod tests {
             .map(|_| (0..2).map(|_| s.new_var()).collect())
             .collect();
         // Every pigeon in some hole.
-        for i in 0..3 {
-            s.add_clause(&[Lit::pos(p[i][0]), Lit::pos(p[i][1])]);
+        for row in &p {
+            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
         }
         // No two pigeons share a hole.
+        #[allow(clippy::needless_range_loop)] // h indexes the inner dimension of every row
         for h in 0..2 {
             for i in 0..3 {
                 for j in (i + 1)..3 {

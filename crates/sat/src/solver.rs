@@ -73,7 +73,12 @@ impl std::ops::Not for Lit {
 
 impl fmt::Debug for Lit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}v{}", if self.is_positive() { "" } else { "¬" }, self.0 >> 1)
+        write!(
+            f,
+            "{}v{}",
+            if self.is_positive() { "" } else { "¬" },
+            self.0 >> 1
+        )
     }
 }
 
@@ -178,7 +183,11 @@ impl Solver {
         self.backtrack_to(0);
         let mut c: Vec<Lit> = lits.to_vec();
         for l in &c {
-            assert!(l.var().index() < self.num_vars(), "unknown variable {:?}", l.var());
+            assert!(
+                l.var().index() < self.num_vars(),
+                "unknown variable {:?}",
+                l.var()
+            );
         }
         c.sort();
         c.dedup();

@@ -84,6 +84,7 @@ fn pigeonhole_php_5_4_unsat() {
         let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
         s.add_clause(&clause);
     }
+    #[allow(clippy::needless_range_loop)] // h indexes the inner dimension of every row
     for h in 0..holes {
         for i in 0..pigeons {
             for j in (i + 1)..pigeons {
@@ -114,6 +115,7 @@ fn graph_coloring() {
         }
         for e in 0..n {
             let (a, b) = (e, (e + 1) % n);
+            #[allow(clippy::needless_range_loop)] // c indexes the inner dimension of two rows
             for c in 0..colors {
                 s.add_clause(&[Lit::neg(v[a][c]), Lit::neg(v[b][c])]);
             }

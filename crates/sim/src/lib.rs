@@ -40,12 +40,17 @@ mod local;
 mod magnitude;
 mod patterns;
 mod simulator;
+mod view;
 
 pub use error_rate::{error_rate, error_rate_vs_reference, per_output_error_rates, po_words};
-pub use local::{local_pattern_counts, local_pattern_probabilities, MAX_LOCAL_FANINS};
+pub use local::{
+    local_pattern_counts, local_pattern_counts_view, local_pattern_probabilities,
+    local_pattern_probabilities_view, MAX_LOCAL_FANINS,
+};
 pub use magnitude::{magnitude_stats, magnitude_stats_vs_reference, MagnitudeStats};
 pub use patterns::{ExhaustiveTooLarge, PatternSet};
 pub use simulator::{simulate, SimResult};
+pub use view::SimView;
 
 /// The paper's default number of random simulation vectors (§6): 10 000,
 /// rounded up to a whole number of 64-bit words (157 × 64 = 10 048).

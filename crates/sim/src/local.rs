@@ -1,4 +1,4 @@
-use crate::SimResult;
+use crate::{SimResult, SimView};
 use als_network::{Network, NodeId};
 
 /// Maximum fanin count for local-pattern enumeration (`2^k` counters).
@@ -17,6 +17,15 @@ pub const MAX_LOCAL_FANINS: usize = 16;
 /// Panics if the node has more than [`MAX_LOCAL_FANINS`] fanins or was not
 /// simulated.
 pub fn local_pattern_counts(net: &Network, sim: &SimResult, id: NodeId) -> Vec<u64> {
+    local_pattern_counts_view(net, sim.view(), id)
+}
+
+/// [`local_pattern_counts`] over a thread-shareable [`SimView`].
+///
+/// # Panics
+///
+/// Same conditions as [`local_pattern_counts`].
+pub fn local_pattern_counts_view(net: &Network, sim: SimView<'_>, id: NodeId) -> Vec<u64> {
     let node = net.node(id);
     let k = node.fanins().len();
     assert!(
@@ -28,11 +37,7 @@ pub fn local_pattern_counts(net: &Network, sim: &SimResult, id: NodeId) -> Vec<u
         counts[0] = sim.num_patterns() as u64;
         return counts;
     }
-    let fanin_words: Vec<&[u64]> = node
-        .fanins()
-        .iter()
-        .map(|&f| sim.node_words(f))
-        .collect();
+    let fanin_words: Vec<&[u64]> = node.fanins().iter().map(|&f| sim.node_words(f)).collect();
     let wps = sim.words_per_signal();
     let tail = sim.tail_mask();
     for w in 0..wps {
@@ -65,8 +70,17 @@ pub fn local_pattern_counts(net: &Network, sim: &SimResult, id: NodeId) -> Vec<u
 ///
 /// Same conditions as [`local_pattern_counts`].
 pub fn local_pattern_probabilities(net: &Network, sim: &SimResult, id: NodeId) -> Vec<f64> {
+    local_pattern_probabilities_view(net, sim.view(), id)
+}
+
+/// [`local_pattern_probabilities`] over a thread-shareable [`SimView`].
+///
+/// # Panics
+///
+/// Same conditions as [`local_pattern_counts`].
+pub fn local_pattern_probabilities_view(net: &Network, sim: SimView<'_>, id: NodeId) -> Vec<f64> {
     let n = sim.num_patterns() as f64;
-    local_pattern_counts(net, sim, id)
+    local_pattern_counts_view(net, sim, id)
         .into_iter()
         .map(|c| c as f64 / n)
         .collect()
@@ -144,10 +158,7 @@ mod tests {
         let p = PatternSet::random(3, 1000, 5);
         let sim = simulate(&net, &p);
         let counts = local_pattern_counts(&net, &sim, y);
-        assert_eq!(
-            counts.iter().sum::<u64>(),
-            p.num_patterns() as u64
-        );
+        assert_eq!(counts.iter().sum::<u64>(), p.num_patterns() as u64);
     }
 
     #[test]

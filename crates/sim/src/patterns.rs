@@ -1,7 +1,17 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::error::Error;
 use std::fmt;
+
+/// SplitMix64 step — the stimulus generator. Dependency-free and
+/// deterministic per seed, which is all the paper's uniform random stimulus
+/// requires (the exact stream is an implementation detail; every error rate
+/// is measured on the same stream within a run).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A set of primary-input stimulus patterns, stored bit-parallel: pattern
 /// `p` occupies bit `p % 64` of word `p / 64` of each PI's word vector.
@@ -48,9 +58,9 @@ impl PatternSet {
     /// [`crate::DEFAULT_NUM_PATTERNS`]).
     pub fn random(num_pis: usize, num_patterns: usize, seed: u64) -> Self {
         let words_per_pi = num_patterns.div_ceil(64).max(1);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut state = seed ^ 0xA15_5EED_5EED_A155;
         let words = (0..num_pis)
-            .map(|_| (0..words_per_pi).map(|_| rng.gen::<u64>()).collect())
+            .map(|_| (0..words_per_pi).map(|_| splitmix64(&mut state)).collect())
             .collect();
         PatternSet {
             num_pis,

@@ -121,6 +121,14 @@ impl SimResult {
     pub fn tail_mask(&self) -> u64 {
         self.tail_mask
     }
+
+    /// The raw per-arena-position signature storage (for [`SimView`]).
+    ///
+    /// [`SimView`]: crate::SimView
+    #[inline]
+    pub(crate) fn values(&self) -> &[Vec<u64>] {
+        &self.values
+    }
 }
 
 /// Simulates the network under the pattern set, producing per-node
@@ -137,11 +145,7 @@ pub fn simulate(net: &Network, patterns: &PatternSet) -> SimResult {
         "pattern set drives a different PI count"
     );
     let wps = patterns.words_per_signal();
-    let arena = net
-        .node_ids()
-        .map(NodeId::index)
-        .max()
-        .map_or(0, |m| m + 1);
+    let arena = net.node_ids().map(NodeId::index).max().map_or(0, |m| m + 1);
     let mut values: Vec<Vec<u64>> = vec![Vec::new(); arena];
     for (i, &pi) in net.pis().iter().enumerate() {
         values[pi.index()] = patterns.pi_words(i).to_vec();
@@ -192,7 +196,10 @@ mod tests {
             vec![a, b],
             Cover::from_cubes(
                 2,
-                [cube(&[(0, true), (1, false)]), cube(&[(0, false), (1, true)])],
+                [
+                    cube(&[(0, true), (1, false)]),
+                    cube(&[(0, false), (1, true)]),
+                ],
             ),
         );
         net.add_po("y", y);
@@ -252,11 +259,7 @@ mod tests {
             vec![b, a],
             Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
         );
-        let g3 = net.add_node(
-            "g3",
-            vec![a, b],
-            Cover::from_cubes(2, [cube(&[(0, true)])]),
-        );
+        let g3 = net.add_node("g3", vec![a, b], Cover::from_cubes(2, [cube(&[(0, true)])]));
         net.add_po("g1", g1);
         net.add_po("g2", g2);
         net.add_po("g3", g3);

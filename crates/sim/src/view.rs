@@ -1,0 +1,132 @@
+use crate::SimResult;
+use als_network::NodeId;
+
+/// A borrowed, read-only view of a [`SimResult`].
+///
+/// `SimView` is `Copy` and (being a shared borrow of plain data) `Send +
+/// Sync`, so one simulation run can be fanned out across scoped worker
+/// threads without cloning the signature words: every worker receives the
+/// same view by value and reads the shared signatures concurrently. This is
+/// the §3.2 "one simulation run serves every consumer" idea extended across
+/// threads.
+#[derive(Clone, Copy, Debug)]
+pub struct SimView<'a> {
+    pub(crate) num_patterns: usize,
+    pub(crate) words_per_signal: usize,
+    pub(crate) tail_mask: u64,
+    /// Indexed by arena position; tombstones hold empty slices.
+    pub(crate) values: &'a [Vec<u64>],
+}
+
+impl<'a> SimView<'a> {
+    /// Number of simulated patterns.
+    #[inline]
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// Number of words per signal.
+    #[inline]
+    pub fn words_per_signal(&self) -> usize {
+        self.words_per_signal
+    }
+
+    /// Mask selecting the valid bits of the final word.
+    #[inline]
+    pub fn tail_mask(&self) -> u64 {
+        self.tail_mask
+    }
+
+    /// The signature (value words) of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not live at simulation time.
+    pub fn node_words(&self, id: NodeId) -> &'a [u64] {
+        let w = &self.values[id.index()];
+        assert!(!w.is_empty(), "node {id} was not simulated");
+        w
+    }
+
+    /// How many patterns set node `id` to 1.
+    pub fn count_ones(&self, id: NodeId) -> u64 {
+        let words = self.node_words(id);
+        let mut total = 0u64;
+        for (i, w) in words.iter().enumerate() {
+            let w = if i + 1 == words.len() {
+                w & self.tail_mask
+            } else {
+                *w
+            };
+            total += u64::from(w.count_ones());
+        }
+        total
+    }
+
+    /// The signal probability of node `id` (fraction of patterns at 1).
+    pub fn probability(&self, id: NodeId) -> f64 {
+        self.count_ones(id) as f64 / self.num_patterns as f64
+    }
+}
+
+impl SimResult {
+    /// A borrowed view suitable for sharing across scoped threads.
+    pub fn view(&self) -> SimView<'_> {
+        SimView {
+            num_patterns: self.num_patterns(),
+            words_per_signal: self.words_per_signal(),
+            tail_mask: self.tail_mask(),
+            values: self.values(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{local_pattern_counts_view, simulate, PatternSet};
+    use als_logic::{Cover, Cube};
+    use als_network::Network;
+
+    fn and_net() -> (Network, NodeId) {
+        let mut net = Network::new("and2");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let y = net.add_node(
+            "y",
+            vec![a, b],
+            Cover::from_cubes(2, [Cube::from_literals(&[(0, true), (1, true)]).unwrap()]),
+        );
+        net.add_po("y", y);
+        (net, y)
+    }
+
+    #[test]
+    fn view_mirrors_the_result() {
+        let (net, y) = and_net();
+        let p = PatternSet::exhaustive(2).unwrap();
+        let sim = simulate(&net, &p);
+        let view = sim.view();
+        assert_eq!(view.num_patterns(), sim.num_patterns());
+        assert_eq!(view.count_ones(y), sim.count_ones(y));
+        assert_eq!(view.node_words(y), sim.node_words(y));
+        assert_eq!(view.probability(y), sim.probability(y));
+    }
+
+    #[test]
+    fn view_is_shareable_across_scoped_threads() {
+        let (net, y) = and_net();
+        let p = PatternSet::exhaustive(2).unwrap();
+        let sim = simulate(&net, &p);
+        let view = sim.view();
+        let counts: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(move || view.count_ones(y)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(counts.iter().all(|&c| c == 1));
+        let local = local_pattern_counts_view(&net, view, y);
+        assert_eq!(local, vec![1, 1, 1, 1]);
+    }
+}

@@ -47,7 +47,10 @@ fn main() {
         );
         // The exact rate must respect the budget up to sampling noise of the
         // synthesis-time estimate (the 10 048-vector run).
-        assert!(exact <= threshold + 0.01, "exact {exact} vs budget {threshold}");
+        assert!(
+            exact <= threshold + 0.01,
+            "exact {exact} vs budget {threshold}"
+        );
         if threshold == 0.0 {
             assert_eq!(exact, 0.0);
             assert_eq!(equivalence, "equal");

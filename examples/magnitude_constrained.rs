@@ -36,7 +36,7 @@ fn main() {
         );
         if let Some(b) = bound {
             assert!(
-                stats.max_abs <= b as u128 + 1,
+                stats.max_abs <= b + 1,
                 "sampled bound must generalize closely"
             );
         }

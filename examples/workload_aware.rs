@@ -44,7 +44,10 @@ fn main() {
     // Workload-aware synthesis: the budget is measured under the workload.
     let workload_run = single_selection_under(&golden, &config, workload());
 
-    println!("8-bit adder, 5% error-rate budget ({} literals golden):", golden.literal_count());
+    println!(
+        "8-bit adder, 5% error-rate budget ({} literals golden):",
+        golden.literal_count()
+    );
     println!(
         "{:<22} {:>9} {:>16} {:>16}",
         "synthesis stimulus", "literals", "ER (uniform)", "ER (workload)"

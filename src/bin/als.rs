@@ -5,19 +5,19 @@
 //! als gen         <benchmark> [-o out.blif]       emit a generated benchmark
 //! als approximate <in.blif> --threshold 0.05
 //!                 [--algorithm single|multi|sasimi] [-o out.blif]
-//!                 [--seed N] [--patterns N] [--no-dontcares] [--verbose]
+//!                 [--seed N] [--patterns N] [--threads N] [--no-cache]
+//!                 [--no-dontcares] [--verbose]
 //! als verify      <golden.blif> <approx.blif> [--patterns N] [--seed N]
 //! als map         <in.blif>                       mapped area/delay/cells
 //! als list                                        available benchmarks
 //! ```
 
-use als::circuits::registry::find_benchmark;
 use als::circuits::all_benchmarks;
+use als::circuits::registry::find_benchmark;
 use als::core::classical::optimize_classical;
-use als::core::{multi_selection, single_selection, AlsConfig};
+use als::core::{approximate, AlsConfig, Strategy};
 use als::mapper::{map_network, write_verilog, Library};
 use als::network::{blif, Network};
-use als::sasimi::sasimi;
 use als::sim::{error_rate, PatternSet};
 use std::process::ExitCode;
 
@@ -55,8 +55,8 @@ USAGE:
   als stats       <in.blif>
   als gen         <benchmark> [-o out.blif]
   als approximate <in.blif> --threshold T [--algorithm single|multi|sasimi]
-                  [-o out.blif] [--seed N] [--patterns N] [--no-dontcares]
-                  [--verbose]
+                  [-o out.blif] [--seed N] [--patterns N] [--threads N]
+                  [--no-cache] [--no-dontcares] [--verbose]
   als verify      <golden.blif> <approx.blif> [--patterns N] [--seed N]
                   [--exact]   (BDD-based, no sampling)
   als map         <in.blif>
@@ -109,9 +109,11 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
-    let name = args.first().ok_or("gen needs a benchmark name (see `als list`)")?;
-    let bench =
-        find_benchmark(name).ok_or_else(|| format!("unknown benchmark `{name}` (see `als list`)"))?;
+    let name = args
+        .first()
+        .ok_or("gen needs a benchmark name (see `als list`)")?;
+    let bench = find_benchmark(name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (see `als list`)"))?;
     let net = (bench.build)();
     write_or_print(&net, args)
 }
@@ -136,28 +138,34 @@ fn cmd_approximate(args: &[String]) -> Result<(), String> {
         .ok_or("approximate needs --threshold (e.g. 0.05)")?
         .parse()
         .map_err(|e| format!("bad --threshold: {e}"))?;
-    if !(0.0..1.0).contains(&threshold) {
-        return Err("--threshold must be in [0, 1)".into());
-    }
-    let mut config = AlsConfig::with_threshold(threshold);
+    let mut builder = AlsConfig::builder().threshold(threshold);
     if let Some(seed) = flag_value(args, "--seed") {
-        config.seed = seed.parse().map_err(|e| format!("bad --seed: {e}"))?;
+        builder = builder.seed(seed.parse().map_err(|e| format!("bad --seed: {e}"))?);
     }
     if let Some(patterns) = flag_value(args, "--patterns") {
-        config.num_patterns = patterns
-            .parse()
-            .map_err(|e| format!("bad --patterns: {e}"))?;
+        builder = builder.num_patterns(
+            patterns
+                .parse()
+                .map_err(|e| format!("bad --patterns: {e}"))?,
+        );
+    }
+    if let Some(threads) = flag_value(args, "--threads") {
+        builder = builder.threads(threads.parse().map_err(|e| format!("bad --threads: {e}"))?);
+    }
+    if args.iter().any(|a| a == "--no-cache") {
+        builder = builder.cache(false);
     }
     if args.iter().any(|a| a == "--no-dontcares") {
-        config.use_dont_cares = false;
+        builder = builder.use_dont_cares(false);
     }
-    let algorithm = flag_value(args, "--algorithm").unwrap_or("multi");
-    let outcome = match algorithm {
-        "single" => single_selection(&net, &config),
-        "multi" => multi_selection(&net, &config),
-        "sasimi" => sasimi(&net, &config),
+    let config = builder.build().map_err(|e| e.to_string())?;
+    let strategy = match flag_value(args, "--algorithm").unwrap_or("multi") {
+        "single" => Strategy::Single,
+        "multi" => Strategy::Multi,
+        "sasimi" => Strategy::Sasimi,
         other => return Err(format!("unknown --algorithm `{other}`")),
     };
+    let outcome = approximate(&net, strategy, &config).map_err(|e| e.to_string())?;
     eprintln!("{outcome}");
     if args.iter().any(|a| a == "--verbose") {
         for it in &outcome.iterations {
@@ -173,8 +181,12 @@ fn cmd_approximate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_verify(args: &[String]) -> Result<(), String> {
-    let golden_path = args.first().ok_or("verify needs <golden.blif> <approx.blif>")?;
-    let approx_path = args.get(1).ok_or("verify needs <golden.blif> <approx.blif>")?;
+    let golden_path = args
+        .first()
+        .ok_or("verify needs <golden.blif> <approx.blif>")?;
+    let approx_path = args
+        .get(1)
+        .ok_or("verify needs <golden.blif> <approx.blif>")?;
     let golden = read_network(golden_path)?;
     let approx = read_network(approx_path)?;
     if golden.num_pis() != approx.num_pis() || golden.num_pos() != approx.num_pos() {

@@ -22,16 +22,23 @@
 //!
 //! # Quickstart
 //!
+//! The entry point is [`approximate`]: pick a [`Strategy`], build an
+//! [`AlsConfig`] with the builder, and get an [`AlsOutcome`] (or a
+//! non-panicking [`AlsError`] for invalid inputs).
+//!
 //! ```
 //! use als::circuits::adders::ripple_carry_adder;
-//! use als::core::{multi_selection, AlsConfig};
+//! use als::{approximate, AlsConfig, Strategy};
 //!
-//! // Approximate an 8-bit ripple-carry adder with a 5% error-rate budget.
+//! // Approximate an 8-bit ripple-carry adder with a 5% error-rate budget,
+//! // evaluating candidates on two threads.
 //! let golden = ripple_carry_adder(8);
-//! let outcome = multi_selection(&golden, &AlsConfig::with_threshold(0.05));
+//! let config = AlsConfig::builder().threshold(0.05).threads(2).build()?;
+//! let outcome = approximate(&golden, Strategy::Multi, &config)?;
 //! assert!(outcome.measured_error_rate <= 0.05);
 //! assert!(outcome.final_literals <= outcome.initial_literals);
 //! println!("{outcome}");
+//! # Ok::<(), als::AlsError>(())
 //! ```
 
 pub use als_aig as aig;
@@ -47,6 +54,8 @@ pub use als_sat as sat;
 pub use als_sim as sim;
 
 // Convenience re-exports of the items used in almost every program.
-pub use als_core::{multi_selection, single_selection, AlsConfig, AlsOutcome};
+pub use als_core::{
+    approximate, multi_selection, single_selection, AlsConfig, AlsError, AlsOutcome, Strategy,
+};
 pub use als_network::Network;
 pub use als_sasimi::sasimi;

@@ -1,0 +1,114 @@
+//! Property: [`als::approximate`] is a pure function of `(network, strategy,
+//! config-minus-engine-knobs)`. The candidate-evaluation engine's thread
+//! count and cache are pure *speed* knobs — one worker, many workers, and a
+//! disabled cache must produce byte-identical outcomes for the same seed.
+//!
+//! Outcomes are compared down to the BLIF text of the result network, the
+//! full iteration log, and the measured error rate.
+
+use als::circuits::adders::ripple_carry_adder;
+use als::circuits::alu::adder_comparator;
+use als::circuits::misc::priority_encoder;
+use als::network::{blif, Network};
+use als::{approximate, AlsConfig, AlsOutcome, Strategy};
+use proptest::prelude::*;
+
+/// Everything observable about an outcome, as one comparable string.
+fn fingerprint(out: &AlsOutcome) -> String {
+    let mut s = String::new();
+    s.push_str(&blif::write(&out.network));
+    s.push_str(&format!(
+        "\nliterals {} -> {}\nerror_rate {:.17e}\n",
+        out.initial_literals, out.final_literals, out.measured_error_rate
+    ));
+    for it in &out.iterations {
+        s.push_str(&format!(
+            "iter {} lits {} er {:.17e}\n",
+            it.iteration, it.literals_after, it.error_rate_after
+        ));
+        for ch in &it.changes {
+            s.push_str(&format!(
+                "  {} := {} (-{} lits, est {:.17e})\n",
+                ch.node_name, ch.ase, ch.literals_saved, ch.error_estimate
+            ));
+        }
+    }
+    s
+}
+
+/// The three generator circuits the property sweeps.
+fn circuit(index: usize) -> Network {
+    match index {
+        0 => ripple_carry_adder(4),
+        1 => adder_comparator(4),
+        _ => priority_encoder(4),
+    }
+}
+
+fn config(seed: u64, threads: usize, cache: bool) -> AlsConfig {
+    AlsConfig::builder()
+        .threshold(0.05)
+        .num_patterns(512)
+        .seed(seed)
+        .threads(threads)
+        .cache(cache)
+        .build()
+        .expect("test config is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn engine_knobs_never_change_the_outcome(
+        seed in 1u64..1000,
+        circuit_index in 0usize..3,
+        strategy_index in 0usize..2,
+    ) {
+        let net = circuit(circuit_index);
+        let strategy = [Strategy::Single, Strategy::Multi][strategy_index];
+
+        let baseline = approximate(&net, strategy, &config(seed, 1, true)).unwrap();
+        let parallel = approximate(&net, strategy, &config(seed, 4, true)).unwrap();
+        let uncached = approximate(&net, strategy, &config(seed, 1, false)).unwrap();
+
+        let want = fingerprint(&baseline);
+        prop_assert_eq!(
+            &want,
+            &fingerprint(&parallel),
+            "threads=4 diverged from threads=1 (circuit {}, {:?}, seed {})",
+            circuit_index, strategy, seed
+        );
+        prop_assert_eq!(
+            &want,
+            &fingerprint(&uncached),
+            "cache=off diverged from cache=on (circuit {}, {:?}, seed {})",
+            circuit_index, strategy, seed
+        );
+    }
+}
+
+/// The same invariant, pinned on one explicit case per circuit so a failure
+/// names the circuit directly (and so `--test determinism` exercises all
+/// three even if the property's RNG happens not to).
+#[test]
+fn all_three_circuits_agree_across_engine_configs() {
+    for circuit_index in 0..3 {
+        let net = circuit(circuit_index);
+        for strategy in [Strategy::Single, Strategy::Multi] {
+            let baseline = approximate(&net, strategy, &config(7, 1, true)).unwrap();
+            let parallel = approximate(&net, strategy, &config(7, 8, true)).unwrap();
+            let uncached = approximate(&net, strategy, &config(7, 1, false)).unwrap();
+            assert_eq!(
+                fingerprint(&baseline),
+                fingerprint(&parallel),
+                "circuit {circuit_index} {strategy:?}: threads changed the outcome"
+            );
+            assert_eq!(
+                fingerprint(&baseline),
+                fingerprint(&uncached),
+                "circuit {circuit_index} {strategy:?}: cache changed the outcome"
+            );
+        }
+    }
+}

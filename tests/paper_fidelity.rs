@@ -36,7 +36,10 @@ fn fig1() -> (Network, als::network::NodeId) {
         vec![i0, n2, n1],
         Cover::from_cubes(
             3,
-            [cube(&[(0, true), (1, true)]), cube(&[(0, false), (2, true)])],
+            [
+                cube(&[(0, true), (1, true)]),
+                cube(&[(0, false), (2, true)]),
+            ],
         ),
     );
     net.add_po("f", f);
@@ -128,8 +131,7 @@ fn theorem_1_bound_holds_for_batches() {
         for (j, ase_j) in per_node[1].iter().enumerate() {
             let probs_i = local_pattern_probabilities(&net, &simulate(&net, &patterns), ids[0]);
             let probs_j = local_pattern_probabilities(&net, &sim, ids[1]);
-            let bound =
-                apparent_error_rate(ase_i, &probs_i) + apparent_error_rate(ase_j, &probs_j);
+            let bound = apparent_error_rate(ase_i, &probs_i) + apparent_error_rate(ase_j, &probs_j);
             let mut approx = net.clone();
             for (id, ase) in [(ids[0], ase_i), (ids[1], ase_j)] {
                 match ase.expr.as_constant() {
@@ -152,18 +154,33 @@ fn paper_knapsack_example() {
     let items = vec![
         KnapsackItem {
             states: vec![
-                KnapsackState { weight: 2, value: 1 },
-                KnapsackState { weight: 3, value: 2 },
+                KnapsackState {
+                    weight: 2,
+                    value: 1,
+                },
+                KnapsackState {
+                    weight: 3,
+                    value: 2,
+                },
             ],
         },
         KnapsackItem {
             states: vec![
-                KnapsackState { weight: 4, value: 2 },
-                KnapsackState { weight: 6, value: 4 },
+                KnapsackState {
+                    weight: 4,
+                    value: 2,
+                },
+                KnapsackState {
+                    weight: 6,
+                    value: 4,
+                },
             ],
         },
         KnapsackItem {
-            states: vec![KnapsackState { weight: 2, value: 1 }],
+            states: vec![KnapsackState {
+                weight: 2,
+                value: 1,
+            }],
         },
     ];
     let solution = solve(&items, 9, true);

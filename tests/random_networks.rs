@@ -14,9 +14,7 @@ const NUM_PIS: usize = 5;
 /// Builds a random layered network from a compact recipe.
 fn build_network(recipe: &[(u8, u8, u8)]) -> Network {
     let mut net = Network::new("random");
-    let mut signals: Vec<NodeId> = (0..NUM_PIS)
-        .map(|i| net.add_pi(format!("x{i}")))
-        .collect();
+    let mut signals: Vec<NodeId> = (0..NUM_PIS).map(|i| net.add_pi(format!("x{i}"))).collect();
     for (idx, &(sel_a, sel_b, kind)) in recipe.iter().enumerate() {
         let a = signals[sel_a as usize % signals.len()];
         let mut b = signals[sel_b as usize % signals.len()];
@@ -27,10 +25,7 @@ fn build_network(recipe: &[(u8, u8, u8)]) -> Network {
             continue;
         }
         let cover = match kind % 4 {
-            0 => Cover::from_cubes(
-                2,
-                [Cube::from_literals(&[(0, true), (1, true)]).unwrap()],
-            ),
+            0 => Cover::from_cubes(2, [Cube::from_literals(&[(0, true), (1, true)]).unwrap()]),
             1 => Cover::from_cubes(
                 2,
                 [
@@ -45,10 +40,7 @@ fn build_network(recipe: &[(u8, u8, u8)]) -> Network {
                     Cube::from_literals(&[(0, false), (1, true)]).unwrap(),
                 ],
             ),
-            _ => Cover::from_cubes(
-                2,
-                [Cube::from_literals(&[(0, false), (1, false)]).unwrap()],
-            ),
+            _ => Cover::from_cubes(2, [Cube::from_literals(&[(0, false), (1, false)]).unwrap()]),
         };
         let id = net.add_node(format!("g{idx}"), vec![a, b], cover);
         signals.push(id);
