@@ -1,0 +1,94 @@
+//! The perf gate: compares two `BENCH_<circuit>.json` records (see the
+//! `perfsuite` binary) and exits nonzero when the new one regresses.
+//!
+//! Usage: `als-bench --compare <baseline.json> <new.json>
+//! [--max-slowdown PCT] [--max-quality PCT] [--warn-only]`
+//!
+//! * `--max-slowdown` — tolerated wall-time growth in percent (default 15);
+//! * `--max-quality` — tolerated literal-ratio growth in percent (default 2);
+//! * `--warn-only` — print regressions but exit 0 (CI uses this on pull
+//!   requests, where the comparison is advisory; pushes to main fail hard).
+
+use als_bench::exit_with_error;
+use als_bench::record::{compare, BenchRecord, CompareOptions};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if !argv.iter().any(|a| a == "--compare") {
+        exit_with_error(
+            "usage: als-bench --compare <baseline.json> <new.json> \
+             [--max-slowdown PCT] [--max-quality PCT] [--warn-only]",
+        );
+    }
+
+    let mut files: Vec<String> = Vec::new();
+    let mut opts = CompareOptions::default();
+    let mut warn_only = false;
+    let mut i = 0;
+    while i < argv.len() {
+        let pct_of = |i: usize| -> Result<f64, String> {
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("{} expects a percentage", argv[i]))?;
+            value
+                .parse()
+                .map_err(|_| format!("{} expects a number, got `{value}`", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--compare" => {}
+            "--warn-only" => warn_only = true,
+            "--max-slowdown" => {
+                opts.max_slowdown_pct = pct_of(i).unwrap_or_else(|e| exit_with_error(&e));
+                i += 1;
+            }
+            "--max-quality" => {
+                opts.max_quality_pct = pct_of(i).unwrap_or_else(|e| exit_with_error(&e));
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                exit_with_error(&format!("unknown flag `{flag}`"));
+            }
+            file => files.push(file.to_string()),
+        }
+        i += 1;
+    }
+    if files.len() != 2 {
+        exit_with_error("--compare expects exactly two files: <baseline.json> <new.json>");
+    }
+
+    let load = |path: &str| -> BenchRecord {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| exit_with_error(&format!("cannot read {path}: {e}")));
+        BenchRecord::parse(&text).unwrap_or_else(|e| exit_with_error(&format!("{path}: {e}")))
+    };
+    let old = load(&files[0]);
+    let new = load(&files[1]);
+
+    if old.nproc != new.nproc || old.threads != new.threads {
+        println!(
+            "note: environments differ (baseline {} threads on {} cores, \
+             new {} threads on {} cores) — timings may not be comparable",
+            old.threads, old.nproc, new.threads, new.nproc
+        );
+    }
+
+    let regressions = compare(&old, &new, &opts);
+    if regressions.is_empty() {
+        println!(
+            "{}: no regression vs baseline {} (limits: +{:.0}% time, +{:.0}% quality)",
+            new.circuit, old.git_sha, opts.max_slowdown_pct, opts.max_quality_pct
+        );
+        return;
+    }
+    for line in &regressions {
+        println!("REGRESSION: {line}");
+    }
+    if warn_only {
+        println!(
+            "(--warn-only: exiting 0 despite {} regression(s))",
+            regressions.len()
+        );
+    } else {
+        std::process::exit(1);
+    }
+}

@@ -11,7 +11,7 @@ use als_circuits::alu::adder_comparator;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let threads = als_bench::parse_threads();
+    let threads = als_bench::parse_threads().unwrap_or_else(|e| als_bench::exit_with_error(&e));
     let widths: &[usize] = if quick {
         &[8, 16, 32]
     } else {

@@ -17,9 +17,13 @@
 
 #![warn(missing_docs)]
 
+use als_circuits::{all_benchmarks, Benchmark};
 use als_core::{approximate, AlsConfig, AlsOutcome, Strategy};
 use als_mapper::{map_network, Library};
 use als_network::Network;
+use als_telemetry::MetricsReport;
+
+pub mod record;
 
 /// The seven error-rate thresholds of the paper's evaluation (§6).
 pub const PAPER_THRESHOLDS: [f64; 7] = [0.001, 0.003, 0.005, 0.008, 0.01, 0.03, 0.05];
@@ -84,6 +88,8 @@ pub struct RunResult {
     pub error_rate: f64,
     /// Wall-clock runtime in seconds.
     pub runtime_s: f64,
+    /// Engine metrics of the run (phase timings, cache/simulation counters).
+    pub metrics: MetricsReport,
 }
 
 /// Runs one algorithm on one circuit at one threshold, reporting mapped
@@ -119,6 +125,7 @@ pub fn run_one(
         delay_ratio: approx_mapped.delay() / golden_mapped.delay(),
         error_rate: outcome.measured_error_rate,
         runtime_s: outcome.runtime.as_secs_f64(),
+        metrics: outcome.metrics,
     }
 }
 
@@ -155,16 +162,46 @@ pub fn parse_common_args() -> (bool, Option<String>) {
 /// Parses the `--threads N` flag shared by the bench binaries. Defaults to
 /// `1` (the deterministic baseline); `0` means "all available cores".
 ///
-/// # Panics
-///
-/// Panics (with a usage message) when the flag's value is not an integer.
-pub fn parse_threads() -> usize {
+/// A missing or non-integer value is an error (the binaries print it and
+/// exit nonzero instead of panicking).
+pub fn parse_threads() -> Result<usize, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    args.iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().expect("--threads expects an integer"))
-        .unwrap_or(1)
+    let Some(i) = args.iter().position(|a| a == "--threads") else {
+        return Ok(1);
+    };
+    let Some(value) = args.get(i + 1) else {
+        return Err("--threads expects a value (a worker count, 0 = all cores)".to_string());
+    };
+    value
+        .parse()
+        .map_err(|_| format!("--threads expects an integer, got `{value}` (0 = all cores)"))
+}
+
+/// Resolves an optional `--circuit` filter against the Table 3 registry.
+/// An unknown name is an error that lists the valid names, so a typo fails
+/// loudly instead of silently benchmarking nothing.
+pub fn resolve_benchmarks(filter: Option<&str>) -> Result<Vec<Benchmark>, String> {
+    let all = all_benchmarks();
+    let Some(name) = filter else { return Ok(all) };
+    let selected: Vec<Benchmark> = all
+        .iter()
+        .filter(|b| b.name.eq_ignore_ascii_case(name))
+        .cloned()
+        .collect();
+    if selected.is_empty() {
+        let names: Vec<&str> = all.iter().map(|b| b.name).collect();
+        return Err(format!(
+            "unknown circuit `{name}`; valid names: {}",
+            names.join(", ")
+        ));
+    }
+    Ok(selected)
+}
+
+/// Prints a bench-binary error to stderr and exits nonzero.
+pub fn exit_with_error(err: &str) -> ! {
+    eprintln!("error: {err}");
+    std::process::exit(2);
 }
 
 #[cfg(test)]
@@ -192,6 +229,24 @@ mod tests {
         assert!(r.area_ratio <= 1.05);
         assert!(r.error_rate <= 0.05 + 1e-12);
         assert!(r.runtime_s >= 0.0);
+    }
+
+    #[test]
+    fn resolve_benchmarks_rejects_unknown_names() {
+        let err = resolve_benchmarks(Some("nonesuch")).unwrap_err();
+        assert!(err.contains("nonesuch"));
+        assert!(err.contains("RCA32"), "must list valid names: {err}");
+        assert_eq!(resolve_benchmarks(None).unwrap().len(), 12);
+        assert_eq!(resolve_benchmarks(Some("rca32")).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn run_one_populates_metrics() {
+        let net = ripple_carry_adder(4);
+        let r = run_one("RCA4", &net, Algorithm::SingleSelection, 0.05, true, 1);
+        assert!(r.metrics.simulations > 0);
+        assert!(r.metrics.measurements > 0);
+        assert_eq!(r.metrics.algorithm, "single-selection");
     }
 
     #[test]

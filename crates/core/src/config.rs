@@ -1,6 +1,7 @@
 use crate::AlsError;
 use als_dontcare::DontCareConfig;
 use als_sim::{DEFAULT_NUM_PATTERNS, MAX_LOCAL_FANINS};
+use als_telemetry::Telemetry;
 
 /// An optional constraint on the numeric **error magnitude** — the paper's
 /// named future-work extension (§7). The POs are interpreted little-endian
@@ -20,7 +21,7 @@ pub struct MagnitudeConstraint {
 /// threshold); individual fields stay public and can be adjusted after
 /// construction. The struct is `#[non_exhaustive]`: new knobs may appear in
 /// minor releases without breaking downstream builds.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 #[non_exhaustive]
 pub struct AlsConfig {
     /// The error rate threshold `T` (fraction of PI vectors allowed to
@@ -71,6 +72,10 @@ pub struct AlsConfig {
     /// every iteration — an expensive but occasionally useful cross-check,
     /// guaranteed to produce identical results.
     pub cache: bool,
+    /// Telemetry sinks observing the run (see [`als_telemetry`]). Disabled
+    /// by default: the engine then skips event construction entirely, and
+    /// results are byte-identical with any sink attached.
+    pub telemetry: Telemetry,
 }
 
 impl AlsConfig {
@@ -102,6 +107,7 @@ impl AlsConfig {
             magnitude: None,
             threads: 1,
             cache: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -261,6 +267,25 @@ impl AlsConfigBuilder {
         self
     }
 
+    /// Attaches telemetry sinks — engine counters, phase timings and
+    /// iteration records then flow to every sink in the handle. Accepts a
+    /// [`Telemetry`] handle or any `Arc<impl TelemetrySink>`:
+    ///
+    /// ```
+    /// use als_core::AlsConfig;
+    /// use als_telemetry::MetricsCollector;
+    /// use std::sync::Arc;
+    ///
+    /// let collector = Arc::new(MetricsCollector::new());
+    /// let config = AlsConfig::builder().telemetry(collector.clone()).build()?;
+    /// assert!(config.telemetry.is_enabled());
+    /// # Ok::<(), als_core::AlsError>(())
+    /// ```
+    pub fn telemetry(mut self, telemetry: impl Into<Telemetry>) -> Self {
+        self.config.telemetry = telemetry.into();
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -289,6 +314,7 @@ mod tests {
         assert!(c.magnitude.is_none());
         assert_eq!(c.threads, 1);
         assert!(c.cache);
+        assert!(!c.telemetry.is_enabled());
     }
 
     #[test]

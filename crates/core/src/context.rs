@@ -4,6 +4,7 @@ use als_sim::{
     error_rate_vs_reference, magnitude_stats_vs_reference, po_words, simulate, MagnitudeStats,
     PatternSet, SimResult,
 };
+use als_telemetry::{Event, Telemetry};
 
 /// Shared plumbing for both algorithms: the frozen reference (golden PO
 /// signatures of the *original* network) and the stimulus, so every
@@ -12,6 +13,7 @@ use als_sim::{
 pub struct AlsContext {
     patterns: PatternSet,
     reference_po_words: Vec<Vec<u64>>,
+    telemetry: Telemetry,
 }
 
 impl AlsContext {
@@ -20,7 +22,7 @@ impl AlsContext {
     /// (the paper's setting).
     pub fn new(original: &Network, config: &AlsConfig) -> Self {
         let patterns = PatternSet::random(original.num_pis(), config.num_patterns, config.seed);
-        Self::with_patterns(original, patterns)
+        Self::with_patterns(original, patterns).with_telemetry(config.telemetry.clone())
     }
 
     /// Like [`AlsContext::new`] but with caller-supplied stimulus — the
@@ -33,7 +35,16 @@ impl AlsContext {
         AlsContext {
             patterns,
             reference_po_words,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; every `measure`/`simulate` call then
+    /// emits one coarse event. Events carry only timings and sizes, so the
+    /// measured results are identical with any sink.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The stimulus all measurements share.
@@ -43,12 +54,25 @@ impl AlsContext {
 
     /// Measures the error rate of `candidate` against the golden reference.
     pub fn measure(&self, candidate: &Network) -> f64 {
-        error_rate_vs_reference(&self.reference_po_words, candidate, &self.patterns)
+        let mark = self.telemetry.start();
+        let rate = error_rate_vs_reference(&self.reference_po_words, candidate, &self.patterns);
+        self.telemetry.emit(|| Event::Measured {
+            error_rate: rate,
+            nanos: Telemetry::nanos_since(mark),
+        });
+        rate
     }
 
     /// Simulates `candidate` (fresh signatures for its current structure).
     pub fn simulate(&self, candidate: &Network) -> SimResult {
-        simulate(candidate, &self.patterns)
+        let mark = self.telemetry.start();
+        let sim = simulate(candidate, &self.patterns);
+        self.telemetry.emit(|| Event::Simulated {
+            patterns: self.patterns.num_patterns() as u64,
+            nodes: candidate.num_internal() as u64,
+            nanos: Telemetry::nanos_since(mark),
+        });
+        sim
     }
 
     /// Measures numeric deviation statistics of `candidate` against the

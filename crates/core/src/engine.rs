@@ -26,6 +26,7 @@ use als_dontcare::{compute_dont_cares, window_influence, DontCares};
 use als_logic::Expr;
 use als_network::{Network, NodeId};
 use als_sim::{local_pattern_probabilities_view, SimView};
+use als_telemetry::{Event, Telemetry};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -94,6 +95,10 @@ pub struct CandidateEngine {
     needs_dont_cares: bool,
     threads: usize,
     cache_enabled: bool,
+    /// Sink handle from the config; one `EngineRefresh` event per refresh
+    /// and one `ConeInvalidated` per commit — never per-node events, so the
+    /// workers stay telemetry-free.
+    telemetry: Telemetry,
     cache: CandidateCache,
     /// Candidates rejected for cause (e.g. a magnitude violation), keyed by
     /// (node, local-function signature): they stay suppressed through cache
@@ -111,10 +116,11 @@ impl CandidateEngine {
     /// apparent rate (multi-selection).
     pub fn new(config: &AlsConfig, needs_dont_cares: bool) -> Self {
         CandidateEngine {
-            config: *config,
+            config: config.clone(),
             needs_dont_cares,
             threads: resolve_threads(config.threads),
             cache_enabled: config.cache,
+            telemetry: config.telemetry.clone(),
             cache: CandidateCache::default(),
             banned: HashMap::new(),
             last_evaluated: Vec::new(),
@@ -132,38 +138,46 @@ impl CandidateEngine {
     /// rewritten nodes, then evaluates every uncached eligible node — in
     /// parallel when the pending set is large enough.
     pub fn refresh(&mut self, net: &Network, ctx: &AlsContext) {
+        let mark = self.telemetry.start();
         self.stats.refreshes += 1;
         if !self.cache_enabled {
             self.cache.entries.clear();
         }
         self.cache.entries.retain(|id, _| net.is_live(*id));
 
+        let mut hits = 0usize;
         let mut pending: Vec<(NodeId, u64)> = Vec::new();
         for id in net.internal_ids() {
             let signature = local_signature(net, id);
             match self.cache.entries.get(&id) {
-                Some(entry) if entry.signature == signature => self.stats.cache_hits += 1,
+                Some(entry) if entry.signature == signature => hits += 1,
                 _ => pending.push((id, signature)),
             }
         }
+        self.stats.cache_hits += hits;
         self.last_evaluated = pending.iter().map(|&(id, _)| id).collect();
-        if pending.is_empty() {
-            return;
-        }
-        self.stats.evaluated += pending.len();
+        let evaluated = pending.len();
+        if !pending.is_empty() {
+            self.stats.evaluated += pending.len();
 
-        let sim = ctx.simulate(net);
-        let computed = evaluate_all(
-            net,
-            sim.view(),
-            &self.config,
-            self.needs_dont_cares,
-            &pending,
-            self.threads,
-        );
-        for (id, entry) in computed {
-            self.cache.entries.insert(id, entry);
+            let sim = ctx.simulate(net);
+            let computed = evaluate_all(
+                net,
+                sim.view(),
+                &self.config,
+                self.needs_dont_cares,
+                &pending,
+                self.threads,
+            );
+            for (id, entry) in computed {
+                self.cache.entries.insert(id, entry);
+            }
         }
+        self.telemetry.emit(|| Event::EngineRefresh {
+            evaluated: evaluated as u64,
+            cache_hits: hits as u64,
+            nanos: Telemetry::nanos_since(mark),
+        });
     }
 
     /// The priced candidates of node `id` (empty when the node is ineligible
@@ -238,9 +252,15 @@ impl CandidateEngine {
                 }
             }
         }
+        let before = self.cache.entries.len();
         self.cache
             .entries
             .retain(|id, _| !cone.get(id.index()).copied().unwrap_or(false));
+        let dropped = before - self.cache.entries.len();
+        self.telemetry.emit(|| Event::ConeInvalidated {
+            changed: changed.len() as u64,
+            dropped: dropped as u64,
+        });
     }
 
     /// Node ids the most recent [`refresh`](CandidateEngine::refresh)
@@ -256,7 +276,7 @@ impl CandidateEngine {
 }
 
 /// Resolves a configured thread count: `0` means "ask the OS".
-fn resolve_threads(configured: usize) -> usize {
+pub(crate) fn resolve_threads(configured: usize) -> usize {
     if configured == 0 {
         std::thread::available_parallelism().map_or(1, usize::from)
     } else {

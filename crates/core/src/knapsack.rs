@@ -43,6 +43,9 @@ pub struct KnapsackSolution {
     pub total_value: u64,
     /// The total weight of the selection.
     pub total_weight: u64,
+    /// Size of the DP table that was filled (`num_items × (capacity + 1)`);
+    /// reported through telemetry as a work measure.
+    pub dp_cells: u64,
 }
 
 impl fmt::Display for KnapsackSolution {
@@ -150,6 +153,7 @@ pub fn solve(items: &[KnapsackItem], capacity: u64, filter_dominated: bool) -> K
         total_value: m[n * width + cap],
         total_weight,
         choices,
+        dp_cells: (n * width) as u64,
     }
 }
 

@@ -80,3 +80,10 @@ pub use error_model::{apparent_error_rate, estimated_real_error_rate, score, Nod
 pub use multi::{multi_selection, multi_selection_under};
 pub use report::{AlsOutcome, IterationRecord, SelectedChange};
 pub use single::{single_selection, single_selection_under};
+
+/// The telemetry crate, re-exported so downstream users can attach sinks
+/// without naming `als-telemetry` in their own manifests.
+pub use als_telemetry as telemetry;
+pub use als_telemetry::{
+    Event, JsonlSink, MetricsCollector, MetricsReport, PhaseKind, Telemetry, TelemetrySink,
+};

@@ -7,6 +7,8 @@ use crate::report::{AlsOutcome, IterationRecord, SelectedChange};
 use crate::single::apply_ase;
 use crate::{preprocess, AlsConfig, AlsContext};
 use als_network::{Network, NodeId};
+use als_telemetry::{Event, MetricsCollector, PhaseKind, Telemetry};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Runs the multi-selection algorithm: per iteration, every node's ASEs
@@ -62,10 +64,31 @@ pub(crate) fn multi_selection_with_context(
     original.check().expect("input network must be consistent");
     let initial_literals = original.literal_count();
 
+    // Same sink arrangement as single-selection: an internal collector feeds
+    // `AlsOutcome::metrics` alongside any user-configured sinks.
+    let collector = Arc::new(MetricsCollector::new());
+    let mut config = config.clone();
+    config.telemetry = config.telemetry.clone().with(collector.clone());
+    let config = &config;
+    let ctx = ctx.with_telemetry(config.telemetry.clone());
+
+    config.telemetry.emit(|| Event::RunStart {
+        algorithm: "multi-selection",
+        threads: crate::engine::resolve_threads(config.threads),
+        num_patterns: ctx.patterns().num_patterns(),
+        nodes: original.num_internal(),
+        threshold: config.threshold,
+    });
+
     let mut current = original.clone();
+    let pre_mark = config.telemetry.start();
     if config.preprocess {
         preprocess::remove_redundancies(&mut current, ctx.patterns());
     }
+    config.telemetry.emit(|| Event::PhaseEnd {
+        phase: PhaseKind::Preprocess,
+        nanos: Telemetry::nanos_since(pre_mark),
+    });
 
     let scale = error_rate_scale(config.threshold);
     let mut error_rate = ctx.measure(&current);
@@ -78,6 +101,7 @@ pub(crate) fn multi_selection_with_context(
         if margin < 0.0 {
             break;
         }
+        let iter_mark = config.telemetry.start();
         // Collect the candidate items: every eligible node with its ASEs.
         engine.refresh(&current, &ctx);
         let mut nodes: Vec<NodeId> = Vec::new();
@@ -110,7 +134,14 @@ pub(crate) fn multi_selection_with_context(
 
         let mut capacity = scale_weight(margin.max(0.0), scale);
         loop {
+            let dp_mark = config.telemetry.start();
             let solution = knapsack::solve(&items, capacity, true);
+            config.telemetry.emit(|| Event::KnapsackSolved {
+                items: items.len() as u64,
+                capacity,
+                dp_cells: solution.dp_cells,
+                nanos: Telemetry::nanos_since(dp_mark),
+            });
             if solution.choices.iter().all(Option::is_none) {
                 break 'outer;
             }
@@ -151,24 +182,41 @@ pub(crate) fn multi_selection_with_context(
             engine.invalidate_committed(&snapshot, &batch);
             error_rate = new_error_rate;
             margin = config.threshold - error_rate;
+            let literals_after = current.literal_count();
+            let num_changes = changes.len();
             iterations.push(IterationRecord {
                 iteration,
                 changes,
-                literals_after: current.literal_count(),
+                literals_after,
                 error_rate_after: error_rate,
+            });
+            config.telemetry.emit(|| Event::IterationEnd {
+                iteration: iteration as u64,
+                changes: num_changes as u64,
+                literals: literals_after as u64,
+                error_rate,
+                nanos: Telemetry::nanos_since(iter_mark),
             });
             break;
         }
     }
 
     debug_assert!(current.check().is_ok());
+    let final_literals = current.literal_count();
+    config.telemetry.emit(|| Event::RunEnd {
+        iterations: iterations.len() as u64,
+        literals: final_literals as u64,
+        error_rate,
+        nanos: start.elapsed().as_nanos() as u64,
+    });
     AlsOutcome {
-        final_literals: current.literal_count(),
+        final_literals,
         measured_error_rate: error_rate,
         network: current,
         iterations,
         initial_literals,
         runtime: start.elapsed(),
+        metrics: collector.report(),
     }
 }
 

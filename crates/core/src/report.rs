@@ -1,4 +1,5 @@
 use als_network::Network;
+use als_telemetry::MetricsReport;
 use std::fmt;
 use std::time::Duration;
 
@@ -47,6 +48,10 @@ pub struct AlsOutcome {
     pub measured_error_rate: f64,
     /// Wall-clock time of the whole run (pre-process included).
     pub runtime: Duration,
+    /// Engine metrics gathered during the run (simulation, cache, knapsack
+    /// and per-phase counters); always populated, independent of any user
+    /// sinks configured through [`AlsConfig`](crate::AlsConfig).
+    pub metrics: MetricsReport,
 }
 
 impl AlsOutcome {
@@ -95,6 +100,7 @@ mod tests {
             final_literals: 0,
             measured_error_rate: 0.0,
             runtime: Duration::ZERO,
+            metrics: MetricsReport::default(),
         };
         assert_eq!(outcome.literal_ratio(), 1.0);
         assert_eq!(outcome.num_changes(), 0);

@@ -15,6 +15,8 @@ use crate::report::{AlsOutcome, IterationRecord, SelectedChange};
 use crate::{AlsConfig, AlsContext};
 use als_logic::{Cover, Cube};
 use als_network::{Network, NodeId};
+use als_telemetry::{Event, MetricsCollector, Telemetry};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A candidate substitution: drive every user of `target` with `substitute`
@@ -59,6 +61,22 @@ pub(crate) fn sasimi_with_context(
     original.check().expect("input network must be consistent");
     let initial_literals = original.literal_count();
 
+    // Same sink arrangement as the paper's algorithms, so the baseline's
+    // runs are directly comparable in the perf records.
+    let collector = Arc::new(MetricsCollector::new());
+    let mut config = config.clone();
+    config.telemetry = config.telemetry.clone().with(collector.clone());
+    let config = &config;
+    let ctx = ctx.with_telemetry(config.telemetry.clone());
+
+    config.telemetry.emit(|| Event::RunStart {
+        algorithm: "sasimi",
+        threads: 1, // the baseline's pairwise search is sequential
+        num_patterns: ctx.patterns().num_patterns(),
+        nodes: original.num_internal(),
+        threshold: config.threshold,
+    });
+
     let mut current = original.clone();
     let mut error_rate = ctx.measure(&current);
     let mut iterations: Vec<IterationRecord> = Vec::new();
@@ -68,6 +86,7 @@ pub(crate) fn sasimi_with_context(
         if margin < 0.0 {
             break;
         }
+        let iter_mark = config.telemetry.start();
         let candidates = generate_candidates(&current, &ctx, margin);
         let mut committed = false;
         for cand in candidates.into_iter().take(TRIALS_PER_ITERATION) {
@@ -84,6 +103,7 @@ pub(crate) fn sasimi_with_context(
                 continue;
             }
             error_rate = new_error_rate;
+            let literals_after = trial.literal_count();
             iterations.push(IterationRecord {
                 iteration,
                 changes: vec![SelectedChange {
@@ -92,11 +112,18 @@ pub(crate) fn sasimi_with_context(
                     literals_saved: saved,
                     error_estimate: cand.difference as f64 / ctx.patterns().num_patterns() as f64,
                 }],
-                literals_after: trial.literal_count(),
+                literals_after,
                 error_rate_after: error_rate,
             });
             current = trial;
             committed = true;
+            config.telemetry.emit(|| Event::IterationEnd {
+                iteration: iteration as u64,
+                changes: 1,
+                literals: literals_after as u64,
+                error_rate,
+                nanos: Telemetry::nanos_since(iter_mark),
+            });
             break;
         }
         if !committed {
@@ -105,13 +132,21 @@ pub(crate) fn sasimi_with_context(
     }
 
     debug_assert!(current.check().is_ok());
+    let final_literals = current.literal_count();
+    config.telemetry.emit(|| Event::RunEnd {
+        iterations: iterations.len() as u64,
+        literals: final_literals as u64,
+        error_rate,
+        nanos: start.elapsed().as_nanos() as u64,
+    });
     AlsOutcome {
-        final_literals: current.literal_count(),
+        final_literals,
         measured_error_rate: error_rate,
         network: current,
         iterations,
         initial_literals,
         runtime: start.elapsed(),
+        metrics: collector.report(),
     }
 }
 

@@ -6,6 +6,8 @@ use crate::error_model::score;
 use crate::report::{AlsOutcome, IterationRecord, SelectedChange};
 use crate::{preprocess, AlsConfig, AlsContext};
 use als_network::{Network, NodeId};
+use als_telemetry::{Event, MetricsCollector, PhaseKind, Telemetry};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Runs the single-selection algorithm: per iteration, every node's feasible
@@ -63,10 +65,33 @@ pub(crate) fn single_selection_with_context(
     original.check().expect("input network must be consistent");
     let initial_literals = original.literal_count();
 
+    // Metrics for `AlsOutcome::metrics` are gathered through the same sink
+    // machinery as user telemetry: an internal collector rides alongside any
+    // configured sinks. Events are coarse (per refresh / iteration), so the
+    // collector's cost is negligible and results are unaffected.
+    let collector = Arc::new(MetricsCollector::new());
+    let mut config = config.clone();
+    config.telemetry = config.telemetry.clone().with(collector.clone());
+    let config = &config;
+    let ctx = ctx.with_telemetry(config.telemetry.clone());
+
+    config.telemetry.emit(|| Event::RunStart {
+        algorithm: "single-selection",
+        threads: crate::engine::resolve_threads(config.threads),
+        num_patterns: ctx.patterns().num_patterns(),
+        nodes: original.num_internal(),
+        threshold: config.threshold,
+    });
+
     let mut current = original.clone();
+    let pre_mark = config.telemetry.start();
     if config.preprocess {
         preprocess::remove_redundancies(&mut current, ctx.patterns());
     }
+    config.telemetry.emit(|| Event::PhaseEnd {
+        phase: PhaseKind::Preprocess,
+        nanos: Telemetry::nanos_since(pre_mark),
+    });
 
     let mut error_rate = ctx.measure(&current);
     let mut margin = config.threshold - error_rate;
@@ -77,6 +102,7 @@ pub(crate) fn single_selection_with_context(
         if margin < 0.0 {
             break;
         }
+        let iter_mark = config.telemetry.start();
         engine.refresh(&current, &ctx);
         let Some((node, ase, estimate)) = best_candidate(&engine, margin) else {
             break;
@@ -108,6 +134,7 @@ pub(crate) fn single_selection_with_context(
         engine.invalidate_committed(&current, &[node]);
         error_rate = new_error_rate;
         margin = config.threshold - error_rate;
+        let literals_after = current.literal_count();
         iterations.push(IterationRecord {
             iteration,
             changes: vec![SelectedChange {
@@ -116,8 +143,15 @@ pub(crate) fn single_selection_with_context(
                 literals_saved,
                 error_estimate: estimate,
             }],
-            literals_after: current.literal_count(),
+            literals_after,
             error_rate_after: error_rate,
+        });
+        config.telemetry.emit(|| Event::IterationEnd {
+            iteration: iteration as u64,
+            changes: 1,
+            literals: literals_after as u64,
+            error_rate,
+            nanos: Telemetry::nanos_since(iter_mark),
         });
     }
 
@@ -126,13 +160,21 @@ pub(crate) fn single_selection_with_context(
     // local); it preserves the function, only tidying structure.
     current.propagate_constants();
     debug_assert!(current.check().is_ok());
+    let final_literals = current.literal_count();
+    config.telemetry.emit(|| Event::RunEnd {
+        iterations: iterations.len() as u64,
+        literals: final_literals as u64,
+        error_rate,
+        nanos: start.elapsed().as_nanos() as u64,
+    });
     AlsOutcome {
-        final_literals: current.literal_count(),
+        final_literals,
         measured_error_rate: error_rate,
         network: current,
         iterations,
         initial_literals,
         runtime: start.elapsed(),
+        metrics: collector.report(),
     }
 }
 

@@ -1,0 +1,321 @@
+//! The telemetry event vocabulary.
+//!
+//! Events are plain `Copy` data except for the run header — no allocations
+//! happen on the hot path, and an event is only *constructed* when at least
+//! one sink is attached (see [`Telemetry::emit`](crate::Telemetry::emit)).
+//! Granularity is deliberately coarse: one event per engine refresh,
+//! simulation, measurement, knapsack solve or committed iteration — never
+//! per node or per pattern — so enabling telemetry cannot perturb the
+//! synthesis loop it observes.
+
+use crate::json::Json;
+
+/// The instrumented phases of a synthesis run, used for per-phase wall-time
+/// aggregation (see [`PhaseNanos`](crate::PhaseNanos)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// The §6 redundancy-removal pre-process.
+    Preprocess,
+    /// Bit-parallel simulation of the full network.
+    Simulate,
+    /// Candidate-engine refresh (ASE enumeration + pricing; includes the
+    /// simulation it triggers).
+    Refresh,
+    /// Error-rate / magnitude measurement against the golden reference.
+    Measure,
+    /// The multi-state knapsack DP (multi-selection only).
+    Knapsack,
+}
+
+impl PhaseKind {
+    /// All phases, in reporting order.
+    pub const ALL: [PhaseKind; 5] = [
+        PhaseKind::Preprocess,
+        PhaseKind::Simulate,
+        PhaseKind::Refresh,
+        PhaseKind::Measure,
+        PhaseKind::Knapsack,
+    ];
+
+    /// The stable snake_case name used in JSON records.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseKind::Preprocess => "preprocess",
+            PhaseKind::Simulate => "simulate",
+            PhaseKind::Refresh => "refresh",
+            PhaseKind::Measure => "measure",
+            PhaseKind::Knapsack => "knapsack",
+        }
+    }
+}
+
+/// One telemetry event. The variants mirror the engine's phases; every
+/// quantity a sink could want is carried in the event itself, so sinks never
+/// reach back into the engine.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Event {
+    /// A synthesis run started.
+    RunStart {
+        /// `"single-selection"`, `"multi-selection"` or `"sasimi"`.
+        algorithm: &'static str,
+        /// Resolved engine worker count.
+        threads: usize,
+        /// Simulation vectors per measurement.
+        num_patterns: usize,
+        /// Internal nodes of the input network.
+        nodes: usize,
+        /// The error-rate threshold.
+        threshold: f64,
+    },
+    /// A timed phase completed (emitted for phases without a dedicated
+    /// event, currently the pre-process).
+    PhaseEnd {
+        /// Which phase.
+        phase: PhaseKind,
+        /// Its wall time.
+        nanos: u64,
+    },
+    /// One full-network simulation completed.
+    Simulated {
+        /// Patterns driven.
+        patterns: u64,
+        /// Network nodes evaluated per pattern block.
+        nodes: u64,
+        /// Wall time of the simulation.
+        nanos: u64,
+    },
+    /// One error-rate measurement against the golden reference completed.
+    Measured {
+        /// The measured error rate.
+        error_rate: f64,
+        /// Wall time of the measurement.
+        nanos: u64,
+    },
+    /// The candidate engine brought its memo up to date.
+    EngineRefresh {
+        /// Nodes whose cached pricing was stale (evaluated this refresh).
+        evaluated: u64,
+        /// Nodes served from the memo.
+        cache_hits: u64,
+        /// Wall time of the refresh (simulation included).
+        nanos: u64,
+    },
+    /// A committed change set invalidated part of the engine memo.
+    ConeInvalidated {
+        /// Nodes in the committed change set.
+        changed: u64,
+        /// Memo entries dropped (the invalidation-cone size).
+        dropped: u64,
+    },
+    /// A multi-state knapsack instance was solved.
+    KnapsackSolved {
+        /// Candidate items (eligible nodes).
+        items: u64,
+        /// Scaled error-rate capacity.
+        capacity: u64,
+        /// DP cells filled — the `O(states × capacity)` work measure.
+        dp_cells: u64,
+        /// Wall time of the solve.
+        nanos: u64,
+    },
+    /// One iteration of the selection loop committed.
+    IterationEnd {
+        /// 1-based iteration number.
+        iteration: u64,
+        /// Changes applied this iteration.
+        changes: u64,
+        /// Literal count after the iteration.
+        literals: u64,
+        /// Measured error rate after the iteration.
+        error_rate: f64,
+        /// Wall time of the iteration.
+        nanos: u64,
+    },
+    /// The run finished.
+    RunEnd {
+        /// Committed iterations.
+        iterations: u64,
+        /// Final literal count.
+        literals: u64,
+        /// Final measured error rate.
+        error_rate: f64,
+        /// Wall time of the whole run.
+        nanos: u64,
+    },
+}
+
+impl Event {
+    /// The stable snake_case tag used as `"event"` in the JSONL log.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run_start",
+            Event::PhaseEnd { .. } => "phase_end",
+            Event::Simulated { .. } => "simulated",
+            Event::Measured { .. } => "measured",
+            Event::EngineRefresh { .. } => "engine_refresh",
+            Event::ConeInvalidated { .. } => "cone_invalidated",
+            Event::KnapsackSolved { .. } => "knapsack_solved",
+            Event::IterationEnd { .. } => "iteration_end",
+            Event::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// The event as a JSON object (without the log envelope; see
+    /// [`JsonlSink`](crate::JsonlSink) for the line format).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("event", self.name());
+        match *self {
+            Event::RunStart {
+                algorithm,
+                threads,
+                num_patterns,
+                nodes,
+                threshold,
+            } => {
+                obj.set("algorithm", algorithm)
+                    .set("threads", threads)
+                    .set("num_patterns", num_patterns)
+                    .set("nodes", nodes)
+                    .set("threshold", threshold);
+            }
+            Event::PhaseEnd { phase, nanos } => {
+                obj.set("phase", phase.name()).set("nanos", nanos);
+            }
+            Event::Simulated {
+                patterns,
+                nodes,
+                nanos,
+            } => {
+                obj.set("patterns", patterns)
+                    .set("nodes", nodes)
+                    .set("nanos", nanos);
+            }
+            Event::Measured { error_rate, nanos } => {
+                obj.set("error_rate", error_rate).set("nanos", nanos);
+            }
+            Event::EngineRefresh {
+                evaluated,
+                cache_hits,
+                nanos,
+            } => {
+                obj.set("evaluated", evaluated)
+                    .set("cache_hits", cache_hits)
+                    .set("nanos", nanos);
+            }
+            Event::ConeInvalidated { changed, dropped } => {
+                obj.set("changed", changed).set("dropped", dropped);
+            }
+            Event::KnapsackSolved {
+                items,
+                capacity,
+                dp_cells,
+                nanos,
+            } => {
+                obj.set("items", items)
+                    .set("capacity", capacity)
+                    .set("dp_cells", dp_cells)
+                    .set("nanos", nanos);
+            }
+            Event::IterationEnd {
+                iteration,
+                changes,
+                literals,
+                error_rate,
+                nanos,
+            } => {
+                obj.set("iteration", iteration)
+                    .set("changes", changes)
+                    .set("literals", literals)
+                    .set("error_rate", error_rate)
+                    .set("nanos", nanos);
+            }
+            Event::RunEnd {
+                iterations,
+                literals,
+                error_rate,
+                nanos,
+            } => {
+                obj.set("iterations", iterations)
+                    .set("literals", literals)
+                    .set("error_rate", error_rate)
+                    .set("nanos", nanos);
+            }
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_event_serializes_with_its_tag() {
+        let events = [
+            Event::RunStart {
+                algorithm: "single-selection",
+                threads: 1,
+                num_patterns: 64,
+                nodes: 10,
+                threshold: 0.05,
+            },
+            Event::PhaseEnd {
+                phase: PhaseKind::Preprocess,
+                nanos: 5,
+            },
+            Event::Simulated {
+                patterns: 64,
+                nodes: 10,
+                nanos: 7,
+            },
+            Event::Measured {
+                error_rate: 0.01,
+                nanos: 3,
+            },
+            Event::EngineRefresh {
+                evaluated: 4,
+                cache_hits: 6,
+                nanos: 9,
+            },
+            Event::ConeInvalidated {
+                changed: 1,
+                dropped: 3,
+            },
+            Event::KnapsackSolved {
+                items: 5,
+                capacity: 50,
+                dp_cells: 300,
+                nanos: 2,
+            },
+            Event::IterationEnd {
+                iteration: 1,
+                changes: 2,
+                literals: 30,
+                error_rate: 0.02,
+                nanos: 11,
+            },
+            Event::RunEnd {
+                iterations: 1,
+                literals: 30,
+                error_rate: 0.02,
+                nanos: 20,
+            },
+        ];
+        for e in &events {
+            let json = e.to_json();
+            assert_eq!(json.get("event").and_then(Json::as_str), Some(e.name()));
+            // Every rendered event parses back.
+            assert_eq!(Json::parse(&json.render()).unwrap(), json);
+        }
+    }
+
+    #[test]
+    fn phase_names_are_unique() {
+        let mut names: Vec<_> = PhaseKind::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), PhaseKind::ALL.len());
+    }
+}

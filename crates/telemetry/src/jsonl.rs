@@ -1,0 +1,132 @@
+//! The streaming JSONL event-log sink.
+//!
+//! One JSON object per line, written as events arrive:
+//!
+//! ```text
+//! {"event":"run_start","algorithm":"single-selection","nodes":345,"num_patterns":10048,"seq":0,"threads":1,"threshold":0.05,"v":1}
+//! {"event":"engine_refresh","cache_hits":0,"evaluated":345,"nanos":41873021,"seq":1,"v":1}
+//! ...
+//! ```
+//!
+//! Every line carries the schema version (`"v"`) and a per-sink sequence
+//! number (`"seq"`), so interleaved logs from concurrent runs into separate
+//! files stay individually ordered and versioned for offline analysis.
+
+use crate::{Event, TelemetrySink};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Version of the JSONL line schema; bump on breaking field changes.
+pub const EVENT_LOG_SCHEMA_VERSION: u64 = 1;
+
+/// A [`TelemetrySink`] that streams every event as one JSON line to a
+/// writer. Lines are written (and the writer flushed) synchronously per
+/// event — the log is for offline analysis of runs that take seconds to
+/// minutes, where per-line flush cost is noise and a crash loses nothing.
+pub struct JsonlSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+    seq: AtomicU64,
+}
+
+impl JsonlSink {
+    /// A sink writing to `writer` (e.g. a `Vec<u8>`, a file, a pipe).
+    pub fn new(writer: impl Write + Send + 'static) -> JsonlSink {
+        JsonlSink {
+            writer: Mutex::new(Box::new(writer)),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// A sink writing to a freshly created (truncated) file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink::new(std::io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+
+    /// Events written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("lines_written", &self.lines_written())
+            .finish()
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut json = event.to_json();
+        json.set("v", EVENT_LOG_SCHEMA_VERSION).set("seq", seq);
+        let line = json.render();
+        let mut writer = self.writer.lock().expect("jsonl lock poisoned");
+        // Telemetry must never abort the synthesis run it observes; a full
+        // disk degrades to a truncated log.
+        let _ = writeln!(writer, "{line}");
+        let _ = writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Json;
+    use std::sync::Arc;
+
+    /// A `Write` handle into a shared buffer, so the test can read back
+    /// what the sink (which owns its writer) wrote.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn writes_one_versioned_line_per_event() {
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::new(buf.clone());
+        sink.record(&Event::ConeInvalidated {
+            changed: 1,
+            dropped: 4,
+        });
+        sink.record(&Event::RunEnd {
+            iterations: 2,
+            literals: 10,
+            error_rate: 0.5,
+            nanos: 99,
+        });
+        assert_eq!(sink.lines_written(), 2);
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let parsed = Json::parse(line).unwrap();
+            assert_eq!(
+                parsed.get("v").and_then(Json::as_u64),
+                Some(EVENT_LOG_SCHEMA_VERSION)
+            );
+            assert_eq!(parsed.get("seq").and_then(Json::as_u64), Some(i as u64));
+        }
+        let last = Json::parse(lines[1]).unwrap();
+        assert_eq!(last.get("event").and_then(Json::as_str), Some("run_end"));
+        assert_eq!(last.get("literals").and_then(Json::as_u64), Some(10));
+    }
+}

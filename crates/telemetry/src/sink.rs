@@ -1,0 +1,156 @@
+//! The sink trait and the cheap `Telemetry` handle the engine carries.
+
+use crate::Event;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Receives telemetry events. Implementations must be thread-safe: the
+/// candidate engine may emit from scoped worker threads' parent while
+/// measurements run elsewhere, and one sink is commonly shared between a
+/// config and the caller that later reads it back.
+///
+/// Sinks **observe only** — the engine never reads anything back through
+/// this trait, which is what makes the "telemetry never changes results"
+/// property (see `tests/telemetry_determinism.rs`) hold by construction.
+pub trait TelemetrySink: Send + Sync {
+    /// Handles one event. Called synchronously on the emitting thread;
+    /// implementations should return quickly (buffer, don't block).
+    fn record(&self, event: &Event);
+}
+
+/// A shareable bundle of sinks — the handle threaded through
+/// [`AlsConfig`](../als_core/struct.AlsConfig.html) and every engine layer.
+///
+/// The default handle is *disabled* (no sinks): [`Telemetry::emit`] then
+/// returns after one branch without constructing the event, so the
+/// instrumented hot paths cost nothing when nobody listens.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    sinks: Vec<Arc<dyn TelemetrySink>>,
+}
+
+impl Telemetry {
+    /// The no-op handle (no sinks attached).
+    pub fn disabled() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// A handle with `sink` attached.
+    pub fn new(sink: Arc<dyn TelemetrySink>) -> Telemetry {
+        Telemetry { sinks: vec![sink] }
+    }
+
+    /// Returns the handle with one more sink attached.
+    pub fn with(mut self, sink: Arc<dyn TelemetrySink>) -> Telemetry {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Whether any sink is attached.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Emits the event produced by `make` to every sink. `make` runs only
+    /// when a sink is attached, so event construction is free when disabled.
+    #[inline]
+    pub fn emit(&self, make: impl FnOnce() -> Event) {
+        if self.sinks.is_empty() {
+            return;
+        }
+        let event = make();
+        for sink in &self.sinks {
+            sink.record(&event);
+        }
+    }
+
+    /// Starts a wall-clock measurement — `Some` only when enabled, so
+    /// disabled telemetry skips even the `Instant::now()` call. Pair with
+    /// [`Telemetry::nanos_since`] inside an [`emit`](Telemetry::emit)
+    /// closure.
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Nanoseconds elapsed since a [`start`](Telemetry::start) mark (`0`
+    /// for the disabled `None` mark, which no sink will ever see).
+    #[inline]
+    pub fn nanos_since(mark: Option<Instant>) -> u64 {
+        mark.map_or(0, |t| {
+            u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+    }
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl<S: TelemetrySink + 'static> From<Arc<S>> for Telemetry {
+    fn from(sink: Arc<S>) -> Telemetry {
+        Telemetry::new(sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[derive(Default)]
+    struct Counter(AtomicUsize);
+    impl TelemetrySink for Counter {
+        fn record(&self, _event: &Event) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn disabled_handle_never_builds_events() {
+        let telemetry = Telemetry::disabled();
+        assert!(!telemetry.is_enabled());
+        assert!(telemetry.start().is_none());
+        let mut built = false;
+        telemetry.emit(|| {
+            built = true;
+            Event::ConeInvalidated {
+                changed: 0,
+                dropped: 0,
+            }
+        });
+        assert!(!built, "emit must not construct events when disabled");
+    }
+
+    #[test]
+    fn every_attached_sink_sees_every_event() {
+        let a = Arc::new(Counter::default());
+        let b = Arc::new(Counter::default());
+        let telemetry = Telemetry::from(a.clone()).with(b.clone());
+        assert!(telemetry.is_enabled());
+        for _ in 0..3 {
+            telemetry.emit(|| Event::ConeInvalidated {
+                changed: 1,
+                dropped: 2,
+            });
+        }
+        assert_eq!(a.0.load(Ordering::Relaxed), 3);
+        assert_eq!(b.0.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn nanos_since_is_zero_for_disabled_marks() {
+        assert_eq!(Telemetry::nanos_since(None), 0);
+        assert!(Telemetry::nanos_since(Some(Instant::now())) < 1_000_000_000);
+    }
+}

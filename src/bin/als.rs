@@ -6,7 +6,8 @@
 //! als approximate <in.blif> --threshold 0.05
 //!                 [--algorithm single|multi|sasimi] [-o out.blif]
 //!                 [--seed N] [--patterns N] [--threads N] [--no-cache]
-//!                 [--no-dontcares] [--verbose]
+//!                 [--no-dontcares] [--verbose] [--metrics]
+//!                 [--events <log.jsonl>]
 //! als verify      <golden.blif> <approx.blif> [--patterns N] [--seed N]
 //! als map         <in.blif>                       mapped area/delay/cells
 //! als list                                        available benchmarks
@@ -57,6 +58,8 @@ USAGE:
   als approximate <in.blif> --threshold T [--algorithm single|multi|sasimi]
                   [-o out.blif] [--seed N] [--patterns N] [--threads N]
                   [--no-cache] [--no-dontcares] [--verbose]
+                  [--metrics]             print engine counters and timings
+                  [--events <log.jsonl>]  stream telemetry events to a file
   als verify      <golden.blif> <approx.blif> [--patterns N] [--seed N]
                   [--exact]   (BDD-based, no sampling)
   als map         <in.blif>
@@ -158,6 +161,11 @@ fn cmd_approximate(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--no-dontcares") {
         builder = builder.use_dont_cares(false);
     }
+    if let Some(log_path) = flag_value(args, "--events") {
+        let sink = als::telemetry::JsonlSink::create(log_path)
+            .map_err(|e| format!("cannot open --events log `{log_path}`: {e}"))?;
+        builder = builder.telemetry(std::sync::Arc::new(sink));
+    }
     let config = builder.build().map_err(|e| e.to_string())?;
     let strategy = match flag_value(args, "--algorithm").unwrap_or("multi") {
         "single" => Strategy::Single,
@@ -167,6 +175,36 @@ fn cmd_approximate(args: &[String]) -> Result<(), String> {
     };
     let outcome = approximate(&net, strategy, &config).map_err(|e| e.to_string())?;
     eprintln!("{outcome}");
+    if args.iter().any(|a| a == "--metrics") {
+        let m = &outcome.metrics;
+        eprintln!("metrics ({}, {} threads):", m.algorithm, m.threads);
+        eprintln!(
+            "  simulations:  {:>8}  ({} node-patterns simulated)",
+            m.simulations, m.patterns_simulated
+        );
+        eprintln!("  measurements: {:>8}", m.measurements);
+        eprintln!(
+            "  evaluations:  {:>8}  (cache hits {}, hit rate {:.1}%)",
+            m.evaluations,
+            m.cache_hits,
+            m.cache_hit_rate() * 100.0
+        );
+        eprintln!(
+            "  invalidations:{:>8}  ({} cache entries dropped)",
+            m.invalidations, m.invalidated_entries
+        );
+        if m.knapsack_solves > 0 {
+            eprintln!(
+                "  knapsack:     {:>8}  solves ({} DP cells)",
+                m.knapsack_solves, m.knapsack_dp_cells
+            );
+        }
+        for (phase, secs) in m.phase_nanos.as_seconds() {
+            if secs > 0.0 {
+                eprintln!("  phase {:<10} {:.4}s", phase, secs);
+            }
+        }
+    }
     if args.iter().any(|a| a == "--verbose") {
         for it in &outcome.iterations {
             for ch in &it.changes {

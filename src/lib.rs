@@ -52,6 +52,7 @@ pub use als_network as network;
 pub use als_sasimi as sasimi;
 pub use als_sat as sat;
 pub use als_sim as sim;
+pub use als_telemetry as telemetry;
 
 // Convenience re-exports of the items used in almost every program.
 pub use als_core::{
