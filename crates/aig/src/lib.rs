@@ -20,8 +20,9 @@
 //! assert_eq!(cec(&rca, &cla), CecResult::Equivalent);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![deny(missing_debug_implementations)]
 
 use als_logic::Expr;
 use als_network::{Network, NodeKind};
@@ -261,8 +262,8 @@ impl Aig {
         // Encode ANDs bottom-up (nodes are created in topological order).
         for (n, node) in self.nodes.iter().enumerate() {
             if let AigNode::And(a, b) = node {
-                let va = node_var[a.node() as usize].expect("topological order");
-                let vb = node_var[b.node() as usize].expect("topological order");
+                let va = node_var[a.node() as usize].expect("topological order"); // lint:allow(panic): internal invariant; the message states it
+                let vb = node_var[b.node() as usize].expect("topological order"); // lint:allow(panic): internal invariant; the message states it
                 let la = SatLit::with_sign(va, !a.is_complemented());
                 let lb = SatLit::with_sign(vb, !b.is_complemented());
                 let v = solver.new_var();
@@ -278,7 +279,7 @@ impl Aig {
             .pos
             .iter()
             .map(|l| {
-                let v = node_var[l.node() as usize].expect("all nodes encoded");
+                let v = node_var[l.node() as usize].expect("all nodes encoded"); // lint:allow(panic): internal invariant; the message states it
                 SatLit::with_sign(v, !l.is_complemented())
             })
             .collect();
@@ -354,7 +355,7 @@ pub fn cec(golden: &Network, candidate: &Network) -> CecResult {
 
     let mut solver = Solver::new();
     let (pi_vars, po_lits) = aig.encode_cnf(&mut solver);
-    let miter_lit = *po_lits.last().expect("miter was registered");
+    let miter_lit = *po_lits.last().expect("miter was registered"); // lint:allow(panic): internal invariant; the message states it
     solver.add_clause(&[miter_lit]);
     match solver.solve() {
         SatResult::Unsat => CecResult::Equivalent,

@@ -29,8 +29,9 @@
 //! # Ok::<(), als_bdd::BddError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![deny(missing_debug_implementations)]
 
 use als_network::{Network, NodeKind};
 use std::collections::HashMap;
@@ -132,7 +133,7 @@ impl BddManager {
         let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
         let mut stack = vec![f.0];
         while let Some(x) = stack.pop() {
-            if !seen.insert(x) || self.is_terminal(x) {
+            if !seen.insert(x) || Self::is_terminal(x) {
                 continue;
             }
             let n = self.node(x);
@@ -175,7 +176,7 @@ impl BddManager {
         self.nodes[id as usize]
     }
 
-    fn is_terminal(&self, id: u32) -> bool {
+    fn is_terminal(id: u32) -> bool {
         id <= 1
     }
 
@@ -204,10 +205,10 @@ impl BddManager {
         // Split on the top variable.
         let top = [f, g, h]
             .iter()
-            .filter(|&&x| !self.is_terminal(x))
+            .filter(|&&x| !Self::is_terminal(x))
             .map(|&x| self.node(x).var)
             .min()
-            .expect("f is non-terminal here");
+            .expect("f is non-terminal here"); // lint:allow(panic): internal invariant; the message states it
         let (f0, f1) = self.cofactors(f, top);
         let (g0, g1) = self.cofactors(g, top);
         let (h0, h1) = self.cofactors(h, top);
@@ -219,7 +220,7 @@ impl BddManager {
     }
 
     fn cofactors(&self, x: u32, var: u32) -> (u32, u32) {
-        if self.is_terminal(x) {
+        if Self::is_terminal(x) {
             return (x, x);
         }
         let n = self.node(x);
@@ -256,7 +257,7 @@ impl BddManager {
     /// Evaluates a BDD under a PI assignment (bit `i` = variable `i`).
     pub fn eval(&self, f: Bdd, assignment: u64) -> bool {
         let mut x = f.0;
-        while !self.is_terminal(x) {
+        while !Self::is_terminal(x) {
             let n = self.node(x);
             x = if assignment >> n.var & 1 == 1 {
                 n.hi
@@ -337,7 +338,13 @@ pub fn structural_pi_order(net: &Network) -> Vec<usize> {
         net.pis().iter().enumerate().map(|(i, &p)| (p, i)).collect();
     let mut order = vec![usize::MAX; net.num_pis()];
     let mut next_level = 0usize;
-    let mut seen = vec![false; net.node_ids().map(|n| n.index()).max().map_or(0, |m| m + 1)];
+    let mut seen = vec![
+        false;
+        net.node_ids()
+            .map(als_network::NodeId::index)
+            .max()
+            .map_or(0, |m| m + 1)
+    ];
     let mut stack: Vec<als_network::NodeId> = net.pos().iter().rev().map(|(_, d)| *d).collect();
     while let Some(n) = stack.pop() {
         if std::mem::replace(&mut seen[n.index()], true) {
@@ -493,12 +500,11 @@ mod tests {
         let mut failed = false;
         let mut acc = m.one();
         for i in 0..8 {
-            match m.var(i).and_then(|v| m.and(acc, v)) {
-                Ok(x) => acc = x,
-                Err(_) => {
-                    failed = true;
-                    break;
-                }
+            if let Ok(x) = m.var(i).and_then(|v| m.and(acc, v)) {
+                acc = x
+            } else {
+                failed = true;
+                break;
             }
         }
         assert!(failed, "limit of 6 nodes cannot hold an 8-var conjunction");

@@ -81,7 +81,7 @@ proptest! {
         let f = build_bdd(&op, &mut mgr);
         let tt = build_tt(&op);
         let count = mgr.sat_count(f);
-        prop_assert_eq!(count, tt.count_ones() as u128);
+        prop_assert_eq!(count, u128::from(tt.count_ones()));
         let density = mgr.density(f);
         let expect = count as f64 / (1u64 << NUM_VARS) as f64;
         prop_assert!((density - expect).abs() < 1e-12);

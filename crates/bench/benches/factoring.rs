@@ -12,8 +12,8 @@ fn random_covers(count: usize, num_vars: usize, cubes: usize, seed: u64) -> Vec<
     let mut state = seed;
     let mut next = move || {
         state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
         state
     };
     (0..count)

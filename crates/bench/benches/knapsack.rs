@@ -9,8 +9,8 @@ fn instance(num_items: usize, states_per_item: usize, seed: u64) -> Vec<Knapsack
     let mut state = seed;
     let mut next = move || {
         state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
         state
     };
     (0..num_items)

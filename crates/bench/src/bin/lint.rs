@@ -1,0 +1,210 @@
+//! `lint` — in-tree source lint: no panicking constructs in library code.
+//!
+//! Walks every workspace library crate's `src/` tree and flags
+//! `unwrap()`, `expect(`, `panic!(`, `unreachable!(`, `todo!(` and
+//! `unimplemented!(` outside the places where aborting is acceptable:
+//!
+//! * `#[cfg(test)]` modules and `tests/` trees (asserting is the point);
+//! * `src/bin/` CLI entry points (a process abort is a process abort);
+//! * the in-tree `proptest`/`criterion` shims (they mirror upstream APIs);
+//! * lines carrying a `// lint:allow(panic)` marker with a justification.
+//!
+//! Exit code 0 when clean, 1 with a findings listing otherwise — wired
+//! into CI next to `cargo fmt --check` and clippy.
+//!
+//! The scan is textual (a line-based brace tracker finds `mod tests`
+//! blocks), which is exactly as precise as it needs to be for a curated
+//! codebase: false positives are silenced with the marker, and the CI
+//! gate keeps new unmarked hits out.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Panicking constructs that must not appear in library code.
+const BANNED: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// The justification marker: a line carrying it — or directly adjacent to
+/// it, since rustfmt may move a trailing comment onto its own line — is
+/// exempt.
+const ALLOW_MARKER: &str = "lint:allow(panic)";
+
+/// Crate `src/` trees that are exempt wholesale: API-compatible shims of
+/// external crates whose interfaces are panic-based.
+const EXEMPT_CRATES: [&str; 2] = ["crates/proptest", "crates/criterion"];
+
+struct Finding {
+    path: PathBuf,
+    line: usize,
+    construct: &'static str,
+    text: String,
+}
+
+fn main() -> std::process::ExitCode {
+    let Some(root) = workspace_root() else {
+        eprintln!("lint: cannot locate the workspace root (no Cargo.toml upwards)");
+        return std::process::ExitCode::from(2);
+    };
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+    for src_dir in library_src_dirs(&root) {
+        for file in rust_files(&src_dir) {
+            files_scanned += 1;
+            scan_file(&file, &root, &mut findings);
+        }
+    }
+    // Write errors (e.g. a closed pipe when the listing is piped through
+    // `head`) must not turn into a panic in the lint itself.
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if findings.is_empty() {
+        let _ = writeln!(out, "lint: {files_scanned} file(s) clean");
+        std::process::ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            let _ = writeln!(
+                out,
+                "{}:{}: `{}` in library code: {}",
+                f.path.display(),
+                f.line,
+                f.construct,
+                f.text.trim()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "lint: {} finding(s) in {files_scanned} file(s); fix or justify with `// {ALLOW_MARKER}: why`",
+            findings.len()
+        );
+        std::process::ExitCode::FAILURE
+    }
+}
+
+/// Walks upward from the current directory to the workspace root (the
+/// directory whose Cargo.toml declares `[workspace]`).
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Every library `src/` tree: the root crate plus each workspace member,
+/// minus the exempt shims.
+fn library_src_dirs(root: &Path) -> Vec<PathBuf> {
+    let mut dirs = vec![root.join("src")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut members: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            let rel = member.strip_prefix(root).unwrap_or(&member);
+            if EXEMPT_CRATES.iter().any(|e| Path::new(e) == rel) {
+                continue;
+            }
+            let src = member.join("src");
+            if src.is_dir() {
+                dirs.push(src);
+            }
+        }
+    }
+    dirs
+}
+
+/// All `.rs` files under `dir`, skipping `src/bin/` CLI trees.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        if d.file_name().is_some_and(|n| n == "bin") {
+            continue;
+        }
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn scan_file(path: &Path, root: &Path, findings: &mut Vec<Finding>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let mut in_tests = false;
+    let mut depth_at_tests = 0usize;
+    let mut depth = 0usize;
+    let mut pending_cfg_test = false;
+    let lines: Vec<&str> = text.lines().collect();
+    for (idx, &line) in lines.iter().enumerate() {
+        let code = strip_comment(line);
+        // Track `#[cfg(test)] mod …` blocks: everything inside is test
+        // code and exempt.
+        if !in_tests && code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        if pending_cfg_test && code.contains("mod ") && code.contains('{') {
+            in_tests = true;
+            depth_at_tests = depth;
+            pending_cfg_test = false;
+        }
+        depth += code.matches('{').count();
+        depth = depth.saturating_sub(code.matches('}').count());
+        if in_tests {
+            if depth <= depth_at_tests {
+                in_tests = false;
+            }
+            continue;
+        }
+        let marked = line.contains(ALLOW_MARKER)
+            || (idx > 0 && lines[idx - 1].contains(ALLOW_MARKER))
+            || lines.get(idx + 1).is_some_and(|l| l.contains(ALLOW_MARKER));
+        if marked {
+            continue;
+        }
+        for construct in BANNED {
+            if code.contains(construct) {
+                findings.push(Finding {
+                    path: path.strip_prefix(root).unwrap_or(path).to_path_buf(),
+                    line: idx + 1,
+                    construct,
+                    text: line.to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Drops `//` comments (so a construct *mentioned* in a doc comment is
+/// not a finding) while keeping the code part of the line.
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}

@@ -73,8 +73,7 @@ fn main() {
             .iter()
             .map(|name| {
                 als_bench::resolve_benchmarks(Some(name))
-                    .map(|mut v| v.remove(0))
-                    .unwrap_or_else(|e| exit_with_error(&e))
+                    .map_or_else(|e| exit_with_error(&e), |mut v| v.remove(0))
             })
             .collect()
     };
@@ -94,7 +93,7 @@ fn main() {
     for bench in &benches {
         let golden = (bench.build)();
         let mut record = BenchRecord::new(bench.name, args.threads, args.quick);
-        record.notes = args.notes.clone();
+        record.notes.clone_from(&args.notes);
         for &alg in &Algorithm::ALL {
             for &t in thresholds {
                 let r = run_one(bench.name, &golden, alg, t, args.quick, args.threads);

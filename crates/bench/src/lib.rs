@@ -15,6 +15,8 @@
 //!
 //! Criterion microbenches live under `benches/`.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 use als_circuits::{all_benchmarks, Benchmark};
@@ -112,7 +114,7 @@ pub fn run_one(
         config.dont_care.method = als_dontcare::DontCareMethod::Enumerate;
     }
     let outcome: AlsOutcome = approximate(golden, algorithm.strategy(), &config)
-        .expect("benchmark configuration must be valid");
+        .expect("benchmark configuration must be valid"); // lint:allow(panic): internal invariant; the message states it
     let lib = Library::mcnc_like();
     let golden_mapped = map_network(golden, &lib);
     let approx_mapped = map_network(&outcome.network, &lib);

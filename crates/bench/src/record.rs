@@ -133,7 +133,7 @@ impl BenchRecord {
             circuit: circuit.to_string(),
             git_sha: git_sha(),
             threads,
-            nproc: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            nproc: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             quick,
             notes: String::new(),
             entries: Vec::new(),
@@ -379,7 +379,7 @@ mod tests {
         let mut old = record_with_runtime(0.004, 0.8);
         let mut new = record_with_runtime(0.0048, 0.8);
         for i in 0..9 {
-            let t = 0.01 + i as f64 / 100.0;
+            let t = 0.01 + f64::from(i) / 100.0;
             let mut oe = old.entries[0].clone();
             oe.threshold = t;
             oe.runtime_s = 0.004;

@@ -1,0 +1,578 @@
+//! Theorem-1 certificate auditing.
+//!
+//! The paper's Theorem 1 states that the real error-rate increase of a
+//! batch of accepted changes is bounded by the sum of their apparent
+//! error rates (§3.2). Every run therefore satisfies, iteration by
+//! iteration, the *triangle chain*
+//!
+//! ```text
+//! E_after(i) ≤ E_before(i) + Σ apparentᵢⱼ
+//! ```
+//!
+//! — exact on the shared pattern set for single-selection and SASIMI
+//! (one change per iteration, measured on the same patterns), and
+//! Theorem-1-justified for multi-selection batches — plus the budget
+//! `E_after(i) ≤ T` at every step. The auditor re-checks the whole chain
+//! from the certificates alone, and, given the golden network, re-derives
+//! the real final error rate from the logged seed.
+
+use crate::certificate::CertificateLog;
+use crate::diagnostic::{AnalysisReport, Diagnostic};
+use als_network::Network;
+use als_sim::{error_rate, PatternSet};
+
+/// The pass name every audit diagnostic carries.
+const PASS: &str = "certificates";
+
+/// Audit knobs.
+#[derive(Clone, Debug)]
+pub struct AuditConfig {
+    /// Absolute slack for floating-point comparisons. The measured rates
+    /// are ratios of pattern counts, so genuine violations overshoot this
+    /// by orders of magnitude.
+    pub tolerance: f64,
+    /// Node budget for the informational exact-BDD re-derivation; runs
+    /// that exceed it skip the exact check with an info note.
+    pub exact_bdd_node_limit: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-9,
+            exact_bdd_node_limit: 1 << 20,
+        }
+    }
+}
+
+/// Mirrors `als-core`'s knapsack weight scale: multi-selection scales
+/// apparent rates by this factor and rounds to integer weights, so a
+/// batch may overshoot the margin by up to half a unit per change. Keep
+/// in sync with `error_rate_scale` in `crates/core/src/multi.rs`.
+fn error_rate_scale(threshold: f64) -> f64 {
+    if threshold < 0.01 {
+        10_000.0
+    } else {
+        1_000.0
+    }
+}
+
+/// Audits a parsed certificate log.
+///
+/// Without networks the audit is *internal*: the Theorem-1 chain, the
+/// per-iteration budget, and the summary's self-consistency. Passing the
+/// `golden` network (the function the threshold is measured against) and
+/// the run's `final` network re-derives the real error rate from the
+/// logged seed and checks the claims against reality.
+pub fn audit_certificates(
+    log: &CertificateLog,
+    golden: Option<&Network>,
+    final_net: Option<&Network>,
+    config: &AuditConfig,
+) -> AnalysisReport {
+    let mut report = AnalysisReport::new();
+    let tol = config.tolerance;
+
+    if log.num_patterns == 0 {
+        report.push(Diagnostic::error(PASS, "run_start claims zero patterns"));
+    }
+    if !(0.0..=1.0).contains(&log.threshold) {
+        report.push(Diagnostic::error(
+            PASS,
+            format!("threshold {} is not a probability", log.threshold),
+        ));
+    }
+
+    let mut chain_start = log.initial_error;
+    if chain_start.is_none() {
+        report.push(Diagnostic::warning(
+            PASS,
+            "no pre-approximation measurement; the first iteration's chain check is skipped",
+        ));
+    }
+
+    let mut prev_error = chain_start;
+    let mut prev_iteration = 0u64;
+    let mut apparent_sum_total = 0.0f64;
+    for it in &log.iterations {
+        if it.iteration <= prev_iteration {
+            report.push(Diagnostic::error(
+                PASS,
+                format!(
+                    "iteration {} does not follow iteration {prev_iteration}",
+                    it.iteration
+                ),
+            ));
+        }
+        prev_iteration = it.iteration;
+
+        if it.changes as usize != it.certificates.len() {
+            report.push(Diagnostic::error(
+                PASS,
+                format!(
+                    "iteration {} claims {} change(s) but carries {} certificate(s)",
+                    it.iteration,
+                    it.changes,
+                    it.certificates.len()
+                ),
+            ));
+        }
+
+        let mut apparent_sum = 0.0f64;
+        for cert in &it.certificates {
+            if !(0.0..=1.0).contains(&cert.apparent) {
+                report.push(Diagnostic::error(
+                    PASS,
+                    format!(
+                        "certificate for `{}` claims apparent rate {}, not a probability",
+                        cert.node, cert.apparent
+                    ),
+                ));
+            }
+            if cert.iteration != it.iteration {
+                report.push(Diagnostic::error(
+                    PASS,
+                    format!(
+                        "certificate for `{}` carries iteration {} inside iteration {}",
+                        cert.node, cert.iteration, it.iteration
+                    ),
+                ));
+            }
+            apparent_sum += cert.apparent;
+        }
+        apparent_sum_total += apparent_sum;
+
+        // Theorem-1 triangle chain: the measured rate after the iteration
+        // may exceed the rate before it by at most the sum of the claimed
+        // apparent rates.
+        if let Some(before) = prev_error {
+            if it.error_after > before + apparent_sum + tol {
+                report.push(
+                    Diagnostic::error(
+                        PASS,
+                        format!(
+                            "iteration {}: measured rate {} exceeds chain bound {} + {} (Theorem 1)",
+                            it.iteration, it.error_after, before, apparent_sum
+                        ),
+                    )
+                    .with_hint("a certificate under-reports its apparent error rate"),
+                );
+            }
+            // Multi-selection promises before-the-fact feasibility: the
+            // knapsack packs scaled apparent weights into the margin, so
+            // the claimed sum fits the budget up to integer rounding of
+            // half a unit per change (plus one for the capacity floor).
+            if log.algorithm == "multi" && !it.certificates.is_empty() {
+                let scale = error_rate_scale(log.threshold);
+                let rounding = (it.certificates.len() as f64 + 1.0) * 0.5 / scale;
+                if before + apparent_sum > log.threshold + rounding + tol {
+                    report.push(
+                        Diagnostic::error(
+                            PASS,
+                            format!(
+                                "iteration {}: batch claims {} + {} apparent, over budget {} even \
+                                 with knapsack rounding {rounding}",
+                                it.iteration, before, apparent_sum, log.threshold
+                            ),
+                        )
+                        .with_hint("the multi-selection knapsack must never over-pack the margin"),
+                    );
+                }
+            }
+        }
+
+        // The hard promise of the paper: never exceed the threshold.
+        if it.error_after > log.threshold + tol {
+            report.push(Diagnostic::error(
+                PASS,
+                format!(
+                    "iteration {}: measured error rate {} exceeds the threshold {}",
+                    it.iteration, it.error_after, log.threshold
+                ),
+            ));
+        }
+        prev_error = Some(it.error_after);
+        if chain_start.is_none() {
+            // Without an initial measurement later iterations still chain
+            // off the first measured value.
+            chain_start = Some(it.error_after);
+        }
+    }
+
+    match (log.final_error, log.final_iterations) {
+        (Some(final_error), Some(final_iterations)) => {
+            if final_iterations as usize != log.iterations.len() {
+                report.push(Diagnostic::error(
+                    PASS,
+                    format!(
+                        "run_end claims {final_iterations} iteration(s) but the log holds {}",
+                        log.iterations.len()
+                    ),
+                ));
+            }
+            if let Some(last) = prev_error {
+                if (final_error - last).abs() > tol {
+                    report.push(Diagnostic::error(
+                        PASS,
+                        format!(
+                            "run_end error rate {final_error} disagrees with the last iteration's {last}"
+                        ),
+                    ));
+                }
+            }
+            if final_error > log.threshold + tol {
+                report.push(Diagnostic::error(
+                    PASS,
+                    format!(
+                        "final error rate {final_error} exceeds the threshold {}",
+                        log.threshold
+                    ),
+                ));
+            }
+            // The final count may be *below* the last iteration's: runs
+            // defer function-preserving clean-up (constant propagation)
+            // to the end. Growth, though, means the log is inconsistent.
+            if let Some(last_literals) = log.iterations.last().map(|i| i.literals_after) {
+                if log.final_literals.is_some_and(|f| f > last_literals) {
+                    report.push(Diagnostic::error(
+                        PASS,
+                        format!(
+                            "run_end literal count {:?} exceeds the last iteration's {last_literals}",
+                            log.final_literals
+                        ),
+                    ));
+                }
+            }
+        }
+        _ => {
+            report.push(Diagnostic::warning(
+                PASS,
+                "no run_end event: the log is truncated, summary checks skipped",
+            ));
+        }
+    }
+
+    if let Some(initial) = log.initial_error {
+        let bound = initial + apparent_sum_total;
+        report.push(Diagnostic::info(
+            PASS,
+            format!(
+                "Theorem-1 chained bound: initial {initial} + Σ apparent {apparent_sum_total} = {bound} \
+                 (threshold {})",
+                log.threshold
+            ),
+        ));
+        if let Some(final_error) = log.final_error {
+            if final_error > bound + tol {
+                report.push(Diagnostic::error(
+                    PASS,
+                    format!(
+                        "final error rate {final_error} exceeds the Theorem-1 chained bound {bound}"
+                    ),
+                ));
+            }
+        }
+    }
+
+    if let (Some(golden), Some(final_net)) = (golden, final_net) {
+        audit_against_networks(log, golden, final_net, config, &mut report);
+    }
+
+    report
+}
+
+/// The reality checks: rebuild the run's pattern set from the logged seed
+/// and measure the final network against the golden one.
+fn audit_against_networks(
+    log: &CertificateLog,
+    golden: &Network,
+    final_net: &Network,
+    config: &AuditConfig,
+    report: &mut AnalysisReport,
+) {
+    let tol = config.tolerance;
+    if golden.num_pis() != final_net.num_pis() || golden.num_pos() != final_net.num_pos() {
+        report.push(Diagnostic::error(
+            PASS,
+            format!(
+                "interface mismatch: golden is {}→{}, final is {}→{}",
+                golden.num_pis(),
+                golden.num_pos(),
+                final_net.num_pis(),
+                final_net.num_pos()
+            ),
+        ));
+        return;
+    }
+    if log.num_patterns == 0 {
+        return;
+    }
+    if let Some(final_literals) = log.final_literals {
+        let actual = final_net.literal_count() as u64;
+        // Only a warning: BLIF stores SOP covers, not factored forms, so a
+        // network that went through a write→parse round-trip can carry a
+        // different (re-derived) factored-form literal count than the run
+        // reported, with the function — what the certificates are about —
+        // unchanged.
+        if final_literals != actual {
+            report.push(Diagnostic::warning(
+                PASS,
+                format!(
+                    "run_end claims {final_literals} literal(s) but the network has {actual} \
+                     (a BLIF round-trip re-derives factored forms; the functional checks below \
+                     are unaffected)"
+                ),
+            ));
+        }
+    }
+    let patterns = PatternSet::random(golden.num_pis(), log.num_patterns, log.seed);
+    let real = error_rate(golden, final_net, &patterns);
+    if let Some(final_error) = log.final_error {
+        // Same seed, same pattern count, same simulator: the re-derived
+        // rate must reproduce the claim bit-for-bit (tol only guards the
+        // count→ratio division).
+        if (real - final_error).abs() > tol {
+            report.push(
+                Diagnostic::error(
+                    PASS,
+                    format!(
+                        "re-derived error rate {real} (seed {}) disagrees with the claimed {final_error}",
+                        log.seed
+                    ),
+                )
+                .with_hint("the log's summary was tampered with or belongs to another run"),
+            );
+        }
+    }
+    if real > log.threshold + tol {
+        report.push(Diagnostic::error(
+            PASS,
+            format!(
+                "re-derived error rate {real} exceeds the threshold {}",
+                log.threshold
+            ),
+        ));
+    }
+    // Exhaustive confirmation where tractable. A sampled run may legally
+    // exceed the threshold on the full input space, so this is a warning
+    // (the paper's guarantee is over the sampled patterns), not an error.
+    match als_bdd::exact_error_rate(golden, final_net, config.exact_bdd_node_limit) {
+        Ok(exact) => {
+            report.push(Diagnostic::info(
+                PASS,
+                format!(
+                    "exact error rate over all 2^{} vectors: {exact}",
+                    golden.num_pis()
+                ),
+            ));
+            if exact > log.threshold + tol {
+                report.push(Diagnostic::warning(
+                    PASS,
+                    format!(
+                        "exact error rate {exact} exceeds the sampled threshold {} \
+                         (sampling gap, not a certificate violation)",
+                        log.threshold
+                    ),
+                ));
+            }
+        }
+        Err(e) => {
+            report.push(Diagnostic::info(
+                PASS,
+                format!("exact error rate not derived: {e:?}"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certificate::{ApproxCertificate, IterationCert};
+
+    fn cert(iteration: u64, apparent: f64) -> ApproxCertificate {
+        ApproxCertificate {
+            iteration,
+            node: format!("n{iteration}"),
+            ase: "drop x0".into(),
+            literals_saved: 1,
+            apparent,
+        }
+    }
+
+    fn log_with(iterations: Vec<IterationCert>, final_error: f64) -> CertificateLog {
+        CertificateLog {
+            algorithm: "single".into(),
+            num_patterns: 1024,
+            threshold: 0.05,
+            seed: 1,
+            initial_error: Some(0.0),
+            final_iterations: Some(iterations.len() as u64),
+            final_literals: iterations.last().map(|i| i.literals_after),
+            final_error: Some(final_error),
+            iterations,
+        }
+    }
+
+    #[test]
+    fn consistent_log_audits_clean() {
+        let log = log_with(
+            vec![
+                IterationCert {
+                    iteration: 1,
+                    changes: 1,
+                    literals_after: 20,
+                    error_after: 0.01,
+                    certificates: vec![cert(1, 0.01)],
+                },
+                IterationCert {
+                    iteration: 2,
+                    changes: 1,
+                    literals_after: 18,
+                    error_after: 0.03,
+                    certificates: vec![cert(2, 0.02)],
+                },
+            ],
+            0.03,
+        );
+        let report = audit_certificates(&log, None, None, &AuditConfig::default());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn under_reported_apparent_breaks_the_chain() {
+        // The measured rate jumped by 0.03 but the certificate only
+        // admits 0.001 — a deflated (tampered) claim.
+        let log = log_with(
+            vec![IterationCert {
+                iteration: 1,
+                changes: 1,
+                literals_after: 20,
+                error_after: 0.03,
+                certificates: vec![cert(1, 0.001)],
+            }],
+            0.03,
+        );
+        let report = audit_certificates(&log, None, None, &AuditConfig::default());
+        assert!(
+            report.errors().any(|d| d.message.contains("chain bound")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn threshold_overshoot_is_flagged() {
+        let log = log_with(
+            vec![IterationCert {
+                iteration: 1,
+                changes: 1,
+                literals_after: 20,
+                error_after: 0.09,
+                certificates: vec![cert(1, 0.09)],
+            }],
+            0.09,
+        );
+        let report = audit_certificates(&log, None, None, &AuditConfig::default());
+        assert!(
+            report
+                .errors()
+                .any(|d| d.message.contains("exceeds the threshold")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn summary_disagreement_is_flagged() {
+        let mut log = log_with(
+            vec![IterationCert {
+                iteration: 1,
+                changes: 1,
+                literals_after: 20,
+                error_after: 0.01,
+                certificates: vec![cert(1, 0.01)],
+            }],
+            0.01,
+        );
+        log.final_error = Some(0.0); // tampered summary
+        let report = audit_certificates(&log, None, None, &AuditConfig::default());
+        assert!(
+            report
+                .errors()
+                .any(|d| d.message.contains("disagrees with the last iteration")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn multi_batch_over_budget_is_flagged() {
+        let mut log = log_with(
+            vec![IterationCert {
+                iteration: 1,
+                changes: 2,
+                literals_after: 20,
+                error_after: 0.04,
+                // Claimed Σ apparent = 0.09 > threshold 0.05: no honest
+                // knapsack could have packed this batch.
+                certificates: vec![cert(1, 0.05), cert(1, 0.04)],
+            }],
+            0.04,
+        );
+        log.algorithm = "multi".into();
+        let report = audit_certificates(&log, None, None, &AuditConfig::default());
+        assert!(
+            report.errors().any(|d| d.message.contains("over budget")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn real_network_rederivation_catches_a_tampered_summary() {
+        use als_logic::{Cover, Cube};
+        // golden: y = a·b; "approximate": y = a (error rate = P(a=1,b=0)).
+        let mut golden = Network::new("g");
+        let a = golden.add_pi("a");
+        let b = golden.add_pi("b");
+        let g = golden.add_node(
+            "g",
+            vec![a, b],
+            Cover::from_cubes(2, [Cube::from_literals(&[(0, true), (1, true)]).unwrap()]),
+        );
+        golden.add_po("y", g);
+        let mut approx = Network::new("g");
+        let a2 = approx.add_pi("a");
+        let _b2 = approx.add_pi("b");
+        approx.add_po("y", a2);
+
+        let patterns = PatternSet::random(2, 512, 9);
+        let real = error_rate(&golden, &approx, &patterns);
+        assert!(real > 0.1, "a·b vs a must disagree often, got {real}");
+
+        let mut log = log_with(
+            vec![IterationCert {
+                iteration: 1,
+                changes: 1,
+                literals_after: approx.literal_count() as u64,
+                error_after: real,
+                certificates: vec![cert(1, real)],
+            }],
+            real,
+        );
+        log.threshold = 0.5;
+        log.num_patterns = 512;
+        log.seed = 9;
+        let clean = audit_certificates(&log, Some(&golden), Some(&approx), &AuditConfig::default());
+        assert!(clean.is_clean(), "{clean}");
+
+        // Tamper: claim a rosier final rate than reality.
+        log.final_error = Some(real / 2.0);
+        log.iterations[0].error_after = real / 2.0;
+        let report =
+            audit_certificates(&log, Some(&golden), Some(&approx), &AuditConfig::default());
+        assert!(
+            report
+                .errors()
+                .any(|d| d.message.contains("re-derived error rate")),
+            "{report}"
+        );
+    }
+}

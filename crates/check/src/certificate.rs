@@ -1,0 +1,297 @@
+//! Parsing a telemetry JSONL event log into an auditable certificate
+//! chain.
+//!
+//! Schema v2 (see `als_telemetry::EVENT_LOG_SCHEMA_VERSION`) makes a run
+//! log self-contained for auditing: `run_start` carries the pattern-set
+//! seed, and every accepted change emits a `change_committed` line — the
+//! [`ApproxCertificate`] — with the claimed apparent error rate (§3.2),
+//! which is exactly the summand of the paper's Theorem 1.
+
+use als_telemetry::{Json, EVENT_LOG_SCHEMA_VERSION};
+use std::fmt;
+
+/// One accepted change's claim: deleting `ase` from `node` saved
+/// `literals_saved` literals at an apparent error rate of `apparent`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ApproxCertificate {
+    /// The iteration that committed the change.
+    pub iteration: u64,
+    /// The rewritten node (or a substitution description for SASIMI).
+    pub node: String,
+    /// The approximate simplification entry (which literals were deleted).
+    pub ase: String,
+    /// Claimed factored-form literals saved.
+    pub literals_saved: u64,
+    /// Claimed apparent error rate (§3.2) — the Theorem-1 summand.
+    pub apparent: f64,
+}
+
+/// One iteration's worth of certificates plus the measured state after it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IterationCert {
+    /// Iteration number (1-based).
+    pub iteration: u64,
+    /// Changes the iteration claimed to commit.
+    pub changes: u64,
+    /// Factored-form literal count after the iteration.
+    pub literals_after: u64,
+    /// Measured error rate against the golden network after the iteration.
+    pub error_after: f64,
+    /// The per-change certificates committed this iteration.
+    pub certificates: Vec<ApproxCertificate>,
+}
+
+/// A parsed run log: header, per-iteration certificates, and the summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CertificateLog {
+    /// Algorithm name from `run_start` (`single`, `multi`, `sasimi`).
+    pub algorithm: String,
+    /// Simulation pattern count used for every measurement in the run.
+    pub num_patterns: usize,
+    /// Error-rate threshold the run was asked to respect.
+    pub threshold: f64,
+    /// Pattern-set seed; with `num_patterns` and the golden network's PI
+    /// count this reconstructs the exact pattern set.
+    pub seed: u64,
+    /// First measured error rate (after the function-preserving
+    /// pre-simplification, before any approximation).
+    pub initial_error: Option<f64>,
+    /// Every iteration that committed at least one change, in order.
+    pub iterations: Vec<IterationCert>,
+    /// Final error rate from `run_end`.
+    pub final_error: Option<f64>,
+    /// Final literal count from `run_end`.
+    pub final_literals: Option<u64>,
+    /// Iteration count from `run_end`.
+    pub final_iterations: Option<u64>,
+}
+
+/// Why a log could not be parsed into a certificate chain.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CertificateError {
+    /// 1-based line number of the offending JSONL line (0 for whole-log
+    /// problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "certificate log: {}", self.message)
+        } else {
+            write!(f, "certificate log line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+fn err(line: usize, message: impl Into<String>) -> CertificateError {
+    CertificateError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Pulls a required field out of an event object.
+fn field<'a>(obj: &'a Json, key: &str, line: usize) -> Result<&'a Json, CertificateError> {
+    obj.get(key)
+        .ok_or_else(|| err(line, format!("event is missing field `{key}`")))
+}
+
+fn as_f64(obj: &Json, key: &str, line: usize) -> Result<f64, CertificateError> {
+    field(obj, key, line)?
+        .as_f64()
+        .ok_or_else(|| err(line, format!("field `{key}` is not a number")))
+}
+
+fn as_u64(obj: &Json, key: &str, line: usize) -> Result<u64, CertificateError> {
+    field(obj, key, line)?
+        .as_u64()
+        .ok_or_else(|| err(line, format!("field `{key}` is not an unsigned integer")))
+}
+
+fn as_str(obj: &Json, key: &str, line: usize) -> Result<String, CertificateError> {
+    Ok(field(obj, key, line)?
+        .as_str()
+        .ok_or_else(|| err(line, format!("field `{key}` is not a string")))?
+        .to_string())
+}
+
+impl CertificateLog {
+    /// Parses a schema-v2 JSONL event log (the format `--events` writes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CertificateError`] on malformed JSON, a missing or
+    /// pre-v2 schema version, more than one `run_start`, out-of-order
+    /// sequence numbers, or `change_committed` lines not closed by an
+    /// `iteration_end` (a truncated log).
+    pub fn from_jsonl(text: &str) -> Result<Self, CertificateError> {
+        let mut log: Option<CertificateLog> = None;
+        let mut pending: Vec<ApproxCertificate> = Vec::new();
+        let mut last_seq: Option<u64> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            let json = Json::parse(raw).map_err(|e| err(line, format!("bad JSON: {e}")))?;
+            let version = as_u64(&json, "v", line)?;
+            if version != EVENT_LOG_SCHEMA_VERSION {
+                return Err(err(
+                    line,
+                    format!(
+                        "schema version {version} is not auditable (need v{EVENT_LOG_SCHEMA_VERSION}: \
+                         seed in run_start + change_committed certificates)"
+                    ),
+                ));
+            }
+            let seq = as_u64(&json, "seq", line)?;
+            if last_seq.is_some_and(|prev| seq <= prev) {
+                return Err(err(
+                    line,
+                    format!("sequence number {seq} is not increasing"),
+                ));
+            }
+            last_seq = Some(seq);
+            match as_str(&json, "event", line)?.as_str() {
+                "run_start" => {
+                    if log.is_some() {
+                        return Err(err(line, "second run_start: one log must hold one run"));
+                    }
+                    log = Some(CertificateLog {
+                        algorithm: as_str(&json, "algorithm", line)?,
+                        num_patterns: as_u64(&json, "num_patterns", line)? as usize,
+                        threshold: as_f64(&json, "threshold", line)?,
+                        seed: as_u64(&json, "seed", line)?,
+                        initial_error: None,
+                        iterations: Vec::new(),
+                        final_error: None,
+                        final_literals: None,
+                        final_iterations: None,
+                    });
+                }
+                "measured" => {
+                    let log = log
+                        .as_mut()
+                        .ok_or_else(|| err(line, "measured before run_start"))?;
+                    let rate = as_f64(&json, "error_rate", line)?;
+                    if log.initial_error.is_none() && log.iterations.is_empty() {
+                        log.initial_error = Some(rate);
+                    }
+                }
+                "change_committed" => {
+                    if log.is_none() {
+                        return Err(err(line, "change_committed before run_start"));
+                    }
+                    pending.push(ApproxCertificate {
+                        iteration: as_u64(&json, "iteration", line)?,
+                        node: as_str(&json, "node", line)?,
+                        ase: as_str(&json, "ase", line)?,
+                        literals_saved: as_u64(&json, "literals_saved", line)?,
+                        apparent: as_f64(&json, "apparent", line)?,
+                    });
+                }
+                "iteration_end" => {
+                    let log = log
+                        .as_mut()
+                        .ok_or_else(|| err(line, "iteration_end before run_start"))?;
+                    log.iterations.push(IterationCert {
+                        iteration: as_u64(&json, "iteration", line)?,
+                        changes: as_u64(&json, "changes", line)?,
+                        literals_after: as_u64(&json, "literals", line)?,
+                        error_after: as_f64(&json, "error_rate", line)?,
+                        certificates: std::mem::take(&mut pending),
+                    });
+                }
+                "run_end" => {
+                    let log = log
+                        .as_mut()
+                        .ok_or_else(|| err(line, "run_end before run_start"))?;
+                    log.final_iterations = Some(as_u64(&json, "iterations", line)?);
+                    log.final_literals = Some(as_u64(&json, "literals", line)?);
+                    log.final_error = Some(as_f64(&json, "error_rate", line)?);
+                }
+                // Phase timings, candidate statistics, … — not audit data.
+                _ => {}
+            }
+        }
+        if !pending.is_empty() {
+            return Err(err(
+                0,
+                format!(
+                    "{} change_committed line(s) without a closing iteration_end (truncated log?)",
+                    pending.len()
+                ),
+            ));
+        }
+        log.ok_or_else(|| err(0, "no run_start event found"))
+    }
+
+    /// All certificates across every iteration, in commit order.
+    pub fn all_certificates(&self) -> impl Iterator<Item = &ApproxCertificate> {
+        self.iterations.iter().flat_map(|i| i.certificates.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> String {
+        [
+            r#"{"event":"run_start","algorithm":"single","threads":1,"num_patterns":64,"nodes":3,"threshold":0.05,"seed":7,"v":2,"seq":0}"#,
+            r#"{"event":"measured","error_rate":0.0,"nanos":5,"v":2,"seq":1}"#,
+            r#"{"event":"change_committed","iteration":1,"node":"g5","ase":"drop x1","literals_saved":2,"apparent":0.015625,"v":2,"seq":2}"#,
+            r#"{"event":"iteration_end","iteration":1,"changes":1,"literals":10,"error_rate":0.015625,"nanos":12,"v":2,"seq":3}"#,
+            r#"{"event":"run_end","iterations":1,"literals":10,"error_rate":0.015625,"nanos":99,"v":2,"seq":4}"#,
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn parses_a_complete_run() {
+        let log = CertificateLog::from_jsonl(&sample_log()).unwrap();
+        assert_eq!(log.algorithm, "single");
+        assert_eq!(log.seed, 7);
+        assert_eq!(log.initial_error, Some(0.0));
+        assert_eq!(log.iterations.len(), 1);
+        assert_eq!(log.iterations[0].certificates.len(), 1);
+        assert_eq!(log.iterations[0].certificates[0].node, "g5");
+        assert_eq!(log.final_literals, Some(10));
+        assert_eq!(log.all_certificates().count(), 1);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let text = sample_log().replace("\"v\":2", "\"v\":1");
+        let e = CertificateLog::from_jsonl(&text).unwrap_err();
+        assert!(e.message.contains("schema version"), "{e}");
+    }
+
+    #[test]
+    fn rejects_truncation_after_a_commit() {
+        let full = sample_log();
+        let truncated: Vec<&str> = full.lines().take(3).collect();
+        let e = CertificateLog::from_jsonl(&truncated.join("\n")).unwrap_err();
+        assert!(e.message.contains("truncated"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_monotonic_sequence_numbers() {
+        let text = sample_log().replace("\"seq\":3", "\"seq\":1");
+        let e = CertificateLog::from_jsonl(&text).unwrap_err();
+        assert!(e.message.contains("not increasing"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_json_with_line_number() {
+        let text = format!("{}\nnot json\n", sample_log());
+        let e = CertificateLog::from_jsonl(&text).unwrap_err();
+        assert_eq!(e.line, 6);
+    }
+}

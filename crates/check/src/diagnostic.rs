@@ -1,0 +1,198 @@
+//! Structured findings: what a pass saw, where, and how bad it is.
+
+use als_network::NodeId;
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Context worth reporting (e.g. the chained Theorem-1 bound).
+    Info,
+    /// Suspicious but not a proven violation (e.g. a node too large to
+    /// verify functionally, or an exact rate exceeding a sampled budget).
+    Warning,
+    /// A proven invariant violation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding from an analysis or audit pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// The pass that produced it (e.g. `"acyclicity"`).
+    pub pass: &'static str,
+    /// The offending node, when the finding is node-local.
+    pub node: Option<NodeId>,
+    /// The offending node's name, when the finding is node-local and the
+    /// node's metadata was still readable.
+    pub node_name: Option<String>,
+    /// What went wrong.
+    pub message: String,
+    /// How to fix it, when the pass knows.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// A new [`Severity::Error`] finding.
+    pub fn error(pass: &'static str, message: impl Into<String>) -> Self {
+        Self::new(Severity::Error, pass, message)
+    }
+
+    /// A new [`Severity::Warning`] finding.
+    pub fn warning(pass: &'static str, message: impl Into<String>) -> Self {
+        Self::new(Severity::Warning, pass, message)
+    }
+
+    /// A new [`Severity::Info`] finding.
+    pub fn info(pass: &'static str, message: impl Into<String>) -> Self {
+        Self::new(Severity::Info, pass, message)
+    }
+
+    fn new(severity: Severity, pass: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            severity,
+            pass,
+            node: None,
+            node_name: None,
+            message: message.into(),
+            hint: None,
+        }
+    }
+
+    /// Attaches the offending node.
+    #[must_use]
+    pub fn with_node(mut self, node: NodeId, name: Option<String>) -> Self {
+        self.node = Some(node);
+        self.node_name = name;
+        self
+    }
+
+    /// Attaches a fix hint.
+    #[must_use]
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = Some(hint.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.severity, self.pass)?;
+        if let Some(name) = &self.node_name {
+            write!(f, " {name}")?;
+        } else if let Some(node) = self.node {
+            write!(f, " node#{node}")?;
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(hint) = &self.hint {
+            write!(f, " (hint: {hint})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of running an analyzer or auditor: every finding, in pass
+/// order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AnalysisReport {
+    /// All findings, in the order the passes produced them.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no [`Severity::Error`] finding is present (warnings and
+    /// info lines do not make a network dirty).
+    pub fn is_clean(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// Iterates over the error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.errors().count()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Appends every finding of `other`.
+    pub fn extend(&mut self, other: AnalysisReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return writeln!(f, "clean: no findings");
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        writeln!(
+            f,
+            "{} finding(s), {} error(s)",
+            self.diagnostics.len(),
+            self.error_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering_puts_error_on_top() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn report_cleanliness_ignores_warnings() {
+        let mut report = AnalysisReport::new();
+        assert!(report.is_clean());
+        report.push(Diagnostic::warning(
+            "sop_equivalence",
+            "too large to verify",
+        ));
+        report.push(Diagnostic::info("audit", "chained bound 0.01"));
+        assert!(report.is_clean());
+        report.push(Diagnostic::error("acyclicity", "cycle through n3"));
+        assert!(!report.is_clean());
+        assert_eq!(report.error_count(), 1);
+    }
+
+    #[test]
+    fn display_includes_pass_node_and_hint() {
+        let d =
+            Diagnostic::error("references", "fanin 7 is dead").with_hint("rebuild the fanin list");
+        let text = d.to_string();
+        assert!(text.contains("error [references]"));
+        assert!(text.contains("hint: rebuild"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Static analysis and certification for the ALS stack.
+//!
+//! Two analyzer families live here:
+//!
+//! * **Structural analysis** ([`NetworkAnalyzer`]): a configurable pass list
+//!   over any [`Network`](als_network::Network) — reference/arity
+//!   consistency, acyclicity, topological-order validity, SOP ↔
+//!   factored-form functional equivalence, and don't-care soundness —
+//!   producing a structured [`AnalysisReport`] instead of panicking.
+//! * **Certificate audit** ([`audit_certificates`]): every accepted
+//!   approximate change records an [`ApproxCertificate`] (node, ASE, claimed
+//!   apparent error rate, §3.2) in the telemetry JSONL stream; the auditor
+//!   replays such a log and verifies the Theorem-1 inequality chain, the
+//!   per-iteration error budget, and — given the golden network — re-derives
+//!   the real error rate of the final network from the logged seed.
+//!
+//! The analyzer **never panics** on malformed networks: that is the point.
+//! Tooling (the `als check` CLI subcommand, CI mutation tests) relies on
+//! getting diagnostics back from inputs that the rest of the workspace
+//! would assert on.
+//!
+//! # Example
+//!
+//! ```
+//! use als_check::{AnalyzerConfig, NetworkAnalyzer};
+//! use als_network::Network;
+//!
+//! let mut net = Network::new("buf");
+//! let a = net.add_pi("a");
+//! net.add_po("y", a);
+//! let report = NetworkAnalyzer::new(AnalyzerConfig::full()).analyze(&net);
+//! assert!(report.is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod analyzer;
+mod audit;
+mod certificate;
+mod diagnostic;
+
+pub use analyzer::{AnalyzerConfig, NetworkAnalyzer, Pass};
+pub use audit::{audit_certificates, AuditConfig};
+pub use certificate::{ApproxCertificate, CertificateError, CertificateLog, IterationCert};
+pub use diagnostic::{AnalysisReport, Diagnostic, Severity};

@@ -1,0 +1,39 @@
+//! The analyzer over every registry circuit: all twelve Table-3 networks
+//! must analyze clean under the full pass list — the negative control for
+//! the mutation tests, and the same sweep CI runs via `als check`.
+
+use als_check::{AnalyzerConfig, NetworkAnalyzer, Severity};
+use als_circuits::all_benchmarks;
+
+#[test]
+fn every_registry_circuit_analyzes_clean() {
+    let analyzer = NetworkAnalyzer::new(AnalyzerConfig::full());
+    for bench in all_benchmarks() {
+        let net = (bench.build)();
+        let report = analyzer.analyze(&net);
+        assert!(
+            report.is_clean(),
+            "{name} has analyzer findings:\n{report}",
+            name = bench.name
+        );
+        // The full pass list must actually have run: no skip notes.
+        assert!(
+            !report
+                .diagnostics
+                .iter()
+                .any(|d| d.message.contains("skipped")),
+            "{name}: passes were skipped:\n{report}",
+            name = bench.name
+        );
+        // Warnings are tolerated (huge nodes can defeat the BDD budget)
+        // but should be rare enough to list here when they appear.
+        for d in &report.diagnostics {
+            assert_ne!(
+                d.severity,
+                Severity::Error,
+                "{name}: {d}",
+                name = bench.name
+            );
+        }
+    }
+}

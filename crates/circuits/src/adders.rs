@@ -152,14 +152,17 @@ mod tests {
         } else {
             let mask = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
             let mut cases = vec![(0, 0), (mask, 1), (mask, mask), (1, mask)];
-            let mut state = 0x9e3779b97f4a7c15u64;
+            let mut state = 0x9e37_79b9_7f4a_7c15u64;
             for _ in 0..50 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1);
                 cases.push((state & mask, state.rotate_left(17) & mask));
             }
             for (a, b) in cases {
                 let got = eval_binary(net, a, n, b, n);
-                let expect = (a as u128 + b as u128) as u64 & ((mask as u128) << 1 | 1) as u64;
+                let expect =
+                    (u128::from(a) + u128::from(b)) as u64 & (u128::from(mask) << 1 | 1) as u64;
                 assert_eq!(got, expect, "{a} + {b} (n={n})");
             }
         }
@@ -234,7 +237,9 @@ mod tests {
         ];
         let mut state = 123u64;
         for _ in 0..100 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             let a = state & 0xFF;
             let b = (state >> 8) & 0xFF;
             let results: Vec<u64> = nets.iter().map(|n| eval_binary(n, a, 8, b, 8)).collect();

@@ -287,7 +287,9 @@ mod tests {
         net.check().unwrap();
         let mut state = 42u64;
         for _ in 0..40 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             let a = state & 0xFF;
             let bb = (state >> 11) & 0xFF;
             for op in 0..8u64 {
@@ -354,7 +356,9 @@ mod tests {
         // ir = 0000 → op=(0,0,0) → arithmetic add, enabled.
         let mut state = 99u64;
         for _ in 0..30 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             let a = state & 0xFFF;
             let bb = (state >> 17) & 0xFFF;
             let mut pis = bits(a, 12);
@@ -373,9 +377,17 @@ mod tests {
         assert_eq!(net.num_pos(), 35);
         net.check().unwrap();
         let mut state = 5u64;
-        let mut cases = vec![(0u64, 0u64), (u32::MAX as u64, 1), (7, 7), (3, 9), (9, 3)];
+        let mut cases = vec![
+            (0u64, 0u64),
+            (u64::from(u32::MAX), 1),
+            (7, 7),
+            (3, 9),
+            (9, 3),
+        ];
         for _ in 0..40 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             cases.push((state & 0xFFFF_FFFF, (state >> 29) & 0xFFFF_FFFF));
         }
         for (a, bb) in cases {
@@ -383,7 +395,7 @@ mod tests {
             pis.extend(bits(bb, 32));
             let out = eval(&net, &pis);
             assert_eq!(word(&out[..32]), (a + bb) & 0xFFFF_FFFF, "sum {a}+{bb}");
-            assert_eq!(out[32], a + bb > u32::MAX as u64, "cout {a}+{bb}");
+            assert_eq!(out[32], a + bb > u64::from(u32::MAX), "cout {a}+{bb}");
             assert_eq!(out[33], a == bb, "eq {a},{bb}");
             assert_eq!(out[34], a < bb, "lt {a},{bb}");
         }

@@ -24,8 +24,9 @@
 //! assert_eq!(net.num_pos(), 9); // 8 sum bits + carry out
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![deny(missing_debug_implementations)]
 
 pub mod adders;
 pub mod alu;

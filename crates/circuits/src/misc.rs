@@ -50,7 +50,7 @@ pub fn priority_encoder(n: usize) -> Network {
             Some(h) => b.or(&[h, req[i]]),
         });
     }
-    let valid = acc.expect("at least one input");
+    let valid = acc.expect("at least one input"); // lint:allow(panic): internal invariant; the message states it
 
     // grant[i] = req[i] AND no higher request.
     let grants: Vec<NodeId> = (0..num_inputs)
@@ -155,7 +155,7 @@ mod tests {
         for mask in 0..256u32 {
             let pis: Vec<bool> = (0..8).map(|i| mask >> i & 1 == 1).collect();
             let out = net.eval(&pis);
-            let idx = out[0] as usize | (out[1] as usize) << 1 | (out[2] as usize) << 2;
+            let idx = usize::from(out[0]) | usize::from(out[1]) << 1 | usize::from(out[2]) << 2;
             let valid = out[3];
             if mask == 0 {
                 assert!(!valid, "no request, no valid");

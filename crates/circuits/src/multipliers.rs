@@ -112,7 +112,7 @@ pub fn wallace_tree_multiplier(n: usize) -> Network {
     // Final carry-propagate addition of the two remaining rows.
     let mut bits: Vec<NodeId> = Vec::with_capacity(2 * n);
     let mut carry: Option<NodeId> = None;
-    for col in columns.iter() {
+    for col in &columns {
         let mut ops: Vec<NodeId> = col.clone();
         if let Some(c) = carry.take() {
             ops.push(c);
@@ -130,7 +130,7 @@ pub fn wallace_tree_multiplier(n: usize) -> Network {
                 bits.push(s);
                 carry = Some(c);
             }
-            _ => unreachable!("columns were reduced to ≤ 2 bits plus a carry"),
+            _ => unreachable!("columns were reduced to ≤ 2 bits plus a carry"), // lint:allow(panic): documented panic contract
         }
     }
     product_pos(&mut b, &bits);
@@ -157,9 +157,11 @@ mod tests {
         } else {
             let mask = (1u64 << n) - 1;
             let mut cases = vec![(0, 0), (mask, mask), (1, mask), (mask, 1)];
-            let mut state = 0xabcdefu64;
+            let mut state = 0xab_cdefu64;
             for _ in 0..60 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1);
                 cases.push((state & mask, (state >> n) & mask));
             }
             for (a, b) in cases {
@@ -212,7 +214,9 @@ mod tests {
         let w8 = wallace_tree_multiplier(8);
         let mut state = 7u64;
         for _ in 0..100 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             let a = state & 0xFF;
             let b = (state >> 13) & 0xFF;
             assert_eq!(

@@ -47,7 +47,7 @@ impl std::fmt::Debug for Benchmark {
             .field("function", &self.function)
             .field("stand_in", &self.stand_in)
             .field("paper", &self.paper)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 

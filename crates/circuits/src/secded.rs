@@ -142,7 +142,9 @@ mod tests {
         net.check().unwrap();
         let mut state = 1u64;
         for _ in 0..50 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             let data = state as u16;
             let (check, parity) = encode_reference(data);
             let (corrected, single, double) = run(&net, data, check, parity);
@@ -157,7 +159,9 @@ mod tests {
         let net = sec_ded_16();
         let mut state = 99u64;
         for _ in 0..20 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             let data = state as u16;
             let (check, parity) = encode_reference(data);
             for flip in 0..16 {

@@ -100,14 +100,14 @@ pub fn generate_ases(expr: &Expr, num_fanins: usize, max_enum_literals: usize) -
     }
 
     // The two all-literals-removed specials (§3.1), always generated.
-    let zero_tt = TruthTable::zero(num_fanins).expect("fanin count validated upstream");
+    let zero_tt = TruthTable::zero(num_fanins).expect("fanin count validated upstream"); // lint:allow(panic): variable count validated by the caller
     out.push(Ase {
         elips: &zero_tt ^ &orig_tt,
         expr: Expr::FALSE,
         kind: AseKind::ConstZero,
         literals_saved: n,
     });
-    let one_tt = TruthTable::one(num_fanins).expect("fanin count validated upstream");
+    let one_tt = TruthTable::one(num_fanins).expect("fanin count validated upstream"); // lint:allow(panic): variable count validated by the caller
     out.push(Ase {
         elips: &one_tt ^ &orig_tt,
         expr: Expr::TRUE,

@@ -42,7 +42,7 @@ pub fn simplify_with_dont_cares(net: &mut Network, config: &DontCareConfig) -> u
         }
         let tt = node.cover().to_truth_table();
         let dc = compute_dont_cares(net, id, config);
-        let mut dc_tt = TruthTable::zero(k).expect("fanin count bounded");
+        let mut dc_tt = TruthTable::zero(k).expect("fanin count bounded"); // lint:allow(panic): variable count validated by the caller
         for v in 0..(1u64 << k) {
             if dc.is_dont_care(v as usize) {
                 dc_tt.set(v, true);

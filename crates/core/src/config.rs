@@ -23,6 +23,9 @@ pub struct MagnitudeConstraint {
 /// minor releases without breaking downstream builds.
 #[derive(Clone, Debug)]
 #[non_exhaustive]
+// The bools are independent feature toggles (ablations and engine
+// selection), not an encoded state machine.
+#[allow(clippy::struct_excessive_bools)]
 pub struct AlsConfig {
     /// The error rate threshold `T` (fraction of PI vectors allowed to
     /// produce a wrong output).

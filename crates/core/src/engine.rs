@@ -138,6 +138,15 @@ impl CandidateEngine {
     /// rewritten nodes, then evaluates every uncached eligible node — in
     /// parallel when the pending set is large enough.
     pub fn refresh(&mut self, net: &Network, ctx: &AlsContext) {
+        // Debug-build invariant: the engine must never price candidates on a
+        // structurally broken network (compiled out of release builds, so
+        // release perf and the determinism property tests are untouched).
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            net.check().is_ok(),
+            "engine refreshed on an inconsistent network: {:?}",
+            net.check()
+        );
         let mark = self.telemetry.start();
         self.stats.refreshes += 1;
         if !self.cache_enabled {
@@ -257,6 +266,15 @@ impl CandidateEngine {
             .entries
             .retain(|id, _| !cone.get(id.index()).copied().unwrap_or(false));
         let dropped = before - self.cache.entries.len();
+        // Debug-build invariant: a committed node sits inside its own TFO
+        // cone, so its stale pricing must never survive the invalidation.
+        #[cfg(debug_assertions)]
+        for &c in changed {
+            debug_assert!(
+                !self.cache.entries.contains_key(&c),
+                "committed node {c} survived its own invalidation cone"
+            );
+        }
         self.telemetry.emit(|| Event::ConeInvalidated {
             changed: changed.len() as u64,
             dropped: dropped as u64,
@@ -346,7 +364,7 @@ fn evaluate_all(
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("candidate-evaluation worker panicked"))
+                .flat_map(|h| h.join().expect("candidate-evaluation worker panicked")) // lint:allow(panic): propagates a worker panic, which is already fatal
                 .collect()
         })
     };

@@ -92,7 +92,7 @@ impl fmt::Display for KnapsackSolution {
 /// assert_eq!(solution.choices, vec![Some(1), Some(1), None]);
 /// ```
 pub fn solve(items: &[KnapsackItem], capacity: u64, filter_dominated: bool) -> KnapsackSolution {
-    let cap = usize::try_from(capacity).expect("capacity fits in memory");
+    let cap = usize::try_from(capacity).expect("capacity fits in memory"); // lint:allow(panic): size bounded far below the overflow point
 
     // Filtering: drop states over capacity; optionally drop dominated states.
     // Remember original indices for the backtrack report.
@@ -143,7 +143,7 @@ pub fn solve(items: &[KnapsackItem], capacity: u64, filter_dominated: bool) -> K
                 let w = s.weight as usize;
                 w <= j && m[(i - 1) * width + (j - w)] + s.value == here
             })
-            .expect("DP cell must be explained by some state");
+            .expect("DP cell must be explained by some state"); // lint:allow(panic): internal invariant; the message states it
         choices[i - 1] = Some(*orig_idx);
         total_weight += s.weight;
         j -= s.weight as usize;
@@ -346,8 +346,8 @@ mod tests {
         let mut state = 0xfeed_beefu64;
         let mut next = move || {
             state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
             state
         };
         for round in 0..100 {

@@ -61,7 +61,7 @@ pub(crate) fn multi_selection_with_context(
     ctx: AlsContext,
 ) -> AlsOutcome {
     let start = Instant::now();
-    original.check().expect("input network must be consistent");
+    original.check().expect("input network must be consistent"); // lint:allow(panic): documented panic contract; `approximate()` is the fallible entry
     let initial_literals = original.literal_count();
 
     // Same sink arrangement as single-selection: an internal collector feeds
@@ -78,6 +78,7 @@ pub(crate) fn multi_selection_with_context(
         num_patterns: ctx.patterns().num_patterns(),
         nodes: original.num_internal(),
         threshold: config.threshold,
+        seed: config.seed,
     });
 
     let mut current = original.clone();
@@ -158,11 +159,17 @@ pub(crate) fn multi_selection_with_context(
                     ase: ase.expr.to_string(),
                     literals_saved: ase.literals_saved,
                     error_estimate: rate_store[idx][*state],
+                    apparent: rate_store[idx][*state],
                 });
                 apply_ase(&mut current, *id, ase);
                 batch.push(*id);
             }
             current.propagate_constants();
+            debug_assert!(
+                current.check().is_ok(),
+                "network inconsistent after applying a multi-selection batch: {:?}",
+                current.check()
+            );
 
             let Some(new_error_rate) = ctx.accepts(&current, config) else {
                 current = snapshot;
@@ -184,6 +191,15 @@ pub(crate) fn multi_selection_with_context(
             margin = config.threshold - error_rate;
             let literals_after = current.literal_count();
             let num_changes = changes.len();
+            for change in &changes {
+                config.telemetry.emit(|| Event::ChangeCommitted {
+                    iteration: iteration as u64,
+                    node: change.node_name.clone(),
+                    ase: change.ase.clone(),
+                    literals_saved: change.literals_saved as u64,
+                    apparent: change.apparent,
+                });
+            }
             iterations.push(IterationRecord {
                 iteration,
                 changes,

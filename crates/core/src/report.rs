@@ -15,6 +15,11 @@ pub struct SelectedChange {
     /// The error estimate that justified the selection (estimated real rate
     /// for single-selection, apparent rate for multi-selection).
     pub error_estimate: f64,
+    /// The claimed apparent error rate (§3.2) of the change — the Theorem-1
+    /// summand an auditor checks (equals `error_estimate` for
+    /// multi-selection and sasimi; ≥ `error_estimate` for single-selection,
+    /// whose estimate discards don't-care ELIPs).
+    pub apparent: f64,
 }
 
 /// A committed iteration of either algorithm.

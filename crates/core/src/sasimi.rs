@@ -47,7 +47,7 @@ const TRIALS_PER_ITERATION: usize = 25;
 ///
 /// Panics if the input network fails its consistency check.
 pub fn sasimi(original: &Network, config: &AlsConfig) -> AlsOutcome {
-    original.check().expect("input network must be consistent");
+    original.check().expect("input network must be consistent"); // lint:allow(panic): documented panic contract; `approximate()` is the fallible entry
     let ctx = AlsContext::new(original, config);
     sasimi_with_context(original, config, ctx)
 }
@@ -58,7 +58,7 @@ pub(crate) fn sasimi_with_context(
     ctx: AlsContext,
 ) -> AlsOutcome {
     let start = Instant::now();
-    original.check().expect("input network must be consistent");
+    original.check().expect("input network must be consistent"); // lint:allow(panic): documented panic contract; `approximate()` is the fallible entry
     let initial_literals = original.literal_count();
 
     // Same sink arrangement as the paper's algorithms, so the baseline's
@@ -75,6 +75,7 @@ pub(crate) fn sasimi_with_context(
         num_patterns: ctx.patterns().num_patterns(),
         nodes: original.num_internal(),
         threshold: config.threshold,
+        seed: config.seed,
     });
 
     let mut current = original.clone();
@@ -104,13 +105,30 @@ pub(crate) fn sasimi_with_context(
             }
             error_rate = new_error_rate;
             let literals_after = trial.literal_count();
+            // A substitution flips an output only on a vector where target
+            // and substitute disagree, so the pairwise difference rate is
+            // this change's apparent rate in the Theorem-1 sense.
+            let apparent = cand.difference as f64 / ctx.patterns().num_patterns() as f64;
+            debug_assert!(
+                trial.check().is_ok(),
+                "network inconsistent after sasimi substitution: {:?}",
+                trial.check()
+            );
+            config.telemetry.emit(|| Event::ChangeCommitted {
+                iteration: iteration as u64,
+                node: description.clone(),
+                ase: String::from("substitution"),
+                literals_saved: saved as u64,
+                apparent,
+            });
             iterations.push(IterationRecord {
                 iteration,
                 changes: vec![SelectedChange {
                     node_name: description,
                     ase: String::from("substitution"),
                     literals_saved: saved,
-                    error_estimate: cand.difference as f64 / ctx.patterns().num_patterns() as f64,
+                    error_estimate: apparent,
+                    apparent,
                 }],
                 literals_after,
                 error_rate_after: error_rate,
@@ -247,7 +265,7 @@ fn apply(net: &mut Network, cand: &Candidate) -> String {
                     vec![s],
                     Cover::from_cubes(
                         1,
-                        [Cube::from_literals(&[(0, false)]).expect("single negative literal")],
+                        [Cube::from_literals(&[(0, false)]).expect("single negative literal")], // lint:allow(panic): cube literals are valid by construction
                     ),
                 );
                 net.substitute(cand.target, inv);

@@ -62,7 +62,7 @@ pub(crate) fn single_selection_with_context(
     ctx: AlsContext,
 ) -> AlsOutcome {
     let start = Instant::now();
-    original.check().expect("input network must be consistent");
+    original.check().expect("input network must be consistent"); // lint:allow(panic): documented panic contract; `approximate()` is the fallible entry
     let initial_literals = original.literal_count();
 
     // Metrics for `AlsOutcome::metrics` are gathered through the same sink
@@ -81,6 +81,7 @@ pub(crate) fn single_selection_with_context(
         num_patterns: ctx.patterns().num_patterns(),
         nodes: original.num_internal(),
         threshold: config.threshold,
+        seed: config.seed,
     });
 
     let mut current = original.clone();
@@ -104,7 +105,7 @@ pub(crate) fn single_selection_with_context(
         }
         let iter_mark = config.telemetry.start();
         engine.refresh(&current, &ctx);
-        let Some((node, ase, estimate)) = best_candidate(&engine, margin) else {
+        let Some((node, ase, estimate, apparent)) = best_candidate(&engine, margin) else {
             break;
         };
         let snapshot = current.clone();
@@ -132,9 +133,23 @@ pub(crate) fn single_selection_with_context(
         // new structure (see `CandidateEngine::invalidate_committed`).
         engine.invalidate_committed(&snapshot, &[node]);
         engine.invalidate_committed(&current, &[node]);
+        // Committed-state invariant, compiled out of release builds: the
+        // network must still pass its structural check after every rewrite.
+        debug_assert!(
+            current.check().is_ok(),
+            "network inconsistent after committing {node_name}: {:?}",
+            current.check()
+        );
         error_rate = new_error_rate;
         margin = config.threshold - error_rate;
         let literals_after = current.literal_count();
+        config.telemetry.emit(|| Event::ChangeCommitted {
+            iteration: iteration as u64,
+            node: node_name.clone(),
+            ase: ase_display.clone(),
+            literals_saved: literals_saved as u64,
+            apparent,
+        });
         iterations.push(IterationRecord {
             iteration,
             changes: vec![SelectedChange {
@@ -142,6 +157,7 @@ pub(crate) fn single_selection_with_context(
                 ase: ase_display,
                 literals_saved,
                 error_estimate: estimate,
+                apparent,
             }],
             literals_after,
             error_rate_after: error_rate,
@@ -180,8 +196,9 @@ pub(crate) fn single_selection_with_context(
 
 /// Picks the highest-scoring feasible (estimate ≤ margin) engine candidate.
 /// Ties in score break toward more saved literals, then lower node ids.
-fn best_candidate(engine: &CandidateEngine, margin: f64) -> Option<(NodeId, Ase, f64)> {
-    let mut best: Option<(NodeId, &Ase, f64, f64)> = None;
+/// Returns `(node, ase, estimate, apparent)`.
+fn best_candidate(engine: &CandidateEngine, margin: f64) -> Option<(NodeId, Ase, f64, f64)> {
+    let mut best: Option<(NodeId, &Ase, f64, f64, f64)> = None;
     for id in engine.node_ids() {
         for cand in engine.candidates(id) {
             if cand.estimate > margin {
@@ -190,17 +207,17 @@ fn best_candidate(engine: &CandidateEngine, margin: f64) -> Option<(NodeId, Ase,
             let s = score(cand.ase.literals_saved, cand.estimate);
             let better = match &best {
                 None => true,
-                Some((_, b_ase, _, b_score)) => {
+                Some((_, b_ase, _, _, b_score)) => {
                     s > *b_score
                         || (s == *b_score && cand.ase.literals_saved > b_ase.literals_saved)
                 }
             };
             if better {
-                best = Some((id, &cand.ase, cand.estimate, s));
+                best = Some((id, &cand.ase, cand.estimate, cand.apparent, s));
             }
         }
     }
-    best.map(|(id, ase, est, _)| (id, ase.clone(), est))
+    best.map(|(id, ase, est, app, _)| (id, ase.clone(), est, app))
 }
 
 /// Applies an ASE to the network.

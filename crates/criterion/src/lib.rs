@@ -8,6 +8,9 @@
 //! configurations (e.g. thread counts) at a glance, with none of criterion's
 //! statistics machinery.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
@@ -138,6 +141,8 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `sample_size` executions of `routine` (after one warm-up call).
+    // The name mirrors the upstream criterion API; it is not an iterator.
+    #[allow(clippy::iter_not_returning_iterator)]
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         black_box(routine()); // warm-up, excluded from samples
         for _ in 0..self.sample_size {

@@ -228,7 +228,7 @@ mod tests {
                 let pattern = fanins
                     .iter()
                     .enumerate()
-                    .fold(0usize, |acc, (i, f)| acc | ((vals[f] as usize) << i));
+                    .fold(0usize, |acc, (i, f)| acc | (usize::from(vals[f]) << i));
                 if pattern != v {
                     continue;
                 }

@@ -37,8 +37,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![deny(missing_debug_implementations)]
 
 mod compute;
 mod encode;

@@ -138,6 +138,7 @@ impl Window {
             let mut assignment = 0u64;
             for (i, &f) in node.fanins().iter().enumerate() {
                 if *value.get(&f).expect("window closure") {
+                    // lint:allow(panic): internal invariant; the message states it
                     assignment |= 1 << i;
                 }
             }
@@ -159,6 +160,7 @@ impl Window {
         let mut v = 0usize;
         for (i, &f) in node.fanins().iter().enumerate() {
             if *values.get(&f).expect("fanins evaluated") {
+                // lint:allow(panic): internal invariant; the message states it
                 v |= 1 << i;
             }
         }

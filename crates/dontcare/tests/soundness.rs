@@ -75,7 +75,7 @@ fn brute_force(net: &Network, pivot: NodeId) -> (Vec<bool>, Vec<bool>) {
         let pattern = fanins
             .iter()
             .enumerate()
-            .fold(0usize, |acc, (i, f)| acc | ((vals[f] as usize) << i));
+            .fold(0usize, |acc, (i, f)| acc | (usize::from(vals[f]) << i));
         reachable[pattern] = true;
         // Flip the pivot and re-propagate.
         let mut fvals = vals.clone();

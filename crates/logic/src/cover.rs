@@ -37,7 +37,7 @@ impl Cover {
     /// Panics if `num_vars > MAX_VARS`; use [`Cover::try_new`] to handle the
     /// error instead.
     pub fn new(num_vars: usize) -> Self {
-        Self::try_new(num_vars).expect("num_vars exceeds MAX_VARS")
+        Self::try_new(num_vars).expect("num_vars exceeds MAX_VARS") // lint:allow(panic): documented panic contract; the `try_` twin is the fallible entry
     }
 
     /// Creates an empty (constant-0) cover over `num_vars` variables.
@@ -78,7 +78,7 @@ impl Cover {
         assert!(var < num_vars, "literal variable out of range");
         let mut c = Self::new(num_vars);
         c.push(
-            Cube::from_literals(&[(var, phase)]).expect("single literal is never contradictory"),
+            Cube::from_literals(&[(var, phase)]).expect("single literal is never contradictory"), // lint:allow(panic): cube literals are valid by construction
         );
         c
     }
@@ -244,13 +244,13 @@ impl Cover {
         let common_pos = self.cubes.iter().fold(u64::MAX, |a, c| a & c.pos_mask());
         let common_neg = self.cubes.iter().fold(u64::MAX, |a, c| a & c.neg_mask());
         let common =
-            Cube::from_masks(common_pos, common_neg).expect("intersection of valid cubes is valid");
+            Cube::from_masks(common_pos, common_neg).expect("intersection of valid cubes is valid"); // lint:allow(panic): cube literals are valid by construction
         let quotient = Cover {
             num_vars: self.num_vars,
             cubes: self
                 .cubes
                 .iter()
-                .map(|c| c.divide(&common).expect("common cube divides every cube"))
+                .map(|c| c.divide(&common).expect("common cube divides every cube")) // lint:allow(panic): internal invariant; the message states it
                 .collect(),
         };
         (common, quotient)

@@ -81,7 +81,7 @@ impl Expr {
         }
         match flat.len() {
             0 => Expr::TRUE,
-            1 => flat.pop().expect("len checked"),
+            1 => flat.pop().expect("len checked"), // lint:allow(panic): internal invariant; the message states it
             _ => Expr::And(flat),
         }
     }
@@ -100,7 +100,7 @@ impl Expr {
         }
         match flat.len() {
             0 => Expr::FALSE,
-            1 => flat.pop().expect("len checked"),
+            1 => flat.pop().expect("len checked"), // lint:allow(panic): internal invariant; the message states it
             _ => Expr::Or(flat),
         }
     }
@@ -257,7 +257,7 @@ impl Expr {
     /// `num_vars` exceeds [`crate::MAX_VARS`].
     pub fn to_truth_table(&self, num_vars: usize) -> TruthTable {
         self.try_to_truth_table(num_vars)
-            .expect("expression support exceeds requested variable count")
+            .expect("expression support exceeds requested variable count") // lint:allow(panic): internal invariant; the message states it
     }
 
     /// Fallible version of [`Expr::to_truth_table`].

@@ -189,14 +189,14 @@ mod tests {
         let mut state = 0x0bad_cafeu64;
         let mut next = move || {
             state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
             state
         };
         for _ in 0..60 {
             let nv = 5;
             let mut f = Cover::new(nv);
-            for _ in 0..(1 + next() % 7) {
+            for _ in 0..=(next() % 7) {
                 let r = next();
                 let mut lits = Vec::new();
                 for v in 0..nv {

@@ -48,17 +48,17 @@ pub fn isop(on: &TruthTable, upper: &TruthTable) -> Cover {
 /// the cubes appended by this call.
 fn isop_rec(on: &TruthTable, upper: &TruthTable, num_vars: usize, cover: &mut Cover) -> TruthTable {
     if on.is_zero() {
-        return TruthTable::zero(num_vars).expect("support already validated");
+        return TruthTable::zero(num_vars).expect("support already validated"); // lint:allow(panic): variable count validated by the caller
     }
     if upper.is_one() {
         cover.push(Cube::UNIVERSE);
-        return TruthTable::one(num_vars).expect("support already validated");
+        return TruthTable::one(num_vars).expect("support already validated"); // lint:allow(panic): variable count validated by the caller
     }
     // Split on the top-most variable both bounds depend on.
     let var = (0..num_vars)
         .rev()
         .find(|&v| on.depends_on(v) || upper.depends_on(v))
-        .expect("non-constant interval must depend on some variable");
+        .expect("non-constant interval must depend on some variable"); // lint:allow(panic): internal invariant; the message states it
 
     let on0 = on.cofactor(var, false);
     let on1 = on.cofactor(var, true);
@@ -83,7 +83,7 @@ fn isop_rec(on: &TruthTable, upper: &TruthTable, num_vars: usize, cover: &mut Co
     let rem_up = &up0 & &up1;
     let cr = isop_rec(&rem_on, &rem_up, num_vars, cover);
 
-    let x = TruthTable::var(num_vars, var).expect("var in range");
+    let x = TruthTable::var(num_vars, var).expect("var in range"); // lint:allow(panic): variable count validated by the caller
     let c0x = &c0 & &!&x;
     let c1x = &c1 & &x;
     &(&c0x | &c1x) | &cr
@@ -94,9 +94,9 @@ fn add_literal_to_new_cubes(cover: &mut Cover, from: usize, var: usize, phase: b
         .iter()
         .map(|c| {
             c.intersect(
-                &Cube::from_literals(&[(var, phase)]).expect("single literal cube is valid"),
+                &Cube::from_literals(&[(var, phase)]).expect("single literal cube is valid"), // lint:allow(panic): cube literals are valid by construction
             )
-            .expect("recursion guarantees the literal is free in sub-cubes")
+            .expect("recursion guarantees the literal is free in sub-cubes") // lint:allow(panic): internal invariant; the message states it
         })
         .collect();
     let num_vars = cover.num_vars();
@@ -171,7 +171,9 @@ mod tests {
         // Removing any cube of the ISOP must uncover part of the on-set.
         let mut state = 0x1234_5678_9abc_def0u64;
         for _ in 0..50 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             let bits = state;
             let f = tt(4, |m| bits >> (m % 64) & 1 == 1);
             let c = isop_exact(&f);

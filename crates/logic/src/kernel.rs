@@ -91,7 +91,7 @@ fn kernels_rec(f: &Cover, cokernel_so_far: Cube, min_var: usize, out: &mut Vec<K
                 continue;
             }
             let (common, cube_free) = q.make_cube_free();
-            let lit_cube = Cube::from_literals(&[(var, phase)]).expect("single literal is valid");
+            let lit_cube = Cube::from_literals(&[(var, phase)]).expect("single literal is valid"); // lint:allow(panic): cube literals are valid by construction
             let new_cokernel = cokernel_so_far
                 .intersect(&lit_cube)
                 .and_then(|c| c.intersect(&common));

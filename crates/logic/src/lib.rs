@@ -33,8 +33,9 @@
 //! assert_eq!(expr.to_truth_table(4), TruthTable::from_cover(&cover));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![deny(missing_debug_implementations)]
 
 mod cover;
 mod cube;

@@ -29,7 +29,7 @@ pub fn minimize_exactish(f: &TruthTable, dc: &TruthTable) -> Cover {
 /// for node functions.
 pub fn minimize_cover(cover: &Cover) -> Cover {
     let tt = cover.to_truth_table();
-    let dc = TruthTable::zero(cover.num_vars()).expect("cover support validated");
+    let dc = TruthTable::zero(cover.num_vars()).expect("cover support validated"); // lint:allow(panic): variable count validated by the caller
     let out = minimize_exactish(&tt, &dc);
     // Keep whichever form is cheaper; ISOP is irredundant but not always
     // minimum-literal.
@@ -75,8 +75,8 @@ pub fn espresso_lite(cover: &Cover, dc: &TruthTable) -> Cover {
 
     // IRREDUNDANT: greedily keep cubes that still cover new on-set minterms.
     let nv = cover.num_vars();
-    expanded.sort_by_key(|c| c.literal_count());
-    let mut covered = TruthTable::zero(nv).expect("support validated");
+    expanded.sort_by_key(super::cube::Cube::literal_count);
+    let mut covered = TruthTable::zero(nv).expect("support validated"); // lint:allow(panic): variable count validated by the caller
     let mut kept: Vec<Cube> = Vec::new();
     for cube in expanded {
         let ct = cube_truth_table(&cube, nv);
@@ -148,7 +148,7 @@ fn reduce(cover: &Cover, on: &TruthTable) -> Cover {
             }
             let point =
                 Cube::from_literals(&(0..nv).map(|v| (v, m >> v & 1 == 1)).collect::<Vec<_>>())
-                    .expect("minterm cube is contradiction-free");
+                    .expect("minterm cube is contradiction-free"); // lint:allow(panic): internal invariant; the message states it
             essential = Some(match essential {
                 None => point,
                 Some(e) => e.supercube(&point),
@@ -162,7 +162,7 @@ fn reduce(cover: &Cover, on: &TruthTable) -> Cover {
 }
 
 fn cube_truth_table(cube: &Cube, num_vars: usize) -> TruthTable {
-    TruthTable::from_fn(num_vars, |m| cube.eval(m)).expect("support validated")
+    TruthTable::from_fn(num_vars, |m| cube.eval(m)).expect("support validated") // lint:allow(panic): variable count validated by the caller
 }
 
 fn cube_intersects(cube: &Cube, set: &TruthTable) -> bool {
@@ -233,14 +233,14 @@ mod tests {
         let mut state = 0x5eed_5eedu64;
         let mut next = move || {
             state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
             state
         };
         for _ in 0..60 {
             let nv = 4;
             let mut f = Cover::new(nv);
-            for _ in 0..(1 + next() % 6) {
+            for _ in 0..=(next() % 6) {
                 let r = next();
                 let mut lits = Vec::new();
                 for v in 0..nv {
@@ -306,8 +306,8 @@ mod tests {
         let mut state = 0x600d_f00du64;
         for _ in 0..40 {
             state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
             let bits = state;
             let tt = TruthTable::from_fn(4, |m| bits >> (m % 64) & 1 == 1).unwrap();
             let dc = TruthTable::zero(4).unwrap();

@@ -160,7 +160,7 @@ impl TruthTable {
     /// through the public API).
     pub fn from_cover(cover: &Cover) -> Self {
         let mut t =
-            Self::zero(cover.num_vars()).expect("cover variable count validated at construction");
+            Self::zero(cover.num_vars()).expect("cover variable count validated at construction"); // lint:allow(panic): variable count validated by the caller
         for cube in cover.cubes() {
             for m in 0..(1u64 << cover.num_vars()) {
                 if cube.eval(m) {
@@ -225,7 +225,7 @@ impl TruthTable {
 
     /// The number of on-set minterms.
     pub fn count_ones(&self) -> u64 {
-        self.words.iter().map(|w| w.count_ones() as u64).sum()
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
     }
 
     /// Whether the function is constant 0.
@@ -347,9 +347,8 @@ impl TruthTable {
     /// (repeats are legal in [`TruthTable::remap_merge`]).
     pub fn remap(&self, new_num_vars: usize, map: &[usize]) -> Result<TruthTable, LogicError> {
         for (i, &m) in map.iter().enumerate() {
-            if map[..i].contains(&m) {
-                panic!("remap target {m} repeated");
-            }
+            // lint:allow(panic): documented panic contract
+            assert!(!map[..i].contains(&m), "remap target {m} repeated");
         }
         self.remap_merge(new_num_vars, map)
     }

@@ -88,18 +88,18 @@ pub fn complement(cover: &Cover) -> Cover {
             .enumerate()
             .max_by_key(|(_, &(p, n))| p + n)
             .map(|(v, _)| v)
-            .expect("non-empty cover mentions variables")
+            .expect("non-empty cover mentions variables") // lint:allow(panic): internal invariant; the message states it
     });
     let c0 = complement(&cover.cofactor(var, false));
     let c1 = complement(&cover.cofactor(var, true));
     let mut out = Cover::new(nv);
-    let lit0 = Cube::from_literals(&[(var, false)]).expect("single literal");
-    let lit1 = Cube::from_literals(&[(var, true)]).expect("single literal");
+    let lit0 = Cube::from_literals(&[(var, false)]).expect("single literal"); // lint:allow(panic): cube literals are valid by construction
+    let lit1 = Cube::from_literals(&[(var, true)]).expect("single literal"); // lint:allow(panic): cube literals are valid by construction
     for c in c0.cubes() {
-        out.push(c.intersect(&lit0).expect("cofactor freed the variable"));
+        out.push(c.intersect(&lit0).expect("cofactor freed the variable")); // lint:allow(panic): internal invariant; the message states it
     }
     for c in c1.cubes() {
-        out.push(c.intersect(&lit1).expect("cofactor freed the variable"));
+        out.push(c.intersect(&lit1).expect("cofactor freed the variable")); // lint:allow(panic): internal invariant; the message states it
     }
     out.remove_contained_cubes();
     out
@@ -109,6 +109,7 @@ fn complement_cube(cube: &Cube, num_vars: usize) -> Cover {
     let mut out = Cover::new(num_vars);
     for (var, phase) in cube.literals() {
         out.push(Cube::from_literals(&[(var, !phase)]).expect("single literal"));
+        // lint:allow(panic): cube literals are valid by construction
     }
     out
 }
@@ -194,14 +195,14 @@ mod tests {
         let mut state = 0x7777u64;
         let mut next = move || {
             state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
             state
         };
         for _ in 0..200 {
             let nv = 4;
             let mut f = Cover::new(nv);
-            for _ in 0..(1 + next() % 8) {
+            for _ in 0..=(next() % 8) {
                 let r = next();
                 let mut lits = Vec::new();
                 for v in 0..nv {
@@ -221,11 +222,11 @@ mod tests {
 
     #[test]
     fn complement_matches_truth_table_on_random_covers() {
-        let mut state = 0xc0ffeeu64;
+        let mut state = 0xc0_ffeeu64;
         let mut next = move || {
             state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
             state
         };
         for _ in 0..120 {

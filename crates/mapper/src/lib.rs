@@ -27,8 +27,9 @@
 //! assert!(mapped.delay() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![deny(missing_debug_implementations)]
 
 mod library;
 mod map;

@@ -29,7 +29,7 @@ impl Library {
     /// `mcnc.genlib` ordering.
     pub fn mcnc_like() -> Library {
         fn tt(arity: usize, f: impl Fn(u64) -> bool) -> TruthTable {
-            TruthTable::from_fn(arity, f).expect("library arity is small")
+            TruthTable::from_fn(arity, f).expect("library arity is small") // lint:allow(panic): variable count validated by the caller
         }
         let ones = |m: u64| m.count_ones();
         let cells = vec![

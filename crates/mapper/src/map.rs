@@ -46,11 +46,11 @@ impl MappedNetlist {
         let arrivals = self.arrival_times();
         self.outputs
             .iter()
-            .map(|s| self.signal_arrival(s, &arrivals))
+            .map(|s| Self::signal_arrival(s, &arrivals))
             .fold(0.0, f64::max)
     }
 
-    fn signal_arrival(&self, s: &Signal, arrivals: &[f64]) -> f64 {
+    fn signal_arrival(s: &Signal, arrivals: &[f64]) -> f64 {
         match s {
             Signal::Gate(i) => arrivals[*i],
             _ => 0.0,
@@ -64,7 +64,7 @@ impl MappedNetlist {
             let worst_in = g
                 .inputs
                 .iter()
-                .map(|s| self.signal_arrival(s, &arrivals))
+                .map(|s| Self::signal_arrival(s, &arrivals))
                 .fold(0.0, f64::max);
             arrivals[i] = worst_in + self.cells[g.cell_index].delay;
         }
@@ -149,7 +149,7 @@ impl<'a> Mapper<'a> {
             .cells()
             .iter()
             .position(|c| c.name == "inv")
-            .expect("library must provide an inverter");
+            .expect("library must provide an inverter"); // lint:allow(panic): internal invariant; the message states it
         Mapper {
             lib,
             gates: Vec::new(),
@@ -192,10 +192,11 @@ impl<'a> Mapper<'a> {
                 continue;
             }
             for perm in &perms {
-                let permuted = tt.remap(k, perm).expect("arity bounded by 4");
+                let permuted = tt.remap(k, perm).expect("arity bounded by 4"); // lint:allow(panic): internal invariant; the message states it
                 let (matches, inv_out) = if permuted == cell.function {
                     (true, false)
                 } else if ntt.remap(k, perm).expect("arity bounded by 4") == cell.function {
+                    // lint:allow(panic): internal invariant; the message states it
                     (true, true)
                 } else {
                     (false, false)
@@ -258,7 +259,7 @@ impl<'a> Mapper<'a> {
             lib.cells()
                 .iter()
                 .position(|c| c.name == name)
-                .expect("library provides and/or gates up to arity 4")
+                .expect("library provides and/or gates up to arity 4") // lint:allow(panic): internal invariant; the message states it
         };
         while sigs.len() > 1 {
             let take = sigs.len().min(4);
@@ -267,7 +268,7 @@ impl<'a> Mapper<'a> {
             let g = self.emit(cell, chunk);
             sigs.push(g);
         }
-        sigs.pop().expect("non-empty group")
+        sigs.pop().expect("non-empty group") // lint:allow(panic): internal invariant; the message states it
     }
 }
 
@@ -349,7 +350,9 @@ mod tests {
     fn co_simulate(net: &Network, mapped: &MappedNetlist, rounds: usize) {
         let mut state = 0x51u64;
         for _ in 0..rounds {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             let pis: Vec<bool> = (0..net.num_pis())
                 .map(|i| state >> (i % 60) & 1 == 1)
                 .collect();

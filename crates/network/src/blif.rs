@@ -7,7 +7,7 @@
 
 use crate::{Network, NetworkError, NodeId};
 use als_logic::{Cover, Cube};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
 /// Parses a network from BLIF text.
@@ -17,7 +17,9 @@ use std::fmt::Write as _;
 ///
 /// # Errors
 ///
-/// Returns [`NetworkError::ParseBlif`] on malformed input and
+/// Returns [`NetworkError::ParseBlif`] on malformed input — including a
+/// signal defined by more than one `.names` block (or shadowing an input),
+/// a repeated `.names` fanin, and a truncated file with no `.end` — and
 /// [`NetworkError::UndefinedSignal`] if a referenced signal has no driver.
 ///
 /// # Example
@@ -39,6 +41,14 @@ use std::fmt::Write as _;
 /// # Ok::<(), als_network::NetworkError>(())
 /// ```
 pub fn parse(text: &str) -> Result<Network, NetworkError> {
+    // (line, output name, input names, cube lines)
+    struct NamesBlock {
+        line: usize,
+        output: String,
+        inputs: Vec<String>,
+        cubes: Vec<String>,
+    }
+
     // First pass: join continuation lines and strip comments.
     let mut lines: Vec<(usize, String)> = Vec::new();
     let mut pending = String::new();
@@ -65,22 +75,16 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
     }
 
     let mut model_name = String::from("unnamed");
+    let mut saw_end = false;
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
-    // (line, output name, input names, cube lines)
-    struct NamesBlock {
-        line: usize,
-        output: String,
-        inputs: Vec<String>,
-        cubes: Vec<String>,
-    }
     let mut blocks: Vec<NamesBlock> = Vec::new();
 
     let mut i = 0;
     while i < lines.len() {
         let (ln, line) = &lines[i];
         let mut toks = line.split_whitespace();
-        let head = toks.next().expect("blank lines were filtered");
+        let head = toks.next().expect("blank lines were filtered"); // lint:allow(panic): internal invariant; the message states it
         match head {
             ".model" => {
                 if let Some(n) = toks.next() {
@@ -107,7 +111,10 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
                     cubes,
                 });
             }
-            ".end" => break,
+            ".end" => {
+                saw_end = true;
+                break;
+            }
             ".latch" | ".subckt" | ".gate" => {
                 return Err(NetworkError::ParseBlif {
                     line: *ln,
@@ -123,12 +130,44 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
         }
         i += 1;
     }
+    if !saw_end {
+        // A missing `.end` is the signature of a truncated file; accepting
+        // it silently would hand half a circuit to the synthesis flow.
+        return Err(NetworkError::ParseBlif {
+            line: lines.last().map_or(1, |(ln, _)| *ln),
+            message: "missing `.end` (truncated file?)".into(),
+        });
+    }
 
     let mut net = Network::new(model_name);
     let mut by_name: HashMap<String, NodeId> = HashMap::new();
     for name in &inputs {
+        if by_name.contains_key(name) {
+            return Err(NetworkError::ParseBlif {
+                line: 1,
+                message: format!("input `{name}` declared more than once"),
+            });
+        }
         let id = net.add_pi(name.clone());
         by_name.insert(name.clone(), id);
+    }
+    let mut defined: std::collections::HashSet<&str> = HashSet::new();
+    for block in &blocks {
+        if by_name.contains_key(&block.output) {
+            return Err(NetworkError::ParseBlif {
+                line: block.line,
+                message: format!("`.names` redefines input `{}`", block.output),
+            });
+        }
+        if !defined.insert(&block.output) {
+            return Err(NetworkError::ParseBlif {
+                line: block.line,
+                message: format!(
+                    "signal `{}` defined by more than one `.names`",
+                    block.output
+                ),
+            });
+        }
     }
 
     // Insert blocks in dependency order (repeatedly adding ready blocks).
@@ -157,8 +196,17 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
                 .inputs
                 .iter()
                 .find(|n| !by_name.contains_key(*n))
-                .expect("a missing input exists")
+                .expect("a missing input exists") // lint:allow(panic): internal invariant; the message states it
                 .clone();
+            // Distinguish a genuine undefined signal from a combinational
+            // loop: in a loop the "missing" signal is defined, just stuck
+            // behind its own transitive dependency on the current block.
+            if remaining.iter().any(|b| b.output == name) {
+                return Err(NetworkError::ParseBlif {
+                    line: remaining[0].line,
+                    message: format!("combinational loop through signal `{name}`"),
+                });
+            }
             return Err(NetworkError::UndefinedSignal { name });
         }
     }
@@ -180,6 +228,16 @@ fn insert_block(
     input_names: &[String],
     cube_lines: &[String],
 ) -> Result<NodeId, NetworkError> {
+    for (i, name) in input_names.iter().enumerate() {
+        if input_names[..i].contains(name) {
+            // `Network::add_node` treats a repeated fanin as a programming
+            // error and panics; for file input it must be a parse error.
+            return Err(NetworkError::ParseBlif {
+                line,
+                message: format!("input `{name}` repeats in one `.names` block"),
+            });
+        }
+    }
     let fanins: Vec<NodeId> = input_names.iter().map(|n| by_name[n]).collect();
     let nv = fanins.len();
     let mut on = Cover::new(nv);
@@ -216,7 +274,7 @@ fn insert_block(
                 }
             }
         }
-        let cube = Cube::from_literals(&lits).expect("one phase per column");
+        let cube = Cube::from_literals(&lits).expect("one phase per column"); // lint:allow(panic): cube literals are valid by construction
         match value {
             "1" => on.push(cube),
             "0" => off.push(cube),
@@ -234,11 +292,11 @@ fn insert_block(
             message: "mixed on-set and off-set cubes in one .names block".into(),
         });
     }
-    let cover = if !off.is_empty() {
+    let cover = if off.is_empty() {
+        on
+    } else {
         // Off-set specification: complement.
         als_logic::isop::isop_exact(&!&off.to_truth_table())
-    } else {
-        on
     };
     Ok(net.add_node(output.to_string(), fanins, cover))
 }
@@ -470,5 +528,46 @@ mod tests {
     fn bad_cube_width_reported() {
         let text = ".model w\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n";
         assert!(matches!(parse(text), Err(NetworkError::ParseBlif { .. })));
+    }
+
+    #[test]
+    fn duplicate_names_block_rejected() {
+        let text = "\
+.model d\n.inputs a b\n.outputs y\n.names a y\n1 1\n.names b y\n1 1\n.end\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("more than one"), "{err}");
+    }
+
+    #[test]
+    fn names_redefining_an_input_rejected() {
+        let text = ".model d\n.inputs a b\n.outputs a\n.names b a\n1 1\n.end\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("redefines input"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_input_declaration_rejected() {
+        let text = ".model d\n.inputs a a\n.outputs y\n.names a y\n1 1\n.end\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("declared more than once"), "{err}");
+    }
+
+    #[test]
+    fn repeated_names_fanin_is_an_error_not_a_panic() {
+        let text = ".model r\n.inputs a\n.outputs y\n.names a a y\n11 1\n.end\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("repeats"), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        for text in [
+            ".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n",
+            ".model t\n.inputs a\n.outputs y\n.names a y\n",
+            ".model t\n",
+        ] {
+            let err = parse(text).unwrap_err();
+            assert!(err.to_string().contains("missing `.end`"), "{err}");
+        }
     }
 }

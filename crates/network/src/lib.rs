@@ -47,8 +47,9 @@
 //! # Ok::<(), als_logic::LogicError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![deny(missing_debug_implementations)]
 
 mod error;
 mod network;
@@ -57,6 +58,8 @@ mod ops;
 
 pub mod blif;
 pub mod dot;
+#[doc(hidden)]
+pub mod testing;
 
 pub use error::NetworkError;
 pub use network::{Network, NetworkStats};

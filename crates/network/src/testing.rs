@@ -1,0 +1,67 @@
+//! Raw defect injection for checker tests.
+//!
+//! Every public `Network` mutator defends its invariants (no cycles, arity
+//! agreement, live fanins, SOP ↔ factored-form equivalence), which makes it
+//! impossible to build the *broken* networks that `als-check`'s mutation
+//! tests need. These functions bypass the defenses on purpose.
+//!
+//! **Never call these outside of tests.** A network mutated here violates
+//! the contracts every other crate relies on.
+
+use crate::{Network, NodeId};
+use als_logic::{Cover, Cube};
+
+/// Overwrites `node`'s fanin list with no validation whatsoever: the new
+/// list may create a combinational cycle, reference dead nodes, repeat a
+/// fanin, or disagree with the cover's variable count.
+pub fn raw_set_fanins(net: &mut Network, node: NodeId, fanins: Vec<NodeId>) {
+    net.nodes_mut(node).fanins = fanins;
+}
+
+/// Deletes `node`'s fanin at position `idx` while leaving the cover and
+/// factored form untouched — the local function still references a variable
+/// the fanin list no longer provides, and the dropped driver silently loses
+/// a fanout edge.
+///
+/// # Panics
+///
+/// Panics if `idx` is out of range.
+pub fn raw_drop_fanin(net: &mut Network, node: NodeId, idx: usize) {
+    net.nodes_mut(node).fanins.remove(idx);
+}
+
+/// Flips the phase of the first literal of the first cube of `node`'s SOP
+/// cover without touching the factored form, so the two representations of
+/// the local function disagree.
+///
+/// # Panics
+///
+/// Panics if the node's cover has no cube with at least one literal.
+pub fn raw_flip_cover_literal(net: &mut Network, node: NodeId) {
+    let old = net.nodes_mut(node).cover.clone();
+    let mut cubes: Vec<Cube> = old.cubes().to_vec();
+    let target = cubes
+        .iter_mut()
+        .find(|c| c.literal_count() > 0)
+        .expect("node needs a cube with a literal to flip"); // lint:allow(panic): internal invariant; the message states it
+    let (var, phase) = target
+        .literals()
+        .next()
+        .expect("literal_count > 0 guarantees a literal"); // lint:allow(panic): internal invariant; the message states it
+    let flipped: Vec<(usize, bool)> = target
+        .literals()
+        .map(|(v, p)| if v == var { (v, !phase) } else { (v, p) })
+        .collect();
+    *target = Cube::from_literals(&flipped).expect("same variables, one phase each"); // lint:allow(panic): cube literals are valid by construction
+    net.nodes_mut(node).cover = Cover::from_cubes(old.num_vars(), cubes);
+}
+
+/// Points `node`'s first fanin at `ghost` without liveness checks; pass a
+/// tombstoned or out-of-range id to create a dangling reference.
+///
+/// # Panics
+///
+/// Panics if the node has no fanins.
+pub fn raw_redirect_first_fanin(net: &mut Network, node: NodeId, ghost: NodeId) {
+    net.nodes_mut(node).fanins[0] = ghost;
+}

@@ -106,6 +106,30 @@ proptest! {
     }
 
     #[test]
+    fn blif_write_parse_write_is_textually_stable(recipe in arb_recipe()) {
+        // parse → write must be a fixed point: the first write settles
+        // naming and ordering, and a second round-trip reproduces the
+        // text byte for byte (the CLI relies on this for diffable output).
+        let net = build_network(&recipe);
+        prop_assume!(net.num_internal() > 0);
+        let text = blif::write(&net);
+        let reparsed = blif::parse(&text).unwrap();
+        prop_assert_eq!(blif::write(&reparsed), text);
+    }
+
+    #[test]
+    fn truncated_blif_never_panics(recipe in arb_recipe(), cut_permille in 0u16..1000) {
+        // Feeding any prefix of a valid file back to the parser must
+        // produce a clean `Err` (or a smaller valid network), never a
+        // panic — `als check` runs on arbitrary user files.
+        let net = build_network(&recipe);
+        prop_assume!(net.num_internal() > 0);
+        let text = blif::write(&net);
+        let cut = text.len() * cut_permille as usize / 1000;
+        let _ = blif::parse(&text[..cut]);
+    }
+
+    #[test]
     fn replace_expr_roundtrip_is_identity(recipe in arb_recipe(), victim in any::<u8>()) {
         let mut net = build_network(&recipe);
         let internals: Vec<NodeId> = net.internal_ids().collect();

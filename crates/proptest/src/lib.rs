@@ -16,6 +16,13 @@
 //! test name, so failures reproduce across runs. There is **no shrinking**:
 //! a failing case reports the case number and panics.
 
+#![forbid(unsafe_code)]
+// The integer strategies are macro-generated over every width; a uniform
+// `as` cast is the point (wrap-around is the desired arbitrary-int
+// behavior), so the lossless-conversion lint does not apply.
+#![allow(clippy::cast_lossless)]
+#![deny(missing_debug_implementations)]
+
 use std::fmt::Debug;
 use std::rc::Rc;
 
@@ -203,7 +210,7 @@ impl<T> Debug for Recursive<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Recursive")
             .field("depth", &self.depth)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 

@@ -18,8 +18,9 @@
 //! assert!(outcome.final_literals <= outcome.initial_literals);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![deny(missing_debug_implementations)]
 
 pub use als_core::sasimi::sasimi;
 

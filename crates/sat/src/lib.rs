@@ -28,8 +28,9 @@
 //! assert_eq!(s.solve(), SatResult::Unsat);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![deny(missing_debug_implementations)]
 
 mod solver;
 
@@ -61,8 +62,8 @@ mod tests {
         let mut state = 0x1357_9bdfu64;
         let mut next = move || {
             state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
             state
         };
         for round in 0..200 {

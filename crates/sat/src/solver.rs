@@ -145,7 +145,7 @@ impl Solver {
 
     /// Introduces a fresh variable.
     pub fn new_var(&mut self) -> Var {
-        let v = Var(u32::try_from(self.assign.len()).expect("variable overflow"));
+        let v = Var(u32::try_from(self.assign.len()).expect("variable overflow")); // lint:allow(panic): size bounded far below the overflow point
         self.assign.push(LBool::Undef);
         self.phase.push(false);
         self.level.push(0);
@@ -393,10 +393,10 @@ impl Solver {
                 p = Some(lit);
                 break;
             }
-            confl = self.reason[v].expect("non-decision literal has a reason");
+            confl = self.reason[v].expect("non-decision literal has a reason"); // lint:allow(panic): internal invariant; the message states it
             p = Some(lit);
         }
-        let uip = !p.expect("loop sets p before breaking");
+        let uip = !p.expect("loop sets p before breaking"); // lint:allow(panic): internal invariant; the message states it
         let mut clause = vec![uip];
         clause.extend_from_slice(&learnt);
         // Backjump level: second-highest level in the clause.
@@ -410,7 +410,7 @@ impl Solver {
             let pos = clause[1..]
                 .iter()
                 .position(|l| self.level[l.var().index()] == bj)
-                .expect("max exists")
+                .expect("max exists") // lint:allow(panic): internal invariant; the message states it
                 + 1;
             clause.swap(1, pos);
         }
@@ -419,7 +419,7 @@ impl Solver {
 
     fn backtrack_to(&mut self, level: u32) {
         while self.decision_level() > level {
-            let lim = self.trail_lim.pop().expect("level > 0");
+            let lim = self.trail_lim.pop().expect("level > 0"); // lint:allow(panic): internal invariant; the message states it
             for &l in &self.trail[lim..] {
                 let v = l.var().index();
                 self.assign[v] = LBool::Undef;
@@ -537,7 +537,7 @@ impl Solver {
 fn luby(i: u32) -> u64 {
     let mut i = u64::from(i) + 1;
     loop {
-        let k = 64 - i.leading_zeros() as u64; // ⌊log2 i⌋ + 1
+        let k = 64 - u64::from(i.leading_zeros()); // ⌊log2 i⌋ + 1
         if i == (1u64 << k) - 1 {
             return 1u64 << (k - 1);
         }

@@ -10,8 +10,8 @@ impl Lcg {
     fn next(&mut self) -> u64 {
         self.0 = self
             .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
         self.0
     }
 }
@@ -162,7 +162,7 @@ fn interleaved_solving_and_adding() {
     let mut alive = true;
     for _ in 0..80 {
         let mut clause = Vec::new();
-        for _ in 0..(1 + rng.next() % 3) {
+        for _ in 0..=(rng.next() % 3) {
             let v = vars[(rng.next() % 10) as usize];
             let lit = Lit::with_sign(v, rng.next() & 1 == 0);
             if !clause.contains(&lit) {

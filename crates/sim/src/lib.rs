@@ -32,8 +32,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![deny(missing_debug_implementations)]
 
 mod error_rate;
 mod local;

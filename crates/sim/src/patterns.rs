@@ -115,7 +115,7 @@ impl PatternSet {
         let num_patterns = vectors.len().div_ceil(64) * 64;
         let words_per_pi = num_patterns / 64;
         let mut words = vec![vec![0u64; words_per_pi]; num_pis];
-        let last = *vectors.last().expect("non-empty");
+        let last = *vectors.last().expect("non-empty"); // lint:allow(panic): internal invariant; the message states it
         for p in 0..num_patterns {
             let v = vectors.get(p).copied().unwrap_or(last);
             for (i, w) in words.iter_mut().enumerate() {

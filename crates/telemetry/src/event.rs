@@ -67,6 +67,10 @@ pub enum Event {
         nodes: usize,
         /// The error-rate threshold.
         threshold: f64,
+        /// Stimulus seed: together with `num_patterns` and the golden
+        /// network's PI count this reconstructs the exact pattern set, so an
+        /// offline auditor can re-derive every claimed error rate.
+        seed: u64,
     },
     /// A timed phase completed (emitted for phases without a dedicated
     /// event, currently the pre-process).
@@ -119,6 +123,22 @@ pub enum Event {
         /// Wall time of the solve.
         nanos: u64,
     },
+    /// One accepted change — the approximation certificate for a single
+    /// node rewrite. The claimed apparent error rate is what Theorem 1 sums:
+    /// an auditor can replay the log and check the whole inequality chain.
+    ChangeCommitted {
+        /// 1-based iteration the change was committed in.
+        iteration: u64,
+        /// Name of the rewritten node.
+        node: String,
+        /// Display form of the new local function (or substitution).
+        ase: String,
+        /// Literals the change saved at commit time.
+        literals_saved: u64,
+        /// Claimed apparent error rate of the change (§3.2) — the
+        /// Theorem-1 summand.
+        apparent: f64,
+    },
     /// One iteration of the selection loop committed.
     IterationEnd {
         /// 1-based iteration number.
@@ -156,6 +176,7 @@ impl Event {
             Event::EngineRefresh { .. } => "engine_refresh",
             Event::ConeInvalidated { .. } => "cone_invalidated",
             Event::KnapsackSolved { .. } => "knapsack_solved",
+            Event::ChangeCommitted { .. } => "change_committed",
             Event::IterationEnd { .. } => "iteration_end",
             Event::RunEnd { .. } => "run_end",
         }
@@ -173,12 +194,14 @@ impl Event {
                 num_patterns,
                 nodes,
                 threshold,
+                seed,
             } => {
                 obj.set("algorithm", algorithm)
                     .set("threads", threads)
                     .set("num_patterns", num_patterns)
                     .set("nodes", nodes)
-                    .set("threshold", threshold);
+                    .set("threshold", threshold)
+                    .set("seed", seed);
             }
             Event::PhaseEnd { phase, nanos } => {
                 obj.set("phase", phase.name()).set("nanos", nanos);
@@ -217,6 +240,19 @@ impl Event {
                     .set("capacity", capacity)
                     .set("dp_cells", dp_cells)
                     .set("nanos", nanos);
+            }
+            Event::ChangeCommitted {
+                iteration,
+                ref node,
+                ref ase,
+                literals_saved,
+                apparent,
+            } => {
+                obj.set("iteration", iteration)
+                    .set("node", node.as_str())
+                    .set("ase", ase.as_str())
+                    .set("literals_saved", literals_saved)
+                    .set("apparent", apparent);
             }
             Event::IterationEnd {
                 iteration,
@@ -260,6 +296,7 @@ mod tests {
                 num_patterns: 64,
                 nodes: 10,
                 threshold: 0.05,
+                seed: 7,
             },
             Event::PhaseEnd {
                 phase: PhaseKind::Preprocess,
@@ -288,6 +325,13 @@ mod tests {
                 capacity: 50,
                 dp_cells: 300,
                 nanos: 2,
+            },
+            Event::ChangeCommitted {
+                iteration: 1,
+                node: "g3".to_string(),
+                ase: "a + b".to_string(),
+                literals_saved: 2,
+                apparent: 0.015,
             },
             Event::IterationEnd {
                 iteration: 1,

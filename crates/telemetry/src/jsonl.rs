@@ -19,7 +19,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Version of the JSONL line schema; bump on breaking field changes.
-pub const EVENT_LOG_SCHEMA_VERSION: u64 = 1;
+/// v2: `run_start` gained `seed`, and every accepted change emits a
+/// `change_committed` certificate line (node, ASE, claimed apparent rate).
+pub const EVENT_LOG_SCHEMA_VERSION: u64 = 2;
 
 /// A [`TelemetrySink`] that streams every event as one JSON line to a
 /// writer. Lines are written (and the writer flushed) synchronously per
@@ -70,9 +72,13 @@ impl TelemetrySink for JsonlSink {
         let mut json = event.to_json();
         json.set("v", EVENT_LOG_SCHEMA_VERSION).set("seq", seq);
         let line = json.render();
-        let mut writer = self.writer.lock().expect("jsonl lock poisoned");
-        // Telemetry must never abort the synthesis run it observes; a full
-        // disk degrades to a truncated log.
+        // Telemetry must never abort the synthesis run it observes: a
+        // poisoned lock keeps writing (the log line is self-contained) and
+        // a full disk degrades to a truncated log.
+        let mut writer = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let _ = writeln!(writer, "{line}");
         let _ = writer.flush();
     }

@@ -29,8 +29,9 @@
 //! assert_eq!(collector.report().cache_hits, 3);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![deny(missing_debug_implementations)]
 
 mod event;
 pub mod json;

@@ -169,6 +169,9 @@ impl MetricsReport {
                 self.knapsack_dp_cells += dp_cells;
                 self.phase_nanos.knapsack += nanos;
             }
+            // Per-change certificates are audit data, not aggregates; the
+            // per-iteration change count arrives with `IterationEnd`.
+            Event::ChangeCommitted { .. } => {}
             Event::IterationEnd {
                 iteration,
                 changes,
@@ -236,7 +239,10 @@ impl MetricsCollector {
 
     /// A snapshot of the aggregates so far.
     pub fn report(&self) -> MetricsReport {
-        self.report.lock().expect("metrics lock poisoned").clone()
+        self.report
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -244,7 +250,7 @@ impl TelemetrySink for MetricsCollector {
     fn record(&self, event: &Event) {
         self.report
             .lock()
-            .expect("metrics lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .absorb(event);
     }
 }
@@ -263,6 +269,7 @@ mod tests {
                 num_patterns: 64,
                 nodes: 8,
                 threshold: 0.05,
+                seed: 1,
             },
             Event::Simulated {
                 patterns: 64,

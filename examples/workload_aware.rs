@@ -22,8 +22,8 @@ fn accumulator_vectors(count: usize, seed: u64) -> Vec<u64> {
     (0..count)
         .map(|_| {
             state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
             let a = state & 0xFF;
             let b = (state >> 32) & 0x0F; // small deltas only
             a | (b << 8)

@@ -9,10 +9,15 @@
 //!                 [--no-dontcares] [--verbose] [--metrics]
 //!                 [--events <log.jsonl>]
 //! als verify      <golden.blif> <approx.blif> [--patterns N] [--seed N]
+//! als check       <in.blif> [--fast] [--certify <events.jsonl>]
+//!                 [--golden <golden.blif>]        analyze + audit
 //! als map         <in.blif>                       mapped area/delay/cells
 //! als list                                        available benchmarks
 //! ```
 
+use als::check::{
+    audit_certificates, AnalyzerConfig, AuditConfig, CertificateLog, NetworkAnalyzer,
+};
 use als::circuits::all_benchmarks;
 use als::circuits::registry::find_benchmark;
 use als::core::classical::optimize_classical;
@@ -22,6 +27,40 @@ use als::network::{blif, Network};
 use als::sim::{error_rate, PatternSet};
 use std::process::ExitCode;
 
+/// Exit code for analyzer findings and `cec` disagreement.
+const EXIT_FINDINGS: u8 = 1;
+/// Exit code for usage errors and inputs that fail structural checks.
+const EXIT_USAGE: u8 = 2;
+
+/// A command failure with the exit code it should map to.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        Self {
+            code: EXIT_FINDINGS,
+            message,
+        }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        Self::from(message.to_string())
+    }
+}
+
+/// A bad invocation (missing arguments, unknown flags): exit code 2.
+fn usage(message: impl Into<String>) -> CliError {
+    CliError {
+        code: EXIT_USAGE,
+        message: message.into(),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -29,22 +68,23 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("approximate") => cmd_approximate(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("map") => cmd_map(&args[1..]),
         Some("verilog") => cmd_verilog(&args[1..]),
         Some("cec") => cmd_cec(&args[1..]),
         Some("simplify") => cmd_simplify(&args[1..]),
         Some("list") => cmd_list(),
         Some("--help" | "-h" | "help") | None => {
-            print!("{}", USAGE);
+            print!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        Some(other) => Err(usage(format!("unknown command `{other}`\n\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError { code, message }) => {
             eprintln!("error: {message}");
-            ExitCode::FAILURE
+            ExitCode::from(code)
         }
     }
 }
@@ -62,6 +102,10 @@ USAGE:
                   [--events <log.jsonl>]  stream telemetry events to a file
   als verify      <golden.blif> <approx.blif> [--patterns N] [--seed N]
                   [--exact]   (BDD-based, no sampling)
+  als check       <in.blif> [--fast]          structural + functional lint
+                  [--certify <events.jsonl>]  audit a run's certificates
+                  [--golden <golden.blif>]    re-derive the real error rate
+                  (exit 0 clean, 1 findings, 2 usage)
   als map         <in.blif>
   als verilog     <in.blif> [-o out.v]     technology-map and emit Verilog
   als cec         <a.blif> <b.blif>        SAT equivalence check
@@ -69,10 +113,17 @@ USAGE:
   als list
 ";
 
-fn read_network(path: &str) -> Result<Network, String> {
+fn read_network(path: &str) -> Result<Network, CliError> {
+    let net = read_network_unchecked(path)?;
+    net.check().map_err(|e| format!("`{path}`: {e}"))?;
+    Ok(net)
+}
+
+/// Parses without the consistency check — for commands that run the full
+/// analyzer themselves and want diagnostics instead of a hard error.
+fn read_network_unchecked(path: &str) -> Result<Network, CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
     let net = blif::parse(&text).map_err(|e| format!("parsing `{path}`: {e}"))?;
-    net.check().map_err(|e| format!("`{path}`: {e}"))?;
     Ok(net)
 }
 
@@ -83,23 +134,22 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn write_or_print(net: &Network, args: &[String]) -> Result<(), String> {
+fn write_or_print(net: &Network, args: &[String]) -> Result<(), CliError> {
     let text = blif::write(net);
-    match flag_value(args, "-o").or_else(|| flag_value(args, "--output")) {
-        Some(path) => {
-            std::fs::write(path, text).map_err(|e| format!("writing `{path}`: {e}"))?;
-            eprintln!("wrote {path}");
-            Ok(())
-        }
-        None => {
-            print!("{text}");
-            Ok(())
-        }
+    if let Some(path) = flag_value(args, "-o").or_else(|| flag_value(args, "--output")) {
+        std::fs::write(path, text).map_err(|e| format!("writing `{path}`: {e}"))?;
+        eprintln!("wrote {path}");
+        Ok(())
+    } else {
+        print!("{text}");
+        Ok(())
     }
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("stats needs a BLIF file")?;
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| usage("stats needs a BLIF file"))?;
     let net = read_network(path)?;
     let s = net.stats();
     println!("model:    {}", net.name());
@@ -111,17 +161,20 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
+fn cmd_gen(args: &[String]) -> Result<(), CliError> {
     let name = args
         .first()
-        .ok_or("gen needs a benchmark name (see `als list`)")?;
+        .ok_or_else(|| usage("gen needs a benchmark name (see `als list`)"))?;
     let bench = find_benchmark(name)
-        .ok_or_else(|| format!("unknown benchmark `{name}` (see `als list`)"))?;
+        .ok_or_else(|| usage(format!("unknown benchmark `{name}` (see `als list`)")))?;
     let net = (bench.build)();
     write_or_print(&net, args)
 }
 
-fn cmd_list() -> Result<(), String> {
+// Infallible, but every subcommand returns `Result` so `main`'s dispatch
+// stays uniform.
+#[allow(clippy::unnecessary_wraps)]
+fn cmd_list() -> Result<(), CliError> {
     println!("{:<8} {:<32} kind", "name", "function");
     for b in all_benchmarks() {
         println!(
@@ -134,26 +187,44 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_approximate(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("approximate needs a BLIF file")?;
-    let net = read_network(path)?;
+fn cmd_approximate(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| usage("approximate needs a BLIF file"))?;
+    let net = read_network_unchecked(path)?;
+    // Refuse to optimize a structurally broken network: the synthesis
+    // loops assume the invariants the fast passes verify, and would
+    // otherwise panic (or worse, quietly mis-optimize) deep inside.
+    let report = NetworkAnalyzer::new(AnalyzerConfig::fast()).analyze(&net);
+    if !report.is_clean() {
+        return Err(usage(format!(
+            "`{path}` fails structural checks; refusing to approximate\n{report}"
+        )));
+    }
     let threshold: f64 = flag_value(args, "--threshold")
-        .ok_or("approximate needs --threshold (e.g. 0.05)")?
+        .ok_or_else(|| usage("approximate needs --threshold (e.g. 0.05)"))?
         .parse()
-        .map_err(|e| format!("bad --threshold: {e}"))?;
+        .map_err(|e| usage(format!("bad --threshold: {e}")))?;
     let mut builder = AlsConfig::builder().threshold(threshold);
     if let Some(seed) = flag_value(args, "--seed") {
-        builder = builder.seed(seed.parse().map_err(|e| format!("bad --seed: {e}"))?);
+        builder = builder.seed(
+            seed.parse()
+                .map_err(|e| usage(format!("bad --seed: {e}")))?,
+        );
     }
     if let Some(patterns) = flag_value(args, "--patterns") {
         builder = builder.num_patterns(
             patterns
                 .parse()
-                .map_err(|e| format!("bad --patterns: {e}"))?,
+                .map_err(|e| usage(format!("bad --patterns: {e}")))?,
         );
     }
     if let Some(threads) = flag_value(args, "--threads") {
-        builder = builder.threads(threads.parse().map_err(|e| format!("bad --threads: {e}"))?);
+        builder = builder.threads(
+            threads
+                .parse()
+                .map_err(|e| usage(format!("bad --threads: {e}")))?,
+        );
     }
     if args.iter().any(|a| a == "--no-cache") {
         builder = builder.cache(false);
@@ -166,14 +237,15 @@ fn cmd_approximate(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot open --events log `{log_path}`: {e}"))?;
         builder = builder.telemetry(std::sync::Arc::new(sink));
     }
-    let config = builder.build().map_err(|e| e.to_string())?;
+    let config = builder.build().map_err(|e| CliError::from(e.to_string()))?;
     let strategy = match flag_value(args, "--algorithm").unwrap_or("multi") {
         "single" => Strategy::Single,
         "multi" => Strategy::Multi,
         "sasimi" => Strategy::Sasimi,
-        other => return Err(format!("unknown --algorithm `{other}`")),
+        other => return Err(usage(format!("unknown --algorithm `{other}`"))),
     };
-    let outcome = approximate(&net, strategy, &config).map_err(|e| e.to_string())?;
+    let outcome =
+        approximate(&net, strategy, &config).map_err(|e| CliError::from(e.to_string()))?;
     eprintln!("{outcome}");
     if args.iter().any(|a| a == "--metrics") {
         let m = &outcome.metrics;
@@ -201,7 +273,7 @@ fn cmd_approximate(args: &[String]) -> Result<(), String> {
         }
         for (phase, secs) in m.phase_nanos.as_seconds() {
             if secs > 0.0 {
-                eprintln!("  phase {:<10} {:.4}s", phase, secs);
+                eprintln!("  phase {phase:<10} {secs:.4}s");
             }
         }
     }
@@ -218,33 +290,82 @@ fn cmd_approximate(args: &[String]) -> Result<(), String> {
     write_or_print(&outcome.network, args)
 }
 
-fn cmd_verify(args: &[String]) -> Result<(), String> {
+fn cmd_check(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .iter()
+        .enumerate()
+        .find(|&(i, a)| {
+            !a.starts_with('-')
+                && (i == 0 || !matches!(args[i - 1].as_str(), "--certify" | "--golden"))
+        })
+        .map(|(_, a)| a)
+        .ok_or_else(|| usage("check needs a BLIF file"))?;
+    let net = read_network_unchecked(path)?;
+    let config = if args.iter().any(|a| a == "--fast") {
+        AnalyzerConfig::fast()
+    } else {
+        AnalyzerConfig::full()
+    };
+    let mut report = NetworkAnalyzer::new(config).analyze(&net);
+
+    if let Some(log_path) = flag_value(args, "--certify") {
+        let text = std::fs::read_to_string(log_path)
+            .map_err(|e| format!("reading --certify log `{log_path}`: {e}"))?;
+        match CertificateLog::from_jsonl(&text) {
+            Ok(log) => {
+                let golden = flag_value(args, "--golden").map(read_network).transpose()?;
+                // The network being checked is the run's final network;
+                // with --golden the audit re-derives its real error rate.
+                let audit =
+                    audit_certificates(&log, golden.as_ref(), Some(&net), &AuditConfig::default());
+                report.extend(audit);
+            }
+            Err(e) => {
+                report.push(als::check::Diagnostic::error("certificates", e.to_string()));
+            }
+        }
+    } else if flag_value(args, "--golden").is_some() {
+        return Err(usage("--golden only makes sense together with --certify"));
+    }
+
+    print!("{report}");
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(CliError {
+            code: EXIT_FINDINGS,
+            message: format!("`{path}`: {} error(s) found", report.error_count()),
+        })
+    }
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), CliError> {
     let golden_path = args
         .first()
-        .ok_or("verify needs <golden.blif> <approx.blif>")?;
+        .ok_or_else(|| usage("verify needs <golden.blif> <approx.blif>"))?;
     let approx_path = args
         .get(1)
-        .ok_or("verify needs <golden.blif> <approx.blif>")?;
+        .ok_or_else(|| usage("verify needs <golden.blif> <approx.blif>"))?;
     let golden = read_network(golden_path)?;
     let approx = read_network(approx_path)?;
     if golden.num_pis() != approx.num_pis() || golden.num_pos() != approx.num_pos() {
-        return Err(format!(
+        return Err(CliError::from(format!(
             "interface mismatch: {}/{} vs {}/{} PIs/POs",
             golden.num_pis(),
             golden.num_pos(),
             approx.num_pis(),
             approx.num_pos()
-        ));
+        )));
     }
     let num_patterns: usize = flag_value(args, "--patterns")
         .map(str::parse)
         .transpose()
-        .map_err(|e| format!("bad --patterns: {e}"))?
+        .map_err(|e| usage(format!("bad --patterns: {e}")))?
         .unwrap_or(als::sim::DEFAULT_NUM_PATTERNS);
     let seed: u64 = flag_value(args, "--seed")
         .map(str::parse)
         .transpose()
-        .map_err(|e| format!("bad --seed: {e}"))?
+        .map_err(|e| usage(format!("bad --seed: {e}")))?
         .unwrap_or(1);
     if args.iter().any(|a| a == "--exact") {
         match als::bdd::exact_error_rate(&golden, &approx, 1 << 22) {
@@ -264,8 +385,10 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_verilog(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("verilog needs a BLIF file")?;
+fn cmd_verilog(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| usage("verilog needs a BLIF file"))?;
     let net = read_network(path)?;
     let lib = Library::mcnc_like();
     let mapped = map_network(&net, &lib);
@@ -280,9 +403,13 @@ fn cmd_verilog(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_cec(args: &[String]) -> Result<(), String> {
-    let a_path = args.first().ok_or("cec needs <a.blif> <b.blif>")?;
-    let b_path = args.get(1).ok_or("cec needs <a.blif> <b.blif>")?;
+fn cmd_cec(args: &[String]) -> Result<(), CliError> {
+    let a_path = args
+        .first()
+        .ok_or_else(|| usage("cec needs <a.blif> <b.blif>"))?;
+    let b_path = args
+        .get(1)
+        .ok_or_else(|| usage("cec needs <a.blif> <b.blif>"))?;
     let a = read_network(a_path)?;
     let b = read_network(b_path)?;
     let result = als::aig::cec(&a, &b);
@@ -293,8 +420,10 @@ fn cmd_cec(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn cmd_simplify(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("simplify needs a BLIF file")?;
+fn cmd_simplify(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| usage("simplify needs a BLIF file"))?;
     let mut net = read_network(path)?;
     let before = net.literal_count();
     let config = AlsConfig::default();
@@ -306,8 +435,8 @@ fn cmd_simplify(args: &[String]) -> Result<(), String> {
     write_or_print(&net, args)
 }
 
-fn cmd_map(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("map needs a BLIF file")?;
+fn cmd_map(args: &[String]) -> Result<(), CliError> {
+    let path = args.first().ok_or_else(|| usage("map needs a BLIF file"))?;
     let net = read_network(path)?;
     let lib = Library::mcnc_like();
     let mapped = map_network(&net, &lib);

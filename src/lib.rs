@@ -41,8 +41,12 @@
 //! # Ok::<(), als::AlsError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub use als_aig as aig;
 pub use als_bdd as bdd;
+pub use als_check as check;
 pub use als_circuits as circuits;
 pub use als_core as core;
 pub use als_dontcare as dontcare;

@@ -15,22 +15,26 @@ use proptest::prelude::*;
 
 /// Everything observable about an outcome, as one comparable string.
 fn fingerprint(out: &AlsOutcome) -> String {
+    use std::fmt::Write;
     let mut s = String::new();
     s.push_str(&blif::write(&out.network));
-    s.push_str(&format!(
-        "\nliterals {} -> {}\nerror_rate {:.17e}\n",
+    let _ = writeln!(
+        s,
+        "\nliterals {} -> {}\nerror_rate {:.17e}",
         out.initial_literals, out.final_literals, out.measured_error_rate
-    ));
+    );
     for it in &out.iterations {
-        s.push_str(&format!(
-            "iter {} lits {} er {:.17e}\n",
+        let _ = writeln!(
+            s,
+            "iter {} lits {} er {:.17e}",
             it.iteration, it.literals_after, it.error_rate_after
-        ));
+        );
         for ch in &it.changes {
-            s.push_str(&format!(
-                "  {} := {} (-{} lits, est {:.17e})\n",
+            let _ = writeln!(
+                s,
+                "  {} := {} (-{} lits, est {:.17e})",
                 ch.node_name, ch.ase, ch.literals_saved, ch.error_estimate
-            ));
+            );
         }
     }
     s

@@ -48,7 +48,9 @@ fn approximation_then_mapping_preserves_claimed_function() {
     // The mapped netlist must equal the approximate network exactly.
     let mut state = 7u64;
     for _ in 0..200 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
         let pis: Vec<bool> = (0..16).map(|i| state >> i & 1 == 1).collect();
         assert_eq!(outcome.network.eval(&pis), mapped.eval(&pis));
     }
