@@ -1,0 +1,190 @@
+//! The probability-interval lattice `[lo, hi] ⊆ [0, 1]`.
+//!
+//! An [`Interval`] abstracts an unknown probability `p`: the concretization
+//! is every `p` with `lo ≤ p ≤ hi`. The lattice is ordered by inclusion;
+//! `[0, 1]` is ⊤ (no information) and each point interval is an atom. Every
+//! operation here is *sound*: if the inputs contain the true probabilities
+//! of their events, the output contains the true probability of the
+//! combined event — under the stated assumption (independence for the
+//! `*_independent` ops, none at all for the Fréchet ops).
+
+use std::fmt;
+
+/// A closed probability interval `[lo, hi] ⊆ [0, 1]`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Interval {
+    /// Sound lower bound on the abstracted probability.
+    pub lo: f64,
+    /// Sound upper bound on the abstracted probability.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The full lattice top `[0, 1]` — no information.
+    pub const UNIT: Interval = Interval { lo: 0.0, hi: 1.0 };
+    /// The impossible event, exactly.
+    pub const ZERO: Interval = Interval { lo: 0.0, hi: 0.0 };
+    /// The certain event, exactly.
+    pub const ONE: Interval = Interval { lo: 1.0, hi: 1.0 };
+
+    /// A clamped interval. Endpoints are clamped into `[0, 1]` and ordered,
+    /// so any `(lo, hi)` pair yields a well-formed value.
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        let lo = lo.clamp(0.0, 1.0);
+        let hi = hi.clamp(0.0, 1.0);
+        Interval {
+            lo: lo.min(hi),
+            hi: lo.max(hi),
+        }
+    }
+
+    /// The point interval `[p, p]`.
+    pub fn point(p: f64) -> Interval {
+        Interval::new(p, p)
+    }
+
+    /// Whether `p` lies inside the interval.
+    pub fn contains(&self, p: f64) -> bool {
+        self.lo <= p && p <= self.hi
+    }
+
+    /// Whether `p` lies inside the interval widened by `tol` on each side —
+    /// the form soundness checks use so float round-off never produces a
+    /// spurious violation.
+    pub fn contains_with_tol(&self, p: f64, tol: f64) -> bool {
+        self.lo - tol <= p && p <= self.hi + tol
+    }
+
+    /// `hi − lo`, the imprecision of the abstraction.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// The complement event: `P(¬A) = 1 − P(A)`.
+    pub fn complement(&self) -> Interval {
+        Interval::new(1.0 - self.hi, 1.0 - self.lo)
+    }
+
+    /// `P(A ∩ B)` under independence: the product rule. Sound **only**
+    /// when the events are independent (e.g. functions of disjoint sets of
+    /// independent primary inputs).
+    pub fn and_independent(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo * other.lo, self.hi * other.hi)
+    }
+
+    /// `P(A ∪ B)` under independence: `1 − (1−a)(1−b)`.
+    pub fn or_independent(&self, other: &Interval) -> Interval {
+        self.complement()
+            .and_independent(&other.complement())
+            .complement()
+    }
+
+    /// `P(A ∩ B)` with **no** assumption: the Fréchet conjunction bound
+    /// `[max(0, a.lo + b.lo − 1), min(a.hi, b.hi)]`, sound for every joint
+    /// distribution with the given marginals — including the empirical
+    /// distribution of a fixed simulation pattern set.
+    pub fn and_frechet(&self, other: &Interval) -> Interval {
+        Interval::new((self.lo + other.lo - 1.0).max(0.0), self.hi.min(other.hi))
+    }
+
+    /// `P(A ∪ B)` with no assumption: the Fréchet disjunction bound
+    /// `[max(a.lo, b.lo), min(1, a.hi + b.hi)]`.
+    pub fn or_frechet(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.max(other.lo), (self.hi + other.hi).min(1.0))
+    }
+
+    /// The lattice join: the smallest interval containing both.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// The lattice meet: when both intervals soundly bound the *same*
+    /// probability, so does their intersection. If float round-off makes
+    /// the bounds cross, the result collapses to the crossing point rather
+    /// than inverting.
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.6}, {:.6}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_clamps_and_orders() {
+        let i = Interval::new(1.5, -0.2);
+        assert_eq!(i, Interval::UNIT);
+        assert_eq!(i.lo, 0.0);
+        assert_eq!(i.hi, 1.0);
+        assert_eq!(Interval::point(0.3).width(), 0.0);
+    }
+
+    #[test]
+    fn frechet_bounds_are_the_textbook_ones() {
+        let a = Interval::point(0.7);
+        let b = Interval::point(0.6);
+        let and = a.and_frechet(&b);
+        assert!((and.lo - 0.3).abs() < 1e-12); // 0.7 + 0.6 − 1
+        assert!((and.hi - 0.6).abs() < 1e-12); // min
+        let or = a.or_frechet(&b);
+        assert!((or.lo - 0.7).abs() < 1e-12); // max
+        assert!((or.hi - 1.0).abs() < 1e-12); // capped sum
+    }
+
+    #[test]
+    fn independence_is_tighter_than_frechet() {
+        let a = Interval::point(0.5);
+        let b = Interval::point(0.5);
+        let ind = a.and_independent(&b);
+        let fre = a.and_frechet(&b);
+        assert!((ind.lo - 0.25).abs() < 1e-12);
+        assert!((ind.hi - 0.25).abs() < 1e-12);
+        assert!(fre.lo <= ind.lo && ind.hi <= fre.hi);
+    }
+
+    #[test]
+    fn frechet_contains_every_achievable_joint() {
+        // For marginals 0.5/0.5 the joint P(A∩B) ranges over [0, 0.5]
+        // (perfect anti-correlation to perfect correlation) — exactly the
+        // Fréchet interval.
+        let f = Interval::point(0.5).and_frechet(&Interval::point(0.5));
+        assert!(f.contains(0.0) && f.contains(0.25) && f.contains(0.5));
+        assert!(!f.contains(0.6));
+    }
+
+    #[test]
+    fn complement_and_hull_and_intersect() {
+        let a = Interval::new(0.2, 0.4);
+        assert_eq!(a.complement(), Interval::new(0.6, 0.8));
+        let b = Interval::new(0.3, 0.9);
+        assert_eq!(a.hull(&b), Interval::new(0.2, 0.9));
+        assert_eq!(a.intersect(&b), Interval::new(0.3, 0.4));
+        // Disjoint bounds collapse instead of inverting.
+        let c = Interval::new(0.8, 0.9);
+        let x = a.intersect(&c);
+        assert!(x.lo <= x.hi);
+    }
+
+    #[test]
+    fn containment_with_tolerance() {
+        let a = Interval::new(0.25, 0.5);
+        assert!(a.contains(0.25));
+        assert!(!a.contains(0.25 - 1e-9));
+        assert!(a.contains_with_tol(0.25 - 1e-9, 1e-6));
+    }
+
+    #[test]
+    fn display_is_bracketed() {
+        assert_eq!(format!("{}", Interval::UNIT), "[0.000000, 1.000000]");
+    }
+}

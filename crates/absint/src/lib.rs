@@ -1,0 +1,44 @@
+//! Abstract-interpretation error-bound engine for the DAC'16 ALS
+//! reproduction.
+//!
+//! Dynamic error evaluation — simulating patterns, counting disagreeing
+//! outputs — is exact for the patterns it runs but costs a full sweep per
+//! candidate. This crate trades precision for *static* guarantees: every
+//! analysis returns an [`Interval`] that provably contains the quantity it
+//! abstracts, so a candidate whose lower bound already exceeds the error
+//! budget can be discarded without simulating it, and a logged error rate
+//! outside its static interval is evidence of a bug.
+//!
+//! Two lattice domains are provided:
+//!
+//! * **probability intervals** ([`Interval`], [`SignalProbabilities`]) —
+//!   per-signal bounds on `P(signal = 1)` propagated through node
+//!   functions under an explicit rule per [`Policy`]: the product rule
+//!   only where independence is structurally justified, the Fréchet
+//!   inequalities everywhere else (sound for *any* joint distribution,
+//!   including the empirical distribution of a fixed pattern set);
+//! * **error intervals** ([`ErrorBounds`], [`error_bounds`],
+//!   [`single_change_bounds`]) — per-signal and per-output bounds on
+//!   `P(approx ≠ golden)`, with precision recovered through structural
+//!   refinement: transitive-fanout-cone restriction and fanout-dominator
+//!   waypoint caps (see [`als_network::structure`]).
+//!
+//! The [`MintermBounds`] workhorse prices an arbitrary on-set from fanin
+//! marginals (or exact pattern counts, matching the simulator's arithmetic
+//! bit for bit at `k ≤ 2`) and backs both domains.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod interval;
+pub mod local;
+pub mod prob;
+
+pub use error::{
+    error_bounds, error_bounds_seeded, single_change_bounds, AbsintError, ErrorBounds, OutputBound,
+};
+pub use interval::Interval;
+pub use local::{MintermBounds, MAX_MINTERM_VARS};
+pub use prob::{signal_probabilities, signal_probabilities_seeded, Policy, SignalProbabilities};

@@ -1,0 +1,370 @@
+//! Sound per-minterm bounds on a node's *local input-pattern distribution*.
+//!
+//! A node with `k` fanins sees one of `2^k` local patterns per primary-input
+//! vector. The selection algorithms price an ASE by summing the empirical
+//! probabilities of its erroneous patterns (the apparent error rate, §3.2);
+//! this module bounds those sums **without** gathering the per-pattern
+//! distribution, from quantities that are 64×–`k`·64× cheaper to obtain:
+//!
+//! * the fanin *marginals* `p_i = P(fanin_i = 1)` (one popcount each);
+//! * for `k = 2`, additionally the pairwise joint `p₁₁ = P(f₀ ∧ f₁)` (one
+//!   AND-popcount), which determines the 4-point local distribution
+//!   *exactly*;
+//! * for `k = 1`, the marginal alone is the exact distribution.
+//!
+//! For `k ≥ 3` the minterm masses are bounded by the Fréchet inequalities,
+//! which hold for **every** joint distribution with the given marginals —
+//! including the empirical distribution of a fixed simulation pattern set.
+//! That is what makes these bounds sound with respect to the simulated
+//! rates the engine would otherwise compute.
+
+use crate::Interval;
+use als_logic::TruthTable;
+
+/// The largest local variable count the per-minterm expansion handles —
+/// aligned with the bit-parallel simulator's local-window limit.
+pub const MAX_MINTERM_VARS: usize = 16;
+
+/// Sound lower/upper bounds on the probability mass of each local minterm.
+#[derive(Clone, Debug)]
+pub struct MintermBounds {
+    num_vars: usize,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+}
+
+/// The phase-adjusted marginal of variable `i` at minterm `m`: `p_i` when
+/// the minterm sets bit `i`, `1 − p_i` otherwise.
+fn phase(marginal: &Interval, m: usize, i: usize) -> Interval {
+    if m >> i & 1 == 1 {
+        *marginal
+    } else {
+        marginal.complement()
+    }
+}
+
+impl MintermBounds {
+    /// Bounds from fanin marginals alone, assuming nothing about their
+    /// correlation (Fréchet): for minterm `m`,
+    /// `ub[m] = min_i hi(p̃_i(m))` and
+    /// `lb[m] = max(0, Σ_i lo(p̃_i(m)) − (k − 1))`,
+    /// where `p̃_i(m)` is the phase-adjusted marginal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_MINTERM_VARS`] marginals are given.
+    pub fn from_marginals_frechet(marginals: &[Interval]) -> MintermBounds {
+        let k = marginals.len();
+        assert!(
+            k <= MAX_MINTERM_VARS,
+            "{k} local variables exceed the minterm-expansion limit"
+        );
+        let size = 1usize << k;
+        let mut lb = vec![0.0; size];
+        let mut ub = vec![1.0; size];
+        for m in 0..size {
+            let mut lo_sum = 0.0;
+            let mut hi_min = 1.0f64;
+            for (i, p) in marginals.iter().enumerate() {
+                let ph = phase(p, m, i);
+                lo_sum += ph.lo;
+                hi_min = hi_min.min(ph.hi);
+            }
+            lb[m] = (lo_sum - (k as f64 - 1.0)).max(0.0); // lint:allow(as-cast): k <= MAX_MINTERM_VARS = 16, exact in f64
+            ub[m] = hi_min;
+        }
+        MintermBounds {
+            num_vars: k,
+            lb,
+            ub,
+        }
+    }
+
+    /// Bounds from fanin marginals under the independence product rule:
+    /// `P(m) = Π_i p̃_i(m)` as an interval product. Sound **only** when the
+    /// fanins are mutually independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_MINTERM_VARS`] marginals are given.
+    pub fn from_marginals_independent(marginals: &[Interval]) -> MintermBounds {
+        let k = marginals.len();
+        assert!(
+            k <= MAX_MINTERM_VARS,
+            "{k} local variables exceed the minterm-expansion limit"
+        );
+        let size = 1usize << k;
+        let mut lb = vec![1.0; size];
+        let mut ub = vec![1.0; size];
+        for m in 0..size {
+            let mut prod = Interval::ONE;
+            for (i, p) in marginals.iter().enumerate() {
+                prod = prod.and_independent(&phase(p, m, i));
+            }
+            lb[m] = prod.lo;
+            ub[m] = prod.hi;
+        }
+        MintermBounds {
+            num_vars: k,
+            lb,
+            ub,
+        }
+    }
+
+    /// The exact single-variable distribution `[1 − p, p]`.
+    pub fn exact_single(p: f64) -> MintermBounds {
+        let p = p.clamp(0.0, 1.0);
+        MintermBounds {
+            num_vars: 1,
+            lb: vec![1.0 - p, p],
+            ub: vec![1.0 - p, p],
+        }
+    }
+
+    /// The exact two-variable distribution from the marginals and the
+    /// pairwise joint `p11 = P(var₀ ∧ var₁)`: three numbers fully determine
+    /// all four minterm masses, so the bounds are points. Minterm index
+    /// convention matches the simulator: bit `i` is variable `i`.
+    pub fn exact_pair(p0: f64, p1: f64, p11: f64) -> MintermBounds {
+        let m3 = p11.clamp(0.0, 1.0);
+        let m1 = (p0 - p11).clamp(0.0, 1.0);
+        let m2 = (p1 - p11).clamp(0.0, 1.0);
+        let m0 = (1.0 - p0 - p1 + p11).clamp(0.0, 1.0);
+        MintermBounds {
+            num_vars: 2,
+            lb: vec![m0, m1, m2, m3],
+            ub: vec![m0, m1, m2, m3],
+        }
+    }
+
+    /// Exact per-minterm masses from raw pattern counts — the engine-facing
+    /// constructor for `k ≤ 2`, or `None` for larger windows (use
+    /// [`MintermBounds::from_marginals_frechet`] there).
+    ///
+    /// Working in integer counts and dividing once per minterm reproduces
+    /// bit-for-bit the probabilities the simulator's local gather would
+    /// compute, so a pruning decision made on these bounds agrees exactly
+    /// with the dynamic path's accept/reject comparison.
+    pub fn from_counts(
+        total: u64,
+        marginal_counts: &[u64],
+        joint11: Option<u64>,
+    ) -> Option<MintermBounds> {
+        if total == 0 {
+            return None;
+        }
+        let n = total as f64; // lint:allow(as-cast): counts << 2^52, exact in f64
+        match (marginal_counts, joint11) {
+            ([c], _) => Some(MintermBounds {
+                num_vars: 1,
+                lb: vec![(total - c) as f64 / n, *c as f64 / n], // lint:allow(as-cast): counts << 2^52, exact in f64
+                ub: vec![(total - c) as f64 / n, *c as f64 / n], // lint:allow(as-cast): counts << 2^52, exact in f64
+            }),
+            ([c0, c1], Some(c11)) => {
+                let m3 = c11;
+                let m1 = c0.saturating_sub(c11);
+                let m2 = c1.saturating_sub(c11);
+                let m0 = (total + c11).saturating_sub(c0 + c1);
+                let masses = [m0, m1, m2, m3].map(|c| c as f64 / n); // lint:allow(as-cast): counts << 2^52, exact in f64
+                Some(MintermBounds {
+                    num_vars: 2,
+                    lb: masses.to_vec(),
+                    ub: masses.to_vec(),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The number of local variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Sound lower bound on the mass of minterm `m`.
+    pub fn lower(&self, m: usize) -> f64 {
+        self.lb[m]
+    }
+
+    /// Sound upper bound on the mass of minterm `m`.
+    pub fn upper(&self, m: usize) -> f64 {
+        self.ub[m]
+    }
+
+    /// A sound interval on the total mass of a minterm *set* (e.g. an ASE's
+    /// ELIPs, or a local function's on-set). Both directions are tightened
+    /// through the complement: the set's mass is also `1 −` the
+    /// complement's mass, and whichever bound is tighter wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is over a different variable count.
+    pub fn set_probability(&self, set: &TruthTable) -> Interval {
+        assert_eq!(
+            set.num_vars(),
+            self.num_vars,
+            "minterm set over a different local space"
+        );
+        let mut in_lo = 0.0;
+        let mut in_hi = 0.0;
+        let mut out_lo = 0.0;
+        let mut out_hi = 0.0;
+        for m in 0..1usize << self.num_vars {
+            if set.get(m as u64) {
+                // lint:allow(as-cast): minterm index < 2^MAX_MINTERM_VARS
+                in_lo += self.lb[m];
+                in_hi += self.ub[m];
+            } else {
+                out_lo += self.lb[m];
+                out_hi += self.ub[m];
+            }
+        }
+        Interval::new(in_lo.max(1.0 - out_hi), in_hi.min(1.0 - out_lo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn elips(num_vars: usize, minterms: &[u64]) -> TruthTable {
+        let mut tt = TruthTable::zero(num_vars).unwrap();
+        for &m in minterms {
+            tt.set(m, true);
+        }
+        tt
+    }
+
+    #[test]
+    fn single_variable_is_exact() {
+        let b = MintermBounds::exact_single(0.3);
+        assert_eq!(b.lower(1), 0.3);
+        assert_eq!(b.upper(1), 0.3);
+        assert!((b.lower(0) - 0.7).abs() < 1e-12);
+        // Complement tightening can cross by one ulp (1 − 0.7 ≠ 0.3 in
+        // binary); the interval stays sound and ulp-wide.
+        let on = b.set_probability(&elips(1, &[1]));
+        assert!(on.contains(0.3) && on.width() < 1e-12, "{on}");
+    }
+
+    #[test]
+    fn exact_pair_recovers_the_four_masses() {
+        // p0 = 0.5, p1 = 0.5, perfectly anti-correlated: p11 = 0.
+        let b = MintermBounds::exact_pair(0.5, 0.5, 0.0);
+        assert_eq!(b.lower(0b11), 0.0);
+        assert_eq!(b.upper(0b11), 0.0);
+        assert!((b.lower(0b01) - 0.5).abs() < 1e-12);
+        assert!((b.lower(0b10) - 0.5).abs() < 1e-12);
+        assert!((b.lower(0b00) - 0.0).abs() < 1e-12);
+        // The AND on-set {11} has exactly zero mass — the case marginal
+        // Fréchet alone cannot see.
+        let and_on = b.set_probability(&elips(2, &[0b11]));
+        assert_eq!(and_on, Interval::ZERO);
+        let fre =
+            MintermBounds::from_marginals_frechet(&[Interval::point(0.5), Interval::point(0.5)]);
+        let loose = fre.set_probability(&elips(2, &[0b11]));
+        assert_eq!(loose, Interval::new(0.0, 0.5));
+    }
+
+    #[test]
+    fn from_counts_matches_exact_division() {
+        // 64 patterns: f0 set on 32, f1 set on 48, both on 24.
+        let b = MintermBounds::from_counts(64, &[32, 48], Some(24)).unwrap();
+        assert_eq!(b.upper(0b11), 24.0 / 64.0);
+        assert_eq!(b.upper(0b01), 8.0 / 64.0);
+        assert_eq!(b.upper(0b10), 24.0 / 64.0);
+        assert_eq!(b.upper(0b00), 8.0 / 64.0);
+        assert!(MintermBounds::from_counts(64, &[1, 2, 3], None).is_none());
+        assert!(MintermBounds::from_counts(0, &[0], None).is_none());
+    }
+
+    #[test]
+    fn frechet_bounds_contain_every_consistent_distribution() {
+        // Marginals 0.25 / 0.75 / 0.5: enumerate a few joint distributions
+        // with those marginals and check each minterm mass is inside.
+        let marg = [0.25, 0.75, 0.5];
+        let b = MintermBounds::from_marginals_frechet(&marg.map(Interval::point));
+        // Independent joint.
+        for m in 0..8usize {
+            let mut p = 1.0;
+            for (i, &pi) in marg.iter().enumerate() {
+                p *= if m >> i & 1 == 1 { pi } else { 1.0 - pi };
+            }
+            assert!(
+                b.lower(m) - 1e-12 <= p && p <= b.upper(m) + 1e-12,
+                "independent mass {p} outside [{}, {}] at {m}",
+                b.lower(m),
+                b.upper(m)
+            );
+        }
+        // Comonotone joint (maximally correlated): P(111) = 0.25,
+        // P(110) = 0.25, P(010) = 0.25, P(000) = 0.25.
+        for (m, p) in [(0b111, 0.25), (0b110, 0.25), (0b010, 0.25), (0b000, 0.25)] {
+            assert!(b.lower(m) - 1e-12 <= p && p <= b.upper(m) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn independent_bounds_are_products() {
+        let b = MintermBounds::from_marginals_independent(&[
+            Interval::point(0.5),
+            Interval::point(0.5),
+        ]);
+        for m in 0..4usize {
+            assert!((b.lower(m) - 0.25).abs() < 1e-12);
+            assert!((b.upper(m) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn complement_tightening_helps() {
+        // One variable at 0.5 via the Fréchet path: the on-set {0, 1} is
+        // the whole space, so the interval must be exactly [1, 1] thanks to
+        // the complement side (direct summation alone gives hi = 1 but a
+        // loose lo of 0.5 + 0.5 − 0 = 1 here; use two variables for a
+        // nontrivial case).
+        let b =
+            MintermBounds::from_marginals_frechet(&[Interval::point(0.5), Interval::point(0.5)]);
+        let full = b.set_probability(&elips(2, &[0, 1, 2, 3]));
+        assert_eq!(full, Interval::ONE);
+        let empty = b.set_probability(&elips(2, &[]));
+        assert_eq!(empty, Interval::ZERO);
+    }
+
+    #[test]
+    fn empirical_containment_on_random_counts() {
+        // Deterministic pseudo-random pattern table over 3 signals; check
+        // the Fréchet bounds from the marginals contain the true empirical
+        // minterm masses.
+        let n = 256u64;
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            state >> 33
+        };
+        let mut counts = [0u64; 8];
+        let mut marg = [0u64; 3];
+        for _ in 0..n {
+            let v = (next() % 8) as usize;
+            counts[v] += 1;
+            for (i, m) in marg.iter_mut().enumerate() {
+                if v >> i & 1 == 1 {
+                    *m += 1;
+                }
+            }
+        }
+        let intervals = marg.map(|c| Interval::point(c as f64 / n as f64));
+        let b = MintermBounds::from_marginals_frechet(&intervals);
+        for m in 0..8usize {
+            let p = counts[m] as f64 / n as f64;
+            assert!(
+                b.lower(m) - 1e-12 <= p && p <= b.upper(m) + 1e-12,
+                "minterm {m}: {p} outside [{}, {}]",
+                b.lower(m),
+                b.upper(m)
+            );
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Soundness suite for the abstract-interpretation engine.
+//!
+//! The contract under test: every static interval **contains** the
+//! quantity it abstracts.
+//!
+//! * [`Policy::Exact`] intervals contain the exact signal probabilities
+//!   under independent uniform inputs (measured exhaustively — ≤ 10 PIs
+//!   make the full input space cheap to sweep bit-parallel);
+//! * [`Policy::SampleSound`] intervals seeded with empirical primary-input
+//!   frequencies contain every node's simulated frequency on the same
+//!   pattern set;
+//! * [`error_bounds`] intervals contain the exact (BDD-confirmed) and the
+//!   simulated error rate of a mutated network against its golden;
+//! * the deliberately unsound [`Policy::IndependenceEverywhere`] is
+//!   *caught* by the same containment check — the suite detects a broken
+//!   transfer function, it does not merely pass on sound ones.
+//!
+//! Registry circuits (all 12 benchmarks) get the sample-sound containment
+//! check too; their input spaces are too large for the exhaustive sweep.
+
+use als_absint::{
+    error_bounds, error_bounds_seeded, signal_probabilities, signal_probabilities_seeded, Interval,
+    Policy,
+};
+use als_circuits::all_benchmarks;
+use als_logic::{Cover, Cube};
+use als_network::{Network, NodeId};
+use als_sim::{error_rate, simulate, PatternSet};
+use proptest::prelude::*;
+
+const NUM_PIS: usize = 8;
+
+/// Slack for count→ratio divisions; a genuine containment violation
+/// overshoots this by orders of magnitude.
+const TOL: f64 = 1e-9;
+
+fn cube(lits: &[(usize, bool)]) -> Cube {
+    Cube::from_literals(lits).unwrap()
+}
+
+/// Builds a random layered network from a compact recipe (same shape as
+/// the root `random_networks` suite, shared-fanin collisions included —
+/// those are exactly the reconvergent structures that stress the Fréchet
+/// fallback).
+fn build_network(recipe: &[(u8, u8, u8)]) -> Network {
+    let mut net = Network::new("random");
+    let mut signals: Vec<NodeId> = (0..NUM_PIS).map(|i| net.add_pi(format!("x{i}"))).collect();
+    for (idx, &(sel_a, sel_b, kind)) in recipe.iter().enumerate() {
+        let a = signals[sel_a as usize % signals.len()];
+        let mut b = signals[sel_b as usize % signals.len()];
+        if a == b {
+            b = signals[(sel_b as usize + 1) % signals.len()];
+        }
+        if a == b {
+            continue;
+        }
+        let cover = match kind % 4 {
+            0 => Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+            1 => Cover::from_cubes(2, [cube(&[(0, true)]), cube(&[(1, true)])]),
+            2 => Cover::from_cubes(
+                2,
+                [
+                    cube(&[(0, true), (1, false)]),
+                    cube(&[(0, false), (1, true)]),
+                ],
+            ),
+            _ => Cover::from_cubes(2, [cube(&[(0, false), (1, false)])]),
+        };
+        let id = net.add_node(format!("g{idx}"), vec![a, b], cover);
+        signals.push(id);
+    }
+    let n_po = 2.min(signals.len() - NUM_PIS).max(1);
+    for (i, &s) in signals.iter().rev().take(n_po).enumerate() {
+        net.add_po(format!("y{i}"), s);
+    }
+    net
+}
+
+fn arb_recipe() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 3..12)
+}
+
+/// A function-changing mutation with the interface kept intact: the last
+/// internal node is stuck at constant zero (the shape of a constant-zero
+/// ASE rewrite).
+fn mutate(golden: &Network) -> Network {
+    let mut approx = golden.clone();
+    if let Some(last) = approx.internal_ids().last() {
+        approx.replace_with_constant(last, false);
+    }
+    approx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The headline containment property, 256 random networks strong:
+    /// exact probabilities (uniform inputs, exhaustive sweep) sit inside
+    /// the `Exact` intervals, and simulated frequencies sit inside the
+    /// empirically-seeded `SampleSound` intervals.
+    #[test]
+    fn static_intervals_contain_exact_and_simulated_probabilities(recipe in arb_recipe()) {
+        let net = build_network(&recipe);
+        prop_assume!(net.num_internal() > 0);
+
+        // Exact: the exhaustive pattern set realizes the uniform
+        // distribution, so each node's 1-frequency IS its probability.
+        let exhaustive = PatternSet::exhaustive(NUM_PIS).unwrap();
+        let sim_ex = simulate(&net, &exhaustive);
+        let exact = signal_probabilities(&net, Policy::Exact);
+        for id in net.internal_ids() {
+            let p = sim_ex.probability(id);
+            let i = exact.interval(id);
+            prop_assert!(
+                i.contains_with_tol(p, TOL),
+                "exact p={p} escapes {i} at node {id}"
+            );
+        }
+
+        // SampleSound: a small random sample, intervals seeded with the
+        // sample's own PI frequencies.
+        let patterns = PatternSet::random(NUM_PIS, 512, 7);
+        let sim = simulate(&net, &patterns);
+        let seeds: Vec<Interval> = net
+            .pis()
+            .iter()
+            .map(|&pi| Interval::point(sim.probability(pi)))
+            .collect();
+        let sample = signal_probabilities_seeded(&net, Policy::SampleSound, &seeds);
+        for id in net.internal_ids() {
+            let f = sim.probability(id);
+            let i = sample.interval(id);
+            prop_assert!(
+                i.contains_with_tol(f, TOL),
+                "simulated f={f} escapes {i} at node {id}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Error-bound containment: the combined interval contains both the
+    /// exact error rate (exhaustive = the BDD-exact rate over all 2^n
+    /// vectors) and the bit-parallel simulated rate.
+    #[test]
+    fn error_bounds_contain_exact_and_simulated_rates(recipe in arb_recipe()) {
+        let golden = build_network(&recipe);
+        prop_assume!(golden.num_internal() > 0);
+        let approx = mutate(&golden);
+
+        // Exact rate, via the exhaustive sweep and cross-checked against
+        // the independent BDD-miter derivation.
+        let exhaustive = PatternSet::exhaustive(NUM_PIS).unwrap();
+        let exact_rate = error_rate(&golden, &approx, &exhaustive);
+        if let Ok(bdd_rate) = als_bdd::exact_error_rate(&golden, &approx, 1 << 20) {
+            prop_assert!(
+                (bdd_rate - exact_rate).abs() < TOL,
+                "exhaustive {exact_rate} vs BDD {bdd_rate}"
+            );
+        }
+        let bounds = error_bounds(&golden, &approx, Policy::Exact).unwrap();
+        prop_assert!(
+            bounds.combined.contains_with_tol(exact_rate, TOL),
+            "exact rate {exact_rate} escapes {}",
+            bounds.combined
+        );
+
+        // Simulated rate on a finite sample, against empirically-seeded
+        // sample-sound bounds.
+        let patterns = PatternSet::random(NUM_PIS, 512, 11);
+        let sim_rate = error_rate(&golden, &approx, &patterns);
+        let sim = simulate(&golden, &patterns);
+        let seeds: Vec<Interval> = golden
+            .pis()
+            .iter()
+            .map(|&pi| Interval::point(sim.probability(pi)))
+            .collect();
+        let sampled = error_bounds_seeded(&golden, &approx, Policy::SampleSound, &seeds).unwrap();
+        prop_assert!(
+            sampled.combined.contains_with_tol(sim_rate, TOL),
+            "simulated rate {sim_rate} escapes {}",
+            sampled.combined
+        );
+    }
+}
+
+/// The mutation-detection half of the contract: run the *same* containment
+/// check with a deliberately unsound transfer function
+/// ([`Policy::IndependenceEverywhere`] multiplies marginals below
+/// reconvergent fanout) and the check must fail. A suite that cannot fail
+/// proves nothing.
+#[test]
+fn unsound_transfer_function_is_caught_by_the_containment_check() {
+    // s = a, t = ¬a, u = s·t ≡ 0 — the minimal reconvergent witness.
+    let mut net = Network::new("reconv");
+    let a = net.add_pi("a");
+    let s = net.add_node("s", vec![a], Cover::from_cubes(1, [cube(&[(0, true)])]));
+    let t = net.add_node("t", vec![a], Cover::from_cubes(1, [cube(&[(0, false)])]));
+    let u = net.add_node(
+        "u",
+        vec![s, t],
+        Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]),
+    );
+    net.add_po("u", u);
+
+    let exhaustive = PatternSet::exhaustive(1).unwrap();
+    let sim = simulate(&net, &exhaustive);
+    let truth = sim.probability(u);
+    assert_eq!(truth, 0.0, "u is identically zero");
+
+    // Sound policy: containment holds.
+    let exact = signal_probabilities(&net, Policy::Exact);
+    assert!(exact.interval(u).contains_with_tol(truth, TOL));
+    assert!(exact.frechet_forced(u), "reconvergence must force Fréchet");
+
+    // Seeded unsound mutation: the product rule claims P(u) = 0.25 as a
+    // point interval, excluding the truth — the check fires.
+    let unsound = signal_probabilities(&net, Policy::IndependenceEverywhere);
+    assert!(
+        !unsound.interval(u).contains_with_tol(truth, TOL),
+        "the containment check failed to catch the unsound transfer: {}",
+        unsound.interval(u)
+    );
+}
+
+/// Sample-sound containment on every registry circuit: the intervals
+/// seeded with empirical PI frequencies contain all simulated node
+/// frequencies, adders and multipliers included (deep reconvergence in
+/// the carry/partial-product trees).
+#[test]
+fn registry_circuits_satisfy_sample_sound_containment() {
+    let benchmarks = all_benchmarks();
+    assert_eq!(benchmarks.len(), 12, "the paper's table has 12 circuits");
+    for bench in benchmarks {
+        let net = (bench.build)();
+        let patterns = PatternSet::random(net.num_pis(), 2048, 0xC1DC);
+        let sim = simulate(&net, &patterns);
+        let seeds: Vec<Interval> = net
+            .pis()
+            .iter()
+            .map(|&pi| Interval::point(sim.probability(pi)))
+            .collect();
+        let probs = signal_probabilities_seeded(&net, Policy::SampleSound, &seeds);
+        for id in net.internal_ids() {
+            let f = sim.probability(id);
+            let i = probs.interval(id);
+            assert!(
+                i.contains_with_tol(f, TOL),
+                "{}: simulated f={f} escapes {i} at node {id}",
+                bench.name
+            );
+        }
+    }
+}
+
+/// Exact-policy containment on the registry circuits, checked against
+/// simulation: the exhaustive space is out of reach at 16–64 PIs, but the
+/// exact-policy intervals are sound for the uniform distribution and the
+/// empirical frequency of a large sample converges to it — containment
+/// with a sampling-noise allowance is a meaningful (if weaker) check that
+/// the independence/Fréchet split is not wildly wrong on real topologies.
+#[test]
+fn registry_circuits_satisfy_exact_containment_within_sampling_noise() {
+    for bench in all_benchmarks() {
+        let net = (bench.build)();
+        let patterns = PatternSet::random(net.num_pis(), 8192, 0xEAC7);
+        let sim = simulate(&net, &patterns);
+        let probs = signal_probabilities(&net, Policy::Exact);
+        // 3σ for a Bernoulli frequency at n = 8192 is ≤ 0.017.
+        let slack = 0.02;
+        for id in net.internal_ids() {
+            let f = sim.probability(id);
+            let i = probs.interval(id);
+            assert!(
+                i.contains_with_tol(f, slack),
+                "{}: sampled f={f} escapes exact interval {i} at node {id}",
+                bench.name
+            );
+        }
+    }
+}

@@ -101,7 +101,7 @@ impl Aig {
     /// Panics if `i >= num_pis`.
     pub fn pi(&self, i: usize) -> AigLit {
         assert!(i < self.num_pis, "pi index out of range");
-        AigLit::new(1 + i as u32, false)
+        AigLit::new(1 + i as u32, false) // lint:allow(as-cast): node count < 2^31 (AigLit packs ids into u32)
     }
 
     /// Number of primary inputs.
@@ -141,7 +141,7 @@ impl Aig {
         if let Some(&n) = self.strash.get(&(x, y)) {
             return AigLit::new(n, false);
         }
-        let n = self.nodes.len() as u32;
+        let n = self.nodes.len() as u32; // lint:allow(as-cast): node count < 2^31 (AigLit packs ids into u32)
         self.nodes.push(AigNode::And(AigLit(x), AigLit(y)));
         self.strash.insert((x, y), n);
         AigLit::new(n, false)
@@ -177,6 +177,7 @@ impl Aig {
             return v;
         }
         let v = match self.nodes[node as usize] {
+            // lint:allow(as-cast): u32 index fits usize on all supported targets
             AigNode::Const => false,
             AigNode::Pi(i) => assignment >> i & 1 == 1,
             AigNode::And(a, b) => {
@@ -262,8 +263,8 @@ impl Aig {
         // Encode ANDs bottom-up (nodes are created in topological order).
         for (n, node) in self.nodes.iter().enumerate() {
             if let AigNode::And(a, b) = node {
-                let va = node_var[a.node() as usize].expect("topological order"); // lint:allow(panic): internal invariant; the message states it
-                let vb = node_var[b.node() as usize].expect("topological order"); // lint:allow(panic): internal invariant; the message states it
+                let va = node_var[a.node() as usize].expect("topological order"); // lint:allow(panic): internal invariant; the message states it // lint:allow(as-cast): u32 index fits usize on all supported targets
+                let vb = node_var[b.node() as usize].expect("topological order"); // lint:allow(panic): internal invariant; the message states it // lint:allow(as-cast): u32 index fits usize on all supported targets
                 let la = SatLit::with_sign(va, !a.is_complemented());
                 let lb = SatLit::with_sign(vb, !b.is_complemented());
                 let v = solver.new_var();
@@ -279,7 +280,7 @@ impl Aig {
             .pos
             .iter()
             .map(|l| {
-                let v = node_var[l.node() as usize].expect("all nodes encoded"); // lint:allow(panic): internal invariant; the message states it
+                let v = node_var[l.node() as usize].expect("all nodes encoded"); // lint:allow(panic): internal invariant; the message states it // lint:allow(as-cast): u32 index fits usize on all supported targets
                 SatLit::with_sign(v, !l.is_complemented())
             })
             .collect();

@@ -150,7 +150,7 @@ impl BddManager {
     /// Panics if `i >= num_vars`.
     pub fn var(&mut self, i: usize) -> Result<Bdd, BddError> {
         assert!(i < self.num_vars, "variable out of range");
-        let id = self.mk(i as u32, 0, 1)?;
+        let id = self.mk(i as u32, 0, 1)?; // lint:allow(as-cast): var count <= node_limit < 2^32
         Ok(Bdd(id))
     }
 
@@ -166,14 +166,14 @@ impl BddManager {
                 limit: self.node_limit,
             });
         }
-        let id = self.nodes.len() as u32;
+        let id = self.nodes.len() as u32; // lint:allow(as-cast): node_limit keeps the arena < 2^32
         self.nodes.push(Node { var, lo, hi });
         self.unique.insert((var, lo, hi), id);
         Ok(id)
     }
 
     fn node(&self, id: u32) -> Node {
-        self.nodes[id as usize]
+        self.nodes[id as usize] // lint:allow(as-cast): u32 index fits usize on all supported targets
     }
 
     fn is_terminal(id: u32) -> bool {
@@ -298,7 +298,7 @@ impl BddManager {
         let mut memo: HashMap<u32, u128> = HashMap::new();
         // count(x) = number of on-assignments of ALL variables below x's
         // level; normalize at the root.
-        let total_bits = self.num_vars as u32;
+        let total_bits = self.num_vars as u32; // lint:allow(as-cast): PI count << 2^32
 
         self.count_rec(f.0, 0, total_bits, &mut memo)
     }
@@ -501,7 +501,7 @@ mod tests {
         let mut acc = m.one();
         for i in 0..8 {
             if let Ok(x) = m.var(i).and_then(|v| m.and(acc, v)) {
-                acc = x
+                acc = x;
             } else {
                 failed = true;
                 break;

@@ -1,16 +1,22 @@
-//! `lint` — in-tree source lint: no panicking constructs in library code.
+//! `lint` — in-tree source lint for library code, two passes:
 //!
-//! Walks every workspace library crate's `src/` tree and flags
-//! `unwrap()`, `expect(`, `panic!(`, `unreachable!(`, `todo!(` and
-//! `unimplemented!(` outside the places where aborting is acceptable:
+//! * **panic** — no panicking constructs: `unwrap()`, `expect(`,
+//!   `panic!(`, `unreachable!(`, `todo!(` and `unimplemented!(`;
+//! * **as-cast** — no `as`-casts to numeric types. `as` silently
+//!   truncates, wraps and rounds; library code must use `From`/`try_from`
+//!   (lossless or checked) or justify the cast with a marker.
+//!
+//! Both passes skip the places where the constructs are acceptable:
 //!
 //! * `#[cfg(test)]` modules and `tests/` trees (asserting is the point);
 //! * `src/bin/` CLI entry points (a process abort is a process abort);
 //! * the in-tree `proptest`/`criterion` shims (they mirror upstream APIs);
-//! * lines carrying a `// lint:allow(panic)` marker with a justification.
+//! * lines carrying a `// lint:allow(panic)` / `// lint:allow(as-cast)`
+//!   marker with a justification.
 //!
-//! Exit code 0 when clean, 1 with a findings listing otherwise — wired
-//! into CI next to `cargo fmt --check` and clippy.
+//! Usage: `lint [--pass panic|as-cast|all]` (default `all`). Exit code 0
+//! when clean, 1 with a findings listing otherwise — wired into CI next
+//! to `cargo fmt --check` and clippy.
 //!
 //! The scan is textual (a line-based brace tracker finds `mod tests`
 //! blocks), which is exactly as precise as it needs to be for a curated
@@ -30,23 +36,58 @@ const BANNED: [&str; 6] = [
     "unimplemented!(",
 ];
 
-/// The justification marker: a line carrying it — or directly adjacent to
-/// it, since rustfmt may move a trailing comment onto its own line — is
-/// exempt.
-const ALLOW_MARKER: &str = "lint:allow(panic)";
+/// Numeric types an `as`-cast can target; every one of them can lose
+/// information from some source type, so all are flagged and the marker
+/// records why each surviving cast is fine.
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// The justification markers: a line carrying one — or directly adjacent
+/// to it, since rustfmt may move a trailing comment onto its own line —
+/// is exempt from the corresponding pass.
+const PANIC_MARKER: &str = "lint:allow(panic)";
+const AS_CAST_MARKER: &str = "lint:allow(as-cast)";
 
 /// Crate `src/` trees that are exempt wholesale: API-compatible shims of
 /// external crates whose interfaces are panic-based.
 const EXEMPT_CRATES: [&str; 2] = ["crates/proptest", "crates/criterion"];
 
+/// Which passes to run.
+#[derive(Clone, Copy, PartialEq)]
+enum PassSelect {
+    Panic,
+    AsCast,
+    All,
+}
+
+impl PassSelect {
+    fn runs_panic(self) -> bool {
+        matches!(self, PassSelect::Panic | PassSelect::All)
+    }
+
+    fn runs_as_cast(self) -> bool {
+        matches!(self, PassSelect::AsCast | PassSelect::All)
+    }
+}
+
 struct Finding {
     path: PathBuf,
     line: usize,
-    construct: &'static str,
+    construct: String,
+    marker: &'static str,
     text: String,
 }
 
 fn main() -> std::process::ExitCode {
+    let select = match parse_pass_arg() {
+        Ok(select) => select,
+        Err(message) => {
+            eprintln!("lint: {message}");
+            return std::process::ExitCode::from(2);
+        }
+    };
     let Some(root) = workspace_root() else {
         eprintln!("lint: cannot locate the workspace root (no Cargo.toml upwards)");
         return std::process::ExitCode::from(2);
@@ -56,7 +97,7 @@ fn main() -> std::process::ExitCode {
     for src_dir in library_src_dirs(&root) {
         for file in rust_files(&src_dir) {
             files_scanned += 1;
-            scan_file(&file, &root, &mut findings);
+            scan_file(&file, &root, select, &mut findings);
         }
     }
     // Write errors (e.g. a closed pipe when the listing is piped through
@@ -70,19 +111,38 @@ fn main() -> std::process::ExitCode {
         for f in &findings {
             let _ = writeln!(
                 out,
-                "{}:{}: `{}` in library code: {}",
+                "{}:{}: `{}` in library code: {} (fix or justify with `// {}: why`)",
                 f.path.display(),
                 f.line,
                 f.construct,
-                f.text.trim()
+                f.text.trim(),
+                f.marker,
             );
         }
         let _ = writeln!(
             out,
-            "lint: {} finding(s) in {files_scanned} file(s); fix or justify with `// {ALLOW_MARKER}: why`",
+            "lint: {} finding(s) in {files_scanned} file(s)",
             findings.len()
         );
         std::process::ExitCode::FAILURE
+    }
+}
+
+/// Parses `--pass panic|as-cast|all` (default `all`).
+fn parse_pass_arg() -> Result<PassSelect, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => Ok(PassSelect::All),
+        Some("--pass") => match args.get(1).map(String::as_str) {
+            Some("panic") => Ok(PassSelect::Panic),
+            Some("as-cast") => Ok(PassSelect::AsCast),
+            Some("all") => Ok(PassSelect::All),
+            Some(other) => Err(format!(
+                "unknown pass `{other}` (expected panic, as-cast or all)"
+            )),
+            None => Err("--pass needs a value: panic, as-cast or all".to_string()),
+        },
+        Some(other) => Err(format!("unknown argument `{other}` (try --pass)")),
     }
 }
 
@@ -152,7 +212,7 @@ fn rust_files(dir: &Path) -> Vec<PathBuf> {
     out
 }
 
-fn scan_file(path: &Path, root: &Path, findings: &mut Vec<Finding>) {
+fn scan_file(path: &Path, root: &Path, select: PassSelect, findings: &mut Vec<Finding>) {
     let Ok(text) = std::fs::read_to_string(path) else {
         return;
     };
@@ -181,23 +241,55 @@ fn scan_file(path: &Path, root: &Path, findings: &mut Vec<Finding>) {
             }
             continue;
         }
-        let marked = line.contains(ALLOW_MARKER)
-            || (idx > 0 && lines[idx - 1].contains(ALLOW_MARKER))
-            || lines.get(idx + 1).is_some_and(|l| l.contains(ALLOW_MARKER));
-        if marked {
-            continue;
+        let marked = |marker: &str| {
+            line.contains(marker)
+                || (idx > 0 && lines[idx - 1].contains(marker))
+                || lines.get(idx + 1).is_some_and(|l| l.contains(marker))
+        };
+        let push = |findings: &mut Vec<Finding>, construct: String, marker: &'static str| {
+            findings.push(Finding {
+                path: path.strip_prefix(root).unwrap_or(path).to_path_buf(),
+                line: idx + 1,
+                construct,
+                marker,
+                text: line.to_string(),
+            });
+        };
+        if select.runs_panic() && !marked(PANIC_MARKER) {
+            for construct in BANNED {
+                if code.contains(construct) {
+                    push(findings, construct.to_string(), PANIC_MARKER);
+                }
+            }
         }
-        for construct in BANNED {
-            if code.contains(construct) {
-                findings.push(Finding {
-                    path: path.strip_prefix(root).unwrap_or(path).to_path_buf(),
-                    line: idx + 1,
-                    construct,
-                    text: line.to_string(),
-                });
+        if select.runs_as_cast() && !marked(AS_CAST_MARKER) {
+            if let Some(cast) = find_numeric_as_cast(code) {
+                push(findings, cast, AS_CAST_MARKER);
             }
         }
     }
+}
+
+/// Finds the first `… as <numeric-type>` cast on a (comment-stripped)
+/// line, returning the `as <type>` text. One finding per line is enough:
+/// a line is either triaged wholesale or rewritten.
+fn find_numeric_as_cast(code: &str) -> Option<String> {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(" as ") {
+        let abs = start + pos;
+        let after = &code[abs + 4..];
+        let token: String = after
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        // `u64`-the-token, not `u64_extra`-the-identifier: the taken
+        // prefix must be the whole token for the match to be a type.
+        if NUMERIC_TYPES.contains(&token.as_str()) {
+            return Some(format!("as {token}"));
+        }
+        start = abs + 4;
+    }
+    None
 }
 
 /// Drops `//` comments (so a construct *mentioned* in a doc comment is

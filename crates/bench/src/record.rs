@@ -33,6 +33,11 @@ pub struct BenchEntry {
     pub error_rate: f64,
     /// Wall-clock runtime in seconds.
     pub runtime_s: f64,
+    /// Local-pattern gathers skipped because static bounds pruned every
+    /// candidate of a node (the abstract interpreter's simulations-avoided
+    /// measure). Optional in the JSON — records predating the field read
+    /// back as 0.
+    pub simulations_avoided: u64,
     /// Engine phase breakdown in seconds (`preprocess`, `simulate`, ...).
     pub phases: Vec<(String, f64)>,
 }
@@ -48,6 +53,7 @@ impl BenchEntry {
             area_ratio: r.area_ratio,
             error_rate: r.error_rate,
             runtime_s: r.runtime_s,
+            simulations_avoided: r.metrics.nodes_skipped,
             phases: r
                 .metrics
                 .phase_nanos
@@ -70,6 +76,7 @@ impl BenchEntry {
             .set("area_ratio", self.area_ratio)
             .set("error_rate", self.error_rate)
             .set("runtime_s", self.runtime_s)
+            .set("simulations_avoided", self.simulations_avoided)
             .set("phases", phases);
         obj
     }
@@ -97,6 +104,10 @@ impl BenchEntry {
             area_ratio: num("area_ratio")?,
             error_rate: num("error_rate")?,
             runtime_s: num("runtime_s")?,
+            simulations_avoided: v
+                .get("simulations_avoided")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
             phases,
         })
     }
@@ -189,8 +200,8 @@ impl BenchRecord {
             schema_version: version,
             circuit: str_field("circuit")?,
             git_sha: str_field("git_sha")?,
-            threads: v.get("threads").and_then(Json::as_u64).unwrap_or(0) as usize,
-            nproc: v.get("nproc").and_then(Json::as_u64).unwrap_or(0) as usize,
+            threads: v.get("threads").and_then(Json::as_u64).unwrap_or(0) as usize, // lint:allow(as-cast): thread counts << 2^32
+            nproc: v.get("nproc").and_then(Json::as_u64).unwrap_or(0) as usize, // lint:allow(as-cast): CPU counts << 2^32
             quick: v.get("quick").and_then(Json::as_bool).unwrap_or(false),
             notes: v
                 .get("notes")
@@ -272,6 +283,15 @@ pub fn compare(old: &BenchRecord, new: &BenchRecord, opts: &CompareOptions) -> V
                 opts.max_slowdown_pct,
             ));
         }
+        // The pruner going dark is a perf regression even when the wall
+        // clock hasn't (yet) caught up with it: a baseline that avoided
+        // simulations must keep avoiding them.
+        if oe.simulations_avoided > 0 && ne.simulations_avoided == 0 {
+            regressions.push(format!(
+                "{} {} @{}: static pruning avoided {} simulations in the baseline but 0 now",
+                new.circuit, oe.algorithm, oe.threshold, oe.simulations_avoided,
+            ));
+        }
         let quality_limit = oe.literal_ratio * (1.0 + opts.max_quality_pct / 100.0);
         if ne.literal_ratio > quality_limit {
             regressions.push(format!(
@@ -341,6 +361,7 @@ mod tests {
             area_ratio: literal_ratio,
             error_rate: 0.04,
             runtime_s,
+            simulations_avoided: 0,
             phases: vec![("simulate".into(), runtime_s / 2.0)],
         });
         rec
@@ -407,6 +428,26 @@ mod tests {
         let old = record_with_runtime(0.003, 0.8);
         let new = record_with_runtime(0.006, 0.8);
         assert!(compare(&old, &new, &CompareOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn records_without_simulations_avoided_parse_as_zero() {
+        let rec = record_with_runtime(1.0, 0.8);
+        let json = rec.render().replace("\"simulations_avoided\": 0,", "");
+        let parsed = BenchRecord::parse(&json).unwrap();
+        assert_eq!(parsed.entries[0].simulations_avoided, 0);
+    }
+
+    #[test]
+    fn pruning_going_dark_trips_gate() {
+        let mut old = record_with_runtime(1.0, 0.8);
+        old.entries[0].simulations_avoided = 17;
+        let new = record_with_runtime(1.0, 0.8);
+        let regs = compare(&old, &new, &CompareOptions::default());
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("avoided 17 simulations"), "{regs:?}");
+        // The reverse direction (pruning got *better*) is not a regression.
+        assert!(compare(&new, &old, &CompareOptions::default()).is_empty());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! with an info line saying so.
 
 use crate::diagnostic::{AnalysisReport, Diagnostic};
+use als_absint::{signal_probabilities_seeded, Interval, Policy};
 use als_bdd::{Bdd, BddError, BddManager};
 use als_dontcare::{compute_dont_cares, DontCareConfig};
 use als_logic::Expr;
@@ -38,6 +39,12 @@ pub enum Pass {
     /// Sampled don't-care soundness: a local input pattern observed under
     /// simulation must never be classified as a satisfiability don't-care.
     DontCareSoundness,
+    /// Abstract-interpretation containment: propagate sample-sound signal
+    /// probability intervals (see [`als_absint`]) from the empirical
+    /// primary-input frequencies of a random pattern set; every node's
+    /// simulated frequency must then fall inside its static interval. A
+    /// violation proves an unsound transfer function.
+    ErrorBound,
 }
 
 impl Pass {
@@ -49,6 +56,7 @@ impl Pass {
             Pass::TopoOrder => "topo_order",
             Pass::SopEquivalence => "sop_equivalence",
             Pass::DontCareSoundness => "dont_care_soundness",
+            Pass::ErrorBound => "error_bound",
         }
     }
 }
@@ -62,7 +70,7 @@ pub struct AnalyzerConfig {
     /// fanins and BDDs beyond it.
     pub tt_var_limit: usize,
     /// Node budget for each per-node equivalence BDD; exceeding it
-    /// degrades the finding to a [`Severity::Warning`].
+    /// degrades the finding to a [`Severity::Warning`](crate::Severity::Warning).
     pub bdd_node_limit: usize,
     /// How many internal nodes the don't-care soundness pass samples
     /// (spread evenly over the arena in id order).
@@ -71,6 +79,11 @@ pub struct AnalyzerConfig {
     pub dc_patterns: usize,
     /// Seed for the soundness pass's pattern set.
     pub dc_seed: u64,
+    /// How many random patterns the error-bound containment pass
+    /// simulates.
+    pub eb_patterns: usize,
+    /// Seed for the error-bound pass's pattern set.
+    pub eb_seed: u64,
 }
 
 impl AnalyzerConfig {
@@ -92,12 +105,15 @@ impl AnalyzerConfig {
                 Pass::TopoOrder,
                 Pass::SopEquivalence,
                 Pass::DontCareSoundness,
+                Pass::ErrorBound,
             ],
             tt_var_limit: 12,
             bdd_node_limit: 1 << 20,
             dc_sample_nodes: 64,
             dc_patterns: 2048,
             dc_seed: 0xA15C_4EC4,
+            eb_patterns: 2048,
+            eb_seed: 0xAB5_1407,
         }
     }
 }
@@ -158,8 +174,16 @@ impl NetworkAnalyzer {
                         check_dont_care_soundness(net, &self.config, &mut report);
                     }
                 }
+                Pass::ErrorBound => {
+                    if structural_errors {
+                        report.push(skip_note(pass));
+                    } else {
+                        check_error_bound(net, &self.config, &mut report);
+                    }
+                }
             }
         }
+        report.dedupe();
         report
     }
 }
@@ -502,6 +526,43 @@ fn check_dont_care_soundness(net: &Network, config: &AnalyzerConfig, report: &mu
     }
 }
 
+/// Error-bound containment: seed the abstract interpreter's primary-input
+/// intervals with the *empirical* 1-frequencies of a random pattern set,
+/// propagate under [`Policy::SampleSound`] (Fréchet everywhere — the only
+/// rule sound for the empirical measure), and demand every node's simulated
+/// frequency lie inside its static interval. The tolerance only absorbs the
+/// count→ratio division; a genuinely unsound transfer overshoots it by
+/// orders of magnitude.
+fn check_error_bound(net: &Network, config: &AnalyzerConfig, report: &mut AnalysisReport) {
+    const PASS: &str = "error_bound";
+    const TOL: f64 = 1e-9;
+    if net.num_pis() == 0 || net.num_internal() == 0 || config.eb_patterns == 0 {
+        return;
+    }
+    let patterns = PatternSet::random(net.num_pis(), config.eb_patterns.max(1), config.eb_seed);
+    let sim = simulate(net, &patterns);
+    let seeds: Vec<Interval> = net
+        .pis()
+        .iter()
+        .map(|&pi| Interval::point(sim.probability(pi)))
+        .collect();
+    let probs = signal_probabilities_seeded(net, Policy::SampleSound, &seeds);
+    for id in net.internal_ids() {
+        let freq = sim.probability(id);
+        let interval = probs.interval(id);
+        if !interval.contains_with_tol(freq, TOL) {
+            report.push(
+                Diagnostic::error(
+                    PASS,
+                    format!("simulated 1-frequency {freq} escapes the static interval {interval}"),
+                )
+                .with_node(id, named(net, id))
+                .with_hint("a probability transfer function is unsound for this node"),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -537,6 +598,51 @@ mod tests {
             .diagnostics
             .iter()
             .any(|d| d.pass == "sop_equivalence" && d.message.contains("skipped")));
+    }
+
+    #[test]
+    fn error_bound_contains_simulated_frequencies_under_reconvergence() {
+        // s = a, t = ¬a, u = s·t — the reconvergent shape where a naive
+        // independence rule would produce an interval excluding the truth.
+        let mut net = Network::new("reconv");
+        let a = net.add_pi("a");
+        let s = net.add_node(
+            "s",
+            vec![a],
+            Cover::from_cubes(1, [Cube::from_literals(&[(0, true)]).unwrap()]),
+        );
+        let t = net.add_node(
+            "t",
+            vec![a],
+            Cover::from_cubes(1, [Cube::from_literals(&[(0, false)]).unwrap()]),
+        );
+        let u = net.add_node(
+            "u",
+            vec![s, t],
+            Cover::from_cubes(2, [Cube::from_literals(&[(0, true), (1, true)]).unwrap()]),
+        );
+        net.add_po("u", u);
+        let config = AnalyzerConfig {
+            passes: vec![Pass::ErrorBound],
+            ..AnalyzerConfig::full()
+        };
+        let report = NetworkAnalyzer::new(config).analyze(&net);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn error_bound_is_skipped_on_structural_breakage() {
+        let (mut net, g) = and_gate();
+        als_network::testing::raw_drop_fanin(&mut net, g, 1);
+        let config = AnalyzerConfig {
+            passes: vec![Pass::ErrorBound],
+            ..AnalyzerConfig::full()
+        };
+        let report = NetworkAnalyzer::new(config).analyze(&net);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.pass == "error_bound" && d.message.contains("skipped")));
     }
 
     #[test]

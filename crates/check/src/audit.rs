@@ -107,6 +107,7 @@ pub fn audit_certificates(
         prev_iteration = it.iteration;
 
         if it.changes as usize != it.certificates.len() {
+            // lint:allow(as-cast): per-iteration change count << 2^32
             report.push(Diagnostic::error(
                 PASS,
                 format!(
@@ -138,6 +139,36 @@ pub fn audit_certificates(
                     ),
                 ));
             }
+            // Abstract-interpretation cross-check: when the run recorded a
+            // static interval for the change, the claimed apparent rate
+            // must lie inside it — the interval is sound for the same
+            // empirical measure the apparent rate was counted under.
+            if let (Some(lo), Some(hi)) = (cert.static_lo, cert.static_hi) {
+                if lo > hi + tol {
+                    report.push(Diagnostic::error(
+                        PASS,
+                        format!(
+                            "certificate for `{}` carries an empty static interval [{lo}, {hi}]",
+                            cert.node
+                        ),
+                    ));
+                } else if cert.apparent < lo - tol || cert.apparent > hi + tol {
+                    report.push(
+                        Diagnostic::error(
+                            PASS,
+                            format!(
+                                "certificate for `{}` claims apparent rate {} outside its static \
+                                 interval [{lo}, {hi}]",
+                                cert.node, cert.apparent
+                            ),
+                        )
+                        .with_hint(
+                            "the abstract interpreter's bound and the measured rate disagree; \
+                             one of them (or the log) is wrong",
+                        ),
+                    );
+                }
+            }
             apparent_sum += cert.apparent;
         }
         apparent_sum_total += apparent_sum;
@@ -164,7 +195,7 @@ pub fn audit_certificates(
             // half a unit per change (plus one for the capacity floor).
             if log.algorithm == "multi" && !it.certificates.is_empty() {
                 let scale = error_rate_scale(log.threshold);
-                let rounding = (it.certificates.len() as f64 + 1.0) * 0.5 / scale;
+                let rounding = (it.certificates.len() as f64 + 1.0) * 0.5 / scale; // lint:allow(as-cast): counts << 2^52, exact in f64
                 if before + apparent_sum > log.threshold + rounding + tol {
                     report.push(
                         Diagnostic::error(
@@ -202,6 +233,7 @@ pub fn audit_certificates(
     match (log.final_error, log.final_iterations) {
         (Some(final_error), Some(final_iterations)) => {
             if final_iterations as usize != log.iterations.len() {
+                // lint:allow(as-cast): iteration count << 2^32
                 report.push(Diagnostic::error(
                     PASS,
                     format!(
@@ -308,12 +340,12 @@ fn audit_against_networks(
         return;
     }
     if let Some(final_literals) = log.final_literals {
-        let actual = final_net.literal_count() as u64;
-        // Only a warning: BLIF stores SOP covers, not factored forms, so a
-        // network that went through a write→parse round-trip can carry a
-        // different (re-derived) factored-form literal count than the run
-        // reported, with the function — what the certificates are about —
-        // unchanged.
+        let actual = final_net.literal_count() as u64; // lint:allow(as-cast): usize fits u64 on all supported targets
+                                                       // Only a warning: BLIF stores SOP covers, not factored forms, so a
+                                                       // network that went through a write→parse round-trip can carry a
+                                                       // different (re-derived) factored-form literal count than the run
+                                                       // reported, with the function — what the certificates are about —
+                                                       // unchanged.
         if final_literals != actual {
             report.push(Diagnostic::warning(
                 PASS,
@@ -397,6 +429,8 @@ mod tests {
             ase: "drop x0".into(),
             literals_saved: 1,
             apparent,
+            static_lo: None,
+            static_hi: None,
         }
     }
 
@@ -499,6 +533,73 @@ mod tests {
             report
                 .errors()
                 .any(|d| d.message.contains("disagrees with the last iteration")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn apparent_rate_outside_static_interval_is_flagged() {
+        let mut c = cert(1, 0.03);
+        c.static_lo = Some(0.001);
+        c.static_hi = Some(0.002); // claimed 0.03 cannot be in [0.001, 0.002]
+        let log = log_with(
+            vec![IterationCert {
+                iteration: 1,
+                changes: 1,
+                literals_after: 20,
+                error_after: 0.03,
+                certificates: vec![c],
+            }],
+            0.03,
+        );
+        let report = audit_certificates(&log, None, None, &AuditConfig::default());
+        assert!(
+            report
+                .errors()
+                .any(|d| d.message.contains("outside its static interval")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn apparent_rate_inside_static_interval_audits_clean() {
+        let mut c = cert(1, 0.01);
+        c.static_lo = Some(0.005);
+        c.static_hi = Some(0.02);
+        let log = log_with(
+            vec![IterationCert {
+                iteration: 1,
+                changes: 1,
+                literals_after: 20,
+                error_after: 0.01,
+                certificates: vec![c],
+            }],
+            0.01,
+        );
+        let report = audit_certificates(&log, None, None, &AuditConfig::default());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn empty_static_interval_is_flagged() {
+        let mut c = cert(1, 0.01);
+        c.static_lo = Some(0.02);
+        c.static_hi = Some(0.01); // lo > hi: no sound analysis emits this
+        let log = log_with(
+            vec![IterationCert {
+                iteration: 1,
+                changes: 1,
+                literals_after: 20,
+                error_after: 0.01,
+                certificates: vec![c],
+            }],
+            0.01,
+        );
+        let report = audit_certificates(&log, None, None, &AuditConfig::default());
+        assert!(
+            report
+                .errors()
+                .any(|d| d.message.contains("empty static interval")),
             "{report}"
         );
     }

@@ -24,6 +24,11 @@ pub struct ApproxCertificate {
     pub literals_saved: u64,
     /// Claimed apparent error rate (§3.2) — the Theorem-1 summand.
     pub apparent: f64,
+    /// Static lower bound on the apparent rate from the abstract
+    /// interpreter, when the run had pruning enabled (`als-absint`).
+    pub static_lo: Option<f64>,
+    /// Static upper bound on the apparent rate, when recorded.
+    pub static_hi: Option<f64>,
 }
 
 /// One iteration's worth of certificates plus the measured state after it.
@@ -113,6 +118,17 @@ fn as_u64(obj: &Json, key: &str, line: usize) -> Result<u64, CertificateError> {
         .ok_or_else(|| err(line, format!("field `{key}` is not an unsigned integer")))
 }
 
+/// An optional numeric field: absent keys are `None`, present keys must
+/// still be numbers.
+fn opt_f64(obj: &Json, key: &str, line: usize) -> Result<Option<f64>, CertificateError> {
+    obj.get(key)
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| err(line, format!("field `{key}` is not a number")))
+        })
+        .transpose()
+}
+
 fn as_str(obj: &Json, key: &str, line: usize) -> Result<String, CertificateError> {
     Ok(field(obj, key, line)?
         .as_str()
@@ -165,7 +181,7 @@ impl CertificateLog {
                     }
                     log = Some(CertificateLog {
                         algorithm: as_str(&json, "algorithm", line)?,
-                        num_patterns: as_u64(&json, "num_patterns", line)? as usize,
+                        num_patterns: as_u64(&json, "num_patterns", line)? as usize, // lint:allow(as-cast): pattern count << 2^32
                         threshold: as_f64(&json, "threshold", line)?,
                         seed: as_u64(&json, "seed", line)?,
                         initial_error: None,
@@ -194,6 +210,8 @@ impl CertificateLog {
                         ase: as_str(&json, "ase", line)?,
                         literals_saved: as_u64(&json, "literals_saved", line)?,
                         apparent: as_f64(&json, "apparent", line)?,
+                        static_lo: opt_f64(&json, "static_lo", line)?,
+                        static_hi: opt_f64(&json, "static_hi", line)?,
                     });
                 }
                 "iteration_end" => {
@@ -262,8 +280,22 @@ mod tests {
         assert_eq!(log.iterations.len(), 1);
         assert_eq!(log.iterations[0].certificates.len(), 1);
         assert_eq!(log.iterations[0].certificates[0].node, "g5");
+        assert_eq!(log.iterations[0].certificates[0].static_lo, None);
+        assert_eq!(log.iterations[0].certificates[0].static_hi, None);
         assert_eq!(log.final_literals, Some(10));
         assert_eq!(log.all_certificates().count(), 1);
+    }
+
+    #[test]
+    fn parses_optional_static_bounds() {
+        let text = sample_log().replace(
+            r#""apparent":0.015625,"#,
+            r#""apparent":0.015625,"static_lo":0.01,"static_hi":0.02,"#,
+        );
+        let log = CertificateLog::from_jsonl(&text).unwrap();
+        let cert = &log.iterations[0].certificates[0];
+        assert_eq!(cert.static_lo, Some(0.01));
+        assert_eq!(cert.static_hi, Some(0.02));
     }
 
     #[test]

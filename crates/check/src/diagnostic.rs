@@ -143,6 +143,22 @@ impl AnalysisReport {
     pub fn extend(&mut self, other: AnalysisReport) {
         self.diagnostics.extend(other.diagnostics);
     }
+
+    /// Drops findings identical to an earlier one, keeping first
+    /// occurrences in order. Passes that walk overlapping structures (or
+    /// are configured twice) can re-derive the same finding; one line per
+    /// distinct fact reads better and keeps `--json` output minimal.
+    pub fn dedupe(&mut self) {
+        let mut seen: Vec<Diagnostic> = Vec::with_capacity(self.diagnostics.len());
+        self.diagnostics.retain(|d| {
+            if seen.contains(d) {
+                false
+            } else {
+                seen.push(d.clone());
+                true
+            }
+        });
+    }
 }
 
 impl fmt::Display for AnalysisReport {
@@ -185,6 +201,21 @@ mod tests {
         report.push(Diagnostic::error("acyclicity", "cycle through n3"));
         assert!(!report.is_clean());
         assert_eq!(report.error_count(), 1);
+    }
+
+    #[test]
+    fn dedupe_keeps_first_occurrences_in_order() {
+        let mut report = AnalysisReport::new();
+        report.push(Diagnostic::error("references", "fanin 7 is dead"));
+        report.push(Diagnostic::warning("sop_equivalence", "too large"));
+        report.push(Diagnostic::error("references", "fanin 7 is dead"));
+        // Same message at a different severity is a distinct finding.
+        report.push(Diagnostic::warning("references", "fanin 7 is dead"));
+        report.dedupe();
+        assert_eq!(report.diagnostics.len(), 3);
+        assert_eq!(report.diagnostics[0].severity, Severity::Error);
+        assert_eq!(report.diagnostics[1].pass, "sop_equivalence");
+        assert_eq!(report.diagnostics[2].severity, Severity::Warning);
     }
 
     #[test]

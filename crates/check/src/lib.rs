@@ -5,14 +5,18 @@
 //! * **Structural analysis** ([`NetworkAnalyzer`]): a configurable pass list
 //!   over any [`Network`](als_network::Network) — reference/arity
 //!   consistency, acyclicity, topological-order validity, SOP ↔
-//!   factored-form functional equivalence, and don't-care soundness —
-//!   producing a structured [`AnalysisReport`] instead of panicking.
+//!   factored-form functional equivalence, don't-care soundness, and
+//!   abstract-interpretation error-bound containment ([`Pass::ErrorBound`],
+//!   backed by [`als_absint`]) — producing a structured [`AnalysisReport`]
+//!   instead of panicking.
 //! * **Certificate audit** ([`audit_certificates`]): every accepted
 //!   approximate change records an [`ApproxCertificate`] (node, ASE, claimed
 //!   apparent error rate, §3.2) in the telemetry JSONL stream; the auditor
 //!   replays such a log and verifies the Theorem-1 inequality chain, the
-//!   per-iteration error budget, and — given the golden network — re-derives
-//!   the real error rate of the final network from the logged seed.
+//!   per-iteration error budget, containment of each claimed apparent rate
+//!   in its recorded static interval, and — given the golden network —
+//!   re-derives the real error rate of the final network from the logged
+//!   seed.
 //!
 //! The analyzer **never panics** on malformed networks: that is the point.
 //! Tooling (the `als check` CLI subcommand, CI mutation tests) relies on

@@ -76,7 +76,7 @@ pub fn generate_ases(expr: &Expr, num_fanins: usize, max_enum_literals: usize) -
     if n <= 20 {
         // Subset enumeration over literal indices.
         for mask in 1u32..(1u32 << n) {
-            let removed = mask.count_ones() as usize;
+            let removed = mask.count_ones() as usize; // lint:allow(as-cast): u32 bit index fits usize
             if removed > max_remove {
                 continue;
             }

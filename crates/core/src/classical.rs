@@ -45,6 +45,7 @@ pub fn simplify_with_dont_cares(net: &mut Network, config: &DontCareConfig) -> u
         let mut dc_tt = TruthTable::zero(k).expect("fanin count bounded"); // lint:allow(panic): variable count validated by the caller
         for v in 0..(1u64 << k) {
             if dc.is_dont_care(v as usize) {
+                // lint:allow(as-cast): local pattern index < 2^MAX_LOCAL_FANINS
                 dc_tt.set(v, true);
             }
         }

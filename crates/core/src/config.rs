@@ -75,6 +75,13 @@ pub struct AlsConfig {
     /// every iteration — an expensive but occasionally useful cross-check,
     /// guaranteed to produce identical results.
     pub cache: bool,
+    /// Whether the engine discards candidates whose *static* lower error
+    /// bound (abstract interpretation over fanin popcounts, see the
+    /// `als-absint` crate) already exceeds the
+    /// remaining budget, skipping their local-pattern gather. Pruning is
+    /// semantics-preserving: outcomes are identical with it on or off —
+    /// disabling it is a cross-check, like [`cache`](AlsConfig::cache).
+    pub prune: bool,
     /// Telemetry sinks observing the run (see [`als_telemetry`]). Disabled
     /// by default: the engine then skips event construction entirely, and
     /// results are byte-identical with any sink attached.
@@ -110,6 +117,7 @@ impl AlsConfig {
             magnitude: None,
             threads: 1,
             cache: true,
+            prune: true,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -270,6 +278,13 @@ impl AlsConfigBuilder {
         self
     }
 
+    /// Enables or disables static candidate pruning (on by default;
+    /// semantics-preserving either way).
+    pub fn prune(mut self, on: bool) -> Self {
+        self.config.prune = on;
+        self
+    }
+
     /// Attaches telemetry sinks — engine counters, phase timings and
     /// iteration records then flow to every sink in the handle. Accepts a
     /// [`Telemetry`] handle or any `Arc<impl TelemetrySink>`:
@@ -317,6 +332,7 @@ mod tests {
         assert!(c.magnitude.is_none());
         assert_eq!(c.threads, 1);
         assert!(c.cache);
+        assert!(c.prune);
         assert!(!c.telemetry.is_enabled());
     }
 

@@ -68,8 +68,8 @@ impl AlsContext {
         let mark = self.telemetry.start();
         let sim = simulate(candidate, &self.patterns);
         self.telemetry.emit(|| Event::Simulated {
-            patterns: self.patterns.num_patterns() as u64,
-            nodes: candidate.num_internal() as u64,
+            patterns: self.patterns.num_patterns() as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
+            nodes: candidate.num_internal() as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
             nanos: Telemetry::nanos_since(mark),
         });
         sim

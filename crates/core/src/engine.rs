@@ -22,6 +22,7 @@
 use crate::ase::{generate_ases, Ase};
 use crate::error_model::{apparent_error_rate, estimated_real_error_rate};
 use crate::{AlsConfig, AlsContext};
+use als_absint::{Interval, MintermBounds};
 use als_dontcare::{compute_dont_cares, window_influence, DontCares};
 use als_logic::Expr;
 use als_network::{Network, NodeId};
@@ -43,6 +44,12 @@ pub struct CandidateEval {
     /// — the single-selection score denominator. Equals `apparent` when the
     /// engine runs without don't-cares.
     pub estimate: f64,
+    /// Sound static lower bound on `apparent`, computed from fanin
+    /// popcounts alone (see [`als_absint::MintermBounds`]) before the
+    /// local-pattern gather ran.
+    pub static_lo: f64,
+    /// Sound static upper bound on `apparent`.
+    pub static_hi: f64,
 }
 
 /// Cached evaluation of one node, valid while its local function (and the
@@ -51,6 +58,12 @@ pub struct CandidateEval {
 struct NodeEntry {
     /// Hash of the node's expression and fanin list at evaluation time.
     signature: u64,
+    /// The prune budget in force when the entry was computed (`+∞` when
+    /// pruning was off): candidates whose static lower bound exceeded it
+    /// are absent, so the entry only serves refreshes with a budget no
+    /// larger. Budgets usually shrink monotonically, but a re-measure can
+    /// enlarge the margin — the cache check handles both directions.
+    prune_budget: f64,
     candidates: Vec<CandidateEval>,
 }
 
@@ -70,7 +83,21 @@ pub struct EngineStats {
     pub evaluated: usize,
     /// Node evaluations served from the cache.
     pub cache_hits: usize,
+    /// Candidates discarded by static bounds before their pricing ran.
+    pub candidates_pruned: usize,
+    /// Evaluations whose local-pattern gather was skipped entirely because
+    /// every candidate was pruned — the simulations-avoided measure.
+    pub nodes_skipped: usize,
 }
+
+/// Slack added to the pruning comparison: a candidate is discarded only
+/// when `static_lo > budget + PRUNE_EPS`. The `k ≤ 2` bounds reproduce the
+/// dynamic apparent rate bit for bit; the `k ≥ 3` Fréchet sums and the
+/// complement tightening can drift by float accumulation on the order of
+/// 1e-11, which this margin absorbs — so a pruned candidate is *always* one
+/// the dynamic path would have rejected, and outcomes with pruning on and
+/// off are identical.
+const PRUNE_EPS: f64 = 1e-9;
 
 /// Below this many pending nodes a refresh stays single-threaded: spawning
 /// scoped workers costs more than evaluating a handful of nodes.
@@ -95,8 +122,10 @@ pub struct CandidateEngine {
     needs_dont_cares: bool,
     threads: usize,
     cache_enabled: bool,
-    /// Sink handle from the config; one `EngineRefresh` event per refresh
-    /// and one `ConeInvalidated` per commit — never per-node events, so the
+    /// Sink handle from the config; one `EngineRefresh` event per refresh,
+    /// one `ConeInvalidated` per commit, and one `CandidatePruned` per
+    /// statically discarded candidate — all emitted from the coordinating
+    /// thread (pruning details merge back with the worker results), so the
     /// workers stay telemetry-free.
     telemetry: Telemetry,
     cache: CandidateCache,
@@ -105,6 +134,11 @@ pub struct CandidateEngine {
     /// flushes and re-evaluations, which keeps cache-off runs identical to
     /// cache-on runs.
     banned: HashMap<(NodeId, u64), HashSet<Expr>>,
+    /// Remaining error budget for static pruning, set by the selection loop
+    /// before each refresh (`+∞` until then, and whenever pruning cannot be
+    /// proven semantics-preserving — see
+    /// [`set_prune_budget`](CandidateEngine::set_prune_budget)).
+    prune_budget: f64,
     /// Node ids computed by the most recent refresh (diagnostics/tests).
     last_evaluated: Vec<NodeId>,
     stats: EngineStats,
@@ -123,8 +157,34 @@ impl CandidateEngine {
             telemetry: config.telemetry.clone(),
             cache: CandidateCache::default(),
             banned: HashMap::new(),
+            prune_budget: f64::INFINITY,
             last_evaluated: Vec::new(),
             stats: EngineStats::default(),
+        }
+    }
+
+    /// Sets the remaining error budget used for static candidate pruning:
+    /// a candidate whose static lower bound on the apparent error rate
+    /// exceeds it (plus a 1e-9 guard epsilon) is discarded before its local
+    /// pattern distribution is gathered. The callers pass the quantity
+    /// their own dynamic filter compares the apparent rate against
+    /// (single-selection: the margin; multi-selection: the knapsack
+    /// capacity converted back to a rate), so pruning never changes an
+    /// outcome.
+    pub fn set_prune_budget(&mut self, budget: f64) {
+        self.prune_budget = budget;
+    }
+
+    /// The budget actually applied this refresh: pruning must be enabled
+    /// and provably transparent. With don't-care pricing on, the
+    /// single-selection filter compares the *estimate* (which discards
+    /// don't-care ELIPs and can be below any sound bound on the apparent
+    /// rate), so pruning on apparent-rate bounds is disabled there.
+    fn effective_budget(&self) -> f64 {
+        if self.config.prune && !(self.needs_dont_cares && self.config.use_dont_cares) {
+            self.prune_budget
+        } else {
+            f64::INFINITY
         }
     }
 
@@ -154,18 +214,26 @@ impl CandidateEngine {
         }
         self.cache.entries.retain(|id, _| net.is_live(*id));
 
+        let budget = self.effective_budget();
         let mut hits = 0usize;
         let mut pending: Vec<(NodeId, u64)> = Vec::new();
         for id in net.internal_ids() {
             let signature = local_signature(net, id);
             match self.cache.entries.get(&id) {
-                Some(entry) if entry.signature == signature => hits += 1,
+                // A cached entry may have dropped candidates whose static
+                // lower bound exceeded *its* budget; it stays valid only for
+                // budgets at most that large (anything it pruned is still
+                // prunable). A grown budget forces re-evaluation.
+                Some(entry) if entry.signature == signature && budget <= entry.prune_budget => {
+                    hits += 1;
+                }
                 _ => pending.push((id, signature)),
             }
         }
         self.stats.cache_hits += hits;
         self.last_evaluated = pending.iter().map(|&(id, _)| id).collect();
         let evaluated = pending.len();
+        let mut nodes_skipped = 0usize;
         if !pending.is_empty() {
             self.stats.evaluated += pending.len();
 
@@ -175,16 +243,36 @@ impl CandidateEngine {
                 sim.view(),
                 &self.config,
                 self.needs_dont_cares,
+                budget,
+                self.telemetry.is_enabled(),
                 &pending,
                 self.threads,
             );
-            for (id, entry) in computed {
-                self.cache.entries.insert(id, entry);
+            // Per-candidate pruning info is collected inside the workers and
+            // emitted here, post-merge, in node-id order — so the event
+            // stream is identical for every thread count.
+            let mut pruned_events: Vec<PrunedCandidate> = Vec::new();
+            for (id, outcome) in computed {
+                self.stats.candidates_pruned += outcome.pruned_count;
+                nodes_skipped += usize::from(outcome.gather_skipped);
+                pruned_events.extend(outcome.pruned);
+                self.cache.entries.insert(id, outcome.entry);
+            }
+            self.stats.nodes_skipped += nodes_skipped;
+            for p in pruned_events {
+                self.telemetry.emit(move || Event::CandidatePruned {
+                    node: p.node,
+                    ase: p.ase,
+                    static_lo: p.static_lo,
+                    static_hi: p.static_hi,
+                    budget,
+                });
             }
         }
         self.telemetry.emit(|| Event::EngineRefresh {
-            evaluated: evaluated as u64,
-            cache_hits: hits as u64,
+            evaluated: evaluated as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
+            cache_hits: hits as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
+            nodes_skipped: nodes_skipped as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
             nanos: Telemetry::nanos_since(mark),
         });
     }
@@ -276,8 +364,8 @@ impl CandidateEngine {
             );
         }
         self.telemetry.emit(|| Event::ConeInvalidated {
-            changed: changed.len() as u64,
-            dropped: dropped as u64,
+            changed: changed.len() as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
+            dropped: dropped as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
         });
     }
 
@@ -313,29 +401,77 @@ fn local_signature(net: &Network, id: NodeId) -> u64 {
     h.finish()
 }
 
+/// Pruning details for one discarded candidate, collected in the workers
+/// (only when a telemetry sink is attached) and emitted post-merge.
+#[derive(Debug)]
+struct PrunedCandidate {
+    node: String,
+    ase: String,
+    static_lo: f64,
+    static_hi: f64,
+}
+
+/// One node's evaluation result plus its pruning side-channel.
+#[derive(Debug)]
+struct NodeOutcome {
+    entry: NodeEntry,
+    /// Candidates discarded by static bounds.
+    pruned_count: usize,
+    /// Their details, populated only when `record_pruned` was set.
+    pruned: Vec<PrunedCandidate>,
+    /// Whether the local-pattern gather was skipped because every candidate
+    /// was pruned.
+    gather_skipped: bool,
+}
+
+impl NodeOutcome {
+    fn empty(signature: u64, prune_budget: f64) -> NodeOutcome {
+        NodeOutcome {
+            entry: NodeEntry {
+                signature,
+                prune_budget,
+                candidates: Vec::new(),
+            },
+            pruned_count: 0,
+            pruned: Vec::new(),
+            gather_skipped: false,
+        }
+    }
+}
+
 /// Evaluates `pending` nodes, fanning out across scoped threads when
 /// worthwhile; results come back sorted by node id so insertion order (and
 /// thus every downstream float reduction) is independent of thread count.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_all(
     net: &Network,
     sim: SimView<'_>,
     config: &AlsConfig,
     needs_dont_cares: bool,
+    budget: f64,
+    record_pruned: bool,
     pending: &[(NodeId, u64)],
     threads: usize,
-) -> Vec<(NodeId, NodeEntry)> {
+) -> Vec<(NodeId, NodeOutcome)> {
     let workers = threads
         .min(pending.len().div_ceil(MIN_NODES_PER_WORKER))
         .max(1);
-    let mut out: Vec<(NodeId, NodeEntry)> = if workers <= 1 {
+    let eval = |id: NodeId, sig: u64| {
+        evaluate_node(
+            net,
+            sim,
+            config,
+            needs_dont_cares,
+            budget,
+            record_pruned,
+            id,
+            sig,
+        )
+    };
+    let mut out: Vec<(NodeId, NodeOutcome)> = if workers <= 1 {
         pending
             .iter()
-            .map(|&(id, sig)| {
-                (
-                    id,
-                    evaluate_node(net, sim, config, needs_dont_cares, id, sig),
-                )
-            })
+            .map(|&(id, sig)| (id, eval(id, sig)))
             .collect()
     } else {
         let next = AtomicUsize::new(0);
@@ -343,6 +479,7 @@ fn evaluate_all(
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
+                    let eval = &eval;
                     scope.spawn(move || {
                         let mut part = Vec::new();
                         loop {
@@ -352,10 +489,7 @@ fn evaluate_all(
                             }
                             let end = (start + QUEUE_CHUNK).min(pending.len());
                             for &(id, sig) in &pending[start..end] {
-                                part.push((
-                                    id,
-                                    evaluate_node(net, sim, config, needs_dont_cares, id, sig),
-                                ));
+                                part.push((id, eval(id, sig)));
                             }
                         }
                         part
@@ -372,31 +506,110 @@ fn evaluate_all(
     out
 }
 
-/// The per-node work item: ASE enumeration, local-pattern statistics,
-/// optional don't-care classification, and pricing of every candidate.
+/// Sound per-minterm bounds on the node's local pattern distribution from
+/// popcounts alone: exact for `k ≤ 2` (marginals determine one variable;
+/// marginals + one pairwise joint determine two — computed in integer
+/// counts so the division matches the simulator's gather bit for bit),
+/// Fréchet from the marginals beyond that.
+fn static_minterm_bounds(net: &Network, sim: SimView<'_>, id: NodeId) -> MintermBounds {
+    let node = net.node(id);
+    let fanins = node.fanins();
+    let total = sim.num_patterns() as u64; // lint:allow(as-cast): usize fits u64 on all supported targets
+    let counts: Vec<u64> = fanins.iter().map(|&f| sim.count_ones(f)).collect();
+    if counts.len() <= 2 {
+        let joint = if let [a, b] = fanins {
+            Some(joint_count_ones(sim, *a, *b))
+        } else {
+            None
+        };
+        if let Some(bounds) = MintermBounds::from_counts(total, &counts, joint) {
+            return bounds;
+        }
+    }
+    let marginals: Vec<Interval> = counts
+        .iter()
+        .map(|&c| Interval::point(c as f64 / total as f64)) // lint:allow(as-cast): counts << 2^52, exact in f64
+        .collect();
+    MintermBounds::from_marginals_frechet(&marginals)
+}
+
+/// How many patterns set both signals to 1 (one AND-popcount sweep).
+fn joint_count_ones(sim: SimView<'_>, a: NodeId, b: NodeId) -> u64 {
+    let wa = sim.node_words(a);
+    let wb = sim.node_words(b);
+    let mut total = 0u64;
+    for (i, (x, y)) in wa.iter().zip(wb).enumerate() {
+        let mut w = x & y;
+        if i + 1 == wa.len() {
+            w &= sim.tail_mask();
+        }
+        total += u64::from(w.count_ones());
+    }
+    total
+}
+
+/// The per-node work item: ASE enumeration, static bounding (and pruning)
+/// of every candidate, then — only if a candidate survives — local-pattern
+/// statistics, optional don't-care classification and exact pricing.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_node(
     net: &Network,
     sim: SimView<'_>,
     config: &AlsConfig,
     needs_dont_cares: bool,
+    budget: f64,
+    record_pruned: bool,
     id: NodeId,
     signature: u64,
-) -> NodeEntry {
+) -> NodeOutcome {
     let node = net.node(id);
     let k = node.fanins().len();
     if k > config.max_fanins || node.is_constant() {
-        return NodeEntry {
-            signature,
-            candidates: Vec::new(),
-        };
+        return NodeOutcome::empty(signature, budget);
     }
     let ases = generate_ases(node.expr(), k, config.max_enum_literals);
     if ases.is_empty() {
-        return NodeEntry {
-            signature,
-            candidates: Vec::new(),
+        return NodeOutcome::empty(signature, budget);
+    }
+
+    // Static bounds first: popcounts only, no per-pattern gather. An exact
+    // ASE has an empty ELIP set and a `[0, 0]`-ish interval, so it can
+    // never be pruned.
+    let bounds = static_minterm_bounds(net, sim, id);
+    let mut pruned_count = 0usize;
+    let mut pruned: Vec<PrunedCandidate> = Vec::new();
+    let mut survivors: Vec<(Ase, Interval)> = Vec::new();
+    for ase in ases {
+        let interval = bounds.set_probability(&ase.elips);
+        if interval.lo > budget + PRUNE_EPS {
+            pruned_count += 1;
+            if record_pruned {
+                pruned.push(PrunedCandidate {
+                    node: node.name().to_string(),
+                    ase: ase.expr.to_string(),
+                    static_lo: interval.lo,
+                    static_hi: interval.hi,
+                });
+            }
+        } else {
+            survivors.push((ase, interval));
+        }
+    }
+    if survivors.is_empty() {
+        // Every candidate statically infeasible: the gather (the expensive
+        // per-pattern pass) never runs for this node.
+        return NodeOutcome {
+            entry: NodeEntry {
+                signature,
+                prune_budget: budget,
+                candidates: Vec::new(),
+            },
+            pruned_count,
+            pruned,
+            gather_skipped: true,
         };
     }
+
     let probs = local_pattern_probabilities_view(net, sim, id);
     let dc = if !(needs_dont_cares && config.use_dont_cares) {
         DontCares::none(k)
@@ -406,21 +619,37 @@ fn evaluate_node(
     } else {
         compute_dont_cares(net, id, &config.dont_care)
     };
-    let candidates = ases
+    let candidates = survivors
         .into_iter()
-        .map(|ase| {
+        .map(|(ase, interval)| {
             let apparent = apparent_error_rate(&ase, &probs);
             let estimate = estimated_real_error_rate(&ase, &probs, &dc);
+            // Suite-wide soundness invariant, compiled out of release
+            // builds: the dynamic apparent rate must sit inside its static
+            // interval (up to pruning slack).
+            debug_assert!(
+                interval.contains_with_tol(apparent, PRUNE_EPS),
+                "apparent rate {apparent} of {} escapes its static interval {interval}",
+                node.name()
+            );
             CandidateEval {
                 ase,
                 apparent,
                 estimate,
+                static_lo: interval.lo,
+                static_hi: interval.hi,
             }
         })
         .collect();
-    NodeEntry {
-        signature,
-        candidates,
+    NodeOutcome {
+        entry: NodeEntry {
+            signature,
+            prune_budget: budget,
+            candidates,
+        },
+        pruned_count,
+        pruned,
+        gather_skipped: false,
     }
 }
 

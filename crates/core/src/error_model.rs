@@ -18,7 +18,7 @@ impl NodeErrorAnalysis {
     /// the configuration used by the multi-selection algorithm's apparent
     /// error rates, and the ablation switch for the single-selection one.
     pub fn without_dont_cares(pattern_probs: Vec<f64>) -> Self {
-        let k = pattern_probs.len().trailing_zeros() as usize;
+        let k = pattern_probs.len().trailing_zeros() as usize; // lint:allow(as-cast): u32 bit index fits usize
         NodeErrorAnalysis {
             pattern_probs,
             dont_cares: DontCares::none(k),
@@ -35,7 +35,7 @@ impl NodeErrorAnalysis {
 pub fn apparent_error_rate(ase: &Ase, pattern_probs: &[f64]) -> f64 {
     ase.elips
         .minterms()
-        .map(|m| pattern_probs[m as usize])
+        .map(|m| pattern_probs[m as usize]) // lint:allow(as-cast): minterm index < 2^MAX_LOCAL_FANINS
         .sum()
 }
 
@@ -51,8 +51,8 @@ pub fn apparent_error_rate(ase: &Ase, pattern_probs: &[f64]) -> f64 {
 pub fn estimated_real_error_rate(ase: &Ase, pattern_probs: &[f64], dont_cares: &DontCares) -> f64 {
     ase.elips
         .minterms()
-        .filter(|&m| !dont_cares.is_dont_care(m as usize))
-        .map(|m| pattern_probs[m as usize])
+        .filter(|&m| !dont_cares.is_dont_care(m as usize)) // lint:allow(as-cast): minterm index < 2^MAX_LOCAL_FANINS
+        .map(|m| pattern_probs[m as usize]) // lint:allow(as-cast): minterm index < 2^MAX_LOCAL_FANINS
         .sum()
 }
 
@@ -63,7 +63,7 @@ pub fn score(literals_saved: usize, error_estimate: f64) -> f64 {
     if error_estimate <= 0.0 {
         f64::INFINITY
     } else {
-        literals_saved as f64 / error_estimate
+        literals_saved as f64 / error_estimate // lint:allow(as-cast): counts << 2^52, exact in f64
     }
 }
 

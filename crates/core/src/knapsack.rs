@@ -119,7 +119,7 @@ pub fn solve(items: &[KnapsackItem], capacity: u64, filter_dominated: bool) -> K
         for j in 0..width {
             let mut best = m[(i - 1) * width + j]; // skip item i
             for &(_, s) in &filtered[i - 1] {
-                let w = s.weight as usize;
+                let w = s.weight as usize; // lint:allow(as-cast): weight <= capacity, which indexes the DP table
                 if w <= j {
                     best = best.max(m[(i - 1) * width + (j - w)] + s.value);
                 }
@@ -140,20 +140,20 @@ pub fn solve(items: &[KnapsackItem], capacity: u64, filter_dominated: bool) -> K
         let (orig_idx, s) = filtered[i - 1]
             .iter()
             .find(|(_, s)| {
-                let w = s.weight as usize;
+                let w = s.weight as usize; // lint:allow(as-cast): weight <= capacity, which indexes the DP table
                 w <= j && m[(i - 1) * width + (j - w)] + s.value == here
             })
             .expect("DP cell must be explained by some state"); // lint:allow(panic): internal invariant; the message states it
         choices[i - 1] = Some(*orig_idx);
         total_weight += s.weight;
-        j -= s.weight as usize;
+        j -= s.weight as usize; // lint:allow(as-cast): weight <= capacity, which indexes the DP table
     }
 
     KnapsackSolution {
         total_value: m[n * width + cap],
         total_weight,
         choices,
-        dp_cells: (n * width) as u64,
+        dp_cells: (n * width) as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
     }
 }
 
@@ -191,7 +191,7 @@ pub fn error_rate_scale(threshold: f64) -> f64 {
 
 /// Scales a real-valued error rate to an integer knapsack weight.
 pub fn scale_weight(error_rate: f64, scale: f64) -> u64 {
-    (error_rate * scale).round() as u64
+    (error_rate * scale).round() as u64 // lint:allow(as-cast): rounded non-negative value <= scale = 1e4
 }
 
 /// Exhaustive reference solver for testing (exponential; keep inputs tiny).

@@ -103,23 +103,34 @@ pub(crate) fn multi_selection_with_context(
             break;
         }
         let iter_mark = config.telemetry.start();
-        // Collect the candidate items: every eligible node with its ASEs.
+        // Static pruning budget: a candidate with apparent rate above
+        // `(capacity + 0.5) / scale` scales-and-rounds to a knapsack weight
+        // of at least `capacity + 1`, which no solution can pack — so
+        // pruning on a sound lower bound above that budget cannot change
+        // the solve (the capacity-halving retry below only shrinks the
+        // capacity, keeping pruned candidates infeasible).
+        let initial_capacity = scale_weight(margin.max(0.0), scale);
+        engine.set_prune_budget((initial_capacity as f64 + 0.5) / scale); // lint:allow(as-cast): capacity ≤ scale = 1e4, exactly representable in f64
+                                                                          // Collect the candidate items: every eligible node with its ASEs.
         engine.refresh(&current, &ctx);
         let mut nodes: Vec<NodeId> = Vec::new();
         let mut ase_store: Vec<Vec<Ase>> = Vec::new();
         let mut rate_store: Vec<Vec<f64>> = Vec::new();
+        let mut bounds_store: Vec<Vec<(f64, f64)>> = Vec::new();
         let mut items: Vec<KnapsackItem> = Vec::new();
         for id in engine.node_ids() {
             let mut ases: Vec<Ase> = Vec::new();
             let mut rates: Vec<f64> = Vec::new();
+            let mut bounds: Vec<(f64, f64)> = Vec::new();
             let mut states: Vec<KnapsackState> = Vec::new();
             for cand in engine.candidates(id) {
                 states.push(KnapsackState {
                     weight: scale_weight(cand.apparent, scale),
-                    value: cand.ase.literals_saved as u64,
+                    value: cand.ase.literals_saved as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
                 });
                 ases.push(cand.ase.clone());
                 rates.push(cand.apparent);
+                bounds.push((cand.static_lo, cand.static_hi));
             }
             if ases.is_empty() {
                 continue;
@@ -127,18 +138,19 @@ pub(crate) fn multi_selection_with_context(
             nodes.push(id);
             ase_store.push(ases);
             rate_store.push(rates);
+            bounds_store.push(bounds);
             items.push(KnapsackItem { states });
         }
         if items.is_empty() {
             break;
         }
 
-        let mut capacity = scale_weight(margin.max(0.0), scale);
+        let mut capacity = initial_capacity;
         loop {
             let dp_mark = config.telemetry.start();
             let solution = knapsack::solve(&items, capacity, true);
             config.telemetry.emit(|| Event::KnapsackSolved {
-                items: items.len() as u64,
+                items: items.len() as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
                 capacity,
                 dp_cells: solution.dp_cells,
                 nanos: Telemetry::nanos_since(dp_mark),
@@ -150,6 +162,7 @@ pub(crate) fn multi_selection_with_context(
             // Apply the batch.
             let snapshot = current.clone();
             let mut changes: Vec<SelectedChange> = Vec::new();
+            let mut change_bounds: Vec<(f64, f64)> = Vec::new();
             let mut batch: Vec<NodeId> = Vec::new();
             for ((idx, choice), id) in solution.choices.iter().enumerate().zip(&nodes) {
                 let Some(state) = choice else { continue };
@@ -161,6 +174,7 @@ pub(crate) fn multi_selection_with_context(
                     error_estimate: rate_store[idx][*state],
                     apparent: rate_store[idx][*state],
                 });
+                change_bounds.push(bounds_store[idx][*state]);
                 apply_ase(&mut current, *id, ase);
                 batch.push(*id);
             }
@@ -191,13 +205,15 @@ pub(crate) fn multi_selection_with_context(
             margin = config.threshold - error_rate;
             let literals_after = current.literal_count();
             let num_changes = changes.len();
-            for change in &changes {
+            for (change, &(lo, hi)) in changes.iter().zip(&change_bounds) {
                 config.telemetry.emit(|| Event::ChangeCommitted {
-                    iteration: iteration as u64,
+                    iteration: iteration as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
                     node: change.node_name.clone(),
                     ase: change.ase.clone(),
-                    literals_saved: change.literals_saved as u64,
+                    literals_saved: change.literals_saved as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
                     apparent: change.apparent,
+                    static_lo: Some(lo),
+                    static_hi: Some(hi),
                 });
             }
             iterations.push(IterationRecord {
@@ -207,9 +223,9 @@ pub(crate) fn multi_selection_with_context(
                 error_rate_after: error_rate,
             });
             config.telemetry.emit(|| Event::IterationEnd {
-                iteration: iteration as u64,
-                changes: num_changes as u64,
-                literals: literals_after as u64,
+                iteration: iteration as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
+                changes: num_changes as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
+                literals: literals_after as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
                 error_rate,
                 nanos: Telemetry::nanos_since(iter_mark),
             });
@@ -220,10 +236,10 @@ pub(crate) fn multi_selection_with_context(
     debug_assert!(current.check().is_ok());
     let final_literals = current.literal_count();
     config.telemetry.emit(|| Event::RunEnd {
-        iterations: iterations.len() as u64,
-        literals: final_literals as u64,
+        iterations: iterations.len() as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
+        literals: final_literals as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
         error_rate,
-        nanos: start.elapsed().as_nanos() as u64,
+        nanos: start.elapsed().as_nanos() as u64, // lint:allow(as-cast): run duration << 584 years
     });
     AlsOutcome {
         final_literals,

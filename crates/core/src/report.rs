@@ -66,7 +66,7 @@ impl AlsOutcome {
         if self.initial_literals == 0 {
             1.0
         } else {
-            self.final_literals as f64 / self.initial_literals as f64
+            self.final_literals as f64 / self.initial_literals as f64 // lint:allow(as-cast): counts << 2^52, exact in f64
         }
     }
 

@@ -108,18 +108,21 @@ pub(crate) fn sasimi_with_context(
             // A substitution flips an output only on a vector where target
             // and substitute disagree, so the pairwise difference rate is
             // this change's apparent rate in the Theorem-1 sense.
-            let apparent = cand.difference as f64 / ctx.patterns().num_patterns() as f64;
+            let apparent = cand.difference as f64 / ctx.patterns().num_patterns() as f64; // lint:allow(as-cast): counts << 2^52, exact in f64
             debug_assert!(
                 trial.check().is_ok(),
                 "network inconsistent after sasimi substitution: {:?}",
                 trial.check()
             );
             config.telemetry.emit(|| Event::ChangeCommitted {
-                iteration: iteration as u64,
+                iteration: iteration as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
                 node: description.clone(),
                 ase: String::from("substitution"),
-                literals_saved: saved as u64,
+                literals_saved: saved as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
                 apparent,
+                // SASIMI's pairwise search never runs the static analysis.
+                static_lo: None,
+                static_hi: None,
             });
             iterations.push(IterationRecord {
                 iteration,
@@ -136,9 +139,9 @@ pub(crate) fn sasimi_with_context(
             current = trial;
             committed = true;
             config.telemetry.emit(|| Event::IterationEnd {
-                iteration: iteration as u64,
+                iteration: iteration as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
                 changes: 1,
-                literals: literals_after as u64,
+                literals: literals_after as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
                 error_rate,
                 nanos: Telemetry::nanos_since(iter_mark),
             });
@@ -152,10 +155,10 @@ pub(crate) fn sasimi_with_context(
     debug_assert!(current.check().is_ok());
     let final_literals = current.literal_count();
     config.telemetry.emit(|| Event::RunEnd {
-        iterations: iterations.len() as u64,
-        literals: final_literals as u64,
+        iterations: iterations.len() as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
+        literals: final_literals as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
         error_rate,
-        nanos: start.elapsed().as_nanos() as u64,
+        nanos: start.elapsed().as_nanos() as u64, // lint:allow(as-cast): run duration << 584 years
     });
     AlsOutcome {
         final_literals,
@@ -172,8 +175,8 @@ pub(crate) fn sasimi_with_context(
 /// every ordered signal pair (in both phases) and the two constants.
 fn generate_candidates(net: &Network, ctx: &AlsContext, margin: f64) -> Vec<Candidate> {
     let sim = ctx.simulate(net);
-    let num_patterns = ctx.patterns().num_patterns() as u64;
-    let allowed = (margin * num_patterns as f64).floor() as u64;
+    let num_patterns = ctx.patterns().num_patterns() as u64; // lint:allow(as-cast): usize fits u64 on all supported targets
+    let allowed = (margin * num_patterns as f64).floor() as u64; // lint:allow(as-cast): margin >= 0 and the product <= num_patterns
 
     let targets: Vec<NodeId> = net
         .internal_ids()
@@ -241,11 +244,11 @@ fn generate_candidates(net: &Network, ctx: &AlsContext, margin: f64) -> Vec<Cand
 }
 
 fn score(freed: usize, diff: u64, num_patterns: u64) -> f64 {
-    let rate = diff as f64 / num_patterns as f64;
+    let rate = diff as f64 / num_patterns as f64; // lint:allow(as-cast): counts << 2^52, exact in f64
     if rate <= 0.0 {
         f64::INFINITY
     } else {
-        freed as f64 / rate
+        freed as f64 / rate // lint:allow(as-cast): counts << 2^52, exact in f64
     }
 }
 

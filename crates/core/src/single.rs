@@ -1,7 +1,7 @@
 //! The single-selection algorithm (paper Algorithm 1).
 
 use crate::ase::{Ase, AseKind};
-use crate::engine::CandidateEngine;
+use crate::engine::{CandidateEngine, CandidateEval};
 use crate::error_model::score;
 use crate::report::{AlsOutcome, IterationRecord, SelectedChange};
 use crate::{preprocess, AlsConfig, AlsContext};
@@ -104,23 +104,28 @@ pub(crate) fn single_selection_with_context(
             break;
         }
         let iter_mark = config.telemetry.start();
+        // The engine's static pruning may discard candidates whose sound
+        // lower bound on the apparent rate exceeds the margin — exactly the
+        // ones `best_candidate` would filter (when estimates equal apparent
+        // rates; the engine disables pruning otherwise).
+        engine.set_prune_budget(margin);
         engine.refresh(&current, &ctx);
-        let Some((node, ase, estimate, apparent)) = best_candidate(&engine, margin) else {
+        let Some((node, cand)) = best_candidate(&engine, margin) else {
             break;
         };
         let snapshot = current.clone();
         let node_name = current.node(node).name().to_string();
-        let ase_display = ase.expr.to_string();
-        let literals_saved = ase.literals_saved;
+        let ase_display = cand.ase.expr.to_string();
+        let literals_saved = cand.ase.literals_saved;
 
-        apply_ase(&mut current, node, &ase);
+        apply_ase(&mut current, node, &cand.ase);
 
         let Some(new_error_rate) = ctx.accepts(&current, config) else {
             current = snapshot;
             if config.magnitude.is_some() {
                 // Magnitude violations are routine (the estimate does not
                 // model them): suppress this candidate and keep searching.
-                engine.ban(&current, node, &ase.expr);
+                engine.ban(&current, node, &cand.ase.expr);
                 continue;
             }
             // A pure rate violation is unreachable in practice (the estimate
@@ -144,11 +149,13 @@ pub(crate) fn single_selection_with_context(
         margin = config.threshold - error_rate;
         let literals_after = current.literal_count();
         config.telemetry.emit(|| Event::ChangeCommitted {
-            iteration: iteration as u64,
+            iteration: iteration as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
             node: node_name.clone(),
             ase: ase_display.clone(),
-            literals_saved: literals_saved as u64,
-            apparent,
+            literals_saved: literals_saved as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
+            apparent: cand.apparent,
+            static_lo: Some(cand.static_lo),
+            static_hi: Some(cand.static_hi),
         });
         iterations.push(IterationRecord {
             iteration,
@@ -156,16 +163,16 @@ pub(crate) fn single_selection_with_context(
                 node_name,
                 ase: ase_display,
                 literals_saved,
-                error_estimate: estimate,
-                apparent,
+                error_estimate: cand.estimate,
+                apparent: cand.apparent,
             }],
             literals_after,
             error_rate_after: error_rate,
         });
         config.telemetry.emit(|| Event::IterationEnd {
-            iteration: iteration as u64,
+            iteration: iteration as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
             changes: 1,
-            literals: literals_after as u64,
+            literals: literals_after as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
             error_rate,
             nanos: Telemetry::nanos_since(iter_mark),
         });
@@ -178,10 +185,10 @@ pub(crate) fn single_selection_with_context(
     debug_assert!(current.check().is_ok());
     let final_literals = current.literal_count();
     config.telemetry.emit(|| Event::RunEnd {
-        iterations: iterations.len() as u64,
-        literals: final_literals as u64,
+        iterations: iterations.len() as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
+        literals: final_literals as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
         error_rate,
-        nanos: start.elapsed().as_nanos() as u64,
+        nanos: start.elapsed().as_nanos() as u64, // lint:allow(as-cast): run duration << 584 years
     });
     AlsOutcome {
         final_literals,
@@ -196,9 +203,8 @@ pub(crate) fn single_selection_with_context(
 
 /// Picks the highest-scoring feasible (estimate ≤ margin) engine candidate.
 /// Ties in score break toward more saved literals, then lower node ids.
-/// Returns `(node, ase, estimate, apparent)`.
-fn best_candidate(engine: &CandidateEngine, margin: f64) -> Option<(NodeId, Ase, f64, f64)> {
-    let mut best: Option<(NodeId, &Ase, f64, f64, f64)> = None;
+fn best_candidate(engine: &CandidateEngine, margin: f64) -> Option<(NodeId, CandidateEval)> {
+    let mut best: Option<(NodeId, &CandidateEval, f64)> = None;
     for id in engine.node_ids() {
         for cand in engine.candidates(id) {
             if cand.estimate > margin {
@@ -207,17 +213,17 @@ fn best_candidate(engine: &CandidateEngine, margin: f64) -> Option<(NodeId, Ase,
             let s = score(cand.ase.literals_saved, cand.estimate);
             let better = match &best {
                 None => true,
-                Some((_, b_ase, _, _, b_score)) => {
+                Some((_, b, b_score)) => {
                     s > *b_score
-                        || (s == *b_score && cand.ase.literals_saved > b_ase.literals_saved)
+                        || (s == *b_score && cand.ase.literals_saved > b.ase.literals_saved)
                 }
             };
             if better {
-                best = Some((id, &cand.ase, cand.estimate, cand.apparent, s));
+                best = Some((id, cand, s));
             }
         }
     }
-    best.map(|(id, ase, est, app, _)| (id, ase.clone(), est, app))
+    best.map(|(id, cand, _)| (id, cand.clone()))
 }
 
 /// Applies an ASE to the network.

@@ -273,7 +273,7 @@ fn enumerate(net: &Network, window: &Window, k: usize) -> DontCares {
         let obs = obs_mask[wi];
         let mut bits = valid;
         while bits != 0 {
-            let b = bits.trailing_zeros() as usize;
+            let b = bits.trailing_zeros() as usize; // lint:allow(as-cast): u32 bit index fits usize
             bits &= bits - 1;
             let mut v = 0usize;
             for (i, c) in cols.iter().enumerate() {

@@ -42,7 +42,7 @@ impl Cube {
     /// masks.
     pub fn from_masks(pos: u64, neg: u64) -> Result<Self, LogicError> {
         if pos & neg != 0 {
-            let var = (pos & neg).trailing_zeros() as usize;
+            let var = (pos & neg).trailing_zeros() as usize; // lint:allow(as-cast): u32 bit index fits usize
             return Err(LogicError::ContradictoryCube { var });
         }
         Ok(Cube { pos, neg })
@@ -97,7 +97,7 @@ impl Cube {
     /// The number of literals in this cube.
     #[inline]
     pub fn literal_count(&self) -> usize {
-        (self.pos.count_ones() + self.neg.count_ones()) as usize
+        (self.pos.count_ones() + self.neg.count_ones()) as usize // lint:allow(as-cast): u32 bit index fits usize
     }
 
     /// Whether this is the universal (empty-product) cube.
@@ -127,7 +127,7 @@ impl Cube {
             if mask == 0 {
                 return None;
             }
-            let var = mask.trailing_zeros() as usize;
+            let var = mask.trailing_zeros() as usize; // lint:allow(as-cast): u32 bit index fits usize
             mask &= mask - 1;
             Some((var, pos >> var & 1 == 1))
         })
@@ -164,7 +164,7 @@ impl Cube {
     /// Distance 0 means the cubes intersect; distance 1 means they can be
     /// merged by the consensus rule.
     pub fn distance(&self, other: &Cube) -> usize {
-        ((self.pos & other.neg) | (self.neg & other.pos)).count_ones() as usize
+        ((self.pos & other.neg) | (self.neg & other.pos)).count_ones() as usize // lint:allow(as-cast): u32 bit index fits usize
     }
 
     /// The smallest cube containing both inputs (bitwise literal

@@ -268,7 +268,7 @@ impl Expr {
     /// expression mentions a variable `>= num_vars`.
     pub fn try_to_truth_table(&self, num_vars: usize) -> Result<TruthTable, LogicError> {
         if num_vars < 64 && self.support_mask() >> num_vars != 0 {
-            let var = (self.support_mask() >> num_vars).trailing_zeros() as usize + num_vars;
+            let var = (self.support_mask() >> num_vars).trailing_zeros() as usize + num_vars; // lint:allow(as-cast): u32 bit index fits usize
             return Err(LogicError::VarOutOfRange { var, num_vars });
         }
         match self {

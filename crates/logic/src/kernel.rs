@@ -101,6 +101,7 @@ fn kernels_rec(f: &Cover, cokernel_so_far: Cube, min_var: usize, out: &mut Vec<K
             // Standard pruning: if the common cube touches a variable below
             // `var`, this kernel was (or will be) found from that variable.
             if !common.is_universe() && (common.support_mask().trailing_zeros() as usize) < var {
+                // lint:allow(as-cast): u32 bit index fits usize
                 continue;
             }
             out.push(Kernel {

@@ -204,6 +204,7 @@ impl TruthTable {
     pub fn get(&self, m: u64) -> bool {
         assert!(m < self.num_minterms(), "minterm {m} out of range");
         self.words[(m as usize) / WORD_BITS] >> (m as usize % WORD_BITS) & 1 == 1
+        // lint:allow(as-cast): minterm index < num_bits <= 2^MAX_TT_VARS
     }
 
     /// Sets the value of the function at minterm `m`.
@@ -214,8 +215,8 @@ impl TruthTable {
     #[inline]
     pub fn set(&mut self, m: u64, value: bool) {
         assert!(m < self.num_minterms(), "minterm {m} out of range");
-        let bit = 1u64 << (m as usize % WORD_BITS);
-        let w = &mut self.words[(m as usize) / WORD_BITS];
+        let bit = 1u64 << (m as usize % WORD_BITS); // lint:allow(as-cast): minterm index < num_bits <= 2^MAX_TT_VARS
+        let w = &mut self.words[(m as usize) / WORD_BITS]; // lint:allow(as-cast): minterm index < num_bits <= 2^MAX_TT_VARS
         if value {
             *w |= bit;
         } else {
@@ -467,6 +468,7 @@ impl fmt::Debug for TruthTable {
         if self.num_vars <= 6 {
             let bits = 1usize << self.num_vars;
             for m in (0..bits as u64).rev() {
+                // lint:allow(as-cast): usize fits u64 on all supported targets
                 write!(f, "{}", u8::from(self.get(m)))?;
             }
         } else {

@@ -14,7 +14,9 @@
 //! * structural clean-up: [`Network::sweep`], constant propagation,
 //!   node substitution;
 //! * BLIF import/export ([`blif`]);
-//! * consistency checking ([`Network::check`]).
+//! * consistency checking ([`Network::check`]);
+//! * structural analyses for static reasoning: output-dominator trees,
+//!   reconvergent-fanout detection, TFO-cone extraction ([`structure`]).
 //!
 //! # Example
 //!
@@ -58,6 +60,7 @@ mod ops;
 
 pub mod blif;
 pub mod dot;
+pub mod structure;
 #[doc(hidden)]
 pub mod testing;
 

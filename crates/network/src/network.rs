@@ -179,7 +179,7 @@ impl Network {
         self.nodes
             .iter()
             .enumerate()
-            .filter_map(|(i, n)| n.as_ref().map(|_| NodeId(i as u32)))
+            .filter_map(|(i, n)| n.as_ref().map(|_| NodeId(i as u32))) // lint:allow(as-cast): arena size < 2^32 (NodeId is u32)
     }
 
     /// Iterates over live internal (non-PI) node ids in arena order.
@@ -187,7 +187,7 @@ impl Network {
         self.nodes.iter().enumerate().filter_map(|(i, n)| {
             n.as_ref()
                 .filter(|n| n.kind == NodeKind::Internal)
-                .map(|_| NodeId(i as u32))
+                .map(|_| NodeId(i as u32)) // lint:allow(as-cast): arena size < 2^32 (NodeId is u32)
         })
     }
 

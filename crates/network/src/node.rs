@@ -12,7 +12,7 @@ impl NodeId {
     /// The raw index of the node in the network's arena.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        self.0 as usize // lint:allow(as-cast): u32 index fits usize on all supported targets
     }
 }
 

@@ -108,8 +108,8 @@ impl Network {
                 if users.is_empty() {
                     return false;
                 }
-                let lits = self.node(id).literal_count() as i64;
-                let n_out = users.len() as i64;
+                let lits = self.node(id).literal_count() as i64; // lint:allow(as-cast): counts << 2^63
+                let n_out = users.len() as i64; // lint:allow(as-cast): counts << 2^63
                 let value = lits * n_out - lits - n_out;
                 value < threshold
             });

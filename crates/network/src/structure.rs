@@ -1,0 +1,347 @@
+//! Structural analyses over the fanout DAG: output-dominator trees,
+//! reconvergent-fanout detection, and TFO-cone extraction.
+//!
+//! These passes are purely structural (no simulation, no functional
+//! reasoning) and exist to sharpen *other* static analyses:
+//!
+//! * [`OutputDominators`] — the immediate-dominator tree of the fanout DAG
+//!   in the node→output direction (post-dominators with a virtual sink
+//!   consuming every primary output). If `d` dominates `v`, every
+//!   error that originates at `v` and reaches any output must pass
+//!   through `d`, so an error bound established at `d` caps every
+//!   output's error contribution from `v`.
+//! * [`reconvergent_sources`] — nodes whose fanout branches meet again
+//!   downstream. Signals inside a reconvergent region are correlated even
+//!   when the primary inputs are independent, so an abstract interpreter
+//!   must not use the independence product rule across them (the
+//!   worst-case Fréchet bounds stay sound).
+//! * [`tfo_cone`] — the transitive-fanout cone of a node in topological
+//!   order, so a local-change analysis can restrict propagation to the
+//!   cone instead of the whole network.
+
+use crate::{Network, NodeId};
+
+/// During the dominator walk a node's current dominator candidate is either
+/// a real node or the virtual sink behind the primary outputs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Cand {
+    Node(NodeId),
+    Sink,
+}
+
+/// The immediate-dominator tree of the fanout DAG toward the primary
+/// outputs.
+///
+/// Built with the Cooper–Harvey–Kennedy intersection scheme on the
+/// reversed graph; because the network is a DAG, one pass in reverse
+/// topological order reaches the fixed point.
+#[derive(Clone, Debug)]
+pub struct OutputDominators {
+    /// Arena-indexed immediate dominator. `None` means the node's paths to
+    /// the outputs share no later node (only the virtual sink), or the node
+    /// cannot reach an output at all — distinguish with `reaches_output`.
+    idom: Vec<Option<NodeId>>,
+    /// Arena-indexed: whether the node lies on some path to a primary
+    /// output (drives one directly or transitively).
+    reaches_output: Vec<bool>,
+}
+
+impl OutputDominators {
+    /// Computes the dominator tree of `net`'s fanout DAG.
+    pub fn compute(net: &Network) -> OutputDominators {
+        let fanouts = net.fanouts();
+        let arena = fanouts.len();
+        let order = net.topo_order();
+        let mut rank = vec![0usize; arena];
+        for (pos, id) in order.iter().enumerate() {
+            rank[id.index()] = pos + 1;
+        }
+        let mut drives_po = vec![false; arena];
+        for (_, id) in net.pos() {
+            drives_po[id.index()] = true;
+        }
+
+        let mut idom: Vec<Option<NodeId>> = vec![None; arena];
+        let mut reaches = vec![false; arena];
+
+        // Walks one step up the dominator chain; `None` stands for Sink.
+        let up = |c: Cand, idom: &[Option<NodeId>]| -> Cand {
+            match c {
+                Cand::Node(n) => idom[n.index()].map_or(Cand::Sink, Cand::Node),
+                Cand::Sink => Cand::Sink,
+            }
+        };
+        let rank_of = |c: Cand, rank: &[usize]| -> usize {
+            match c {
+                Cand::Node(n) => rank[n.index()],
+                Cand::Sink => usize::MAX,
+            }
+        };
+
+        for &v in order.iter().rev() {
+            let i = v.index();
+            let mut current: Option<Cand> = if drives_po[i] { Some(Cand::Sink) } else { None };
+            for &f in &fanouts[i] {
+                if !reaches[f.index()] {
+                    continue; // dead branch: cannot carry anything to an output
+                }
+                let mut a = Cand::Node(f);
+                match current {
+                    None => current = Some(a),
+                    Some(mut b) => {
+                        // Standard two-finger intersection on ranks; the
+                        // sink outranks every node.
+                        while a != b {
+                            if rank_of(a, &rank) < rank_of(b, &rank) {
+                                a = up(a, &idom);
+                            } else {
+                                b = up(b, &idom);
+                            }
+                        }
+                        current = Some(a);
+                    }
+                }
+            }
+            match current {
+                Some(Cand::Node(d)) => {
+                    idom[i] = Some(d);
+                    reaches[i] = true;
+                }
+                Some(Cand::Sink) => {
+                    idom[i] = None;
+                    reaches[i] = true;
+                }
+                None => {
+                    idom[i] = None;
+                    reaches[i] = false;
+                }
+            }
+        }
+
+        OutputDominators {
+            idom,
+            reaches_output: reaches,
+        }
+    }
+
+    /// The immediate dominator of `id` toward the outputs, or `None` when
+    /// no single node dominates it (or it is dead logic — see
+    /// [`OutputDominators::reaches_output`]).
+    pub fn idom(&self, id: NodeId) -> Option<NodeId> {
+        self.idom[id.index()]
+    }
+
+    /// Whether `id` lies on some path to a primary output.
+    pub fn reaches_output(&self, id: NodeId) -> bool {
+        self.reaches_output[id.index()]
+    }
+
+    /// The dominator chain of `id`, nearest first, excluding `id` itself
+    /// and the virtual sink.
+    pub fn chain(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.idom(id);
+        while let Some(d) = cur {
+            out.push(d);
+            cur = self.idom(d);
+        }
+        out
+    }
+
+    /// Whether every path from `id` to any primary output passes through
+    /// `dom` (`id` never dominates itself here).
+    pub fn dominates(&self, dom: NodeId, id: NodeId) -> bool {
+        self.chain(id).contains(&dom)
+    }
+}
+
+/// Arena-indexed flags: `true` for nodes whose fanout branches reconverge —
+/// two distinct immediate fanouts reach a common downstream node.
+///
+/// Downstream of such a node, signal values are correlated regardless of
+/// input independence; an abstract interpreter must use worst-case (Fréchet)
+/// combination there instead of the independence product rule.
+pub fn reconvergent_sources(net: &Network) -> Vec<bool> {
+    let fanouts = net.fanouts();
+    let arena = fanouts.len();
+    let words = arena.div_ceil(64);
+    // reach[i] = bitset over arena positions reachable from node i
+    // (including i itself). Built bottom-up in reverse topological order.
+    let mut reach = vec![vec![0u64; words]; arena];
+    let order = net.topo_order();
+    for &v in order.iter().rev() {
+        let i = v.index();
+        reach[i][i / 64] |= 1u64 << (i % 64);
+        for &f in &fanouts[i] {
+            let row = reach[f.index()].clone();
+            for (dst, src) in reach[i].iter_mut().zip(&row) {
+                *dst |= src;
+            }
+        }
+    }
+    let mut out = vec![false; arena];
+    for id in net.node_ids() {
+        let fs = &fanouts[id.index()];
+        'pairs: for (a, &fa) in fs.iter().enumerate() {
+            for &fb in &fs[a + 1..] {
+                if fa == fb
+                    || reach[fa.index()]
+                        .iter()
+                        .zip(&reach[fb.index()])
+                        .any(|(x, y)| x & y != 0)
+                {
+                    out[id.index()] = true;
+                    break 'pairs;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The transitive-fanout cone of `id` (including `id` itself) in
+/// topological order — the exact node set a local-change analysis must
+/// propagate through.
+pub fn tfo_cone(net: &Network, id: NodeId) -> Vec<NodeId> {
+    let mask = net.tfo_mask(id);
+    net.topo_order()
+        .into_iter()
+        .filter(|n| mask[n.index()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_logic::{Cover, Cube};
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::from_literals(lits).unwrap()
+    }
+
+    fn buf(var: usize, num_vars: usize) -> Cover {
+        Cover::from_cubes(num_vars, [cube(&[(var, true)])])
+    }
+
+    /// a → b → c → PO (a simple chain).
+    fn chain_net() -> (Network, [NodeId; 4]) {
+        let mut net = Network::new("chain");
+        let x = net.add_pi("x");
+        let a = net.add_node("a", vec![x], buf(0, 1));
+        let b = net.add_node("b", vec![a], buf(0, 1));
+        let c = net.add_node("c", vec![b], buf(0, 1));
+        net.add_po("out", c);
+        (net, [x, a, b, c])
+    }
+
+    /// x → a → {s, t} → u → PO (the classic reconvergent diamond).
+    fn diamond_net() -> (Network, [NodeId; 5]) {
+        let mut net = Network::new("diamond");
+        let x = net.add_pi("x");
+        let a = net.add_node("a", vec![x], buf(0, 1));
+        let s = net.add_node("s", vec![a], buf(0, 1));
+        let t = net.add_node(
+            "t",
+            vec![a],
+            Cover::from_cubes(1, [cube(&[(0, false)])]), // t = ¬a
+        );
+        let u = net.add_node(
+            "u",
+            vec![s, t],
+            Cover::from_cubes(2, [cube(&[(0, true), (1, true)])]), // u = s·t
+        );
+        net.add_po("out", u);
+        (net, [x, a, s, t, u])
+    }
+
+    #[test]
+    fn chain_dominators_follow_the_chain() {
+        let (net, [x, a, b, c]) = chain_net();
+        let dom = OutputDominators::compute(&net);
+        assert_eq!(dom.idom(x), Some(a));
+        assert_eq!(dom.idom(a), Some(b));
+        assert_eq!(dom.idom(b), Some(c));
+        assert_eq!(dom.idom(c), None);
+        assert!(dom.reaches_output(c));
+        assert_eq!(dom.chain(x), vec![a, b, c]);
+        assert!(dom.dominates(c, x));
+        assert!(!dom.dominates(x, c));
+    }
+
+    #[test]
+    fn diamond_reconverges_at_the_merge_node() {
+        let (net, [x, a, s, t, u]) = diamond_net();
+        let dom = OutputDominators::compute(&net);
+        // Both branches of `a` meet again at `u`.
+        assert_eq!(dom.idom(a), Some(u));
+        assert_eq!(dom.idom(s), Some(u));
+        assert_eq!(dom.idom(t), Some(u));
+        assert_eq!(dom.idom(x), Some(a));
+        assert_eq!(dom.idom(u), None);
+
+        let recon = reconvergent_sources(&net);
+        assert!(recon[a.index()], "a fans out to s and t which reconverge");
+        assert!(!recon[s.index()]);
+        assert!(!recon[t.index()]);
+        assert!(!recon[u.index()]);
+        assert!(!recon[x.index()]);
+    }
+
+    #[test]
+    fn multiple_outputs_leave_only_the_sink_in_common() {
+        let mut net = Network::new("fork");
+        let x = net.add_pi("x");
+        let a = net.add_node("a", vec![x], buf(0, 1));
+        let p = net.add_node("p", vec![a], buf(0, 1));
+        let q = net.add_node("q", vec![a], buf(0, 1));
+        net.add_po("p", p);
+        net.add_po("q", q);
+        let dom = OutputDominators::compute(&net);
+        // a's two branches never meet again: no internal dominator.
+        assert_eq!(dom.idom(a), None);
+        assert!(dom.reaches_output(a));
+        // The fork is not reconvergent: the branches end in distinct POs.
+        assert!(!reconvergent_sources(&net)[a.index()]);
+    }
+
+    #[test]
+    fn dead_logic_reaches_nothing() {
+        let mut net = Network::new("dead");
+        let x = net.add_pi("x");
+        let live = net.add_node("live", vec![x], buf(0, 1));
+        let dead = net.add_node("dead", vec![x], buf(0, 1));
+        net.add_po("out", live);
+        let dom = OutputDominators::compute(&net);
+        assert!(!dom.reaches_output(dead));
+        assert_eq!(dom.idom(dead), None);
+        assert!(dom.reaches_output(x), "x feeds the live node");
+    }
+
+    #[test]
+    fn po_driver_with_internal_fanout_has_no_dominator() {
+        // a drives a PO directly *and* feeds b (also a PO): nothing
+        // downstream can dominate a.
+        let mut net = Network::new("mixed");
+        let x = net.add_pi("x");
+        let a = net.add_node("a", vec![x], buf(0, 1));
+        let b = net.add_node("b", vec![a], buf(0, 1));
+        net.add_po("a", a);
+        net.add_po("b", b);
+        let dom = OutputDominators::compute(&net);
+        assert_eq!(dom.idom(a), None);
+        assert!(dom.reaches_output(a));
+    }
+
+    #[test]
+    fn tfo_cone_is_topological_and_exact() {
+        let (net, [x, a, s, t, u]) = diamond_net();
+        let cone = tfo_cone(&net, a);
+        assert_eq!(cone.len(), 4);
+        assert_eq!(cone[0], a);
+        assert_eq!(*cone.last().unwrap(), u);
+        assert!(cone.contains(&s) && cone.contains(&t));
+        assert!(!cone.contains(&x));
+        // Cone of the whole-net source includes everything.
+        assert_eq!(tfo_cone(&net, x).len(), 5);
+    }
+}

@@ -8,7 +8,7 @@ impl Var {
     /// The variable's 0-based index.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        self.0 as usize // lint:allow(as-cast): u32 index fits usize on all supported targets
     }
 }
 
@@ -59,7 +59,7 @@ impl Lit {
 
     #[inline]
     fn code(self) -> usize {
-        self.0 as usize
+        self.0 as usize // lint:allow(as-cast): u32 index fits usize on all supported targets
     }
 }
 
@@ -258,7 +258,7 @@ impl Solver {
     }
 
     fn decision_level(&self) -> u32 {
-        self.trail_lim.len() as u32
+        self.trail_lim.len() as u32 // lint:allow(as-cast): decision levels <= var count < 2^32
     }
 
     fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
@@ -439,7 +439,7 @@ impl Solver {
                 best = Some(v);
             }
         }
-        best.map(|v| Lit::with_sign(Var(v as u32), self.phase[v]))
+        best.map(|v| Lit::with_sign(Var(v as u32), self.phase[v])) // lint:allow(as-cast): var count < 2^32 (Var wraps u32)
     }
 
     /// Solves the current formula.
@@ -472,11 +472,13 @@ impl Solver {
                 // Never learn below the assumption levels: if the conflict is
                 // at or below them, the assumptions are jointly infeasible.
                 if (self.decision_level() as usize) <= assumptions.len() {
+                    // lint:allow(as-cast): u32 index fits usize on all supported targets
                     return SatResult::Unsat;
                 }
                 let (clause, mut bj) = self.analyze(confl);
                 if (bj as usize) < assumptions.len() {
-                    bj = assumptions.len() as u32;
+                    // lint:allow(as-cast): u32 index fits usize on all supported targets
+                    bj = assumptions.len() as u32; // lint:allow(as-cast): assumption count <= var count < 2^32
                 }
                 self.backtrack_to(bj);
                 if clause.len() == 1 {
@@ -501,12 +503,13 @@ impl Solver {
                     // Restart (keep assumption levels).
                     luby_index += 1;
                     conflict_budget = self.conflicts + 100 * luby(luby_index);
-                    self.backtrack_to(assumptions.len() as u32);
+                    self.backtrack_to(assumptions.len() as u32); // lint:allow(as-cast): assumption count <= var count < 2^32
                 }
             } else {
                 // Place pending assumptions.
                 if (self.decision_level() as usize) < assumptions.len() {
-                    let a = assumptions[self.decision_level() as usize];
+                    // lint:allow(as-cast): u32 index fits usize on all supported targets
+                    let a = assumptions[self.decision_level() as usize]; // lint:allow(as-cast): u32 index fits usize on all supported targets
                     match self.lit_value(a) {
                         LBool::True => {
                             // Already implied; open an empty decision level

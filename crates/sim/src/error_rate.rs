@@ -55,7 +55,7 @@ pub fn error_rate_vs_reference(
         let w = if i + 1 == wps { w & tail } else { *w };
         errors += u64::from(w.count_ones());
     }
-    errors as f64 / patterns.num_patterns() as f64
+    errors as f64 / patterns.num_patterns() as f64 // lint:allow(as-cast): counts << 2^52, exact in f64
 }
 
 /// Per-output error rates between two networks (fraction of patterns on
@@ -73,7 +73,7 @@ pub fn per_output_error_rates(
     let gs = simulate(golden, patterns);
     let asim = simulate(approx, patterns);
     let tail = gs.tail_mask();
-    let n = patterns.num_patterns() as f64;
+    let n = patterns.num_patterns() as f64; // lint:allow(as-cast): counts << 2^52, exact in f64
     golden
         .pos()
         .iter()
@@ -87,7 +87,7 @@ pub fn per_output_error_rates(
                 let d = if i + 1 == wps { (x ^ y) & tail } else { x ^ y };
                 diff += u64::from(d.count_ones());
             }
-            diff as f64 / n
+            diff as f64 / n // lint:allow(as-cast): counts << 2^52, exact in f64
         })
         .collect()
 }

@@ -34,7 +34,7 @@ pub fn local_pattern_counts_view(net: &Network, sim: SimView<'_>, id: NodeId) ->
     );
     let mut counts = vec![0u64; 1 << k];
     if k == 0 {
-        counts[0] = sim.num_patterns() as u64;
+        counts[0] = sim.num_patterns() as u64; // lint:allow(as-cast): usize fits u64 on all supported targets
         return counts;
     }
     let fanin_words: Vec<&[u64]> = node.fanins().iter().map(|&f| sim.node_words(f)).collect();
@@ -45,7 +45,7 @@ pub fn local_pattern_counts_view(net: &Network, sim: SimView<'_>, id: NodeId) ->
         if valid == 0 {
             continue;
         }
-        let bits = 64 - valid.leading_zeros() as usize;
+        let bits = 64 - valid.leading_zeros() as usize; // lint:allow(as-cast): u32 bit index fits usize
         let cols: Vec<u64> = fanin_words.iter().map(|fw| fw[w]).collect();
         for b in 0..bits {
             if valid >> b & 1 == 0 {
@@ -79,10 +79,10 @@ pub fn local_pattern_probabilities(net: &Network, sim: &SimResult, id: NodeId) -
 ///
 /// Same conditions as [`local_pattern_counts`].
 pub fn local_pattern_probabilities_view(net: &Network, sim: SimView<'_>, id: NodeId) -> Vec<f64> {
-    let n = sim.num_patterns() as f64;
+    let n = sim.num_patterns() as f64; // lint:allow(as-cast): counts << 2^52, exact in f64
     local_pattern_counts_view(net, sim, id)
         .into_iter()
-        .map(|c| c as f64 / n)
+        .map(|c| c as f64 / n) // lint:allow(as-cast): counts << 2^52, exact in f64
         .collect()
 }
 

@@ -68,12 +68,12 @@ pub fn magnitude_stats_vs_reference(
         if diff != 0 {
             num_erroneous += 1;
             max_abs = max_abs.max(diff);
-            sum_abs += diff as f64;
+            sum_abs += diff as f64; // lint:allow(as-cast): counts << 2^52, exact in f64
         }
     }
     MagnitudeStats {
         max_abs,
-        mean_abs: sum_abs / patterns.num_patterns() as f64,
+        mean_abs: sum_abs / patterns.num_patterns() as f64, // lint:allow(as-cast): counts << 2^52, exact in f64
         num_erroneous,
     }
 }

@@ -4,9 +4,11 @@
 //! happen on the hot path, and an event is only *constructed* when at least
 //! one sink is attached (see [`Telemetry::emit`](crate::Telemetry::emit)).
 //! Granularity is deliberately coarse: one event per engine refresh,
-//! simulation, measurement, knapsack solve or committed iteration — never
-//! per node or per pattern — so enabling telemetry cannot perturb the
-//! synthesis loop it observes.
+//! simulation, measurement, knapsack solve, committed iteration or
+//! statically pruned candidate — never per pattern — so enabling telemetry
+//! cannot perturb the synthesis loop it observes. (Pruned-candidate events
+//! are the one per-candidate exception: each one records a simulation that
+//! did *not* happen, so they are sparse by construction.)
 
 use crate::json::Json;
 
@@ -102,8 +104,27 @@ pub enum Event {
         evaluated: u64,
         /// Nodes served from the memo.
         cache_hits: u64,
+        /// Nodes whose local-distribution gather was skipped entirely
+        /// because static bounds pruned every candidate — the
+        /// simulations-avoided measure.
+        nodes_skipped: u64,
         /// Wall time of the refresh (simulation included).
         nanos: u64,
+    },
+    /// A candidate ASE was discarded *without* gathering its local pattern
+    /// distribution: its static lower error bound already exceeds the
+    /// remaining error budget, so the dynamic path could never accept it.
+    CandidatePruned {
+        /// Name of the node the candidate would have rewritten.
+        node: String,
+        /// Display form of the rejected local function.
+        ase: String,
+        /// Static lower bound on the candidate's apparent error rate.
+        static_lo: f64,
+        /// Static upper bound on the candidate's apparent error rate.
+        static_hi: f64,
+        /// The remaining error budget the bound was compared against.
+        budget: f64,
     },
     /// A committed change set invalidated part of the engine memo.
     ConeInvalidated {
@@ -138,6 +159,12 @@ pub enum Event {
         /// Claimed apparent error rate of the change (§3.2) — the
         /// Theorem-1 summand.
         apparent: f64,
+        /// Static lower bound on the apparent rate, when the engine
+        /// computed one (`None` for flows without static analysis, e.g.
+        /// SASIMI).
+        static_lo: Option<f64>,
+        /// Static upper bound on the apparent rate, when available.
+        static_hi: Option<f64>,
     },
     /// One iteration of the selection loop committed.
     IterationEnd {
@@ -174,6 +201,7 @@ impl Event {
             Event::Simulated { .. } => "simulated",
             Event::Measured { .. } => "measured",
             Event::EngineRefresh { .. } => "engine_refresh",
+            Event::CandidatePruned { .. } => "candidate_pruned",
             Event::ConeInvalidated { .. } => "cone_invalidated",
             Event::KnapsackSolved { .. } => "knapsack_solved",
             Event::ChangeCommitted { .. } => "change_committed",
@@ -221,11 +249,26 @@ impl Event {
             Event::EngineRefresh {
                 evaluated,
                 cache_hits,
+                nodes_skipped,
                 nanos,
             } => {
                 obj.set("evaluated", evaluated)
                     .set("cache_hits", cache_hits)
+                    .set("nodes_skipped", nodes_skipped)
                     .set("nanos", nanos);
+            }
+            Event::CandidatePruned {
+                ref node,
+                ref ase,
+                static_lo,
+                static_hi,
+                budget,
+            } => {
+                obj.set("node", node.as_str())
+                    .set("ase", ase.as_str())
+                    .set("static_lo", static_lo)
+                    .set("static_hi", static_hi)
+                    .set("budget", budget);
             }
             Event::ConeInvalidated { changed, dropped } => {
                 obj.set("changed", changed).set("dropped", dropped);
@@ -247,12 +290,20 @@ impl Event {
                 ref ase,
                 literals_saved,
                 apparent,
+                static_lo,
+                static_hi,
             } => {
                 obj.set("iteration", iteration)
                     .set("node", node.as_str())
                     .set("ase", ase.as_str())
                     .set("literals_saved", literals_saved)
                     .set("apparent", apparent);
+                if let Some(lo) = static_lo {
+                    obj.set("static_lo", lo);
+                }
+                if let Some(hi) = static_hi {
+                    obj.set("static_hi", hi);
+                }
             }
             Event::IterationEnd {
                 iteration,
@@ -314,7 +365,15 @@ mod tests {
             Event::EngineRefresh {
                 evaluated: 4,
                 cache_hits: 6,
+                nodes_skipped: 2,
                 nanos: 9,
+            },
+            Event::CandidatePruned {
+                node: "g7".to_string(),
+                ase: "0".to_string(),
+                static_lo: 0.04,
+                static_hi: 0.25,
+                budget: 0.01,
             },
             Event::ConeInvalidated {
                 changed: 1,
@@ -332,6 +391,8 @@ mod tests {
                 ase: "a + b".to_string(),
                 literals_saved: 2,
                 apparent: 0.015,
+                static_lo: Some(0.01),
+                static_hi: Some(0.02),
             },
             Event::IterationEnd {
                 iteration: 1,

@@ -66,7 +66,7 @@ impl Json {
     /// The numeric value rounded to u64, if this is a non-negative number.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 => Some(n.round() as u64),
+            Json::Num(n) if *n >= 0.0 => Some(n.round() as u64), // lint:allow(as-cast): guarded non-negative; round() yields an integral value
             _ => None,
         }
     }
@@ -189,7 +189,7 @@ impl Json {
 /// Integers render without a fractional part so counters stay readable.
 fn render_number(n: f64) -> String {
     if n.fract() == 0.0 && n.abs() < 9.0e15 {
-        format!("{}", n as i64)
+        format!("{}", n as i64) // lint:allow(as-cast): integral f64 with |n| <= 2^53 fits i64
     } else {
         // `{:?}` is Rust's shortest round-trip float formatting.
         format!("{n:?}")
@@ -205,9 +205,9 @@ fn write_escaped(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            c if u32::from(c) < 0x20 => {
                 use std::fmt::Write;
-                let _ = write!(out, "\\u{:04x}", c as u32);
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
             }
             c => out.push(c),
         }
@@ -227,12 +227,12 @@ impl From<f64> for Json {
 }
 impl From<u64> for Json {
     fn from(n: u64) -> Json {
-        Json::Num(n as f64)
+        Json::Num(n as f64) // lint:allow(as-cast): documented: integers round-trip exactly up to 2^53
     }
 }
 impl From<usize> for Json {
     fn from(n: usize) -> Json {
-        Json::Num(n as f64)
+        Json::Num(n as f64) // lint:allow(as-cast): documented: integers round-trip exactly up to 2^53
     }
 }
 impl From<&str> for Json {

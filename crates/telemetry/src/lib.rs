@@ -24,7 +24,12 @@
 //!
 //! let collector = Arc::new(MetricsCollector::new());
 //! let telemetry = Telemetry::from(collector.clone());
-//! telemetry.emit(|| Event::EngineRefresh { evaluated: 10, cache_hits: 3, nanos: 1_000 });
+//! telemetry.emit(|| Event::EngineRefresh {
+//!     evaluated: 10,
+//!     cache_hits: 3,
+//!     nodes_skipped: 2,
+//!     nanos: 1_000,
+//! });
 //! assert_eq!(collector.report().evaluations, 10);
 //! assert_eq!(collector.report().cache_hits, 3);
 //! ```

@@ -92,6 +92,13 @@ pub struct MetricsReport {
     pub knapsack_solves: u64,
     /// Total DP cells filled across those solves.
     pub knapsack_dp_cells: u64,
+    /// Candidate ASEs discarded by static error bounds before their local
+    /// pattern distribution was gathered.
+    pub candidates_pruned: u64,
+    /// Node evaluations whose local-distribution gather was skipped
+    /// entirely because every candidate was pruned — the
+    /// simulations-avoided measure.
+    pub nodes_skipped: u64,
     /// Per-phase wall time.
     pub phase_nanos: PhaseNanos,
     /// Per-iteration records, in commit order.
@@ -114,7 +121,7 @@ impl MetricsReport {
         if total == 0 {
             0.0
         } else {
-            self.cache_hits as f64 / total as f64
+            self.cache_hits as f64 / total as f64 // lint:allow(as-cast): counts << 2^52, exact in f64
         }
     }
 
@@ -132,7 +139,7 @@ impl MetricsReport {
                 algorithm, threads, ..
             } => {
                 self.algorithm = algorithm.to_string();
-                self.threads = threads as u64;
+                self.threads = threads as u64; // lint:allow(as-cast): usize fits u64 on all supported targets
             }
             Event::PhaseEnd { phase, nanos } => {
                 *self.phase_nanos.slot(phase) += nanos;
@@ -151,12 +158,17 @@ impl MetricsReport {
             Event::EngineRefresh {
                 evaluated,
                 cache_hits,
+                nodes_skipped,
                 nanos,
             } => {
                 self.refreshes += 1;
                 self.evaluations += evaluated;
                 self.cache_hits += cache_hits;
+                self.nodes_skipped += nodes_skipped;
                 self.phase_nanos.refresh += nanos;
+            }
+            Event::CandidatePruned { .. } => {
+                self.candidates_pruned += 1;
             }
             Event::ConeInvalidated { dropped, .. } => {
                 self.invalidations += 1;
@@ -213,6 +225,8 @@ impl MetricsReport {
             .set("invalidated_entries", self.invalidated_entries)
             .set("knapsack_solves", self.knapsack_solves)
             .set("knapsack_dp_cells", self.knapsack_dp_cells)
+            .set("candidates_pruned", self.candidates_pruned)
+            .set("nodes_skipped", self.nodes_skipped)
             .set("iterations", self.iterations.len())
             .set("total_s", self.total_time().as_secs_f64())
             .set("phase_s", phases);
@@ -283,7 +297,15 @@ mod tests {
             Event::EngineRefresh {
                 evaluated: 8,
                 cache_hits: 0,
+                nodes_skipped: 1,
                 nanos: 500,
+            },
+            Event::CandidatePruned {
+                node: "g2".to_string(),
+                ase: "0".to_string(),
+                static_lo: 0.2,
+                static_hi: 0.4,
+                budget: 0.05,
             },
             Event::KnapsackSolved {
                 items: 3,
@@ -298,6 +320,7 @@ mod tests {
             Event::EngineRefresh {
                 evaluated: 5,
                 cache_hits: 3,
+                nodes_skipped: 0,
                 nanos: 300,
             },
             Event::IterationEnd {
@@ -331,6 +354,8 @@ mod tests {
         assert_eq!(r.invalidated_entries, 5);
         assert_eq!(r.knapsack_solves, 1);
         assert_eq!(r.knapsack_dp_cells, 153);
+        assert_eq!(r.candidates_pruned, 1);
+        assert_eq!(r.nodes_skipped, 1);
         assert_eq!(r.phase_nanos.refresh, 800);
         assert_eq!(r.phase_nanos.simulate, 100);
         assert_eq!(r.phase_nanos.measure, 40);
@@ -347,11 +372,17 @@ mod tests {
         report.absorb(&Event::EngineRefresh {
             evaluated: 7,
             cache_hits: 2,
+            nodes_skipped: 3,
             nanos: 10,
         });
         let json = report.to_json();
         assert_eq!(json.get("evaluations").and_then(Json::as_u64), Some(7));
         assert_eq!(json.get("cache_hits").and_then(Json::as_u64), Some(2));
+        assert_eq!(json.get("nodes_skipped").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            json.get("candidates_pruned").and_then(Json::as_u64),
+            Some(0)
+        );
         assert!(json.get("phase_s").and_then(|p| p.get("refresh")).is_some());
     }
 

@@ -9,12 +9,15 @@
 //!                 [--no-dontcares] [--verbose] [--metrics]
 //!                 [--events <log.jsonl>]
 //! als verify      <golden.blif> <approx.blif> [--patterns N] [--seed N]
-//! als check       <in.blif> [--fast] [--certify <events.jsonl>]
+//! als check       <in.blif> [--fast] [--json] [--certify <events.jsonl>]
 //!                 [--golden <golden.blif>]        analyze + audit
+//! als bound       <in.blif> [--golden <golden.blif>] [--json]
+//!                                                 static probability/error intervals
 //! als map         <in.blif>                       mapped area/delay/cells
 //! als list                                        available benchmarks
 //! ```
 
+use als::absint::{error_bounds, signal_probabilities, Policy};
 use als::check::{
     audit_certificates, AnalyzerConfig, AuditConfig, CertificateLog, NetworkAnalyzer,
 };
@@ -25,6 +28,7 @@ use als::core::{approximate, AlsConfig, Strategy};
 use als::mapper::{map_network, write_verilog, Library};
 use als::network::{blif, Network};
 use als::sim::{error_rate, PatternSet};
+use als::telemetry::Json;
 use std::process::ExitCode;
 
 /// Exit code for analyzer findings and `cec` disagreement.
@@ -69,6 +73,7 @@ fn main() -> ExitCode {
         Some("approximate") => cmd_approximate(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("bound") => cmd_bound(&args[1..]),
         Some("map") => cmd_map(&args[1..]),
         Some("verilog") => cmd_verilog(&args[1..]),
         Some("cec") => cmd_cec(&args[1..]),
@@ -103,9 +108,13 @@ USAGE:
   als verify      <golden.blif> <approx.blif> [--patterns N] [--seed N]
                   [--exact]   (BDD-based, no sampling)
   als check       <in.blif> [--fast]          structural + functional lint
+                  [--json]                    machine-readable diagnostics
                   [--certify <events.jsonl>]  audit a run's certificates
                   [--golden <golden.blif>]    re-derive the real error rate
                   (exit 0 clean, 1 findings, 2 usage)
+  als bound       <in.blif>                   static signal-probability intervals
+                  [--golden <golden.blif>]    sound per-output error-rate intervals
+                  [--json]                    machine-readable output
   als map         <in.blif>
   als verilog     <in.blif> [-o out.v]     technology-map and emit Verilog
   als cec         <a.blif> <b.blif>        SAT equivalence check
@@ -328,7 +337,15 @@ fn cmd_check(args: &[String]) -> Result<(), CliError> {
         return Err(usage("--golden only makes sense together with --certify"));
     }
 
-    print!("{report}");
+    // Repeated passes (or an analyze + audit combination) can derive the
+    // same finding twice; report each distinct fact once.
+    report.dedupe();
+
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", report_to_json(&report).render_pretty());
+    } else {
+        print!("{report}");
+    }
     if report.is_clean() {
         Ok(())
     } else {
@@ -337,6 +354,119 @@ fn cmd_check(args: &[String]) -> Result<(), CliError> {
             message: format!("`{path}`: {} error(s) found", report.error_count()),
         })
     }
+}
+
+/// Serializes an analysis report with the workspace's own JSON type (the
+/// same one backing the telemetry event log — no external dependency).
+fn report_to_json(report: &als::check::AnalysisReport) -> Json {
+    let diagnostics: Vec<Json> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let mut obj = Json::object();
+            obj.set("severity", d.severity.to_string())
+                .set("pass", d.pass)
+                .set("message", d.message.as_str());
+            if let Some(node) = d.node {
+                obj.set("node", node.index());
+            }
+            if let Some(name) = &d.node_name {
+                obj.set("node_name", name.as_str());
+            }
+            if let Some(hint) = &d.hint {
+                obj.set("hint", hint.as_str());
+            }
+            obj
+        })
+        .collect();
+    let mut out = Json::object();
+    out.set("clean", report.is_clean())
+        .set("errors", report.error_count())
+        .set("findings", report.diagnostics.len())
+        .set("diagnostics", diagnostics);
+    out
+}
+
+/// `als bound`: print the abstract interpreter's static intervals. Without
+/// `--golden` these are per-output signal-probability intervals under the
+/// paper's independent-uniform input model; with `--golden` they are sound
+/// per-output (and combined) error-rate intervals of the network against
+/// the golden function.
+fn cmd_bound(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .iter()
+        .enumerate()
+        .find(|&(i, a)| {
+            !a.starts_with('-') && (i == 0 || !matches!(args[i - 1].as_str(), "--golden"))
+        })
+        .map(|(_, a)| a)
+        .ok_or_else(|| usage("bound needs a BLIF file"))?;
+    let net = read_network(path)?;
+    let json = args.iter().any(|a| a == "--json");
+
+    if let Some(golden_path) = flag_value(args, "--golden") {
+        let golden = read_network(golden_path)?;
+        let bounds = error_bounds(&golden, &net, Policy::Exact)
+            .map_err(|e| CliError::from(e.to_string()))?;
+        if json {
+            let outputs: Vec<Json> = bounds
+                .per_output
+                .iter()
+                .map(|o| {
+                    let mut obj = Json::object();
+                    obj.set("output", o.name.as_str())
+                        .set("lo", o.interval.lo)
+                        .set("hi", o.interval.hi);
+                    obj
+                })
+                .collect();
+            let mut out = Json::object();
+            out.set("model", net.name())
+                .set("golden", golden.name())
+                .set("combined_lo", bounds.combined.lo)
+                .set("combined_hi", bounds.combined.hi)
+                .set("outputs", outputs);
+            print!("{}", out.render_pretty());
+        } else {
+            println!("error-rate intervals vs `{golden_path}` (sound, any input distribution):");
+            for o in &bounds.per_output {
+                println!("  {:<24} {}", o.name, o.interval);
+            }
+            println!("  {:<24} {}", "any-output (combined)", bounds.combined);
+        }
+        return Ok(());
+    }
+
+    let probs = signal_probabilities(&net, Policy::Exact);
+    if json {
+        let outputs: Vec<Json> = net
+            .pos()
+            .iter()
+            .map(|(name, driver)| {
+                let i = probs.interval(*driver);
+                let mut obj = Json::object();
+                obj.set("output", name.as_str())
+                    .set("lo", i.lo)
+                    .set("hi", i.hi);
+                obj
+            })
+            .collect();
+        let mut out = Json::object();
+        out.set("model", net.name())
+            .set("frechet_forced_nodes", probs.frechet_count())
+            .set("outputs", outputs);
+        print!("{}", out.render_pretty());
+    } else {
+        println!(
+            "signal-probability intervals (independent uniform inputs, \
+             {} node(s) under reconvergent fanout use worst-case bounds):",
+            probs.frechet_count()
+        );
+        for (name, driver) in net.pos() {
+            println!("  {:<24} {}", name, probs.interval(*driver));
+        }
+    }
+    Ok(())
 }
 
 fn cmd_verify(args: &[String]) -> Result<(), CliError> {

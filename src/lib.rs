@@ -19,6 +19,7 @@
 //! | [`mapper`] | technology mapping onto an MCNC-like cell library |
 //! | [`bdd`] | ROBDDs for exact (non-sampled) error-rate verification |
 //! | [`aig`] | and-inverter graphs; SAT-based equivalence checking |
+//! | [`absint`] | abstract-interpretation error bounds: probability/error intervals, static candidate pruning |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
+pub use als_absint as absint;
 pub use als_aig as aig;
 pub use als_bdd as bdd;
 pub use als_check as check;
