@@ -38,6 +38,14 @@ pub struct BenchEntry {
     /// measure). Optional in the JSON — records predating the field read
     /// back as 0.
     pub simulations_avoided: u64,
+    /// Nodes re-evaluated by incremental dirty-set resimulation across the
+    /// run. Optional in the JSON — records predating the field read back
+    /// as 0.
+    pub resim_nodes: u64,
+    /// Nodes full resimulation would have evaluated for the same updates;
+    /// `resim_nodes` strictly below this is the incremental saving.
+    /// Optional in the JSON, defaulting to 0.
+    pub resim_full_equivalent: u64,
     /// Engine phase breakdown in seconds (`preprocess`, `simulate`, ...).
     pub phases: Vec<(String, f64)>,
 }
@@ -54,6 +62,8 @@ impl BenchEntry {
             error_rate: r.error_rate,
             runtime_s: r.runtime_s,
             simulations_avoided: r.metrics.nodes_skipped,
+            resim_nodes: r.metrics.resim_nodes,
+            resim_full_equivalent: r.metrics.resim_full_equivalent,
             phases: r
                 .metrics
                 .phase_nanos
@@ -77,6 +87,8 @@ impl BenchEntry {
             .set("error_rate", self.error_rate)
             .set("runtime_s", self.runtime_s)
             .set("simulations_avoided", self.simulations_avoided)
+            .set("resim_nodes", self.resim_nodes)
+            .set("resim_full_equivalent", self.resim_full_equivalent)
             .set("phases", phases);
         obj
     }
@@ -106,6 +118,11 @@ impl BenchEntry {
             runtime_s: num("runtime_s")?,
             simulations_avoided: v
                 .get("simulations_avoided")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            resim_nodes: v.get("resim_nodes").and_then(Json::as_u64).unwrap_or(0),
+            resim_full_equivalent: v
+                .get("resim_full_equivalent")
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
             phases,
@@ -292,6 +309,26 @@ pub fn compare(old: &BenchRecord, new: &BenchRecord, opts: &CompareOptions) -> V
                 new.circuit, oe.algorithm, oe.threshold, oe.simulations_avoided,
             ));
         }
+        // Likewise for incremental resimulation degrading to full passes: a
+        // baseline whose updates resimulated strictly fewer nodes than full
+        // resimulation must keep that saving.
+        if oe.resim_full_equivalent > 0
+            && oe.resim_nodes < oe.resim_full_equivalent
+            && ne.resim_full_equivalent > 0
+            && ne.resim_nodes >= ne.resim_full_equivalent
+        {
+            regressions.push(format!(
+                "{} {} @{}: incremental resimulation degraded to full passes \
+                 ({} of {} nodes resimulated vs {} of {} in the baseline)",
+                new.circuit,
+                oe.algorithm,
+                oe.threshold,
+                ne.resim_nodes,
+                ne.resim_full_equivalent,
+                oe.resim_nodes,
+                oe.resim_full_equivalent,
+            ));
+        }
         let quality_limit = oe.literal_ratio * (1.0 + opts.max_quality_pct / 100.0);
         if ne.literal_ratio > quality_limit {
             regressions.push(format!(
@@ -362,6 +399,8 @@ mod tests {
             error_rate: 0.04,
             runtime_s,
             simulations_avoided: 0,
+            resim_nodes: 0,
+            resim_full_equivalent: 0,
             phases: vec![("simulate".into(), runtime_s / 2.0)],
         });
         rec
@@ -448,6 +487,37 @@ mod tests {
         assert!(regs[0].contains("avoided 17 simulations"), "{regs:?}");
         // The reverse direction (pruning got *better*) is not a regression.
         assert!(compare(&new, &old, &CompareOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn records_without_resim_fields_parse_as_zero() {
+        let rec = record_with_runtime(1.0, 0.8);
+        let json = rec
+            .render()
+            .replace("\"resim_nodes\": 0,", "")
+            .replace("\"resim_full_equivalent\": 0,", "");
+        let parsed = BenchRecord::parse(&json).unwrap();
+        assert_eq!(parsed.entries[0].resim_nodes, 0);
+        assert_eq!(parsed.entries[0].resim_full_equivalent, 0);
+    }
+
+    #[test]
+    fn resim_degrading_to_full_trips_gate() {
+        let mut old = record_with_runtime(1.0, 0.8);
+        old.entries[0].resim_nodes = 40;
+        old.entries[0].resim_full_equivalent = 100;
+        let mut new = record_with_runtime(1.0, 0.8);
+        new.entries[0].resim_nodes = 100;
+        new.entries[0].resim_full_equivalent = 100;
+        let regs = compare(&old, &new, &CompareOptions::default());
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("degraded to full"), "{regs:?}");
+        // The reverse direction (resim got *better*) is not a regression,
+        // and neither are records that predate the counters (both zero).
+        assert!(compare(&new, &old, &CompareOptions::default()).is_empty());
+        let legacy = record_with_runtime(1.0, 0.8);
+        assert!(compare(&legacy, &new, &CompareOptions::default()).is_empty());
+        assert!(compare(&old, &legacy, &CompareOptions::default()).is_empty());
     }
 
     #[test]

@@ -75,6 +75,13 @@ pub struct AlsConfig {
     /// every iteration — an expensive but occasionally useful cross-check,
     /// guaranteed to produce identical results.
     pub cache: bool,
+    /// Disable the incremental dirty-set resimulation engine and fully
+    /// resimulate the network after every applied change instead. The
+    /// incremental path is the default and produces byte-identical results
+    /// (the measurement arithmetic is shared word-for-word) — this escape
+    /// hatch exists as a cross-check and for debugging, like
+    /// [`cache`](AlsConfig::cache).
+    pub full_resim: bool,
     /// Whether the engine discards candidates whose *static* lower error
     /// bound (abstract interpretation over fanin popcounts, see the
     /// `als-absint` crate) already exceeds the
@@ -117,6 +124,7 @@ impl AlsConfig {
             magnitude: None,
             threads: 1,
             cache: true,
+            full_resim: false,
             prune: true,
             telemetry: Telemetry::disabled(),
         }
@@ -278,6 +286,14 @@ impl AlsConfigBuilder {
         self
     }
 
+    /// Forces a full resimulation after every applied change instead of the
+    /// incremental dirty-set update (off by default; byte-identical results
+    /// either way).
+    pub fn full_resim(mut self, on: bool) -> Self {
+        self.config.full_resim = on;
+        self
+    }
+
     /// Enables or disables static candidate pruning (on by default;
     /// semantics-preserving either way).
     pub fn prune(mut self, on: bool) -> Self {
@@ -332,6 +348,7 @@ mod tests {
         assert!(c.magnitude.is_none());
         assert_eq!(c.threads, 1);
         assert!(c.cache);
+        assert!(!c.full_resim);
         assert!(c.prune);
         assert!(!c.telemetry.is_enabled());
     }

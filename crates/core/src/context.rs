@@ -1,8 +1,9 @@
 use crate::AlsConfig;
-use als_network::Network;
+use als_network::{Network, NodeId};
 use als_sim::{
-    error_rate_vs_reference, magnitude_stats_vs_reference, po_words, simulate, MagnitudeStats,
-    PatternSet, SimResult,
+    error_rate_from_view, error_rate_vs_reference, magnitude_stats_from_view,
+    magnitude_stats_vs_reference, po_words, simulate, IncrementalSim, MagnitudeStats, PatternSet,
+    SimResult, SimView, UpdateDelta,
 };
 use als_telemetry::{Event, Telemetry};
 
@@ -75,6 +76,54 @@ impl AlsContext {
         sim
     }
 
+    /// Builds a persistent incremental resimulation engine seeded with a
+    /// full simulation of `candidate` (counted as one `Simulated` event —
+    /// construction *is* a full simulation).
+    pub fn incremental(&self, candidate: &Network) -> IncrementalSim {
+        let mark = self.telemetry.start();
+        let inc = IncrementalSim::new(candidate, &self.patterns);
+        self.telemetry.emit(|| Event::Simulated {
+            patterns: self.patterns.num_patterns() as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
+            nodes: candidate.num_internal() as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
+            nanos: Telemetry::nanos_since(mark),
+        });
+        inc
+    }
+
+    /// Runs one incremental dirty-set update of `inc` against the current
+    /// structure of `candidate`, emitting a `Resimulated` event with the
+    /// work counters.
+    pub fn update_resim(
+        &self,
+        inc: &mut IncrementalSim,
+        candidate: &Network,
+        dirty: &[NodeId],
+    ) -> UpdateDelta {
+        let mark = self.telemetry.start();
+        let delta = inc.update(candidate, dirty);
+        self.telemetry.emit(|| Event::Resimulated {
+            dirty: delta.dirty,
+            resim_nodes: delta.resim_nodes,
+            skipped_early_exit: delta.skipped_early_exit,
+            full_equivalent: delta.full_equivalent,
+            nanos: Telemetry::nanos_since(mark),
+        });
+        delta
+    }
+
+    /// Measures the error rate of `candidate` from already-up-to-date
+    /// incremental signatures — word-identical arithmetic to
+    /// [`measure`](AlsContext::measure).
+    pub fn measure_view(&self, candidate: &Network, sim: SimView<'_>) -> f64 {
+        let mark = self.telemetry.start();
+        let rate = error_rate_from_view(&self.reference_po_words, candidate, sim);
+        self.telemetry.emit(|| Event::Measured {
+            error_rate: rate,
+            nanos: Telemetry::nanos_since(mark),
+        });
+        rate
+    }
+
     /// Measures numeric deviation statistics of `candidate` against the
     /// golden reference (POs weighted `2^i`); used when a
     /// [`MagnitudeConstraint`](crate::MagnitudeConstraint) is configured.
@@ -92,6 +141,29 @@ impl AlsContext {
         }
         if let Some(mc) = config.magnitude {
             if self.measure_magnitude(candidate).max_abs > mc.max_abs {
+                return None;
+            }
+        }
+        Some(rate)
+    }
+
+    /// [`accepts`](AlsContext::accepts) measured from already-up-to-date
+    /// incremental signatures instead of a fresh simulation. Both paths
+    /// share the measurement arithmetic word-for-word, so they agree
+    /// bit-identically.
+    pub fn accepts_view(
+        &self,
+        candidate: &Network,
+        sim: SimView<'_>,
+        config: &crate::AlsConfig,
+    ) -> Option<f64> {
+        let rate = self.measure_view(candidate, sim);
+        if rate > config.threshold {
+            return None;
+        }
+        if let Some(mc) = config.magnitude {
+            let stats = magnitude_stats_from_view(&self.reference_po_words, candidate, sim);
+            if stats.max_abs > mc.max_abs {
                 return None;
             }
         }

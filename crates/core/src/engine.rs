@@ -26,7 +26,7 @@ use als_absint::{Interval, MintermBounds};
 use als_dontcare::{compute_dont_cares, window_influence, DontCares};
 use als_logic::Expr;
 use als_network::{Network, NodeId};
-use als_sim::{local_pattern_probabilities_view, SimView};
+use als_sim::{local_pattern_probabilities_view, SimResult, SimView};
 use als_telemetry::{Event, Telemetry};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
@@ -197,7 +197,23 @@ impl CandidateEngine {
     /// Brings the cache up to date with `net`: drops entries for dead or
     /// rewritten nodes, then evaluates every uncached eligible node — in
     /// parallel when the pending set is large enough.
+    ///
+    /// Simulates `net` freshly (and lazily — only when the pending set is
+    /// non-empty). When current signatures are already at hand, use
+    /// [`refresh_from_view`](CandidateEngine::refresh_from_view) instead.
     pub fn refresh(&mut self, net: &Network, ctx: &AlsContext) {
+        self.refresh_impl(net, None, ctx);
+    }
+
+    /// Like [`refresh`](CandidateEngine::refresh), but evaluates against the
+    /// caller's already-simulated signatures (typically an
+    /// [`IncrementalSim`](als_sim::IncrementalSim) view) instead of
+    /// simulating freshly. The view must reflect `net` exactly.
+    pub fn refresh_from_view(&mut self, net: &Network, sim: SimView<'_>, ctx: &AlsContext) {
+        self.refresh_impl(net, Some(sim), ctx);
+    }
+
+    fn refresh_impl(&mut self, net: &Network, sim: Option<SimView<'_>>, ctx: &AlsContext) {
         // Debug-build invariant: the engine must never price candidates on a
         // structurally broken network (compiled out of release builds, so
         // release perf and the determinism property tests are untouched).
@@ -237,10 +253,16 @@ impl CandidateEngine {
         if !pending.is_empty() {
             self.stats.evaluated += pending.len();
 
-            let sim = ctx.simulate(net);
+            let owned: SimResult;
+            let view = if let Some(v) = sim {
+                v
+            } else {
+                owned = ctx.simulate(net);
+                owned.view()
+            };
             let computed = evaluate_all(
                 net,
-                sim.view(),
+                view,
                 &self.config,
                 self.needs_dont_cares,
                 budget,
@@ -826,6 +848,32 @@ mod tests {
         engine.refresh(&net, &ctx);
         assert_eq!(engine.stats().evaluated, 2 * mids.len());
         assert_eq!(engine.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn refresh_from_view_prices_identically_to_refresh() {
+        let (net, mids) = two_cones();
+        let config = test_config();
+        let ctx = AlsContext::new(&net, &config);
+
+        let mut fresh = CandidateEngine::new(&config, true);
+        fresh.refresh(&net, &ctx);
+
+        let mut viewed = CandidateEngine::new(&config, true);
+        let inc = ctx.incremental(&net);
+        viewed.refresh_from_view(&net, inc.view(), &ctx);
+
+        for &id in &mids {
+            let a: Vec<_> = fresh
+                .candidates(id)
+                .map(|c| (format!("{:?}", c.ase.expr), c.apparent, c.estimate))
+                .collect();
+            let b: Vec<_> = viewed
+                .candidates(id)
+                .map(|c| (format!("{:?}", c.ase.expr), c.apparent, c.estimate))
+                .collect();
+            assert_eq!(a, b, "candidate pricing diverged at node {id}");
+        }
     }
 
     #[test]

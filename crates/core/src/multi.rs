@@ -92,7 +92,11 @@ pub(crate) fn multi_selection_with_context(
     });
 
     let scale = error_rate_scale(config.threshold);
-    let mut error_rate = ctx.measure(&current);
+    // The persistent incremental simulation state; one full simulation at
+    // construction, dirty-set updates per batch afterwards.
+    let mut inc = ctx.incremental(&current);
+    inc.set_full_resim(config.full_resim);
+    let mut error_rate = ctx.measure_view(&current, inc.view());
     let mut margin = config.threshold - error_rate;
     let mut iterations: Vec<IterationRecord> = Vec::new();
     // Apparent rates only: no don't-care windows in the engine.
@@ -112,7 +116,7 @@ pub(crate) fn multi_selection_with_context(
         let initial_capacity = scale_weight(margin.max(0.0), scale);
         engine.set_prune_budget((initial_capacity as f64 + 0.5) / scale); // lint:allow(as-cast): capacity ≤ scale = 1e4, exactly representable in f64
                                                                           // Collect the candidate items: every eligible node with its ASEs.
-        engine.refresh(&current, &ctx);
+        engine.refresh_from_view(&current, inc.view(), &ctx);
         let mut nodes: Vec<NodeId> = Vec::new();
         let mut ase_store: Vec<Vec<Ase>> = Vec::new();
         let mut rate_store: Vec<Vec<f64>> = Vec::new();
@@ -178,15 +182,23 @@ pub(crate) fn multi_selection_with_context(
                 apply_ase(&mut current, *id, ase);
                 batch.push(*id);
             }
+            // Two-phase incremental update, one undo span: the batch nodes
+            // are resimulated *before* constant propagation (which rewrites
+            // users of swept nodes multi-level deep without marking them
+            // dirty), then the propagated structure — function-preserving
+            // per surviving node — only needs liveness reconciliation.
+            ctx.update_resim(&mut inc, &current, &batch);
             current.propagate_constants();
+            ctx.update_resim(&mut inc, &current, &[]);
             debug_assert!(
                 current.check().is_ok(),
                 "network inconsistent after applying a multi-selection batch: {:?}",
                 current.check()
             );
 
-            let Some(new_error_rate) = ctx.accepts(&current, config) else {
+            let Some(new_error_rate) = ctx.accepts_view(&current, inc.view(), config) else {
                 current = snapshot;
+                inc.rollback();
                 // Rate overshoot or magnitude violation: retrying with a
                 // halved capacity shrinks the batch until it fits (always on
                 // when a magnitude constraint is set, since the knapsack
@@ -197,6 +209,7 @@ pub(crate) fn multi_selection_with_context(
                 }
                 break 'outer;
             };
+            inc.commit();
             // Invalidate on the pre-change snapshot, where every batch node
             // is still live: constant-propagation cascades stay inside
             // TFO(batch), whose fanout edges the snapshot already has.

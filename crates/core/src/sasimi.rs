@@ -15,6 +15,7 @@ use crate::report::{AlsOutcome, IterationRecord, SelectedChange};
 use crate::{AlsConfig, AlsContext};
 use als_logic::{Cover, Cube};
 use als_network::{Network, NodeId};
+use als_sim::SimView;
 use als_telemetry::{Event, MetricsCollector, Telemetry};
 use std::sync::Arc;
 use std::time::Instant;
@@ -79,7 +80,11 @@ pub(crate) fn sasimi_with_context(
     });
 
     let mut current = original.clone();
-    let mut error_rate = ctx.measure(&current);
+    // The persistent incremental simulation state; trial substitutions are
+    // resimulated through dirty-set updates and rolled back when rejected.
+    let mut inc = ctx.incremental(&current);
+    inc.set_full_resim(config.full_resim);
+    let mut error_rate = ctx.measure_view(&current, inc.view());
     let mut iterations: Vec<IterationRecord> = Vec::new();
 
     for iteration in 1..=config.max_iterations {
@@ -88,21 +93,38 @@ pub(crate) fn sasimi_with_context(
             break;
         }
         let iter_mark = config.telemetry.start();
-        let candidates = generate_candidates(&current, &ctx, margin);
+        let candidates = generate_candidates(&current, inc.view(), &ctx, margin);
         let mut committed = false;
         for cand in candidates.into_iter().take(TRIALS_PER_ITERATION) {
             let mut trial = current.clone();
+            // The dirty set, captured pre-apply: a constant replacement
+            // rewrites the target in place; a substitution rebuilds the
+            // covers of every user (the target itself is swept, and a new
+            // inverter is picked up as a newly-live slot).
+            let dirty: Vec<NodeId> = if cand.substitute.is_none() {
+                vec![cand.target]
+            } else {
+                trial.fanouts()[cand.target.index()].clone()
+            };
             let description = apply(&mut trial, &cand);
+            // Two-phase update under one undo span (same protocol as
+            // multi-selection): resimulate the dirty set before constant
+            // propagation, then reconcile liveness on the swept structure.
+            ctx.update_resim(&mut inc, &trial, &dirty);
             trial.propagate_constants();
-            let Some(new_error_rate) = ctx.accepts(&trial, config) else {
+            ctx.update_resim(&mut inc, &trial, &[]);
+            let Some(new_error_rate) = ctx.accepts_view(&trial, inc.view(), config) else {
+                inc.rollback();
                 continue;
             };
             let saved = current
                 .literal_count()
                 .saturating_sub(trial.literal_count());
             if saved == 0 {
+                inc.rollback();
                 continue;
             }
+            inc.commit();
             error_rate = new_error_rate;
             let literals_after = trial.literal_count();
             // A substitution flips an output only on a vector where target
@@ -172,9 +194,15 @@ pub(crate) fn sasimi_with_context(
 }
 
 /// Ranks substitution candidates by `literals-freed / error`, considering
-/// every ordered signal pair (in both phases) and the two constants.
-fn generate_candidates(net: &Network, ctx: &AlsContext, margin: f64) -> Vec<Candidate> {
-    let sim = ctx.simulate(net);
+/// every ordered signal pair (in both phases) and the two constants. Signal
+/// signatures come from the caller's (incremental) view — no fresh
+/// simulation.
+fn generate_candidates(
+    net: &Network,
+    sim: SimView<'_>,
+    ctx: &AlsContext,
+    margin: f64,
+) -> Vec<Candidate> {
     let num_patterns = ctx.patterns().num_patterns() as u64; // lint:allow(as-cast): usize fits u64 on all supported targets
     let allowed = (margin * num_patterns as f64).floor() as u64; // lint:allow(as-cast): margin >= 0 and the product <= num_patterns
 

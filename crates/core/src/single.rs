@@ -94,7 +94,12 @@ pub(crate) fn single_selection_with_context(
         nanos: Telemetry::nanos_since(pre_mark),
     });
 
-    let mut error_rate = ctx.measure(&current);
+    // The persistent incremental simulation state: constructed with one full
+    // simulation, then kept current by dirty-set updates (`--full-resim`
+    // degrades every update to a full pass; results are byte-identical).
+    let mut inc = ctx.incremental(&current);
+    inc.set_full_resim(config.full_resim);
+    let mut error_rate = ctx.measure_view(&current, inc.view());
     let mut margin = config.threshold - error_rate;
     let mut iterations: Vec<IterationRecord> = Vec::new();
     let mut engine = CandidateEngine::new(config, true);
@@ -109,7 +114,7 @@ pub(crate) fn single_selection_with_context(
         // ones `best_candidate` would filter (when estimates equal apparent
         // rates; the engine disables pruning otherwise).
         engine.set_prune_budget(margin);
-        engine.refresh(&current, &ctx);
+        engine.refresh_from_view(&current, inc.view(), &ctx);
         let Some((node, cand)) = best_candidate(&engine, margin) else {
             break;
         };
@@ -119,9 +124,11 @@ pub(crate) fn single_selection_with_context(
         let literals_saved = cand.ase.literals_saved;
 
         apply_ase(&mut current, node, &cand.ase);
+        ctx.update_resim(&mut inc, &current, &[node]);
 
-        let Some(new_error_rate) = ctx.accepts(&current, config) else {
+        let Some(new_error_rate) = ctx.accepts_view(&current, inc.view(), config) else {
             current = snapshot;
+            inc.rollback();
             if config.magnitude.is_some() {
                 // Magnitude violations are routine (the estimate does not
                 // model them): suppress this candidate and keep searching.
@@ -133,6 +140,7 @@ pub(crate) fn single_selection_with_context(
             // returns the network of the last iteration.
             break;
         };
+        inc.commit();
         // Two-cone invalidation: the pre-change network covers windows that
         // contained the edges the ASE removed, the post-change one covers the
         // new structure (see `CandidateEngine::invalidate_committed`).

@@ -1,4 +1,4 @@
-use crate::{simulate, PatternSet, SimResult};
+use crate::{simulate, PatternSet, SimResult, SimView};
 use als_network::Network;
 
 /// The error rate between two networks over a pattern set: the fraction of
@@ -39,8 +39,21 @@ pub fn error_rate_vs_reference(
     approx: &Network,
     patterns: &PatternSet,
 ) -> f64 {
-    assert_eq!(reference.len(), approx.num_pos(), "PO count mismatch");
     let sim = simulate(approx, patterns);
+    error_rate_from_view(reference, approx, sim.view())
+}
+
+/// The error rate of already-simulated signatures (a [`SimView`], typically
+/// an [`IncrementalSim`](crate::IncrementalSim)'s current state) against
+/// stored reference PO signatures. Arithmetic is identical word-by-word to
+/// [`error_rate_vs_reference`], so incremental and full measurement paths
+/// produce bit-identical rates.
+///
+/// # Panics
+///
+/// Panics if the reference PO count differs from the network's.
+pub fn error_rate_from_view(reference: &[Vec<u64>], approx: &Network, sim: SimView<'_>) -> f64 {
+    assert_eq!(reference.len(), approx.num_pos(), "PO count mismatch");
     let wps = sim.words_per_signal();
     let mut any_diff = vec![0u64; wps];
     for (r, (_, d)) in reference.iter().zip(approx.pos()) {
@@ -55,7 +68,7 @@ pub fn error_rate_vs_reference(
         let w = if i + 1 == wps { w & tail } else { *w };
         errors += u64::from(w.count_ones());
     }
-    errors as f64 / patterns.num_patterns() as f64 // lint:allow(as-cast): counts << 2^52, exact in f64
+    errors as f64 / sim.num_patterns() as f64 // lint:allow(as-cast): counts << 2^52, exact in f64
 }
 
 /// Per-output error rates between two networks (fraction of patterns on

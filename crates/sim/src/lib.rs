@@ -37,18 +37,24 @@
 #![deny(missing_debug_implementations)]
 
 mod error_rate;
+mod incremental;
 mod local;
 mod magnitude;
 mod patterns;
 mod simulator;
 mod view;
 
-pub use error_rate::{error_rate, error_rate_vs_reference, per_output_error_rates, po_words};
+pub use error_rate::{
+    error_rate, error_rate_from_view, error_rate_vs_reference, per_output_error_rates, po_words,
+};
+pub use incremental::{IncrementalSim, ResimStats, UpdateDelta};
 pub use local::{
     local_pattern_counts, local_pattern_counts_view, local_pattern_probabilities,
     local_pattern_probabilities_view, MAX_LOCAL_FANINS,
 };
-pub use magnitude::{magnitude_stats, magnitude_stats_vs_reference, MagnitudeStats};
+pub use magnitude::{
+    magnitude_stats, magnitude_stats_from_view, magnitude_stats_vs_reference, MagnitudeStats,
+};
 pub use patterns::{ExhaustiveTooLarge, PatternSet};
 pub use simulator::{simulate, SimResult};
 pub use view::SimView;

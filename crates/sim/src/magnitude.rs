@@ -8,7 +8,7 @@
 //! mean absolute deviation of an approximate network from golden reference
 //! signatures.
 
-use crate::{simulate, PatternSet};
+use crate::{simulate, PatternSet, SimView};
 use als_network::Network;
 
 /// Deviation statistics of an approximate network over a pattern set.
@@ -36,12 +36,28 @@ pub fn magnitude_stats_vs_reference(
     approx: &Network,
     patterns: &PatternSet,
 ) -> MagnitudeStats {
+    let sim = simulate(approx, patterns);
+    magnitude_stats_from_view(reference, approx, sim.view())
+}
+
+/// Measures deviation statistics from already-simulated signatures (a
+/// [`SimView`], typically an [`IncrementalSim`](crate::IncrementalSim)'s
+/// current state). The per-pattern loop is shared with
+/// [`magnitude_stats_vs_reference`], so both paths agree bit-for-bit.
+///
+/// # Panics
+///
+/// Same conditions as [`magnitude_stats_vs_reference`].
+pub fn magnitude_stats_from_view(
+    reference: &[Vec<u64>],
+    approx: &Network,
+    sim: SimView<'_>,
+) -> MagnitudeStats {
     assert_eq!(reference.len(), approx.num_pos(), "PO count mismatch");
     assert!(
         approx.num_pos() <= 128,
         "magnitude interpretation limited to 128 outputs"
     );
-    let sim = simulate(approx, patterns);
     let approx_words: Vec<&[u64]> = approx
         .pos()
         .iter()
@@ -51,7 +67,7 @@ pub fn magnitude_stats_vs_reference(
     let mut max_abs = 0u128;
     let mut sum_abs = 0f64;
     let mut num_erroneous = 0u64;
-    for p in 0..patterns.num_patterns() {
+    for p in 0..sim.num_patterns() {
         let w = p / 64;
         let b = p % 64;
         let mut golden_value = 0u128;
@@ -73,7 +89,7 @@ pub fn magnitude_stats_vs_reference(
     }
     MagnitudeStats {
         max_abs,
-        mean_abs: sum_abs / patterns.num_patterns() as f64, // lint:allow(as-cast): counts << 2^52, exact in f64
+        mean_abs: sum_abs / sim.num_patterns() as f64, // lint:allow(as-cast): counts << 2^52, exact in f64
         num_erroneous,
     }
 }

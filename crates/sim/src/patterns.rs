@@ -102,9 +102,11 @@ impl PatternSet {
     /// have skewed input distributions, and every error-rate measurement in
     /// this crate is then taken *under that workload*.
     ///
-    /// The last partial word is padded by repeating the final vector, so
-    /// probability mass is only slightly distorted for non-multiple-of-64
-    /// counts (pass a multiple of 64 to avoid even that).
+    /// `num_patterns()` is exactly `vectors.len()`: a partial final word is
+    /// padded for storage by repeating the final vector, but the padding
+    /// bits sit above [`PatternSet::tail_mask`] and are excluded from every
+    /// count and probability. (Earlier revisions rounded the pattern count
+    /// up to a multiple of 64, silently counting the padding.)
     ///
     /// # Panics
     ///
@@ -112,11 +114,11 @@ impl PatternSet {
     pub fn from_vectors(num_pis: usize, vectors: &[u64]) -> Self {
         assert!(!vectors.is_empty(), "workload must contain vectors");
         assert!(num_pis <= 64, "explicit vectors are limited to 64 PIs");
-        let num_patterns = vectors.len().div_ceil(64) * 64;
-        let words_per_pi = num_patterns / 64;
+        let num_patterns = vectors.len();
+        let words_per_pi = num_patterns.div_ceil(64);
         let mut words = vec![vec![0u64; words_per_pi]; num_pis];
         let last = *vectors.last().expect("non-empty"); // lint:allow(panic): internal invariant; the message states it
-        for p in 0..num_patterns {
+        for p in 0..words_per_pi * 64 {
             let v = vectors.get(p).copied().unwrap_or(last);
             for (i, w) in words.iter_mut().enumerate() {
                 if v >> i & 1 == 1 {
@@ -248,11 +250,14 @@ mod tests {
     }
 
     #[test]
-    fn from_vectors_pads_with_last() {
+    fn from_vectors_keeps_the_exact_pattern_count() {
         let p = PatternSet::from_vectors(2, &[0b01, 0b10, 0b11]);
-        assert_eq!(p.num_patterns(), 64);
-        // Positions ≥ 3 repeat the final vector.
-        assert!(p.pi_value(0, 10) && p.pi_value(1, 10));
+        assert_eq!(p.num_patterns(), 3);
+        assert_eq!(p.words_per_signal(), 1);
+        // Only the three real patterns are valid; storage padding above the
+        // tail mask must never be observable.
+        assert_eq!(p.tail_mask(), 0b111);
+        assert!(p.pi_value(0, 0) && p.pi_value(1, 1));
     }
 
     #[test]

@@ -2,14 +2,29 @@ use crate::PatternSet;
 use als_network::{Network, NodeId};
 
 /// Per-node signatures produced by [`simulate`]: for every live node, the
-/// vector of 64-bit words holding the node's value under every pattern.
+/// 64-bit words holding the node's value under every pattern.
+///
+/// Storage is one flat arena-backed buffer (`arena_len × words_per_signal`
+/// words, node `id` at offset `id.index() * words_per_signal`) rather than a
+/// `Vec<Vec<u64>>`: signatures of topologically adjacent nodes sit next to
+/// each other in memory, which is what the incremental resimulation walk
+/// ([`IncrementalSim`](crate::IncrementalSim)) streams over. A separate
+/// liveness bitmap distinguishes dead arena slots from real signatures.
+///
+/// **Canonical-tail invariant:** the unused high bits of every stored final
+/// word are zero (masked at write time), so two signatures are equal iff
+/// their words are equal — plain `==`, no per-read masking or hashing.
 #[derive(Clone, Debug)]
 pub struct SimResult {
     num_patterns: usize,
     words_per_signal: usize,
     tail_mask: u64,
-    /// Indexed by arena position; tombstones hold empty vectors.
-    values: Vec<Vec<u64>>,
+    /// Flat signature arena; node `id` occupies
+    /// `words[id.index() * words_per_signal ..][..words_per_signal]`.
+    words: Vec<u64>,
+    /// Which arena slots hold a simulated signature (dead slots are
+    /// tombstones left by rewrites).
+    live: Vec<bool>,
 }
 
 impl SimResult {
@@ -31,9 +46,12 @@ impl SimResult {
     ///
     /// Panics if `id` was not live at simulation time.
     pub fn node_words(&self, id: NodeId) -> &[u64] {
-        let w = &self.values[id.index()];
-        assert!(!w.is_empty(), "node {id} was not simulated");
-        w
+        assert!(
+            self.live.get(id.index()).copied().unwrap_or(false),
+            "node {id} was not simulated"
+        );
+        let base = id.index() * self.words_per_signal;
+        &self.words[base..base + self.words_per_signal]
     }
 
     /// The value of node `id` under pattern `p`.
@@ -48,17 +66,11 @@ impl SimResult {
 
     /// How many patterns set node `id` to 1.
     pub fn count_ones(&self, id: NodeId) -> u64 {
-        let words = self.node_words(id);
-        let mut total = 0u64;
-        for (i, w) in words.iter().enumerate() {
-            let w = if i + 1 == words.len() {
-                w & self.tail_mask
-            } else {
-                *w
-            };
-            total += u64::from(w.count_ones());
-        }
-        total
+        // Tail bits are canonically zero, so a plain popcount is exact.
+        self.node_words(id)
+            .iter()
+            .map(|w| u64::from(w.count_ones()))
+            .sum()
     }
 
     /// The signal probability of node `id` (fraction of patterns at 1).
@@ -69,14 +81,8 @@ impl SimResult {
     /// A compact hash of the node's signature (used by the redundancy
     /// pre-process to bucket candidate-identical signals).
     pub fn signature_hash(&self, id: NodeId) -> u64 {
-        let words = self.node_words(id);
         let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
-        for (i, w) in words.iter().enumerate() {
-            let w = if i + 1 == words.len() {
-                w & self.tail_mask
-            } else {
-                *w
-            };
+        for w in self.node_words(id) {
             for b in w.to_le_bytes() {
                 h ^= u64::from(b);
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -87,33 +93,16 @@ impl SimResult {
 
     /// Whether two nodes have identical signatures over the pattern set.
     pub fn signatures_equal(&self, a: NodeId, b: NodeId) -> bool {
-        let wa = self.node_words(a);
-        let wb = self.node_words(b);
-        let n = wa.len();
-        wa.iter().zip(wb).enumerate().all(|(i, (x, y))| {
-            if i + 1 == n {
-                (x ^ y) & self.tail_mask == 0
-            } else {
-                x == y
-            }
-        })
+        self.node_words(a) == self.node_words(b)
     }
 
     /// The number of patterns on which two simulated nodes differ.
     pub fn difference_count(&self, a: NodeId, b: NodeId) -> u64 {
-        let wa = self.node_words(a);
-        let wb = self.node_words(b);
-        let n = wa.len();
-        let mut total = 0u64;
-        for (i, (x, y)) in wa.iter().zip(wb).enumerate() {
-            let d = if i + 1 == n {
-                (x ^ y) & self.tail_mask
-            } else {
-                x ^ y
-            };
-            total += u64::from(d.count_ones());
-        }
-        total
+        self.node_words(a)
+            .iter()
+            .zip(self.node_words(b))
+            .map(|(x, y)| u64::from((x ^ y).count_ones()))
+            .sum()
     }
 
     /// Mask selecting the valid bits of the final word.
@@ -122,12 +111,54 @@ impl SimResult {
         self.tail_mask
     }
 
-    /// The raw per-arena-position signature storage (for [`SimView`]).
+    /// The flat signature arena (for [`SimView`]).
     ///
     /// [`SimView`]: crate::SimView
     #[inline]
-    pub(crate) fn values(&self) -> &[Vec<u64>] {
-        &self.values
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The liveness bitmap (for [`SimView`]).
+    ///
+    /// [`SimView`]: crate::SimView
+    #[inline]
+    pub(crate) fn live(&self) -> &[bool] {
+        &self.live
+    }
+}
+
+/// Evaluates node `id`'s cover over the fanin signatures stored in the flat
+/// arena `words` (stride `wps`), writing the tail-canonical result into
+/// `out`. Shared by [`simulate`] and the incremental engine so both compute
+/// bit-identical signatures.
+pub(crate) fn eval_node_flat(
+    net: &Network,
+    id: NodeId,
+    words: &[u64],
+    wps: usize,
+    tail_mask: u64,
+    out: &mut [u64],
+) {
+    debug_assert_eq!(out.len(), wps);
+    out.fill(0);
+    let node = net.node(id);
+    let mut term = vec![u64::MAX; wps];
+    for cube in node.cover().cubes() {
+        term.fill(u64::MAX);
+        for (var, phase) in cube.literals() {
+            let base = node.fanins()[var].index() * wps;
+            let fanin_words = &words[base..base + wps];
+            for (t, f) in term.iter_mut().zip(fanin_words) {
+                *t &= if phase { *f } else { !*f };
+            }
+        }
+        for (a, t) in out.iter_mut().zip(&term) {
+            *a |= t;
+        }
+    }
+    if let Some(last) = out.last_mut() {
+        *last &= tail_mask;
     }
 }
 
@@ -145,36 +176,34 @@ pub fn simulate(net: &Network, patterns: &PatternSet) -> SimResult {
         "pattern set drives a different PI count"
     );
     let wps = patterns.words_per_signal();
+    let tail_mask = patterns.tail_mask();
     let arena = net.node_ids().map(NodeId::index).max().map_or(0, |m| m + 1);
-    let mut values: Vec<Vec<u64>> = vec![Vec::new(); arena];
+    let mut words = vec![0u64; arena * wps];
+    let mut live = vec![false; arena];
     for (i, &pi) in net.pis().iter().enumerate() {
-        values[pi.index()] = patterns.pi_words(i).to_vec();
+        let base = pi.index() * wps;
+        words[base..base + wps].copy_from_slice(patterns.pi_words(i));
+        if let Some(last) = words[base..base + wps].last_mut() {
+            *last &= tail_mask;
+        }
+        live[pi.index()] = true;
     }
+    let mut out = vec![0u64; wps];
     for id in net.topo_order() {
-        let node = net.node(id);
-        if node.is_pi() {
+        if net.node(id).is_pi() {
             continue;
         }
-        let mut acc = vec![0u64; wps];
-        for cube in node.cover().cubes() {
-            let mut term = vec![u64::MAX; wps];
-            for (var, phase) in cube.literals() {
-                let fanin_words = &values[node.fanins()[var].index()];
-                for (t, f) in term.iter_mut().zip(fanin_words) {
-                    *t &= if phase { *f } else { !*f };
-                }
-            }
-            for (a, t) in acc.iter_mut().zip(&term) {
-                *a |= t;
-            }
-        }
-        values[id.index()] = acc;
+        eval_node_flat(net, id, &words, wps, tail_mask, &mut out);
+        let base = id.index() * wps;
+        words[base..base + wps].copy_from_slice(&out);
+        live[id.index()] = true;
     }
     SimResult {
         num_patterns: patterns.num_patterns(),
         words_per_signal: wps,
-        tail_mask: patterns.tail_mask(),
-        values,
+        tail_mask,
+        words,
+        live,
     }
 }
 
@@ -276,5 +305,40 @@ mod tests {
         let (net, _) = xor_net();
         let patterns = PatternSet::exhaustive(3).unwrap();
         let _ = simulate(&net, &patterns);
+    }
+
+    /// Regression for the latent tail-mask edge case: pattern counts that
+    /// are an exact multiple of 64 and counts that are not must agree on
+    /// `count_ones`/`probability`. A constant-1 node must report exactly
+    /// `num_patterns` ones — neither more (tail garbage or storage padding
+    /// counted) nor fewer — and `a + a'` must partition the pattern set.
+    #[test]
+    fn tail_mask_is_exact_for_multiple_and_non_multiple_pattern_counts() {
+        for n in [1usize, 63, 64, 65, 128] {
+            let mut net = Network::new("k");
+            let a = net.add_pi("a");
+            let k1 = net.add_constant("k1", true);
+            // nota = a' exercises the negative-literal path, whose `!word`
+            // sets every tail bit before the canonical write-time mask.
+            let nota = net.add_node("nota", vec![a], Cover::from_cubes(1, [cube(&[(0, false)])]));
+            net.add_po("k1", k1);
+            net.add_po("nota", nota);
+            let vectors: Vec<u64> = (0..n as u64).map(|i| i & 1).collect(); // lint:allow(as-cast): n <= 128
+            let patterns = PatternSet::from_vectors(1, &vectors);
+            assert_eq!(patterns.num_patterns(), n, "exact pattern count");
+            let sim = simulate(&net, &patterns);
+            let n64 = n as u64; // lint:allow(as-cast): n <= 128
+            assert_eq!(sim.count_ones(k1), n64, "constant-1 over {n} patterns");
+            assert!((sim.probability(k1) - 1.0).abs() < 1e-15, "{n} patterns");
+            assert_eq!(
+                sim.count_ones(a) + sim.count_ones(nota),
+                n64,
+                "a + a' must partition {n} patterns"
+            );
+            assert_eq!(sim.count_ones(a), n64 / 2, "alternating stimulus");
+            // The canonical-tail invariant itself: no garbage above tail_mask.
+            let last = *sim.node_words(nota).last().unwrap();
+            assert_eq!(last & !sim.tail_mask(), 0, "tail garbage at {n}");
+        }
     }
 }

@@ -1,7 +1,9 @@
 use crate::SimResult;
 use als_network::NodeId;
 
-/// A borrowed, read-only view of a [`SimResult`].
+/// A borrowed, read-only view of a set of simulated signatures — either a
+/// [`SimResult`] or the current state of an
+/// [`IncrementalSim`](crate::IncrementalSim).
 ///
 /// `SimView` is `Copy` and (being a shared borrow of plain data) `Send +
 /// Sync`, so one simulation run can be fanned out across scoped worker
@@ -9,13 +11,19 @@ use als_network::NodeId;
 /// same view by value and reads the shared signatures concurrently. This is
 /// the §3.2 "one simulation run serves every consumer" idea extended across
 /// threads.
+///
+/// The backing storage upholds the canonical-tail invariant (unused bits of
+/// each final word are zero), so signature equality is plain word equality.
 #[derive(Clone, Copy, Debug)]
 pub struct SimView<'a> {
     pub(crate) num_patterns: usize,
     pub(crate) words_per_signal: usize,
     pub(crate) tail_mask: u64,
-    /// Indexed by arena position; tombstones hold empty slices.
-    pub(crate) values: &'a [Vec<u64>],
+    /// Flat signature arena; node `id` occupies
+    /// `words[id.index() * words_per_signal ..][..words_per_signal]`.
+    pub(crate) words: &'a [u64],
+    /// Which arena slots hold a signature (dead slots are tombstones).
+    pub(crate) live: &'a [bool],
 }
 
 impl<'a> SimView<'a> {
@@ -43,29 +51,50 @@ impl<'a> SimView<'a> {
     ///
     /// Panics if `id` was not live at simulation time.
     pub fn node_words(&self, id: NodeId) -> &'a [u64] {
-        let w = &self.values[id.index()];
-        assert!(!w.is_empty(), "node {id} was not simulated");
-        w
+        assert!(
+            self.live.get(id.index()).copied().unwrap_or(false),
+            "node {id} was not simulated"
+        );
+        let base = id.index() * self.words_per_signal;
+        &self.words[base..base + self.words_per_signal]
+    }
+
+    /// The value of node `id` under pattern `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not simulated or `p` is out of range.
+    pub fn node_value(&self, id: NodeId, p: usize) -> bool {
+        assert!(p < self.num_patterns, "pattern index out of range");
+        self.node_words(id)[p / 64] >> (p % 64) & 1 == 1
     }
 
     /// How many patterns set node `id` to 1.
     pub fn count_ones(&self, id: NodeId) -> u64 {
-        let words = self.node_words(id);
-        let mut total = 0u64;
-        for (i, w) in words.iter().enumerate() {
-            let w = if i + 1 == words.len() {
-                w & self.tail_mask
-            } else {
-                *w
-            };
-            total += u64::from(w.count_ones());
-        }
-        total
+        // Tail bits are canonically zero, so a plain popcount is exact.
+        self.node_words(id)
+            .iter()
+            .map(|w| u64::from(w.count_ones()))
+            .sum()
     }
 
     /// The signal probability of node `id` (fraction of patterns at 1).
     pub fn probability(&self, id: NodeId) -> f64 {
         self.count_ones(id) as f64 / self.num_patterns as f64 // lint:allow(as-cast): counts << 2^52, exact in f64
+    }
+
+    /// Whether two nodes have identical signatures over the pattern set.
+    pub fn signatures_equal(&self, a: NodeId, b: NodeId) -> bool {
+        self.node_words(a) == self.node_words(b)
+    }
+
+    /// The number of patterns on which two simulated nodes differ.
+    pub fn difference_count(&self, a: NodeId, b: NodeId) -> u64 {
+        self.node_words(a)
+            .iter()
+            .zip(self.node_words(b))
+            .map(|(x, y)| u64::from((x ^ y).count_ones()))
+            .sum()
     }
 }
 
@@ -76,7 +105,8 @@ impl SimResult {
             num_patterns: self.num_patterns(),
             words_per_signal: self.words_per_signal(),
             tail_mask: self.tail_mask(),
-            values: self.values(),
+            words: self.words(),
+            live: self.live(),
         }
     }
 }
@@ -111,6 +141,10 @@ mod tests {
         assert_eq!(view.count_ones(y), sim.count_ones(y));
         assert_eq!(view.node_words(y), sim.node_words(y));
         assert_eq!(view.probability(y), sim.probability(y));
+        let a = net.pis()[0];
+        assert_eq!(view.node_value(a, 1), sim.node_value(a, 1));
+        assert_eq!(view.difference_count(a, y), sim.difference_count(a, y));
+        assert_eq!(view.signatures_equal(y, y), sim.signatures_equal(y, y));
     }
 
     #[test]

@@ -91,6 +91,22 @@ pub enum Event {
         /// Wall time of the simulation.
         nanos: u64,
     },
+    /// One incremental dirty-set resimulation completed (see
+    /// `als_sim::IncrementalSim`): only the transitive fanout of the dirty
+    /// nodes was re-evaluated, with equal-signature branches early-exited.
+    Resimulated {
+        /// Distinct live internal nodes the caller marked dirty.
+        dirty: u64,
+        /// Nodes actually re-evaluated.
+        resim_nodes: u64,
+        /// TFO nodes skipped because every fanin signature was unchanged.
+        skipped_early_exit: u64,
+        /// Nodes a full resimulation would have evaluated (every live
+        /// non-PI node) — `resim_nodes < full_equivalent` is the saving.
+        full_equivalent: u64,
+        /// Wall time of the update.
+        nanos: u64,
+    },
     /// One error-rate measurement against the golden reference completed.
     Measured {
         /// The measured error rate.
@@ -199,6 +215,7 @@ impl Event {
             Event::RunStart { .. } => "run_start",
             Event::PhaseEnd { .. } => "phase_end",
             Event::Simulated { .. } => "simulated",
+            Event::Resimulated { .. } => "resimulated",
             Event::Measured { .. } => "measured",
             Event::EngineRefresh { .. } => "engine_refresh",
             Event::CandidatePruned { .. } => "candidate_pruned",
@@ -241,6 +258,19 @@ impl Event {
             } => {
                 obj.set("patterns", patterns)
                     .set("nodes", nodes)
+                    .set("nanos", nanos);
+            }
+            Event::Resimulated {
+                dirty,
+                resim_nodes,
+                skipped_early_exit,
+                full_equivalent,
+                nanos,
+            } => {
+                obj.set("dirty", dirty)
+                    .set("resim_nodes", resim_nodes)
+                    .set("skipped_early_exit", skipped_early_exit)
+                    .set("full_equivalent", full_equivalent)
                     .set("nanos", nanos);
             }
             Event::Measured { error_rate, nanos } => {
@@ -357,6 +387,13 @@ mod tests {
                 patterns: 64,
                 nodes: 10,
                 nanos: 7,
+            },
+            Event::Resimulated {
+                dirty: 1,
+                resim_nodes: 3,
+                skipped_early_exit: 2,
+                full_equivalent: 10,
+                nanos: 4,
             },
             Event::Measured {
                 error_rate: 0.01,

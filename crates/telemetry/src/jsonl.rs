@@ -21,7 +21,9 @@ use std::sync::Mutex;
 /// Version of the JSONL line schema; bump on breaking field changes.
 /// v2: `run_start` gained `seed`, and every accepted change emits a
 /// `change_committed` certificate line (node, ASE, claimed apparent rate).
-pub const EVENT_LOG_SCHEMA_VERSION: u64 = 2;
+/// v3: `resimulated` lines carry incremental-resimulation work counts
+/// (dirty, resim_nodes, skipped_early_exit, full_equivalent).
+pub const EVENT_LOG_SCHEMA_VERSION: u64 = 3;
 
 /// A [`TelemetrySink`] that streams every event as one JSON line to a
 /// writer. Lines are written (and the writer flushed) synchronously per

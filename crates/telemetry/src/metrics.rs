@@ -99,6 +99,15 @@ pub struct MetricsReport {
     /// entirely because every candidate was pruned — the
     /// simulations-avoided measure.
     pub nodes_skipped: u64,
+    /// Incremental dirty-set resimulation updates performed.
+    pub resim_updates: u64,
+    /// Nodes actually re-evaluated across those updates.
+    pub resim_nodes: u64,
+    /// TFO nodes skipped by the equal-signature early exit.
+    pub resim_skipped_early_exit: u64,
+    /// Nodes a full resimulation would have evaluated across those updates
+    /// — `resim_nodes` strictly below this is the incremental saving.
+    pub resim_full_equivalent: u64,
     /// Per-phase wall time.
     pub phase_nanos: PhaseNanos,
     /// Per-iteration records, in commit order.
@@ -149,6 +158,19 @@ impl MetricsReport {
             } => {
                 self.simulations += 1;
                 self.patterns_simulated += patterns;
+                self.phase_nanos.simulate += nanos;
+            }
+            Event::Resimulated {
+                resim_nodes,
+                skipped_early_exit,
+                full_equivalent,
+                nanos,
+                ..
+            } => {
+                self.resim_updates += 1;
+                self.resim_nodes += resim_nodes;
+                self.resim_skipped_early_exit += skipped_early_exit;
+                self.resim_full_equivalent += full_equivalent;
                 self.phase_nanos.simulate += nanos;
             }
             Event::Measured { nanos, .. } => {
@@ -227,6 +249,10 @@ impl MetricsReport {
             .set("knapsack_dp_cells", self.knapsack_dp_cells)
             .set("candidates_pruned", self.candidates_pruned)
             .set("nodes_skipped", self.nodes_skipped)
+            .set("resim_updates", self.resim_updates)
+            .set("resim_nodes", self.resim_nodes)
+            .set("resim_skipped_early_exit", self.resim_skipped_early_exit)
+            .set("resim_full_equivalent", self.resim_full_equivalent)
             .set("iterations", self.iterations.len())
             .set("total_s", self.total_time().as_secs_f64())
             .set("phase_s", phases);
@@ -294,6 +320,13 @@ mod tests {
                 error_rate: 0.0,
                 nanos: 40,
             },
+            Event::Resimulated {
+                dirty: 1,
+                resim_nodes: 3,
+                skipped_early_exit: 2,
+                full_equivalent: 8,
+                nanos: 60,
+            },
             Event::EngineRefresh {
                 evaluated: 8,
                 cache_hits: 0,
@@ -356,8 +389,12 @@ mod tests {
         assert_eq!(r.knapsack_dp_cells, 153);
         assert_eq!(r.candidates_pruned, 1);
         assert_eq!(r.nodes_skipped, 1);
+        assert_eq!(r.resim_updates, 1);
+        assert_eq!(r.resim_nodes, 3);
+        assert_eq!(r.resim_skipped_early_exit, 2);
+        assert_eq!(r.resim_full_equivalent, 8);
         assert_eq!(r.phase_nanos.refresh, 800);
-        assert_eq!(r.phase_nanos.simulate, 100);
+        assert_eq!(r.phase_nanos.simulate, 160);
         assert_eq!(r.phase_nanos.measure, 40);
         assert_eq!(r.phase_nanos.knapsack, 20);
         assert_eq!(r.iterations.len(), 1);
@@ -375,10 +412,27 @@ mod tests {
             nodes_skipped: 3,
             nanos: 10,
         });
+        report.absorb(&Event::Resimulated {
+            dirty: 2,
+            resim_nodes: 5,
+            skipped_early_exit: 4,
+            full_equivalent: 9,
+            nanos: 11,
+        });
         let json = report.to_json();
         assert_eq!(json.get("evaluations").and_then(Json::as_u64), Some(7));
         assert_eq!(json.get("cache_hits").and_then(Json::as_u64), Some(2));
         assert_eq!(json.get("nodes_skipped").and_then(Json::as_u64), Some(3));
+        assert_eq!(json.get("resim_updates").and_then(Json::as_u64), Some(1));
+        assert_eq!(json.get("resim_nodes").and_then(Json::as_u64), Some(5));
+        assert_eq!(
+            json.get("resim_skipped_early_exit").and_then(Json::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            json.get("resim_full_equivalent").and_then(Json::as_u64),
+            Some(9)
+        );
         assert_eq!(
             json.get("candidates_pruned").and_then(Json::as_u64),
             Some(0)

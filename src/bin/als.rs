@@ -102,7 +102,7 @@ USAGE:
   als gen         <benchmark> [-o out.blif]
   als approximate <in.blif> --threshold T [--algorithm single|multi|sasimi]
                   [-o out.blif] [--seed N] [--patterns N] [--threads N]
-                  [--no-cache] [--no-dontcares] [--verbose]
+                  [--no-cache] [--no-dontcares] [--full-resim] [--verbose]
                   [--metrics]             print engine counters and timings
                   [--events <log.jsonl>]  stream telemetry events to a file
   als verify      <golden.blif> <approx.blif> [--patterns N] [--seed N]
@@ -241,6 +241,9 @@ fn cmd_approximate(args: &[String]) -> Result<(), CliError> {
     if args.iter().any(|a| a == "--no-dontcares") {
         builder = builder.use_dont_cares(false);
     }
+    if args.iter().any(|a| a == "--full-resim") {
+        builder = builder.full_resim(true);
+    }
     if let Some(log_path) = flag_value(args, "--events") {
         let sink = als::telemetry::JsonlSink::create(log_path)
             .map_err(|e| format!("cannot open --events log `{log_path}`: {e}"))?;
@@ -264,6 +267,12 @@ fn cmd_approximate(args: &[String]) -> Result<(), CliError> {
             m.simulations, m.patterns_simulated
         );
         eprintln!("  measurements: {:>8}", m.measurements);
+        if m.resim_updates > 0 {
+            eprintln!(
+                "  resim:        {:>8}  updates ({} nodes resimulated of {} full-equivalent, {} early exits)",
+                m.resim_updates, m.resim_nodes, m.resim_full_equivalent, m.resim_skipped_early_exit
+            );
+        }
         eprintln!(
             "  evaluations:  {:>8}  (cache hits {}, hit rate {:.1}%)",
             m.evaluations,

@@ -11,6 +11,7 @@ use als::circuits::alu::adder_comparator;
 use als::circuits::misc::priority_encoder;
 use als::network::{blif, Network};
 use als::{approximate, AlsConfig, AlsOutcome, Strategy};
+use als_bench::PAPER_THRESHOLDS;
 use proptest::prelude::*;
 
 /// Everything observable about an outcome, as one comparable string.
@@ -90,6 +91,55 @@ proptest! {
             circuit_index, strategy, seed
         );
     }
+}
+
+/// The incremental dirty-set resimulation engine is a pure *speed* knob
+/// too: `full_resim` (the `--full-resim` CLI escape hatch) degrades every
+/// update to a full pass through the identical measurement arithmetic, so
+/// outcomes must stay byte-identical across every circuit × Table-4
+/// threshold × all three algorithms (quick pattern counts keep the sweep
+/// fast). Non-vacuity is asserted on the resim work counters: the
+/// incremental side must actually have saved node evaluations somewhere,
+/// and the full side must never have.
+#[test]
+fn incremental_resimulation_never_changes_the_outcome() {
+    let resim_config = |threshold: f64, full: bool| {
+        AlsConfig::builder()
+            .threshold(threshold)
+            .num_patterns(256)
+            .seed(41)
+            .full_resim(full)
+            .build()
+            .expect("test config is valid")
+    };
+    let mut incremental_saved = 0u64;
+    for circuit_index in 0..3 {
+        let net = circuit(circuit_index);
+        for &threshold in &PAPER_THRESHOLDS {
+            for strategy in [Strategy::Single, Strategy::Multi, Strategy::Sasimi] {
+                let inc = approximate(&net, strategy, &resim_config(threshold, false)).unwrap();
+                let full = approximate(&net, strategy, &resim_config(threshold, true)).unwrap();
+                assert_eq!(
+                    fingerprint(&inc),
+                    fingerprint(&full),
+                    "{} @ {threshold} {strategy:?}: full_resim changed the outcome",
+                    net.name()
+                );
+                assert!(
+                    full.metrics.resim_nodes >= full.metrics.resim_full_equivalent,
+                    "full_resim must not skip any node"
+                );
+                incremental_saved += inc
+                    .metrics
+                    .resim_full_equivalent
+                    .saturating_sub(inc.metrics.resim_nodes);
+            }
+        }
+    }
+    assert!(
+        incremental_saved > 0,
+        "incremental resimulation never skipped a node — the sweep is vacuous"
+    );
 }
 
 /// The same invariant, pinned on one explicit case per circuit so a failure
