@@ -4,14 +4,14 @@
 //! miniature.
 
 use als_circuits::ripple_carry_adder;
-use als_core::{multi_selection, single_selection, AlsConfig};
+use als_core::{multi_selection, single_selection, AlsConfig, PatternPolicy};
 use als_sasimi::sasimi;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn quick_config() -> AlsConfig {
     let mut config = AlsConfig::with_threshold(0.03);
-    config.num_patterns = 1024;
+    config.patterns = PatternPolicy::Fixed(1024);
     config.dont_care.method = als_dontcare::DontCareMethod::Enumerate;
     config
 }

@@ -20,7 +20,7 @@
 #![warn(missing_docs)]
 
 use als_circuits::{all_benchmarks, Benchmark};
-use als_core::{approximate, AlsConfig, AlsOutcome, Strategy};
+use als_core::{approximate, AlsConfig, AlsOutcome, PatternPolicy, Strategy};
 use als_mapper::{map_network, Library};
 use als_network::Network;
 use als_telemetry::MetricsReport;
@@ -111,9 +111,21 @@ pub fn run_one(
 ) -> RunResult {
     let mut config = AlsConfig::with_threshold(threshold);
     config.threads = threads;
+    // Adaptive sampling in both modes: outcomes are byte-identical to the
+    // fixed budget (see `AlsContext::update_and_accept`), and the recorded
+    // `adaptive_early_decisions` / `patterns_simulated_words` counters feed
+    // the perf-gate that keeps the escalation path alive.
     if quick {
-        config.num_patterns = 2048;
+        config.patterns = PatternPolicy::Adaptive {
+            min: 256,
+            max: 2048,
+        };
         config.dont_care.method = als_dontcare::DontCareMethod::Enumerate;
+    } else {
+        config.patterns = PatternPolicy::Adaptive {
+            min: 1024,
+            max: config.pattern_budget(),
+        };
     }
     let outcome: AlsOutcome = approximate(golden, algorithm.strategy(), &config)
         .expect("benchmark configuration must be valid"); // lint:allow(panic): internal invariant; the message states it

@@ -46,6 +46,13 @@ pub struct BenchEntry {
     /// `resim_nodes` strictly below this is the incremental saving.
     /// Optional in the JSON, defaulting to 0.
     pub resim_full_equivalent: u64,
+    /// Signature words written by simulation across the run (node
+    /// evaluations × 64-pattern words) — the unit adaptive sampling saves
+    /// in. Optional in the JSON, defaulting to 0.
+    pub patterns_simulated_words: u64,
+    /// Trials rejected from a pattern prefix by adaptive sampling before
+    /// full-budget simulation. Optional in the JSON, defaulting to 0.
+    pub adaptive_early_decisions: u64,
     /// Engine phase breakdown in seconds (`preprocess`, `simulate`, ...).
     pub phases: Vec<(String, f64)>,
 }
@@ -64,6 +71,8 @@ impl BenchEntry {
             simulations_avoided: r.metrics.nodes_skipped,
             resim_nodes: r.metrics.resim_nodes,
             resim_full_equivalent: r.metrics.resim_full_equivalent,
+            patterns_simulated_words: r.metrics.patterns_simulated_words,
+            adaptive_early_decisions: r.metrics.adaptive_early_decisions,
             phases: r
                 .metrics
                 .phase_nanos
@@ -89,6 +98,8 @@ impl BenchEntry {
             .set("simulations_avoided", self.simulations_avoided)
             .set("resim_nodes", self.resim_nodes)
             .set("resim_full_equivalent", self.resim_full_equivalent)
+            .set("patterns_simulated_words", self.patterns_simulated_words)
+            .set("adaptive_early_decisions", self.adaptive_early_decisions)
             .set("phases", phases);
         obj
     }
@@ -123,6 +134,14 @@ impl BenchEntry {
             resim_nodes: v.get("resim_nodes").and_then(Json::as_u64).unwrap_or(0),
             resim_full_equivalent: v
                 .get("resim_full_equivalent")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            patterns_simulated_words: v
+                .get("patterns_simulated_words")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            adaptive_early_decisions: v
+                .get("adaptive_early_decisions")
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
             phases,
@@ -329,6 +348,15 @@ pub fn compare(old: &BenchRecord, new: &BenchRecord, opts: &CompareOptions) -> V
                 oe.resim_full_equivalent,
             ));
         }
+        // And for adaptive sampling going dark: a baseline that rejected
+        // trials from a pattern prefix must keep doing so, otherwise every
+        // trial silently pays the full simulation budget again.
+        if oe.adaptive_early_decisions > 0 && ne.adaptive_early_decisions == 0 {
+            regressions.push(format!(
+                "{} {} @{}: adaptive sampling rejected {} trials early in the baseline but 0 now",
+                new.circuit, oe.algorithm, oe.threshold, oe.adaptive_early_decisions,
+            ));
+        }
         let quality_limit = oe.literal_ratio * (1.0 + opts.max_quality_pct / 100.0);
         if ne.literal_ratio > quality_limit {
             regressions.push(format!(
@@ -401,6 +429,8 @@ mod tests {
             simulations_avoided: 0,
             resim_nodes: 0,
             resim_full_equivalent: 0,
+            patterns_simulated_words: 0,
+            adaptive_early_decisions: 0,
             phases: vec![("simulate".into(), runtime_s / 2.0)],
         });
         rec
@@ -518,6 +548,35 @@ mod tests {
         let legacy = record_with_runtime(1.0, 0.8);
         assert!(compare(&legacy, &new, &CompareOptions::default()).is_empty());
         assert!(compare(&old, &legacy, &CompareOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn records_without_sampling_fields_parse_as_zero() {
+        let rec = record_with_runtime(1.0, 0.8);
+        let json = rec
+            .render()
+            .replace("\"patterns_simulated_words\": 0,", "")
+            .replace("\"adaptive_early_decisions\": 0,", "");
+        let parsed = BenchRecord::parse(&json).unwrap();
+        assert_eq!(parsed.entries[0].patterns_simulated_words, 0);
+        assert_eq!(parsed.entries[0].adaptive_early_decisions, 0);
+    }
+
+    #[test]
+    fn adaptive_sampling_going_dark_trips_gate() {
+        let mut old = record_with_runtime(1.0, 0.8);
+        old.entries[0].adaptive_early_decisions = 9;
+        old.entries[0].patterns_simulated_words = 1000;
+        let mut new = record_with_runtime(1.0, 0.8);
+        new.entries[0].patterns_simulated_words = 1400;
+        let regs = compare(&old, &new, &CompareOptions::default());
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("rejected 9 trials early"), "{regs:?}");
+        // The reverse direction (sampling got *better*) is not a regression,
+        // and neither are legacy records without the counters.
+        assert!(compare(&new, &old, &CompareOptions::default()).is_empty());
+        let legacy = record_with_runtime(1.0, 0.8);
+        assert!(compare(&legacy, &new, &CompareOptions::default()).is_empty());
     }
 
     #[test]

@@ -263,11 +263,11 @@ mod tests {
 
     fn sample_log() -> String {
         [
-            r#"{"event":"run_start","algorithm":"single","threads":1,"num_patterns":64,"nodes":3,"threshold":0.05,"seed":7,"v":3,"seq":0}"#,
-            r#"{"event":"measured","error_rate":0.0,"nanos":5,"v":3,"seq":1}"#,
-            r#"{"event":"change_committed","iteration":1,"node":"g5","ase":"drop x1","literals_saved":2,"apparent":0.015625,"v":3,"seq":2}"#,
-            r#"{"event":"iteration_end","iteration":1,"changes":1,"literals":10,"error_rate":0.015625,"nanos":12,"v":3,"seq":3}"#,
-            r#"{"event":"run_end","iterations":1,"literals":10,"error_rate":0.015625,"nanos":99,"v":3,"seq":4}"#,
+            r#"{"event":"run_start","algorithm":"single","threads":1,"num_patterns":64,"nodes":3,"threshold":0.05,"seed":7,"v":4,"seq":0}"#,
+            r#"{"event":"measured","error_rate":0.0,"nanos":5,"v":4,"seq":1}"#,
+            r#"{"event":"change_committed","iteration":1,"node":"g5","ase":"drop x1","literals_saved":2,"apparent":0.015625,"v":4,"seq":2}"#,
+            r#"{"event":"iteration_end","iteration":1,"changes":1,"literals":10,"error_rate":0.015625,"nanos":12,"v":4,"seq":3}"#,
+            r#"{"event":"run_end","iterations":1,"literals":10,"error_rate":0.015625,"nanos":99,"v":4,"seq":4}"#,
         ]
         .join("\n")
     }

@@ -141,7 +141,7 @@ mod tests {
         let net = toy();
         let config = AlsConfig::builder()
             .threshold(0.30)
-            .num_patterns(256)
+            .patterns(crate::PatternPolicy::Fixed(256))
             .build()
             .unwrap();
         for strategy in [Strategy::Single, Strategy::Multi, Strategy::Sasimi] {

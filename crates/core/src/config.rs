@@ -3,6 +3,116 @@ use als_dontcare::DontCareConfig;
 use als_sim::{DEFAULT_NUM_PATTERNS, MAX_LOCAL_FANINS};
 use als_telemetry::Telemetry;
 
+/// How the engine refreshes signatures after an applied change.
+///
+/// Both modes produce byte-identical results (the measurement arithmetic is
+/// shared word-for-word); [`Full`](ResimMode::Full) exists as a cross-check
+/// and debugging escape hatch, like disabling the candidate cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ResimMode {
+    /// Incremental dirty-set resimulation: after each change only the
+    /// transitive fanout of the rewritten nodes is re-evaluated, with
+    /// word-wise early exit. The default.
+    #[default]
+    Incremental,
+    /// Fully resimulate every live node after every applied change.
+    Full,
+}
+
+impl ResimMode {
+    /// Whether every update degrades to a full resimulation.
+    #[inline]
+    #[must_use]
+    pub fn is_full(self) -> bool {
+        matches!(self, ResimMode::Full)
+    }
+}
+
+/// Whether the engine discards candidates whose *static* lower error bound
+/// (abstract interpretation over fanin popcounts, see the `als-absint`
+/// crate) already exceeds the remaining budget, skipping their
+/// local-pattern gather.
+///
+/// Pruning is semantics-preserving: outcomes are identical with it on or
+/// off — [`Off`](PrunePolicy::Off) is a cross-check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PrunePolicy {
+    /// Prune candidates via the static abstract-interpretation bound. The
+    /// default.
+    #[default]
+    Static,
+    /// Evaluate every candidate.
+    Off,
+}
+
+impl PrunePolicy {
+    /// Whether static pruning is active.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(self) -> bool {
+        matches!(self, PrunePolicy::Static)
+    }
+}
+
+/// How many random simulation vectors each candidate evaluation uses.
+///
+/// **Tail-mask rounding:** stimulus is stored 64 patterns per machine word.
+/// The random generator rounds a requested count **up** to a whole number
+/// of words (the paper's 10 000 becomes 10 048), so under both policies the
+/// effective count is the rounded value and every stored word is fully
+/// populated; pattern sets built from explicit vectors keep exact
+/// non-multiple-of-64 counts by masking the unused high bits of the final
+/// word out of every count (the canonical-tail rule).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PatternPolicy {
+    /// Always simulate the full pattern budget (the paper's scheme).
+    Fixed(usize),
+    /// Start each candidate trial at `min` patterns and double toward `max`
+    /// only while the sample-sound interval around the measured error rate
+    /// still straddles the accept/reject boundary. Committed rates are
+    /// always confirmed at the full `max` budget, so outcomes are
+    /// byte-identical to `Fixed(max)` — adaptivity only changes how much
+    /// work *rejected* or clearly-decided candidates cost.
+    Adaptive {
+        /// Pattern count of the first probe round (rounded up to whole
+        /// 64-pattern words). Must be positive and at most `max`.
+        min: usize,
+        /// The full budget every committed rate is confirmed at.
+        max: usize,
+    },
+}
+
+impl PatternPolicy {
+    /// The full pattern budget: the fixed count, or `max` for adaptive
+    /// sampling. This is the count every committed error rate is measured
+    /// at.
+    #[inline]
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        match *self {
+            PatternPolicy::Fixed(n) => n,
+            PatternPolicy::Adaptive { max, .. } => max,
+        }
+    }
+
+    /// The adaptive starting count, or `None` under fixed sampling.
+    #[inline]
+    #[must_use]
+    pub fn adaptive_min(&self) -> Option<usize> {
+        match *self {
+            PatternPolicy::Fixed(_) => None,
+            PatternPolicy::Adaptive { min, .. } => Some(min),
+        }
+    }
+}
+
+impl Default for PatternPolicy {
+    /// The paper's fixed 10 000-vector scheme (rounded to 10 048).
+    fn default() -> Self {
+        PatternPolicy::Fixed(DEFAULT_NUM_PATTERNS)
+    }
+}
+
 /// An optional constraint on the numeric **error magnitude** — the paper's
 /// named future-work extension (§7). The POs are interpreted little-endian
 /// (PO `i` weighs `2^i`, the convention of the arithmetic benchmark
@@ -30,8 +140,9 @@ pub struct AlsConfig {
     /// The error rate threshold `T` (fraction of PI vectors allowed to
     /// produce a wrong output).
     pub threshold: f64,
-    /// Number of random simulation vectors per run (paper: 10 000).
-    pub num_patterns: usize,
+    /// The pattern-count policy: a fixed budget (paper: 10 000) or adaptive
+    /// growth between a minimum and the budget.
+    pub patterns: PatternPolicy,
     /// Seed for the random stimulus (results are deterministic per seed).
     pub seed: u64,
     /// Windowing/engine settings for SDC/ODC computation.
@@ -75,20 +186,11 @@ pub struct AlsConfig {
     /// every iteration — an expensive but occasionally useful cross-check,
     /// guaranteed to produce identical results.
     pub cache: bool,
-    /// Disable the incremental dirty-set resimulation engine and fully
-    /// resimulate the network after every applied change instead. The
-    /// incremental path is the default and produces byte-identical results
-    /// (the measurement arithmetic is shared word-for-word) — this escape
-    /// hatch exists as a cross-check and for debugging, like
-    /// [`cache`](AlsConfig::cache).
-    pub full_resim: bool,
-    /// Whether the engine discards candidates whose *static* lower error
-    /// bound (abstract interpretation over fanin popcounts, see the
-    /// `als-absint` crate) already exceeds the
-    /// remaining budget, skipping their local-pattern gather. Pruning is
-    /// semantics-preserving: outcomes are identical with it on or off —
-    /// disabling it is a cross-check, like [`cache`](AlsConfig::cache).
-    pub prune: bool,
+    /// Resimulation policy after applied changes (incremental dirty-set by
+    /// default; see [`ResimMode`]).
+    pub resim: ResimMode,
+    /// Static candidate-pruning policy (see [`PrunePolicy`]).
+    pub pruning: PrunePolicy,
     /// Telemetry sinks observing the run (see [`als_telemetry`]). Disabled
     /// by default: the engine then skips event construction entirely, and
     /// results are byte-identical with any sink attached.
@@ -110,7 +212,7 @@ impl AlsConfig {
         );
         AlsConfig {
             threshold,
-            num_patterns: DEFAULT_NUM_PATTERNS,
+            patterns: PatternPolicy::default(),
             seed: 0xA15_5EED,
             dont_care: DontCareConfig::default(),
             use_dont_cares: true,
@@ -124,10 +226,18 @@ impl AlsConfig {
             magnitude: None,
             threads: 1,
             cache: true,
-            full_resim: false,
-            prune: true,
+            resim: ResimMode::Incremental,
+            pruning: PrunePolicy::Static,
             telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// The full pattern budget of the active [`PatternPolicy`] — the count
+    /// every committed error rate is measured at.
+    #[inline]
+    #[must_use]
+    pub fn pattern_budget(&self) -> usize {
+        self.patterns.budget()
     }
 
     /// A validating, non-panicking builder seeded with the paper defaults
@@ -157,10 +267,23 @@ impl AlsConfig {
                 self.threshold
             )));
         }
-        if self.num_patterns == 0 {
-            return Err(AlsError::InvalidConfig(
-                "num_patterns must be positive".into(),
-            ));
+        match self.patterns {
+            PatternPolicy::Fixed(0) => {
+                return Err(AlsError::InvalidConfig(
+                    "patterns: fixed num_patterns must be positive".into(),
+                ));
+            }
+            PatternPolicy::Adaptive { min: 0, .. } => {
+                return Err(AlsError::InvalidConfig(
+                    "patterns: adaptive min must be positive".into(),
+                ));
+            }
+            PatternPolicy::Adaptive { min, max } if min > max => {
+                return Err(AlsError::InvalidConfig(format!(
+                    "patterns: adaptive min must not exceed max, got min {min} > max {max}"
+                )));
+            }
+            _ => {}
         }
         if self.max_fanins > MAX_LOCAL_FANINS {
             return Err(AlsError::InvalidConfig(format!(
@@ -206,10 +329,16 @@ impl AlsConfigBuilder {
         self
     }
 
-    /// Sets the number of random simulation vectors per run.
-    pub fn num_patterns(mut self, num_patterns: usize) -> Self {
-        self.config.num_patterns = num_patterns;
+    /// Sets the pattern-count policy (fixed budget or adaptive growth).
+    pub fn patterns(mut self, patterns: PatternPolicy) -> Self {
+        self.config.patterns = patterns;
         self
+    }
+
+    /// Sets a fixed number of random simulation vectors per run.
+    #[deprecated(note = "use `patterns(PatternPolicy::Fixed(n))` instead")]
+    pub fn num_patterns(self, num_patterns: usize) -> Self {
+        self.patterns(PatternPolicy::Fixed(num_patterns))
     }
 
     /// Sets the stimulus seed.
@@ -286,19 +415,39 @@ impl AlsConfigBuilder {
         self
     }
 
-    /// Forces a full resimulation after every applied change instead of the
-    /// incremental dirty-set update (off by default; byte-identical results
-    /// either way).
-    pub fn full_resim(mut self, on: bool) -> Self {
-        self.config.full_resim = on;
+    /// Sets the resimulation policy (incremental dirty-set by default;
+    /// byte-identical results either way).
+    pub fn resim(mut self, resim: ResimMode) -> Self {
+        self.config.resim = resim;
         self
     }
 
-    /// Enables or disables static candidate pruning (on by default;
+    /// Forces a full resimulation after every applied change instead of the
+    /// incremental dirty-set update.
+    #[deprecated(note = "use `resim(ResimMode::Full)` / `resim(ResimMode::Incremental)` instead")]
+    pub fn full_resim(self, on: bool) -> Self {
+        self.resim(if on {
+            ResimMode::Full
+        } else {
+            ResimMode::Incremental
+        })
+    }
+
+    /// Sets the static candidate-pruning policy (on by default;
     /// semantics-preserving either way).
-    pub fn prune(mut self, on: bool) -> Self {
-        self.config.prune = on;
+    pub fn pruning(mut self, pruning: PrunePolicy) -> Self {
+        self.config.pruning = pruning;
         self
+    }
+
+    /// Enables or disables static candidate pruning.
+    #[deprecated(note = "use `pruning(PrunePolicy::Static)` / `pruning(PrunePolicy::Off)` instead")]
+    pub fn prune(self, on: bool) -> Self {
+        self.pruning(if on {
+            PrunePolicy::Static
+        } else {
+            PrunePolicy::Off
+        })
     }
 
     /// Attaches telemetry sinks — engine counters, phase timings and
@@ -339,7 +488,8 @@ mod tests {
     fn defaults_follow_the_paper() {
         let c = AlsConfig::default();
         assert_eq!(c.threshold, 0.05);
-        assert_eq!(c.num_patterns, 10_048);
+        assert_eq!(c.patterns, PatternPolicy::Fixed(10_048));
+        assert_eq!(c.pattern_budget(), 10_048);
         assert_eq!(c.max_enum_literals, 5);
         assert_eq!(c.dont_care.levels_in, 2);
         assert_eq!(c.dont_care.levels_out, 2);
@@ -348,9 +498,22 @@ mod tests {
         assert!(c.magnitude.is_none());
         assert_eq!(c.threads, 1);
         assert!(c.cache);
-        assert!(!c.full_resim);
-        assert!(c.prune);
+        assert_eq!(c.resim, ResimMode::Incremental);
+        assert_eq!(c.pruning, PrunePolicy::Static);
         assert!(!c.telemetry.is_enabled());
+    }
+
+    #[test]
+    fn pattern_policy_accessors() {
+        assert_eq!(PatternPolicy::Fixed(512).budget(), 512);
+        assert_eq!(PatternPolicy::Fixed(512).adaptive_min(), None);
+        let adaptive = PatternPolicy::Adaptive { min: 64, max: 512 };
+        assert_eq!(adaptive.budget(), 512);
+        assert_eq!(adaptive.adaptive_min(), Some(64));
+        assert!(ResimMode::Full.is_full());
+        assert!(!ResimMode::Incremental.is_full());
+        assert!(PrunePolicy::Static.is_enabled());
+        assert!(!PrunePolicy::Off.is_enabled());
     }
 
     #[test]
@@ -378,8 +541,23 @@ mod tests {
     fn builder_rejects_without_panicking() {
         let err = AlsConfig::builder().threshold(1.5).build().unwrap_err();
         assert!(matches!(err, AlsError::InvalidConfig(ref m) if m.contains("threshold")));
-        let err = AlsConfig::builder().num_patterns(0).build().unwrap_err();
+        let err = AlsConfig::builder()
+            .patterns(PatternPolicy::Fixed(0))
+            .build()
+            .unwrap_err();
         assert!(matches!(err, AlsError::InvalidConfig(ref m) if m.contains("num_patterns")));
+        let err = AlsConfig::builder()
+            .patterns(PatternPolicy::Adaptive { min: 0, max: 512 })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, AlsError::InvalidConfig(ref m) if m.contains("min must be positive"))
+        );
+        let err = AlsConfig::builder()
+            .patterns(PatternPolicy::Adaptive { min: 513, max: 512 })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AlsError::InvalidConfig(ref m) if m.contains("min must not exceed")));
         let err = AlsConfig::builder().max_fanins(64).build().unwrap_err();
         assert!(matches!(err, AlsError::InvalidConfig(ref m) if m.contains("max_fanins")));
         let err = AlsConfig::builder()
@@ -389,5 +567,30 @@ mod tests {
         assert!(matches!(err, AlsError::InvalidConfig(ref m) if m.contains("max_enum_literals")));
         let err = AlsConfig::builder().max_iterations(0).build().unwrap_err();
         assert!(matches!(err, AlsError::InvalidConfig(ref m) if m.contains("max_iterations")));
+    }
+
+    /// The deprecated PR 1–5 setters must keep compiling and forward to the
+    /// typed policies exactly.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_the_policies() {
+        let c = AlsConfig::builder()
+            .num_patterns(2048)
+            .full_resim(true)
+            .prune(false)
+            .build()
+            .unwrap();
+        assert_eq!(c.patterns, PatternPolicy::Fixed(2048));
+        assert_eq!(c.resim, ResimMode::Full);
+        assert_eq!(c.pruning, PrunePolicy::Off);
+        let c = AlsConfig::builder()
+            .full_resim(false)
+            .prune(true)
+            .build()
+            .unwrap();
+        assert_eq!(c.resim, ResimMode::Incremental);
+        assert_eq!(c.pruning, PrunePolicy::Static);
+        let err = AlsConfig::builder().num_patterns(0).build().unwrap_err();
+        assert!(matches!(err, AlsError::InvalidConfig(ref m) if m.contains("num_patterns")));
     }
 }

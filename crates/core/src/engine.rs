@@ -181,7 +181,9 @@ impl CandidateEngine {
     /// don't-care ELIPs and can be below any sound bound on the apparent
     /// rate), so pruning on apparent-rate bounds is disabled there.
     fn effective_budget(&self) -> f64 {
-        if self.config.prune && !(self.needs_dont_cares && self.config.use_dont_cares) {
+        if self.config.pruning.is_enabled()
+            && !(self.needs_dont_cares && self.config.use_dont_cares)
+        {
             self.prune_budget
         } else {
             f64::INFINITY
@@ -715,7 +717,7 @@ mod tests {
 
     fn test_config() -> AlsConfig {
         let mut config = AlsConfig::with_threshold(0.10);
-        config.num_patterns = 256;
+        config.patterns = crate::PatternPolicy::Fixed(256);
         config
     }
 

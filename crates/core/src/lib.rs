@@ -73,7 +73,9 @@ pub mod sasimi;
 
 pub use api::{approximate, approximate_under, Strategy};
 pub use ase::{generate_ases, Ase, AseKind};
-pub use config::{AlsConfig, AlsConfigBuilder, MagnitudeConstraint};
+pub use config::{
+    AlsConfig, AlsConfigBuilder, MagnitudeConstraint, PatternPolicy, PrunePolicy, ResimMode,
+};
 pub use context::AlsContext;
 pub use engine::{CandidateEngine, CandidateEval, EngineStats};
 pub use error::AlsError;
@@ -88,3 +90,24 @@ pub use als_telemetry as telemetry;
 pub use als_telemetry::{
     Event, JsonlSink, MetricsCollector, MetricsReport, PhaseKind, Telemetry, TelemetrySink,
 };
+
+/// The convenience import surface: everything a typical caller needs to run
+/// a synthesis and inspect the outcome.
+///
+/// ```
+/// use als_core::prelude::*;
+///
+/// let config = AlsConfig::builder()
+///     .threshold(0.05)
+///     .patterns(PatternPolicy::Adaptive { min: 1024, max: 10_048 })
+///     .resim(ResimMode::Incremental)
+///     .build()?;
+/// # let _ = (config, Strategy::Single);
+/// # Ok::<(), als_core::AlsError>(())
+/// ```
+pub mod prelude {
+    pub use crate::{
+        approximate, approximate_under, AlsConfig, AlsError, AlsOutcome, MagnitudeConstraint,
+        MetricsReport, PatternPolicy, PrunePolicy, ResimMode, Strategy,
+    };
+}

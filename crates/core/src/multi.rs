@@ -70,7 +70,9 @@ pub(crate) fn multi_selection_with_context(
     let mut config = config.clone();
     config.telemetry = config.telemetry.clone().with(collector.clone());
     let config = &config;
-    let ctx = ctx.with_telemetry(config.telemetry.clone());
+    let ctx = ctx
+        .with_telemetry(config.telemetry.clone())
+        .with_sampling(config);
 
     config.telemetry.emit(|| Event::RunStart {
         algorithm: "multi-selection",
@@ -95,7 +97,7 @@ pub(crate) fn multi_selection_with_context(
     // The persistent incremental simulation state; one full simulation at
     // construction, dirty-set updates per batch afterwards.
     let mut inc = ctx.incremental(&current);
-    inc.set_full_resim(config.full_resim);
+    inc.set_full_resim(config.resim.is_full());
     let mut error_rate = ctx.measure_view(&current, inc.view());
     let mut margin = config.threshold - error_rate;
     let mut iterations: Vec<IterationRecord> = Vec::new();
@@ -182,21 +184,21 @@ pub(crate) fn multi_selection_with_context(
                 apply_ase(&mut current, *id, ase);
                 batch.push(*id);
             }
-            // Two-phase incremental update, one undo span: the batch nodes
-            // are resimulated *before* constant propagation (which rewrites
-            // users of swept nodes multi-level deep without marking them
-            // dirty), then the propagated structure — function-preserving
-            // per surviving node — only needs liveness reconciliation.
-            ctx.update_resim(&mut inc, &current, &batch);
-            current.propagate_constants();
-            ctx.update_resim(&mut inc, &current, &[]);
+            // Resimulate and decide in one step, one undo span: the batch
+            // nodes are resimulated *before* constant propagation (which
+            // rewrites users of swept nodes multi-level deep without marking
+            // them dirty), then the propagated structure — function-
+            // preserving per surviving node — only needs liveness
+            // reconciliation. Under adaptive sampling the batch may be
+            // rejected from a pattern prefix before propagation even runs.
+            let decision = ctx.update_and_accept(&mut inc, &mut current, &batch, true, config);
             debug_assert!(
-                current.check().is_ok(),
+                decision.is_none() || current.check().is_ok(),
                 "network inconsistent after applying a multi-selection batch: {:?}",
                 current.check()
             );
 
-            let Some(new_error_rate) = ctx.accepts_view(&current, inc.view(), config) else {
+            let Some(new_error_rate) = decision else {
                 current = snapshot;
                 inc.rollback();
                 // Rate overshoot or magnitude violation: retrying with a
@@ -351,7 +353,7 @@ mod tests {
         // LSB-scale deviations may survive.
         let golden = als_circuits::ripple_carry_adder(3);
         let mut config = AlsConfig::with_threshold(0.40);
-        config.num_patterns = 4096;
+        config.patterns = crate::PatternPolicy::Fixed(4096);
         config.magnitude = Some(MagnitudeConstraint { max_abs: 1 });
         let out = multi_selection(&golden, &config);
         let p = PatternSet::exhaustive(6).unwrap();

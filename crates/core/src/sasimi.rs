@@ -68,7 +68,9 @@ pub(crate) fn sasimi_with_context(
     let mut config = config.clone();
     config.telemetry = config.telemetry.clone().with(collector.clone());
     let config = &config;
-    let ctx = ctx.with_telemetry(config.telemetry.clone());
+    let ctx = ctx
+        .with_telemetry(config.telemetry.clone())
+        .with_sampling(config);
 
     config.telemetry.emit(|| Event::RunStart {
         algorithm: "sasimi",
@@ -83,7 +85,7 @@ pub(crate) fn sasimi_with_context(
     // The persistent incremental simulation state; trial substitutions are
     // resimulated through dirty-set updates and rolled back when rejected.
     let mut inc = ctx.incremental(&current);
-    inc.set_full_resim(config.full_resim);
+    inc.set_full_resim(config.resim.is_full());
     let mut error_rate = ctx.measure_view(&current, inc.view());
     let mut iterations: Vec<IterationRecord> = Vec::new();
 
@@ -107,13 +109,13 @@ pub(crate) fn sasimi_with_context(
                 trial.fanouts()[cand.target.index()].clone()
             };
             let description = apply(&mut trial, &cand);
-            // Two-phase update under one undo span (same protocol as
-            // multi-selection): resimulate the dirty set before constant
-            // propagation, then reconcile liveness on the swept structure.
-            ctx.update_resim(&mut inc, &trial, &dirty);
-            trial.propagate_constants();
-            ctx.update_resim(&mut inc, &trial, &[]);
-            let Some(new_error_rate) = ctx.accepts_view(&trial, inc.view(), config) else {
+            // Resimulate and decide under one undo span (same protocol as
+            // multi-selection): the dirty set is resimulated before constant
+            // propagation, liveness reconciled on the swept structure; under
+            // adaptive sampling a bad trial is rejected from a prefix.
+            let Some(new_error_rate) =
+                ctx.update_and_accept(&mut inc, &mut trial, &dirty, true, config)
+            else {
                 inc.rollback();
                 continue;
             };
@@ -197,6 +199,15 @@ pub(crate) fn sasimi_with_context(
 /// every ordered signal pair (in both phases) and the two constants. Signal
 /// signatures come from the caller's (incremental) view — no fresh
 /// simulation.
+///
+/// Under [`PatternPolicy::Adaptive`](crate::PatternPolicy::Adaptive) the
+/// pairwise scan — the `O(signals² × words)` bulk of SASIMI's runtime —
+/// probes each pair at a word prefix and doubles coverage only while the
+/// pair could still substitute in some phase
+/// ([`SimView::difference_probe`]). Mismatch and match counts are monotone
+/// in coverage, so a prefix-infeasible pair is exactly a full-scan-rejected
+/// pair: the surviving candidate set, its exact difference counts, and
+/// hence the whole run are byte-identical to fixed sampling.
 fn generate_candidates(
     net: &Network,
     sim: SimView<'_>,
@@ -205,6 +216,10 @@ fn generate_candidates(
 ) -> Vec<Candidate> {
     let num_patterns = ctx.patterns().num_patterns() as u64; // lint:allow(as-cast): usize fits u64 on all supported targets
     let allowed = (margin * num_patterns as f64).floor() as u64; // lint:allow(as-cast): margin >= 0 and the product <= num_patterns
+    let wps = sim.words_per_signal();
+    // Fixed sampling starts at full width: the probe then returns exact
+    // counts in one round and never early-exits.
+    let start_words = ctx.adaptive_min_words().unwrap_or(wps);
 
     let targets: Vec<NodeId> = net
         .internal_ids()
@@ -213,6 +228,9 @@ fn generate_candidates(
     let mut all_signals: Vec<NodeId> = net.pis().to_vec();
     all_signals.extend(targets.iter().copied());
 
+    let mut pairs = 0u64;
+    let mut early_rejects = 0u64;
+    let mut words_scanned = 0u64;
     let mut out: Vec<Candidate> = Vec::new();
     for &t in &targets {
         // Deleting t frees its literals (more after simplification; this is
@@ -237,7 +255,18 @@ fn generate_candidates(
             if s == t || tfo[s.index()] {
                 continue; // self or would create a cycle
             }
-            let diff = sim.difference_count(t, s);
+            // The inverted phase costs an extra inverter literal, so it is
+            // only ever considered when freed > 1 — pairs without it can
+            // early-exit on the mismatch bound alone.
+            let max_matches = (freed > 1).then_some(allowed);
+            let probe = sim.difference_probe(t, s, allowed, max_matches, start_words);
+            pairs += 1;
+            words_scanned += probe.words_scanned;
+            if probe.early_exit {
+                early_rejects += 1;
+                continue;
+            }
+            let diff = probe.count;
             // Same phase.
             if diff <= allowed {
                 out.push(Candidate {
@@ -263,6 +292,12 @@ fn generate_candidates(
             }
         }
     }
+    ctx.record_similarity_scan(
+        pairs,
+        early_rejects,
+        words_scanned,
+        pairs * wps as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
+    );
     out.sort_by(|a, b| {
         b.score
             .total_cmp(&a.score)

@@ -73,7 +73,9 @@ pub(crate) fn single_selection_with_context(
     let mut config = config.clone();
     config.telemetry = config.telemetry.clone().with(collector.clone());
     let config = &config;
-    let ctx = ctx.with_telemetry(config.telemetry.clone());
+    let ctx = ctx
+        .with_telemetry(config.telemetry.clone())
+        .with_sampling(config);
 
     config.telemetry.emit(|| Event::RunStart {
         algorithm: "single-selection",
@@ -95,10 +97,10 @@ pub(crate) fn single_selection_with_context(
     });
 
     // The persistent incremental simulation state: constructed with one full
-    // simulation, then kept current by dirty-set updates (`--full-resim`
+    // simulation, then kept current by dirty-set updates (`--resim full`
     // degrades every update to a full pass; results are byte-identical).
     let mut inc = ctx.incremental(&current);
-    inc.set_full_resim(config.full_resim);
+    inc.set_full_resim(config.resim.is_full());
     let mut error_rate = ctx.measure_view(&current, inc.view());
     let mut margin = config.threshold - error_rate;
     let mut iterations: Vec<IterationRecord> = Vec::new();
@@ -124,9 +126,13 @@ pub(crate) fn single_selection_with_context(
         let literals_saved = cand.ase.literals_saved;
 
         apply_ase(&mut current, node, &cand.ase);
-        ctx.update_resim(&mut inc, &current, &[node]);
 
-        let Some(new_error_rate) = ctx.accepts_view(&current, inc.view(), config) else {
+        // Resimulate and decide in one step: under adaptive sampling this
+        // may reject from a pattern prefix; accepted rates are always
+        // measured at the full budget (see `AlsContext::update_and_accept`).
+        let Some(new_error_rate) =
+            ctx.update_and_accept(&mut inc, &mut current, &[node], false, config)
+        else {
             current = snapshot;
             inc.rollback();
             if config.magnitude.is_some() {
@@ -370,7 +376,7 @@ mod tests {
         use als_sim::magnitude_stats;
         let golden = als_circuits::ripple_carry_adder(3);
         let mut config = AlsConfig::with_threshold(0.40);
-        config.num_patterns = 4096;
+        config.patterns = crate::PatternPolicy::Fixed(4096);
         config.magnitude = Some(MagnitudeConstraint { max_abs: 1 });
         let out = single_selection(&golden, &config);
         let p = PatternSet::exhaustive(6).unwrap();

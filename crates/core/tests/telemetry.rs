@@ -4,14 +4,15 @@
 
 use als_circuits::adders::ripple_carry_adder;
 use als_core::{
-    approximate, AlsConfig, AlsContext, CandidateEngine, MetricsCollector, Strategy, Telemetry,
+    approximate, AlsConfig, AlsContext, CandidateEngine, MetricsCollector, PatternPolicy, Strategy,
+    Telemetry,
 };
 use std::sync::Arc;
 
 fn config_with(collector: &Arc<MetricsCollector>) -> AlsConfig {
     AlsConfig::builder()
         .threshold(0.05)
-        .num_patterns(512)
+        .patterns(PatternPolicy::Fixed(512))
         .telemetry(collector.clone())
         .build()
         .expect("test config is valid")
@@ -69,7 +70,7 @@ fn every_algorithm_populates_outcome_metrics() {
     let net = ripple_carry_adder(4);
     let config = AlsConfig::builder()
         .threshold(0.05)
-        .num_patterns(512)
+        .patterns(PatternPolicy::Fixed(512))
         .build()
         .unwrap();
     for (strategy, name) in [
@@ -105,7 +106,7 @@ fn multi_selection_reports_knapsack_work() {
     let net = ripple_carry_adder(4);
     let config = AlsConfig::builder()
         .threshold(0.05)
-        .num_patterns(512)
+        .patterns(PatternPolicy::Fixed(512))
         .build()
         .unwrap();
     let out = approximate(&net, Strategy::Multi, &config).unwrap();

@@ -38,6 +38,7 @@
 
 mod error_rate;
 mod incremental;
+mod lanes;
 mod local;
 mod magnitude;
 mod patterns;
@@ -45,7 +46,8 @@ mod simulator;
 mod view;
 
 pub use error_rate::{
-    error_rate, error_rate_from_view, error_rate_vs_reference, per_output_error_rates, po_words,
+    error_count_range_from_view, error_rate, error_rate_from_view, error_rate_vs_reference,
+    per_output_error_rates, po_words,
 };
 pub use incremental::{IncrementalSim, ResimStats, UpdateDelta};
 pub use local::{
@@ -57,7 +59,7 @@ pub use magnitude::{
 };
 pub use patterns::{ExhaustiveTooLarge, PatternSet};
 pub use simulator::{simulate, SimResult};
-pub use view::SimView;
+pub use view::{DiffProbe, SimView};
 
 /// The paper's default number of random simulation vectors (§6): 10 000,
 /// rounded up to a whole number of 64-bit words (157 × 64 = 10 048).

@@ -1,8 +1,14 @@
-use crate::{SimResult, SimView};
+use crate::{lanes, SimResult, SimView};
 use als_network::{Network, NodeId};
 
 /// Maximum fanin count for local-pattern enumeration (`2^k` counters).
 pub const MAX_LOCAL_FANINS: usize = 16;
+
+/// Fanin counts up to this bound use the dense minterm path: one word-wise
+/// AND-reduction per local pattern (`2^k · k` chunked word ops) instead of
+/// the per-bit column gather (`64 · k` scalar bit probes per word). The
+/// crossover favors dense for every k the paper's covers actually use.
+const DENSE_LOCAL_FANINS: usize = 6;
 
 /// Counts how often each local input pattern of node `id` occurs over the
 /// simulated pattern set.
@@ -40,6 +46,32 @@ pub fn local_pattern_counts_view(net: &Network, sim: SimView<'_>, id: NodeId) ->
     let fanin_words: Vec<&[u64]> = node.fanins().iter().map(|&f| sim.node_words(f)).collect();
     let wps = sim.words_per_signal();
     let tail = sim.tail_mask();
+    if k <= DENSE_LOCAL_FANINS {
+        dense_counts(&fanin_words, wps, tail, &mut counts);
+    } else {
+        gather_counts(&fanin_words, wps, tail, &mut counts);
+    }
+    counts
+}
+
+/// Dense minterm path: local pattern `v` occurs exactly where the AND of
+/// each fanin's (possibly complemented) signature is 1. The minterms
+/// partition the pattern set, so the counts sum to `num_patterns` by
+/// construction — same totals, per-pattern, as [`gather_counts`].
+fn dense_counts(fanin_words: &[&[u64]], wps: usize, tail: u64, counts: &mut [u64]) {
+    let mut term = vec![0u64; wps];
+    for (v, count) in counts.iter_mut().enumerate() {
+        term.fill(u64::MAX);
+        for (i, fw) in fanin_words.iter().enumerate() {
+            lanes::and_phase(&mut term, fw, v >> i & 1 == 1);
+        }
+        *count = lanes::popcount_masked(&term, tail);
+    }
+}
+
+/// Per-bit column gather: transpose each word of the fanin signatures one
+/// valid pattern bit at a time and bump that pattern's counter.
+fn gather_counts(fanin_words: &[&[u64]], wps: usize, tail: u64, counts: &mut [u64]) {
     for w in 0..wps {
         let valid = if w + 1 == wps { tail } else { u64::MAX };
         if valid == 0 {
@@ -60,7 +92,6 @@ pub fn local_pattern_counts_view(net: &Network, sim: SimView<'_>, id: NodeId) ->
             counts[v] += 1;
         }
     }
-    counts
 }
 
 /// The probabilities of the local input patterns of node `id` (counts
@@ -159,6 +190,39 @@ mod tests {
         let sim = simulate(&net, &p);
         let counts = local_pattern_counts(&net, &sim, y);
         assert_eq!(counts.iter().sum::<u64>(), p.num_patterns() as u64);
+    }
+
+    /// The dense minterm path and the per-bit gather path must agree count
+    /// for count on every fanin width up to the dense cutoff, including a
+    /// non-multiple-of-64 pattern count (tail-masked final word).
+    #[test]
+    fn dense_and_gather_paths_agree() {
+        for k in 1..=DENSE_LOCAL_FANINS {
+            for n in [100usize, 128] {
+                // from_vectors keeps the exact count (100 stays 100, with a
+                // tail-masked final word) — the case the dense path must not
+                // over-count.
+                let mut state = 7 + k as u64; // lint:allow(as-cast): small k
+                let vectors: Vec<u64> = (0..n)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6_364_136_223_846_793_005)
+                            .wrapping_add(1);
+                        state >> 8
+                    })
+                    .collect();
+                let p = PatternSet::from_vectors(k, &vectors);
+                assert_eq!(p.num_patterns(), n);
+                let wps = p.words_per_signal();
+                let fanin_words: Vec<&[u64]> = (0..k).map(|i| p.pi_words(i)).collect();
+                let mut dense = vec![0u64; 1 << k];
+                let mut gather = vec![0u64; 1 << k];
+                dense_counts(&fanin_words, wps, p.tail_mask(), &mut dense);
+                gather_counts(&fanin_words, wps, p.tail_mask(), &mut gather);
+                assert_eq!(dense, gather, "k={k} n={n}");
+                assert_eq!(dense.iter().sum::<u64>(), n as u64, "k={k} n={n}"); // lint:allow(as-cast): n <= 128
+            }
+        }
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use crate::lanes;
 use crate::PatternSet;
 use als_network::{Network, NodeId};
 
@@ -67,10 +68,7 @@ impl SimResult {
     /// How many patterns set node `id` to 1.
     pub fn count_ones(&self, id: NodeId) -> u64 {
         // Tail bits are canonically zero, so a plain popcount is exact.
-        self.node_words(id)
-            .iter()
-            .map(|w| u64::from(w.count_ones()))
-            .sum()
+        lanes::popcount_masked(self.node_words(id), u64::MAX)
     }
 
     /// The signal probability of node `id` (fraction of patterns at 1).
@@ -98,11 +96,9 @@ impl SimResult {
 
     /// The number of patterns on which two simulated nodes differ.
     pub fn difference_count(&self, a: NodeId, b: NodeId) -> u64 {
-        self.node_words(a)
-            .iter()
-            .zip(self.node_words(b))
-            .map(|(x, y)| u64::from((x ^ y).count_ones()))
-            .sum()
+        let mut diff = vec![0u64; self.words_per_signal];
+        lanes::xor_or_accumulate(&mut diff, self.node_words(a), self.node_words(b));
+        lanes::popcount_masked(&diff, u64::MAX)
     }
 
     /// Mask selecting the valid bits of the final word.
@@ -140,25 +136,45 @@ pub(crate) fn eval_node_flat(
     tail_mask: u64,
     out: &mut [u64],
 ) {
-    debug_assert_eq!(out.len(), wps);
+    eval_node_range(net, id, words, wps, tail_mask, 0..wps, out);
+}
+
+/// Evaluates node `id`'s cover over the word sub-range `[start, end)` of
+/// every fanin signature, writing `end - start` result words into `out`.
+///
+/// This is the resumable form of [`eval_node_flat`] used by the adaptive
+/// sampler: a prefix of each signature can be computed first and the
+/// remaining words filled in later, producing exactly the words a full-range
+/// evaluation would (each output word depends only on the same-index fanin
+/// words). The tail mask is applied iff the range covers the final word
+/// (`end == wps`), preserving the canonical-tail invariant.
+pub(crate) fn eval_node_range(
+    net: &Network,
+    id: NodeId,
+    words: &[u64],
+    wps: usize,
+    tail_mask: u64,
+    range: std::ops::Range<usize>,
+    out: &mut [u64],
+) {
+    let (start, end) = (range.start, range.end);
+    debug_assert!(start <= end && end <= wps);
+    debug_assert_eq!(out.len(), end - start);
     out.fill(0);
     let node = net.node(id);
-    let mut term = vec![u64::MAX; wps];
+    let mut term = vec![u64::MAX; end - start];
     for cube in node.cover().cubes() {
         term.fill(u64::MAX);
         for (var, phase) in cube.literals() {
             let base = node.fanins()[var].index() * wps;
-            let fanin_words = &words[base..base + wps];
-            for (t, f) in term.iter_mut().zip(fanin_words) {
-                *t &= if phase { *f } else { !*f };
-            }
+            lanes::and_phase(&mut term, &words[base + start..base + end], phase);
         }
-        for (a, t) in out.iter_mut().zip(&term) {
-            *a |= t;
-        }
+        lanes::or_accumulate(out, &term);
     }
-    if let Some(last) = out.last_mut() {
-        *last &= tail_mask;
+    if end == wps {
+        if let Some(last) = out.last_mut() {
+            *last &= tail_mask;
+        }
     }
 }
 

@@ -96,6 +96,90 @@ impl<'a> SimView<'a> {
             .map(|(x, y)| u64::from((x ^ y).count_ones()))
             .sum()
     }
+
+    /// [`difference_count`](SimView::difference_count) with adaptive
+    /// prefix probing: the scan starts at a `start_words`-word prefix and
+    /// doubles its coverage only while the pair could still be *similar
+    /// enough* — it stops early once the prefix alone proves both phases
+    /// infeasible.
+    ///
+    /// Both mismatch and match counts are monotone in coverage, so over a
+    /// prefix of `c` patterns with `e` mismatches:
+    ///
+    /// - `e > max_mismatches` already implies the full-width mismatch count
+    ///   exceeds `max_mismatches` (same-phase substitution infeasible);
+    /// - `c − e > max_matches` already implies the full-width *match* count
+    ///   exceeds `max_matches` — and the full match count is exactly the
+    ///   inverted-phase mismatch count `N − diff` (inverted substitution
+    ///   infeasible). `max_matches: None` marks the inverted phase as
+    ///   infeasible from the outset.
+    ///
+    /// When both hold, the probe returns with `early_exit: true` and a
+    /// partial `count`; the caller's accept/reject decision is then
+    /// byte-identical to a full scan. Otherwise the scan runs to completion
+    /// and `count` is the exact [`difference_count`](Self::difference_count).
+    ///
+    /// Only full 64-pattern words are counted as covered before the final
+    /// word, so the match bound never credits the canonical-zero tail bits
+    /// as agreements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node was not simulated.
+    pub fn difference_probe(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        max_mismatches: u64,
+        max_matches: Option<u64>,
+        start_words: usize,
+    ) -> DiffProbe {
+        let wps = self.words_per_signal;
+        let wa = self.node_words(a);
+        let wb = self.node_words(b);
+        let mut mismatches = 0u64;
+        let mut scanned = 0usize;
+        let mut end = start_words.clamp(1, wps);
+        loop {
+            for w in scanned..end {
+                mismatches += u64::from((wa[w] ^ wb[w]).count_ones());
+            }
+            scanned = end;
+            if scanned == wps {
+                return DiffProbe {
+                    count: mismatches,
+                    words_scanned: scanned as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
+                    early_exit: false,
+                };
+            }
+            // Every scanned word is a full 64 patterns (only the final word
+            // can be partial, and `scanned < wps` here).
+            let covered = (scanned * 64) as u64; // lint:allow(as-cast): usize fits u64 on all supported targets
+            let same_feasible = mismatches <= max_mismatches;
+            let inv_feasible = max_matches.is_some_and(|mm| covered - mismatches <= mm);
+            if !same_feasible && !inv_feasible {
+                return DiffProbe {
+                    count: mismatches,
+                    words_scanned: scanned as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
+                    early_exit: true,
+                };
+            }
+            end = (end * 2).min(wps);
+        }
+    }
+}
+
+/// Result of one [`SimView::difference_probe`] scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiffProbe {
+    /// Mismatching patterns counted before the scan stopped: the exact
+    /// difference count when `early_exit` is false, otherwise a prefix
+    /// count that already proves both phases infeasible.
+    pub count: u64,
+    /// Signature words actually read (per signal).
+    pub words_scanned: u64,
+    /// Whether the scan stopped at a word prefix.
+    pub early_exit: bool,
 }
 
 impl SimResult {
@@ -145,6 +229,58 @@ mod tests {
         assert_eq!(view.node_value(a, 1), sim.node_value(a, 1));
         assert_eq!(view.difference_count(a, y), sim.difference_count(a, y));
         assert_eq!(view.signatures_equal(y, y), sim.signatures_equal(y, y));
+    }
+
+    #[test]
+    fn difference_probe_matches_full_scan_and_only_early_exits_soundly() {
+        // Two 8-PI signals over 256 patterns (4 words): a PI and a gate.
+        let mut net = Network::new("probe");
+        let pis: Vec<NodeId> = (0..8).map(|i| net.add_pi(format!("x{i}"))).collect();
+        let y = net.add_node(
+            "y",
+            vec![pis[0], pis[1]],
+            Cover::from_cubes(2, [Cube::from_literals(&[(0, true), (1, true)]).unwrap()]),
+        );
+        net.add_po("y", y);
+        let p = PatternSet::exhaustive(8).unwrap();
+        let sim = simulate(&net, &p);
+        let view = sim.view();
+        let full = view.difference_count(pis[2], y);
+        // Unbounded limits: the probe always completes with the exact count.
+        let probe = view.difference_probe(pis[2], y, u64::MAX, Some(u64::MAX), 1);
+        assert_eq!(
+            probe,
+            DiffProbe {
+                count: full,
+                words_scanned: 4,
+                early_exit: false
+            }
+        );
+        // Tight limits on a dissimilar pair: early exit from the first word,
+        // and the partial count already exceeds the mismatch limit while the
+        // match bound is violated too.
+        let tight = view.difference_probe(pis[2], y, 3, Some(3), 1);
+        assert!(tight.early_exit);
+        assert_eq!(tight.words_scanned, 1);
+        assert!(tight.count > 3 && 64 - tight.count > 3);
+        // A pair similar in the inverted phase is never early-exited by a
+        // tight mismatch limit alone.
+        let mut inv_net = Network::new("inv");
+        let a = inv_net.add_pi("a");
+        let filler = inv_net.add_pi("f");
+        let na = inv_net.add_node(
+            "na",
+            vec![a],
+            Cover::from_cubes(1, [Cube::from_literals(&[(0, false)]).unwrap()]),
+        );
+        inv_net.add_po("na", na);
+        inv_net.add_po("f", filler);
+        let p2 = PatternSet::random(2, 256, 7);
+        let s2 = simulate(&inv_net, &p2);
+        let v2 = s2.view();
+        let inv_probe = v2.difference_probe(a, na, 0, Some(0), 1);
+        assert!(!inv_probe.early_exit, "perfect inverse must scan fully");
+        assert_eq!(inv_probe.count, 256, "a vs a' differs everywhere");
     }
 
     #[test]

@@ -104,8 +104,44 @@ pub enum Event {
         /// Nodes a full resimulation would have evaluated (every live
         /// non-PI node) — `resim_nodes < full_equivalent` is the saving.
         full_equivalent: u64,
+        /// Signature words actually written (`resim_nodes × word-range
+        /// length`): under adaptive sampling a probe round covers only a
+        /// prefix of each signature, so this is the honest work measure.
+        words: u64,
         /// Wall time of the update.
         nanos: u64,
+    },
+    /// Adaptive pattern sampling finished one probe round: the sample-sound
+    /// interval around the measured rate still straddled (or cleared) the
+    /// accept/reject boundary, so the trial either escalated to a wider
+    /// prefix or stopped early.
+    SamplingEscalated {
+        /// Pattern words already covered before this round.
+        from_words: u64,
+        /// Pattern words covered after this round.
+        to_words: u64,
+        /// Erroneous patterns counted over the covered prefix.
+        errors: u64,
+        /// `true` when the prefix alone already proves rejection (the
+        /// interval's lower bound exceeds the threshold) — the trial stops
+        /// here without simulating the remaining words.
+        early_reject: bool,
+    },
+    /// One pairwise similarity sweep of SASIMI candidate generation
+    /// completed, aggregated over all ordered signal pairs (per-pair events
+    /// would flood the log). Under adaptive sampling each pair's signature
+    /// scan starts at a word prefix and doubles only while the pair could
+    /// still substitute in some phase; `early_rejects` counts pairs proven
+    /// infeasible from a prefix.
+    SimilarityScanned {
+        /// Ordered signal pairs scanned.
+        pairs: u64,
+        /// Pairs rejected from a word prefix (both phases infeasible).
+        early_rejects: u64,
+        /// Signature words actually read.
+        words: u64,
+        /// Words a full-width scan of every pair would have read.
+        words_full: u64,
     },
     /// One error-rate measurement against the golden reference completed.
     Measured {
@@ -216,6 +252,8 @@ impl Event {
             Event::PhaseEnd { .. } => "phase_end",
             Event::Simulated { .. } => "simulated",
             Event::Resimulated { .. } => "resimulated",
+            Event::SamplingEscalated { .. } => "sampling_escalated",
+            Event::SimilarityScanned { .. } => "similarity_scanned",
             Event::Measured { .. } => "measured",
             Event::EngineRefresh { .. } => "engine_refresh",
             Event::CandidatePruned { .. } => "candidate_pruned",
@@ -265,13 +303,37 @@ impl Event {
                 resim_nodes,
                 skipped_early_exit,
                 full_equivalent,
+                words,
                 nanos,
             } => {
                 obj.set("dirty", dirty)
                     .set("resim_nodes", resim_nodes)
                     .set("skipped_early_exit", skipped_early_exit)
                     .set("full_equivalent", full_equivalent)
+                    .set("words", words)
                     .set("nanos", nanos);
+            }
+            Event::SamplingEscalated {
+                from_words,
+                to_words,
+                errors,
+                early_reject,
+            } => {
+                obj.set("from_words", from_words)
+                    .set("to_words", to_words)
+                    .set("errors", errors)
+                    .set("early_reject", early_reject);
+            }
+            Event::SimilarityScanned {
+                pairs,
+                early_rejects,
+                words,
+                words_full,
+            } => {
+                obj.set("pairs", pairs)
+                    .set("early_rejects", early_rejects)
+                    .set("words", words)
+                    .set("words_full", words_full);
             }
             Event::Measured { error_rate, nanos } => {
                 obj.set("error_rate", error_rate).set("nanos", nanos);
@@ -393,7 +455,20 @@ mod tests {
                 resim_nodes: 3,
                 skipped_early_exit: 2,
                 full_equivalent: 10,
+                words: 12,
                 nanos: 4,
+            },
+            Event::SamplingEscalated {
+                from_words: 4,
+                to_words: 8,
+                errors: 2,
+                early_reject: false,
+            },
+            Event::SimilarityScanned {
+                pairs: 90,
+                early_rejects: 71,
+                words: 310,
+                words_full: 2880,
             },
             Event::Measured {
                 error_rate: 0.01,

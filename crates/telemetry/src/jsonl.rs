@@ -23,7 +23,13 @@ use std::sync::Mutex;
 /// `change_committed` certificate line (node, ASE, claimed apparent rate).
 /// v3: `resimulated` lines carry incremental-resimulation work counts
 /// (dirty, resim_nodes, skipped_early_exit, full_equivalent).
-pub const EVENT_LOG_SCHEMA_VERSION: u64 = 3;
+/// v4: adaptive pattern sampling — `resimulated` lines gained `words`
+/// (signature words actually written), probe rounds emit
+/// `sampling_escalated` lines (from_words, to_words, errors, early_reject),
+/// and SASIMI candidate generation emits one aggregated
+/// `similarity_scanned` line per sweep (pairs, early_rejects, words,
+/// words_full).
+pub const EVENT_LOG_SCHEMA_VERSION: u64 = 4;
 
 /// A [`TelemetrySink`] that streams every event as one JSON line to a
 /// writer. Lines are written (and the writer flushed) synchronously per

@@ -76,6 +76,19 @@ pub struct MetricsReport {
     pub simulations: u64,
     /// Total patterns driven across those simulations.
     pub patterns_simulated: u64,
+    /// Signature words written across all simulation work — full
+    /// simulations contribute `nodes × ⌈patterns/64⌉`, incremental updates
+    /// their exact `words` counter. Under adaptive sampling this is the
+    /// honest work measure: early-rejected trials write fewer words than
+    /// `patterns_simulated` alone suggests.
+    pub patterns_simulated_words: u64,
+    /// Adaptive-sampling decisions made from a prefix of the pattern
+    /// budget: trials rejected by a probe round
+    /// (`SamplingEscalated { early_reject: true }`) plus SASIMI candidate
+    /// pairs proven infeasible from a prefix scan
+    /// (`SimilarityScanned::early_rejects`) — zero under
+    /// `PatternPolicy::Fixed`.
+    pub adaptive_early_decisions: u64,
     /// Error-rate measurements against the golden reference.
     pub measurements: u64,
     /// Candidate-engine refresh calls.
@@ -154,16 +167,20 @@ impl MetricsReport {
                 *self.phase_nanos.slot(phase) += nanos;
             }
             Event::Simulated {
-                patterns, nanos, ..
+                patterns,
+                nodes,
+                nanos,
             } => {
                 self.simulations += 1;
                 self.patterns_simulated += patterns;
+                self.patterns_simulated_words += nodes * patterns.div_ceil(64);
                 self.phase_nanos.simulate += nanos;
             }
             Event::Resimulated {
                 resim_nodes,
                 skipped_early_exit,
                 full_equivalent,
+                words,
                 nanos,
                 ..
             } => {
@@ -171,7 +188,21 @@ impl MetricsReport {
                 self.resim_nodes += resim_nodes;
                 self.resim_skipped_early_exit += skipped_early_exit;
                 self.resim_full_equivalent += full_equivalent;
+                self.patterns_simulated_words += words;
                 self.phase_nanos.simulate += nanos;
+            }
+            Event::SamplingEscalated { early_reject, .. } => {
+                if early_reject {
+                    self.adaptive_early_decisions += 1;
+                }
+            }
+            Event::SimilarityScanned {
+                early_rejects,
+                words,
+                ..
+            } => {
+                self.patterns_simulated_words += words;
+                self.adaptive_early_decisions += early_rejects;
             }
             Event::Measured { nanos, .. } => {
                 self.measurements += 1;
@@ -239,6 +270,8 @@ impl MetricsReport {
             .set("threads", self.threads)
             .set("simulations", self.simulations)
             .set("patterns_simulated", self.patterns_simulated)
+            .set("patterns_simulated_words", self.patterns_simulated_words)
+            .set("adaptive_early_decisions", self.adaptive_early_decisions)
             .set("measurements", self.measurements)
             .set("refreshes", self.refreshes)
             .set("evaluations", self.evaluations)
@@ -325,7 +358,26 @@ mod tests {
                 resim_nodes: 3,
                 skipped_early_exit: 2,
                 full_equivalent: 8,
+                words: 3,
                 nanos: 60,
+            },
+            Event::SamplingEscalated {
+                from_words: 0,
+                to_words: 1,
+                errors: 9,
+                early_reject: true,
+            },
+            Event::SamplingEscalated {
+                from_words: 1,
+                to_words: 2,
+                errors: 0,
+                early_reject: false,
+            },
+            Event::SimilarityScanned {
+                pairs: 40,
+                early_rejects: 30,
+                words: 70,
+                words_full: 160,
             },
             Event::EngineRefresh {
                 evaluated: 8,
@@ -377,6 +429,8 @@ mod tests {
         assert_eq!(r.threads, 2);
         assert_eq!(r.simulations, 1);
         assert_eq!(r.patterns_simulated, 64);
+        assert_eq!(r.patterns_simulated_words, 8 + 3 + 70);
+        assert_eq!(r.adaptive_early_decisions, 1 + 30);
         assert_eq!(r.measurements, 1);
         assert_eq!(r.refreshes, 2);
         assert_eq!(r.evaluations, 13);
@@ -417,13 +471,28 @@ mod tests {
             resim_nodes: 5,
             skipped_early_exit: 4,
             full_equivalent: 9,
+            words: 15,
             nanos: 11,
+        });
+        report.absorb(&Event::SamplingEscalated {
+            from_words: 0,
+            to_words: 4,
+            errors: 6,
+            early_reject: true,
         });
         let json = report.to_json();
         assert_eq!(json.get("evaluations").and_then(Json::as_u64), Some(7));
         assert_eq!(json.get("cache_hits").and_then(Json::as_u64), Some(2));
         assert_eq!(json.get("nodes_skipped").and_then(Json::as_u64), Some(3));
         assert_eq!(json.get("resim_updates").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            json.get("patterns_simulated_words").and_then(Json::as_u64),
+            Some(15)
+        );
+        assert_eq!(
+            json.get("adaptive_early_decisions").and_then(Json::as_u64),
+            Some(1)
+        );
         assert_eq!(json.get("resim_nodes").and_then(Json::as_u64), Some(5));
         assert_eq!(
             json.get("resim_skipped_early_exit").and_then(Json::as_u64),

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example adder_tradeoff`
 
 use als::circuits::{carry_lookahead_adder, kogge_stone_adder, ripple_carry_adder};
-use als::core::{multi_selection, AlsConfig};
+use als::core::{multi_selection, AlsConfig, PatternPolicy};
 use als::mapper::{map_network, Library};
 
 fn main() {
@@ -31,7 +31,7 @@ fn main() {
         print!("{name:<7} {base:>10.0}");
         for &t in &thresholds {
             let mut config = AlsConfig::with_threshold(t);
-            config.num_patterns = 4096;
+            config.patterns = PatternPolicy::Fixed(4096);
             let outcome = multi_selection(golden, &config);
             let area = map_network(&outcome.network, &lib).area();
             print!("{:>11.1}%", (1.0 - area / base) * 100.0);

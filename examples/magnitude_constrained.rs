@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example magnitude_constrained`
 
 use als::circuits::ripple_carry_adder;
-use als::core::{multi_selection, AlsConfig, MagnitudeConstraint};
+use als::core::{multi_selection, AlsConfig, MagnitudeConstraint, PatternPolicy};
 use als::sim::{magnitude_stats, PatternSet};
 
 fn main() {
@@ -22,7 +22,7 @@ fn main() {
     );
     for bound in [None, Some(16), Some(4), Some(1)] {
         let mut config = AlsConfig::with_threshold(0.25);
-        config.num_patterns = 4096;
+        config.patterns = PatternPolicy::Fixed(4096);
         config.magnitude = bound.map(|max_abs| MagnitudeConstraint { max_abs });
         let outcome = multi_selection(&golden, &config);
         let stats = magnitude_stats(&golden, &outcome.network, &patterns);

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example multiplier_quality`
 
 use als::circuits::array_multiplier;
-use als::core::{single_selection, AlsConfig};
+use als::core::{single_selection, AlsConfig, PatternPolicy};
 use als::network::Network;
 
 /// Multiplies through a network: drives the first 16 PIs with `a` and `b`,
@@ -37,7 +37,7 @@ fn main() {
     );
     for threshold in [0.001, 0.01, 0.05, 0.10] {
         let mut config = AlsConfig::with_threshold(threshold);
-        config.num_patterns = 4096;
+        config.patterns = PatternPolicy::Fixed(4096);
         let outcome = single_selection(&golden, &config);
 
         // Exhaustive application-level evaluation: all 65 536 products.

@@ -5,7 +5,8 @@
 //! als gen         <benchmark> [-o out.blif]       emit a generated benchmark
 //! als approximate <in.blif> --threshold 0.05
 //!                 [--algorithm single|multi|sasimi] [-o out.blif]
-//!                 [--seed N] [--patterns N] [--threads N] [--no-cache]
+//!                 [--seed N] [--patterns fixed:N|adaptive:MIN..MAX]
+//!                 [--resim incremental|full] [--threads N] [--no-cache]
 //!                 [--no-dontcares] [--verbose] [--metrics]
 //!                 [--events <log.jsonl>]
 //! als verify      <golden.blif> <approx.blif> [--patterns N] [--seed N]
@@ -24,9 +25,9 @@ use als::check::{
 use als::circuits::all_benchmarks;
 use als::circuits::registry::find_benchmark;
 use als::core::classical::optimize_classical;
-use als::core::{approximate, AlsConfig, Strategy};
 use als::mapper::{map_network, write_verilog, Library};
 use als::network::{blif, Network};
+use als::prelude::*;
 use als::sim::{error_rate, PatternSet};
 use als::telemetry::Json;
 use std::process::ExitCode;
@@ -101,10 +102,15 @@ USAGE:
   als stats       <in.blif>
   als gen         <benchmark> [-o out.blif]
   als approximate <in.blif> --threshold T [--algorithm single|multi|sasimi]
-                  [-o out.blif] [--seed N] [--patterns N] [--threads N]
-                  [--no-cache] [--no-dontcares] [--full-resim] [--verbose]
+                  [-o out.blif] [--seed N] [--threads N]
+                  [--patterns fixed:N|adaptive:MIN..MAX|N]
+                              sampling policy: fixed budget, or adaptive
+                              escalation from MIN toward the MAX budget
+                  [--resim incremental|full]
+                  [--no-cache] [--no-dontcares] [--verbose]
                   [--metrics]             print engine counters and timings
                   [--events <log.jsonl>]  stream telemetry events to a file
+                  (deprecated aliases: --num-patterns N, --full-resim)
   als verify      <golden.blif> <approx.blif> [--patterns N] [--seed N]
                   [--exact]   (BDD-based, no sampling)
   als check       <in.blif> [--fast]          structural + functional lint
@@ -141,6 +147,26 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Parses a `--patterns` policy: `fixed:N`, `adaptive:MIN..MAX`, or a bare
+/// count `N` (shorthand for `fixed:N`, the pre-policy flag syntax).
+fn parse_pattern_policy(spec: &str) -> Result<PatternPolicy, String> {
+    if let Some(n) = spec.strip_prefix("fixed:") {
+        let n = n.parse().map_err(|e| format!("fixed count: {e}"))?;
+        return Ok(PatternPolicy::Fixed(n));
+    }
+    if let Some(range) = spec.strip_prefix("adaptive:") {
+        let (min, max) = range
+            .split_once("..")
+            .ok_or_else(|| String::from("adaptive policy wants MIN..MAX"))?;
+        let min = min.parse().map_err(|e| format!("adaptive MIN: {e}"))?;
+        let max = max.parse().map_err(|e| format!("adaptive MAX: {e}"))?;
+        return Ok(PatternPolicy::Adaptive { min, max });
+    }
+    spec.parse()
+        .map(PatternPolicy::Fixed)
+        .map_err(|e| format!("pattern count: {e}"))
 }
 
 fn write_or_print(net: &Network, args: &[String]) -> Result<(), CliError> {
@@ -222,11 +248,30 @@ fn cmd_approximate(args: &[String]) -> Result<(), CliError> {
         );
     }
     if let Some(patterns) = flag_value(args, "--patterns") {
-        builder = builder.num_patterns(
+        builder = builder.patterns(parse_pattern_policy(patterns).map_err(|e| {
+            usage(format!(
+                "bad --patterns: {e} (fixed:N, adaptive:MIN..MAX, or N)"
+            ))
+        })?);
+    }
+    if let Some(patterns) = flag_value(args, "--num-patterns") {
+        eprintln!("warning: --num-patterns is deprecated; use --patterns fixed:N");
+        builder = builder.patterns(PatternPolicy::Fixed(
             patterns
                 .parse()
-                .map_err(|e| usage(format!("bad --patterns: {e}")))?,
-        );
+                .map_err(|e| usage(format!("bad --num-patterns: {e}")))?,
+        ));
+    }
+    if let Some(mode) = flag_value(args, "--resim") {
+        builder = builder.resim(match mode {
+            "incremental" => ResimMode::Incremental,
+            "full" => ResimMode::Full,
+            other => {
+                return Err(usage(format!(
+                    "unknown --resim `{other}` (incremental or full)"
+                )))
+            }
+        });
     }
     if let Some(threads) = flag_value(args, "--threads") {
         builder = builder.threads(
@@ -242,7 +287,8 @@ fn cmd_approximate(args: &[String]) -> Result<(), CliError> {
         builder = builder.use_dont_cares(false);
     }
     if args.iter().any(|a| a == "--full-resim") {
-        builder = builder.full_resim(true);
+        eprintln!("warning: --full-resim is deprecated; use --resim full");
+        builder = builder.resim(ResimMode::Full);
     }
     if let Some(log_path) = flag_value(args, "--events") {
         let sink = als::telemetry::JsonlSink::create(log_path)
@@ -266,11 +312,21 @@ fn cmd_approximate(args: &[String]) -> Result<(), CliError> {
             "  simulations:  {:>8}  ({} node-patterns simulated)",
             m.simulations, m.patterns_simulated
         );
+        eprintln!(
+            "  sim words:    {:>8}  (signature words written)",
+            m.patterns_simulated_words
+        );
         eprintln!("  measurements: {:>8}", m.measurements);
         if m.resim_updates > 0 {
             eprintln!(
                 "  resim:        {:>8}  updates ({} nodes resimulated of {} full-equivalent, {} early exits)",
                 m.resim_updates, m.resim_nodes, m.resim_full_equivalent, m.resim_skipped_early_exit
+            );
+        }
+        if m.adaptive_early_decisions > 0 {
+            eprintln!(
+                "  adaptive:     {:>8}  early decisions from a pattern prefix",
+                m.adaptive_early_decisions
             );
         }
         eprintln!(

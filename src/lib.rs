@@ -62,7 +62,25 @@ pub use als_telemetry as telemetry;
 
 // Convenience re-exports of the items used in almost every program.
 pub use als_core::{
-    approximate, multi_selection, single_selection, AlsConfig, AlsError, AlsOutcome, Strategy,
+    approximate, multi_selection, single_selection, AlsConfig, AlsError, AlsOutcome,
+    MagnitudeConstraint, MetricsReport, PatternPolicy, PrunePolicy, ResimMode, Strategy,
 };
 pub use als_network::Network;
 pub use als_sasimi::sasimi;
+
+/// The convenience import surface: everything a typical caller needs to run
+/// a synthesis and inspect the outcome.
+///
+/// ```
+/// use als::prelude::*;
+///
+/// let config = AlsConfig::builder()
+///     .threshold(0.05)
+///     .patterns(PatternPolicy::Adaptive { min: 1024, max: 10_048 })
+///     .build()?;
+/// # let _ = (config, Strategy::Single);
+/// # Ok::<(), als::AlsError>(())
+/// ```
+pub mod prelude {
+    pub use als_core::prelude::*;
+}

@@ -10,7 +10,7 @@ use als::circuits::adders::ripple_carry_adder;
 use als::circuits::alu::adder_comparator;
 use als::circuits::misc::priority_encoder;
 use als::network::{blif, Network};
-use als::{approximate, AlsConfig, AlsOutcome, Strategy};
+use als::{approximate, AlsConfig, AlsOutcome, PatternPolicy, ResimMode, Strategy};
 use als_bench::PAPER_THRESHOLDS;
 use proptest::prelude::*;
 
@@ -53,7 +53,7 @@ fn circuit(index: usize) -> Network {
 fn config(seed: u64, threads: usize, cache: bool) -> AlsConfig {
     AlsConfig::builder()
         .threshold(0.05)
-        .num_patterns(512)
+        .patterns(PatternPolicy::Fixed(512))
         .seed(seed)
         .threads(threads)
         .cache(cache)
@@ -106,9 +106,13 @@ fn incremental_resimulation_never_changes_the_outcome() {
     let resim_config = |threshold: f64, full: bool| {
         AlsConfig::builder()
             .threshold(threshold)
-            .num_patterns(256)
+            .patterns(PatternPolicy::Fixed(256))
             .seed(41)
-            .full_resim(full)
+            .resim(if full {
+                ResimMode::Full
+            } else {
+                ResimMode::Incremental
+            })
             .build()
             .expect("test config is valid")
     };
@@ -139,6 +143,71 @@ fn incremental_resimulation_never_changes_the_outcome() {
     assert!(
         incremental_saved > 0,
         "incremental resimulation never skipped a node — the sweep is vacuous"
+    );
+}
+
+/// Adaptive pattern sampling is a pure *speed* knob as well: an early
+/// reject fires only when the full-budget measurement would also reject,
+/// and every other decision is made at the full budget through identical
+/// arithmetic — so `Adaptive { min, max }` must produce byte-identical
+/// outcomes to `Fixed(max)` across every circuit × Table-4 threshold × all
+/// three algorithms. Non-vacuity is asserted on the
+/// `adaptive_early_decisions` counter: somewhere in the sweep a trial must
+/// actually have been rejected from a pattern prefix, or the equivalence
+/// proves nothing.
+#[test]
+fn adaptive_sampling_never_changes_the_outcome() {
+    let sampling_config = |threshold: f64, patterns: PatternPolicy| {
+        AlsConfig::builder()
+            .threshold(threshold)
+            .patterns(patterns)
+            .seed(23)
+            .build()
+            .expect("test config is valid")
+    };
+    let mut early_decisions = 0u64;
+    let mut words_saved = 0u64;
+    for circuit_index in 0..3 {
+        let net = circuit(circuit_index);
+        for &threshold in &PAPER_THRESHOLDS {
+            for strategy in [Strategy::Single, Strategy::Multi, Strategy::Sasimi] {
+                let adaptive = approximate(
+                    &net,
+                    strategy,
+                    &sampling_config(threshold, PatternPolicy::Adaptive { min: 64, max: 256 }),
+                )
+                .unwrap();
+                let fixed = approximate(
+                    &net,
+                    strategy,
+                    &sampling_config(threshold, PatternPolicy::Fixed(256)),
+                )
+                .unwrap();
+                assert_eq!(
+                    fingerprint(&adaptive),
+                    fingerprint(&fixed),
+                    "{} @ {threshold} {strategy:?}: adaptive sampling changed the outcome",
+                    net.name()
+                );
+                assert_eq!(
+                    fixed.metrics.adaptive_early_decisions, 0,
+                    "fixed sampling must never decide early"
+                );
+                early_decisions += adaptive.metrics.adaptive_early_decisions;
+                words_saved += fixed
+                    .metrics
+                    .patterns_simulated_words
+                    .saturating_sub(adaptive.metrics.patterns_simulated_words);
+            }
+        }
+    }
+    assert!(
+        early_decisions > 0,
+        "no trial was ever rejected from a pattern prefix — the sweep is vacuous"
+    );
+    assert!(
+        words_saved > 0,
+        "adaptive sampling simulated at least as many words as fixed sampling"
     );
 }
 

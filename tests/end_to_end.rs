@@ -2,7 +2,7 @@
 //! → approximate → verify → map.
 
 use als::circuits::{all_benchmarks, ripple_carry_adder, wallace_tree_multiplier};
-use als::core::{multi_selection, single_selection, AlsConfig};
+use als::core::{multi_selection, single_selection, AlsConfig, PatternPolicy};
 use als::mapper::{map_network, Library};
 use als::network::blif;
 use als::sasimi::sasimi;
@@ -10,7 +10,7 @@ use als::sim::{error_rate, PatternSet};
 
 fn quick_config(threshold: f64) -> AlsConfig {
     let mut config = AlsConfig::with_threshold(threshold);
-    config.num_patterns = 2048;
+    config.patterns = PatternPolicy::Fixed(2048);
     config
 }
 

@@ -4,6 +4,7 @@
 use als::core::knapsack::{solve, KnapsackItem, KnapsackState};
 use als::core::{
     apparent_error_rate, estimated_real_error_rate, generate_ases, single_selection, AlsConfig,
+    PatternPolicy,
 };
 use als::dontcare::{compute_dont_cares, DontCareConfig};
 use als::logic::{Cover, Cube, Expr};
@@ -212,7 +213,7 @@ fn paper_ase_example() {
 fn error_budget_consumed_monotonically() {
     let golden = als::circuits::wallace_tree_multiplier(3);
     let mut config = AlsConfig::with_threshold(0.10);
-    config.num_patterns = 4096;
+    config.patterns = PatternPolicy::Fixed(4096);
     let outcome = single_selection(&golden, &config);
     let mut last = 0.0;
     for it in &outcome.iterations {

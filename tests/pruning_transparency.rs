@@ -17,7 +17,7 @@ use als::circuits::adders::ripple_carry_adder;
 use als::circuits::alu::adder_comparator;
 use als::circuits::misc::priority_encoder;
 use als::network::{blif, Network};
-use als::{approximate, AlsConfig, AlsOutcome, Strategy};
+use als::{approximate, AlsConfig, AlsOutcome, PatternPolicy, PrunePolicy, Strategy};
 use als_bench::PAPER_THRESHOLDS;
 
 /// Everything observable about an outcome except engine metrics and
@@ -51,9 +51,13 @@ fn fingerprint(out: &AlsOutcome) -> String {
 fn config(threshold: f64, prune: bool) -> AlsConfig {
     AlsConfig::builder()
         .threshold(threshold)
-        .num_patterns(256)
+        .patterns(PatternPolicy::Fixed(256))
         .seed(41)
-        .prune(prune)
+        .pruning(if prune {
+            PrunePolicy::Static
+        } else {
+            PrunePolicy::Off
+        })
         .build()
         .expect("test config is valid")
 }
@@ -120,9 +124,9 @@ fn tightest_threshold_on_a_wide_adder_skips_simulations() {
     let net = ripple_carry_adder(32);
     let config = AlsConfig::builder()
         .threshold(PAPER_THRESHOLDS[0])
-        .num_patterns(2048)
+        .patterns(PatternPolicy::Fixed(2048))
         .seed(41)
-        .prune(true)
+        .pruning(PrunePolicy::Static)
         .build()
         .expect("test config is valid");
     let out = approximate(&net, Strategy::Multi, &config).unwrap();

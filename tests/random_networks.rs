@@ -2,7 +2,7 @@
 //! arbitrary small random networks, with the true error rate measured
 //! exhaustively.
 
-use als::core::{multi_selection, single_selection, AlsConfig};
+use als::core::{multi_selection, single_selection, AlsConfig, PatternPolicy};
 use als::logic::{Cover, Cube};
 use als::network::{Network, NodeId};
 use als::sasimi::sasimi;
@@ -66,7 +66,7 @@ proptest! {
         prop_assume!(golden.num_internal() > 0);
         let threshold = f64::from(t_pct) / 100.0;
         let mut config = AlsConfig::with_threshold(threshold);
-        config.num_patterns = 4096; // ≈128 samples of each of the 32 input points
+        config.patterns = PatternPolicy::Fixed(4096); // ≈128 samples of each of the 32 input points
         let outcome = single_selection(&golden, &config);
         outcome.network.check().unwrap();
         prop_assert!(outcome.final_literals <= outcome.initial_literals);
@@ -83,7 +83,7 @@ proptest! {
         prop_assume!(golden.num_internal() > 0);
         let threshold = f64::from(t_pct) / 100.0;
         let mut config = AlsConfig::with_threshold(threshold);
-        config.num_patterns = 4096;
+        config.patterns = PatternPolicy::Fixed(4096);
         let outcome = multi_selection(&golden, &config);
         outcome.network.check().unwrap();
         prop_assert!(outcome.final_literals <= outcome.initial_literals);
@@ -98,7 +98,7 @@ proptest! {
         prop_assume!(golden.num_internal() > 0);
         let threshold = f64::from(t_pct) / 100.0;
         let mut config = AlsConfig::with_threshold(threshold);
-        config.num_patterns = 4096;
+        config.patterns = PatternPolicy::Fixed(4096);
         let outcome = sasimi(&golden, &config);
         outcome.network.check().unwrap();
         prop_assert!(outcome.final_literals <= outcome.initial_literals);
@@ -112,7 +112,7 @@ proptest! {
         let golden = build_network(&recipe);
         prop_assume!(golden.num_internal() > 0);
         let mut config = AlsConfig::with_threshold(0.0);
-        config.num_patterns = 4096;
+        config.patterns = PatternPolicy::Fixed(4096);
         let patterns = PatternSet::exhaustive(NUM_PIS).unwrap();
         for outcome in [
             single_selection(&golden, &config),
