@@ -132,6 +132,10 @@ pub fn run_one(
     let lib = Library::mcnc_like();
     let golden_mapped = map_network(golden, &lib);
     let approx_mapped = map_network(&outcome.network, &lib);
+    let mut metrics = outcome.metrics.clone();
+    // Telemetry has no mapper dependency, so the mapped delay is stamped
+    // here — the one place that already paid for the mapping.
+    metrics.mapped_delay = approx_mapped.delay();
     RunResult {
         circuit: circuit_name.to_string(),
         algorithm: algorithm.name().to_string(),
@@ -141,7 +145,7 @@ pub fn run_one(
         delay_ratio: approx_mapped.delay() / golden_mapped.delay(),
         error_rate: outcome.measured_error_rate,
         runtime_s: outcome.runtime.as_secs_f64(),
-        metrics: outcome.metrics,
+        metrics,
     }
 }
 
@@ -263,6 +267,8 @@ mod tests {
         assert!(r.metrics.simulations > 0);
         assert!(r.metrics.measurements > 0);
         assert_eq!(r.metrics.algorithm, "single-selection");
+        assert!(r.metrics.mapped_delay > 0.0);
+        assert!(r.delay_ratio > 0.0);
     }
 
     #[test]

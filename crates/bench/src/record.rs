@@ -29,6 +29,12 @@ pub struct BenchEntry {
     pub literal_ratio: f64,
     /// Mapped-area ratio (approx / original); lower is better.
     pub area_ratio: f64,
+    /// Mapped delay ratio (approx / original); lower is better. Optional in
+    /// the JSON — records predating the field read back as 0.
+    pub delay_ratio: f64,
+    /// Mapped critical-path delay of the approximated network, in library
+    /// delay units. Optional in the JSON, defaulting to 0.
+    pub mapped_delay: f64,
     /// Measured error rate of the result.
     pub error_rate: f64,
     /// Wall-clock runtime in seconds.
@@ -66,6 +72,8 @@ impl BenchEntry {
             threshold: r.threshold,
             literal_ratio: r.literal_ratio,
             area_ratio: r.area_ratio,
+            delay_ratio: r.delay_ratio,
+            mapped_delay: r.metrics.mapped_delay,
             error_rate: r.error_rate,
             runtime_s: r.runtime_s,
             simulations_avoided: r.metrics.nodes_skipped,
@@ -93,6 +101,8 @@ impl BenchEntry {
             .set("threshold", self.threshold)
             .set("literal_ratio", self.literal_ratio)
             .set("area_ratio", self.area_ratio)
+            .set("delay_ratio", self.delay_ratio)
+            .set("mapped_delay", self.mapped_delay)
             .set("error_rate", self.error_rate)
             .set("runtime_s", self.runtime_s)
             .set("simulations_avoided", self.simulations_avoided)
@@ -125,6 +135,8 @@ impl BenchEntry {
             threshold: num("threshold")?,
             literal_ratio: num("literal_ratio")?,
             area_ratio: num("area_ratio")?,
+            delay_ratio: v.get("delay_ratio").and_then(Json::as_f64).unwrap_or(0.0),
+            mapped_delay: v.get("mapped_delay").and_then(Json::as_f64).unwrap_or(0.0),
             error_rate: num("error_rate")?,
             runtime_s: num("runtime_s")?,
             simulations_avoided: v
@@ -357,6 +369,23 @@ pub fn compare(old: &BenchRecord, new: &BenchRecord, opts: &CompareOptions) -> V
                 new.circuit, oe.algorithm, oe.threshold, oe.adaptive_early_decisions,
             ));
         }
+        // Mapped delay is gated only when both records carry it: records
+        // predating the field read back as 0 and must keep comparing clean.
+        if oe.delay_ratio > 0.0 && ne.delay_ratio > 0.0 {
+            let delay_limit = oe.delay_ratio * (1.0 + opts.max_quality_pct / 100.0);
+            if ne.delay_ratio > delay_limit {
+                regressions.push(format!(
+                    "{} {} @{}: delay ratio {:.4} vs baseline {:.4} (+{:.1}%, limit +{:.0}%)",
+                    new.circuit,
+                    oe.algorithm,
+                    oe.threshold,
+                    ne.delay_ratio,
+                    oe.delay_ratio,
+                    (ne.delay_ratio / oe.delay_ratio - 1.0) * 100.0,
+                    opts.max_quality_pct,
+                ));
+            }
+        }
         let quality_limit = oe.literal_ratio * (1.0 + opts.max_quality_pct / 100.0);
         if ne.literal_ratio > quality_limit {
             regressions.push(format!(
@@ -381,6 +410,83 @@ pub fn compare(old: &BenchRecord, new: &BenchRecord, opts: &CompareOptions) -> V
             (total_new / total_old - 1.0) * 100.0,
             opts.max_slowdown_pct,
         ));
+    }
+    regressions
+}
+
+/// Compares a new sweep record against its checked-in baseline, returning
+/// one human-readable line per regression (empty = pass).
+///
+/// Points are matched by their grid identity (algorithm, threshold,
+/// pattern policy, delay weight); points present on only one side are
+/// ignored (grid-coverage changes, not regressions). Two gates:
+///
+/// * **Frontier regression** — a point whose baseline twin was
+///   *non-dominated* is now strictly dominated by some point of the
+///   *baseline* frontier. Judging against the baseline frontier (not the
+///   new record's own) makes the gate monotone: a uniformly improved sweep
+///   can never fail it, while any point sliding behind the old frontier
+///   always does.
+/// * **Quality** — a point's literal count grew beyond
+///   [`CompareOptions::max_quality_pct`].
+pub fn compare_sweep(
+    old: &als_core::sweep::SweepRecord,
+    new: &als_core::sweep::SweepRecord,
+    opts: &CompareOptions,
+) -> Vec<String> {
+    use als_core::sweep::dominates;
+    let mut regressions = Vec::new();
+    if old.circuit != new.circuit {
+        regressions.push(format!(
+            "circuit mismatch: baseline is {}, new record is {}",
+            old.circuit, new.circuit
+        ));
+        return regressions;
+    }
+    let baseline_frontier: Vec<_> = old.frontier().collect();
+    for op in &old.points {
+        let Some(np) = new.points.iter().find(|np| np.key() == op.key()) else {
+            continue;
+        };
+        if !op.dominated {
+            if let Some(beater) = baseline_frontier
+                .iter()
+                .find(|bf| dominates(bf.objectives(), np.objectives()))
+            {
+                regressions.push(format!(
+                    "{} {} @{} [{}]: frontier regression — point (lits {}, delay {:.3}, er {:.5}) \
+                     is newly dominated by baseline frontier point {} @{} \
+                     (lits {}, delay {:.3}, er {:.5})",
+                    new.circuit,
+                    np.algorithm,
+                    np.threshold,
+                    np.patterns,
+                    np.literals,
+                    np.delay,
+                    np.error_rate,
+                    beater.algorithm,
+                    beater.threshold,
+                    beater.literals,
+                    beater.delay,
+                    beater.error_rate,
+                ));
+            }
+        }
+        let quality_limit = op.literals as f64 * (1.0 + opts.max_quality_pct / 100.0); // lint:allow(as-cast): counts << 2^52, exact in f64
+        if np.literals as f64 > quality_limit {
+            // lint:allow(as-cast): counts << 2^52, exact in f64
+            regressions.push(format!(
+                "{} {} @{} [{}]: literals {} vs baseline {} (+{:.1}%, limit +{:.0}%)",
+                new.circuit,
+                np.algorithm,
+                np.threshold,
+                np.patterns,
+                np.literals,
+                op.literals,
+                (np.literals as f64 / op.literals as f64 - 1.0) * 100.0, // lint:allow(as-cast): counts << 2^52, exact in f64
+                opts.max_quality_pct,
+            ));
+        }
     }
     regressions
 }
@@ -424,6 +530,8 @@ mod tests {
             threshold: 0.05,
             literal_ratio,
             area_ratio: literal_ratio,
+            delay_ratio: 0.0,
+            mapped_delay: 0.0,
             error_rate: 0.04,
             runtime_s,
             simulations_avoided: 0,
@@ -577,6 +685,136 @@ mod tests {
         assert!(compare(&new, &old, &CompareOptions::default()).is_empty());
         let legacy = record_with_runtime(1.0, 0.8);
         assert!(compare(&legacy, &new, &CompareOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn records_without_delay_fields_parse_as_zero() {
+        let rec = record_with_runtime(1.0, 0.8);
+        let json = rec
+            .render()
+            .replace("\"delay_ratio\": 0,", "")
+            .replace("\"mapped_delay\": 0,", "");
+        let parsed = BenchRecord::parse(&json).unwrap();
+        assert_eq!(parsed.entries[0].delay_ratio, 0.0);
+        assert_eq!(parsed.entries[0].mapped_delay, 0.0);
+    }
+
+    #[test]
+    fn delay_regression_trips_gate_only_when_both_sides_carry_it() {
+        let mut old = record_with_runtime(1.0, 0.8);
+        old.entries[0].delay_ratio = 0.90;
+        let mut new = record_with_runtime(1.0, 0.8);
+        new.entries[0].delay_ratio = 0.95;
+        let regs = compare(&old, &new, &CompareOptions::default());
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("delay ratio"), "{regs:?}");
+        // Legacy records (delay 0 on either side) never trip the delay gate.
+        let legacy = record_with_runtime(1.0, 0.8);
+        assert!(compare(&legacy, &new, &CompareOptions::default()).is_empty());
+        assert!(compare(&old, &legacy, &CompareOptions::default()).is_empty());
+        // And a within-tolerance delay passes.
+        new.entries[0].delay_ratio = 0.905;
+        assert!(compare(&old, &new, &CompareOptions::default()).is_empty());
+    }
+
+    fn sweep_point(lits: u64, delay: f64, er: f64, threshold: f64) -> als_core::sweep::SweepPoint {
+        als_core::sweep::SweepPoint {
+            algorithm: "single-selection".into(),
+            threshold,
+            patterns: "fixed:512".into(),
+            delay_weight: "off".into(),
+            literals: lits,
+            literal_ratio: 1.0,
+            area: lits as f64, // lint:allow(as-cast): test helper
+            area_ratio: 1.0,
+            delay,
+            delay_ratio: 1.0,
+            error_rate: er,
+            runtime_s: 0.0,
+            dominated: false,
+        }
+    }
+
+    fn sweep_record(points: Vec<als_core::sweep::SweepPoint>) -> als_core::sweep::SweepRecord {
+        let mut points = points;
+        als_core::sweep::mark_frontier(&mut points);
+        als_core::sweep::SweepRecord {
+            schema_version: als_core::sweep::SWEEP_SCHEMA_VERSION,
+            circuit: "RCA32".into(),
+            git_sha: "abc".into(),
+            seed: 1,
+            quick: true,
+            sweep_workers: 1,
+            notes: String::new(),
+            golden_literals: 100,
+            golden_area: 300.0,
+            golden_delay: 20.0,
+            absint_frechet_nodes: 0,
+            absint_max_po_width: 0.0,
+            points,
+        }
+    }
+
+    #[test]
+    fn sweep_identical_records_pass() {
+        let rec = sweep_record(vec![
+            sweep_point(10, 5.0, 0.01, 0.01),
+            sweep_point(8, 6.0, 0.05, 0.05),
+        ]);
+        assert!(compare_sweep(&rec, &rec, &CompareOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn sweep_point_sliding_behind_baseline_frontier_trips_gate() {
+        let old = sweep_record(vec![
+            sweep_point(10, 5.0, 0.01, 0.01),
+            sweep_point(8, 6.0, 0.05, 0.05),
+        ]);
+        // The 0.05 point degrades so badly the baseline 0.01-threshold
+        // frontier point now dominates its twin outright.
+        let new = sweep_record(vec![
+            sweep_point(10, 5.0, 0.01, 0.01),
+            sweep_point(12, 5.5, 0.05, 0.05),
+        ]);
+        let regs = compare_sweep(&old, &new, &CompareOptions::default());
+        assert!(
+            regs.iter().any(|r| r.contains("frontier regression")),
+            "{regs:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_uniform_improvement_never_trips_gate() {
+        let old = sweep_record(vec![
+            sweep_point(10, 5.0, 0.01, 0.01),
+            sweep_point(8, 6.0, 0.05, 0.05),
+        ]);
+        let new = sweep_record(vec![
+            sweep_point(9, 4.5, 0.01, 0.01),
+            sweep_point(7, 5.5, 0.04, 0.05),
+        ]);
+        assert!(compare_sweep(&old, &new, &CompareOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn sweep_literal_growth_trips_quality_gate() {
+        let old = sweep_record(vec![sweep_point(100, 5.0, 0.01, 0.01)]);
+        let mut worse = sweep_point(103, 5.0, 0.01, 0.01);
+        worse.dominated = false;
+        let new = sweep_record(vec![worse]);
+        let regs = compare_sweep(&old, &new, &CompareOptions::default());
+        assert!(regs.iter().any(|r| r.contains("literals 103")), "{regs:?}");
+    }
+
+    #[test]
+    fn sweep_circuit_mismatch_is_an_error() {
+        let old = sweep_record(vec![sweep_point(10, 5.0, 0.01, 0.01)]);
+        let mut new = sweep_record(vec![sweep_point(10, 5.0, 0.01, 0.01)]);
+        new.circuit = "KSA32".into();
+        assert_eq!(
+            compare_sweep(&old, &new, &CompareOptions::default()).len(),
+            1
+        );
     }
 
     #[test]

@@ -261,13 +261,17 @@ impl CertificateLog {
 mod tests {
     use super::*;
 
+    // The fixture tracks the live schema version so a bump (new event
+    // kinds) doesn't invalidate it; version-rejection is tested by
+    // substituting a pre-v2 version below.
     fn sample_log() -> String {
+        let v = EVENT_LOG_SCHEMA_VERSION;
         [
-            r#"{"event":"run_start","algorithm":"single","threads":1,"num_patterns":64,"nodes":3,"threshold":0.05,"seed":7,"v":4,"seq":0}"#,
-            r#"{"event":"measured","error_rate":0.0,"nanos":5,"v":4,"seq":1}"#,
-            r#"{"event":"change_committed","iteration":1,"node":"g5","ase":"drop x1","literals_saved":2,"apparent":0.015625,"v":4,"seq":2}"#,
-            r#"{"event":"iteration_end","iteration":1,"changes":1,"literals":10,"error_rate":0.015625,"nanos":12,"v":4,"seq":3}"#,
-            r#"{"event":"run_end","iterations":1,"literals":10,"error_rate":0.015625,"nanos":99,"v":4,"seq":4}"#,
+            format!(r#"{{"event":"run_start","algorithm":"single","threads":1,"num_patterns":64,"nodes":3,"threshold":0.05,"seed":7,"v":{v},"seq":0}}"#),
+            format!(r#"{{"event":"measured","error_rate":0.0,"nanos":5,"v":{v},"seq":1}}"#),
+            format!(r#"{{"event":"change_committed","iteration":1,"node":"g5","ase":"drop x1","literals_saved":2,"apparent":0.015625,"v":{v},"seq":2}}"#),
+            format!(r#"{{"event":"iteration_end","iteration":1,"changes":1,"literals":10,"error_rate":0.015625,"nanos":12,"v":{v},"seq":3}}"#),
+            format!(r#"{{"event":"run_end","iterations":1,"literals":10,"error_rate":0.015625,"nanos":99,"v":{v},"seq":4}}"#),
         ]
         .join("\n")
     }
@@ -301,7 +305,7 @@ mod tests {
 
     #[test]
     fn rejects_wrong_schema_version() {
-        let text = sample_log().replace("\"v\":3", "\"v\":1");
+        let text = sample_log().replace(&format!("\"v\":{EVENT_LOG_SCHEMA_VERSION}"), "\"v\":1");
         let e = CertificateLog::from_jsonl(&text).unwrap_err();
         assert!(e.message.contains("schema version"), "{e}");
     }

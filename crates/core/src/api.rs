@@ -97,7 +97,15 @@ pub fn approximate_under(
     Ok(run(net, strategy, config, ctx))
 }
 
-fn run(net: &Network, strategy: Strategy, config: &AlsConfig, ctx: AlsContext) -> AlsOutcome {
+/// Dispatches a pre-validated run with an already-built context. The sweep
+/// orchestrator calls this directly so grid jobs can inject clones of a
+/// shared context instead of re-simulating the golden network per point.
+pub(crate) fn run(
+    net: &Network,
+    strategy: Strategy,
+    config: &AlsConfig,
+    ctx: AlsContext,
+) -> AlsOutcome {
     match strategy {
         Strategy::Single => crate::single::single_selection_with_context(net, config, ctx),
         Strategy::Multi => crate::multi::multi_selection_with_context(net, config, ctx),

@@ -54,6 +54,51 @@ impl PrunePolicy {
     }
 }
 
+/// Whether candidate scoring penalizes the mapped-delay impact of a
+/// substitution's cone.
+///
+/// Under [`Off`](DelayWeight::Off) (the default) candidates are ranked by
+/// the paper's literals-per-error score alone and results are byte-identical
+/// to every pre-delay-scoring release. Under
+/// [`Scaled`](DelayWeight::Scaled)`(w)` the literal gain of each candidate
+/// is reduced by `w ×` the *estimated* critical-path change of substituting
+/// it (computed incrementally from the technology mapper's cell delays; see
+/// `als-mapper`'s `DelayMap`), steering the search toward points that trade
+/// fewer literals for shorter critical paths. The estimate prices the
+/// rewritten node's local cell tree only — it is a scoring heuristic, not a
+/// timing sign-off; sweep reports always re-map the final network for the
+/// real delay.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum DelayWeight {
+    /// Rank candidates by the paper's score alone. The default.
+    #[default]
+    Off,
+    /// Subtract `weight × estimated-delay-delta` from each candidate's
+    /// literal gain before scoring. The weight must be finite and
+    /// non-negative; `Scaled(0.0)` keeps rankings identical to `Off` but
+    /// still exercises the delay-estimation path.
+    Scaled(f64),
+}
+
+impl DelayWeight {
+    /// Whether delay-aware scoring is active.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(self) -> bool {
+        matches!(self, DelayWeight::Scaled(_))
+    }
+
+    /// The penalty weight (`0.0` when off).
+    #[inline]
+    #[must_use]
+    pub fn weight(self) -> f64 {
+        match self {
+            DelayWeight::Off => 0.0,
+            DelayWeight::Scaled(w) => w,
+        }
+    }
+}
+
 /// How many random simulation vectors each candidate evaluation uses.
 ///
 /// **Tail-mask rounding:** stimulus is stored 64 patterns per machine word.
@@ -191,6 +236,12 @@ pub struct AlsConfig {
     pub resim: ResimMode,
     /// Static candidate-pruning policy (see [`PrunePolicy`]).
     pub pruning: PrunePolicy,
+    /// Delay-aware candidate-scoring policy (see [`DelayWeight`]). Off by
+    /// default: the paper's flow is area-only, and `Off` is guaranteed
+    /// byte-identical to releases that predate the policy. Applies to the
+    /// greedy single-selection ranking and the multi-selection knapsack
+    /// values; SASIMI's signal-substitution scoring is unaffected.
+    pub delay_weight: DelayWeight,
     /// Telemetry sinks observing the run (see [`als_telemetry`]). Disabled
     /// by default: the engine then skips event construction entirely, and
     /// results are byte-identical with any sink attached.
@@ -228,6 +279,7 @@ impl AlsConfig {
             cache: true,
             resim: ResimMode::Incremental,
             pruning: PrunePolicy::Static,
+            delay_weight: DelayWeight::Off,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -301,6 +353,13 @@ impl AlsConfig {
             return Err(AlsError::InvalidConfig(
                 "max_iterations must be positive".into(),
             ));
+        }
+        if let DelayWeight::Scaled(w) = self.delay_weight {
+            if !w.is_finite() || w < 0.0 {
+                return Err(AlsError::InvalidConfig(format!(
+                    "delay_weight: scaled weight must be finite and non-negative, got {w}"
+                )));
+            }
         }
         Ok(())
     }
@@ -440,6 +499,13 @@ impl AlsConfigBuilder {
         self
     }
 
+    /// Sets the delay-aware candidate-scoring policy (off by default;
+    /// `Off` is byte-identical to pre-policy behavior).
+    pub fn delay_weight(mut self, delay_weight: DelayWeight) -> Self {
+        self.config.delay_weight = delay_weight;
+        self
+    }
+
     /// Enables or disables static candidate pruning.
     #[deprecated(note = "use `pruning(PrunePolicy::Static)` / `pruning(PrunePolicy::Off)` instead")]
     pub fn prune(self, on: bool) -> Self {
@@ -500,6 +566,7 @@ mod tests {
         assert!(c.cache);
         assert_eq!(c.resim, ResimMode::Incremental);
         assert_eq!(c.pruning, PrunePolicy::Static);
+        assert_eq!(c.delay_weight, DelayWeight::Off);
         assert!(!c.telemetry.is_enabled());
     }
 
@@ -514,6 +581,10 @@ mod tests {
         assert!(!ResimMode::Incremental.is_full());
         assert!(PrunePolicy::Static.is_enabled());
         assert!(!PrunePolicy::Off.is_enabled());
+        assert!(DelayWeight::Scaled(0.5).is_enabled());
+        assert!(!DelayWeight::Off.is_enabled());
+        assert_eq!(DelayWeight::Off.weight(), 0.0);
+        assert_eq!(DelayWeight::Scaled(1.5).weight(), 1.5);
     }
 
     #[test]
@@ -567,6 +638,21 @@ mod tests {
         assert!(matches!(err, AlsError::InvalidConfig(ref m) if m.contains("max_enum_literals")));
         let err = AlsConfig::builder().max_iterations(0).build().unwrap_err();
         assert!(matches!(err, AlsError::InvalidConfig(ref m) if m.contains("max_iterations")));
+        let err = AlsConfig::builder()
+            .delay_weight(DelayWeight::Scaled(-1.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AlsError::InvalidConfig(ref m) if m.contains("delay_weight")));
+        let err = AlsConfig::builder()
+            .delay_weight(DelayWeight::Scaled(f64::NAN))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AlsError::InvalidConfig(ref m) if m.contains("delay_weight")));
+        let c = AlsConfig::builder()
+            .delay_weight(DelayWeight::Scaled(2.0))
+            .build()
+            .unwrap();
+        assert_eq!(c.delay_weight, DelayWeight::Scaled(2.0));
     }
 
     /// The deprecated PR 1–5 setters must keep compiling and forward to the

@@ -11,7 +11,10 @@ use als_telemetry::{Event, Telemetry};
 /// Shared plumbing for both algorithms: the frozen reference (golden PO
 /// signatures of the *original* network) and the stimulus, so every
 /// iteration measures the error rate against the unmodified input circuit.
-#[derive(Debug)]
+// Clone shares nothing mutable: a sweep builds one context per pattern
+// budget (paying the golden simulation once) and hands each grid job its
+// own copy.
+#[derive(Clone, Debug)]
 pub struct AlsContext {
     patterns: PatternSet,
     reference_po_words: Vec<Vec<u64>>,

@@ -1,0 +1,131 @@
+//! Delay-aware candidate-gain adjustment — the [`DelayWeight`] policy.
+//!
+//! When the policy is [`DelayWeight::Scaled`], the selection algorithms
+//! price every candidate's literal gain against the *estimated*
+//! critical-path impact of substituting it, using the technology mapper's
+//! incremental [`DelayMap`]. When the policy is [`DelayWeight::Off`] no
+//! scorer is even constructed: the legacy scoring code runs unchanged, so
+//! outcomes stay byte-identical to pre-policy releases (pinned by the
+//! `delay_weight_off_is_byte_identical` determinism test).
+
+use crate::ase::Ase;
+use crate::config::DelayWeight;
+use als_mapper::{expr_delay, DelayMap, Library};
+use als_network::{Network, NodeId};
+
+/// Fixed-point scale for delay-adjusted knapsack values: gains are priced
+/// in 1/64ths of a literal so fractional delay penalties survive the
+/// integer DP without inflating its table.
+pub(crate) const GAIN_SCALE: f64 = 64.0;
+
+/// Library + incremental delay map + penalty weight, bundled for the
+/// selection loops.
+#[derive(Debug)]
+pub(crate) struct DelayScorer {
+    lib: Library,
+    map: DelayMap,
+    weight: f64,
+}
+
+impl DelayScorer {
+    /// Builds a scorer when the policy is enabled, `None` otherwise — the
+    /// `Off` path must not construct (or pay for) anything.
+    pub(crate) fn new(net: &Network, policy: DelayWeight) -> Option<Self> {
+        let DelayWeight::Scaled(weight) = policy else {
+            return None;
+        };
+        let lib = Library::mcnc_like();
+        let map = DelayMap::build(net, &lib);
+        Some(DelayScorer { lib, map, weight })
+    }
+
+    /// The candidate's literal gain minus `weight ×` the estimated
+    /// critical-path change of the substitution, clamped at zero. Clamping
+    /// keeps the adjusted gain a valid knapsack value and score numerator;
+    /// rejecting candidates outright remains the error budget's job.
+    pub(crate) fn adjusted_gain(&self, net: &Network, node: NodeId, ase: &Ase) -> f64 {
+        let fanins = net.node(node).fanins().len();
+        let new_local = expr_delay(&self.lib, &ase.expr, fanins);
+        let delta = self.map.query_delta(node, new_local);
+        let gain = ase.literals_saved as f64 - self.weight * delta; // lint:allow(as-cast): literal counts << 2^52, exact in f64
+        gain.max(0.0)
+    }
+
+    /// Refreshes arrivals through the fanout cone of in-place rewrites
+    /// (single-selection commits: one node, structure otherwise stable).
+    pub(crate) fn update_cone(&mut self, net: &Network, changed: &[NodeId]) {
+        self.map.update_cone(net, &self.lib, changed);
+    }
+
+    /// Rebuilds the map from scratch — needed after constant propagation
+    /// restructures the network (multi-selection batches).
+    pub(crate) fn rebuild(&mut self, net: &Network) {
+        self.map = DelayMap::build(net, &self.lib);
+    }
+}
+
+/// The delay-adjusted analogue of [`crate::error_model::score`]: adjusted
+/// gain per unit of estimated error, +∞ for free (zero-error) candidates.
+pub(crate) fn score_gain(gain: f64, error_estimate: f64) -> f64 {
+    if error_estimate <= 0.0 {
+        f64::INFINITY
+    } else {
+        gain / error_estimate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ase::generate_ases;
+    use als_circuits::adders::ripple_carry_adder;
+
+    #[test]
+    fn off_builds_nothing() {
+        let net = ripple_carry_adder(2);
+        assert!(DelayScorer::new(&net, DelayWeight::Off).is_none());
+        assert!(DelayScorer::new(&net, DelayWeight::Scaled(1.0)).is_some());
+    }
+
+    #[test]
+    fn zero_weight_reproduces_plain_literal_gains() {
+        let net = ripple_carry_adder(2);
+        let scorer = DelayScorer::new(&net, DelayWeight::Scaled(0.0)).unwrap();
+        for id in net.internal_ids().collect::<Vec<_>>() {
+            let node = net.node(id);
+            let k = node.fanins().len();
+            for ase in generate_ases(node.expr(), k, 5) {
+                let gain = scorer.adjusted_gain(&net, id, &ase);
+                assert_eq!(gain, ase.literals_saved as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn heavier_weights_never_increase_a_penalized_gain() {
+        let net = ripple_carry_adder(3);
+        let light = DelayScorer::new(&net, DelayWeight::Scaled(0.1)).unwrap();
+        let heavy = DelayScorer::new(&net, DelayWeight::Scaled(10.0)).unwrap();
+        for id in net.internal_ids().collect::<Vec<_>>() {
+            let node = net.node(id);
+            let k = node.fanins().len();
+            for ase in generate_ases(node.expr(), k, 5) {
+                let l = light.adjusted_gain(&net, id, &ase);
+                let h = heavy.adjusted_gain(&net, id, &ase);
+                // Constants shorten paths (delta ≤ 0) so heavier weights can
+                // only help there; where the delta is positive, heavier
+                // weights must penalize at least as hard.
+                if l < ase.literals_saved as f64 {
+                    assert!(h <= l + 1e-12, "penalty shrank with weight");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_gain_mirrors_the_paper_score() {
+        assert_eq!(score_gain(2.0, 0.0), f64::INFINITY);
+        assert!((score_gain(3.0, 0.01) - 300.0).abs() < 1e-9);
+        assert!(score_gain(1.0, 0.5) < score_gain(2.0, 0.5));
+    }
+}

@@ -59,6 +59,7 @@ mod api;
 mod ase;
 mod config;
 mod context;
+mod delay_score;
 mod engine;
 mod error;
 mod error_model;
@@ -70,11 +71,13 @@ pub mod classical;
 pub mod knapsack;
 pub mod preprocess;
 pub mod sasimi;
+pub mod sweep;
 
 pub use api::{approximate, approximate_under, Strategy};
 pub use ase::{generate_ases, Ase, AseKind};
 pub use config::{
-    AlsConfig, AlsConfigBuilder, MagnitudeConstraint, PatternPolicy, PrunePolicy, ResimMode,
+    AlsConfig, AlsConfigBuilder, DelayWeight, MagnitudeConstraint, PatternPolicy, PrunePolicy,
+    ResimMode,
 };
 pub use context::AlsContext;
 pub use engine::{CandidateEngine, CandidateEval, EngineStats};
@@ -107,7 +110,7 @@ pub use als_telemetry::{
 /// ```
 pub mod prelude {
     pub use crate::{
-        approximate, approximate_under, AlsConfig, AlsError, AlsOutcome, MagnitudeConstraint,
-        MetricsReport, PatternPolicy, PrunePolicy, ResimMode, Strategy,
+        approximate, approximate_under, AlsConfig, AlsError, AlsOutcome, DelayWeight,
+        MagnitudeConstraint, MetricsReport, PatternPolicy, PrunePolicy, ResimMode, Strategy,
     };
 }

@@ -1,6 +1,7 @@
 //! The multi-selection algorithm (paper Algorithm 2).
 
 use crate::ase::Ase;
+use crate::delay_score::{DelayScorer, GAIN_SCALE};
 use crate::engine::CandidateEngine;
 use crate::knapsack::{self, error_rate_scale, scale_weight, KnapsackItem, KnapsackState};
 use crate::report::{AlsOutcome, IterationRecord, SelectedChange};
@@ -103,6 +104,9 @@ pub(crate) fn multi_selection_with_context(
     let mut iterations: Vec<IterationRecord> = Vec::new();
     // Apparent rates only: no don't-care windows in the engine.
     let mut engine = CandidateEngine::new(config, false);
+    // `None` under `DelayWeight::Off`: knapsack values are then the plain
+    // literal counts, byte-identical to the legacy path.
+    let mut delay_scorer = DelayScorer::new(&current, config.delay_weight);
 
     'outer: for iteration in 1..=config.max_iterations {
         if margin < 0.0 {
@@ -130,9 +134,20 @@ pub(crate) fn multi_selection_with_context(
             let mut bounds: Vec<(f64, f64)> = Vec::new();
             let mut states: Vec<KnapsackState> = Vec::new();
             for cand in engine.candidates(id) {
+                // With delay scoring on, values are delay-adjusted gains in
+                // 1/64-literal fixed point; the weights (error budget
+                // accounting, Theorem 1) are never touched. The `Off` arm
+                // is the legacy value, bit for bit.
+                let value = match &delay_scorer {
+                    None => cand.ase.literals_saved as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
+                    Some(sc) => {
+                        (sc.adjusted_gain(&current, id, &cand.ase) * GAIN_SCALE).round() as u64
+                        // lint:allow(as-cast): gains are small non-negative reals
+                    }
+                };
                 states.push(KnapsackState {
                     weight: scale_weight(cand.apparent, scale),
-                    value: cand.ase.literals_saved as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
+                    value,
                 });
                 ases.push(cand.ase.clone());
                 rates.push(cand.apparent);
@@ -216,6 +231,11 @@ pub(crate) fn multi_selection_with_context(
             // is still live: constant-propagation cascades stay inside
             // TFO(batch), whose fanout edges the snapshot already has.
             engine.invalidate_committed(&snapshot, &batch);
+            // Batches propagate constants (restructuring users multi-level
+            // deep), so the delay map is rebuilt rather than cone-patched.
+            if let Some(scorer) = delay_scorer.as_mut() {
+                scorer.rebuild(&current);
+            }
             error_rate = new_error_rate;
             margin = config.threshold - error_rate;
             let literals_after = current.literal_count();

@@ -1,6 +1,7 @@
 //! The single-selection algorithm (paper Algorithm 1).
 
 use crate::ase::{Ase, AseKind};
+use crate::delay_score::{score_gain, DelayScorer};
 use crate::engine::{CandidateEngine, CandidateEval};
 use crate::error_model::score;
 use crate::report::{AlsOutcome, IterationRecord, SelectedChange};
@@ -105,6 +106,10 @@ pub(crate) fn single_selection_with_context(
     let mut margin = config.threshold - error_rate;
     let mut iterations: Vec<IterationRecord> = Vec::new();
     let mut engine = CandidateEngine::new(config, true);
+    // `None` under `DelayWeight::Off`: the legacy scoring path runs with no
+    // delay machinery constructed at all (byte-identity is pinned by the
+    // determinism suite).
+    let mut delay_scorer = DelayScorer::new(&current, config.delay_weight);
 
     for iteration in 1..=config.max_iterations {
         if margin < 0.0 {
@@ -117,7 +122,8 @@ pub(crate) fn single_selection_with_context(
         // rates; the engine disables pruning otherwise).
         engine.set_prune_budget(margin);
         engine.refresh_from_view(&current, inc.view(), &ctx);
-        let Some((node, cand)) = best_candidate(&engine, margin) else {
+        let Some((node, cand)) = best_candidate(&engine, margin, &current, delay_scorer.as_ref())
+        else {
             break;
         };
         let snapshot = current.clone();
@@ -152,6 +158,12 @@ pub(crate) fn single_selection_with_context(
         // new structure (see `CandidateEngine::invalidate_committed`).
         engine.invalidate_committed(&snapshot, &[node]);
         engine.invalidate_committed(&current, &[node]);
+        // Constant propagation is deferred to the end of the loop, so the
+        // commit rewrote exactly one node in place and the delay map can
+        // refresh its fanout cone incrementally.
+        if let Some(scorer) = delay_scorer.as_mut() {
+            scorer.update_cone(&current, &[node]);
+        }
         // Committed-state invariant, compiled out of release builds: the
         // network must still pass its structural check after every rewrite.
         debug_assert!(
@@ -217,14 +229,25 @@ pub(crate) fn single_selection_with_context(
 
 /// Picks the highest-scoring feasible (estimate ≤ margin) engine candidate.
 /// Ties in score break toward more saved literals, then lower node ids.
-fn best_candidate(engine: &CandidateEngine, margin: f64) -> Option<(NodeId, CandidateEval)> {
+/// With a [`DelayScorer`] attached, the score numerator is the
+/// delay-adjusted gain instead of the raw literal count; without one, this
+/// is exactly the paper's ranking.
+fn best_candidate(
+    engine: &CandidateEngine,
+    margin: f64,
+    net: &Network,
+    scorer: Option<&DelayScorer>,
+) -> Option<(NodeId, CandidateEval)> {
     let mut best: Option<(NodeId, &CandidateEval, f64)> = None;
     for id in engine.node_ids() {
         for cand in engine.candidates(id) {
             if cand.estimate > margin {
                 continue;
             }
-            let s = score(cand.ase.literals_saved, cand.estimate);
+            let s = match scorer {
+                None => score(cand.ase.literals_saved, cand.estimate),
+                Some(sc) => score_gain(sc.adjusted_gain(net, id, &cand.ase), cand.estimate),
+            };
             let better = match &best {
                 None => true,
                 Some((_, b, b_score)) => {

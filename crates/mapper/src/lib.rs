@@ -12,7 +12,10 @@
 //!   tree cells with shared inverters;
 //! * [`MappedNetlist::area`] / [`MappedNetlist::delay`] — cell-area totals
 //!   and critical-path delay; the netlist can also be simulated to verify
-//!   the mapping preserved the function.
+//!   the mapping preserved the function;
+//! * [`DelayMap`] — incremental critical-path *estimates* over the logic
+//!   network itself, for delay-aware candidate scoring during synthesis
+//!   (cheap what-if queries and cone-local refreshes without re-mapping).
 //!
 //! # Example
 //!
@@ -31,10 +34,12 @@
 #![warn(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod delay;
 mod library;
 mod map;
 mod verilog;
 
+pub use delay::{expr_delay, DelayMap};
 pub use library::{Cell, Library};
 pub use map::{map_network, MappedGate, MappedNetlist, Signal};
 pub use verilog::write_verilog;

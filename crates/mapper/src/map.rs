@@ -272,7 +272,7 @@ impl<'a> Mapper<'a> {
     }
 }
 
-fn permutations(k: usize) -> Vec<Vec<usize>> {
+pub(crate) fn permutations(k: usize) -> Vec<Vec<usize>> {
     fn rec(remaining: &mut Vec<usize>, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
         if remaining.is_empty() {
             out.push(current.clone());

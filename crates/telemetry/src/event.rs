@@ -231,6 +231,32 @@ pub enum Event {
         /// Wall time of the iteration.
         nanos: u64,
     },
+    /// A design-space sweep started: the grid is about to dispatch.
+    SweepStart {
+        /// Grid points (threshold × algorithm × pattern-policy products).
+        grid_points: u64,
+        /// Resolved sweep worker count (grid-point parallelism, distinct
+        /// from the per-run engine threads).
+        workers: u64,
+    },
+    /// One sweep grid point finished: its synthesis ran to completion and
+    /// the result was technology-mapped. Emitted in deterministic grid
+    /// order after all points join, so sweep logs are byte-stable across
+    /// worker counts.
+    SweepPointDone {
+        /// `"single-selection"`, `"multi-selection"` or `"sasimi"`.
+        algorithm: &'static str,
+        /// The error-rate threshold the point ran under.
+        threshold: f64,
+        /// Final literal count of the approximated network.
+        literals: u64,
+        /// Mapped critical-path delay of the approximated network.
+        mapped_delay: f64,
+        /// Measured error rate against the golden network.
+        error_rate: f64,
+        /// Wall time of the point (synthesis + mapping).
+        nanos: u64,
+    },
     /// The run finished.
     RunEnd {
         /// Committed iterations.
@@ -261,6 +287,8 @@ impl Event {
             Event::KnapsackSolved { .. } => "knapsack_solved",
             Event::ChangeCommitted { .. } => "change_committed",
             Event::IterationEnd { .. } => "iteration_end",
+            Event::SweepStart { .. } => "sweep_start",
+            Event::SweepPointDone { .. } => "sweep_point_done",
             Event::RunEnd { .. } => "run_end",
         }
     }
@@ -410,6 +438,27 @@ impl Event {
                     .set("error_rate", error_rate)
                     .set("nanos", nanos);
             }
+            Event::SweepStart {
+                grid_points,
+                workers,
+            } => {
+                obj.set("grid_points", grid_points).set("workers", workers);
+            }
+            Event::SweepPointDone {
+                algorithm,
+                threshold,
+                literals,
+                mapped_delay,
+                error_rate,
+                nanos,
+            } => {
+                obj.set("algorithm", algorithm)
+                    .set("threshold", threshold)
+                    .set("literals", literals)
+                    .set("mapped_delay", mapped_delay)
+                    .set("error_rate", error_rate)
+                    .set("nanos", nanos);
+            }
             Event::RunEnd {
                 iterations,
                 literals,
@@ -512,6 +561,18 @@ mod tests {
                 literals: 30,
                 error_rate: 0.02,
                 nanos: 11,
+            },
+            Event::SweepStart {
+                grid_points: 12,
+                workers: 4,
+            },
+            Event::SweepPointDone {
+                algorithm: "multi-selection",
+                threshold: 0.01,
+                literals: 28,
+                mapped_delay: 9.5,
+                error_rate: 0.008,
+                nanos: 31,
             },
             Event::RunEnd {
                 iterations: 1,

@@ -29,7 +29,11 @@ use std::sync::Mutex;
 /// and SASIMI candidate generation emits one aggregated
 /// `similarity_scanned` line per sweep (pairs, early_rejects, words,
 /// words_full).
-pub const EVENT_LOG_SCHEMA_VERSION: u64 = 4;
+/// v5: design-space sweeps — a sweep emits one `sweep_start` line
+/// (grid_points, workers) and one `sweep_point_done` line per grid point
+/// (algorithm, threshold, literals, mapped_delay, error_rate, nanos), in
+/// deterministic grid order.
+pub const EVENT_LOG_SCHEMA_VERSION: u64 = 5;
 
 /// A [`TelemetrySink`] that streams every event as one JSON line to a
 /// writer. Lines are written (and the writer flushed) synchronously per

@@ -121,6 +121,12 @@ pub struct MetricsReport {
     /// Nodes a full resimulation would have evaluated across those updates
     /// — `resim_nodes` strictly below this is the incremental saving.
     pub resim_full_equivalent: u64,
+    /// Mapped critical-path delay of the final network, in the cell
+    /// library's delay units. Telemetry has no mapper dependency, so this is
+    /// populated *externally* (by the bench runner and the sweep
+    /// orchestrator after technology mapping), not from the event stream;
+    /// `0.0` means "not mapped".
+    pub mapped_delay: f64,
     /// Per-phase wall time.
     pub phase_nanos: PhaseNanos,
     /// Per-iteration records, in commit order.
@@ -234,9 +240,15 @@ impl MetricsReport {
                 self.knapsack_dp_cells += dp_cells;
                 self.phase_nanos.knapsack += nanos;
             }
-            // Per-change certificates are audit data, not aggregates; the
-            // per-iteration change count arrives with `IterationEnd`.
-            Event::ChangeCommitted { .. } => {}
+            // Per-change certificates are audit data, not aggregates (the
+            // per-iteration change count arrives with `IterationEnd`), and
+            // sweep orchestration events aggregate nothing here either: a
+            // sweep's per-point metrics live in its own SweepRecord, and
+            // per-run collectors never see sweep-level events (grid jobs run
+            // with telemetry disabled).
+            Event::ChangeCommitted { .. }
+            | Event::SweepStart { .. }
+            | Event::SweepPointDone { .. } => {}
             Event::IterationEnd {
                 iteration,
                 changes,
@@ -286,6 +298,7 @@ impl MetricsReport {
             .set("resim_nodes", self.resim_nodes)
             .set("resim_skipped_early_exit", self.resim_skipped_early_exit)
             .set("resim_full_equivalent", self.resim_full_equivalent)
+            .set("mapped_delay", self.mapped_delay)
             .set("iterations", self.iterations.len())
             .set("total_s", self.total_time().as_secs_f64())
             .set("phase_s", phases);

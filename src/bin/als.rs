@@ -9,6 +9,10 @@
 //!                 [--resim incremental|full] [--threads N] [--no-cache]
 //!                 [--no-dontcares] [--verbose] [--metrics]
 //!                 [--events <log.jsonl>]
+//! als sweep       <benchmark|in.blif> [--quick] [--thresholds a,b,..]
+//!                 [--algorithms single,multi,sasimi] [--patterns spec,..]
+//!                 [--delay-weight W] [--sweep-workers N] [--seed N]
+//!                 [-o out.json | --out-dir DIR]   Pareto design-space sweep
 //! als verify      <golden.blif> <approx.blif> [--patterns N] [--seed N]
 //! als check       <in.blif> [--fast] [--json] [--certify <events.jsonl>]
 //!                 [--golden <golden.blif>]        analyze + audit
@@ -72,6 +76,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("approximate") => cmd_approximate(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("bound") => cmd_bound(&args[1..]),
@@ -111,6 +116,16 @@ USAGE:
                   [--metrics]             print engine counters and timings
                   [--events <log.jsonl>]  stream telemetry events to a file
                   (deprecated aliases: --num-patterns N, --full-resim)
+  als sweep       <benchmark|in.blif>          threshold × algorithm grid,
+                  [--quick]                    Pareto frontier over
+                  [--thresholds a,b,..]        (literals, delay, error rate)
+                  [--algorithms single,multi,sasimi]
+                  [--patterns spec[,spec..]] [--seed N]
+                  [--delay-weight W]           delay-aware scoring (0 = off)
+                  [--sweep-workers N]          grid-point parallelism (0 = all
+                                               cores; results identical)
+                  [--threads N] [--notes TEXT]
+                  [-o out.json | --out-dir DIR]  (default: stdout)
   als verify      <golden.blif> <approx.blif> [--patterns N] [--seed N]
                   [--exact]   (BDD-based, no sampling)
   als check       <in.blif> [--fast]          structural + functional lint
@@ -362,6 +377,137 @@ fn cmd_approximate(args: &[String]) -> Result<(), CliError> {
         }
     }
     write_or_print(&outcome.network, args)
+}
+
+/// `als sweep`: run a threshold × algorithm × pattern-policy grid against
+/// one circuit and emit the schema-versioned Pareto-frontier record
+/// (`SWEEP_<circuit>.json`). Shared artifacts (golden mapping, absint
+/// intervals, golden simulation per pattern budget) are computed once;
+/// grid points run in parallel with byte-identical results for any
+/// `--sweep-workers` setting.
+fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
+    use als::core::sweep::{detect_git_sha, run_sweep, SweepGrid};
+
+    let target = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or_else(|| usage("sweep needs a benchmark name (see `als list`) or a BLIF file"))?;
+    let (circuit, net) = if let Some(bench) = find_benchmark(target) {
+        (bench.name.to_string(), (bench.build)())
+    } else if std::path::Path::new(target).exists() {
+        let net = read_network(target)?;
+        (net.name().to_string(), net)
+    } else {
+        return Err(usage(format!(
+            "`{target}` is neither a known benchmark (see `als list`) nor a readable BLIF file"
+        )));
+    };
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut grid = if quick {
+        SweepGrid::quick()
+    } else {
+        SweepGrid::full()
+    };
+    if let Some(spec) = flag_value(args, "--thresholds") {
+        grid.thresholds = spec
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<f64>()
+                    .map_err(|e| usage(format!("bad --thresholds entry `{t}`: {e}")))
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(spec) = flag_value(args, "--algorithms") {
+        grid.strategies = spec
+            .split(',')
+            .map(|a| match a.trim() {
+                "single" => Ok(Strategy::Single),
+                "multi" => Ok(Strategy::Multi),
+                "sasimi" => Ok(Strategy::Sasimi),
+                other => Err(usage(format!(
+                    "unknown --algorithms entry `{other}` (single, multi or sasimi)"
+                ))),
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(spec) = flag_value(args, "--patterns") {
+        grid.patterns = spec
+            .split(',')
+            .map(|p| {
+                parse_pattern_policy(p.trim()).map_err(|e| {
+                    usage(format!(
+                        "bad --patterns entry `{p}`: {e} (fixed:N, adaptive:MIN..MAX, or N)"
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(w) = flag_value(args, "--delay-weight") {
+        let w: f64 = w
+            .parse()
+            .map_err(|e| usage(format!("bad --delay-weight: {e}")))?;
+        grid.delay_weight = if w == 0.0 {
+            DelayWeight::Off
+        } else {
+            DelayWeight::Scaled(w)
+        };
+    }
+    if let Some(n) = flag_value(args, "--sweep-workers") {
+        grid.sweep_workers = n
+            .parse()
+            .map_err(|e| usage(format!("bad --sweep-workers: {e}")))?;
+    }
+
+    let mut config = AlsConfig::default();
+    if let Some(seed) = flag_value(args, "--seed") {
+        config.seed = seed
+            .parse()
+            .map_err(|e| usage(format!("bad --seed: {e}")))?;
+    }
+    if let Some(threads) = flag_value(args, "--threads") {
+        config.threads = threads
+            .parse()
+            .map_err(|e| usage(format!("bad --threads: {e}")))?;
+    }
+    if quick {
+        // Match the bench harness's --quick setup so sweep baselines and
+        // BENCH baselines measure the same configuration.
+        config.dont_care.method = als::dontcare::DontCareMethod::Enumerate;
+    }
+
+    let mut record =
+        run_sweep(&circuit, &net, &grid, &config).map_err(|e| CliError::from(e.to_string()))?;
+    record.git_sha = detect_git_sha();
+    if let Some(notes) = flag_value(args, "--notes") {
+        record.notes = notes.to_string();
+    }
+
+    let frontier = record.frontier().count();
+    eprintln!(
+        "sweep {}: {} grid points, {} on the Pareto frontier (golden {} lits, area {:.1}, delay {:.2})",
+        record.circuit,
+        record.points.len(),
+        frontier,
+        record.golden_literals,
+        record.golden_area,
+        record.golden_delay
+    );
+
+    let text = record.render();
+    if let Some(path) = flag_value(args, "-o").or_else(|| flag_value(args, "--output")) {
+        std::fs::write(path, &text).map_err(|e| format!("writing `{path}`: {e}"))?;
+        eprintln!("wrote {path}");
+    } else if let Some(dir) = flag_value(args, "--out-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating `{dir}`: {e}"))?;
+        let path = std::path::Path::new(dir).join(record.file_name());
+        std::fs::write(&path, &text).map_err(|e| format!("writing `{}`: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    } else {
+        print!("{text}");
+    }
+    Ok(())
 }
 
 fn cmd_check(args: &[String]) -> Result<(), CliError> {

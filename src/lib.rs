@@ -62,7 +62,7 @@ pub use als_telemetry as telemetry;
 
 // Convenience re-exports of the items used in almost every program.
 pub use als_core::{
-    approximate, multi_selection, single_selection, AlsConfig, AlsError, AlsOutcome,
+    approximate, multi_selection, single_selection, AlsConfig, AlsError, AlsOutcome, DelayWeight,
     MagnitudeConstraint, MetricsReport, PatternPolicy, PrunePolicy, ResimMode, Strategy,
 };
 pub use als_network::Network;

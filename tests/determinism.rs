@@ -10,7 +10,7 @@ use als::circuits::adders::ripple_carry_adder;
 use als::circuits::alu::adder_comparator;
 use als::circuits::misc::priority_encoder;
 use als::network::{blif, Network};
-use als::{approximate, AlsConfig, AlsOutcome, PatternPolicy, ResimMode, Strategy};
+use als::{approximate, AlsConfig, AlsOutcome, DelayWeight, PatternPolicy, ResimMode, Strategy};
 use als_bench::PAPER_THRESHOLDS;
 use proptest::prelude::*;
 
@@ -209,6 +209,64 @@ fn adaptive_sampling_never_changes_the_outcome() {
         words_saved > 0,
         "adaptive sampling simulated at least as many words as fixed sampling"
     );
+}
+
+/// `DelayWeight::Off` (the default) must be *byte-identical* to every
+/// pre-delay-scoring release: under `Off` no `DelayScorer` is even built and
+/// the legacy literals-per-error ranking runs untouched, so an explicit
+/// `delay_weight(DelayWeight::Off)` must reproduce the plain default config
+/// exactly — across every circuit × Table-4 threshold × both scored
+/// algorithms (SASIMI's scoring is delay-unaware by design and rides along
+/// as a control). A `Scaled` run, in contrast, may legitimately pick
+/// different candidates but must still satisfy its threshold.
+#[test]
+fn delay_weight_off_is_byte_identical_to_the_default() {
+    let weight_config = |threshold: f64, weight: Option<DelayWeight>| {
+        let mut b = AlsConfig::builder()
+            .threshold(threshold)
+            .patterns(PatternPolicy::Fixed(256))
+            .seed(17);
+        if let Some(w) = weight {
+            b = b.delay_weight(w);
+        }
+        b.build().expect("test config is valid")
+    };
+    for circuit_index in 0..3 {
+        let net = circuit(circuit_index);
+        for &threshold in &PAPER_THRESHOLDS {
+            for strategy in [Strategy::Single, Strategy::Multi, Strategy::Sasimi] {
+                let default = approximate(&net, strategy, &weight_config(threshold, None)).unwrap();
+                let off = approximate(
+                    &net,
+                    strategy,
+                    &weight_config(threshold, Some(DelayWeight::Off)),
+                )
+                .unwrap();
+                assert_eq!(
+                    fingerprint(&default),
+                    fingerprint(&off),
+                    "{} @ {threshold} {strategy:?}: DelayWeight::Off changed the outcome",
+                    net.name()
+                );
+            }
+        }
+    }
+    // A scaled weight is a different (legal) operating point: still sound,
+    // not necessarily identical.
+    let net = circuit(0);
+    for strategy in [Strategy::Single, Strategy::Multi] {
+        let scaled = approximate(
+            &net,
+            strategy,
+            &weight_config(0.05, Some(DelayWeight::Scaled(2.0))),
+        )
+        .unwrap();
+        assert!(
+            scaled.measured_error_rate <= 0.05 + 1e-12,
+            "{strategy:?}: delay-weighted run broke its threshold"
+        );
+        assert!(scaled.final_literals <= scaled.initial_literals);
+    }
 }
 
 /// The same invariant, pinned on one explicit case per circuit so a failure
