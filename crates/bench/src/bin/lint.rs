@@ -1,22 +1,27 @@
-//! `lint` — in-tree source lint for library code, two passes:
+//! `lint` — in-tree source lint for library code, three passes:
 //!
 //! * **panic** — no panicking constructs: `unwrap()`, `expect(`,
 //!   `panic!(`, `unreachable!(`, `todo!(` and `unimplemented!(`;
 //! * **as-cast** — no `as`-casts to numeric types. `as` silently
 //!   truncates, wraps and rounds; library code must use `From`/`try_from`
-//!   (lossless or checked) or justify the cast with a marker.
+//!   (lossless or checked) or justify the cast with a marker;
+//! * **map-iter** — no iteration over `HashMap`/`HashSet` contents.
+//!   Hash-order iteration is nondeterministic across processes, and any
+//!   such loop feeding ordered or emitted output silently breaks the
+//!   byte-identity suites; iterate a sorted view or a side-car order
+//!   vector instead, or justify order-independence with a marker.
 //!
-//! Both passes skip the places where the constructs are acceptable:
+//! All passes skip the places where the constructs are acceptable:
 //!
 //! * `#[cfg(test)]` modules and `tests/` trees (asserting is the point);
 //! * `src/bin/` CLI entry points (a process abort is a process abort);
 //! * the in-tree `proptest`/`criterion` shims (they mirror upstream APIs);
-//! * lines carrying a `// lint:allow(panic)` / `// lint:allow(as-cast)`
-//!   marker with a justification.
+//! * lines carrying a `// lint:allow(panic)` / `// lint:allow(as-cast)` /
+//!   `// lint:allow(map-iter)` marker with a justification.
 //!
-//! Usage: `lint [--pass panic|as-cast|all]` (default `all`). Exit code 0
-//! when clean, 1 with a findings listing otherwise — wired into CI next
-//! to `cargo fmt --check` and clippy.
+//! Usage: `lint [--pass panic|as-cast|map-iter|all]` (default `all`).
+//! Exit code 0 when clean, 1 with a findings listing otherwise — wired
+//! into CI next to `cargo fmt --check` and clippy.
 //!
 //! The scan is textual (a line-based brace tracker finds `mod tests`
 //! blocks), which is exactly as precise as it needs to be for a curated
@@ -49,6 +54,19 @@ const NUMERIC_TYPES: [&str; 14] = [
 /// is exempt from the corresponding pass.
 const PANIC_MARKER: &str = "lint:allow(panic)";
 const AS_CAST_MARKER: &str = "lint:allow(as-cast)";
+const MAP_ITER_MARKER: &str = "lint:allow(map-iter)";
+
+/// Iteration methods that walk a hash container in hash order.
+const ITER_METHODS: [&str; 8] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".drain()",
+    ".retain(",
+];
 
 /// Crate `src/` trees that are exempt wholesale: API-compatible shims of
 /// external crates whose interfaces are panic-based.
@@ -59,6 +77,7 @@ const EXEMPT_CRATES: [&str; 2] = ["crates/proptest", "crates/criterion"];
 enum PassSelect {
     Panic,
     AsCast,
+    MapIter,
     All,
 }
 
@@ -69,6 +88,10 @@ impl PassSelect {
 
     fn runs_as_cast(self) -> bool {
         matches!(self, PassSelect::AsCast | PassSelect::All)
+    }
+
+    fn runs_map_iter(self) -> bool {
+        matches!(self, PassSelect::MapIter | PassSelect::All)
     }
 }
 
@@ -128,7 +151,7 @@ fn main() -> std::process::ExitCode {
     }
 }
 
-/// Parses `--pass panic|as-cast|all` (default `all`).
+/// Parses `--pass panic|as-cast|map-iter|all` (default `all`).
 fn parse_pass_arg() -> Result<PassSelect, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -136,11 +159,12 @@ fn parse_pass_arg() -> Result<PassSelect, String> {
         Some("--pass") => match args.get(1).map(String::as_str) {
             Some("panic") => Ok(PassSelect::Panic),
             Some("as-cast") => Ok(PassSelect::AsCast),
+            Some("map-iter") => Ok(PassSelect::MapIter),
             Some("all") => Ok(PassSelect::All),
             Some(other) => Err(format!(
-                "unknown pass `{other}` (expected panic, as-cast or all)"
+                "unknown pass `{other}` (expected panic, as-cast, map-iter or all)"
             )),
-            None => Err("--pass needs a value: panic, as-cast or all".to_string()),
+            None => Err("--pass needs a value: panic, as-cast, map-iter or all".to_string()),
         },
         Some(other) => Err(format!("unknown argument `{other}` (try --pass)")),
     }
@@ -221,6 +245,11 @@ fn scan_file(path: &Path, root: &Path, select: PassSelect, findings: &mut Vec<Fi
     let mut depth = 0usize;
     let mut pending_cfg_test = false;
     let lines: Vec<&str> = text.lines().collect();
+    let hash_names = if select.runs_map_iter() {
+        hash_container_names(&lines)
+    } else {
+        Vec::new()
+    };
     for (idx, &line) in lines.iter().enumerate() {
         let code = strip_comment(line);
         // Track `#[cfg(test)] mod …` blocks: everything inside is test
@@ -267,7 +296,96 @@ fn scan_file(path: &Path, root: &Path, select: PassSelect, findings: &mut Vec<Fi
                 push(findings, cast, AS_CAST_MARKER);
             }
         }
+        if select.runs_map_iter() && !marked(MAP_ITER_MARKER) {
+            if let Some(it) = find_map_iteration(code, &hash_names) {
+                push(findings, it, MAP_ITER_MARKER);
+            }
+        }
     }
+}
+
+/// Collects the identifiers a file binds to `HashMap`/`HashSet` values:
+/// `let` bindings, function parameters, and struct fields (`name: …Hash…<`).
+/// Textual like the rest of the lint — names the heuristic misses simply
+/// stay unchecked, and CI keeps new unmarked iteration over the found ones
+/// out.
+fn hash_container_names(lines: &[&str]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let ident = |c: &char| c.is_alphanumeric() || *c == '_';
+    for &line in lines {
+        let code = strip_comment(line);
+        if !code.contains("HashMap") && !code.contains("HashSet") {
+            continue;
+        }
+        // `let [mut] name … = HashMap::new()` / `let name: HashSet<…>`.
+        if let Some(rest) = code.trim_start().strip_prefix("let ") {
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            let name: String = rest.chars().take_while(ident).collect();
+            if !name.is_empty() && !names.contains(&name) {
+                names.push(name);
+            }
+        }
+        // `name: [&['a ]][mut ]HashMap<` — parameters and struct fields.
+        for key in ["HashMap<", "HashSet<"] {
+            let mut from = 0;
+            while let Some(p) = code[from..].find(key) {
+                let abs = from + p;
+                from = abs + key.len();
+                let mut before = code[..abs].trim_end();
+                for prefix in ["mut", "'_", "'a", "'b"] {
+                    before = before.strip_suffix(prefix).unwrap_or(before).trim_end();
+                }
+                before = before.strip_suffix('&').unwrap_or(before).trim_end();
+                let Some(before) = before.strip_suffix(':') else {
+                    continue;
+                };
+                let rev: String = before.trim_end().chars().rev().take_while(ident).collect();
+                let name: String = rev.chars().rev().collect();
+                if !name.is_empty() && !names.contains(&name) {
+                    names.push(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Finds hash-order iteration on a (comment-stripped) line: one of the
+/// [`ITER_METHODS`] called on a known hash-container name, or a `for` loop
+/// directly over one. Returns the offending `name.method` text.
+fn find_map_iteration(code: &str, names: &[String]) -> Option<String> {
+    let boundary_ok = |code: &str, pos: usize| {
+        code[..pos]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+    };
+    for name in names {
+        for method in ITER_METHODS {
+            let pat = format!("{name}{method}");
+            for (pos, _) in code.match_indices(&pat) {
+                if boundary_ok(code, pos) {
+                    return Some(format!("{name}{method}"));
+                }
+            }
+        }
+        // `for … in [&[mut ]]name {` — the implicit IntoIterator walk.
+        if let Some(pos) = code.find(" in ") {
+            let mut expr = code[pos + 4..].trim_start();
+            expr = expr.strip_prefix('&').unwrap_or(expr);
+            expr = expr.strip_prefix("mut ").unwrap_or(expr).trim_start();
+            if let Some(rest) = expr.strip_prefix(name.as_str()) {
+                let next = rest.chars().next();
+                if code[..pos].contains("for ")
+                    && next.is_none_or(|c| !c.is_alphanumeric() && c != '_' && c != '.')
+                    && !rest.trim_start().starts_with('(')
+                {
+                    return Some(format!("for … in {name}"));
+                }
+            }
+        }
+    }
+    None
 }
 
 /// Finds the first `… as <numeric-type>` cast on a (comment-stripped)

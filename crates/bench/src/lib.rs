@@ -120,7 +120,11 @@ pub fn run_one(
             min: 256,
             max: 2048,
         };
-        config.dont_care.method = als_dontcare::DontCareMethod::Enumerate;
+        // The SAT method (the paper's configuration) in quick mode too:
+        // classifications are identical to enumeration, and the recorded
+        // `sat_queries` / `solver_instances` counters feed the perf gate
+        // that keeps incremental solver reuse alive.
+        config.dont_care.method = als_dontcare::DontCareMethod::Sat;
     } else {
         config.patterns = PatternPolicy::Adaptive {
             min: 1024,

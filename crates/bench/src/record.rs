@@ -59,6 +59,16 @@ pub struct BenchEntry {
     /// Trials rejected from a pattern prefix by adaptive sampling before
     /// full-budget simulation. Optional in the JSON, defaulting to 0.
     pub adaptive_early_decisions: u64,
+    /// Individual SAT queries (`solve_with_assumptions` calls) issued by
+    /// the don't-care engine. Optional in the JSON, defaulting to 0.
+    pub sat_queries: u64,
+    /// SAT solver instances that served at least one query —
+    /// `solver_instances ≪ sat_queries` is the incremental-reuse measure.
+    /// Optional in the JSON, defaulting to 0.
+    pub solver_instances: u64,
+    /// Clauses physically reclaimed by clause-group retraction. Optional in
+    /// the JSON, defaulting to 0.
+    pub clauses_retracted: u64,
     /// Engine phase breakdown in seconds (`preprocess`, `simulate`, ...).
     pub phases: Vec<(String, f64)>,
 }
@@ -81,6 +91,9 @@ impl BenchEntry {
             resim_full_equivalent: r.metrics.resim_full_equivalent,
             patterns_simulated_words: r.metrics.patterns_simulated_words,
             adaptive_early_decisions: r.metrics.adaptive_early_decisions,
+            sat_queries: r.metrics.sat_queries,
+            solver_instances: r.metrics.solver_instances,
+            clauses_retracted: r.metrics.clauses_retracted,
             phases: r
                 .metrics
                 .phase_nanos
@@ -110,6 +123,9 @@ impl BenchEntry {
             .set("resim_full_equivalent", self.resim_full_equivalent)
             .set("patterns_simulated_words", self.patterns_simulated_words)
             .set("adaptive_early_decisions", self.adaptive_early_decisions)
+            .set("sat_queries", self.sat_queries)
+            .set("solver_instances", self.solver_instances)
+            .set("clauses_retracted", self.clauses_retracted)
             .set("phases", phases);
         obj
     }
@@ -154,6 +170,15 @@ impl BenchEntry {
                 .unwrap_or(0),
             adaptive_early_decisions: v
                 .get("adaptive_early_decisions")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            sat_queries: v.get("sat_queries").and_then(Json::as_u64).unwrap_or(0),
+            solver_instances: v
+                .get("solver_instances")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            clauses_retracted: v
+                .get("clauses_retracted")
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
             phases,
@@ -360,6 +385,27 @@ pub fn compare(old: &BenchRecord, new: &BenchRecord, opts: &CompareOptions) -> V
                 oe.resim_full_equivalent,
             ));
         }
+        // And for incremental SAT solver reuse going dark: a baseline that
+        // served many queries per solver instance must keep amortizing —
+        // one instance per query means every window sweep re-encodes its
+        // miter from scratch again.
+        if oe.sat_queries > 0
+            && oe.solver_instances < oe.sat_queries
+            && ne.sat_queries > 0
+            && ne.solver_instances >= ne.sat_queries
+        {
+            regressions.push(format!(
+                "{} {} @{}: SAT solver reuse went dark \
+                 ({} instance(s) for {} queries vs {} for {} in the baseline)",
+                new.circuit,
+                oe.algorithm,
+                oe.threshold,
+                ne.solver_instances,
+                ne.sat_queries,
+                oe.solver_instances,
+                oe.sat_queries,
+            ));
+        }
         // And for adaptive sampling going dark: a baseline that rejected
         // trials from a pattern prefix must keep doing so, otherwise every
         // trial silently pays the full simulation budget again.
@@ -539,6 +585,9 @@ mod tests {
             resim_full_equivalent: 0,
             patterns_simulated_words: 0,
             adaptive_early_decisions: 0,
+            sat_queries: 0,
+            solver_instances: 0,
+            clauses_retracted: 0,
             phases: vec![("simulate".into(), runtime_s / 2.0)],
         });
         rec
@@ -685,6 +734,40 @@ mod tests {
         assert!(compare(&new, &old, &CompareOptions::default()).is_empty());
         let legacy = record_with_runtime(1.0, 0.8);
         assert!(compare(&legacy, &new, &CompareOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn records_without_sat_fields_parse_as_zero() {
+        let rec = record_with_runtime(1.0, 0.8);
+        let json = rec
+            .render()
+            .replace("\"sat_queries\": 0,", "")
+            .replace("\"solver_instances\": 0,", "")
+            .replace("\"clauses_retracted\": 0,", "");
+        let parsed = BenchRecord::parse(&json).unwrap();
+        assert_eq!(parsed.entries[0].sat_queries, 0);
+        assert_eq!(parsed.entries[0].solver_instances, 0);
+        assert_eq!(parsed.entries[0].clauses_retracted, 0);
+    }
+
+    #[test]
+    fn sat_reuse_going_dark_trips_gate() {
+        let mut old = record_with_runtime(1.0, 0.8);
+        old.entries[0].sat_queries = 500;
+        old.entries[0].solver_instances = 4;
+        old.entries[0].clauses_retracted = 900;
+        let mut new = record_with_runtime(1.0, 0.8);
+        new.entries[0].sat_queries = 500;
+        new.entries[0].solver_instances = 500;
+        let regs = compare(&old, &new, &CompareOptions::default());
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("reuse went dark"), "{regs:?}");
+        // The reverse direction (reuse got *better*) is not a regression,
+        // and neither are legacy records without the counters.
+        assert!(compare(&new, &old, &CompareOptions::default()).is_empty());
+        let legacy = record_with_runtime(1.0, 0.8);
+        assert!(compare(&legacy, &new, &CompareOptions::default()).is_empty());
+        assert!(compare(&old, &legacy, &CompareOptions::default()).is_empty());
     }
 
     #[test]

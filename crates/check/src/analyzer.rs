@@ -11,9 +11,10 @@
 use crate::diagnostic::{AnalysisReport, Diagnostic};
 use als_absint::{signal_probabilities_seeded, Interval, Policy};
 use als_bdd::{Bdd, BddError, BddManager};
-use als_dontcare::{compute_dont_cares, DontCareConfig};
+use als_dontcare::{compute_dont_cares, encode_node_cnf, DontCareConfig};
 use als_logic::Expr;
-use als_network::{Network, NodeId};
+use als_network::{Network, NodeId, NodeKind};
+use als_sat::{Lit, SatResult, Solver, Var};
 use als_sim::{local_pattern_counts, simulate, PatternSet, MAX_LOCAL_FANINS};
 use std::collections::HashMap;
 
@@ -45,6 +46,12 @@ pub enum Pass {
     /// simulated frequency must then fall inside its static interval. A
     /// violation proves an unsound transfer function.
     ErrorBound,
+    /// SAT sweeping: candidate equivalent (or complementary) internal-node
+    /// pairs from random-simulation signatures, each confirmed by an
+    /// incremental miter query against one shared solver. Proven pairs are
+    /// reported as info diagnostics — redundancy is a missed optimization,
+    /// not an error.
+    SatSweep,
 }
 
 impl Pass {
@@ -57,6 +64,7 @@ impl Pass {
             Pass::SopEquivalence => "sop_equivalence",
             Pass::DontCareSoundness => "dont_care_soundness",
             Pass::ErrorBound => "error_bound",
+            Pass::SatSweep => "sat_sweep",
         }
     }
 }
@@ -84,6 +92,14 @@ pub struct AnalyzerConfig {
     pub eb_patterns: usize,
     /// Seed for the error-bound pass's pattern set.
     pub eb_seed: u64,
+    /// How many random patterns the SAT-sweeping pass uses to bucket
+    /// candidate-equivalent signals.
+    pub sweep_patterns: usize,
+    /// Seed for the SAT-sweeping pass's pattern set.
+    pub sweep_seed: u64,
+    /// Budget of SAT-confirmed candidate pairs for one sweep; buckets
+    /// beyond it are skipped with an info note.
+    pub sweep_max_pairs: usize,
 }
 
 impl AnalyzerConfig {
@@ -106,6 +122,7 @@ impl AnalyzerConfig {
                 Pass::SopEquivalence,
                 Pass::DontCareSoundness,
                 Pass::ErrorBound,
+                Pass::SatSweep,
             ],
             tt_var_limit: 12,
             bdd_node_limit: 1 << 20,
@@ -114,6 +131,9 @@ impl AnalyzerConfig {
             dc_seed: 0xA15C_4EC4,
             eb_patterns: 2048,
             eb_seed: 0xAB5_1407,
+            sweep_patterns: 1024,
+            sweep_seed: 0x5A75_33EE,
+            sweep_max_pairs: 64,
         }
     }
 }
@@ -179,6 +199,13 @@ impl NetworkAnalyzer {
                         report.push(skip_note(pass));
                     } else {
                         check_error_bound(net, &self.config, &mut report);
+                    }
+                }
+                Pass::SatSweep => {
+                    if structural_errors {
+                        report.push(skip_note(pass));
+                    } else {
+                        check_sat_sweep(net, &self.config, &mut report);
                     }
                 }
             }
@@ -563,6 +590,124 @@ fn check_error_bound(net: &Network, config: &AnalyzerConfig, report: &mut Analys
     }
 }
 
+/// SAT sweeping: bucket internal nodes by complement-normalized simulation
+/// signature, then confirm each candidate pair with an incremental miter
+/// query. One solver serves every query of the sweep: the whole network is
+/// encoded once, and the per-pair difference (or agreement) constraint
+/// lives in a retractable clause group that is swept after its query.
+fn check_sat_sweep(net: &Network, config: &AnalyzerConfig, report: &mut AnalysisReport) {
+    const PASS: &str = "sat_sweep";
+    if net.num_pis() == 0 || net.num_internal() < 2 || config.sweep_max_pairs == 0 {
+        return;
+    }
+    let patterns = PatternSet::random(
+        net.num_pis(),
+        config.sweep_patterns.max(1),
+        config.sweep_seed,
+    );
+    let sim = simulate(net, &patterns);
+
+    // Normalize signatures so a node and its complement share a bucket:
+    // complement the words when the first pattern's value is 1 (masking
+    // the invalid tail bits of the last word back to zero).
+    let tail = patterns.tail_mask();
+    let mut buckets: HashMap<Vec<u64>, Vec<(NodeId, bool)>> = HashMap::new();
+    // First-appearance order of the bucket keys — internal ids ascend, so
+    // both the bucket order and each bucket's members are deterministic.
+    let mut key_order: Vec<Vec<u64>> = Vec::new();
+    for id in net.internal_ids() {
+        let words = sim.node_words(id);
+        let flip = sim.node_value(id, 0);
+        let key: Vec<u64> = if flip {
+            let mut k: Vec<u64> = words.iter().map(|w| !w).collect();
+            if let Some(last) = k.last_mut() {
+                *last &= tail;
+            }
+            k
+        } else {
+            words.to_vec()
+        };
+        let members = buckets.entry(key.clone()).or_default();
+        if members.is_empty() {
+            key_order.push(key);
+        }
+        members.push((id, flip));
+    }
+
+    // One persistent solver holds the whole network's CNF; the per-pair
+    // miter constraint is the only retractable part.
+    let mut solver = Solver::new();
+    let mut vars: HashMap<NodeId, Var> = HashMap::new();
+    for &pi in net.pis() {
+        vars.insert(pi, solver.new_var());
+    }
+    for id in net.topo_order() {
+        if net.node(id).kind() != NodeKind::Internal {
+            continue;
+        }
+        let v = solver.new_var();
+        encode_node_cnf(&mut solver, net, id, &vars, v);
+        vars.insert(id, v);
+    }
+
+    let mut budget = config.sweep_max_pairs;
+    for key in &key_order {
+        let members = &buckets[key];
+        if members.len() < 2 {
+            continue;
+        }
+        // Classic sweeping: prove each member against the bucket leader
+        // (the lowest-id node), not all-pairs — equivalence is transitive.
+        let (leader, leader_flip) = members[0];
+        let a = Lit::pos(vars[&leader]);
+        for &(node, flip) in &members[1..] {
+            if budget == 0 {
+                report.push(Diagnostic::info(
+                    PASS,
+                    format!(
+                        "pair budget ({}) exhausted; remaining candidate pairs unchecked",
+                        config.sweep_max_pairs
+                    ),
+                ));
+                return;
+            }
+            budget -= 1;
+            let b = Lit::pos(vars[&node]);
+            let complemented = flip != leader_flip;
+            // Refutation clauses: force a counterexample to the candidate
+            // relation — a ≠ b for equivalence, a = b for complement.
+            let (c1, c2) = if complemented {
+                ([a, !b], [!a, b])
+            } else {
+                ([a, b], [!a, !b])
+            };
+            let g = solver.new_group();
+            solver.add_clause_in(g, &c1);
+            solver.add_clause_in(g, &c2);
+            let proven = solver.solve_with_assumptions(&[g.lit()]) == SatResult::Unsat;
+            let _ = solver.retract(g);
+            if proven {
+                report.push(
+                    Diagnostic::info(
+                        PASS,
+                        format!(
+                            "functionally {} `{}` (SAT-proven over all inputs)",
+                            if complemented {
+                                "complementary to"
+                            } else {
+                                "equivalent to"
+                            },
+                            named(net, leader).unwrap_or_else(|| leader.to_string()),
+                        ),
+                    )
+                    .with_node(node, named(net, node))
+                    .with_hint("redundant logic: fanouts could be moved onto one signal"),
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -643,6 +788,147 @@ mod tests {
             .diagnostics
             .iter()
             .any(|d| d.pass == "error_bound" && d.message.contains("skipped")));
+    }
+
+    #[test]
+    fn sat_sweep_proves_equivalent_and_complementary_pairs() {
+        // g1 = a·b, g2 = b·a (same function), g3 = ¬(a·b).
+        let mut net = Network::new("dup");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let g1 = net.add_node(
+            "g1",
+            vec![a, b],
+            Cover::from_cubes(2, [Cube::from_literals(&[(0, true), (1, true)]).unwrap()]),
+        );
+        let g2 = net.add_node(
+            "g2",
+            vec![b, a],
+            Cover::from_cubes(2, [Cube::from_literals(&[(0, true), (1, true)]).unwrap()]),
+        );
+        let g3 = net.add_node(
+            "g3",
+            vec![a, b],
+            Cover::from_cubes(
+                2,
+                [
+                    Cube::from_literals(&[(0, false)]).unwrap(),
+                    Cube::from_literals(&[(1, false)]).unwrap(),
+                ],
+            ),
+        );
+        net.add_po("y1", g1);
+        net.add_po("y2", g2);
+        net.add_po("y3", g3);
+        let config = AnalyzerConfig {
+            passes: vec![Pass::SatSweep],
+            ..AnalyzerConfig::full()
+        };
+        let report = NetworkAnalyzer::new(config).analyze(&net);
+        assert!(report.is_clean(), "{report}");
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.message.contains("equivalent to `g1`")),
+            "{report}"
+        );
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.message.contains("complementary to `g1`")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn sat_sweep_is_silent_on_distinct_functions() {
+        // g1 = a·b and g2 = a+b share no signature bucket.
+        let mut net = Network::new("distinct");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        let g1 = net.add_node(
+            "g1",
+            vec![a, b],
+            Cover::from_cubes(2, [Cube::from_literals(&[(0, true), (1, true)]).unwrap()]),
+        );
+        let g2 = net.add_node(
+            "g2",
+            vec![a, b],
+            Cover::from_cubes(
+                2,
+                [
+                    Cube::from_literals(&[(0, true)]).unwrap(),
+                    Cube::from_literals(&[(1, true)]).unwrap(),
+                ],
+            ),
+        );
+        net.add_po("y1", g1);
+        net.add_po("y2", g2);
+        let config = AnalyzerConfig {
+            passes: vec![Pass::SatSweep],
+            ..AnalyzerConfig::full()
+        };
+        let report = NetworkAnalyzer::new(config).analyze(&net);
+        assert!(report.is_clean(), "{report}");
+        assert!(
+            report.diagnostics.is_empty(),
+            "distinct functions must produce no findings:\n{report}"
+        );
+    }
+
+    #[test]
+    fn sat_sweep_respects_the_pair_budget() {
+        // Three copies of a·b give two candidate pairs; a budget of one
+        // checks the first and reports the exhaustion.
+        let mut net = Network::new("budget");
+        let a = net.add_pi("a");
+        let b = net.add_pi("b");
+        for i in 0..3 {
+            let g = net.add_node(
+                format!("g{i}"),
+                vec![a, b],
+                Cover::from_cubes(2, [Cube::from_literals(&[(0, true), (1, true)]).unwrap()]),
+            );
+            net.add_po(format!("y{i}"), g);
+        }
+        let config = AnalyzerConfig {
+            passes: vec![Pass::SatSweep],
+            sweep_max_pairs: 1,
+            ..AnalyzerConfig::full()
+        };
+        let report = NetworkAnalyzer::new(config).analyze(&net);
+        assert_eq!(
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.message.contains("equivalent to"))
+                .count(),
+            1
+        );
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.message.contains("pair budget")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn sat_sweep_is_skipped_on_structural_breakage() {
+        let (mut net, g) = and_gate();
+        als_network::testing::raw_drop_fanin(&mut net, g, 1);
+        let config = AnalyzerConfig {
+            passes: vec![Pass::SatSweep],
+            ..AnalyzerConfig::full()
+        };
+        let report = NetworkAnalyzer::new(config).analyze(&net);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.pass == "sat_sweep" && d.message.contains("skipped")));
     }
 
     #[test]

@@ -18,11 +18,26 @@
 
 use crate::certificate::CertificateLog;
 use crate::diagnostic::{AnalysisReport, Diagnostic};
+use crate::satcount::{exact_error_rate_sat, SatErrorRate};
 use als_network::Network;
 use als_sim::{error_rate, PatternSet};
 
 /// The pass name every audit diagnostic carries.
 const PASS: &str = "certificates";
+
+/// Which engine derives the informational full-space exact error rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CheckEngine {
+    /// BDD miter density (the original path).
+    #[default]
+    Bdd,
+    /// #SAT disjoint-cube enumeration
+    /// ([`exact_error_rate_sat`](crate::exact_error_rate_sat)).
+    Sat,
+    /// BDD first; fall back to SAT when the BDD node limit trips —
+    /// SAT-hostile and BDD-hostile structures rarely coincide.
+    Auto,
+}
 
 /// Audit knobs.
 #[derive(Clone, Debug)]
@@ -32,8 +47,14 @@ pub struct AuditConfig {
     /// by orders of magnitude.
     pub tolerance: f64,
     /// Node budget for the informational exact-BDD re-derivation; runs
-    /// that exceed it skip the exact check with an info note.
+    /// that exceed it skip the exact check with an info note (or fall back
+    /// to SAT under [`CheckEngine::Auto`]).
     pub exact_bdd_node_limit: usize,
+    /// Which exact-verification engine to use.
+    pub engine: CheckEngine,
+    /// Disjoint-cube budget for the SAT engine; enumeration-hostile error
+    /// sets that exceed it skip the exact check with an info note.
+    pub sat_cube_limit: usize,
 }
 
 impl Default for AuditConfig {
@@ -41,6 +62,8 @@ impl Default for AuditConfig {
         Self {
             tolerance: 1e-9,
             exact_bdd_node_limit: 1 << 20,
+            engine: CheckEngine::default(),
+            sat_cube_limit: 1 << 12,
         }
     }
 }
@@ -388,25 +411,89 @@ fn audit_against_networks(
     // Exhaustive confirmation where tractable. A sampled run may legally
     // exceed the threshold on the full input space, so this is a warning
     // (the paper's guarantee is over the sampled patterns), not an error.
+    match config.engine {
+        CheckEngine::Bdd => run_bdd_exact(report, golden, final_net, log, config, tol),
+        CheckEngine::Sat => run_sat_exact(report, golden, final_net, log, config, tol),
+        CheckEngine::Auto => {
+            match als_bdd::exact_error_rate(golden, final_net, config.exact_bdd_node_limit) {
+                Ok(exact) => push_exact_rate(report, "bdd", golden.num_pis(), exact, log, tol),
+                Err(als_bdd::BddError::NodeLimit { limit }) => {
+                    report.push(Diagnostic::info(
+                        PASS,
+                        format!("BDD node limit {limit} exceeded; falling back to the SAT engine"),
+                    ));
+                    run_sat_exact(report, golden, final_net, log, config, tol);
+                }
+                Err(e) => {
+                    report.push(Diagnostic::info(
+                        PASS,
+                        format!("exact error rate not derived: {e:?}"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The BDD exact-rate path of [`audit_against_networks`].
+fn run_bdd_exact(
+    report: &mut AnalysisReport,
+    golden: &Network,
+    final_net: &Network,
+    log: &CertificateLog,
+    config: &AuditConfig,
+    tol: f64,
+) {
     match als_bdd::exact_error_rate(golden, final_net, config.exact_bdd_node_limit) {
-        Ok(exact) => {
+        Ok(exact) => push_exact_rate(report, "bdd", golden.num_pis(), exact, log, tol),
+        Err(e) => {
             report.push(Diagnostic::info(
                 PASS,
+                format!("exact error rate not derived: {e:?}"),
+            ));
+        }
+    }
+}
+
+/// The #SAT exact-rate path of [`audit_against_networks`]. The claimed
+/// threshold doubles as the enumeration's early-cutoff bound: a truncated
+/// result is a sound lower bound already above it.
+fn run_sat_exact(
+    report: &mut AnalysisReport,
+    golden: &Network,
+    final_net: &Network,
+    log: &CertificateLog,
+    config: &AuditConfig,
+    tol: f64,
+) {
+    match exact_error_rate_sat(
+        golden,
+        final_net,
+        config.sat_cube_limit,
+        Some(log.threshold),
+    ) {
+        Ok(SatErrorRate {
+            rate,
+            cubes,
+            truncated: true,
+            ..
+        }) => {
+            report.push(Diagnostic::warning(
+                PASS,
                 format!(
-                    "exact error rate over all 2^{} vectors: {exact}",
-                    golden.num_pis()
+                    "exact error rate is at least {rate} — above the sampled threshold {} \
+                     (enumeration cut off after {cubes} disjoint cube(s); sampling gap, \
+                     not a certificate violation)",
+                    log.threshold
                 ),
             ));
-            if exact > log.threshold + tol {
-                report.push(Diagnostic::warning(
-                    PASS,
-                    format!(
-                        "exact error rate {exact} exceeds the sampled threshold {} \
-                         (sampling gap, not a certificate violation)",
-                        log.threshold
-                    ),
-                ));
-            }
+        }
+        Ok(SatErrorRate { rate, cubes, .. }) => {
+            report.push(Diagnostic::info(
+                PASS,
+                format!("derived from {cubes} disjoint error cube(s) (sat engine)"),
+            ));
+            push_exact_rate(report, "sat", golden.num_pis(), rate, log, tol);
         }
         Err(e) => {
             report.push(Diagnostic::info(
@@ -414,6 +501,33 @@ fn audit_against_networks(
                 format!("exact error rate not derived: {e:?}"),
             ));
         }
+    }
+}
+
+/// Reports a derived exact rate and flags a threshold overshoot — a
+/// warning, not an error: the paper's guarantee is over the sampled
+/// patterns, so a full-space overshoot is a sampling gap.
+fn push_exact_rate(
+    report: &mut AnalysisReport,
+    engine: &str,
+    num_pis: usize,
+    exact: f64,
+    log: &CertificateLog,
+    tol: f64,
+) {
+    report.push(Diagnostic::info(
+        PASS,
+        format!("exact error rate over all 2^{num_pis} vectors: {exact} ({engine})"),
+    ));
+    if exact > log.threshold + tol {
+        report.push(Diagnostic::warning(
+            PASS,
+            format!(
+                "exact error rate {exact} exceeds the sampled threshold {} \
+                 (sampling gap, not a certificate violation)",
+                log.threshold
+            ),
+        ));
     }
 }
 
@@ -673,6 +787,104 @@ mod tests {
             report
                 .errors()
                 .any(|d| d.message.contains("re-derived error rate")),
+            "{report}"
+        );
+    }
+
+    /// golden y = a·b vs approx y = a (exact error rate 1/4), plus a
+    /// self-consistent log for that run.
+    fn audited_pair() -> (Network, Network, CertificateLog) {
+        use als_logic::{Cover, Cube};
+        let mut golden = Network::new("g");
+        let a = golden.add_pi("a");
+        let b = golden.add_pi("b");
+        let g = golden.add_node(
+            "g",
+            vec![a, b],
+            Cover::from_cubes(2, [Cube::from_literals(&[(0, true), (1, true)]).unwrap()]),
+        );
+        golden.add_po("y", g);
+        let mut approx = Network::new("g");
+        let a2 = approx.add_pi("a");
+        let _b2 = approx.add_pi("b");
+        approx.add_po("y", a2);
+
+        let patterns = PatternSet::random(2, 512, 9);
+        let real = error_rate(&golden, &approx, &patterns);
+        let mut log = log_with(
+            vec![IterationCert {
+                iteration: 1,
+                changes: 1,
+                literals_after: approx.literal_count() as u64, // lint:allow(as-cast): tiny test network
+                error_after: real,
+                certificates: vec![cert(1, real)],
+            }],
+            real,
+        );
+        log.threshold = 0.5;
+        log.num_patterns = 512;
+        log.seed = 9;
+        (golden, approx, log)
+    }
+
+    #[test]
+    fn sat_engine_rederives_the_exact_rate() {
+        let (golden, approx, log) = audited_pair();
+        let config = AuditConfig {
+            engine: CheckEngine::Sat,
+            ..AuditConfig::default()
+        };
+        let report = audit_certificates(&log, Some(&golden), Some(&approx), &config);
+        assert!(report.is_clean(), "{report}");
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.message.contains("vectors: 0.25 (sat)")),
+            "the SAT engine must derive the exact 1/4 rate:\n{report}"
+        );
+    }
+
+    #[test]
+    fn auto_engine_falls_back_to_sat_under_a_tiny_bdd_limit() {
+        let (golden, approx, log) = audited_pair();
+        let config = AuditConfig {
+            engine: CheckEngine::Auto,
+            exact_bdd_node_limit: 1, // artificially BDD-hostile
+            ..AuditConfig::default()
+        };
+        let report = audit_certificates(&log, Some(&golden), Some(&approx), &config);
+        assert!(report.is_clean(), "{report}");
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.message.contains("falling back to the SAT engine")),
+            "{report}"
+        );
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.message.contains("vectors: 0.25 (sat)")),
+            "the run must still be certified exactly, by SAT:\n{report}"
+        );
+    }
+
+    #[test]
+    fn auto_engine_prefers_bdd_when_it_fits() {
+        let (golden, approx, log) = audited_pair();
+        let config = AuditConfig {
+            engine: CheckEngine::Auto,
+            ..AuditConfig::default()
+        };
+        let report = audit_certificates(&log, Some(&golden), Some(&approx), &config);
+        assert!(report.is_clean(), "{report}");
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.message.contains("vectors: 0.25 (bdd)")),
             "{report}"
         );
     }

@@ -5,10 +5,12 @@
 //! * **Structural analysis** ([`NetworkAnalyzer`]): a configurable pass list
 //!   over any [`Network`](als_network::Network) — reference/arity
 //!   consistency, acyclicity, topological-order validity, SOP ↔
-//!   factored-form functional equivalence, don't-care soundness, and
+//!   factored-form functional equivalence, don't-care soundness,
 //!   abstract-interpretation error-bound containment ([`Pass::ErrorBound`],
-//!   backed by [`als_absint`]) — producing a structured [`AnalysisReport`]
-//!   instead of panicking.
+//!   backed by [`als_absint`]), and incremental SAT sweeping
+//!   ([`Pass::SatSweep`]: signature-bucketed equivalence candidates
+//!   confirmed by miter queries) — producing a structured
+//!   [`AnalysisReport`] instead of panicking.
 //! * **Certificate audit** ([`audit_certificates`]): every accepted
 //!   approximate change records an [`ApproxCertificate`] (node, ASE, claimed
 //!   apparent error rate, §3.2) in the telemetry JSONL stream; the auditor
@@ -16,7 +18,10 @@
 //!   per-iteration error budget, containment of each claimed apparent rate
 //!   in its recorded static interval, and — given the golden network —
 //!   re-derives the real error rate of the final network from the logged
-//!   seed.
+//!   seed. The informational full-space exact check runs on a selectable
+//!   engine ([`CheckEngine`]): BDD miter density, #SAT disjoint-cube
+//!   enumeration ([`exact_error_rate_sat`]), or automatic fallback from
+//!   BDD to SAT when the node limit trips.
 //!
 //! The analyzer **never panics** on malformed networks: that is the point.
 //! Tooling (the `als check` CLI subcommand, CI mutation tests) relies on
@@ -44,8 +49,10 @@ mod analyzer;
 mod audit;
 mod certificate;
 mod diagnostic;
+mod satcount;
 
 pub use analyzer::{AnalyzerConfig, NetworkAnalyzer, Pass};
-pub use audit::{audit_certificates, AuditConfig};
+pub use audit::{audit_certificates, AuditConfig, CheckEngine};
 pub use certificate::{ApproxCertificate, CertificateError, CertificateLog, IterationCert};
 pub use diagnostic::{AnalysisReport, Diagnostic, Severity};
+pub use satcount::{exact_error_rate_sat, SatCountError, SatErrorRate};

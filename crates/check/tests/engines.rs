@@ -1,0 +1,146 @@
+//! Cross-engine agreement: the #SAT disjoint-cube enumeration must
+//! reproduce the BDD-exact error rate on every registry circuit.
+//!
+//! Each circuit is compared against a tampered copy of itself. The
+//! preferred tamper OR's one missing local minterm into a PI-adjacent node
+//! (all fanins are primary inputs), so the flipped region is a single PI
+//! cube and the error set stays cube-sparse. Candidates whose flip turns
+//! out unobservable (rate 0) or whose downstream observability fragments
+//! past the cube budget (heavily reconvergent circuits such as the SEC/DED
+//! parity tree in c1908) fall back to the next candidate, and ultimately
+//! to complementing one primary-output driver — an error set of exactly
+//! one all-free cube, enumerable on any topology.
+
+use als_check::{exact_error_rate_sat, SatCountError};
+use als_circuits::all_benchmarks;
+use als_logic::{urp, Cover, Expr};
+use als_network::{Network, NodeId};
+
+/// PI-adjacent tamper candidates: internal nodes whose fanins are all
+/// primary inputs and whose cover misses at least one local minterm,
+/// smallest arity first.
+fn tamper_candidates(net: &Network) -> Vec<NodeId> {
+    let mut cands: Vec<(usize, NodeId)> = net
+        .internal_ids()
+        .filter(|&id| {
+            let node = net.node(id);
+            let k = node.fanins().len();
+            (1..=6).contains(&k)
+                && node.fanins().iter().all(|&f| net.node(f).is_pi())
+                && (0..(1u64 << k)).any(|m| !node.cover().eval(m))
+        })
+        .map(|id| (net.node(id).fanins().len(), id))
+        .collect();
+    cands.sort_unstable();
+    cands.into_iter().map(|(_, id)| id).take(4).collect()
+}
+
+/// A copy of `net` with one missing local minterm OR'd into `victim`.
+fn or_minterm_tamper(net: &Network, victim: NodeId) -> Network {
+    let node = net.node(victim);
+    let k = node.fanins().len();
+    let m = (0..(1u64 << k))
+        .find(|&m| !node.cover().eval(m))
+        .expect("candidate filter guarantees a missing minterm");
+    let minterm = Expr::And(
+        (0..k)
+            .map(|i| Expr::Lit {
+                var: i,
+                phase: m >> i & 1 == 1,
+            })
+            .collect(),
+    );
+    let mut approx = net.clone();
+    let f = net.node(victim).expr().clone();
+    approx.replace_expr(victim, Expr::Or(vec![f, minterm]));
+    approx
+}
+
+/// An expression computing `cover` (disjunction of its cubes).
+fn cover_expr(cover: &Cover) -> Expr {
+    if cover.is_empty() {
+        return Expr::Const(false);
+    }
+    let cubes: Vec<Expr> = cover
+        .cubes()
+        .iter()
+        .map(|c| {
+            let lits: Vec<Expr> = c
+                .literals()
+                .map(|(var, phase)| Expr::Lit { var, phase })
+                .collect();
+            if lits.is_empty() {
+                Expr::Const(true)
+            } else {
+                Expr::And(lits)
+            }
+        })
+        .collect();
+    Expr::Or(cubes)
+}
+
+/// Last-resort tamper: complement the smallest-arity PO driver via URP.
+/// Every input vector becomes an error — rate exactly 1, one cube.
+fn complement_tamper(net: &Network) -> Network {
+    let driver = net
+        .pos()
+        .iter()
+        .map(|(_, d)| *d)
+        .filter(|&d| !net.node(d).is_pi())
+        .min_by_key(|&d| (net.node(d).fanins().len(), d))
+        .expect("every registry circuit has an internal PO driver");
+    let complement = urp::complement(net.node(driver).cover());
+    let mut approx = net.clone();
+    approx.replace_expr(driver, cover_expr(&complement));
+    approx
+}
+
+#[test]
+fn sat_engine_reproduces_the_bdd_exact_rate_on_every_registry_circuit() {
+    for bench in all_benchmarks() {
+        let golden = (bench.build)();
+        let mut tampers: Vec<Network> = tamper_candidates(&golden)
+            .iter()
+            .map(|&v| or_minterm_tamper(&golden, v))
+            .collect();
+        tampers.push(complement_tamper(&golden));
+
+        let mut checked = false;
+        for approx in tampers {
+            let sat = match exact_error_rate_sat(&golden, &approx, 512, None) {
+                Ok(r) => r,
+                // Enumeration-hostile candidate (observability fragments
+                // into too many cubes): try the next one.
+                Err(SatCountError::CubeLimit { .. }) => continue,
+                Err(e) => panic!("{}: SAT engine failed: {e:?}", bench.name),
+            };
+            if sat.rate == 0.0 {
+                // Unobservable tamper — vacuous agreement; try the next.
+                continue;
+            }
+            let bdd = als_bdd::exact_error_rate(&golden, &approx, 1 << 22)
+                .unwrap_or_else(|e| panic!("{}: BDD engine failed: {e:?}", bench.name));
+            assert!(!sat.truncated, "{}: no claim, no cutoff", bench.name);
+            assert!(
+                (bdd - sat.rate).abs() < 1e-9,
+                "{}: bdd {} vs sat {} ({} cube(s))",
+                bench.name,
+                bdd,
+                sat.rate,
+                sat.cubes
+            );
+            assert!(
+                sat.sat_queries > 0 && sat.cubes > 0,
+                "{}: the enumeration must have done real work",
+                bench.name
+            );
+            checked = true;
+            break;
+        }
+        assert!(
+            checked,
+            "{}: no tamper candidate produced a checkable configuration",
+            bench.name
+        );
+    }
+}

@@ -23,7 +23,7 @@ use crate::ase::{generate_ases, Ase};
 use crate::error_model::{apparent_error_rate, estimated_real_error_rate};
 use crate::{AlsConfig, AlsContext};
 use als_absint::{Interval, MintermBounds};
-use als_dontcare::{compute_dont_cares, window_influence, DontCares};
+use als_dontcare::{window_influence, DontCares, IncrementalClassifier, SolverStats};
 use als_logic::Expr;
 use als_network::{Network, NodeId};
 use als_sim::{local_pattern_probabilities_view, SimResult, SimView};
@@ -230,6 +230,7 @@ impl CandidateEngine {
         if !self.cache_enabled {
             self.cache.entries.clear();
         }
+        // lint:allow(map-iter): order-independent removal; no iteration order escapes
         self.cache.entries.retain(|id, _| net.is_live(*id));
 
         let budget = self.effective_budget();
@@ -262,7 +263,7 @@ impl CandidateEngine {
                 owned = ctx.simulate(net);
                 owned.view()
             };
-            let computed = evaluate_all(
+            let (computed, sat_stats) = evaluate_all(
                 net,
                 view,
                 &self.config,
@@ -292,6 +293,16 @@ impl CandidateEngine {
                     budget,
                 });
             }
+            // Worker-side SAT counters are plain sums over chunk-scoped
+            // classifiers, so the aggregate (emitted here, post-merge) is
+            // identical for every thread count.
+            if !sat_stats.is_empty() {
+                self.telemetry.emit(|| Event::SatActivity {
+                    sat_queries: sat_stats.sat_queries,
+                    solver_instances: sat_stats.solver_instances,
+                    clauses_retracted: sat_stats.clauses_retracted,
+                });
+            }
         }
         self.telemetry.emit(|| Event::EngineRefresh {
             evaluated: evaluated as u64, // lint:allow(as-cast): usize fits u64 on all supported targets
@@ -316,6 +327,7 @@ impl CandidateEngine {
     /// The cached node ids in ascending order — the deterministic iteration
     /// order for candidate selection.
     pub fn node_ids(&self) -> Vec<NodeId> {
+        // lint:allow(map-iter): collected set is sorted on the next line
         let mut ids: Vec<NodeId> = self.cache.entries.keys().copied().collect();
         ids.sort();
         ids
@@ -466,6 +478,12 @@ impl NodeOutcome {
 /// Evaluates `pending` nodes, fanning out across scoped threads when
 /// worthwhile; results come back sorted by node id so insertion order (and
 /// thus every downstream float reduction) is independent of thread count.
+///
+/// SAT-based don't-care classification runs through one
+/// [`IncrementalClassifier`] per work *chunk* (not per worker): the chunk is
+/// the scheduling unit, so solver-instance counts depend only on the chunk
+/// contents — identical for every thread count — and the returned
+/// [`SolverStats`] are plain sums that commute across workers.
 #[allow(clippy::too_many_arguments)]
 fn evaluate_all(
     net: &Network,
@@ -476,11 +494,12 @@ fn evaluate_all(
     record_pruned: bool,
     pending: &[(NodeId, u64)],
     threads: usize,
-) -> Vec<(NodeId, NodeOutcome)> {
+) -> (Vec<(NodeId, NodeOutcome)>, SolverStats) {
     let workers = threads
         .min(pending.len().div_ceil(MIN_NODES_PER_WORKER))
         .max(1);
-    let eval = |id: NodeId, sig: u64| {
+    let reuse = config.dont_care.reuse;
+    let eval = |id: NodeId, sig: u64, classifier: &mut IncrementalClassifier| {
         evaluate_node(
             net,
             sim,
@@ -488,15 +507,22 @@ fn evaluate_all(
             needs_dont_cares,
             budget,
             record_pruned,
+            classifier,
             id,
             sig,
         )
     };
-    let mut out: Vec<(NodeId, NodeOutcome)> = if workers <= 1 {
-        pending
-            .iter()
-            .map(|&(id, sig)| (id, eval(id, sig)))
-            .collect()
+    let (mut out, sat_stats) = if workers <= 1 {
+        let mut out: Vec<(NodeId, NodeOutcome)> = Vec::with_capacity(pending.len());
+        let mut stats = SolverStats::default();
+        for chunk in pending.chunks(QUEUE_CHUNK) {
+            let mut classifier = IncrementalClassifier::new(reuse);
+            for &(id, sig) in chunk {
+                out.push((id, eval(id, sig, &mut classifier)));
+            }
+            stats.merge(&classifier.stats());
+        }
+        (out, stats)
     } else {
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -506,28 +532,35 @@ fn evaluate_all(
                     let eval = &eval;
                     scope.spawn(move || {
                         let mut part = Vec::new();
+                        let mut stats = SolverStats::default();
                         loop {
                             let start = next.fetch_add(QUEUE_CHUNK, Ordering::Relaxed);
                             if start >= pending.len() {
                                 break;
                             }
                             let end = (start + QUEUE_CHUNK).min(pending.len());
+                            let mut classifier = IncrementalClassifier::new(reuse);
                             for &(id, sig) in &pending[start..end] {
-                                part.push((id, eval(id, sig)));
+                                part.push((id, eval(id, sig, &mut classifier)));
                             }
+                            stats.merge(&classifier.stats());
                         }
-                        part
+                        (part, stats)
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("candidate-evaluation worker panicked")) // lint:allow(panic): propagates a worker panic, which is already fatal
-                .collect()
+            let mut out = Vec::new();
+            let mut stats = SolverStats::default();
+            for h in handles {
+                let (part, s) = h.join().expect("candidate-evaluation worker panicked"); // lint:allow(panic): propagates a worker panic, which is already fatal
+                out.extend(part);
+                stats.merge(&s);
+            }
+            (out, stats)
         })
     };
     out.sort_by_key(|&(id, _)| id);
-    out
+    (out, sat_stats)
 }
 
 /// Sound per-minterm bounds on the node's local pattern distribution from
@@ -583,6 +616,7 @@ fn evaluate_node(
     needs_dont_cares: bool,
     budget: f64,
     record_pruned: bool,
+    classifier: &mut IncrementalClassifier,
     id: NodeId,
     signature: u64,
 ) -> NodeOutcome {
@@ -638,10 +672,12 @@ fn evaluate_node(
     let dc = if !(needs_dont_cares && config.use_dont_cares) {
         DontCares::none(k)
     } else if config.exact_dont_cares {
-        als_dontcare::compute_exact_dont_cares(net, id, config.exact_dc_node_limit)
-            .unwrap_or_else(|_| compute_dont_cares(net, id, &config.dont_care))
+        match als_dontcare::compute_exact_dont_cares(net, id, config.exact_dc_node_limit) {
+            Ok(dc) => dc,
+            Err(_) => classifier.compute(net, id, &config.dont_care),
+        }
     } else {
-        compute_dont_cares(net, id, &config.dont_care)
+        classifier.compute(net, id, &config.dont_care)
     };
     let candidates = survivors
         .into_iter()

@@ -1,8 +1,8 @@
-use crate::encode::encode_node_cnf;
+use crate::encode::{encode_node_cnf, encode_node_cnf_in};
 use crate::window::Window;
 use als_network::{Network, NodeId};
-use als_sat::{Lit, SatResult, Solver, Var};
-use std::collections::HashMap;
+use als_sat::{Group, Lit, SatResult, Solver, Var};
+use std::collections::{HashMap, HashSet};
 
 /// Which engine classifies the pivot's local input patterns.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -16,6 +16,21 @@ pub enum DontCareMethod {
     Sat,
 }
 
+/// How the SAT engine amortizes solver state across window sweeps (ignored
+/// by [`DontCareMethod::Enumerate`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SolverReuse {
+    /// One persistent solver serves many windows through an
+    /// [`IncrementalClassifier`]: each window's miter lives in a retractable
+    /// clause group, and phases / activities / surviving learnt clauses
+    /// carry across windows.
+    #[default]
+    Incremental,
+    /// A fresh solver per window — the byte-identity oracle the incremental
+    /// path is validated against.
+    Fresh,
+}
+
 /// Configuration for [`compute_dont_cares`].
 #[derive(Clone, Copy, Debug)]
 pub struct DontCareConfig {
@@ -25,6 +40,10 @@ pub struct DontCareConfig {
     pub levels_out: usize,
     /// The engine to use.
     pub method: DontCareMethod,
+    /// Solver-reuse policy for the SAT engine (honoured by callers that keep
+    /// an [`IncrementalClassifier`] alive across nodes; the stateless
+    /// [`compute_dont_cares`] entry point is always effectively fresh).
+    pub reuse: SolverReuse,
     /// Enumeration gives up (returning empty don't-care sets, which is
     /// sound) when the window has more than this many leaves.
     pub max_enumerated_leaves: usize,
@@ -39,9 +58,40 @@ impl Default for DontCareConfig {
             levels_in: 2,
             levels_out: 2,
             method: DontCareMethod::default(),
+            reuse: SolverReuse::default(),
             max_enumerated_leaves: 14,
             max_fanins: 10,
         }
+    }
+}
+
+/// Counters describing the SAT work done by don't-care classification.
+///
+/// `solver_instances` counts solvers actually *constructed and used* for
+/// queries; with [`SolverReuse::Incremental`] it stays far below
+/// `sat_queries` (one instance serves many windows × patterns), which is
+/// exactly the reuse ratio the benchmark gate watches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SolverStats {
+    /// Individual `solve_with_assumptions` calls issued.
+    pub sat_queries: u64,
+    /// Solver instances that served at least one query.
+    pub solver_instances: u64,
+    /// Clauses physically swept by group retraction.
+    pub clauses_retracted: u64,
+}
+
+impl SolverStats {
+    /// Accumulates `other` into `self` (all counters are sums).
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.sat_queries += other.sat_queries;
+        self.solver_instances += other.solver_instances;
+        self.clauses_retracted += other.clauses_retracted;
+    }
+
+    /// Whether no SAT work was recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.sat_queries == 0 && self.solver_instances == 0 && self.clauses_retracted == 0
     }
 }
 
@@ -301,9 +351,31 @@ fn enumerate(net: &Network, window: &Window, k: usize) -> DontCares {
     }
 }
 
-/// SAT-based classification on a duplicated-window miter.
-fn sat_classify(net: &Network, window: &Window, k: usize) -> DontCares {
-    let mut solver = Solver::new();
+/// SAT variables anchoring queries against an encoded window miter: the
+/// pivot's fanin variables (assumed to select a local pattern) and the
+/// `any_diff` selector (assumed to require an observable difference).
+struct WindowMiter {
+    pivot_fanins: Vec<Var>,
+    any_diff: Var,
+}
+
+/// Encodes the duplicated-window miter for `window` into `solver`. With a
+/// `group`, every clause carries the group's activation literal so the whole
+/// miter can later be retracted; variables are global either way.
+fn encode_window_miter(
+    solver: &mut Solver,
+    group: Option<Group>,
+    net: &Network,
+    window: &Window,
+) -> WindowMiter {
+    let emit = |solver: &mut Solver, clause: &[Lit]| match group {
+        Some(g) => solver.add_clause_in(g, clause),
+        None => solver.add_clause(clause),
+    };
+    let encode = |solver: &mut Solver, n: NodeId, vars: &HashMap<NodeId, Var>, v: Var| match group {
+        Some(g) => encode_node_cnf_in(solver, g, net, n, vars, v),
+        None => encode_node_cnf(solver, net, n, vars, v),
+    };
 
     // Original copy.
     let mut vars: HashMap<NodeId, Var> = HashMap::new();
@@ -312,7 +384,7 @@ fn sat_classify(net: &Network, window: &Window, k: usize) -> DontCares {
     }
     for &n in window.internals() {
         let v = solver.new_var();
-        encode_node_cnf(&mut solver, net, n, &vars, v);
+        encode(solver, n, &vars, v);
         vars.insert(n, v);
     }
 
@@ -321,26 +393,27 @@ fn sat_classify(net: &Network, window: &Window, k: usize) -> DontCares {
     // re-encoded against the flipped values.
     let mut fvars: HashMap<NodeId, Var> = vars.clone();
     let pivot_flip = solver.new_var();
-    solver.add_clause(&[Lit::pos(vars[&window.pivot()]), Lit::pos(pivot_flip)]);
-    solver.add_clause(&[Lit::neg(vars[&window.pivot()]), Lit::neg(pivot_flip)]);
+    emit(
+        solver,
+        &[Lit::pos(vars[&window.pivot()]), Lit::pos(pivot_flip)],
+    );
+    emit(
+        solver,
+        &[Lit::neg(vars[&window.pivot()]), Lit::neg(pivot_flip)],
+    );
     fvars.insert(window.pivot(), pivot_flip);
     // Re-encode every internal node downstream of the pivot (in window topo
     // order, anything whose fanin cone inside the window reaches the pivot).
-    let mut touched: HashMap<NodeId, bool> = HashMap::new();
-    touched.insert(window.pivot(), true);
+    let mut touched: HashSet<NodeId> = HashSet::new();
+    touched.insert(window.pivot());
     for &n in window.internals() {
         if n == window.pivot() {
             continue;
         }
-        let depends = net
-            .node(n)
-            .fanins()
-            .iter()
-            .any(|f| touched.get(f).copied().unwrap_or(false));
-        touched.insert(n, depends);
-        if depends {
+        if net.node(n).fanins().iter().any(|f| touched.contains(f)) {
+            touched.insert(n);
             let v = solver.new_var();
-            encode_node_cnf(&mut solver, net, n, &fvars, v);
+            encode(solver, n, &fvars, v);
             fvars.insert(n, v);
         }
     }
@@ -353,8 +426,14 @@ fn sat_classify(net: &Network, window: &Window, k: usize) -> DontCares {
         }
         let d = solver.new_var();
         // d → (r ⊕ r')
-        solver.add_clause(&[Lit::neg(d), Lit::pos(vars[&r]), Lit::pos(fvars[&r])]);
-        solver.add_clause(&[Lit::neg(d), Lit::neg(vars[&r]), Lit::neg(fvars[&r])]);
+        emit(
+            solver,
+            &[Lit::neg(d), Lit::pos(vars[&r]), Lit::pos(fvars[&r])],
+        );
+        emit(
+            solver,
+            &[Lit::neg(d), Lit::neg(vars[&r]), Lit::neg(fvars[&r])],
+        );
         diff_lits.push(Lit::pos(d));
     }
     let any_diff = solver.new_var();
@@ -362,27 +441,55 @@ fn sat_classify(net: &Network, window: &Window, k: usize) -> DontCares {
         // any_diff → OR(diff)
         let mut clause: Vec<Lit> = diff_lits.clone();
         clause.push(Lit::neg(any_diff));
-        solver.add_clause(&clause);
+        emit(solver, &clause);
     }
 
-    let pivot_fanins: Vec<NodeId> = net.node(window.pivot()).fanins().to_vec();
+    let pivot_fanins: Vec<Var> = net
+        .node(window.pivot())
+        .fanins()
+        .iter()
+        .map(|f| vars[f])
+        .collect();
+    WindowMiter {
+        pivot_fanins,
+        any_diff,
+    }
+}
+
+/// Classifies every local pattern of the pivot against an encoded miter.
+/// This single body serves both the fresh-solver path (`activation: None`)
+/// and the incremental path (`activation: Some(group_lit)`), so the two are
+/// identical by construction — the SDC/ODC answers are semantic properties
+/// of the miter, independent of solver state carried over from earlier
+/// windows.
+fn classify_with_miter(
+    solver: &mut Solver,
+    miter: &WindowMiter,
+    activation: Option<Lit>,
+    k: usize,
+    stats: &mut SolverStats,
+) -> DontCares {
     let mut sdc = vec![false; 1 << k];
     let mut odc = vec![false; 1 << k];
+    // One assumption buffer reused across all 2^k patterns (and both query
+    // kinds), instead of fresh allocations per query.
+    let mut assumptions: Vec<Lit> = Vec::with_capacity(usize::from(activation.is_some()) + k + 1);
     for v in 0..(1usize << k) {
-        let assumptions: Vec<Lit> = pivot_fanins
-            .iter()
-            .enumerate()
-            .map(|(i, f)| Lit::with_sign(vars[f], v >> i & 1 == 1))
-            .collect();
+        assumptions.clear();
+        assumptions.extend(activation);
+        for (i, &fv) in miter.pivot_fanins.iter().enumerate() {
+            assumptions.push(Lit::with_sign(fv, v >> i & 1 == 1));
+        }
         // Reachable in the window?
+        stats.sat_queries += 1;
         if solver.solve_with_assumptions(&assumptions) == SatResult::Unsat {
             sdc[v] = true;
             continue;
         }
         // Observable? exists leaf assignment producing v with a differing root.
-        let mut with_diff = assumptions.clone();
-        with_diff.push(Lit::pos(any_diff));
-        if solver.solve_with_assumptions(&with_diff) == SatResult::Unsat {
+        assumptions.push(Lit::pos(miter.any_diff));
+        stats.sat_queries += 1;
+        if solver.solve_with_assumptions(&assumptions) == SatResult::Unsat {
             odc[v] = true;
         }
     }
@@ -390,6 +497,118 @@ fn sat_classify(net: &Network, window: &Window, k: usize) -> DontCares {
         num_fanins: k,
         sdc,
         odc,
+    }
+}
+
+/// SAT-based classification on a duplicated-window miter (fresh solver).
+fn sat_classify(net: &Network, window: &Window, k: usize) -> DontCares {
+    let mut stats = SolverStats::default();
+    let mut solver = Solver::new();
+    let miter = encode_window_miter(&mut solver, None, net, window);
+    classify_with_miter(&mut solver, &miter, None, k, &mut stats)
+}
+
+/// Recycle the persistent solver once it holds this many variables:
+/// retraction reclaims clauses but variables are never freed, so a very long
+/// sweep would otherwise degrade the (linear-scan) decision heuristic.
+const SOLVER_VAR_BUDGET: usize = 20_000;
+
+/// A stateful don't-care classifier that amortizes one SAT solver across an
+/// entire sweep of windows.
+///
+/// Each [`compute`](IncrementalClassifier::compute) call encodes the
+/// window's miter into a retractable clause group, answers the same
+/// pattern-classification queries as [`compute_dont_cares`] under the
+/// group's activation literal, and retracts the group before returning —
+/// so solver construction, arena growth, and heuristic warm-up are paid once
+/// per sweep instead of once per node. Classification results are identical
+/// to the stateless path by construction (the query body is shared and the
+/// answers are semantic).
+///
+/// With [`SolverReuse::Fresh`] the classifier degenerates to one solver per
+/// window, which is the oracle the differential tests compare against.
+#[derive(Debug)]
+pub struct IncrementalClassifier {
+    reuse: SolverReuse,
+    solver: Solver,
+    used: bool,
+    stats: SolverStats,
+}
+
+impl IncrementalClassifier {
+    /// Creates a classifier with the given reuse policy.
+    pub fn new(reuse: SolverReuse) -> Self {
+        IncrementalClassifier {
+            reuse,
+            solver: Solver::new(),
+            used: false,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Classifies every local input pattern of `pivot`, exactly like
+    /// [`compute_dont_cares`] but reusing this classifier's solver according
+    /// to its [`SolverReuse`] policy. `config.reuse` is ignored here — the
+    /// policy was fixed at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pivot` is not a live internal node.
+    pub fn compute(&mut self, net: &Network, pivot: NodeId, config: &DontCareConfig) -> DontCares {
+        let k = net.node(pivot).fanins().len();
+        if k > config.max_fanins {
+            return DontCares::none(k);
+        }
+        let window = Window::build(net, pivot, config.levels_in, config.levels_out);
+        match config.method {
+            DontCareMethod::Enumerate => {
+                if window.leaves().len() > config.max_enumerated_leaves {
+                    return DontCares::none(k);
+                }
+                enumerate(net, &window, k)
+            }
+            DontCareMethod::Sat => match self.reuse {
+                SolverReuse::Fresh => {
+                    self.solver = Solver::new();
+                    self.stats.solver_instances += 1;
+                    let miter = encode_window_miter(&mut self.solver, None, net, &window);
+                    classify_with_miter(&mut self.solver, &miter, None, k, &mut self.stats)
+                }
+                SolverReuse::Incremental => {
+                    if !self.solver.is_ok() || self.solver.num_vars() > SOLVER_VAR_BUDGET {
+                        self.solver = Solver::new();
+                        self.used = false;
+                    }
+                    if !self.used {
+                        self.used = true;
+                        self.stats.solver_instances += 1;
+                    }
+                    let g = self.solver.new_group();
+                    let miter = encode_window_miter(&mut self.solver, Some(g), net, &window);
+                    let dc = classify_with_miter(
+                        &mut self.solver,
+                        &miter,
+                        Some(g.lit()),
+                        k,
+                        &mut self.stats,
+                    );
+                    let swept = self.solver.retract(g);
+                    self.stats.clauses_retracted += swept as u64; // lint:allow(as-cast): usize widens losslessly to u64
+                    dc
+                }
+            },
+        }
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Returns the accumulated counters and resets them to zero (the solver
+    /// itself stays warm).
+    pub fn take_stats(&mut self) -> SolverStats {
+        std::mem::take(&mut self.stats)
     }
 }
 
@@ -557,6 +776,56 @@ mod tests {
         let dc = compute_dont_cares(&net, n2, &cfg);
         assert_eq!(dc.sdc_count(), 0);
         assert_eq!(dc.odc_count(), 0);
+    }
+
+    #[test]
+    fn incremental_classifier_matches_stateless_oracle() {
+        let (net, n1, n2) = fig1();
+        let cfg = DontCareConfig {
+            method: DontCareMethod::Sat,
+            ..DontCareConfig::default()
+        };
+        let mut inc = IncrementalClassifier::new(SolverReuse::Incremental);
+        let mut fresh = IncrementalClassifier::new(SolverReuse::Fresh);
+        for node in [n1, n2, n1, n2] {
+            let oracle = compute_dont_cares(&net, node, &cfg);
+            for dc in [
+                inc.compute(&net, node, &cfg),
+                fresh.compute(&net, node, &cfg),
+            ] {
+                let k = oracle.num_fanins();
+                assert_eq!(dc.num_fanins(), k);
+                for v in 0..(1 << k) {
+                    assert_eq!(dc.is_sdc(v), oracle.is_sdc(v), "sdc {node:?} {v:b}");
+                    assert_eq!(dc.is_odc(v), oracle.is_odc(v), "odc {node:?} {v:b}");
+                }
+            }
+        }
+        // One incremental instance served all four windows; the fresh path
+        // paid one per window.
+        assert_eq!(inc.stats().solver_instances, 1);
+        assert_eq!(fresh.stats().solver_instances, 4);
+        assert_eq!(inc.stats().sat_queries, fresh.stats().sat_queries);
+        assert!(inc.stats().clauses_retracted > 0);
+        assert_eq!(fresh.stats().clauses_retracted, 0);
+    }
+
+    #[test]
+    fn take_stats_resets_counters() {
+        let (net, _, n2) = fig1();
+        let cfg = DontCareConfig {
+            method: DontCareMethod::Sat,
+            ..DontCareConfig::default()
+        };
+        let mut inc = IncrementalClassifier::new(SolverReuse::Incremental);
+        inc.compute(&net, n2, &cfg);
+        let s = inc.take_stats();
+        assert!(!s.is_empty());
+        assert!(inc.stats().is_empty());
+        // Stats reset, but the solver stays warm: the next window reuses it.
+        inc.compute(&net, n2, &cfg);
+        assert_eq!(inc.stats().solver_instances, 0);
+        assert!(inc.stats().sat_queries > 0);
     }
 
     #[test]

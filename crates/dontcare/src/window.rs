@@ -49,6 +49,7 @@ impl Window {
         // Fanin side: BFS up to levels_in from the pivot *and* from every
         // TFO node, collecting internal nodes only.
         let mut inside: HashSet<NodeId> = tfo.clone();
+        // lint:allow(map-iter): seeds a BFS whose result is a membership set
         let mut queue: VecDeque<(NodeId, usize)> = tfo.iter().map(|&n| (n, 0)).collect();
         while let Some((n, d)) = queue.pop_front() {
             if d == levels_in {
@@ -65,6 +66,7 @@ impl Window {
         let mut leaves: Vec<NodeId> = Vec::new();
         let mut leaf_set: HashSet<NodeId> = HashSet::new();
         for &n in &inside {
+            // lint:allow(map-iter): leaves are sorted below
             for &f in net.node(n).fanins() {
                 if !inside.contains(&f) && leaf_set.insert(f) {
                     leaves.push(f);

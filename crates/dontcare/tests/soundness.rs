@@ -2,7 +2,10 @@
 //! classification must be a subset of the exact (BDD) one, and the exact one
 //! must agree with brute force.
 
-use als_dontcare::{compute_dont_cares, compute_exact_dont_cares, DontCareConfig, DontCareMethod};
+use als_dontcare::{
+    compute_dont_cares, compute_exact_dont_cares, DontCareConfig, DontCareMethod,
+    IncrementalClassifier, SolverReuse,
+};
 use als_logic::{Cover, Cube};
 use als_network::{Network, NodeId};
 use proptest::prelude::*;
@@ -125,6 +128,45 @@ proptest! {
             prop_assert_eq!(exact.is_sdc(v), sdc[v], "sdc at {:b}", v);
             prop_assert_eq!(exact.is_odc(v), odc[v], "odc at {:b}", v);
         }
+    }
+
+    /// The tentpole differential: sweeping every internal node as a pivot,
+    /// the one-solver incremental path, the fresh-solver oracle and the
+    /// exhaustive window enumeration must produce *identical* SDC/ODC
+    /// classifications — not merely mutually sound ones.
+    #[test]
+    fn incremental_fresh_and_enumeration_classify_identically(recipe in arb_recipe()) {
+        let net = build_network(&recipe);
+        let internals: Vec<NodeId> = net.internal_ids().collect();
+        prop_assume!(!internals.is_empty());
+        let sat_cfg = DontCareConfig { method: DontCareMethod::Sat, ..DontCareConfig::default() };
+        let enum_cfg = DontCareConfig {
+            method: DontCareMethod::Enumerate,
+            ..DontCareConfig::default()
+        };
+        let mut incremental = IncrementalClassifier::new(SolverReuse::Incremental);
+        let mut fresh = IncrementalClassifier::new(SolverReuse::Fresh);
+        for &pivot in &internals {
+            let a = incremental.compute(&net, pivot, &sat_cfg);
+            let b = fresh.compute(&net, pivot, &sat_cfg);
+            let c = compute_dont_cares(&net, pivot, &enum_cfg);
+            let k = a.num_fanins();
+            prop_assert_eq!(k, b.num_fanins());
+            prop_assert_eq!(k, c.num_fanins());
+            for v in 0..(1usize << k) {
+                prop_assert_eq!(a.is_sdc(v), b.is_sdc(v), "incremental vs fresh sdc at {:b}", v);
+                prop_assert_eq!(a.is_odc(v), b.is_odc(v), "incremental vs fresh odc at {:b}", v);
+                prop_assert_eq!(a.is_sdc(v), c.is_sdc(v), "sat vs enumeration sdc at {:b}", v);
+                prop_assert_eq!(a.is_odc(v), c.is_odc(v), "sat vs enumeration odc at {:b}", v);
+            }
+        }
+        // The sweep must have amortized: never more solver instances than
+        // queries, and the fresh oracle burns at least as many instances.
+        let inc_stats = incremental.stats();
+        let fresh_stats = fresh.stats();
+        prop_assert_eq!(inc_stats.sat_queries, fresh_stats.sat_queries);
+        prop_assert!(inc_stats.solver_instances <= inc_stats.sat_queries.max(1));
+        prop_assert!(inc_stats.solver_instances <= fresh_stats.solver_instances);
     }
 
     #[test]

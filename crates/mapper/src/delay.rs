@@ -35,8 +35,8 @@ use als_network::{Network, NodeId};
 /// Tolerance for "is this path critical" float comparisons.
 const EPS: f64 = 1e-9;
 
-/// Per-node arrival/required delay bookkeeping over a logic network; see
-/// the [module docs](self) for the model.
+/// Per-node arrival/required delay bookkeeping over a logic network; the
+/// module-level comment above describes the model.
 #[derive(Clone, Debug)]
 pub struct DelayMap {
     /// Local cell-tree delay estimate per arena slot (0 for PIs and dead

@@ -8,6 +8,14 @@
 //! the window-miter queries issued by `als-dontcare` (hundreds of variables)
 //! but is a complete general-purpose solver.
 //!
+//! The solver is built for *incremental* sessions: watch lists live in a
+//! flat arena, learnt clauses carry activities and are periodically reduced,
+//! and scoped clause sets can be added to retractable [`Group`]s guarded by
+//! activation literals (assume [`Group::lit`] to enable a group, call
+//! [`Solver::retract`] to dispose of it). This lets one solver instance
+//! serve a long sequence of related queries — e.g. an entire don't-care
+//! window sweep — instead of re-encoding from scratch per query.
+//!
 //! # Example
 //!
 //! ```
@@ -34,7 +42,7 @@
 
 mod solver;
 
-pub use solver::{Lit, SatResult, Solver, Var};
+pub use solver::{Group, Lit, SatResult, Solver, Var};
 
 #[cfg(test)]
 mod tests {

@@ -91,6 +91,25 @@ pub enum SatResult {
     Unsat,
 }
 
+/// A retractable clause group (see [`Solver::new_group`]).
+///
+/// Every clause added through [`Solver::add_clause_in`] carries the group's
+/// negated activation literal, so the clauses only constrain a query whose
+/// assumptions include [`Group::lit`]. [`Solver::retract`] permanently
+/// disables (and physically sweeps) the group.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Group(Var);
+
+impl Group {
+    /// The assumption literal that activates this group's clauses. Pass it
+    /// (first) in the assumption list of every query that should see the
+    /// group.
+    #[inline]
+    pub fn lit(self) -> Lit {
+        Lit::pos(self.0)
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum LBool {
     True,
@@ -101,6 +120,12 @@ enum LBool {
 #[derive(Clone, Debug)]
 struct Clause {
     lits: Vec<Lit>,
+    /// Conflict-learnt clauses are redundant (implied by the originals) and
+    /// eligible for database reduction; originals are not.
+    learnt: bool,
+    /// Activity for the learnt-database reduction heuristic (unused on
+    /// originals).
+    act: f64,
 }
 
 type ClauseRef = usize;
@@ -113,24 +138,142 @@ struct Watcher {
     blocker: Lit,
 }
 
-/// A conflict-driven clause-learning SAT solver.
+/// Placeholder filling reserved-but-unused watch-arena slots.
+const FILLER: Watcher = Watcher {
+    clause: usize::MAX,
+    blocker: Lit(0),
+};
+
+/// Occupancy bookkeeping of one literal's watch list inside the arena.
+#[derive(Clone, Copy, Debug, Default)]
+struct WatchRange {
+    start: usize,
+    len: usize,
+    cap: usize,
+}
+
+/// All watch lists in one flat allocation: per literal a `(start, len, cap)`
+/// range into a shared `Vec<Watcher>`. A list that outgrows its capacity is
+/// relocated to the end of the arena with doubled capacity (classic amortized
+/// growth), leaving a dead span behind; when more than half the arena is dead
+/// the whole thing is compacted in literal order. Compared to
+/// `Vec<Vec<Watcher>>` this keeps the hot propagation loop walking one
+/// contiguous buffer and drops per-list allocator traffic.
+#[derive(Debug, Default)]
+struct WatchArena {
+    data: Vec<Watcher>,
+    ranges: Vec<WatchRange>,
+    /// Slots abandoned by relocation, reclaimable by [`WatchArena::compact`].
+    dead: usize,
+}
+
+/// Compact once dead slots outnumber live-plus-reserved ones and the arena is
+/// big enough for the rebuild to be worth it.
+const COMPACT_MIN_SLOTS: usize = 4096;
+
+impl WatchArena {
+    /// Registers watch lists for one more variable (two literals).
+    fn add_var(&mut self) {
+        self.ranges.push(WatchRange::default());
+        self.ranges.push(WatchRange::default());
+    }
+
+    fn push(&mut self, code: usize, w: Watcher) {
+        let r = self.ranges[code];
+        if r.len == r.cap {
+            let new_cap = (r.cap * 2).max(4);
+            let new_start = self.data.len();
+            self.data.extend_from_within(r.start..r.start + r.len);
+            self.data.resize(new_start + new_cap, FILLER);
+            self.dead += r.cap;
+            self.ranges[code] = WatchRange {
+                start: new_start,
+                len: r.len,
+                cap: new_cap,
+            };
+        }
+        let r = &mut self.ranges[code];
+        self.data[r.start + r.len] = w;
+        r.len += 1;
+        if self.dead > self.data.len() / 2 && self.data.len() > COMPACT_MIN_SLOTS {
+            self.compact();
+        }
+    }
+
+    /// Moves literal `code`'s watchers into `out` (which is cleared first)
+    /// and empties the list in place, keeping its reserved capacity.
+    fn drain_into(&mut self, code: usize, out: &mut Vec<Watcher>) {
+        out.clear();
+        let r = &mut self.ranges[code];
+        out.extend_from_slice(&self.data[r.start..r.start + r.len]);
+        r.len = 0;
+    }
+
+    /// Rewrites the arena with every list stored contiguously in literal
+    /// order (plus a little headroom), reclaiming dead slots.
+    fn compact(&mut self) {
+        let mut data = Vec::with_capacity(self.data.len() - self.dead);
+        for r in &mut self.ranges {
+            let start = data.len();
+            data.extend_from_slice(&self.data[r.start..r.start + r.len]);
+            let cap = r.len + 2;
+            data.resize(start + cap, FILLER);
+            *r = WatchRange {
+                start,
+                len: r.len,
+                cap,
+            };
+        }
+        self.data = data;
+        self.dead = 0;
+    }
+
+    /// Empties every list (capacities are reclaimed too); used when the
+    /// clause database is rebuilt and rewatched from scratch.
+    fn clear(&mut self) {
+        self.data.clear();
+        self.dead = 0;
+        for r in &mut self.ranges {
+            *r = WatchRange::default();
+        }
+    }
+
+    /// Total live watcher count (diagnostics and integrity tests).
+    fn live(&self) -> usize {
+        self.ranges.iter().map(|r| r.len).sum()
+    }
+}
+
+/// Auto-reduce the learnt database once it holds this many clauses (see
+/// [`Solver::reduce_learnts`]; reached only by long incremental sessions).
+const LEARNT_LIMIT: usize = 2000;
+
+/// A conflict-driven clause-learning SAT solver built for *incremental* use:
+/// phases and variable activities persist across [`Solver::solve`] calls,
+/// clauses can be added between calls, scoped clause sets live in retractable
+/// [`Group`]s, and the learnt database is periodically reduced so a
+/// long-lived instance stays lean.
 ///
 /// See the [crate-level documentation](crate) for an example.
 #[derive(Debug, Default)]
 pub struct Solver {
     clauses: Vec<Clause>,
-    watches: Vec<Vec<Watcher>>, // indexed by literal code
-    assign: Vec<LBool>,         // indexed by var
-    phase: Vec<bool>,           // saved phases
+    watches: WatchArena,
+    assign: Vec<LBool>, // indexed by var
+    phase: Vec<bool>,   // saved phases, persisted across solve calls
     level: Vec<u32>,
     reason: Vec<Option<ClauseRef>>,
     activity: Vec<f64>,
     var_inc: f64,
+    cla_inc: f64,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>, // decision-level boundaries
     qhead: usize,
     ok: bool, // false once a top-level conflict is found
     conflicts: u64,
+    learnts: usize,
+    /// Reusable buffer for the watch lists drained during propagation.
+    scratch: Vec<Watcher>,
 }
 
 impl Solver {
@@ -138,6 +281,7 @@ impl Solver {
     pub fn new() -> Self {
         Solver {
             var_inc: 1.0,
+            cla_inc: 1.0,
             ok: true,
             ..Default::default()
         }
@@ -151,8 +295,7 @@ impl Solver {
         self.level.push(0);
         self.reason.push(None);
         self.activity.push(0.0);
-        self.watches.push(Vec::new());
-        self.watches.push(Vec::new());
+        self.watches.add_var();
         v
     }
 
@@ -161,9 +304,155 @@ impl Solver {
         self.assign.len()
     }
 
-    /// The number of clauses added (original plus learnt).
+    /// The number of clauses currently stored (original plus learnt; sweeps
+    /// and reductions shrink this).
     pub fn num_clauses(&self) -> usize {
         self.clauses.len()
+    }
+
+    /// The number of learnt clauses currently stored.
+    pub fn num_learnts(&self) -> usize {
+        self.learnts
+    }
+
+    /// Conflicts resolved since the solver was created.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Whether the solver is still consistent: `false` once a top-level
+    /// conflict has been found, after which every solve call reports
+    /// [`SatResult::Unsat`].
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// Opens a retractable clause group. Clauses added with
+    /// [`add_clause_in`](Solver::add_clause_in) are active only in queries
+    /// that assume [`Group::lit`], and [`retract`](Solver::retract) disposes
+    /// of the whole group (including any learnt clauses derived from it).
+    pub fn new_group(&mut self) -> Group {
+        Group(self.new_var())
+    }
+
+    /// Adds a clause to a retractable group: the stored clause is
+    /// `lits ∨ ¬g`, so it only binds under the `g` assumption. Returns
+    /// `false` if the solver is already in an unsatisfiable state. Adding to
+    /// a retracted group is a sound no-op (the stored clause is satisfied).
+    pub fn add_clause_in(&mut self, group: Group, lits: &[Lit]) -> bool {
+        let mut c = Vec::with_capacity(lits.len() + 1);
+        c.extend_from_slice(lits);
+        c.push(!group.lit());
+        self.add_clause(&c)
+    }
+
+    /// Permanently disables `group` and sweeps its clauses (and every learnt
+    /// clause derived from them — they all carry the group's negated
+    /// activation literal) out of the database. Returns the number of
+    /// clauses physically removed by the sweep.
+    ///
+    /// The activation variable is asserted false at the top level, so the
+    /// group's clauses become globally satisfied before removal: retraction
+    /// never un-derives anything the solver learnt from *other* clauses.
+    pub fn retract(&mut self, group: Group) -> usize {
+        self.backtrack_to(0);
+        // `ok` may go false here only if some query *required* the group
+        // (i.e. `g` is a top-level implication), which callers treat as the
+        // usual global-Unsat state.
+        self.add_clause(&[!group.lit()]);
+        let (_, swept) = self.rebuild_db(|_, _| false);
+        swept
+    }
+
+    /// Reduces the learnt-clause database: drops the lower-activity half of
+    /// the learnt clauses (originals are never touched) and rebuilds the
+    /// watch arena. Returns the number of clauses dropped. Called
+    /// automatically by [`solve_with_assumptions`](Self::solve_with_assumptions)
+    /// once the learnt count passes an internal limit; public so stress
+    /// tests can force it.
+    pub fn reduce_learnts(&mut self) -> usize {
+        self.backtrack_to(0);
+        let mut ranked: Vec<(f64, ClauseRef)> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt)
+            .map(|(i, c)| (c.act, i))
+            .collect();
+        if ranked.len() < 2 {
+            return 0;
+        }
+        ranked.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let mut kill = vec![false; self.clauses.len()];
+        for &(_, cr) in &ranked[..ranked.len() / 2] {
+            kill[cr] = true;
+        }
+        let (dropped, _) = self.rebuild_db(|cr, _| kill[cr]);
+        dropped
+    }
+
+    /// Rebuilds the clause database at decision level 0: drops clauses
+    /// flagged by `drop_clause`, sweeps clauses satisfied at the top level,
+    /// strips top-level-false literals, rewatches everything, and
+    /// re-propagates any units this uncovers. Returns
+    /// `(dropped_by_predicate, swept_satisfied)`.
+    ///
+    /// Safe at level 0 because top-level assignments are permanent (never
+    /// backtracked) and conflict analysis skips level-0 literals, so their
+    /// `reason` references — the only stored `ClauseRef`s outside the watch
+    /// lists — may be cleared instead of remapped.
+    fn rebuild_db(
+        &mut self,
+        mut drop_clause: impl FnMut(ClauseRef, &Clause) -> bool,
+    ) -> (usize, usize) {
+        debug_assert_eq!(self.decision_level(), 0);
+        for &l in &self.trail {
+            self.reason[l.var().index()] = None;
+        }
+        let old = std::mem::take(&mut self.clauses);
+        let mut dropped = 0usize;
+        let mut swept = 0usize;
+        let mut units: Vec<Lit> = Vec::new();
+        let mut kept: Vec<Clause> = Vec::with_capacity(old.len());
+        for (cr, mut c) in old.into_iter().enumerate() {
+            if drop_clause(cr, &c) {
+                dropped += 1;
+                continue;
+            }
+            if c.lits.iter().any(|&l| self.lit_value(l) == LBool::True) {
+                swept += 1;
+                continue;
+            }
+            c.lits.retain(|&l| self.lit_value(l) != LBool::False);
+            match c.lits.len() {
+                0 => self.ok = false,
+                1 => units.push(c.lits[0]),
+                _ => kept.push(c),
+            }
+        }
+        self.clauses = kept;
+        self.learnts = self.clauses.iter().filter(|c| c.learnt).count();
+        self.watches.clear();
+        for cr in 0..self.clauses.len() {
+            let (a, b) = (self.clauses[cr].lits[0], self.clauses[cr].lits[1]);
+            self.watch(a, b, cr);
+            self.watch(b, a, cr);
+        }
+        for u in units {
+            match self.lit_value(u) {
+                LBool::Undef => self.enqueue(u, None),
+                LBool::False => self.ok = false,
+                LBool::True => {}
+            }
+        }
+        if self.ok && self.propagate().is_some() {
+            self.ok = false;
+        }
+        (dropped, swept)
     }
 
     /// Adds a clause. Returns `false` if the solver is already in an
@@ -216,14 +505,19 @@ impl Solver {
                 let cr = self.clauses.len();
                 self.watch(c[0], c[1], cr);
                 self.watch(c[1], c[0], cr);
-                self.clauses.push(Clause { lits: c });
+                self.clauses.push(Clause {
+                    lits: c,
+                    learnt: false,
+                    act: 0.0,
+                });
                 true
             }
         }
     }
 
     fn watch(&mut self, lit: Lit, blocker: Lit, clause: ClauseRef) {
-        self.watches[(!lit).code()].push(Watcher { clause, blocker });
+        self.watches
+            .push((!lit).code(), Watcher { clause, blocker });
     }
 
     #[inline]
@@ -280,13 +574,18 @@ impl Solver {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
-            // Watchers keyed by the literal that became FALSE: ¬p.
-            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            // Watchers keyed by the literal that became FALSE: ¬p. Drain
+            // p's list into the reusable scratch buffer; survivors are
+            // pushed straight back into the (now empty) arena range.
+            let mut ws = std::mem::take(&mut self.scratch);
+            self.watches.drain_into(p.code(), &mut ws);
+            let mut conflict = None;
             let mut i = 0;
             while i < ws.len() {
                 let w = ws[i];
+                i += 1;
                 if self.lit_value(w.blocker) == LBool::True {
-                    i += 1;
+                    self.watches.push(p.code(), w);
                     continue;
                 }
                 let cr = w.clause;
@@ -302,11 +601,13 @@ impl Solver {
                 }
                 let first = self.clauses[cr].lits[0];
                 if first != w.blocker && self.lit_value(first) == LBool::True {
-                    ws[i] = Watcher {
-                        clause: cr,
-                        blocker: first,
-                    };
-                    i += 1;
+                    self.watches.push(
+                        p.code(),
+                        Watcher {
+                            clause: cr,
+                            blocker: first,
+                        },
+                    );
                     continue;
                 }
                 // Find a new literal to watch.
@@ -320,26 +621,39 @@ impl Solver {
                 if let Some(k) = found {
                     let lk = self.clauses[cr].lits[k];
                     self.clauses[cr].lits.swap(1, k);
-                    self.watches[(!lk).code()].push(Watcher {
-                        clause: cr,
-                        blocker: first,
-                    });
-                    ws.swap_remove(i);
+                    self.watches.push(
+                        (!lk).code(),
+                        Watcher {
+                            clause: cr,
+                            blocker: first,
+                        },
+                    );
                     continue;
                 }
-                // Clause is unit or conflicting.
+                // Clause is unit or conflicting; it keeps watching p.
+                self.watches.push(
+                    p.code(),
+                    Watcher {
+                        clause: cr,
+                        blocker: first,
+                    },
+                );
                 if self.lit_value(first) == LBool::False {
-                    // Conflict: restore remaining watchers and report.
-                    self.watches[p.code()].extend_from_slice(&ws[i..]);
-                    ws.truncate(i);
-                    self.watches[p.code()].extend_from_slice(&ws);
+                    // Conflict: restore the unprocessed watchers and report.
+                    while i < ws.len() {
+                        self.watches.push(p.code(), ws[i]);
+                        i += 1;
+                    }
                     self.qhead = self.trail.len();
-                    return Some(cr);
+                    conflict = Some(cr);
+                    break;
                 }
                 self.enqueue(first, Some(cr));
-                i += 1;
             }
-            self.watches[p.code()].extend_from_slice(&ws);
+            self.scratch = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
         }
         None
     }
@@ -354,6 +668,19 @@ impl Solver {
         }
     }
 
+    fn cla_bump(&mut self, cr: ClauseRef) {
+        if !self.clauses[cr].learnt {
+            return;
+        }
+        self.clauses[cr].act += self.cla_inc;
+        if self.clauses[cr].act > 1e100 {
+            for c in &mut self.clauses {
+                c.act *= 1e-100;
+            }
+            self.cla_inc *= 1e-100;
+        }
+    }
+
     /// First-UIP conflict analysis; returns the learnt clause (asserting
     /// literal first) and the backjump level.
     fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, u32) {
@@ -364,6 +691,7 @@ impl Solver {
         let mut idx = self.trail.len();
 
         loop {
+            self.cla_bump(confl);
             let start = usize::from(p.is_some());
             let lits = self.clauses[confl].lits.clone();
             for &q in &lits[start..] {
@@ -448,12 +776,20 @@ impl Solver {
     }
 
     /// Solves under temporary assumptions (forced first decisions). The
-    /// assumptions do not persist: subsequent calls start fresh.
+    /// assumptions do not persist: subsequent calls start fresh. Saved
+    /// phases and variable activities *do* persist, so related consecutive
+    /// queries guide each other.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
         if !self.ok {
             return SatResult::Unsat;
         }
         self.backtrack_to(0);
+        if self.learnts > LEARNT_LIMIT {
+            self.reduce_learnts();
+            if !self.ok {
+                return SatResult::Unsat;
+            }
+        }
         if self.propagate().is_some() {
             self.ok = false;
             return SatResult::Unsat;
@@ -493,12 +829,18 @@ impl Solver {
                     self.watch(clause[0], clause[1], cr);
                     self.watch(clause[1], clause[0], cr);
                     let asserting = clause[0];
-                    self.clauses.push(Clause { lits: clause });
+                    self.clauses.push(Clause {
+                        lits: clause,
+                        learnt: true,
+                        act: self.cla_inc,
+                    });
+                    self.learnts += 1;
                     if self.lit_value(asserting) == LBool::Undef {
                         self.enqueue(asserting, Some(cr));
                     }
                 }
                 self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
                 if self.conflicts >= conflict_budget {
                     // Restart (keep assumption levels).
                     luby_index += 1;
@@ -533,6 +875,41 @@ impl Solver {
                 }
             }
         }
+    }
+
+    /// Internal consistency probe for the watch arena, used by the stress
+    /// suite: every stored clause (length ≥ 2 after top-level
+    /// simplification) must be watched on exactly its first two literals,
+    /// and no watcher may point at a dropped clause.
+    #[doc(hidden)]
+    pub fn debug_check_watches(&self) -> Result<(), String> {
+        let mut counts = vec![0usize; self.clauses.len()];
+        for code in 0..self.num_vars() * 2 {
+            let r = self.watches.ranges[code];
+            for w in &self.watches.data[r.start..r.start + r.len] {
+                if w.clause >= self.clauses.len() {
+                    return Err(format!("watcher points at dead clause {}", w.clause));
+                }
+                let lits = &self.clauses[w.clause].lits;
+                let watched = !Lit(u32::try_from(code).map_err(|_| "code overflow")?);
+                if lits[0] != watched && lits[1] != watched {
+                    return Err(format!(
+                        "clause {} watched on non-watch literal {watched:?}",
+                        w.clause
+                    ));
+                }
+                counts[w.clause] += 1;
+            }
+        }
+        for (cr, &n) in counts.iter().enumerate() {
+            if n != 2 {
+                return Err(format!("clause {cr} has {n} watchers, expected 2"));
+            }
+        }
+        if self.watches.live() != self.clauses.len() * 2 {
+            return Err("live watcher total does not match clause count".into());
+        }
+        Ok(())
     }
 }
 
@@ -592,6 +969,7 @@ mod tests {
         s.add_clause(&[Lit::pos(a)]);
         let ok = s.add_clause(&[Lit::neg(a)]);
         assert!(!ok);
+        assert!(!s.is_ok());
         assert_eq!(s.solve(), SatResult::Unsat);
     }
 
@@ -632,5 +1010,60 @@ mod tests {
     fn luby_prefix() {
         let got: Vec<u64> = (0..15).map(luby).collect();
         assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn group_clauses_bind_only_under_activation() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let g = s.new_group();
+        assert!(s.add_clause_in(g, &[Lit::pos(a)]));
+        // Without the activation assumption the group clause is soft.
+        assert_eq!(s.solve_with_assumptions(&[Lit::neg(a)]), SatResult::Sat);
+        // With it, the clause binds and contradicts the assumption.
+        assert_eq!(
+            s.solve_with_assumptions(&[g.lit(), Lit::neg(a)]),
+            SatResult::Unsat
+        );
+        // The solver itself stays consistent.
+        assert!(s.is_ok());
+        assert_eq!(s.solve_with_assumptions(&[g.lit()]), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    fn retract_sweeps_group_clauses() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        let g = s.new_group();
+        s.add_clause_in(g, &[Lit::neg(a)]);
+        s.add_clause_in(g, &[Lit::neg(b)]);
+        assert_eq!(s.num_clauses(), 3);
+        assert_eq!(s.solve_with_assumptions(&[g.lit()]), SatResult::Unsat);
+        let swept = s.retract(g);
+        assert!(swept >= 2, "group clauses must be swept, got {swept}");
+        assert_eq!(s.num_clauses(), 1);
+        assert_eq!(s.solve(), SatResult::Sat);
+        s.debug_check_watches().unwrap();
+    }
+
+    #[test]
+    fn watch_arena_relocation_preserves_propagation() {
+        // Many clauses watching the same literal force repeated arena
+        // relocations of one hot list.
+        let mut s = Solver::new();
+        let hub = s.new_var();
+        let spokes: Vec<Var> = (0..64).map(|_| s.new_var()).collect();
+        for &sp in &spokes {
+            s.add_clause(&[Lit::neg(hub), Lit::pos(sp)]);
+        }
+        s.add_clause(&[Lit::pos(hub)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        for &sp in &spokes {
+            assert_eq!(s.value(sp), Some(true));
+        }
+        s.debug_check_watches().unwrap();
     }
 }

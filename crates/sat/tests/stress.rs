@@ -17,11 +17,17 @@ impl Lcg {
 }
 
 fn brute_force(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
+    brute_force_from(0, num_vars, clauses)
+}
+
+/// Brute force over variables with indices `offset..offset + num_vars` —
+/// for formulas built late in a long-lived solver.
+fn brute_force_from(offset: usize, num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
     'outer: for m in 0..(1u64 << num_vars) {
         for clause in clauses {
             if !clause
                 .iter()
-                .any(|l| (m >> l.var().index() & 1 == 1) == l.is_positive())
+                .any(|l| (m >> (l.var().index() - offset) & 1 == 1) == l.is_positive())
             {
                 continue 'outer;
             }
@@ -151,6 +157,150 @@ fn assumption_sweep_matches_cofactors() {
     }
     // Solver still healthy afterwards.
     assert_eq!(s.solve(), SatResult::Sat);
+}
+
+#[test]
+fn clause_groups_retract_cleanly() {
+    // A retractable group holding a contradiction must flip the answer
+    // only while assumed, and retraction must restore the base formula's
+    // behavior exactly — cross-checked against brute force per round.
+    let mut rng = Lcg(0x9E37_79B9);
+    for round in 0..20 {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..8).map(|_| s.new_var()).collect();
+        let mut clauses = Vec::new();
+        for _ in 0..18 {
+            let mut clause = Vec::new();
+            while clause.len() < 3 {
+                let v = vars[(rng.next() % 8) as usize];
+                let lit = Lit::with_sign(v, rng.next() & 1 == 0);
+                if !clause.contains(&lit) && !clause.contains(&!lit) {
+                    clause.push(lit);
+                }
+            }
+            s.add_clause(&clause);
+            clauses.push(clause);
+        }
+        let base = brute_force(8, &clauses);
+        let g = s.new_group();
+        s.add_clause_in(g, &[Lit::pos(vars[0])]);
+        s.add_clause_in(g, &[Lit::neg(vars[0])]);
+        assert_eq!(
+            s.solve_with_assumptions(&[g.lit()]),
+            SatResult::Unsat,
+            "round {round}: the group is contradictory under assumption"
+        );
+        // Unassumed, the group's clauses are vacuous.
+        assert_eq!(s.solve() == SatResult::Sat, base, "round {round}");
+        let _ = s.retract(g);
+        assert_eq!(
+            s.solve() == SatResult::Sat,
+            base,
+            "round {round}: retraction restores the base formula"
+        );
+        // A later independent group still works on the swept database.
+        let g2 = s.new_group();
+        s.add_clause_in(g2, &[Lit::pos(vars[1])]);
+        let narrowed: Vec<Vec<Lit>> = clauses
+            .iter()
+            .cloned()
+            .chain([vec![Lit::pos(vars[1])]])
+            .collect();
+        assert_eq!(
+            s.solve_with_assumptions(&[g2.lit()]) == SatResult::Sat,
+            brute_force(8, &narrowed),
+            "round {round}: fresh group after retraction"
+        );
+    }
+}
+
+#[test]
+fn failed_assumptions_report_unsat_and_recover() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+    s.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+    // f ≡ b: assuming ¬b must fail, assuming b must succeed.
+    assert_eq!(s.solve_with_assumptions(&[Lit::neg(b)]), SatResult::Unsat);
+    assert_eq!(s.solve_with_assumptions(&[Lit::pos(b)]), SatResult::Sat);
+    // Directly contradicting a root-level forced literal fails too.
+    s.add_clause(&[Lit::pos(a)]);
+    assert_eq!(s.solve_with_assumptions(&[Lit::neg(a)]), SatResult::Unsat);
+    // Pairwise contradictory assumptions fail regardless of the formula.
+    assert_eq!(
+        s.solve_with_assumptions(&[Lit::pos(b), Lit::neg(b)]),
+        SatResult::Unsat
+    );
+    // The solver recovers fully after every failed-assumption exit.
+    assert_eq!(s.solve(), SatResult::Sat);
+    assert_eq!(s.value(a), Some(true));
+    assert_eq!(s.value(b), Some(true));
+}
+
+#[test]
+fn watch_arena_survives_learnt_reduction_across_instances() {
+    // One long-lived solver serves a conflict-heavy UNSAT family and then
+    // sixty random phase-transition instances, each in its own retractable
+    // group. The accumulated learnt clauses force database reductions and
+    // the per-instance retraction forces watch-arena compaction; every
+    // answer is cross-checked against brute force on the live clauses.
+    let mut s = Solver::new();
+
+    // PHP(6,5) first: thousands of conflicts to pump the learnt database.
+    let (pigeons, holes) = (6usize, 5usize);
+    let php = s.new_group();
+    let p: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| s.new_var()).collect())
+        .collect();
+    for row in &p {
+        let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_clause_in(php, &clause);
+    }
+    #[allow(clippy::needless_range_loop)] // h indexes the inner dimension of every row
+    for h in 0..holes {
+        for i in 0..pigeons {
+            for j in (i + 1)..pigeons {
+                s.add_clause_in(php, &[Lit::neg(p[i][h]), Lit::neg(p[j][h])]);
+            }
+        }
+    }
+    assert_eq!(s.solve_with_assumptions(&[php.lit()]), SatResult::Unsat);
+    let _ = s.retract(php);
+
+    let mut rng = Lcg(0xC0FF_EE11);
+    for round in 0..60 {
+        let num_vars = 12;
+        let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+        let g = s.new_group();
+        let mut clauses = Vec::new();
+        for _ in 0..51 {
+            let mut clause = Vec::new();
+            while clause.len() < 3 {
+                let v = vars[(rng.next() % num_vars as u64) as usize];
+                let lit = Lit::with_sign(v, rng.next() & 1 == 0);
+                if !clause.contains(&lit) && !clause.contains(&!lit) {
+                    clause.push(lit);
+                }
+            }
+            s.add_clause_in(g, &clause);
+            clauses.push(clause);
+        }
+        let expect = brute_force_from(vars[0].index(), num_vars, &clauses);
+        let got = s.solve_with_assumptions(&[g.lit()]) == SatResult::Sat;
+        assert_eq!(got, expect, "round {round}");
+        if got {
+            for clause in &clauses {
+                assert!(
+                    clause
+                        .iter()
+                        .any(|l| s.value(l.var()) == Some(l.is_positive())),
+                    "model violates a clause in round {round}"
+                );
+            }
+        }
+        let _ = s.retract(g);
+    }
 }
 
 #[test]

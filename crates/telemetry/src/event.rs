@@ -178,6 +178,19 @@ pub enum Event {
         /// The remaining error budget the bound was compared against.
         budget: f64,
     },
+    /// Aggregated SAT activity from don't-care classification over one
+    /// engine refresh (or one classical simplification pass): how many
+    /// solver queries ran, how many solver instances served them, and how
+    /// many clauses group retraction physically reclaimed. With incremental
+    /// solver reuse `solver_instances` stays far below `sat_queries`.
+    SatActivity {
+        /// Individual `solve_with_assumptions` calls issued.
+        sat_queries: u64,
+        /// Solver instances that served at least one query.
+        solver_instances: u64,
+        /// Clauses physically swept by clause-group retraction.
+        clauses_retracted: u64,
+    },
     /// A committed change set invalidated part of the engine memo.
     ConeInvalidated {
         /// Nodes in the committed change set.
@@ -283,6 +296,7 @@ impl Event {
             Event::Measured { .. } => "measured",
             Event::EngineRefresh { .. } => "engine_refresh",
             Event::CandidatePruned { .. } => "candidate_pruned",
+            Event::SatActivity { .. } => "sat_activity",
             Event::ConeInvalidated { .. } => "cone_invalidated",
             Event::KnapsackSolved { .. } => "knapsack_solved",
             Event::ChangeCommitted { .. } => "change_committed",
@@ -389,6 +403,15 @@ impl Event {
                     .set("static_lo", static_lo)
                     .set("static_hi", static_hi)
                     .set("budget", budget);
+            }
+            Event::SatActivity {
+                sat_queries,
+                solver_instances,
+                clauses_retracted,
+            } => {
+                obj.set("sat_queries", sat_queries)
+                    .set("solver_instances", solver_instances)
+                    .set("clauses_retracted", clauses_retracted);
             }
             Event::ConeInvalidated { changed, dropped } => {
                 obj.set("changed", changed).set("dropped", dropped);
@@ -535,6 +558,11 @@ mod tests {
                 static_lo: 0.04,
                 static_hi: 0.25,
                 budget: 0.01,
+            },
+            Event::SatActivity {
+                sat_queries: 512,
+                solver_instances: 4,
+                clauses_retracted: 2048,
             },
             Event::ConeInvalidated {
                 changed: 1,

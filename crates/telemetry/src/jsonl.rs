@@ -33,7 +33,10 @@ use std::sync::Mutex;
 /// (grid_points, workers) and one `sweep_point_done` line per grid point
 /// (algorithm, threshold, literals, mapped_delay, error_rate, nanos), in
 /// deterministic grid order.
-pub const EVENT_LOG_SCHEMA_VERSION: u64 = 5;
+/// v6: incremental SAT — don't-care classification emits aggregated
+/// `sat_activity` lines (sat_queries, solver_instances, clauses_retracted)
+/// per engine refresh / classical simplification pass.
+pub const EVENT_LOG_SCHEMA_VERSION: u64 = 6;
 
 /// A [`TelemetrySink`] that streams every event as one JSON line to a
 /// writer. Lines are written (and the writer flushed) synchronously per

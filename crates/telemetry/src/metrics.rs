@@ -121,6 +121,14 @@ pub struct MetricsReport {
     /// Nodes a full resimulation would have evaluated across those updates
     /// — `resim_nodes` strictly below this is the incremental saving.
     pub resim_full_equivalent: u64,
+    /// SAT queries issued by don't-care classification
+    /// (`solve_with_assumptions` calls).
+    pub sat_queries: u64,
+    /// SAT solver instances that served at least one query —
+    /// `solver_instances ≪ sat_queries` is the incremental-reuse measure.
+    pub solver_instances: u64,
+    /// Clauses physically reclaimed by clause-group retraction.
+    pub clauses_retracted: u64,
     /// Mapped critical-path delay of the final network, in the cell
     /// library's delay units. Telemetry has no mapper dependency, so this is
     /// populated *externally* (by the bench runner and the sweep
@@ -229,6 +237,15 @@ impl MetricsReport {
             Event::CandidatePruned { .. } => {
                 self.candidates_pruned += 1;
             }
+            Event::SatActivity {
+                sat_queries,
+                solver_instances,
+                clauses_retracted,
+            } => {
+                self.sat_queries += sat_queries;
+                self.solver_instances += solver_instances;
+                self.clauses_retracted += clauses_retracted;
+            }
             Event::ConeInvalidated { dropped, .. } => {
                 self.invalidations += 1;
                 self.invalidated_entries += dropped;
@@ -298,6 +315,9 @@ impl MetricsReport {
             .set("resim_nodes", self.resim_nodes)
             .set("resim_skipped_early_exit", self.resim_skipped_early_exit)
             .set("resim_full_equivalent", self.resim_full_equivalent)
+            .set("sat_queries", self.sat_queries)
+            .set("solver_instances", self.solver_instances)
+            .set("clauses_retracted", self.clauses_retracted)
             .set("mapped_delay", self.mapped_delay)
             .set("iterations", self.iterations.len())
             .set("total_s", self.total_time().as_secs_f64())
@@ -415,11 +435,21 @@ mod tests {
                 changed: 2,
                 dropped: 5,
             },
+            Event::SatActivity {
+                sat_queries: 32,
+                solver_instances: 2,
+                clauses_retracted: 120,
+            },
             Event::EngineRefresh {
                 evaluated: 5,
                 cache_hits: 3,
                 nodes_skipped: 0,
                 nanos: 300,
+            },
+            Event::SatActivity {
+                sat_queries: 8,
+                solver_instances: 1,
+                clauses_retracted: 30,
             },
             Event::IterationEnd {
                 iteration: 1,
@@ -460,6 +490,9 @@ mod tests {
         assert_eq!(r.resim_nodes, 3);
         assert_eq!(r.resim_skipped_early_exit, 2);
         assert_eq!(r.resim_full_equivalent, 8);
+        assert_eq!(r.sat_queries, 40);
+        assert_eq!(r.solver_instances, 3);
+        assert_eq!(r.clauses_retracted, 150);
         assert_eq!(r.phase_nanos.refresh, 800);
         assert_eq!(r.phase_nanos.simulate, 160);
         assert_eq!(r.phase_nanos.measure, 40);
@@ -493,6 +526,11 @@ mod tests {
             errors: 6,
             early_reject: true,
         });
+        report.absorb(&Event::SatActivity {
+            sat_queries: 16,
+            solver_instances: 1,
+            clauses_retracted: 44,
+        });
         let json = report.to_json();
         assert_eq!(json.get("evaluations").and_then(Json::as_u64), Some(7));
         assert_eq!(json.get("cache_hits").and_then(Json::as_u64), Some(2));
@@ -518,6 +556,12 @@ mod tests {
         assert_eq!(
             json.get("candidates_pruned").and_then(Json::as_u64),
             Some(0)
+        );
+        assert_eq!(json.get("sat_queries").and_then(Json::as_u64), Some(16));
+        assert_eq!(json.get("solver_instances").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            json.get("clauses_retracted").and_then(Json::as_u64),
+            Some(44)
         );
         assert!(json.get("phase_s").and_then(|p| p.get("refresh")).is_some());
     }

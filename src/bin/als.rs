@@ -24,7 +24,7 @@
 
 use als::absint::{error_bounds, signal_probabilities, Policy};
 use als::check::{
-    audit_certificates, AnalyzerConfig, AuditConfig, CertificateLog, NetworkAnalyzer,
+    audit_certificates, AnalyzerConfig, AuditConfig, CertificateLog, CheckEngine, NetworkAnalyzer,
 };
 use als::circuits::all_benchmarks;
 use als::circuits::registry::find_benchmark;
@@ -132,6 +132,9 @@ USAGE:
                   [--json]                    machine-readable diagnostics
                   [--certify <events.jsonl>]  audit a run's certificates
                   [--golden <golden.blif>]    re-derive the real error rate
+                  [--engine bdd|sat|auto]     exact-rate engine: BDD miter
+                                              density, #SAT cube enumeration,
+                                              or BDD with SAT fallback
                   (exit 0 clean, 1 findings, 2 usage)
   als bound       <in.blif>                   static signal-probability intervals
                   [--golden <golden.blif>]    sound per-output error-rate intervals
@@ -516,11 +519,22 @@ fn cmd_check(args: &[String]) -> Result<(), CliError> {
         .enumerate()
         .find(|&(i, a)| {
             !a.starts_with('-')
-                && (i == 0 || !matches!(args[i - 1].as_str(), "--certify" | "--golden"))
+                && (i == 0
+                    || !matches!(args[i - 1].as_str(), "--certify" | "--golden" | "--engine"))
         })
         .map(|(_, a)| a)
         .ok_or_else(|| usage("check needs a BLIF file"))?;
     let net = read_network_unchecked(path)?;
+    let engine = match flag_value(args, "--engine") {
+        None | Some("bdd") => CheckEngine::Bdd,
+        Some("sat") => CheckEngine::Sat,
+        Some("auto") => CheckEngine::Auto,
+        Some(other) => {
+            return Err(usage(format!(
+                "unknown --engine `{other}` (expected bdd, sat, or auto)"
+            )))
+        }
+    };
     let config = if args.iter().any(|a| a == "--fast") {
         AnalyzerConfig::fast()
     } else {
@@ -535,9 +549,13 @@ fn cmd_check(args: &[String]) -> Result<(), CliError> {
             Ok(log) => {
                 let golden = flag_value(args, "--golden").map(read_network).transpose()?;
                 // The network being checked is the run's final network;
-                // with --golden the audit re-derives its real error rate.
-                let audit =
-                    audit_certificates(&log, golden.as_ref(), Some(&net), &AuditConfig::default());
+                // with --golden the audit re-derives its real error rate
+                // on the selected exact engine.
+                let config = AuditConfig {
+                    engine,
+                    ..AuditConfig::default()
+                };
+                let audit = audit_certificates(&log, golden.as_ref(), Some(&net), &config);
                 report.extend(audit);
             }
             Err(e) => {
@@ -546,6 +564,8 @@ fn cmd_check(args: &[String]) -> Result<(), CliError> {
         }
     } else if flag_value(args, "--golden").is_some() {
         return Err(usage("--golden only makes sense together with --certify"));
+    } else if flag_value(args, "--engine").is_some() {
+        return Err(usage("--engine only makes sense together with --certify"));
     }
 
     // Repeated passes (or an analyze + audit combination) can derive the

@@ -12,6 +12,7 @@ use als::circuits::misc::priority_encoder;
 use als::network::{blif, Network};
 use als::{approximate, AlsConfig, AlsOutcome, DelayWeight, PatternPolicy, ResimMode, Strategy};
 use als_bench::PAPER_THRESHOLDS;
+use als_dontcare::{DontCareConfig, DontCareMethod, SolverReuse};
 use proptest::prelude::*;
 
 /// Everything observable about an outcome, as one comparable string.
@@ -143,6 +144,80 @@ fn incremental_resimulation_never_changes_the_outcome() {
     assert!(
         incremental_saved > 0,
         "incremental resimulation never skipped a node — the sweep is vacuous"
+    );
+}
+
+/// The one-solver-per-window-sweep SAT path is a pure *speed* knob as
+/// well: [`SolverReuse::Incremental`] keeps a single solver warm across a
+/// whole sweep (retracting each window's clause group afterwards) while
+/// [`SolverReuse::Fresh`] builds a throwaway solver per query, and both
+/// must answer every SDC/ODC query identically — so outcomes stay
+/// byte-identical across every circuit × Table-4 threshold × all three
+/// algorithms. Non-vacuity is asserted two ways: the incremental side must
+/// somewhere have amortized (strictly fewer solver instances than queries,
+/// and strictly fewer than the fresh oracle's one-solver-per-window total).
+#[test]
+fn incremental_solver_reuse_never_changes_the_outcome() {
+    let reuse_config = |threshold: f64, reuse: SolverReuse| {
+        AlsConfig::builder()
+            .threshold(threshold)
+            .patterns(PatternPolicy::Fixed(256))
+            .seed(29)
+            .dont_care(DontCareConfig {
+                method: DontCareMethod::Sat,
+                reuse,
+                ..DontCareConfig::default()
+            })
+            .build()
+            .expect("test config is valid")
+    };
+    let (mut inc_queries, mut inc_instances, mut fresh_instances) = (0u64, 0u64, 0u64);
+    for circuit_index in 0..3 {
+        let net = circuit(circuit_index);
+        for &threshold in &PAPER_THRESHOLDS {
+            for strategy in [Strategy::Single, Strategy::Multi, Strategy::Sasimi] {
+                let inc = approximate(
+                    &net,
+                    strategy,
+                    &reuse_config(threshold, SolverReuse::Incremental),
+                )
+                .unwrap();
+                let fresh =
+                    approximate(&net, strategy, &reuse_config(threshold, SolverReuse::Fresh))
+                        .unwrap();
+                assert_eq!(
+                    fingerprint(&inc),
+                    fingerprint(&fresh),
+                    "{} @ {threshold} {strategy:?}: solver reuse changed the outcome",
+                    net.name()
+                );
+                assert_eq!(
+                    inc.metrics.sat_queries,
+                    fresh.metrics.sat_queries,
+                    "{} @ {threshold} {strategy:?}: reuse changed the query count",
+                    net.name()
+                );
+                assert!(
+                    inc.metrics.solver_instances <= fresh.metrics.solver_instances,
+                    "{} @ {threshold} {strategy:?}: incremental path built more solvers \
+                     than the fresh oracle",
+                    net.name()
+                );
+                inc_queries += inc.metrics.sat_queries;
+                inc_instances += inc.metrics.solver_instances;
+                fresh_instances += fresh.metrics.solver_instances;
+            }
+        }
+    }
+    assert!(
+        inc_instances < inc_queries,
+        "incremental path never amortized a solver across queries \
+         ({inc_instances} instances for {inc_queries} queries) — the sweep is vacuous"
+    );
+    assert!(
+        inc_instances < fresh_instances,
+        "incremental path built as many solvers as the fresh oracle \
+         ({inc_instances} vs {fresh_instances}) — reuse never engaged"
     );
 }
 
