@@ -1,420 +1,18 @@
-//! `lint` — in-tree source lint for library code, three passes:
+//! Deprecated alias for `als-lint`.
 //!
-//! * **panic** — no panicking constructs: `unwrap()`, `expect(`,
-//!   `panic!(`, `unreachable!(`, `todo!(` and `unimplemented!(`;
-//! * **as-cast** — no `as`-casts to numeric types. `as` silently
-//!   truncates, wraps and rounds; library code must use `From`/`try_from`
-//!   (lossless or checked) or justify the cast with a marker;
-//! * **map-iter** — no iteration over `HashMap`/`HashSet` contents.
-//!   Hash-order iteration is nondeterministic across processes, and any
-//!   such loop feeding ordered or emitted output silently breaks the
-//!   byte-identity suites; iterate a sorted view or a side-car order
-//!   vector instead, or justify order-independence with a marker.
-//!
-//! All passes skip the places where the constructs are acceptable:
-//!
-//! * `#[cfg(test)]` modules and `tests/` trees (asserting is the point);
-//! * `src/bin/` CLI entry points (a process abort is a process abort);
-//! * the in-tree `proptest`/`criterion` shims (they mirror upstream APIs);
-//! * lines carrying a `// lint:allow(panic)` / `// lint:allow(as-cast)` /
-//!   `// lint:allow(map-iter)` marker with a justification.
-//!
-//! Usage: `lint [--pass panic|as-cast|map-iter|all]` (default `all`).
-//! Exit code 0 when clean, 1 with a findings listing otherwise — wired
-//! into CI next to `cargo fmt --check` and clippy.
-//!
-//! The scan is textual (a line-based brace tracker finds `mod tests`
-//! blocks), which is exactly as precise as it needs to be for a curated
-//! codebase: false positives are silenced with the marker, and the CI
-//! gate keeps new unmarked hits out.
-
-use std::io::Write;
-use std::path::{Path, PathBuf};
-
-/// Panicking constructs that must not appear in library code.
-const BANNED: [&str; 6] = [
-    ".unwrap()",
-    ".expect(",
-    "panic!(",
-    "unreachable!(",
-    "todo!(",
-    "unimplemented!(",
-];
-
-/// Numeric types an `as`-cast can target; every one of them can lose
-/// information from some source type, so all are flagged and the marker
-/// records why each surviving cast is fine.
-const NUMERIC_TYPES: [&str; 14] = [
-    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
-    "f64",
-];
-
-/// The justification markers: a line carrying one — or directly adjacent
-/// to it, since rustfmt may move a trailing comment onto its own line —
-/// is exempt from the corresponding pass.
-const PANIC_MARKER: &str = "lint:allow(panic)";
-const AS_CAST_MARKER: &str = "lint:allow(as-cast)";
-const MAP_ITER_MARKER: &str = "lint:allow(map-iter)";
-
-/// Iteration methods that walk a hash container in hash order.
-const ITER_METHODS: [&str; 8] = [
-    ".iter()",
-    ".iter_mut()",
-    ".keys()",
-    ".values()",
-    ".values_mut()",
-    ".into_iter()",
-    ".drain()",
-    ".retain(",
-];
-
-/// Crate `src/` trees that are exempt wholesale: API-compatible shims of
-/// external crates whose interfaces are panic-based.
-const EXEMPT_CRATES: [&str; 2] = ["crates/proptest", "crates/criterion"];
-
-/// Which passes to run.
-#[derive(Clone, Copy, PartialEq)]
-enum PassSelect {
-    Panic,
-    AsCast,
-    MapIter,
-    All,
-}
-
-impl PassSelect {
-    fn runs_panic(self) -> bool {
-        matches!(self, PassSelect::Panic | PassSelect::All)
-    }
-
-    fn runs_as_cast(self) -> bool {
-        matches!(self, PassSelect::AsCast | PassSelect::All)
-    }
-
-    fn runs_map_iter(self) -> bool {
-        matches!(self, PassSelect::MapIter | PassSelect::All)
-    }
-}
-
-struct Finding {
-    path: PathBuf,
-    line: usize,
-    construct: String,
-    marker: &'static str,
-    text: String,
-}
+//! The in-tree lint grew up and moved to its own crate (`crates/lint`,
+//! binary `als-lint`) with a token-aware scanner, four more passes, a
+//! stale-suppression audit and a ratcheted baseline. This shim keeps
+//! existing `cargo run -p als-bench --bin lint -- --pass <p>` invocations
+//! (CI scripts, muscle memory) working by forwarding the argument list
+//! unchanged — the old pass names are a subset of the new ones.
 
 fn main() -> std::process::ExitCode {
-    let select = match parse_pass_arg() {
-        Ok(select) => select,
-        Err(message) => {
-            eprintln!("lint: {message}");
-            return std::process::ExitCode::from(2);
-        }
-    };
-    let Some(root) = workspace_root() else {
-        eprintln!("lint: cannot locate the workspace root (no Cargo.toml upwards)");
-        return std::process::ExitCode::from(2);
-    };
-    let mut findings = Vec::new();
-    let mut files_scanned = 0usize;
-    for src_dir in library_src_dirs(&root) {
-        for file in rust_files(&src_dir) {
-            files_scanned += 1;
-            scan_file(&file, &root, select, &mut findings);
-        }
-    }
-    // Write errors (e.g. a closed pipe when the listing is piped through
-    // `head`) must not turn into a panic in the lint itself.
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    if findings.is_empty() {
-        let _ = writeln!(out, "lint: {files_scanned} file(s) clean");
-        std::process::ExitCode::SUCCESS
-    } else {
-        for f in &findings {
-            let _ = writeln!(
-                out,
-                "{}:{}: `{}` in library code: {} (fix or justify with `// {}: why`)",
-                f.path.display(),
-                f.line,
-                f.construct,
-                f.text.trim(),
-                f.marker,
-            );
-        }
-        let _ = writeln!(
-            out,
-            "lint: {} finding(s) in {files_scanned} file(s)",
-            findings.len()
-        );
-        std::process::ExitCode::FAILURE
-    }
-}
-
-/// Parses `--pass panic|as-cast|map-iter|all` (default `all`).
-fn parse_pass_arg() -> Result<PassSelect, String> {
+    eprintln!(
+        "warning: `cargo run -p als-bench --bin lint` is deprecated; use \
+         `cargo run -p als-lint` (same passes plus float-cmp, silent-result, \
+         nondeterminism and the stale-allow suppression audit)"
+    );
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        None => Ok(PassSelect::All),
-        Some("--pass") => match args.get(1).map(String::as_str) {
-            Some("panic") => Ok(PassSelect::Panic),
-            Some("as-cast") => Ok(PassSelect::AsCast),
-            Some("map-iter") => Ok(PassSelect::MapIter),
-            Some("all") => Ok(PassSelect::All),
-            Some(other) => Err(format!(
-                "unknown pass `{other}` (expected panic, as-cast, map-iter or all)"
-            )),
-            None => Err("--pass needs a value: panic, as-cast, map-iter or all".to_string()),
-        },
-        Some(other) => Err(format!("unknown argument `{other}` (try --pass)")),
-    }
-}
-
-/// Walks upward from the current directory to the workspace root (the
-/// directory whose Cargo.toml declares `[workspace]`).
-fn workspace_root() -> Option<PathBuf> {
-    let mut dir = std::env::current_dir().ok()?;
-    loop {
-        let manifest = dir.join("Cargo.toml");
-        if let Ok(text) = std::fs::read_to_string(&manifest) {
-            if text.contains("[workspace]") {
-                return Some(dir);
-            }
-        }
-        if !dir.pop() {
-            return None;
-        }
-    }
-}
-
-/// Every library `src/` tree: the root crate plus each workspace member,
-/// minus the exempt shims.
-fn library_src_dirs(root: &Path) -> Vec<PathBuf> {
-    let mut dirs = vec![root.join("src")];
-    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
-        let mut members: Vec<PathBuf> = entries
-            .flatten()
-            .map(|e| e.path())
-            .filter(|p| p.is_dir())
-            .collect();
-        members.sort();
-        for member in members {
-            let rel = member.strip_prefix(root).unwrap_or(&member);
-            if EXEMPT_CRATES.iter().any(|e| Path::new(e) == rel) {
-                continue;
-            }
-            let src = member.join("src");
-            if src.is_dir() {
-                dirs.push(src);
-            }
-        }
-    }
-    dirs
-}
-
-/// All `.rs` files under `dir`, skipping `src/bin/` CLI trees.
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        if d.file_name().is_some_and(|n| n == "bin") {
-            continue;
-        }
-        let Ok(entries) = std::fs::read_dir(&d) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.is_dir() {
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                out.push(path);
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-fn scan_file(path: &Path, root: &Path, select: PassSelect, findings: &mut Vec<Finding>) {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return;
-    };
-    let mut in_tests = false;
-    let mut depth_at_tests = 0usize;
-    let mut depth = 0usize;
-    let mut pending_cfg_test = false;
-    let lines: Vec<&str> = text.lines().collect();
-    let hash_names = if select.runs_map_iter() {
-        hash_container_names(&lines)
-    } else {
-        Vec::new()
-    };
-    for (idx, &line) in lines.iter().enumerate() {
-        let code = strip_comment(line);
-        // Track `#[cfg(test)] mod …` blocks: everything inside is test
-        // code and exempt.
-        if !in_tests && code.contains("#[cfg(test)]") {
-            pending_cfg_test = true;
-        }
-        if pending_cfg_test && code.contains("mod ") && code.contains('{') {
-            in_tests = true;
-            depth_at_tests = depth;
-            pending_cfg_test = false;
-        }
-        depth += code.matches('{').count();
-        depth = depth.saturating_sub(code.matches('}').count());
-        if in_tests {
-            if depth <= depth_at_tests {
-                in_tests = false;
-            }
-            continue;
-        }
-        let marked = |marker: &str| {
-            line.contains(marker)
-                || (idx > 0 && lines[idx - 1].contains(marker))
-                || lines.get(idx + 1).is_some_and(|l| l.contains(marker))
-        };
-        let push = |findings: &mut Vec<Finding>, construct: String, marker: &'static str| {
-            findings.push(Finding {
-                path: path.strip_prefix(root).unwrap_or(path).to_path_buf(),
-                line: idx + 1,
-                construct,
-                marker,
-                text: line.to_string(),
-            });
-        };
-        if select.runs_panic() && !marked(PANIC_MARKER) {
-            for construct in BANNED {
-                if code.contains(construct) {
-                    push(findings, construct.to_string(), PANIC_MARKER);
-                }
-            }
-        }
-        if select.runs_as_cast() && !marked(AS_CAST_MARKER) {
-            if let Some(cast) = find_numeric_as_cast(code) {
-                push(findings, cast, AS_CAST_MARKER);
-            }
-        }
-        if select.runs_map_iter() && !marked(MAP_ITER_MARKER) {
-            if let Some(it) = find_map_iteration(code, &hash_names) {
-                push(findings, it, MAP_ITER_MARKER);
-            }
-        }
-    }
-}
-
-/// Collects the identifiers a file binds to `HashMap`/`HashSet` values:
-/// `let` bindings, function parameters, and struct fields (`name: …Hash…<`).
-/// Textual like the rest of the lint — names the heuristic misses simply
-/// stay unchecked, and CI keeps new unmarked iteration over the found ones
-/// out.
-fn hash_container_names(lines: &[&str]) -> Vec<String> {
-    let mut names: Vec<String> = Vec::new();
-    let ident = |c: &char| c.is_alphanumeric() || *c == '_';
-    for &line in lines {
-        let code = strip_comment(line);
-        if !code.contains("HashMap") && !code.contains("HashSet") {
-            continue;
-        }
-        // `let [mut] name … = HashMap::new()` / `let name: HashSet<…>`.
-        if let Some(rest) = code.trim_start().strip_prefix("let ") {
-            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
-            let name: String = rest.chars().take_while(ident).collect();
-            if !name.is_empty() && !names.contains(&name) {
-                names.push(name);
-            }
-        }
-        // `name: [&['a ]][mut ]HashMap<` — parameters and struct fields.
-        for key in ["HashMap<", "HashSet<"] {
-            let mut from = 0;
-            while let Some(p) = code[from..].find(key) {
-                let abs = from + p;
-                from = abs + key.len();
-                let mut before = code[..abs].trim_end();
-                for prefix in ["mut", "'_", "'a", "'b"] {
-                    before = before.strip_suffix(prefix).unwrap_or(before).trim_end();
-                }
-                before = before.strip_suffix('&').unwrap_or(before).trim_end();
-                let Some(before) = before.strip_suffix(':') else {
-                    continue;
-                };
-                let rev: String = before.trim_end().chars().rev().take_while(ident).collect();
-                let name: String = rev.chars().rev().collect();
-                if !name.is_empty() && !names.contains(&name) {
-                    names.push(name);
-                }
-            }
-        }
-    }
-    names
-}
-
-/// Finds hash-order iteration on a (comment-stripped) line: one of the
-/// [`ITER_METHODS`] called on a known hash-container name, or a `for` loop
-/// directly over one. Returns the offending `name.method` text.
-fn find_map_iteration(code: &str, names: &[String]) -> Option<String> {
-    let boundary_ok = |code: &str, pos: usize| {
-        code[..pos]
-            .chars()
-            .next_back()
-            .is_none_or(|c| !c.is_alphanumeric() && c != '_')
-    };
-    for name in names {
-        for method in ITER_METHODS {
-            let pat = format!("{name}{method}");
-            for (pos, _) in code.match_indices(&pat) {
-                if boundary_ok(code, pos) {
-                    return Some(format!("{name}{method}"));
-                }
-            }
-        }
-        // `for … in [&[mut ]]name {` — the implicit IntoIterator walk.
-        if let Some(pos) = code.find(" in ") {
-            let mut expr = code[pos + 4..].trim_start();
-            expr = expr.strip_prefix('&').unwrap_or(expr);
-            expr = expr.strip_prefix("mut ").unwrap_or(expr).trim_start();
-            if let Some(rest) = expr.strip_prefix(name.as_str()) {
-                let next = rest.chars().next();
-                if code[..pos].contains("for ")
-                    && next.is_none_or(|c| !c.is_alphanumeric() && c != '_' && c != '.')
-                    && !rest.trim_start().starts_with('(')
-                {
-                    return Some(format!("for … in {name}"));
-                }
-            }
-        }
-    }
-    None
-}
-
-/// Finds the first `… as <numeric-type>` cast on a (comment-stripped)
-/// line, returning the `as <type>` text. One finding per line is enough:
-/// a line is either triaged wholesale or rewritten.
-fn find_numeric_as_cast(code: &str) -> Option<String> {
-    let mut start = 0;
-    while let Some(pos) = code[start..].find(" as ") {
-        let abs = start + pos;
-        let after = &code[abs + 4..];
-        let token: String = after
-            .chars()
-            .take_while(|c| c.is_alphanumeric() || *c == '_')
-            .collect();
-        // `u64`-the-token, not `u64_extra`-the-identifier: the taken
-        // prefix must be the whole token for the match to be a type.
-        if NUMERIC_TYPES.contains(&token.as_str()) {
-            return Some(format!("as {token}"));
-        }
-        start = abs + 4;
-    }
-    None
-}
-
-/// Drops `//` comments (so a construct *mentioned* in a doc comment is
-/// not a finding) while keeping the code part of the line.
-fn strip_comment(line: &str) -> &str {
-    match line.find("//") {
-        Some(pos) => &line[..pos],
-        None => line,
-    }
+    std::process::ExitCode::from(als_lint::cli_main(&args))
 }

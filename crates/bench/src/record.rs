@@ -334,11 +334,11 @@ pub fn compare(old: &BenchRecord, new: &BenchRecord, opts: &CompareOptions) -> V
     let mut total_old = 0.0f64;
     let mut total_new = 0.0f64;
     for oe in &old.entries {
-        let Some(ne) = new
-            .entries
-            .iter()
-            .find(|ne| ne.algorithm == oe.algorithm && ne.threshold == oe.threshold)
-        else {
+        let Some(ne) = new.entries.iter().find(|ne| {
+            // Thresholds are grid keys round-tripped through JSON, so
+            // matching is bit-exact identity, not numeric tolerance.
+            ne.algorithm == oe.algorithm && ne.threshold.to_bits() == oe.threshold.to_bits()
+        }) else {
             continue;
         };
         total_old += oe.runtime_s;

@@ -329,6 +329,7 @@ fn check_acyclicity(net: &Network, report: &mut AnalysisReport) {
         }
     }
     if visited < live.len() {
+        // lint:allow(map-iter): collected then sorted, so map order never leaks out
         let mut stuck: Vec<NodeId> = indegree
             .iter()
             .filter(|&(_, &d)| d > 0)
@@ -685,7 +686,7 @@ fn check_sat_sweep(net: &Network, config: &AnalyzerConfig, report: &mut Analysis
             solver.add_clause_in(g, &c1);
             solver.add_clause_in(g, &c2);
             let proven = solver.solve_with_assumptions(&[g.lit()]) == SatResult::Unsat;
-            let _ = solver.retract(g);
+            solver.retract(g);
             if proven {
                 report.push(
                     Diagnostic::info(

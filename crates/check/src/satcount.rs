@@ -286,7 +286,7 @@ pub fn exact_error_rate_sat(
                 fixed[i] = true;
             }
         }
-        let _ = secondary.retract(round);
+        secondary.retract(round);
 
         let fixed_count = fixed.iter().filter(|&&f| f).count();
         count.add_cube(fixed_count);

@@ -386,9 +386,9 @@ impl CandidateEngine {
             }
         }
         let before = self.cache.entries.len();
-        self.cache
-            .entries
-            .retain(|id, _| !cone.get(id.index()).copied().unwrap_or(false));
+        let keep = |id: &NodeId| !cone.get(id.index()).copied().unwrap_or(false);
+        // lint:allow(map-iter): retain's predicate is per-entry, so visit order cannot matter
+        self.cache.entries.retain(|id, _| keep(id));
         let dropped = before - self.cache.entries.len();
         // Debug-build invariant: a committed node sits inside its own TFO
         // cone, so its stale pricing must never survive the invalidation.

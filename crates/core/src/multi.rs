@@ -61,6 +61,7 @@ pub(crate) fn multi_selection_with_context(
     config: &AlsConfig,
     ctx: AlsContext,
 ) -> AlsOutcome {
+    // lint:allow(nondeterminism): feeds telemetry wall-clock only, never the synthesis outcome
     let start = Instant::now();
     original.check().expect("input network must be consistent"); // lint:allow(panic): documented panic contract; `approximate()` is the fallible entry
     let initial_literals = original.literal_count();

@@ -357,6 +357,7 @@ impl SweepRecord {
     pub fn fingerprint(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
+        // lint:allow(silent-result): fmt::Write into a String is infallible
         let _ = writeln!(
             s,
             "sweep v{} {} seed {} quick {} golden {} {:.17e} {:.17e}",
@@ -369,6 +370,7 @@ impl SweepRecord {
             self.golden_delay
         );
         for p in &self.points {
+            // lint:allow(silent-result): fmt::Write into a String is infallible
             let _ = writeln!(
                 s,
                 "{} @ {:.17e} {} {} -> lits {} area {:.17e} delay {:.17e} er {:.17e} dominated {}",
@@ -526,6 +528,7 @@ pub fn run_sweep(
         let config = &configs[i];
         let point = points[i];
         let ctx = contexts[&config.pattern_budget()].clone();
+        // lint:allow(nondeterminism): feeds the point's runtime_s record only, excluded from the fingerprint
         let start = Instant::now();
         let outcome = api::run(golden, point.strategy, config, ctx);
         let mapped = map_network(&outcome.network, &lib);

@@ -77,6 +77,7 @@ impl Window {
 
         // Roots: internal nodes observed from outside the window.
         let po_drivers: HashSet<NodeId> = net.pos().iter().map(|(_, d)| *d).collect();
+        // lint:allow(map-iter): collected then sorted, so set order never leaks out
         let mut roots: Vec<NodeId> = inside
             .iter()
             .copied()

@@ -1,0 +1,172 @@
+//! The ratcheted finding baseline (`lint-baseline.json`).
+//!
+//! The baseline records, per pass, how many findings and how many
+//! exercised suppression markers the workspace currently carries. A run
+//! with `--baseline <file>` then enforces the **ratchet**:
+//!
+//! * `findings` may never exceed the recorded count — a new finding must
+//!   be fixed or triaged with a reasoned marker, it cannot ride in on an
+//!   already-dirty pass;
+//! * `allows` may never exceed the recorded count either — adding a
+//!   marker is a deliberate act, recorded by re-running with
+//!   `--update-baseline` so the diff shows up in review;
+//! * counts *below* the baseline are reported as tightening opportunities
+//!   (run `--update-baseline` to lock the improvement in) but do not fail
+//!   the run.
+//!
+//! `--update-baseline` requires `--pass all`: a partial run has no data
+//! for the unselected passes and would silently loosen them.
+//!
+//! The file is schema-versioned so future format changes can migrate
+//! explicitly instead of misparsing.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use als_telemetry::json::Json;
+
+use crate::workspace::{LintReport, PassCounts};
+
+/// The baseline schema this build reads and writes.
+pub const BASELINE_SCHEMA_VERSION: u64 = 1;
+
+/// A parsed baseline file.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    /// Per-pass recorded counts.
+    pub passes: BTreeMap<String, PassCounts>,
+}
+
+/// The outcome of a ratchet comparison.
+#[derive(Clone, Debug, Default)]
+pub struct RatchetOutcome {
+    /// Hard failures: counts above the baseline, or passes missing from it.
+    pub regressions: Vec<String>,
+    /// Counts now below the baseline — tighten with `--update-baseline`.
+    pub tightenable: Vec<String>,
+}
+
+impl Baseline {
+    /// Loads and validates a baseline file.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        let json = Json::parse(&text).map_err(|e| format!("baseline {}: {e}", path.display()))?;
+        let schema = json
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("baseline {}: missing `schema`", path.display()))?;
+        if schema != BASELINE_SCHEMA_VERSION {
+            return Err(format!(
+                "baseline {}: schema {schema} unsupported (this build reads {BASELINE_SCHEMA_VERSION})",
+                path.display()
+            ));
+        }
+        let mut passes = BTreeMap::new();
+        let Some(Json::Obj(map)) = json.get("passes") else {
+            return Err(format!(
+                "baseline {}: missing `passes` object",
+                path.display()
+            ));
+        };
+        for (name, entry) in map {
+            let findings = entry
+                .get("findings")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| {
+                    format!("baseline {}: `{name}` missing `findings`", path.display())
+                })?;
+            let allows = entry
+                .get("allows")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("baseline {}: `{name}` missing `allows`", path.display()))?;
+            passes.insert(
+                name.clone(),
+                PassCounts {
+                    findings: to_usize(findings),
+                    allows: to_usize(allows),
+                },
+            );
+        }
+        Ok(Baseline { passes })
+    }
+
+    /// Compares a run's counts against the baseline. Only passes present
+    /// in `report.counts` (i.e. selected ones) are compared, so a
+    /// single-pass run ratchets just that pass. The stale-allow audit is
+    /// deliberately *not* ratchetable: a stale marker is always an error,
+    /// never recorded debt, so it is skipped here and excluded from
+    /// [`Baseline::render`].
+    pub fn compare(&self, report: &LintReport) -> RatchetOutcome {
+        let mut out = RatchetOutcome::default();
+        for (pass, now) in &report.counts {
+            if pass == crate::passes::STALE_ALLOW {
+                continue;
+            }
+            let Some(base) = self.passes.get(pass) else {
+                if now.findings > 0 || now.allows > 0 {
+                    out.regressions.push(format!(
+                        "pass `{pass}` is not in the baseline but has {} finding(s) and {} allow(s) \
+                         (add it with --update-baseline)",
+                        now.findings, now.allows
+                    ));
+                }
+                continue;
+            };
+            if now.findings > base.findings {
+                out.regressions.push(format!(
+                    "pass `{pass}`: {} finding(s), baseline allows {} — fix them or triage with a \
+                     reasoned `// lint:allow({pass}): why` marker",
+                    now.findings, base.findings
+                ));
+            } else if now.findings < base.findings {
+                out.tightenable.push(format!(
+                    "pass `{pass}`: findings {} → {}",
+                    base.findings, now.findings
+                ));
+            }
+            if now.allows > base.allows {
+                out.regressions.push(format!(
+                    "pass `{pass}`: {} suppression marker(s), baseline records {} — record the new \
+                     triage with --update-baseline so it shows up in review",
+                    now.allows, base.allows
+                ));
+            } else if now.allows < base.allows {
+                out.tightenable.push(format!(
+                    "pass `{pass}`: allows {} → {}",
+                    base.allows, now.allows
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the baseline for a report's counts.
+    pub fn render(report: &LintReport) -> String {
+        let mut passes = Json::object();
+        for (pass, counts) in &report.counts {
+            if pass == crate::passes::STALE_ALLOW {
+                continue;
+            }
+            let mut entry = Json::object();
+            entry.set("findings", counts.findings);
+            entry.set("allows", counts.allows);
+            passes.set(pass, entry);
+        }
+        let mut root = Json::object();
+        root.set("schema", BASELINE_SCHEMA_VERSION);
+        root.set("passes", passes);
+        root.render_pretty()
+    }
+
+    /// Writes the baseline for a report's counts.
+    pub fn update(path: &Path, report: &LintReport) -> Result<(), String> {
+        std::fs::write(path, Baseline::render(report))
+            .map_err(|e| format!("cannot write baseline {}: {e}", path.display()))
+    }
+}
+
+/// Lossless u64 → usize on every supported target (counts are tiny).
+fn to_usize(n: u64) -> usize {
+    usize::try_from(n).unwrap_or(usize::MAX)
+}

@@ -1,0 +1,495 @@
+//! The lint pass registry.
+//!
+//! Each pass is a pure function over one file's token stream (see
+//! [`crate::scanner`]): it reports *raw* findings — line + offending
+//! construct — and the driver in [`crate::workspace`] applies the shared
+//! policy around them (test-module exemption, suppression markers, the
+//! stale-marker audit).
+//!
+//! The passes are heuristic by design: token-level scanning cannot type a
+//! program, so the float and map passes work from names *declared float or
+//! hash-typed in the same file* and the result pass flags every discarded
+//! call. Whatever the heuristics miss simply stays unchecked; what they
+//! over-catch is triaged once with a reasoned `// lint:allow(<pass>): why`
+//! marker, and the CI ratchet keeps new unmarked findings out.
+
+use crate::scanner::{Token, TokenKind};
+
+/// A finding as produced by a pass, before suppression is applied.
+#[derive(Clone, Debug)]
+pub struct RawFinding {
+    /// 1-based source line.
+    pub line: usize,
+    /// Short description of the offending construct (`".unwrap()"`,
+    /// `"as u32"`, `"float `==`"`, …).
+    pub construct: String,
+}
+
+/// A lint pass: a name (also the suppression-marker key), a one-line
+/// description, and the check itself.
+pub trait Pass {
+    /// The pass name: `--pass <name>` selects it and
+    /// `// lint:allow(<name>): why` suppresses it.
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `--list-passes` and the JSON report.
+    fn description(&self) -> &'static str;
+
+    /// Runs the pass over one file's tokens.
+    fn check(&self, tokens: &[Token]) -> Vec<RawFinding>;
+}
+
+/// The name of the suppression-audit pseudo-pass. It has no marker of its
+/// own (a stale marker cannot be excused by another marker) and is
+/// implemented by the driver, not a [`Pass`]: it needs every *raw* finding
+/// of every other pass as input.
+pub const STALE_ALLOW: &str = "stale-allow";
+
+/// What the stale-allow audit checks (for `--list-passes` and docs).
+pub const STALE_ALLOW_DESCRIPTION: &str =
+    "every `lint:allow(<pass>)` marker names a real pass, carries a `: why` reason, and still \
+     suppresses at least one finding";
+
+/// All registered passes, in reporting order.
+pub fn registry() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(PanicPass),
+        Box::new(AsCastPass),
+        Box::new(MapIterPass),
+        Box::new(FloatCmpPass),
+        Box::new(SilentResultPass),
+        Box::new(NondeterminismPass),
+    ]
+}
+
+/// Every selectable pass name, including the driver-implemented audit.
+pub fn pass_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = registry().iter().map(|p| p.name()).collect();
+    names.push(STALE_ALLOW);
+    names
+}
+
+/// Numeric types an `as`-cast can target; every one can lose information
+/// from some source type.
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Methods that walk a hash container in nondeterministic hash order.
+const HASH_ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "retain",
+];
+
+/// **panic** — no panicking constructs in library code: `.unwrap()`,
+/// `.expect(`, and the `panic!` macro family. Library errors must be
+/// `Result`s; a deliberate panic carries a marker explaining the contract.
+struct PanicPass;
+
+impl Pass for PanicPass {
+    fn name(&self) -> &'static str {
+        "panic"
+    }
+
+    fn description(&self) -> &'static str {
+        "no .unwrap()/.expect()/panic!-family constructs in library code"
+    }
+
+    fn check(&self, tokens: &[Token]) -> Vec<RawFinding> {
+        let mut out = Vec::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let method = matches!(t.text.as_str(), "unwrap" | "expect")
+                && i > 0
+                && tokens[i - 1].is_punct(".")
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct("("));
+            if method {
+                out.push(RawFinding {
+                    line: t.line,
+                    construct: format!(".{}(", t.text),
+                });
+            }
+            let mac = matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            ) && tokens.get(i + 1).is_some_and(|n| n.is_punct("!"));
+            if mac {
+                out.push(RawFinding {
+                    line: t.line,
+                    construct: format!("{}!(", t.text),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// **as-cast** — no `as`-casts to numeric types in library code. `as`
+/// silently truncates, wraps and rounds; use `From`/`try_from` or justify
+/// the cast with a marker.
+struct AsCastPass;
+
+impl Pass for AsCastPass {
+    fn name(&self) -> &'static str {
+        "as-cast"
+    }
+
+    fn description(&self) -> &'static str {
+        "no lossy `as` numeric casts in library code"
+    }
+
+    fn check(&self, tokens: &[Token]) -> Vec<RawFinding> {
+        let mut out = Vec::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if t.is_ident("as")
+                && tokens.get(i + 1).is_some_and(|n| {
+                    n.kind == TokenKind::Ident && NUMERIC_TYPES.contains(&n.text.as_str())
+                })
+            {
+                out.push(RawFinding {
+                    line: t.line,
+                    construct: format!("as {}", tokens[i + 1].text),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// **map-iter** — no iteration over `HashMap`/`HashSet` contents in
+/// library code: hash order is nondeterministic across processes, and any
+/// such loop feeding ordered or emitted output silently breaks the
+/// byte-identity suites. Iterate a sorted view or a side-car order vector,
+/// or justify order-independence with a marker.
+struct MapIterPass;
+
+impl Pass for MapIterPass {
+    fn name(&self) -> &'static str {
+        "map-iter"
+    }
+
+    fn description(&self) -> &'static str {
+        "no hash-order iteration over HashMap/HashSet in library code"
+    }
+
+    fn check(&self, tokens: &[Token]) -> Vec<RawFinding> {
+        let names = hash_container_names(tokens);
+        if names.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident || !names.iter().any(|n| n == &t.text) {
+                continue;
+            }
+            // `name.iter()` and friends.
+            if tokens.get(i + 1).is_some_and(|n| n.is_punct("."))
+                && tokens.get(i + 2).is_some_and(|m| {
+                    m.kind == TokenKind::Ident && HASH_ITER_METHODS.contains(&m.text.as_str())
+                })
+                && tokens.get(i + 3).is_some_and(|n| n.is_punct("("))
+            {
+                out.push(RawFinding {
+                    line: t.line,
+                    construct: format!("{}.{}()", t.text, tokens[i + 2].text),
+                });
+            }
+            // `for … in [&][mut] name {` — the implicit IntoIterator walk.
+            if tokens.get(i + 1).is_some_and(|n| n.is_punct("{")) {
+                let mut j = i;
+                while j > 0 && (tokens[j - 1].is_punct("&") || tokens[j - 1].is_ident("mut")) {
+                    j -= 1;
+                }
+                if j > 0 && tokens[j - 1].is_ident("in") {
+                    let for_nearby = tokens[..j - 1]
+                        .iter()
+                        .rev()
+                        .take(12)
+                        .any(|t| t.is_ident("for"));
+                    if for_nearby {
+                        out.push(RawFinding {
+                            line: t.line,
+                            construct: format!("for … in {}", t.text),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Names a file binds to `HashMap`/`HashSet` values: `let` bindings whose
+/// initializer mentions one, and `name: [&]HashMap<…>` parameters, struct
+/// fields and annotated bindings.
+fn hash_container_names(tokens: &[Token]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut push = |name: &str| {
+        if !name.is_empty() && !names.iter().any(|n| n == name) {
+            names.push(name.to_string());
+        }
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // `name: [& mut 'a] HashMap<` — parameters, fields, annotations.
+        if tokens.get(i + 1).is_some_and(|n| n.is_punct("<")) {
+            let mut j = i;
+            while j > 0
+                && (tokens[j - 1].is_punct("&")
+                    || tokens[j - 1].is_ident("mut")
+                    || tokens[j - 1].kind == TokenKind::Lifetime)
+            {
+                j -= 1;
+            }
+            if j > 1 && tokens[j - 1].is_punct(":") && tokens[j - 2].kind == TokenKind::Ident {
+                push(&tokens[j - 2].text);
+            }
+        }
+        // `let [mut] name … = … HashMap::new()` — walk back to the `let`
+        // opening this statement (bounded; stops at statement boundaries).
+        for back in 1..40 {
+            let Some(j) = i.checked_sub(back) else {
+                break;
+            };
+            if tokens[j].is_punct(";") || tokens[j].is_punct("{") || tokens[j].is_punct("}") {
+                break;
+            }
+            if tokens[j].is_ident("let") {
+                let mut k = j + 1;
+                if tokens.get(k).is_some_and(|t| t.is_ident("mut")) {
+                    k += 1;
+                }
+                if let Some(name) = tokens.get(k) {
+                    if name.kind == TokenKind::Ident {
+                        push(&name.text);
+                    }
+                }
+                break;
+            }
+        }
+    }
+    names
+}
+
+/// **float-cmp** — no `==`/`!=` on `f32`/`f64` in library code. Exact
+/// float equality is almost always a rounding bug waiting to happen; where
+/// bit-exactness is the *point* (re-derived rates, integrality checks) the
+/// comparison carries a marker saying so, otherwise compare within an
+/// explicit epsilon or on `to_bits()`.
+struct FloatCmpPass;
+
+impl Pass for FloatCmpPass {
+    fn name(&self) -> &'static str {
+        "float-cmp"
+    }
+
+    fn description(&self) -> &'static str {
+        "no ==/!= on f32/f64 values in library code"
+    }
+
+    fn check(&self, tokens: &[Token]) -> Vec<RawFinding> {
+        let names = float_names(tokens);
+        let is_float_operand = |t: &Token| {
+            t.kind == TokenKind::Float
+                || (t.kind == TokenKind::Ident && names.iter().any(|n| n == &t.text))
+        };
+        let mut out = Vec::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if !(t.is_punct("==") || t.is_punct("!=")) {
+                continue;
+            }
+            let left = i.checked_sub(1).and_then(|j| tokens.get(j));
+            // Skip a unary minus on the right-hand side.
+            let mut r = i + 1;
+            if tokens.get(r).is_some_and(|n| n.is_punct("-")) {
+                r += 1;
+            }
+            let right = tokens.get(r);
+            let hit = left.is_some_and(is_float_operand) || right.is_some_and(is_float_operand);
+            if hit {
+                let operand = [left, right]
+                    .into_iter()
+                    .flatten()
+                    .find(|t| is_float_operand(t))
+                    .map_or_else(String::new, |t| t.text.clone());
+                out.push(RawFinding {
+                    line: t.line,
+                    construct: format!("float `{}` (operand `{operand}`)", t.text),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Names a file declares as `f32`/`f64`: `name: [& mut] f64` (parameters,
+/// fields, annotated bindings) and `let [mut] name = <float literal>`.
+fn float_names(tokens: &[Token]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut push = |name: &str| {
+        if !name.is_empty() && !names.iter().any(|n| n == name) {
+            names.push(name.to_string());
+        }
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Ident && (t.text == "f32" || t.text == "f64") {
+            let mut j = i;
+            while j > 0
+                && (tokens[j - 1].is_punct("&")
+                    || tokens[j - 1].is_ident("mut")
+                    || tokens[j - 1].kind == TokenKind::Lifetime)
+            {
+                j -= 1;
+            }
+            if j > 1 && tokens[j - 1].is_punct(":") && tokens[j - 2].kind == TokenKind::Ident {
+                push(&tokens[j - 2].text);
+            }
+        }
+        if t.kind == TokenKind::Float && i >= 2 {
+            let mut j = i - 1;
+            if tokens[j].is_punct("-") && j > 0 {
+                j -= 1;
+            }
+            if tokens[j].is_punct("=") && j >= 2 {
+                let name = &tokens[j - 1];
+                let kw = &tokens[j - 2];
+                if name.kind == TokenKind::Ident
+                    && (kw.is_ident("let") || kw.is_ident("mut") || kw.is_ident("const"))
+                {
+                    push(&name.text);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// **silent-result** — no `let _ = call(…)` in library code: discarding a
+/// call result with a wildcard silences `#[must_use]` and swallows
+/// `Result`s without a trace. Handle the error, propagate it with `?`, or
+/// justify the discard with a marker (e.g. infallible `fmt::Write` into a
+/// `String`).
+struct SilentResultPass;
+
+impl Pass for SilentResultPass {
+    fn name(&self) -> &'static str {
+        "silent-result"
+    }
+
+    fn description(&self) -> &'static str {
+        "no `let _ = call(…)` discards in library code"
+    }
+
+    fn check(&self, tokens: &[Token]) -> Vec<RawFinding> {
+        let mut out = Vec::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if !t.is_ident("let") || !tokens.get(i + 1).is_some_and(|n| n.is_ident("_")) {
+                continue;
+            }
+            // `let _ = …` or `let _: Ty = …`: find the `=` (bounded).
+            let mut j = i + 2;
+            if tokens.get(j).is_some_and(|n| n.is_punct(":")) {
+                let limit = j + 24;
+                while j < limit
+                    && tokens
+                        .get(j)
+                        .is_some_and(|n| !n.is_punct("=") && !n.is_punct(";"))
+                {
+                    j += 1;
+                }
+            }
+            if !tokens.get(j).is_some_and(|n| n.is_punct("=")) {
+                continue;
+            }
+            // The initializer is a call if a `(` appears before the `;`.
+            let mut callee = String::new();
+            let mut k = j + 1;
+            let limit = k + 200;
+            while k < limit {
+                match tokens.get(k) {
+                    None => break,
+                    Some(n) if n.is_punct(";") => break,
+                    Some(n) if n.is_punct("(") => {
+                        if let Some(prev) = tokens.get(k.saturating_sub(1)) {
+                            if prev.kind == TokenKind::Ident && k > j + 1 {
+                                callee.clone_from(&prev.text);
+                            }
+                        }
+                        out.push(RawFinding {
+                            line: t.line,
+                            construct: if callee.is_empty() {
+                                "let _ = <call>".to_string()
+                            } else {
+                                format!("let _ = …{callee}(…)")
+                            },
+                        });
+                        break;
+                    }
+                    Some(_) => k += 1,
+                }
+            }
+        }
+        out
+    }
+}
+
+/// **nondeterminism** — no wall-clock reads, thread-identity reads, or
+/// pointer-identity hashing in library code: the determinism suites pin
+/// every outcome byte-for-byte across threads and policies, and these
+/// constructs are exactly the ones that vary between runs. The telemetry
+/// clock and the phase timers (whose readings feed only telemetry, never
+/// outcomes) carry markers saying so.
+struct NondeterminismPass;
+
+/// Token sequences the nondeterminism pass bans.
+const NONDET_SEQUENCES: [&[&str]; 4] = [
+    &["Instant", "::", "now"],
+    &["SystemTime", "::", "now"],
+    &["thread", "::", "current"],
+    &["ptr", "::", "hash"],
+];
+
+impl Pass for NondeterminismPass {
+    fn name(&self) -> &'static str {
+        "nondeterminism"
+    }
+
+    fn description(&self) -> &'static str {
+        "no Instant::now/SystemTime::now/thread::current/ptr::hash in library code"
+    }
+
+    fn check(&self, tokens: &[Token]) -> Vec<RawFinding> {
+        let mut out = Vec::new();
+        for i in 0..tokens.len() {
+            for seq in NONDET_SEQUENCES {
+                let matched = seq.iter().enumerate().all(|(k, want)| {
+                    tokens.get(i + k).is_some_and(|t| {
+                        if k % 2 == 0 {
+                            t.is_ident(want)
+                        } else {
+                            t.is_punct(want)
+                        }
+                    })
+                });
+                if matched {
+                    out.push(RawFinding {
+                        line: tokens[i].line,
+                        construct: seq.join(""),
+                    });
+                }
+            }
+        }
+        out
+    }
+}

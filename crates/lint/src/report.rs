@@ -1,0 +1,130 @@
+//! Rendering: the human listing and the schema-versioned JSON report.
+
+use als_telemetry::json::Json;
+
+use crate::baseline::RatchetOutcome;
+use crate::passes;
+use crate::workspace::LintReport;
+
+/// The JSON report schema this build emits.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// Renders the human findings listing (one line per finding plus a
+/// summary), the format the old in-tree lint printed.
+pub fn render_human(report: &LintReport, ratchet: Option<&RatchetOutcome>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for f in &report.findings {
+        // lint:allow(silent-result): fmt::Write into a String is infallible
+        let _ = writeln!(
+            out,
+            "{}:{}: [{}] `{}`: {}",
+            f.path.display(),
+            f.line,
+            f.pass,
+            f.construct,
+            f.excerpt,
+        );
+    }
+    if let Some(ratchet) = ratchet {
+        for r in &ratchet.regressions {
+            // lint:allow(silent-result): fmt::Write into a String is infallible
+            let _ = writeln!(out, "ratchet regression: {r}");
+        }
+        for t in &ratchet.tightenable {
+            // lint:allow(silent-result): fmt::Write into a String is infallible
+            let _ = writeln!(out, "ratchet can tighten: {t}");
+        }
+    }
+    let suppressed: usize = report.counts.values().map(|c| c.allows).sum();
+    // lint:allow(silent-result): fmt::Write into a String is infallible
+    let _ = writeln!(
+        out,
+        "lint: {} finding(s), {} exercised suppression marker(s) in {} file(s)",
+        report.findings.len(),
+        suppressed,
+        report.files_scanned,
+    );
+    out
+}
+
+/// Renders the machine-readable report.
+pub fn render_json(report: &LintReport, ratchet: Option<&RatchetOutcome>) -> String {
+    let mut root = Json::object();
+    root.set("schema", REPORT_SCHEMA_VERSION);
+    root.set("files_scanned", report.files_scanned);
+
+    let mut pass_list: Vec<Json> = Vec::new();
+    for pass in passes::registry() {
+        let mut entry = Json::object();
+        entry.set("name", pass.name());
+        entry.set("description", pass.description());
+        pass_list.push(entry);
+    }
+    let mut audit = Json::object();
+    audit.set("name", passes::STALE_ALLOW);
+    audit.set("description", passes::STALE_ALLOW_DESCRIPTION);
+    pass_list.push(audit);
+    root.set("passes", pass_list);
+
+    let mut findings: Vec<Json> = Vec::new();
+    for f in &report.findings {
+        let mut entry = Json::object();
+        entry.set("pass", f.pass.as_str());
+        entry.set("path", f.path.display().to_string());
+        entry.set("line", f.line);
+        entry.set("construct", f.construct.as_str());
+        entry.set("excerpt", f.excerpt.as_str());
+        findings.push(entry);
+    }
+    root.set("findings", findings);
+
+    let mut allows: Vec<Json> = Vec::new();
+    for a in &report.allows {
+        let mut entry = Json::object();
+        entry.set("pass", a.pass.as_str());
+        entry.set("path", a.path.display().to_string());
+        entry.set("line", a.line);
+        allows.push(entry);
+    }
+    root.set("allows", allows);
+
+    let mut counts = Json::object();
+    for (pass, c) in &report.counts {
+        let mut entry = Json::object();
+        entry.set("findings", c.findings);
+        entry.set("allows", c.allows);
+        counts.set(pass, entry);
+    }
+    root.set("counts", counts);
+
+    if let Some(ratchet) = ratchet {
+        let mut entry = Json::object();
+        entry.set(
+            "status",
+            if ratchet.regressions.is_empty() {
+                "ok"
+            } else {
+                "regression"
+            },
+        );
+        entry.set(
+            "regressions",
+            ratchet
+                .regressions
+                .iter()
+                .map(|r| Json::from(r.as_str()))
+                .collect::<Vec<Json>>(),
+        );
+        entry.set(
+            "tightenable",
+            ratchet
+                .tightenable
+                .iter()
+                .map(|t| Json::from(t.as_str()))
+                .collect::<Vec<Json>>(),
+        );
+        root.set("baseline", entry);
+    }
+    root.render_pretty()
+}

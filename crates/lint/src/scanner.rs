@@ -1,0 +1,623 @@
+//! A hand-rolled, literal-aware Rust token scanner.
+//!
+//! The workspace is offline, so `syn`/`proc-macro2` cannot be fetched; the
+//! lint passes instead run over the token stream this module produces. The
+//! scanner understands exactly the Rust surface the passes need to avoid
+//! false positives that a line-oriented text scan cannot:
+//!
+//! * `//` line comments and (nested) `/* */` block comments — their text is
+//!   kept aside per line so suppression markers keep working, but no token
+//!   is ever produced from inside one;
+//! * cooked strings (`"…"` with `\` escapes, including multi-line), byte
+//!   strings (`b"…"`), raw strings (`r"…"`, `r#"…"#`, any hash depth, and
+//!   the `br` forms) and char literals (`'a'`, `'\n'`, `'\u{1F600}'`),
+//!   disambiguated from lifetimes (`'a`) and raw identifiers (`r#match`);
+//! * numeric literals with radix prefixes, `_` separators, exponents and
+//!   type suffixes — `1.0`, `1e-5`, `1_000.5f64` scan as *floats*, while
+//!   `1..n` stays an integer followed by a range operator;
+//! * two-character operators, so `==`/`!=` are single tokens distinct from
+//!   `=`, `=>` and `<=`.
+//!
+//! [`scan`] never panics, whatever the input (the scanner property suite
+//! feeds it arbitrary lossy-decoded bytes), and the scrubbed text it
+//! returns — comments and literal *interiors* blanked to spaces, all
+//! delimiters and line structure preserved — is a fixed point: scrubbing a
+//! scrubbed text changes nothing.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including `_` and raw `r#ident`).
+    Ident,
+    /// An integer literal (any radix, possibly suffixed).
+    Int,
+    /// A float literal (fraction, exponent, or `f32`/`f64` suffix).
+    Float,
+    /// A string literal of any flavour (cooked, byte, raw).
+    Str,
+    /// A character or byte-character literal.
+    Char,
+    /// A lifetime (`'a`).
+    Lifetime,
+    /// Any operator or delimiter; two-character operators are one token.
+    Punct,
+}
+
+/// One scanned token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The token text. For string/char literals this is only the opening
+    /// delimiter — the interior is deliberately not retained.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// True if this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True if this token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// The result of scanning one source text.
+#[derive(Debug)]
+pub struct Scan {
+    /// The token stream, literals and comments excluded as described on
+    /// [`TokenKind`].
+    pub tokens: Vec<Token>,
+    /// Comment text, one entry per (line, text-on-that-line) pair; block
+    /// comments contribute one entry per line they span. Suppression
+    /// markers are parsed from these.
+    pub comments: Vec<(usize, String)>,
+    /// The source with comments and literal interiors blanked to spaces.
+    /// Line structure and every literal delimiter are preserved, and
+    /// scrubbing is idempotent.
+    pub scrubbed: String,
+}
+
+/// Scans `src`. Never panics; malformed or truncated input degrades to the
+/// longest sensible interpretation (an unterminated literal swallows the
+/// rest of the file as literal interior, exactly as rustc would complain
+/// about but never crash on).
+pub fn scan(src: &str) -> Scan {
+    Lexer::new(src).run()
+}
+
+/// Convenience wrapper: just the scrubbed text (used by the idempotence
+/// property suite).
+pub fn scrub(src: &str) -> String {
+    scan(src).scrubbed
+}
+
+/// Two-character operators recognised as single tokens. Longer operators
+/// (`..=`, `<<=`) degrade to one of these plus a single-char token, which
+/// is harmless for every pass.
+const TWO_CHAR_PUNCT: [&str; 19] = [
+    "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "<<", ">>", "+=", "-=", "*=", "/=",
+    "%=", "^=", "|=",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    scrubbed: String,
+    tokens: Vec<Token>,
+    comments: Vec<(usize, String)>,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            scrubbed: String::with_capacity(src.len()),
+            tokens: Vec::new(),
+            comments: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, emitting it verbatim into the scrubbed text.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.scrubbed.push(c);
+        Some(c)
+    }
+
+    /// Consumes one char, blanking it to a space in the scrubbed text
+    /// (newlines are preserved so line numbers survive scrubbing).
+    fn bump_blank(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.scrubbed.push('\n');
+        } else {
+            self.scrubbed.push(' ');
+        }
+        Some(c)
+    }
+
+    fn push_token(&mut self, kind: TokenKind, text: String, line: usize) {
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Scan {
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == '"' {
+                let line = self.line;
+                self.bump();
+                self.cooked_string_body();
+                self.push_token(TokenKind::Str, "\"".to_string(), line);
+            } else if c == '\'' {
+                self.char_or_lifetime();
+            } else if c == 'r' || c == 'b' {
+                self.maybe_prefixed_literal();
+            } else if is_ident_start(c) {
+                self.ident();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else if c.is_whitespace() {
+                self.bump();
+            } else {
+                self.punct();
+            }
+        }
+        Scan {
+            tokens: self.tokens,
+            comments: self.comments,
+            scrubbed: self.scrubbed,
+        }
+    }
+
+    /// `// …` to end of line: blanked, text recorded for marker parsing.
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump_blank();
+        }
+        self.comments.push((line, text));
+    }
+
+    /// `/* … */`, nested, possibly unterminated: blanked, text recorded
+    /// per line so markers inside block comments stay line-addressed.
+    fn block_comment(&mut self) {
+        let mut depth = 0usize;
+        let mut line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump_blank();
+                self.bump_blank();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                text.push_str("*/");
+                self.bump_blank();
+                self.bump_blank();
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    break;
+                }
+            } else if c == '\n' {
+                self.comments.push((line, std::mem::take(&mut text)));
+                self.bump_blank();
+                line = self.line;
+            } else {
+                text.push(c);
+                self.bump_blank();
+            }
+        }
+        if !text.is_empty() {
+            self.comments.push((line, text));
+        }
+    }
+
+    /// The interior and closing quote of a cooked string, opening quote
+    /// already consumed. `\X` escape pairs are skipped as a unit so `\"`
+    /// does not terminate and `\\"` does.
+    fn cooked_string_body(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump_blank();
+                self.bump_blank();
+            } else if c == '"' {
+                self.bump();
+                break;
+            } else {
+                self.bump_blank();
+            }
+        }
+    }
+
+    /// The interior and closing delimiter of a raw string with `hashes`
+    /// `#`s, opening delimiter already consumed.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.peek(0) {
+            if c == '"' {
+                let closes = (0..hashes).all(|i| self.peek(1 + i) == Some('#'));
+                if closes {
+                    self.bump();
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+                self.bump_blank();
+            } else {
+                self.bump_blank();
+            }
+        }
+    }
+
+    /// At `'`: lifetime or char literal.
+    ///
+    /// A lifetime is `'` followed by an identifier *not* immediately closed
+    /// by another `'`. Everything else looks for a closing quote nearby on
+    /// the same line, skipping `\X` escape pairs; if none is found the `'`
+    /// degrades to a bare punct so arbitrary input still scans. The same
+    /// close-quote search runs on already-scrubbed text (where escapes have
+    /// been blanked to spaces) and finds the identical closing position,
+    /// which is what makes scrubbing idempotent.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        let next = self.peek(1);
+        if next.is_some_and(is_ident_start) && self.peek(2) != Some('\'') {
+            // `'a` — a lifetime: emit verbatim.
+            let mut text = String::from('\'');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_token(TokenKind::Lifetime, text, line);
+            return;
+        }
+        let mut close = None;
+        let mut i = 1usize;
+        while i <= 34 {
+            match self.peek(i) {
+                Some('\\') => i += 2,
+                Some('\'') => {
+                    close = Some(i);
+                    break;
+                }
+                Some('\n') | None => break,
+                Some(_) => i += 1,
+            }
+        }
+        if let Some(width) = close {
+            self.bump();
+            for _ in 1..width {
+                self.bump_blank();
+            }
+            self.bump();
+            self.push_token(TokenKind::Char, "'".to_string(), line);
+        } else {
+            self.bump();
+            self.push_token(TokenKind::Punct, "'".to_string(), line);
+        }
+    }
+
+    /// At `r` or `b`: raw string / byte string / raw identifier, or a
+    /// plain identifier that merely starts with those letters.
+    fn maybe_prefixed_literal(&mut self) {
+        let line = self.line;
+        let c = self.peek(0);
+        let (prefix_len, raw) = match (c, self.peek(1)) {
+            (Some('b'), Some('"')) => (1, false),
+            (Some('b'), Some('r')) if raw_hash_depth(|i| self.peek(2 + i)).is_some() => (2, true),
+            (Some('r'), _) if raw_hash_depth(|i| self.peek(1 + i)).is_some() => (1, true),
+            (Some('r'), _)
+                if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) =>
+            {
+                // `r#ident` — a raw identifier.
+                let mut text = String::new();
+                self.bump();
+                self.bump();
+                text.push_str("r#");
+                while let Some(c) = self.peek(0) {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push_token(TokenKind::Ident, text, line);
+                return;
+            }
+            _ => {
+                // A plain identifier that merely starts with `r`/`b`.
+                self.ident();
+                return;
+            }
+        };
+        // A raw or byte string literal: consume the prefix verbatim.
+        for _ in 0..prefix_len {
+            self.bump();
+        }
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek(0) == Some('#') {
+                hashes += 1;
+                self.bump();
+            }
+            self.bump(); // the opening `"`
+            self.raw_string_body(hashes);
+        } else {
+            self.bump(); // the opening `"`
+            self.cooked_string_body();
+        }
+        self.push_token(TokenKind::Str, "\"".to_string(), line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() {
+            // Defensive: `ident()` is only called on an ident-start char,
+            // but arbitrary input must never loop forever.
+            self.bump();
+            return;
+        }
+        self.push_token(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut float = false;
+        let radix_prefixed = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+        if radix_prefixed {
+            for _ in 0..2 {
+                if let Some(c) = self.bump() {
+                    text.push(c);
+                }
+            }
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // A fraction only if a digit follows the dot — `1..n` and
+            // `1.method()` stay integers.
+            if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                float = true;
+                text.push('.');
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // An exponent only if digits (optionally signed) follow.
+            if matches!(self.peek(0), Some('e' | 'E')) {
+                let signed = matches!(self.peek(1), Some('+' | '-'));
+                let digit_at = if signed { 2 } else { 1 };
+                if self.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                    float = true;
+                    for _ in 0..digit_at {
+                        if let Some(c) = self.bump() {
+                            text.push(c);
+                        }
+                    }
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Type suffix (`u64`, `f32`, …): part of the literal token.
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if !radix_prefixed && (suffix == "f32" || suffix == "f64") {
+            float = true;
+        }
+        text.push_str(&suffix);
+        let kind = if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push_token(kind, text, line);
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        if let (Some(a), Some(b)) = (self.peek(0), self.peek(1)) {
+            let pair: String = [a, b].iter().collect();
+            if TWO_CHAR_PUNCT.contains(&pair.as_str()) {
+                self.bump();
+                self.bump();
+                self.push_token(TokenKind::Punct, pair, line);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push_token(TokenKind::Punct, c.to_string(), line);
+        }
+    }
+}
+
+/// If the chars at `peek(0..)` look like the tail of a raw-string opener
+/// (`#`* then `"`), returns the hash depth; `None` otherwise.
+fn raw_hash_depth(peek: impl Fn(usize) -> Option<char>) -> Option<usize> {
+    let mut hashes = 0usize;
+    loop {
+        match peek(hashes) {
+            Some('#') => hashes += 1,
+            Some('"') => return Some(hashes),
+            _ => return None,
+        }
+    }
+}
+
+/// The 1-based line ranges (inclusive) of `#[cfg(test)] mod … { … }`
+/// blocks: everything inside is test code and exempt from the passes.
+pub fn test_mod_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            let mut j = i + 7;
+            // Skip any further attributes between `#[cfg(test)]` and the
+            // item (`#[allow(…)]`, doc attributes, …).
+            while j < tokens.len() && tokens[j].is_punct("#") {
+                j = skip_attribute(tokens, j);
+            }
+            if tokens.get(j).is_some_and(|t| t.is_ident("pub")) {
+                j += 1;
+            }
+            if tokens.get(j).is_some_and(|t| t.is_ident("mod")) {
+                // Find the opening brace of the module body.
+                let mut k = j + 1;
+                while k < tokens.len() && !tokens[k].is_punct("{") && !tokens[k].is_punct(";") {
+                    k += 1;
+                }
+                if tokens.get(k).is_some_and(|t| t.is_punct("{")) {
+                    let start_line = tokens[i].line;
+                    let end = matching_brace(tokens, k);
+                    let end_line = tokens.get(end).map_or(usize::MAX, |t| t.line);
+                    ranges.push((start_line, end_line));
+                    i = end + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// True if `tokens[i..]` starts with exactly `# [ cfg ( test ) ]`.
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let want: [&dyn Fn(&Token) -> bool; 7] = [
+        &|t| t.is_punct("#"),
+        &|t| t.is_punct("["),
+        &|t| t.is_ident("cfg"),
+        &|t| t.is_punct("("),
+        &|t| t.is_ident("test"),
+        &|t| t.is_punct(")"),
+        &|t| t.is_punct("]"),
+    ];
+    want.iter()
+        .enumerate()
+        .all(|(k, pred)| tokens.get(i + k).is_some_and(pred))
+}
+
+/// Given `tokens[i]` == `#`, returns the index just past the attribute's
+/// closing `]` (bracket-balanced; robust against malformed input).
+fn skip_attribute(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if !tokens.get(j).is_some_and(|t| t.is_punct("[")) {
+        return i + 1;
+    }
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        if tokens[j].is_punct("[") {
+            depth += 1;
+        } else if tokens[j].is_punct("]") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index of the `}` matching the `{` at `open` (or `tokens.len() - 1` on
+/// truncated input).
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        if tokens[j].is_punct("{") {
+            depth += 1;
+        } else if tokens[j].is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}

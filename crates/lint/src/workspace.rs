@@ -1,0 +1,365 @@
+//! The lint driver: file discovery, pass execution, suppression markers,
+//! and the stale-suppression audit.
+//!
+//! ## What gets scanned
+//!
+//! Library code only: the root crate's `src/` and every workspace member's
+//! `src/`, minus
+//!
+//! * `src/bin/` CLI trees (a process abort is a process abort),
+//! * `tests/` trees and `#[cfg(test)] mod` blocks (asserting is the point),
+//! * the in-tree `proptest`/`criterion` shims (they mirror upstream,
+//!   panic-based APIs).
+//!
+//! ## Suppression markers
+//!
+//! A finding is suppressed by a comment marker on the same line or on a
+//! directly adjacent one (rustfmt may move a trailing comment onto its own
+//! line):
+//!
+//! ```text
+//! // lint:allow(<pass>): <why>
+//! ```
+//!
+//! The reason is mandatory. The **stale-allow** audit closes the loop: a
+//! marker that names an unknown pass, lacks a reason, or no longer
+//! suppresses anything (the offending line was fixed or moved away) is
+//! itself an error, so suppressions can never silently outlive the code
+//! they were written for.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::passes::{self, STALE_ALLOW};
+use crate::scanner;
+
+/// Crate directories exempt wholesale: API-compatible shims of external
+/// crates whose interfaces are panic-based.
+const EXEMPT_CRATES: [&str; 2] = ["crates/proptest", "crates/criterion"];
+
+/// The marker prefix searched for inside comments.
+const MARKER: &str = "lint:allow(";
+
+/// Which passes a run executes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Selection {
+    /// Every registered pass plus the stale-allow audit.
+    All,
+    /// A single pass by name (possibly [`STALE_ALLOW`]).
+    One(String),
+}
+
+impl Selection {
+    /// Parses a `--pass` argument.
+    pub fn parse(name: &str) -> Result<Selection, String> {
+        if name == "all" {
+            return Ok(Selection::All);
+        }
+        if passes::pass_names().contains(&name) {
+            return Ok(Selection::One(name.to_string()));
+        }
+        Err(format!(
+            "unknown pass `{name}` (expected one of: {}, all)",
+            passes::pass_names().join(", ")
+        ))
+    }
+
+    fn runs(&self, name: &str) -> bool {
+        match self {
+            Selection::All => true,
+            Selection::One(one) => one == name,
+        }
+    }
+}
+
+/// A reported finding (post-suppression), or a stale-marker audit error.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// The pass that produced it ([`STALE_ALLOW`] for audit errors).
+    pub pass: String,
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// The offending construct.
+    pub construct: String,
+    /// The raw source line, trimmed.
+    pub excerpt: String,
+}
+
+/// One exercised suppression marker.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// The pass the marker suppresses.
+    pub pass: String,
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// 1-based line of the marker.
+    pub line: usize,
+}
+
+/// Per-pass totals, the unit the baseline ratchets on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PassCounts {
+    /// Unsuppressed findings.
+    pub findings: usize,
+    /// Markers that suppressed at least one finding.
+    pub allows: usize,
+}
+
+/// The outcome of linting a set of files.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Unsuppressed findings, including stale-marker audit errors.
+    pub findings: Vec<Finding>,
+    /// Exercised markers.
+    pub allows: Vec<Allow>,
+    /// Per-pass totals for every *selected* pass (always including an
+    /// entry, so a clean pass ratchets at zero).
+    pub counts: BTreeMap<String, PassCounts>,
+}
+
+impl LintReport {
+    /// True when nothing was found (stale markers included).
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// A parsed suppression marker.
+#[derive(Clone, Debug)]
+struct Marker {
+    line: usize,
+    pass: String,
+    has_reason: bool,
+    exercised: bool,
+}
+
+/// Lints one in-memory source text. This is the unit the fixture suite
+/// drives directly; [`lint_workspace`] maps it over the discovered files.
+pub fn lint_text(rel_path: &Path, src: &str, selection: &Selection, report: &mut LintReport) {
+    report.files_scanned += 1;
+    let scan = scanner::scan(src);
+    let test_ranges = scanner::test_mod_ranges(&scan.tokens);
+    let in_tests = |line: usize| test_ranges.iter().any(|&(lo, hi)| line >= lo && line <= hi);
+    let lines: Vec<&str> = src.lines().collect();
+    let excerpt = |line: usize| {
+        lines
+            .get(line.saturating_sub(1))
+            .map_or_else(String::new, |l| l.trim().to_string())
+    };
+
+    let mut markers = collect_markers(&scan.comments);
+    markers.retain(|m| !in_tests(m.line));
+
+    // Under `--pass stale-allow` every pass still *executes* (audit-only):
+    // marker liveness is only decidable from the full raw-finding set.
+    let audit_selected = selection.runs(STALE_ALLOW);
+    for pass in passes::registry() {
+        if !selection.runs(pass.name()) && !audit_selected {
+            continue;
+        }
+        let raw = pass.check(&scan.tokens);
+        let counts = report.counts.entry(pass.name().to_string()).or_default();
+        let audit_only = !selection.runs(pass.name());
+        for f in raw {
+            if in_tests(f.line) {
+                continue;
+            }
+            // Prefer the same-line marker over an adjacent one, and an
+            // unexercised marker over an exercised one: with markers on
+            // consecutive lines each must pair with its own finding, or a
+            // genuinely stale neighbour would be masked.
+            let best = markers
+                .iter_mut()
+                .filter(|m| m.pass == pass.name() && m.line.abs_diff(f.line) <= 1)
+                .min_by_key(|m| (m.line.abs_diff(f.line), m.exercised));
+            if let Some(marker) = best {
+                // Suppressed. Count each marker once, however many
+                // findings it covers.
+                if !marker.exercised {
+                    marker.exercised = true;
+                    counts.allows += 1;
+                    report.allows.push(Allow {
+                        pass: pass.name().to_string(),
+                        path: rel_path.to_path_buf(),
+                        line: marker.line,
+                    });
+                }
+                continue;
+            }
+            if audit_only {
+                // Running `--pass stale-allow` alone: the other passes are
+                // executed solely to decide marker liveness.
+                continue;
+            }
+            counts.findings += 1;
+            report.findings.push(Finding {
+                pass: pass.name().to_string(),
+                path: rel_path.to_path_buf(),
+                line: f.line,
+                construct: f.construct,
+                excerpt: excerpt(f.line),
+            });
+        }
+        if audit_only {
+            report.counts.remove(pass.name());
+        }
+    }
+
+    if selection.runs(STALE_ALLOW) {
+        let counts = report.counts.entry(STALE_ALLOW.to_string()).or_default();
+        let known: Vec<&str> = passes::registry().iter().map(|p| p.name()).collect();
+        for marker in &markers {
+            let problem = if !known.contains(&marker.pass.as_str()) {
+                Some(format!(
+                    "marker names unknown pass `{}` (known: {})",
+                    marker.pass,
+                    known.join(", ")
+                ))
+            } else if !marker.has_reason {
+                Some(format!(
+                    "marker `lint:allow({})` has no `: why` reason",
+                    marker.pass
+                ))
+            } else if !marker.exercised {
+                Some(format!(
+                    "stale marker: `lint:allow({})` no longer suppresses anything here",
+                    marker.pass
+                ))
+            } else {
+                None
+            };
+            if let Some(construct) = problem {
+                counts.findings += 1;
+                report.findings.push(Finding {
+                    pass: STALE_ALLOW.to_string(),
+                    path: rel_path.to_path_buf(),
+                    line: marker.line,
+                    construct,
+                    excerpt: excerpt(marker.line),
+                });
+            }
+        }
+    }
+}
+
+/// Parses every `lint:allow(<pass>)[: reason]` occurrence in the comment
+/// stream. Only kebab-shaped names (lowercase ASCII and `-`) count as
+/// markers: pass names and their typos look like that, while documentation
+/// placeholders (`<pass>`, `{}`, `…`) do not — so prose *about* the marker
+/// syntax never registers as a marker itself.
+fn collect_markers(comments: &[(usize, String)]) -> Vec<Marker> {
+    let mut out = Vec::new();
+    for (line, text) in comments {
+        let mut from = 0usize;
+        while let Some(pos) = text.get(from..).and_then(|t| t.find(MARKER)) {
+            let name_start = from + pos + MARKER.len();
+            let rest = text.get(name_start..).unwrap_or_default();
+            let Some(close) = rest.find(')') else {
+                break;
+            };
+            let name = rest.get(..close).unwrap_or_default().trim().to_string();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_lowercase() || c == '-') {
+                from = name_start + close;
+                continue;
+            }
+            let after = rest.get(close + 1..).unwrap_or_default();
+            let has_reason = after
+                .trim_start()
+                .strip_prefix(':')
+                .is_some_and(|r| !r.trim().is_empty());
+            out.push(Marker {
+                line: *line,
+                pass: name,
+                has_reason,
+                exercised: false,
+            });
+            from = name_start + close;
+        }
+    }
+    out
+}
+
+/// Lints every library source file under `root`.
+pub fn lint_workspace(root: &Path, selection: &Selection) -> Result<LintReport, String> {
+    let mut report = LintReport::default();
+    for dir in library_src_dirs(root) {
+        for file in rust_files(&dir) {
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            lint_text(&rel, &text, selection, &mut report);
+        }
+    }
+    Ok(report)
+}
+
+/// Walks upward from the current directory to the workspace root (the
+/// directory whose Cargo.toml declares `[workspace]`).
+pub fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Every library `src/` tree: the root crate plus each workspace member,
+/// minus the exempt shims.
+fn library_src_dirs(root: &Path) -> Vec<PathBuf> {
+    let mut dirs = vec![root.join("src")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut members: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            let rel = member.strip_prefix(root).unwrap_or(&member);
+            if EXEMPT_CRATES.iter().any(|e| Path::new(e) == rel) {
+                continue;
+            }
+            let src = member.join("src");
+            if src.is_dir() {
+                dirs.push(src);
+            }
+        }
+    }
+    dirs
+}
+
+/// All `.rs` files under `dir`, skipping `src/bin/` CLI trees, in sorted
+/// order so reports are deterministic.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        if d.file_name().is_some_and(|n| n == "bin") {
+            continue;
+        }
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}

@@ -1,0 +1,236 @@
+//! Fixture suite: one planted defect per pass (each must be caught), the
+//! suppression protocol, and the stale-marker audit, all driven through
+//! [`als_lint::workspace::lint_text`] on in-memory sources.
+
+use als_lint::workspace::{lint_text, Finding, LintReport, Selection};
+use std::path::Path;
+
+/// Lints one source under the given selection and returns the report.
+fn run(src: &str, selection: &Selection) -> LintReport {
+    let mut report = LintReport::default();
+    lint_text(Path::new("fixture.rs"), src, selection, &mut report);
+    report
+}
+
+/// Lints one source with every pass.
+fn run_all(src: &str) -> LintReport {
+    run(src, &Selection::All)
+}
+
+fn passes_of(report: &LintReport) -> Vec<&str> {
+    report.findings.iter().map(|f| f.pass.as_str()).collect()
+}
+
+fn finding<'r>(report: &'r LintReport, pass: &str) -> &'r Finding {
+    report
+        .findings
+        .iter()
+        .find(|f| f.pass == pass)
+        .unwrap_or_else(|| panic!("expected a `{pass}` finding, got {:?}", report.findings))
+}
+
+// ---------------------------------------------------------------- defects
+
+#[test]
+fn panic_pass_catches_unwrap_and_macros() {
+    let report = run_all("pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
+    assert_eq!(passes_of(&report), ["panic"]);
+    assert_eq!(finding(&report, "panic").construct, ".unwrap(");
+
+    let report = run_all("pub fn f() { panic!(\"boom\") }\n");
+    assert_eq!(passes_of(&report), ["panic"]);
+    assert_eq!(finding(&report, "panic").line, 1);
+}
+
+#[test]
+fn as_cast_pass_catches_numeric_casts() {
+    let report = run_all("pub fn f(x: u64) -> u32 {\n    x as u32\n}\n");
+    assert_eq!(passes_of(&report), ["as-cast"]);
+    let f = finding(&report, "as-cast");
+    assert_eq!((f.line, f.construct.as_str()), (2, "as u32"));
+    // `as` to a non-numeric type is not a finding.
+    assert!(run_all("pub fn f(x: u8) -> char { x as char }\n").clean());
+}
+
+#[test]
+fn map_iter_pass_catches_hash_order_iteration() {
+    let src = "use std::collections::HashMap;\n\
+               pub fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n    \
+               m.keys().copied().collect()\n}\n";
+    let report = run_all(src);
+    assert_eq!(passes_of(&report), ["map-iter"]);
+    assert_eq!(finding(&report, "map-iter").construct, "m.keys()");
+
+    // The implicit `for … in &set {` walk is caught too.
+    let src = "use std::collections::HashSet;\n\
+               pub fn g(s: &HashSet<u32>) {\n    for v in s {\n        drop(v);\n    }\n}\n";
+    let report = run_all(src);
+    assert_eq!(passes_of(&report), ["map-iter"]);
+
+    // Iterating a Vec with the same method names is fine.
+    assert!(run_all("pub fn h(v: &[u32]) -> usize { v.iter().count() }\n").clean());
+}
+
+#[test]
+fn float_cmp_pass_catches_float_equality() {
+    let report = run_all("pub fn f(a: f64, b: f64) -> bool {\n    a == b\n}\n");
+    assert_eq!(passes_of(&report), ["float-cmp"]);
+    assert_eq!(finding(&report, "float-cmp").line, 2);
+    // Float literal on either side counts; integer equality does not.
+    assert_eq!(
+        passes_of(&run_all("pub fn g(x: f32) -> bool { 0.0 == x }\n")),
+        ["float-cmp"]
+    );
+    assert!(run_all("pub fn h(a: u32, b: u32) -> bool { a == b }\n").clean());
+}
+
+#[test]
+fn silent_result_pass_catches_discarded_calls() {
+    let report = run_all("pub fn f() {\n    let _ = std::fs::remove_file(\"x\");\n}\n");
+    assert_eq!(passes_of(&report), ["silent-result"]);
+    // A wildcard discard of a plain value is not a call discard.
+    assert!(run_all("pub fn g(x: u32) { let _ = x; }\n").clean());
+}
+
+#[test]
+fn nondeterminism_pass_catches_wall_clock_reads() {
+    let src = "use std::time::Instant;\npub fn f() -> Instant {\n    Instant::now()\n}\n";
+    let report = run_all(src);
+    assert_eq!(passes_of(&report), ["nondeterminism"]);
+    assert_eq!(finding(&report, "nondeterminism").construct, "Instant::now");
+}
+
+// ------------------------------------------------------------ suppression
+
+#[test]
+fn same_line_marker_suppresses_and_is_exercised() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    \
+               x.unwrap() // lint:allow(panic): fixture contract\n}\n";
+    let report = run_all(src);
+    assert!(
+        report.clean(),
+        "suppressed finding leaked: {:?}",
+        report.findings
+    );
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.counts["panic"].allows, 1);
+    assert_eq!(report.counts["panic"].findings, 0);
+}
+
+#[test]
+fn adjacent_line_marker_suppresses() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    \
+               // lint:allow(panic): fixture contract\n    x.unwrap()\n}\n";
+    assert!(run_all(src).clean());
+}
+
+#[test]
+fn consecutive_markers_each_pair_with_their_own_finding() {
+    let src = "pub fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n    \
+               // lint:allow(panic): first\n    let a = x.unwrap();\n    \
+               // lint:allow(panic): second\n    let b = y.unwrap();\n    a + b\n}\n";
+    let report = run_all(src);
+    assert!(report.clean(), "{:?}", report.findings);
+    assert_eq!(report.allows.len(), 2);
+}
+
+#[test]
+fn marker_for_a_different_pass_does_not_suppress() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    \
+               x.unwrap() // lint:allow(as-cast): wrong pass\n}\n";
+    let report = run_all(src);
+    // The panic finding stays, and the as-cast marker is stale.
+    let mut got = passes_of(&report);
+    got.sort_unstable();
+    assert_eq!(got, ["panic", "stale-allow"]);
+}
+
+// ------------------------------------------------------------ stale audit
+
+#[test]
+fn stale_marker_fails_the_audit() {
+    let src = "// lint:allow(panic): the construct below was fixed long ago\n\
+               pub fn fine() {}\n";
+    let report = run_all(src);
+    assert_eq!(passes_of(&report), ["stale-allow"]);
+    assert!(finding(&report, "stale-allow")
+        .construct
+        .contains("no longer suppresses"));
+}
+
+#[test]
+fn unreasoned_marker_fails_the_audit_but_still_suppresses() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    \
+               x.unwrap() // lint:allow(panic)\n}\n";
+    let report = run_all(src);
+    assert_eq!(passes_of(&report), ["stale-allow"]);
+    assert!(finding(&report, "stale-allow")
+        .construct
+        .contains("no `: why` reason"));
+}
+
+#[test]
+fn unknown_pass_marker_fails_the_audit() {
+    let src = "pub fn fine() {} // lint:allow(panics): typo'd pass name\n";
+    let report = run_all(src);
+    assert_eq!(passes_of(&report), ["stale-allow"]);
+    assert!(finding(&report, "stale-allow")
+        .construct
+        .contains("unknown pass `panics`"));
+}
+
+#[test]
+fn documentation_placeholders_are_not_markers() {
+    let src = "/// Suppress with `lint:allow(<pass>): why`; see `lint:allow(…)`.\n\
+               pub fn fine() {}\n";
+    assert!(run_all(src).clean());
+}
+
+#[test]
+fn stale_allow_selection_runs_the_audit_alone() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    \
+               x.unwrap() // lint:allow(panic): exercised fixture marker\n}\n\
+               // lint:allow(float-cmp): nothing here compares floats\n\
+               pub fn g() {}\n";
+    let selection = Selection::parse("stale-allow").expect("stale-allow is selectable");
+    let report = run(src, &selection);
+    // Only the stale float-cmp marker is reported; the exercised panic
+    // marker and the suppressed finding are the other passes' business.
+    assert_eq!(passes_of(&report), ["stale-allow"]);
+    assert!(finding(&report, "stale-allow")
+        .construct
+        .contains("float-cmp"));
+    assert_eq!(report.counts.keys().collect::<Vec<_>>(), ["stale-allow"]);
+}
+
+// ------------------------------------------------------------- exemptions
+
+#[test]
+fn strings_and_comments_never_trigger_passes() {
+    let src = "// calls .unwrap() and casts as u32 — in prose only\n\
+               pub fn f() -> &'static str {\n    \"x.unwrap() as u32 == 0.5\"\n}\n";
+    assert!(run_all(src).clean());
+}
+
+#[test]
+fn cfg_test_modules_are_exempt() {
+    let src = "pub fn ok() {}\n\n\
+               #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+               None::<u32>.unwrap();\n        let x: u64 = 7;\n        drop(x as u32);\n    }\n}\n";
+    let report = run_all(src);
+    assert!(
+        report.clean(),
+        "test-mod finding leaked: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn single_pass_selection_only_reports_that_pass() {
+    let src = "pub fn f(x: Option<f64>, y: f64) -> bool {\n    \
+               x.unwrap() == y\n}\n";
+    let report = run(src, &Selection::parse("float-cmp").expect("known pass"));
+    assert_eq!(passes_of(&report), ["float-cmp"]);
+    assert!(report.counts.contains_key("float-cmp"));
+    assert!(!report.counts.contains_key("panic"));
+}

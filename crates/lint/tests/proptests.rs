@@ -1,0 +1,99 @@
+//! Property tests for the token scanner: it must never panic, and
+//! scrubbing must reach a fixed point, on *any* input — the lint runs over
+//! whatever bytes a source tree contains, including files mid-edit.
+
+use als_lint::scanner;
+use als_lint::workspace::{lint_text, LintReport, Selection};
+use proptest::collection;
+use proptest::prelude::*;
+use std::path::Path;
+
+/// Arbitrary (possibly invalid-UTF-8) bytes, decoded lossily the way a
+/// hostile or truncated source file would be.
+fn lossy(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+/// Rust-flavoured fragment soup: random concatenations of the exact
+/// constructs the scanner special-cases (quote kinds, comment openers,
+/// escapes, lifetimes, float-ish numbers) hit the tricky lexer paths far
+/// more often than raw bytes do.
+fn fragment() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("\""),
+        Just("'"),
+        Just("r\""),
+        Just("r#\""),
+        Just("\"#"),
+        Just("b\""),
+        Just("//"),
+        Just("/*"),
+        Just("*/"),
+        Just("\\"),
+        Just("\\\""),
+        Just("\\'"),
+        Just("\n"),
+        Just(" "),
+        Just("'a"),
+        Just("'\\n'"),
+        Just("ident"),
+        Just("r#match"),
+        Just("0.5"),
+        Just("1..2"),
+        Just("1e-5"),
+        Just("#"),
+        Just("=="),
+        Just("let _ = f();"),
+        Just("lint:allow(panic): x"),
+        Just("\u{fffd}"),
+    ]
+}
+
+fn soup() -> impl Strategy<Value = String> {
+    collection::vec(fragment(), 0..48).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn scan_never_panics_on_arbitrary_bytes(bytes in collection::vec(any::<u8>(), 0..256)) {
+        let src = lossy(&bytes);
+        let scan = scanner::scan(&src);
+        // Token lines must stay within the source's line count.
+        let lines = src.lines().count().max(1);
+        for t in &scan.tokens {
+            prop_assert!(t.line >= 1 && t.line <= lines);
+        }
+    }
+
+    #[test]
+    fn scrub_is_idempotent_on_arbitrary_bytes(bytes in collection::vec(any::<u8>(), 0..256)) {
+        let src = lossy(&bytes);
+        let once = scanner::scrub(&src);
+        let twice = scanner::scrub(&once);
+        prop_assert_eq!(&once, &twice, "scrub must reach a fixed point in one step");
+        // Scrubbing blanks content but never adds or removes lines.
+        prop_assert_eq!(once.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn scan_never_panics_on_rust_fragment_soup(src in soup()) {
+        let scan = scanner::scan(&src);
+        let once = scanner::scrub(&src);
+        let twice = scanner::scrub(&once);
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(once.matches('\n').count(), src.matches('\n').count());
+        // Comments never leak into the token stream.
+        for t in &scan.tokens {
+            prop_assert!(!t.text.contains("//"), "comment text in token: {:?}", t);
+        }
+    }
+
+    #[test]
+    fn lint_text_never_panics(src in soup()) {
+        let mut report = LintReport::default();
+        lint_text(Path::new("fuzz.rs"), &src, &Selection::All, &mut report);
+        prop_assert_eq!(report.files_scanned, 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! The tree itself must stay lint-clean: every finding is either fixed or
+//! carries a reasoned suppression marker, and the committed baseline is
+//! consistent with the tree. This is the same gate CI runs via `als-lint
+//! --pass all --baseline lint-baseline.json`.
+
+use als_lint::baseline::Baseline;
+use als_lint::workspace::{lint_workspace, Selection};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = lint_workspace(workspace_root(), &Selection::All).expect("workspace scan");
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+    let listing: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{}:{}: [{}] {}",
+                f.path.display(),
+                f.line,
+                f.pass,
+                f.construct
+            )
+        })
+        .collect();
+    assert!(
+        report.clean(),
+        "untriaged lint findings:\n{}",
+        listing.join("\n")
+    );
+}
+
+#[test]
+fn committed_baseline_holds() {
+    let root = workspace_root();
+    let report = lint_workspace(root, &Selection::All).expect("workspace scan");
+    let baseline = Baseline::load(&root.join("lint-baseline.json")).expect("baseline parses");
+    let outcome = baseline.compare(&report);
+    assert!(
+        outcome.regressions.is_empty(),
+        "ratchet regressions: {:?}",
+        outcome.regressions
+    );
+}

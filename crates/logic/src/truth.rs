@@ -348,7 +348,6 @@ impl TruthTable {
     /// (repeats are legal in [`TruthTable::remap_merge`]).
     pub fn remap(&self, new_num_vars: usize, map: &[usize]) -> Result<TruthTable, LogicError> {
         for (i, &m) in map.iter().enumerate() {
-            // lint:allow(panic): documented panic contract
             assert!(!map[..i].contains(&m), "remap target {m} repeated");
         }
         self.remap_merge(new_num_vars, map)

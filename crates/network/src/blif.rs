@@ -305,27 +305,35 @@ fn insert_block(
 /// blocks with no inputs.
 pub fn write(net: &Network) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, ".model {}", net.name());
-    let _ = write!(out, ".inputs");
+    // lint:allow(silent-result): fmt::Write into a String is infallible
+    let _ = render(net, &mut out);
+    out
+}
+
+/// The fallible body of [`write`]: every `write!` propagates, so the one
+/// place the `fmt::Error` is discarded is the `String`-backed wrapper.
+fn render(net: &Network, out: &mut String) -> std::fmt::Result {
+    writeln!(out, ".model {}", net.name())?;
+    write!(out, ".inputs")?;
     for &pi in net.pis() {
-        let _ = write!(out, " {}", net.node(pi).name());
+        write!(out, " {}", net.node(pi).name())?;
     }
-    let _ = writeln!(out);
-    let _ = write!(out, ".outputs");
+    writeln!(out)?;
+    write!(out, ".outputs")?;
     for (name, _) in net.pos() {
-        let _ = write!(out, " {name}");
+        write!(out, " {name}")?;
     }
-    let _ = writeln!(out);
+    writeln!(out)?;
     for id in net.topo_order() {
         let node = net.node(id);
         if node.is_pi() {
             continue;
         }
-        let _ = write!(out, ".names");
+        write!(out, ".names")?;
         for &f in node.fanins() {
-            let _ = write!(out, " {}", net.node(f).name());
+            write!(out, " {}", net.node(f).name())?;
         }
-        let _ = writeln!(out, " {}", node.name());
+        writeln!(out, " {}", node.name())?;
         let nv = node.fanins().len();
         if node.cover().is_empty() {
             // Constant 0: no cube lines at all.
@@ -341,21 +349,20 @@ pub fn write(net: &Network) -> String {
                 });
             }
             if nv == 0 {
-                let _ = writeln!(out, "1");
+                writeln!(out, "1")?;
             } else {
-                let _ = writeln!(out, "{plane} 1");
+                writeln!(out, "{plane} 1")?;
             }
         }
     }
     // PO aliases: if a PO name differs from its driver's name, emit a buffer.
     for (name, driver) in net.pos() {
         if net.node(*driver).name() != name {
-            let _ = writeln!(out, ".names {} {}", net.node(*driver).name(), name);
-            let _ = writeln!(out, "1 1");
+            writeln!(out, ".names {} {}", net.node(*driver).name(), name)?;
+            writeln!(out, "1 1")?;
         }
     }
-    let _ = writeln!(out, ".end");
-    out
+    writeln!(out, ".end")
 }
 
 #[cfg(test)]

@@ -23,6 +23,15 @@ use std::fmt::Write as _;
 /// # Ok::<(), als_logic::LogicError>(())
 /// ```
 pub fn write_dot(net: &Network) -> String {
+    let mut out = String::new();
+    // lint:allow(silent-result): fmt::Write into a String is infallible
+    let _ = render(net, &mut out);
+    out
+}
+
+/// The fallible body of [`write_dot`]: every `write!` propagates, so the
+/// one place the `fmt::Error` is discarded is the `String`-backed wrapper.
+fn render(net: &Network, out: &mut String) -> std::fmt::Result {
     let sanitize = |name: &str| -> String {
         name.chars()
             .map(|c| {
@@ -34,23 +43,22 @@ pub fn write_dot(net: &Network) -> String {
             })
             .collect()
     };
-    let mut out = String::new();
-    let _ = writeln!(out, "digraph {} {{", sanitize(net.name()));
-    let _ = writeln!(out, "  rankdir=LR;");
+    writeln!(out, "digraph {} {{", sanitize(net.name()))?;
+    writeln!(out, "  rankdir=LR;")?;
     for id in net.node_ids() {
         let node = net.node(id);
         let name = sanitize(node.name());
         match node.kind() {
             NodeKind::Pi => {
-                let _ = writeln!(out, "  {name} [shape=box];");
+                writeln!(out, "  {name} [shape=box];")?;
             }
             NodeKind::Internal => {
-                let _ = writeln!(
+                writeln!(
                     out,
                     "  {name} [shape=ellipse, label=\"{}\\n{}\"];",
                     node.name(),
                     node.expr()
-                );
+                )?;
             }
         }
     }
@@ -58,16 +66,15 @@ pub fn write_dot(net: &Network) -> String {
         let node = net.node(id);
         let to = sanitize(node.name());
         for &f in node.fanins() {
-            let _ = writeln!(out, "  {} -> {to};", sanitize(net.node(f).name()));
+            writeln!(out, "  {} -> {to};", sanitize(net.node(f).name()))?;
         }
     }
     for (po_name, driver) in net.pos() {
         let pn = format!("po_{}", sanitize(po_name));
-        let _ = writeln!(out, "  {pn} [shape=doublecircle, label=\"{po_name}\"];");
-        let _ = writeln!(out, "  {} -> {pn};", sanitize(net.node(*driver).name()));
+        writeln!(out, "  {pn} [shape=doublecircle, label=\"{po_name}\"];")?;
+        writeln!(out, "  {} -> {pn};", sanitize(net.node(*driver).name()))?;
     }
-    let _ = writeln!(out, "}}");
-    out
+    writeln!(out, "}}")
 }
 
 #[cfg(test)]

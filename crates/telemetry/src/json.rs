@@ -188,6 +188,7 @@ impl Json {
 
 /// Integers render without a fractional part so counters stay readable.
 fn render_number(n: f64) -> String {
+    // lint:allow(float-cmp): exact integrality test — fract() is computed from n itself
     if n.fract() == 0.0 && n.abs() < 9.0e15 {
         format!("{}", n as i64) // lint:allow(as-cast): integral f64 with |n| <= 2^53 fits i64
     } else {
@@ -207,6 +208,7 @@ fn write_escaped(out: &mut String, s: &str) {
             '\t' => out.push_str("\\t"),
             c if u32::from(c) < 0x20 => {
                 use std::fmt::Write;
+                // lint:allow(silent-result): fmt::Write into a String is infallible
                 let _ = write!(out, "\\u{:04x}", u32::from(c));
             }
             c => out.push(c),

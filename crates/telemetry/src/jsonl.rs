@@ -94,7 +94,9 @@ impl TelemetrySink for JsonlSink {
             .writer
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // lint:allow(silent-result): telemetry writes must not abort the run they observe
         let _ = writeln!(writer, "{line}");
+        // lint:allow(silent-result): telemetry writes must not abort the run they observe
         let _ = writer.flush();
     }
 }
