@@ -1,0 +1,207 @@
+//! `servebench` — cold→warm throughput probe for the `als serve` daemon.
+//!
+//! Submits the same circuit twice over one connection — a cold job, then a
+//! warm job at a *different* threshold — and records what the daemon
+//! reported per job: phase timings, artifact-cache counters, result
+//! quality. The record's audit is the gate: the warm job must show
+//! non-vacuous cache hits and *zero* parse/signature phase time, or the
+//! binary exits nonzero. CI runs this as the serve smoke.
+//!
+//! ```text
+//! servebench [--addr HOST:PORT] [--circuit NAME] [-o FILE]
+//!            [--events FILE] [--shutdown]
+//! ```
+//!
+//! Without `--addr` an in-process daemon is started on a loopback port
+//! (handy locally); with it, an already-running `als serve` is probed —
+//! `--shutdown` then asks that daemon to exit afterwards, so CI can tear
+//! down cleanly. `--events` (in-process mode only) writes the daemon's
+//! JSONL telemetry transcript.
+
+use als_bench::exit_with_error;
+use als_bench::serve_record::{ServeEntry, ServeRecord};
+use als_serve::{ServeConfig, Server};
+use als_telemetry::{Json, JsonlSink, Telemetry};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// The job pair: (id, threshold, warm expectation). Different thresholds
+/// force a real re-run of the selection loop; everything upstream of it
+/// must come from the cache on the second job.
+const JOBS: [(&str, f64, bool); 2] = [("cold", 0.01, false), ("warm", 0.05, true)];
+const SEED: u64 = 7;
+const PATTERNS: &str = "fixed:512";
+
+struct Args {
+    addr: Option<String>,
+    circuit: String,
+    out: Option<String>,
+    events: Option<String>,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        circuit: "MUL8".to_string(),
+        out: None,
+        events: None,
+        shutdown: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| {
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} expects a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => {
+                args.addr = Some(value(&argv, i, "--addr")?);
+                i += 2;
+            }
+            "--circuit" => {
+                args.circuit = value(&argv, i, "--circuit")?;
+                i += 2;
+            }
+            "-o" | "--out" => {
+                args.out = Some(value(&argv, i, "-o")?);
+                i += 2;
+            }
+            "--events" => {
+                args.events = Some(value(&argv, i, "--events")?);
+                i += 2;
+            }
+            "--shutdown" => {
+                args.shutdown = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.addr.is_some() && args.events.is_some() {
+        return Err("--events writes the in-process daemon's transcript; \
+                    it cannot be combined with --addr"
+            .to_string());
+    }
+    Ok(args)
+}
+
+/// A synthesize frame for one job of the pair.
+fn synth_line(id: &str, circuit: &str, threshold: f64) -> String {
+    let mut source = Json::object();
+    source.set("bench", circuit);
+    let mut frame = Json::object();
+    frame
+        .set("v", 1u64)
+        .set("type", "synthesize")
+        .set("id", id)
+        .set("circuit", source)
+        .set("threshold", threshold)
+        .set("algorithm", "multi")
+        .set("seed", SEED)
+        .set("patterns", PATTERNS);
+    frame.render()
+}
+
+/// Reads frames until the job's `result`, failing loudly on `error`.
+fn await_result(reader: &mut BufReader<TcpStream>, id: &str) -> Json {
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read from daemon") == 0 {
+            exit_with_error(&format!("daemon hung up before job `{id}` finished"));
+        }
+        let frame = Json::parse(line.trim_end()).expect("daemon frames are valid JSON");
+        match frame.get("type").and_then(Json::as_str).unwrap_or("") {
+            "accepted" | "progress" | "pong" => {}
+            "result" => return frame,
+            "error" => exit_with_error(&format!("daemon rejected job `{id}`: {}", frame.render())),
+            other => exit_with_error(&format!("unexpected `{other}` frame: {}", frame.render())),
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => exit_with_error(&e),
+    };
+
+    // Either probe an external daemon or raise a private in-process one.
+    let mut in_process = None;
+    let addr = if let Some(addr) = &args.addr {
+        addr.clone()
+    } else {
+        let telemetry = match &args.events {
+            Some(path) => {
+                let sink = JsonlSink::create(path)
+                    .unwrap_or_else(|e| exit_with_error(&format!("--events {path}: {e}")));
+                Telemetry::new(Arc::new(sink))
+            }
+            None => Telemetry::disabled(),
+        };
+        let server = Server::bind(&ServeConfig::new("127.0.0.1:0"), telemetry)
+            .unwrap_or_else(|e| exit_with_error(&format!("bind in-process daemon: {e}")));
+        let addr = server.local_addr().to_string();
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run());
+        in_process = Some((handle, thread));
+        addr
+    };
+
+    let stream = TcpStream::connect(&addr)
+        .unwrap_or_else(|e| exit_with_error(&format!("connect {addr}: {e}")));
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+
+    let mut record = ServeRecord::new(&args.circuit);
+    for (id, threshold, warm) in JOBS {
+        writeln!(writer, "{}", synth_line(id, &args.circuit, threshold)).expect("send job");
+        writer.flush().expect("flush job");
+        let result = await_result(&mut reader, id);
+        match ServeEntry::from_result_frame(&result, warm, threshold) {
+            Ok(entry) => record.entries.push(entry),
+            Err(e) => exit_with_error(&format!("malformed result frame for `{id}`: {e}")),
+        }
+    }
+
+    if args.shutdown {
+        writeln!(writer, r#"{{"v":1,"type":"shutdown"}}"#).expect("send shutdown");
+        writer.flush().expect("flush shutdown");
+    }
+    drop(writer);
+    drop(reader);
+    if let Some((handle, thread)) = in_process {
+        handle.shutdown();
+        thread
+            .join()
+            .expect("daemon thread")
+            .expect("daemon exits cleanly");
+    }
+
+    let rendered = record.render();
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &rendered)
+                .unwrap_or_else(|e| exit_with_error(&format!("write {path}: {e}")));
+            eprintln!("wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+
+    let findings = record.audit();
+    if findings.is_empty() {
+        eprintln!(
+            "serve smoke passed: warm job skipped parse/signature phases \
+             ({} cache hits)",
+            record.entries.last().map_or(0, |e| e.cache_hits)
+        );
+    } else {
+        for f in &findings {
+            eprintln!("finding: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -11,7 +11,9 @@
 //!   Tables 1 and 2;
 //! * `ablation` — the design-choice study of DESIGN.md §4 (don't-cares,
 //!   window size, engine, preprocess);
-//! * `scaling` — runtime vs. circuit size, backing the §6 complexity claim.
+//! * `scaling` — runtime vs. circuit size, backing the §6 complexity claim;
+//! * `servebench` — cold→warm job pair against an `als serve` daemon,
+//!   auditing that the cross-job artifact cache actually skips phases.
 //!
 //! Criterion microbenches live under `benches/`.
 
@@ -26,6 +28,7 @@ use als_network::Network;
 use als_telemetry::MetricsReport;
 
 pub mod record;
+pub mod serve_record;
 
 /// The seven error-rate thresholds of the paper's evaluation (§6).
 pub const PAPER_THRESHOLDS: [f64; 7] = [0.001, 0.003, 0.005, 0.008, 0.01, 0.03, 0.05];

@@ -1,0 +1,404 @@
+//! Versioned throughput records for the `als serve` daemon
+//! (`BENCH_SERVE_<circuit>.json`).
+//!
+//! A [`ServeRecord`] captures one cold→warm job pair (or any longer job
+//! sequence) against a running daemon: per job the phase timings the
+//! daemon reported (`parse_s`, `context_s`, `synth_s`), the artifact-cache
+//! hit/miss counters, and the result quality. [`ServeRecord::audit`] is
+//! the smoke gate: a job recorded as warm must have non-vacuous cache-hit
+//! counters and *zero* parse and signature phase time — the daemon's whole
+//! reason to exist — so CI fails the moment the cross-job cache goes dark.
+
+use als_telemetry::json::{Json, JsonError};
+
+/// Version stamp of the `BENCH_SERVE_*.json` format; parsers reject other
+/// versions rather than mis-reading them.
+pub const SERVE_SCHEMA_VERSION: u64 = 1;
+
+/// The record `kind` discriminator, so serve records are never confused
+/// with `BENCH_*.json` perf records sharing a directory.
+pub const SERVE_RECORD_KIND: &str = "serve";
+
+/// One job's slice of a [`ServeRecord`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeEntry {
+    /// The request id the client chose.
+    pub id: String,
+    /// Error-rate threshold of the job.
+    pub threshold: f64,
+    /// Whether the client *expected* this job to be served warm (the audit
+    /// enforces the expectation against the counters below).
+    pub warm: bool,
+    /// Terminal status the daemon reported (`done` / `cancelled`).
+    pub status: String,
+    /// Seconds spent resolving the circuit (parse + map + absint); zero
+    /// when the circuit-level artifacts were cache hits.
+    pub parse_s: f64,
+    /// Seconds spent building golden signatures; zero on a context hit.
+    pub context_s: f64,
+    /// Seconds spent in the selection loop itself (never cached).
+    pub synth_s: f64,
+    /// Artifact-cache hits observed by this job.
+    pub cache_hits: u64,
+    /// Artifact-cache misses observed by this job.
+    pub cache_misses: u64,
+    /// Accepted iterations of the selection loop.
+    pub iterations: u64,
+    /// Literal count of the approximated network.
+    pub final_literals: u64,
+    /// Measured error rate of the result.
+    pub error_rate: f64,
+}
+
+impl ServeEntry {
+    /// Builds an entry from a daemon `"result"` frame (the JSONL line the
+    /// client read back), tagging it with the client's warm expectation and
+    /// the threshold the request asked for (the frame itself echoes only
+    /// the *measured* error rate).
+    pub fn from_result_frame(
+        frame: &Json,
+        warm: bool,
+        threshold: f64,
+    ) -> Result<ServeEntry, String> {
+        let str_field = |key: &str| {
+            frame
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("result frame is missing `{key}`"))
+        };
+        let num = |key: &str| {
+            frame
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("result frame is missing numeric `{key}`"))
+        };
+        let timings = frame
+            .get("timings")
+            .ok_or("result frame is missing `timings`")?;
+        let timing = |key: &str| {
+            timings
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("result frame is missing timing `{key}`"))
+        };
+        let metrics = frame
+            .get("metrics")
+            .ok_or("result frame is missing `metrics`")?;
+        let counter = |key: &str| {
+            metrics
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("result frame is missing counter `{key}`"))
+        };
+        Ok(ServeEntry {
+            id: str_field("id")?,
+            threshold,
+            warm,
+            status: str_field("status")?,
+            parse_s: timing("parse_s")?,
+            context_s: timing("context_s")?,
+            synth_s: timing("synth_s")?,
+            cache_hits: counter("artifact_cache_hits")?,
+            cache_misses: counter("artifact_cache_misses")?,
+            iterations: frame
+                .get("iterations")
+                .and_then(Json::as_u64)
+                .ok_or("result frame is missing `iterations`")?,
+            final_literals: frame
+                .get("final_literals")
+                .and_then(Json::as_u64)
+                .ok_or("result frame is missing `final_literals`")?,
+            error_rate: num("error_rate")?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("id", self.id.as_str())
+            .set("threshold", self.threshold)
+            .set("warm", self.warm)
+            .set("status", self.status.as_str())
+            .set("parse_s", self.parse_s)
+            .set("context_s", self.context_s)
+            .set("synth_s", self.synth_s)
+            .set("cache_hits", self.cache_hits)
+            .set("cache_misses", self.cache_misses)
+            .set("iterations", self.iterations)
+            .set("final_literals", self.final_literals)
+            .set("error_rate", self.error_rate);
+        obj
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("serve entry is missing numeric `{key}`"))
+        };
+        let count = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("serve entry is missing counter `{key}`"))
+        };
+        Ok(ServeEntry {
+            id: v
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or("serve entry is missing `id`")?
+                .to_string(),
+            threshold: num("threshold")?,
+            warm: v
+                .get("warm")
+                .and_then(Json::as_bool)
+                .ok_or("serve entry is missing `warm`")?,
+            status: v
+                .get("status")
+                .and_then(Json::as_str)
+                .ok_or("serve entry is missing `status`")?
+                .to_string(),
+            parse_s: num("parse_s")?,
+            context_s: num("context_s")?,
+            synth_s: num("synth_s")?,
+            cache_hits: count("cache_hits")?,
+            cache_misses: count("cache_misses")?,
+            iterations: count("iterations")?,
+            final_literals: count("final_literals")?,
+            error_rate: num("error_rate")?,
+        })
+    }
+}
+
+/// One serve throughput measurement: environment plus a job sequence.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeRecord {
+    /// Format version ([`SERVE_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Benchmark circuit the jobs ran on.
+    pub circuit: String,
+    /// Git revision the record was produced from.
+    pub git_sha: String,
+    /// The jobs, in submission order (cold first by convention).
+    pub entries: Vec<ServeEntry>,
+}
+
+impl ServeRecord {
+    /// Creates an empty record stamped with the current environment.
+    pub fn new(circuit: &str) -> Self {
+        ServeRecord {
+            schema_version: SERVE_SCHEMA_VERSION,
+            circuit: circuit.to_string(),
+            git_sha: crate::record::git_sha(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Renders the record as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        let mut obj = Json::object();
+        obj.set("schema_version", self.schema_version)
+            .set("kind", SERVE_RECORD_KIND)
+            .set("circuit", self.circuit.as_str())
+            .set("git_sha", self.git_sha.as_str())
+            .set(
+                "entries",
+                self.entries
+                    .iter()
+                    .map(ServeEntry::to_json)
+                    .collect::<Vec<_>>(),
+            );
+        obj.render_pretty()
+    }
+
+    /// Parses a record, rejecting unknown schema versions and wrong kinds.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e: JsonError| e.to_string())?;
+        let version = v
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("serve record is missing `schema_version`")?;
+        if version != SERVE_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {version} (this build reads {SERVE_SCHEMA_VERSION})"
+            ));
+        }
+        let kind = v.get("kind").and_then(Json::as_str).unwrap_or("");
+        if kind != SERVE_RECORD_KIND {
+            return Err(format!(
+                "not a serve record (kind `{kind}`, wanted `{SERVE_RECORD_KIND}`)"
+            ));
+        }
+        let mut entries = Vec::new();
+        if let Some(arr) = v.get("entries").and_then(Json::as_array) {
+            for e in arr {
+                entries.push(ServeEntry::from_json(e)?);
+            }
+        }
+        Ok(ServeRecord {
+            schema_version: version,
+            circuit: v
+                .get("circuit")
+                .and_then(Json::as_str)
+                .ok_or("serve record is missing `circuit`")?
+                .to_string(),
+            git_sha: v
+                .get("git_sha")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            entries,
+        })
+    }
+
+    /// The conventional file name for this record.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_SERVE_{}.json", self.circuit)
+    }
+
+    /// The smoke gate: one human-readable finding per violated contract
+    /// (empty = pass). Every job must have finished; every job the client
+    /// expected warm must show non-vacuous cache hits, zero misses, and
+    /// zero parse/signature phase time.
+    pub fn audit(&self) -> Vec<String> {
+        let mut findings = Vec::new();
+        if self.entries.is_empty() {
+            findings.push("serve record holds no jobs".to_string());
+        }
+        if !self.entries.iter().any(|e| e.warm) {
+            findings.push("serve record exercises no warm-cache job".to_string());
+        }
+        for e in &self.entries {
+            if e.status != "done" {
+                findings.push(format!(
+                    "job `{}`: status `{}`, wanted `done`",
+                    e.id, e.status
+                ));
+            }
+            if e.warm {
+                if e.cache_hits == 0 {
+                    findings.push(format!(
+                        "job `{}`: expected warm but observed zero cache hits",
+                        e.id
+                    ));
+                }
+                if e.cache_misses != 0 {
+                    findings.push(format!(
+                        "job `{}`: expected warm but observed {} cache misses",
+                        e.id, e.cache_misses
+                    ));
+                }
+                // lint:allow(float-cmp): a cache hit writes literal 0.0; any nonzero means the phase ran
+                if e.parse_s != 0.0 {
+                    findings.push(format!(
+                        "job `{}`: expected warm but the parse phase ran ({}s)",
+                        e.id, e.parse_s
+                    ));
+                }
+                // lint:allow(float-cmp): a cache hit writes literal 0.0; any nonzero means the phase ran
+                if e.context_s != 0.0 {
+                    findings.push(format!(
+                        "job `{}`: expected warm but the signature phase ran ({}s)",
+                        e.id, e.context_s
+                    ));
+                }
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: &str, warm: bool) -> ServeEntry {
+        ServeEntry {
+            id: id.to_string(),
+            threshold: 0.05,
+            warm,
+            status: "done".to_string(),
+            parse_s: if warm { 0.0 } else { 0.01 },
+            context_s: if warm { 0.0 } else { 0.002 },
+            synth_s: 0.2,
+            cache_hits: if warm { 4 } else { 0 },
+            cache_misses: if warm { 0 } else { 4 },
+            iterations: 9,
+            final_literals: 120,
+            error_rate: 0.041,
+        }
+    }
+
+    fn record() -> ServeRecord {
+        ServeRecord {
+            schema_version: SERVE_SCHEMA_VERSION,
+            circuit: "RCA32".to_string(),
+            git_sha: "abc123".to_string(),
+            entries: vec![entry("cold", false), entry("warm", true)],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let rec = record();
+        let parsed = ServeRecord::parse(&rec.render()).unwrap();
+        assert_eq!(parsed, rec);
+        assert_eq!(parsed.file_name(), "BENCH_SERVE_RCA32.json");
+    }
+
+    #[test]
+    fn rejects_future_schema_and_foreign_kinds() {
+        let mut rec = record();
+        rec.schema_version = SERVE_SCHEMA_VERSION + 1;
+        assert!(ServeRecord::parse(&rec.render())
+            .unwrap_err()
+            .contains("schema_version"));
+        let foreign = record().render().replace("\"serve\"", "\"perf\"");
+        assert!(ServeRecord::parse(&foreign)
+            .unwrap_err()
+            .contains("not a serve record"));
+    }
+
+    #[test]
+    fn clean_cold_warm_pair_passes_the_audit() {
+        assert!(record().audit().is_empty());
+    }
+
+    #[test]
+    fn vacuous_warm_jobs_trip_the_audit() {
+        let mut rec = record();
+        rec.entries[1].cache_hits = 0;
+        rec.entries[1].cache_misses = 4;
+        rec.entries[1].parse_s = 0.01;
+        let findings = rec.audit();
+        assert_eq!(findings.len(), 3, "{findings:?}");
+
+        let mut rec = record();
+        rec.entries[1].warm = false;
+        assert!(rec.audit().iter().any(|f| f.contains("no warm-cache job")));
+
+        let mut rec = record();
+        rec.entries[0].status = "cancelled".to_string();
+        assert!(rec.audit().iter().any(|f| f.contains("cancelled")));
+    }
+
+    #[test]
+    fn entries_parse_from_daemon_result_frames() {
+        let frame = Json::parse(
+            r#"{"v":1,"type":"result","id":"warm","status":"done","iterations":7,
+                "initial_literals":200,"final_literals":150,"error_rate":0.03,
+                "cache":{"network":true,"signatures":true,"absint":true,"delay_map":true},
+                "timings":{"parse_s":0,"context_s":0,"synth_s":0.5},
+                "metrics":{"artifact_cache_hits":4,"artifact_cache_misses":0}}"#,
+        )
+        .unwrap();
+        let e = ServeEntry::from_result_frame(&frame, true, 0.05).unwrap();
+        assert_eq!(e.id, "warm");
+        assert_eq!(e.threshold, 0.05);
+        assert_eq!(e.cache_hits, 4);
+        assert_eq!(e.cache_misses, 0);
+        assert_eq!(e.parse_s, 0.0);
+        assert_eq!(e.synth_s, 0.5);
+        assert_eq!(e.iterations, 7);
+        assert_eq!(e.final_literals, 150);
+    }
+}

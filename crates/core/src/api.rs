@@ -97,6 +97,34 @@ pub fn approximate_under(
     Ok(run(net, strategy, config, ctx))
 }
 
+/// [`approximate`] with a caller-supplied [`AlsContext`] — the
+/// artifact-sharing entry point. The sweep orchestrator and the `als serve`
+/// daemon's cross-job cache build one context per (pattern budget, seed) and
+/// hand every run a clone, amortizing the golden simulation.
+///
+/// **Byte-identity contract:** when `ctx` carries the stimulus
+/// [`approximate`] would draw itself —
+/// `PatternSet::random(net.num_pis(), config.pattern_budget(), config.seed)`
+/// — and the config's sampling policy (see [`AlsContext::with_sampling`]),
+/// the outcome is byte-identical to a cold [`approximate`] call. The caller
+/// owns that contract; a mismatched context simply measures under its own
+/// stimulus, like [`approximate_under`].
+///
+/// # Errors
+///
+/// Same as [`approximate`].
+pub fn approximate_with_context(
+    net: &Network,
+    strategy: Strategy,
+    config: &AlsConfig,
+    ctx: AlsContext,
+) -> Result<AlsOutcome, AlsError> {
+    config.validate()?;
+    net.check()
+        .map_err(|e| AlsError::InvalidNetwork(e.to_string()))?;
+    Ok(run(net, strategy, config, ctx))
+}
+
 /// Dispatches a pre-validated run with an already-built context. The sweep
 /// orchestrator calls this directly so grid jobs can inject clones of a
 /// shared context instead of re-simulating the golden network per point.

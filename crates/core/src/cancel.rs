@@ -1,0 +1,105 @@
+//! Cooperative cancellation for synthesis runs.
+//!
+//! A [`CancelToken`] rides on [`AlsConfig`](crate::AlsConfig); the three
+//! selection loops poll it once per iteration and stop cleanly when it has
+//! been tripped. Cancellation is *cooperative* and *sound*: the loop
+//! invariant (the current network always satisfies the threshold) holds at
+//! every iteration boundary, so a cancelled run still returns a valid —
+//! merely less optimized — [`AlsOutcome`](crate::AlsOutcome). Long-running
+//! callers (the `als serve` daemon) trip the token from another thread to
+//! free the worker without tearing anything down.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cheap, clonable cancellation flag.
+///
+/// The default token is *inert*: it carries no flag, can never be tripped,
+/// and [`is_cancelled`](CancelToken::is_cancelled) costs one `Option`
+/// check — so configurations that never cancel (almost all of them) pay
+/// nothing. An [`armed`](CancelToken::armed) token shares one atomic flag
+/// across every clone; tripping any clone cancels them all.
+///
+/// ```
+/// use als_core::CancelToken;
+///
+/// let inert = CancelToken::none();
+/// inert.cancel(); // no-op
+/// assert!(!inert.is_cancelled());
+///
+/// let token = CancelToken::armed();
+/// let observer = token.clone();
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Option<Arc<AtomicBool>>,
+}
+
+impl CancelToken {
+    /// The inert token: never cancelled, [`cancel`](CancelToken::cancel) is
+    /// a no-op. This is the [`AlsConfig`](crate::AlsConfig) default.
+    #[must_use]
+    pub fn none() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A live token. Clones share the flag.
+    #[must_use]
+    pub fn armed() -> CancelToken {
+        CancelToken {
+            flag: Some(Arc::new(AtomicBool::new(false))),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; a no-op on the inert token.
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether cancellation has been requested.
+    #[inline]
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_token_never_cancels() {
+        let token = CancelToken::none();
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn armed_token_shares_the_flag_across_clones() {
+        let token = CancelToken::armed();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        // Idempotent.
+        clone.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn distinct_armed_tokens_are_independent() {
+        let a = CancelToken::armed();
+        let b = CancelToken::armed();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!b.is_cancelled());
+    }
+}

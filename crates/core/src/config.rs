@@ -1,4 +1,4 @@
-use crate::AlsError;
+use crate::{AlsError, CancelToken};
 use als_dontcare::DontCareConfig;
 use als_sim::{DEFAULT_NUM_PATTERNS, MAX_LOCAL_FANINS};
 use als_telemetry::Telemetry;
@@ -246,6 +246,12 @@ pub struct AlsConfig {
     /// by default: the engine then skips event construction entirely, and
     /// results are byte-identical with any sink attached.
     pub telemetry: Telemetry,
+    /// Cooperative cancellation token (see [`CancelToken`]): the selection
+    /// loops poll it once per iteration and stop cleanly when it has been
+    /// tripped, returning the (valid, threshold-satisfying) network built so
+    /// far. Inert by default — an untripped or inert token never changes
+    /// results.
+    pub cancel: CancelToken,
 }
 
 impl AlsConfig {
@@ -281,6 +287,7 @@ impl AlsConfig {
             pruning: PrunePolicy::Static,
             delay_weight: DelayWeight::Off,
             telemetry: Telemetry::disabled(),
+            cancel: CancelToken::none(),
         }
     }
 
@@ -532,6 +539,14 @@ impl AlsConfigBuilder {
     /// ```
     pub fn telemetry(mut self, telemetry: impl Into<Telemetry>) -> Self {
         self.config.telemetry = telemetry.into();
+        self
+    }
+
+    /// Attaches a cooperative cancellation token — trip it from another
+    /// thread (see [`CancelToken::cancel`]) and the run stops at the next
+    /// iteration boundary with the network built so far.
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.config.cancel = cancel;
         self
     }
 

@@ -57,6 +57,7 @@
 
 mod api;
 mod ase;
+mod cancel;
 mod config;
 mod context;
 mod delay_score;
@@ -73,8 +74,9 @@ pub mod preprocess;
 pub mod sasimi;
 pub mod sweep;
 
-pub use api::{approximate, approximate_under, Strategy};
+pub use api::{approximate, approximate_under, approximate_with_context, Strategy};
 pub use ase::{generate_ases, Ase, AseKind};
+pub use cancel::CancelToken;
 pub use config::{
     AlsConfig, AlsConfigBuilder, DelayWeight, MagnitudeConstraint, PatternPolicy, PrunePolicy,
     ResimMode,
@@ -110,7 +112,7 @@ pub use als_telemetry::{
 /// ```
 pub mod prelude {
     pub use crate::{
-        approximate, approximate_under, AlsConfig, AlsError, AlsOutcome, DelayWeight,
+        approximate, approximate_under, AlsConfig, AlsError, AlsOutcome, CancelToken, DelayWeight,
         MagnitudeConstraint, MetricsReport, PatternPolicy, PrunePolicy, ResimMode, Strategy,
     };
 }

@@ -113,6 +113,11 @@ pub(crate) fn multi_selection_with_context(
         if margin < 0.0 {
             break;
         }
+        // Cooperative cancellation: the network already satisfies the
+        // threshold at every iteration boundary, so stopping here is sound.
+        if config.cancel.is_cancelled() {
+            break;
+        }
         let iter_mark = config.telemetry.start();
         // Static pruning budget: a candidate with apparent rate above
         // `(capacity + 0.5) / scale` scales-and-rounds to a knapsack weight

@@ -95,6 +95,11 @@ pub(crate) fn sasimi_with_context(
         if margin < 0.0 {
             break;
         }
+        // Cooperative cancellation: the network already satisfies the
+        // threshold at every iteration boundary, so stopping here is sound.
+        if config.cancel.is_cancelled() {
+            break;
+        }
         let iter_mark = config.telemetry.start();
         let candidates = generate_candidates(&current, inc.view(), &ctx, margin);
         let mut committed = false;

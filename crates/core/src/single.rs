@@ -116,6 +116,11 @@ pub(crate) fn single_selection_with_context(
         if margin < 0.0 {
             break;
         }
+        // Cooperative cancellation: the network already satisfies the
+        // threshold at every iteration boundary, so stopping here is sound.
+        if config.cancel.is_cancelled() {
+            break;
+        }
         let iter_mark = config.telemetry.start();
         // The engine's static pruning may discard candidates whose sound
         // lower bound on the apparent rate exceeds the margin — exactly the

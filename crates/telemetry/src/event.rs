@@ -270,6 +270,22 @@ pub enum Event {
         /// Wall time of the point (synthesis + mapping).
         nanos: u64,
     },
+    /// The `als serve` daemon admitted a job into its bounded queue.
+    JobAdmitted {
+        /// Daemon-assigned job sequence number.
+        job: u64,
+        /// Queue depth (admitted, not yet claimed) right after admission.
+        queue_depth: u64,
+    },
+    /// The `als serve` cross-job artifact cache was consulted for one
+    /// artifact kind (`"network"`, `"signatures"`, `"absint"`,
+    /// `"delay_map"`). A hit means the job skipped rebuilding that artifact.
+    ArtifactCache {
+        /// Which artifact was looked up.
+        artifact: &'static str,
+        /// Whether the lookup was served from the cache.
+        hit: bool,
+    },
     /// The run finished.
     RunEnd {
         /// Committed iterations.
@@ -303,6 +319,8 @@ impl Event {
             Event::IterationEnd { .. } => "iteration_end",
             Event::SweepStart { .. } => "sweep_start",
             Event::SweepPointDone { .. } => "sweep_point_done",
+            Event::JobAdmitted { .. } => "job_admitted",
+            Event::ArtifactCache { .. } => "artifact_cache",
             Event::RunEnd { .. } => "run_end",
         }
     }
@@ -482,6 +500,12 @@ impl Event {
                     .set("error_rate", error_rate)
                     .set("nanos", nanos);
             }
+            Event::JobAdmitted { job, queue_depth } => {
+                obj.set("job", job).set("queue_depth", queue_depth);
+            }
+            Event::ArtifactCache { artifact, hit } => {
+                obj.set("artifact", artifact).set("hit", hit);
+            }
             Event::RunEnd {
                 iterations,
                 literals,
@@ -601,6 +625,14 @@ mod tests {
                 mapped_delay: 9.5,
                 error_rate: 0.008,
                 nanos: 31,
+            },
+            Event::JobAdmitted {
+                job: 3,
+                queue_depth: 2,
+            },
+            Event::ArtifactCache {
+                artifact: "network",
+                hit: true,
             },
             Event::RunEnd {
                 iterations: 1,

@@ -36,7 +36,10 @@ use std::sync::Mutex;
 /// v6: incremental SAT — don't-care classification emits aggregated
 /// `sat_activity` lines (sat_queries, solver_instances, clauses_retracted)
 /// per engine refresh / classical simplification pass.
-pub const EVENT_LOG_SCHEMA_VERSION: u64 = 6;
+/// v7: the `als serve` daemon — job admission emits `job_admitted` lines
+/// (job, queue_depth) and every cross-job artifact-cache lookup emits an
+/// `artifact_cache` line (artifact, hit).
+pub const EVENT_LOG_SCHEMA_VERSION: u64 = 7;
 
 /// A [`TelemetrySink`] that streams every event as one JSON line to a
 /// writer. Lines are written (and the writer flushed) synchronously per

@@ -135,6 +135,15 @@ pub struct MetricsReport {
     /// orchestrator after technology mapping), not from the event stream;
     /// `0.0` means "not mapped".
     pub mapped_delay: f64,
+    /// `als serve` cross-job artifact-cache lookups served from the cache
+    /// (one per [`Event::ArtifactCache`] with `hit: true`). Like
+    /// `mapped_delay`, the serve daemon may also set this externally when a
+    /// job's collector was attached after admission. Zero outside the
+    /// daemon.
+    pub artifact_cache_hits: u64,
+    /// `als serve` cross-job artifact-cache lookups that had to rebuild the
+    /// artifact (`hit: false`). Zero outside the daemon.
+    pub artifact_cache_misses: u64,
     /// Per-phase wall time.
     pub phase_nanos: PhaseNanos,
     /// Per-iteration records, in commit order.
@@ -257,15 +266,25 @@ impl MetricsReport {
                 self.knapsack_dp_cells += dp_cells;
                 self.phase_nanos.knapsack += nanos;
             }
+            Event::ArtifactCache { hit, .. } => {
+                if hit {
+                    self.artifact_cache_hits += 1;
+                } else {
+                    self.artifact_cache_misses += 1;
+                }
+            }
             // Per-change certificates are audit data, not aggregates (the
             // per-iteration change count arrives with `IterationEnd`), and
             // sweep orchestration events aggregate nothing here either: a
             // sweep's per-point metrics live in its own SweepRecord, and
             // per-run collectors never see sweep-level events (grid jobs run
-            // with telemetry disabled).
+            // with telemetry disabled). Job admission is likewise a
+            // daemon-level line: queue depth is a service property, not a
+            // per-run aggregate.
             Event::ChangeCommitted { .. }
             | Event::SweepStart { .. }
-            | Event::SweepPointDone { .. } => {}
+            | Event::SweepPointDone { .. }
+            | Event::JobAdmitted { .. } => {}
             Event::IterationEnd {
                 iteration,
                 changes,
@@ -319,6 +338,8 @@ impl MetricsReport {
             .set("solver_instances", self.solver_instances)
             .set("clauses_retracted", self.clauses_retracted)
             .set("mapped_delay", self.mapped_delay)
+            .set("artifact_cache_hits", self.artifact_cache_hits)
+            .set("artifact_cache_misses", self.artifact_cache_misses)
             .set("iterations", self.iterations.len())
             .set("total_s", self.total_time().as_secs_f64())
             .set("phase_s", phases);
@@ -451,6 +472,22 @@ mod tests {
                 solver_instances: 1,
                 clauses_retracted: 30,
             },
+            Event::ArtifactCache {
+                artifact: "network",
+                hit: true,
+            },
+            Event::ArtifactCache {
+                artifact: "signatures",
+                hit: false,
+            },
+            Event::ArtifactCache {
+                artifact: "delay_map",
+                hit: true,
+            },
+            Event::JobAdmitted {
+                job: 1,
+                queue_depth: 1,
+            },
             Event::IterationEnd {
                 iteration: 1,
                 changes: 2,
@@ -493,6 +530,8 @@ mod tests {
         assert_eq!(r.sat_queries, 40);
         assert_eq!(r.solver_instances, 3);
         assert_eq!(r.clauses_retracted, 150);
+        assert_eq!(r.artifact_cache_hits, 2);
+        assert_eq!(r.artifact_cache_misses, 1);
         assert_eq!(r.phase_nanos.refresh, 800);
         assert_eq!(r.phase_nanos.simulate, 160);
         assert_eq!(r.phase_nanos.measure, 40);
@@ -531,6 +570,10 @@ mod tests {
             solver_instances: 1,
             clauses_retracted: 44,
         });
+        report.absorb(&Event::ArtifactCache {
+            artifact: "absint",
+            hit: false,
+        });
         let json = report.to_json();
         assert_eq!(json.get("evaluations").and_then(Json::as_u64), Some(7));
         assert_eq!(json.get("cache_hits").and_then(Json::as_u64), Some(2));
@@ -562,6 +605,14 @@ mod tests {
         assert_eq!(
             json.get("clauses_retracted").and_then(Json::as_u64),
             Some(44)
+        );
+        assert_eq!(
+            json.get("artifact_cache_hits").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            json.get("artifact_cache_misses").and_then(Json::as_u64),
+            Some(1)
         );
         assert!(json.get("phase_s").and_then(|p| p.get("refresh")).is_some());
     }

@@ -19,6 +19,12 @@
 //! als bound       <in.blif> [--golden <golden.blif>] [--json]
 //!                                                 static probability/error intervals
 //! als map         <in.blif>                       mapped area/delay/cells
+//! als verilog     <in.blif> [-o out.v]            technology-map, emit Verilog
+//! als cec         <a.blif> <b.blif>               SAT equivalence check
+//! als simplify    <in.blif> [-o out.blif]         exact optimization
+//! als serve       --listen ADDR [--workers N] [--queue N] [--cache N]
+//!                 [--max-patterns N] [--max-iterations N]
+//!                 [--events <log.jsonl>]          JSONL-over-TCP daemon
 //! als list                                        available benchmarks
 //! ```
 
@@ -84,6 +90,7 @@ fn main() -> ExitCode {
         Some("verilog") => cmd_verilog(&args[1..]),
         Some("cec") => cmd_cec(&args[1..]),
         Some("simplify") => cmd_simplify(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("list") => cmd_list(),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -143,6 +150,12 @@ USAGE:
   als verilog     <in.blif> [-o out.v]     technology-map and emit Verilog
   als cec         <a.blif> <b.blif>        SAT equivalence check
   als simplify    <in.blif> [-o out.blif]  function-preserving optimization
+  als serve       --listen ADDR            line-delimited-JSON synthesis daemon
+                  [--workers N]            worker threads (default: all cores)
+                  [--queue N]              admission-queue capacity (default 16)
+                  [--cache N]              circuits kept in the artifact cache
+                  [--max-patterns N] [--max-iterations N]   per-job budget caps
+                  [--events <log.jsonl>]   job-admission + cache-traffic log
   als list
 ";
 
@@ -794,6 +807,42 @@ fn cmd_simplify(args: &[String]) -> Result<(), CliError> {
         net.literal_count()
     );
     write_or_print(&net, args)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let addr = flag_value(args, "--listen").ok_or_else(|| usage("serve needs --listen ADDR"))?;
+    let mut config = als::serve::ServeConfig::new(addr);
+    let parse_count = |name: &str, current: usize| -> Result<usize, CliError> {
+        match flag_value(args, name) {
+            Some(v) => v.parse().map_err(|e| usage(format!("{name}: {e}"))),
+            None => Ok(current),
+        }
+    };
+    config.workers = parse_count("--workers", config.workers)?;
+    config.queue_capacity = parse_count("--queue", config.queue_capacity)?;
+    config.cache_capacity = parse_count("--cache", config.cache_capacity)?;
+    config.max_patterns = parse_count("--max-patterns", config.max_patterns)?;
+    config.max_iterations = parse_count("--max-iterations", config.max_iterations)?;
+    let telemetry = match flag_value(args, "--events") {
+        Some(log_path) => {
+            let sink = als::telemetry::JsonlSink::create(log_path)
+                .map_err(|e| format!("cannot open --events log `{log_path}`: {e}"))?;
+            als::telemetry::Telemetry::new(std::sync::Arc::new(sink))
+        }
+        None => als::telemetry::Telemetry::disabled(),
+    };
+    let server = als::serve::Server::bind(&config, telemetry)
+        .map_err(|e| format!("cannot listen on `{}`: {e}", config.addr))?;
+    eprintln!(
+        "als serve: listening on {} ({} workers, queue {}, cache {} circuits)",
+        server.local_addr(),
+        server.num_workers(),
+        config.queue_capacity,
+        config.cache_capacity
+    );
+    server
+        .run()
+        .map_err(|e| CliError::from(format!("serve: {e}")))
 }
 
 fn cmd_map(args: &[String]) -> Result<(), CliError> {

@@ -20,6 +20,7 @@
 //! | [`bdd`] | ROBDDs for exact (non-sampled) error-rate verification |
 //! | [`aig`] | and-inverter graphs; SAT-based equivalence checking |
 //! | [`absint`] | abstract-interpretation error bounds: probability/error intervals, static candidate pruning |
+//! | [`serve`] | the `als serve` daemon: JSONL-over-TCP synthesis jobs with a cross-job artifact cache |
 //!
 //! # Quickstart
 //!
@@ -57,6 +58,7 @@ pub use als_mapper as mapper;
 pub use als_network as network;
 pub use als_sasimi as sasimi;
 pub use als_sat as sat;
+pub use als_serve as serve;
 pub use als_sim as sim;
 pub use als_telemetry as telemetry;
 

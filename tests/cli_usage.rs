@@ -1,0 +1,129 @@
+//! Usage-conformance audit for the `als` binary.
+//!
+//! The help text is a contract: every subcommand it advertises must be
+//! dispatched (not fall through to "unknown command"), every advertised
+//! subcommand invoked with missing/bad arguments must exit 2 with a usage
+//! error, and the advertised set must match the dispatcher's set exactly —
+//! so the help text can never silently drift from `main`'s match again.
+
+use std::process::{Command, Output};
+
+/// Every subcommand `main` dispatches. Keep in sync with the dispatcher —
+/// the first test fails if the help text and this list ever disagree.
+const DISPATCHED: &[&str] = &[
+    "stats",
+    "gen",
+    "approximate",
+    "sweep",
+    "verify",
+    "check",
+    "bound",
+    "map",
+    "verilog",
+    "cec",
+    "simplify",
+    "serve",
+    "list",
+];
+
+fn als(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_als"))
+        .args(args)
+        .output()
+        .expect("run als")
+}
+
+/// The subcommand names the `--help` text advertises, in order.
+fn advertised_subcommands() -> Vec<String> {
+    let out = als(&["--help"]);
+    assert!(out.status.success(), "--help must exit 0");
+    let help = String::from_utf8_lossy(&out.stdout).into_owned();
+    help.lines()
+        .filter_map(|line| line.strip_prefix("  als "))
+        .filter_map(|rest| rest.split_whitespace().next())
+        .map(ToString::to_string)
+        .collect()
+}
+
+#[test]
+fn help_advertises_exactly_the_dispatched_subcommands() {
+    let advertised = advertised_subcommands();
+    assert_eq!(
+        advertised, DISPATCHED,
+        "help text and dispatcher disagree on the subcommand set"
+    );
+}
+
+#[test]
+fn every_advertised_subcommand_is_dispatched() {
+    for cmd in advertised_subcommands() {
+        // A dispatched subcommand may fail for lack of arguments, but it
+        // must never fall through to the unknown-command arm.
+        let out = als(&[&cmd]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            !stderr.contains("unknown command"),
+            "`als {cmd}` is advertised but not dispatched: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn bad_arguments_exit_2_for_every_argument_taking_subcommand() {
+    for cmd in DISPATCHED {
+        if *cmd == "list" {
+            continue; // takes no arguments; exercised below
+        }
+        // Invoked bare, every argument-taking subcommand is a usage error:
+        // exit code 2 and a diagnostic on stderr.
+        let out = als(&[cmd]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "`als {cmd}` without arguments should exit 2, got {:?}",
+            out.status.code()
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.starts_with("error:"),
+            "`als {cmd}` should print an error diagnostic, got: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn unknown_commands_exit_2_and_echo_usage() {
+    let out = als(&["transmogrify"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"));
+    assert!(
+        stderr.contains("USAGE"),
+        "usage text missing from: {stderr}"
+    );
+}
+
+#[test]
+fn list_and_help_exit_0() {
+    assert!(als(&["list"]).status.success());
+    assert!(als(&["--help"]).status.success());
+    assert!(als(&["help"]).status.success());
+    assert!(als(&[]).status.success());
+}
+
+#[test]
+fn serve_rejects_bad_flags_with_usage_errors() {
+    for args in [
+        vec!["serve"], // missing --listen
+        vec!["serve", "--listen", "127.0.0.1:0", "--workers", "many"],
+        vec!["serve", "--listen", "127.0.0.1:0", "--queue", "-3"],
+    ] {
+        let out = als(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "`als {}` should exit 2",
+            args.join(" ")
+        );
+    }
+}
